@@ -1,0 +1,41 @@
+#![allow(missing_docs)]
+
+//! Runtime of the artifact-suppression alternatives on a 30 s record: the
+//! reference filter chain, the literal-paper low-pass, and the wavelet
+//! baseline of [16]/[17] — the ablation companion to the accuracy
+//! comparison in the `artifact_lab` example.
+
+use cardiotouch_icg::artifact::{suppress_artifacts, SuppressionMethod};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn record() -> Vec<f64> {
+    let fs = 250.0;
+    let n = 7500;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            // beat-band content + respiration drift
+            (2.0 * std::f64::consts::PI * 1.2 * t).sin()
+                + 0.4 * (2.0 * std::f64::consts::PI * 0.25 * t).cos()
+        })
+        .collect()
+}
+
+fn bench_suppression(c: &mut Criterion) {
+    let x = record();
+    let mut g = c.benchmark_group("artifact_suppression");
+    g.throughput(Throughput::Elements(x.len() as u64));
+    for (name, method) in [
+        ("filter_chain", SuppressionMethod::FilterChain),
+        ("lowpass_only", SuppressionMethod::LowpassOnly),
+        ("wavelet_db4_8level", SuppressionMethod::wavelet_default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| suppress_artifacts(&x, 250.0, method).expect("valid input"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_suppression);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+#![allow(missing_docs)]
+
+//! Runtime of the beat-level algorithms behind Fig 9: Pan-Tompkins QRS
+//! detection, B/C/X characteristic-point detection (both X-search
+//! variants), and the full end-to-end pipeline over a 30 s session —
+//! the workload whose cycle cost the paper's 40-50 % CPU duty-cycle
+//! figure summarises.
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::pipeline::Pipeline;
+use cardiotouch::stream::BeatStream;
+use cardiotouch_ecg::filter::EcgConditioner;
+use cardiotouch_ecg::pan_tompkins::PanTompkins;
+use cardiotouch_icg::points::{PointDetector, XSearch};
+use cardiotouch_physio::heart::HeartModel;
+use cardiotouch_physio::icg::IcgMorphology;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 250.0;
+
+fn recording() -> PairedRecording {
+    let population = Population::reference_five();
+    PairedRecording::generate(
+        &population.subjects()[0],
+        Position::One,
+        50_000.0,
+        &Protocol::paper_default(),
+        1,
+    )
+    .expect("reference recording is valid")
+}
+
+fn bench_qrs(c: &mut Criterion) {
+    let rec = recording();
+    let conditioned = EcgConditioner::paper_default(FS)
+        .expect("valid design")
+        .condition(rec.device_ecg())
+        .expect("valid input");
+    let pt = PanTompkins::new(FS).expect("valid fs");
+    let mut g = c.benchmark_group("qrs");
+    g.throughput(Throughput::Elements(conditioned.len() as u64));
+    g.bench_function("pan_tompkins_30s", |b| {
+        b.iter(|| pt.detect(&conditioned).expect("valid input"))
+    });
+    g.finish();
+}
+
+fn bench_point_detection(c: &mut Criterion) {
+    let beats = HeartModel::default()
+        .schedule(5.0, &mut StdRng::seed_from_u64(2))
+        .expect("valid model");
+    let n = (5.0 * FS) as usize;
+    let m = IcgMorphology::default();
+    let icg = m.render_dzdt(&beats, n, FS);
+    let lms = m.landmarks(&beats, n, FS);
+    let seg = icg[lms[1].r..lms[2].r].to_vec();
+
+    let mut g = c.benchmark_group("bcx_detection");
+    for (name, search) in [
+        ("global_minimum", XSearch::GlobalMinimum),
+        ("rt_window", XSearch::RtWindow { rt_s: 0.30 }),
+    ] {
+        let det = PointDetector::new(FS, search).expect("valid fs");
+        g.bench_function(name, |b| b.iter(|| det.detect(&seg).expect("clean beat")));
+    }
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let rec = recording();
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(FS)).expect("valid config");
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(rec.device_ecg().len() as u64));
+    g.bench_function("batch_30s_session", |b| {
+        b.iter(|| {
+            pipeline
+                .analyze(rec.device_ecg(), rec.device_z())
+                .expect("valid session")
+        })
+    });
+    g.bench_function("streaming_30s_session", |b| {
+        b.iter(|| {
+            let mut stream =
+                BeatStream::new(PipelineConfig::paper_default(FS)).expect("valid config");
+            let mut count = 0;
+            for (e, z) in rec.device_ecg().chunks(250).zip(rec.device_z().chunks(250)) {
+                count += stream.push(e, z).expect("valid chunk").len();
+            }
+            count
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_qrs, bench_point_detection, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+#![allow(missing_docs)]
+
+//! Runtime of the DSP kernels the firmware executes per block: the two
+//! conditioning filters (ECG FIR band-pass, ICG Butterworth low-pass, both
+//! zero-phase), the morphological baseline estimator and the derivative
+//! stack — plus ablations over filter order that back the MCU cycle-budget
+//! model's "the FIR dominates" conclusion.
+
+use cardiotouch_dsp::fir::Fir;
+use cardiotouch_dsp::iir::Butterworth;
+use cardiotouch_dsp::morph::{self, BaselineConfig};
+use cardiotouch_dsp::window::Window;
+use cardiotouch_dsp::zero_phase::{filtfilt_fir, filtfilt_iir};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn block(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / 250.0;
+            (2.0 * std::f64::consts::PI * 1.2 * t).sin()
+                + 0.3 * (2.0 * std::f64::consts::PI * 8.0 * t).sin()
+        })
+        .collect()
+}
+
+fn bench_conditioning(c: &mut Criterion) {
+    let x = block(7500); // one 30 s session at 250 Hz
+    let mut g = c.benchmark_group("conditioning");
+    g.throughput(Throughput::Elements(x.len() as u64));
+
+    let fir = Fir::bandpass(32, 0.05, 40.0, 250.0, Window::Hamming).expect("valid design");
+    g.bench_function("ecg_fir_bandpass_zero_phase", |b| {
+        b.iter(|| filtfilt_fir(&fir, &x).expect("valid input"))
+    });
+
+    let lp = Butterworth::lowpass(4, 20.0, 250.0).expect("valid design");
+    g.bench_function("icg_butterworth_20hz_zero_phase", |b| {
+        b.iter(|| filtfilt_iir(&lp, &x).expect("valid input"))
+    });
+
+    let cfg = BaselineConfig::for_ecg(250.0);
+    g.bench_function("morphological_baseline_removal", |b| {
+        b.iter(|| morph::remove_baseline(&x, cfg).expect("valid input"))
+    });
+
+    g.bench_function("third_derivative", |b| {
+        b.iter(|| cardiotouch_dsp::diff::third_derivative(&x, 250.0).expect("valid input"))
+    });
+    g.finish();
+}
+
+fn bench_fir_order_ablation(c: &mut Criterion) {
+    // The paper chose order 32; the cycle-budget model says the FIR is the
+    // dominant stage, so its order is the main latency knob.
+    let x = block(7500);
+    let mut g = c.benchmark_group("fir_order_ablation");
+    for order in [16usize, 32, 64, 128] {
+        let fir = Fir::bandpass(order, 0.05, 40.0, 250.0, Window::Hamming).expect("valid design");
+        g.bench_with_input(BenchmarkId::from_parameter(order), &fir, |b, fir| {
+            b.iter(|| filtfilt_fir(fir, &x).expect("valid input"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_iir_order_ablation(c: &mut Criterion) {
+    let x = block(7500);
+    let mut g = c.benchmark_group("iir_order_ablation");
+    for order in [2usize, 4, 6, 8] {
+        let lp = Butterworth::lowpass(order, 20.0, 250.0).expect("valid design");
+        g.bench_with_input(BenchmarkId::from_parameter(order), &lp, |b, lp| {
+            b.iter(|| filtfilt_iir(lp, &x).expect("valid input"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_conditioning,
+    bench_fir_order_ablation,
+    bench_iir_order_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+#![allow(missing_docs)]
+
+//! Runtime of the evaluation-protocol building blocks behind Tables II-IV
+//! and Fig 8: paired-session synthesis and the correlation computation,
+//! plus one shortened end-to-end study.
+
+use cardiotouch::experiment::{run_position_study, StudyConfig};
+use cardiotouch_dsp::stats;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_session_synthesis(c: &mut Criterion) {
+    let population = Population::reference_five();
+    let subject = &population.subjects()[0];
+    let protocol = Protocol::paper_default();
+    let mut g = c.benchmark_group("session");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(protocol.samples() as u64));
+    g.bench_function("paired_recording_30s", |b| {
+        b.iter(|| {
+            PairedRecording::generate(subject, Position::Two, 50_000.0, &protocol, 7)
+                .expect("valid session")
+        })
+    });
+    g.finish();
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let population = Population::reference_five();
+    let rec = PairedRecording::generate(
+        &population.subjects()[0],
+        Position::One,
+        50_000.0,
+        &Protocol::paper_default(),
+        1,
+    )
+    .expect("valid session");
+    let mut g = c.benchmark_group("correlation");
+    g.throughput(Throughput::Elements(rec.device_z().len() as u64));
+    g.bench_function("pearson_30s_channels", |b| {
+        b.iter(|| stats::pearson(rec.traditional_z(), rec.device_z()).expect("valid channels"))
+    });
+    g.finish();
+}
+
+fn bench_study(c: &mut Criterion) {
+    // Shortened sessions: the full 30 s study is the summary binaries' job.
+    let config = StudyConfig {
+        protocol: Protocol {
+            duration_s: 8.0,
+            ..Protocol::paper_default()
+        },
+        ..StudyConfig::paper_default()
+    };
+    let population = Population::reference_five();
+    let mut g = c.benchmark_group("study");
+    g.sample_size(10);
+    g.bench_function("position_study_8s_sessions", |b| {
+        b.iter(|| run_position_study(&population, &config).expect("valid study"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_session_synthesis, bench_correlation, bench_study);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+#![allow(missing_docs)]
+
+//! Runtime of the analytic device models behind Table I and the battery
+//! headline (they are cheap by construction — the point of the bench is to
+//! keep them that way, since the battery-planner example sweeps them over
+//! large grids), plus the IMU position classifier and the synchronous
+//! demodulator, which are the real compute in the acquisition front half.
+
+use cardiotouch_device::demod::Demodulator;
+use cardiotouch_device::imu;
+use cardiotouch_device::mcu::CycleBudget;
+use cardiotouch_device::power::{DutyCycle, PowerBudget};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_power(c: &mut Criterion) {
+    let budget = PowerBudget::paper_table_i();
+    let cycles = CycleBudget::paper_pipeline();
+    let mut g = c.benchmark_group("power_model");
+    g.bench_function("battery_life_grid_100x100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                for j in 0..100 {
+                    let duty = DutyCycle {
+                        mcu: i as f64 / 100.0,
+                        radio: j as f64 / 1000.0,
+                        sensors_on: true,
+                        imu: false,
+                    };
+                    acc += budget.battery_life_hours(710.0, &duty);
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("cycle_budget_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for fs in [125.0, 250.0, 500.0, 1000.0] {
+                for hr in [50.0, 70.0, 90.0, 120.0] {
+                    acc += cycles.duty_cycle(fs, hr);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_imu_classifier(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let window = imu::synthesize(imu::DevicePosition::ArmsForward, 200, 100.0, &mut rng);
+    let mut g = c.benchmark_group("imu");
+    g.throughput(Throughput::Elements(window.len() as u64));
+    g.bench_function("classify_2s_window", |b| {
+        b.iter(|| imu::classify(&window).expect("valid window"))
+    });
+    g.finish();
+}
+
+fn bench_demodulation(c: &mut Criterion) {
+    // 0.5 s of a 2 kHz carrier at 50 kHz simulation rate.
+    let fs = 50_000.0;
+    let fc = 2_000.0;
+    let n = 25_000;
+    let w = 2.0 * std::f64::consts::PI * fc;
+    let v: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            (w * t).sin() * (500.0 + 2.0 * (2.0 * std::f64::consts::PI * t).sin())
+        })
+        .collect();
+    let demod = Demodulator::new(fc, 1.0, fs, 50.0).expect("valid demodulator");
+    let mut g = c.benchmark_group("demodulation");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("lock_in_half_second", |b| {
+        b.iter(|| demod.demodulate(&v).expect("valid carrier"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_power, bench_imu_classifier, bench_demodulation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bland–Altman agreement between the touch and traditional measurement
+//! paths for the systolic time intervals — the method-comparison
+//! statistic complementing the paper's correlation tables.
+//!
+//! ```text
+//! cargo run --release -p cardiotouch-bench --bin agreement_study [-- --quick]
+//! ```
+
+use cardiotouch::agreement::run_agreement_study;
+use cardiotouch::experiment::StudyConfig;
+use cardiotouch_bench::quick_flag;
+use cardiotouch_physio::scenario::Protocol;
+use cardiotouch_physio::subject::Population;
+
+fn main() {
+    let mut config = StudyConfig::paper_default();
+    if quick_flag() {
+        config.protocol = Protocol {
+            duration_s: 12.0,
+            ..Protocol::paper_default()
+        };
+    }
+    let outcome = run_agreement_study(&Population::reference_five(), &config)
+        .expect("the agreement study is deterministic");
+
+    println!("AGREEMENT: touch vs traditional path, Position 1, 50 kHz\n");
+    for (name, ba, r) in [
+        ("LVET", &outcome.lvet_ms, outcome.lvet_correlation),
+        ("PEP", &outcome.pep_ms, outcome.pep_correlation),
+    ] {
+        println!(
+            "{name:>5}: bias {:+6.1} ms, limits of agreement [{:+6.1}, {:+6.1}] ms, n = {} beats, subject-level r = {:.2}",
+            ba.bias, ba.loa_lower, ba.loa_upper, ba.n, r
+        );
+    }
+    println!(
+        "\n(zero within LVET limits of agreement: {}; within PEP: {})",
+        outcome.lvet_ms.zero_within_loa(),
+        outcome.pep_ms.zero_within_loa()
+    );
+}

@@ -1,0 +1,82 @@
+//! Validation table: characteristic-point detection accuracy against the
+//! synthesizer's ground truth, per subject, through the full device
+//! pipeline (touch channel, Position 1, 50 kHz). This is the quantitative
+//! backing for the workspace's claim that the detection chain works —
+//! the paper itself could not report it because no ground truth exists
+//! for human subjects.
+//!
+//! ```text
+//! cargo run --release -p cardiotouch-bench --bin detector_accuracy [-- --quick]
+//! ```
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::pipeline::Pipeline;
+use cardiotouch_bench::quick_flag;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+
+fn main() {
+    let protocol = Protocol {
+        duration_s: if quick_flag() { 12.0 } else { 30.0 },
+        ..Protocol::paper_default()
+    };
+    let pipeline =
+        Pipeline::new(PipelineConfig::paper_default(protocol.fs)).expect("valid config");
+    let fs = protocol.fs;
+
+    println!("DETECTION ACCURACY vs ground truth (touch channel, Position 1, 50 kHz)\n");
+    println!(
+        "{:<12}{:>8}{:>10}{:>10}{:>10}{:>12}{:>12}",
+        "subject", "beats", "B MAE", "C MAE", "X MAE", "PEP err", "LVET err"
+    );
+    println!(
+        "{:<12}{:>8}{:>10}{:>10}{:>10}{:>12}{:>12}",
+        "", "found", "[ms]", "[ms]", "[ms]", "[ms]", "[ms]"
+    );
+
+    let population = Population::reference_five();
+    for (label, touch) in [("touch channel", true), ("chest channel", false)] {
+        println!("-- {label} --");
+        for subject in population.subjects() {
+            let rec = PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 77)
+                .expect("deterministic generation");
+            let z = if touch {
+                rec.device_z()
+            } else {
+                rec.traditional_z()
+            };
+            let analysis = pipeline
+                .analyze(rec.device_ecg(), z)
+                .expect("analysis succeeds");
+            let truth = rec.truth();
+
+            let (mut be, mut ce, mut xe) = (Vec::new(), Vec::new(), Vec::new());
+            let (mut pep_e, mut lvet_e) = (Vec::new(), Vec::new());
+            for b in analysis.valid_beats() {
+                if let Some(lm) = truth.landmarks.iter().find(|l| l.r.abs_diff(b.r) <= 3) {
+                    let ms = |d: usize, t: usize| (d as f64 - t as f64) / fs * 1e3;
+                    be.push(ms(b.b, lm.b).abs());
+                    ce.push(ms(b.c, lm.c).abs());
+                    xe.push(ms(b.x, lm.x).abs());
+                    let truth_pep = (lm.b - lm.r) as f64 / fs;
+                    let truth_lvet = (lm.x - lm.b) as f64 / fs;
+                    pep_e.push((b.pep_s - truth_pep).abs() * 1e3);
+                    lvet_e.push((b.lvet_s - truth_lvet).abs() * 1e3);
+                }
+            }
+            let mae = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            println!(
+                "{:<12}{:>8}{:>10.1}{:>10.1}{:>10.1}{:>12.1}{:>12.1}",
+                subject.name(),
+                be.len(),
+                mae(&be),
+                mae(&ce),
+                mae(&xe),
+                mae(&pep_e),
+                mae(&lvet_e)
+            );
+        }
+    }
+    println!("\n(MAE over gated beats matched to ground-truth landmarks within 3 samples of R)");
+}

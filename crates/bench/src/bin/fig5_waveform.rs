@@ -1,0 +1,60 @@
+//! Regenerates **Fig 5**: one synthetic beat of simultaneous ECG and ICG
+//! with the detected R, B, C and X landmarks marked — the waveform the
+//! paper uses to define the characteristic points.
+//!
+//! ```text
+//! cargo run -p cardiotouch-bench --bin fig5_waveform
+//! ```
+
+use cardiotouch::report::ascii_series;
+use cardiotouch_icg::points::{PointDetector, XSearch};
+use cardiotouch_physio::ecg::EcgMorphology;
+use cardiotouch_physio::heart::HeartModel;
+use cardiotouch_physio::icg::IcgMorphology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let fs = 250.0;
+    let beats = HeartModel::default()
+        .schedule(5.0, &mut StdRng::seed_from_u64(42))
+        .expect("default heart model is valid");
+    let n = (5.0 * fs) as usize;
+
+    let icg_morph = IcgMorphology::default();
+    let ecg = EcgMorphology::default().render(&beats, n, fs);
+    let icg = icg_morph.render_dzdt(&beats, n, fs);
+    let lms = icg_morph.landmarks(&beats, n, fs);
+
+    // show the second beat fully
+    let lm = lms[1];
+    let next_r = lms[2].r;
+    let ecg_seg = &ecg[lm.r..next_r];
+    let icg_seg = &icg[lm.r..next_r];
+
+    println!("FIGURE 5: ECG (top) and ICG = -dZ/dt (bottom), one beat at 250 Hz\n");
+    println!("ECG [mV]:");
+    print!("{}", ascii_series(ecg_seg, 10));
+    println!("\nICG [ohm/s]:");
+    print!("{}", ascii_series(icg_seg, 10));
+
+    let detector =
+        PointDetector::new(fs, XSearch::GlobalMinimum).expect("fs is valid");
+    let pts = detector.detect(icg_seg).expect("clean beat must detect");
+    println!("\nlandmarks (samples from R):");
+    println!(
+        "  truth:    B {:3}  C {:3}  X {:3}",
+        lm.b - lm.r,
+        lm.c - lm.r,
+        lm.x - lm.r
+    );
+    println!(
+        "  detected: B {:3}  C {:3}  X {:3}   (B rule: {:?}, B0 = {:.1})",
+        pts.b, pts.c, pts.x, pts.b_rule, pts.b0
+    );
+    println!(
+        "  PEP {:.0} ms, LVET {:.0} ms",
+        pts.b as f64 / fs * 1e3,
+        (pts.x - pts.b) as f64 / fs * 1e3
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Figs 6 and 7**: measured mean bioimpedance versus
+//! injection frequency (2, 10, 50, 100 kHz) for the traditional setup and
+//! for the device in each arm position. The paper's observed shape — a
+//! rise to 10 kHz then a monotone fall — must hold in every profile.
+//!
+//! ```text
+//! cargo run --release -p cardiotouch-bench --bin fig6_7_bioimpedance [-- --quick]
+//! ```
+
+use cardiotouch::experiment::BioimpedanceProfiles;
+use cardiotouch::report;
+use cardiotouch_bench::{quick_flag, reference_study};
+
+fn main() {
+    let outcome = reference_study(quick_flag());
+    println!("{}", report::bioimpedance_profiles(&outcome.profiles));
+    let freqs = &outcome.profiles.frequencies_hz;
+    for (label, profile) in [("traditional", &outcome.profiles.traditional)]
+        .into_iter()
+        .chain(
+            outcome
+                .profiles
+                .device
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (["position 1", "position 2", "position 3"][i], p)),
+        )
+    {
+        let peak = BioimpedanceProfiles::peak_index(profile).expect("non-empty profile");
+        println!(
+            "{label}: peak at {:.0} kHz (paper: increases until 10 kHz, then decreases)",
+            freqs[peak] / 1e3
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Fig 8**: the displacement relative errors e21, e23 and
+//! e31 (paper equations (1)-(3)) per subject per injection frequency.
+//! The paper finds e21 the largest, e31 the smallest, and everything
+//! below 20 %.
+//!
+//! ```text
+//! cargo run --release -p cardiotouch-bench --bin fig8_relative_error [-- --quick]
+//! ```
+
+use cardiotouch::experiment::RelativeErrors;
+use cardiotouch::report;
+use cardiotouch_bench::{quick_flag, reference_study};
+
+fn main() {
+    let outcome = reference_study(quick_flag());
+    println!("{}", report::relative_errors(&outcome.errors));
+    println!(
+        "mean |e21| = {:.1} %, mean |e23| = {:.1} %, mean |e31| = {:.1} %",
+        RelativeErrors::mean_abs(&outcome.errors.e21) * 100.0,
+        RelativeErrors::mean_abs(&outcome.errors.e23) * 100.0,
+        RelativeErrors::mean_abs(&outcome.errors.e31) * 100.0,
+    );
+    println!(
+        "worst |e| = {:.1} %  (paper: highest error e21, lowest e31, always below 20 %)",
+        outcome.errors.worst_abs() * 100.0
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates **Fig 9**: LVET, PEP and HR for each subject in the two
+//! worst-case positions (1 and 2), measured by the device at the 50 kHz
+//! injection frequency through the full beat-to-beat pipeline.
+//!
+//! ```text
+//! cargo run --release -p cardiotouch-bench --bin fig9_hemodynamics [-- --quick]
+//! ```
+
+use cardiotouch::report;
+use cardiotouch_bench::{quick_flag, reference_study};
+
+fn main() {
+    let outcome = reference_study(quick_flag());
+    println!("{}", report::hemodynamics(&outcome.hemodynamics));
+    println!("reference: Weissler regressions give LVET = 413 - 1.7*HR ms and PEP = 131 - 0.4*HR ms");
+}

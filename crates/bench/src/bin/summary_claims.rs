@@ -1,0 +1,43 @@
+//! Checks the paper's **conclusion-level claims** against the simulated
+//! study: correlation with the traditional setup around 85 %, worst-case
+//! displacement error below 20 %, battery life of 106 hours (over four
+//! days), CPU duty cycle 40-50 %, radio duty cycle 0.1-1 %.
+//!
+//! ```text
+//! cargo run --release -p cardiotouch-bench --bin summary_claims [-- --quick]
+//! ```
+
+use cardiotouch::report;
+use cardiotouch_bench::{quick_flag, reference_study};
+use cardiotouch_device::mcu::CycleBudget;
+use cardiotouch_device::power::{DutyCycle, PowerBudget};
+use cardiotouch_device::radio::BleLink;
+
+fn main() {
+    let outcome = reference_study(quick_flag());
+    print!("{}", report::summary(&outcome.summary));
+
+    let battery = PowerBudget::paper_table_i()
+        .battery_life_hours(710.0, &DutyCycle::paper_worst_case());
+    println!(
+        "battery: {:.1} h = {:.1} days on 710 mAh (paper: 106 h, over four days)",
+        battery,
+        battery / 24.0
+    );
+
+    let duty = CycleBudget::paper_pipeline().duty_cycle(250.0, 70.0);
+    println!("cpu duty cycle: {:.1} % (paper: 40-50 %)", duty * 100.0);
+
+    let radio = BleLink::nrf8001_like()
+        .duty_cycle(BleLink::parameter_uplink_bytes_per_s(70.0))
+        .expect("valid link");
+    println!("radio duty cycle: {:.3} % (paper: ~0.1 %)", radio * 100.0);
+
+    let ok = outcome.summary.mean_correlation > 0.80
+        && outcome.summary.worst_error < 0.20
+        && (100.0..112.0).contains(&battery)
+        && (0.40..=0.50).contains(&duty)
+        && radio < 0.01;
+    println!("\nall conclusion-level claims reproduced: {}", if ok { "YES" } else { "NO" });
+    std::process::exit(i32::from(!ok));
+}

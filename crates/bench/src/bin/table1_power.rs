@@ -1,0 +1,61 @@
+//! Regenerates **Table I** (component current consumption) and the
+//! Section V / VI battery-life computation (106 h from 710 mAh).
+//!
+//! ```text
+//! cargo run -p cardiotouch-bench --bin table1_power
+//! ```
+
+use cardiotouch_device::mcu::CycleBudget;
+use cardiotouch_device::power::{Component, DutyCycle, PowerBudget};
+use cardiotouch_device::radio::BleLink;
+
+fn main() {
+    let budget = PowerBudget::paper_table_i();
+
+    println!("TABLE I: Current consumption for each component");
+    println!("{:<28} {:>18}", "Component", "Average current (mA)");
+    for c in Component::ALL {
+        let d = budget.draw(c);
+        match c {
+            Component::Mcu | Component::Radio => {
+                println!("{:<28} {:>18.3}", format!("{} (active)", c.label()), d.active_ma);
+                println!(
+                    "{:<28} {:>18.3}",
+                    format!("{} (standby)", c.label()),
+                    d.standby_ma
+                );
+            }
+            _ => println!("{:<28} {:>18.3}", c.label(), d.active_ma),
+        }
+    }
+
+    println!("\nCPU duty cycle (paper: 40-50 %)");
+    let cycles = CycleBudget::paper_pipeline();
+    let duty = cycles.duty_cycle(250.0, 70.0);
+    println!("  pipeline at fs = 250 Hz, HR = 70 bpm: {:.1} %", duty * 100.0);
+    for (name, d) in cycles.breakdown(250.0, 70.0) {
+        println!("    {:<46} {:>6.2} %", name, d * 100.0);
+    }
+
+    println!("\nRadio duty cycle (paper: 0.1-1 %)");
+    let link = BleLink::nrf8001_like();
+    let params = link
+        .duty_cycle(BleLink::parameter_uplink_bytes_per_s(70.0))
+        .expect("link parameters are valid");
+    let raw = link
+        .duty_cycle(BleLink::raw_streaming_bytes_per_s(250.0, 4.0))
+        .expect("link parameters are valid");
+    println!("  Z0/LVET/PEP/HR parameter uplink: {:.3} %", params * 100.0);
+    println!("  raw two-channel streaming:       {:.1} %", raw * 100.0);
+
+    println!("\nBattery life on 710 mAh (paper: 106 h, \"over four days\")");
+    for (label, duty) in [
+        ("worst case (MCU 50 %, radio 1 %)", DutyCycle::paper_worst_case()),
+        ("best case  (MCU 40 %, radio 0.1 %)", DutyCycle::paper_best_case()),
+        ("raw streaming alternative", DutyCycle::raw_streaming()),
+    ] {
+        let i = budget.average_current_ma(&duty);
+        let h = budget.battery_life_hours(710.0, &duty);
+        println!("  {:<36} {:>6.3} mA -> {:>6.1} h ({:.1} days)", label, i, h, h / 24.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Tables II, III and IV**: correlation between the touch
+//! device and the traditional thoracic setup, per subject, in each of the
+//! three arm positions.
+//!
+//! ```text
+//! cargo run --release -p cardiotouch-bench --bin tables2_4_correlation [-- --quick]
+//! ```
+
+use cardiotouch::report;
+use cardiotouch_bench::{quick_flag, reference_study};
+
+fn main() {
+    let outcome = reference_study(quick_flag());
+    for table in &outcome.correlation_tables {
+        println!("{}", report::correlation_table(table));
+    }
+    println!(
+        "paper: Position 1 r = 0.845-0.983, Position 2 r = 0.846-0.994, Position 3 r = 0.692-0.991 (lowest overall)"
+    );
+}

@@ -1,0 +1,297 @@
+//! Hand-rolled argument parsing (no external parser dependency): the
+//! surface is four subcommands with a handful of `--key value` options.
+
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Simulate one session and write it as recording CSV.
+    Simulate {
+        /// Subject index, 1-based (1–5 in the reference population).
+        subject: usize,
+        /// Arm position, 1–3.
+        position: usize,
+        /// Injection frequency, hertz.
+        freq_hz: f64,
+        /// Recording duration, seconds.
+        seconds: f64,
+        /// Random seed.
+        seed: u64,
+        /// Output path (`-` for stdout).
+        out: String,
+    },
+    /// Analyze a recording CSV and print/emit per-beat parameters.
+    Analyze {
+        /// Input recording path.
+        input: String,
+        /// Optional per-beat CSV output path.
+        beats_out: Option<String>,
+        /// Enable the SQI morphology gate.
+        sqi: bool,
+        /// Thoracic-equivalent Z0 for the SV formulas, ohms.
+        hemo_z0: Option<f64>,
+    },
+    /// Rerun the paper's position study and print every table/figure.
+    Study {
+        /// Use shortened (12 s) sessions.
+        quick: bool,
+    },
+    /// Print the Table-I power model and battery-life figures.
+    Power,
+    /// Print usage.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+cardiotouch — touch-based ICG/ECG simulation and analysis
+
+USAGE:
+  cardiotouch simulate [--subject N] [--position N] [--freq HZ]
+                       [--seconds S] [--seed N] [--out FILE]
+  cardiotouch analyze <recording.csv> [--beats-out FILE] [--sqi]
+                       [--hemo-z0 OHM]
+  cardiotouch study [--quick]
+  cardiotouch power
+  cardiotouch help
+";
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseArgsError`] with a user-facing message for unknown
+/// subcommands, unknown flags, missing values or out-of-range numbers.
+pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
+    let mut it = args.iter();
+    let sub = match it.next() {
+        Some(s) => s.as_str(),
+        None => return Ok(Command::Help),
+    };
+    let rest: Vec<&String> = it.collect();
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "power" => {
+            expect_no_args(&rest)?;
+            Ok(Command::Power)
+        }
+        "study" => {
+            let mut quick = false;
+            for a in &rest {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    other => return Err(unknown_flag("study", other)),
+                }
+            }
+            Ok(Command::Study { quick })
+        }
+        "simulate" => {
+            let mut subject = 1usize;
+            let mut position = 1usize;
+            let mut freq_hz = 50_000.0;
+            let mut seconds = 30.0;
+            let mut seed = 7u64;
+            let mut out = "-".to_owned();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = |i: usize| -> Result<&String, ParseArgsError> {
+                    rest.get(i + 1)
+                        .copied()
+                        .ok_or_else(|| ParseArgsError(format!("{flag} requires a value")))
+                };
+                match flag {
+                    "--subject" => subject = parse_num(flag, value(i)?)?,
+                    "--position" => position = parse_num(flag, value(i)?)?,
+                    "--freq" => freq_hz = parse_num(flag, value(i)?)?,
+                    "--seconds" => seconds = parse_num(flag, value(i)?)?,
+                    "--seed" => seed = parse_num(flag, value(i)?)?,
+                    "--out" => out = value(i)?.clone(),
+                    other => return Err(unknown_flag("simulate", other)),
+                }
+                i += 2;
+            }
+            if !(1..=5).contains(&subject) {
+                return Err(ParseArgsError("--subject must be 1..=5".into()));
+            }
+            if !(1..=3).contains(&position) {
+                return Err(ParseArgsError("--position must be 1..=3".into()));
+            }
+            Ok(Command::Simulate {
+                subject,
+                position,
+                freq_hz,
+                seconds,
+                seed,
+                out,
+            })
+        }
+        "analyze" => {
+            let input = rest
+                .first()
+                .ok_or_else(|| ParseArgsError("analyze requires a recording path".into()))?
+                .to_string();
+            let mut beats_out = None;
+            let mut sqi = false;
+            let mut hemo_z0 = None;
+            let mut i = 1;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                match flag {
+                    "--sqi" => {
+                        sqi = true;
+                        i += 1;
+                    }
+                    "--beats-out" => {
+                        beats_out = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| {
+                                    ParseArgsError("--beats-out requires a value".into())
+                                })?
+                                .to_string(),
+                        );
+                        i += 2;
+                    }
+                    "--hemo-z0" => {
+                        let v = rest.get(i + 1).ok_or_else(|| {
+                            ParseArgsError("--hemo-z0 requires a value".into())
+                        })?;
+                        hemo_z0 = Some(parse_num("--hemo-z0", v)?);
+                        i += 2;
+                    }
+                    other => return Err(unknown_flag("analyze", other)),
+                }
+            }
+            Ok(Command::Analyze {
+                input,
+                beats_out,
+                sqi,
+                hemo_z0,
+            })
+        }
+        other => Err(ParseArgsError(format!(
+            "unknown subcommand `{other}` (try `cardiotouch help`)"
+        ))),
+    }
+}
+
+fn expect_no_args(rest: &[&String]) -> Result<(), ParseArgsError> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(ParseArgsError(format!("unexpected argument `{}`", rest[0])))
+    }
+}
+
+fn unknown_flag(sub: &str, flag: &str) -> ParseArgsError {
+    ParseArgsError(format!("unknown flag `{flag}` for `{sub}`"))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseArgsError> {
+    v.parse()
+        .map_err(|_| ParseArgsError(format!("{flag}: cannot parse `{v}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Command, ParseArgsError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        parse(&owned)
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(p(&[]).unwrap(), Command::Help);
+        assert_eq!(p(&["help"]).unwrap(), Command::Help);
+        assert_eq!(p(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn simulate_defaults_and_overrides() {
+        let c = p(&["simulate"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Simulate {
+                subject: 1,
+                position: 1,
+                freq_hz: 50_000.0,
+                seconds: 30.0,
+                seed: 7,
+                out: "-".into()
+            }
+        );
+        let c = p(&[
+            "simulate", "--subject", "3", "--position", "2", "--freq", "10000", "--seconds",
+            "12", "--seed", "99", "--out", "rec.csv",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Simulate {
+                subject: 3,
+                position: 2,
+                freq_hz: 10_000.0,
+                seconds: 12.0,
+                seed: 99,
+                out: "rec.csv".into()
+            }
+        );
+    }
+
+    #[test]
+    fn simulate_validates_ranges() {
+        assert!(p(&["simulate", "--subject", "9"]).is_err());
+        assert!(p(&["simulate", "--position", "0"]).is_err());
+        assert!(p(&["simulate", "--seed"]).is_err());
+        assert!(p(&["simulate", "--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn analyze_forms() {
+        assert_eq!(
+            p(&["analyze", "rec.csv"]).unwrap(),
+            Command::Analyze {
+                input: "rec.csv".into(),
+                beats_out: None,
+                sqi: false,
+                hemo_z0: None
+            }
+        );
+        assert_eq!(
+            p(&["analyze", "rec.csv", "--sqi", "--beats-out", "b.csv", "--hemo-z0", "28"])
+                .unwrap(),
+            Command::Analyze {
+                input: "rec.csv".into(),
+                beats_out: Some("b.csv".into()),
+                sqi: true,
+                hemo_z0: Some(28.0)
+            }
+        );
+        assert!(p(&["analyze"]).is_err());
+        assert!(p(&["analyze", "rec.csv", "--hemo-z0", "abc"]).is_err());
+    }
+
+    #[test]
+    fn study_and_power() {
+        assert_eq!(p(&["study"]).unwrap(), Command::Study { quick: false });
+        assert_eq!(p(&["study", "--quick"]).unwrap(), Command::Study { quick: true });
+        assert_eq!(p(&["power"]).unwrap(), Command::Power);
+        assert!(p(&["power", "extra"]).is_err());
+        assert!(p(&["frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! `cardiotouch` — command-line front end to the workspace.
+//!
+//! ```text
+//! cardiotouch simulate --subject 2 --position 1 --out rec.csv
+//! cardiotouch analyze rec.csv --beats-out beats.csv
+//! cardiotouch study --quick
+//! cardiotouch power
+//! ```
+
+mod args;
+
+use args::{parse, Command, USAGE};
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::experiment::{run_position_study, StudyConfig};
+use cardiotouch::io::{read_recording_csv, write_beats_csv, write_recording_csv};
+use cardiotouch::pipeline::Pipeline;
+use cardiotouch::report;
+use cardiotouch::respiration::estimate_respiration_rate;
+use cardiotouch_device::mcu::CycleBudget;
+use cardiotouch_device::power::{DutyCycle, PowerBudget};
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Command::Power => {
+            let budget = PowerBudget::paper_table_i();
+            let duty = CycleBudget::paper_pipeline().duty_cycle(250.0, 70.0);
+            println!("CPU duty cycle (float pipeline): {:.1} %", duty * 100.0);
+            println!(
+                "CPU duty cycle (Q15 pipeline):   {:.1} %",
+                CycleBudget::paper_pipeline_q15().duty_cycle(250.0, 70.0) * 100.0
+            );
+            for (label, d) in [
+                ("continuous (paper worst case)", DutyCycle::paper_worst_case()),
+                ("continuous (paper best case)", DutyCycle::paper_best_case()),
+                ("raw streaming", DutyCycle::raw_streaming()),
+            ] {
+                println!(
+                    "{label:<32} {:6.3} mA -> {:6.1} h on 710 mAh",
+                    budget.average_current_ma(&d),
+                    budget.battery_life_hours(710.0, &d)
+                );
+            }
+            Ok(())
+        }
+        Command::Study { quick } => {
+            let mut config = StudyConfig::paper_default();
+            if quick {
+                config.protocol = Protocol {
+                    duration_s: 12.0,
+                    ..Protocol::paper_default()
+                };
+            }
+            let outcome = run_position_study(&Population::reference_five(), &config)?;
+            for table in &outcome.correlation_tables {
+                println!("{}", report::correlation_table(table));
+            }
+            println!("{}", report::bioimpedance_profiles(&outcome.profiles));
+            println!("{}", report::relative_errors(&outcome.errors));
+            println!("{}", report::hemodynamics(&outcome.hemodynamics));
+            print!("{}", report::summary(&outcome.summary));
+            Ok(())
+        }
+        Command::Simulate {
+            subject,
+            position,
+            freq_hz,
+            seconds,
+            seed,
+            out,
+        } => {
+            let population = Population::reference_five();
+            let position = match position {
+                1 => Position::One,
+                2 => Position::Two,
+                _ => Position::Three,
+            };
+            let protocol = Protocol {
+                duration_s: seconds,
+                ..Protocol::paper_default()
+            };
+            let rec = PairedRecording::generate(
+                &population.subjects()[subject - 1],
+                position,
+                freq_hz,
+                &protocol,
+                seed,
+            )?;
+            if out == "-" {
+                let stdout = std::io::stdout();
+                write_recording_csv(
+                    stdout.lock(),
+                    protocol.fs,
+                    rec.device_ecg(),
+                    rec.device_z(),
+                )?;
+            } else {
+                let f = BufWriter::new(File::create(&out)?);
+                write_recording_csv(f, protocol.fs, rec.device_ecg(), rec.device_z())?;
+                eprintln!(
+                    "wrote {} samples ({seconds} s at {} Hz) to {out}",
+                    rec.device_ecg().len(),
+                    protocol.fs
+                );
+            }
+            Ok(())
+        }
+        Command::Analyze {
+            input,
+            beats_out,
+            sqi,
+            hemo_z0,
+        } => {
+            let rec = read_recording_csv(BufReader::new(File::open(&input)?))?;
+            let fs = rec.fs.round();
+            let mut cfg = PipelineConfig::paper_default(fs);
+            if sqi {
+                cfg = cfg.with_sqi_gate(cardiotouch_icg::quality::DEFAULT_SQI_THRESHOLD);
+            }
+            if let Some(z0) = hemo_z0 {
+                cfg = cfg.with_hemo_z0(z0);
+            }
+            let analysis = Pipeline::new(cfg)?.analyze(&rec.ecg_mv, &rec.z_ohm)?;
+            let st = analysis.intervals()?;
+            println!("{input}: {} samples at {fs} Hz", rec.ecg_mv.len());
+            println!("  beats analysed : {}", analysis.beats().len());
+            println!("  HR             : {:6.1} bpm", analysis.mean_hr_bpm()?);
+            println!("  Z0             : {:6.1} ohm", analysis.z0_ohm());
+            println!("  PEP            : {:6.1} ± {:.1} ms", st.pep_mean_s * 1e3, st.pep_sd_s * 1e3);
+            println!("  LVET           : {:6.1} ± {:.1} ms", st.lvet_mean_s * 1e3, st.lvet_sd_s * 1e3);
+            if let Ok(resp) = estimate_respiration_rate(&rec.z_ohm, fs) {
+                println!(
+                    "  respiration    : {:6.1} breaths/min (confidence {:.2})",
+                    resp.rate_brpm, resp.confidence
+                );
+            }
+            if let Some(path) = beats_out {
+                let mut f = BufWriter::new(File::create(&path)?);
+                write_beats_csv(&mut f, fs, analysis.beats())?;
+                f.flush()?;
+                eprintln!("wrote {} beats to {path}", analysis.beats().len());
+            }
+            Ok(())
+        }
+    }
+}

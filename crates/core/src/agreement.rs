@@ -1,0 +1,254 @@
+//! Method-agreement analysis (Bland–Altman).
+//!
+//! The paper validates the touch measurement against the traditional
+//! electrode configuration with Pearson correlation; the standard
+//! complementary statistic in the method-comparison literature is the
+//! Bland–Altman analysis — the bias between paired measurements and the
+//! 95 % limits of agreement. This module provides it, and
+//! [`run_agreement_study`] applies it beat-by-beat to LVET and PEP
+//! measured simultaneously through the touch path and the traditional
+//! path of the same subjects.
+
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::PairedRecording;
+use cardiotouch_physio::subject::Population;
+
+use crate::config::PipelineConfig;
+use crate::experiment::StudyConfig;
+use crate::pipeline::{BeatReport, Pipeline};
+use crate::CoreError;
+
+/// Bias and 95 % limits of agreement between two paired methods.
+///
+/// # Example
+///
+/// ```
+/// use cardiotouch::agreement::BlandAltman;
+///
+/// # fn main() -> Result<(), cardiotouch::CoreError> {
+/// let method_a = [295.0, 301.0, 288.0, 310.0];
+/// let method_b = [290.0, 303.0, 285.0, 312.0];
+/// let ba = BlandAltman::from_pairs(&method_a, &method_b)?;
+/// assert!(ba.bias.abs() < 5.0);
+/// assert!(ba.zero_within_loa());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlandAltman {
+    /// Mean difference (method A − method B).
+    pub bias: f64,
+    /// Standard deviation of the differences.
+    pub sd: f64,
+    /// Lower 95 % limit of agreement, `bias − 1.96·sd`.
+    pub loa_lower: f64,
+    /// Upper 95 % limit of agreement, `bias + 1.96·sd`.
+    pub loa_upper: f64,
+    /// Number of pairs.
+    pub n: usize,
+}
+
+impl BlandAltman {
+    /// Computes the analysis from paired samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ChannelLengthMismatch`] when the series differ;
+    /// * [`CoreError::NotEnoughBeats`] with fewer than 2 pairs.
+    pub fn from_pairs(a: &[f64], b: &[f64]) -> Result<Self, CoreError> {
+        if a.len() != b.len() {
+            return Err(CoreError::ChannelLengthMismatch {
+                ecg_len: a.len(),
+                z_len: b.len(),
+            });
+        }
+        if a.len() < 2 {
+            return Err(CoreError::NotEnoughBeats {
+                found: a.len(),
+                required: 2,
+            });
+        }
+        let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+        let n = diffs.len() as f64;
+        let bias = diffs.iter().sum::<f64>() / n;
+        let sd = (diffs.iter().map(|d| (d - bias) * (d - bias)).sum::<f64>() / (n - 1.0)).sqrt();
+        Ok(Self {
+            bias,
+            sd,
+            loa_lower: bias - 1.96 * sd,
+            loa_upper: bias + 1.96 * sd,
+            n: diffs.len(),
+        })
+    }
+
+    /// `true` when zero lies inside the limits of agreement (no
+    /// systematic disagreement at the 95 % level).
+    #[must_use]
+    pub fn zero_within_loa(&self) -> bool {
+        self.loa_lower <= 0.0 && 0.0 <= self.loa_upper
+    }
+}
+
+/// Outcome of the touch-vs-traditional agreement study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementOutcome {
+    /// Bland–Altman over the paired beats: LVET, milliseconds
+    /// (touch − traditional).
+    pub lvet_ms: BlandAltman,
+    /// Bland–Altman over the paired beats: PEP, milliseconds
+    /// (touch − traditional).
+    pub pep_ms: BlandAltman,
+    /// Pearson correlation of the **per-subject mean** LVET (beat-level
+    /// correlation is dominated by independent detection jitter, so the
+    /// subject level is where correlation is informative).
+    pub lvet_correlation: f64,
+    /// Pearson correlation of the per-subject mean PEP.
+    pub pep_correlation: f64,
+}
+
+/// Matches beats of two analyses by R-peak proximity (±3 samples) and
+/// returns the paired (touch, traditional) values via `get`.
+fn pair_beats(
+    touch: &[BeatReport],
+    traditional: &[BeatReport],
+    get: impl Fn(&BeatReport) -> f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for t in touch {
+        if !t.physiological {
+            continue;
+        }
+        if let Some(m) = traditional
+            .iter()
+            .find(|m| m.physiological && m.r.abs_diff(t.r) <= 3)
+        {
+            a.push(get(t));
+            b.push(get(m));
+        }
+    }
+    (a, b)
+}
+
+/// Runs the agreement study: every subject, Position 1 at 50 kHz, beats
+/// measured simultaneously through the touch and traditional paths (both
+/// referenced to the device ECG, as the device records the only ECG).
+///
+/// # Errors
+///
+/// Propagates generation/pipeline errors and the too-few-pairs condition.
+pub fn run_agreement_study(
+    population: &Population,
+    config: &StudyConfig,
+) -> Result<AgreementOutcome, CoreError> {
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(config.protocol.fs))?;
+    let mut lvet_touch = Vec::new();
+    let mut lvet_trad = Vec::new();
+    let mut pep_touch = Vec::new();
+    let mut pep_trad = Vec::new();
+    let mut subj_lvet: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    let mut subj_pep: (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+
+    for subject in population.subjects() {
+        let rec = PairedRecording::generate(
+            subject,
+            Position::One,
+            50_000.0,
+            &config.protocol,
+            config.seed,
+        )?;
+        let touch = pipeline.analyze(rec.device_ecg(), rec.device_z())?;
+        let traditional = pipeline.analyze(rec.device_ecg(), rec.traditional_z())?;
+        let (a, b) = pair_beats(touch.beats(), traditional.beats(), |r| r.lvet_s * 1e3);
+        if !a.is_empty() {
+            subj_lvet.0.push(a.iter().sum::<f64>() / a.len() as f64);
+            subj_lvet.1.push(b.iter().sum::<f64>() / b.len() as f64);
+        }
+        lvet_touch.extend(a);
+        lvet_trad.extend(b);
+        let (a, b) = pair_beats(touch.beats(), traditional.beats(), |r| r.pep_s * 1e3);
+        if !a.is_empty() {
+            subj_pep.0.push(a.iter().sum::<f64>() / a.len() as f64);
+            subj_pep.1.push(b.iter().sum::<f64>() / b.len() as f64);
+        }
+        pep_touch.extend(a);
+        pep_trad.extend(b);
+    }
+
+    Ok(AgreementOutcome {
+        lvet_ms: BlandAltman::from_pairs(&lvet_touch, &lvet_trad)?,
+        pep_ms: BlandAltman::from_pairs(&pep_touch, &pep_trad)?,
+        lvet_correlation: cardiotouch_dsp::stats::pearson(&subj_lvet.0, &subj_lvet.1)?,
+        pep_correlation: cardiotouch_dsp::stats::pearson(&subj_pep.0, &subj_pep.1)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_physio::scenario::Protocol;
+
+    #[test]
+    fn bland_altman_basics() {
+        let a = [10.0, 12.0, 11.0, 13.0];
+        let b = [9.0, 11.5, 10.0, 12.5];
+        let ba = BlandAltman::from_pairs(&a, &b).unwrap();
+        assert_eq!(ba.n, 4);
+        assert!((ba.bias - 0.75).abs() < 1e-12);
+        assert!(ba.loa_lower < ba.bias && ba.bias < ba.loa_upper);
+    }
+
+    #[test]
+    fn identical_series_have_zero_bias() {
+        let a = [1.0, 2.0, 3.0];
+        let ba = BlandAltman::from_pairs(&a, &a).unwrap();
+        assert_eq!(ba.bias, 0.0);
+        assert_eq!(ba.sd, 0.0);
+        assert!(ba.zero_within_loa());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(BlandAltman::from_pairs(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(BlandAltman::from_pairs(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn agreement_study_runs_and_is_sane() {
+        let config = StudyConfig {
+            protocol: Protocol {
+                duration_s: 15.0,
+                ..Protocol::paper_default()
+            },
+            ..StudyConfig::paper_default()
+        };
+        let outcome = run_agreement_study(&Population::reference_five(), &config).unwrap();
+        // plenty of paired beats across five subjects
+        assert!(outcome.lvet_ms.n > 40, "only {} LVET pairs", outcome.lvet_ms.n);
+        // The two paths measure the same hearts, so the Bland–Altman bias
+        // must be modest and the limits of agreement bounded. (The
+        // subject-level correlation is reported but not asserted tightly:
+        // with N = 5 subjects whose true LVET spread (~30 ms) matches the
+        // per-channel detection bias spread, it is statistically
+        // unstable.)
+        assert!(
+            outcome.lvet_ms.bias.abs() < 25.0,
+            "LVET bias {} ms",
+            outcome.lvet_ms.bias
+        );
+        assert!(
+            outcome.pep_ms.bias.abs() < 25.0,
+            "PEP bias {} ms",
+            outcome.pep_ms.bias
+        );
+        // beat-level differences carry both channels' detection jitter
+        // (~±2 samples each on B and X → σ ≈ 50 ms); the LoA reflect that
+        assert!(
+            outcome.lvet_ms.loa_upper - outcome.lvet_ms.loa_lower < 250.0,
+            "LVET limits of agreement too wide: {:?}",
+            outcome.lvet_ms
+        );
+        assert!((-1.0..=1.0).contains(&outcome.lvet_correlation));
+        assert!((-1.0..=1.0).contains(&outcome.pep_correlation));
+    }
+}

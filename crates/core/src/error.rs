@@ -1,0 +1,130 @@
+use std::fmt;
+
+/// Error type for the top-level pipeline and experiment runners.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The two input channels differ in length.
+    ChannelLengthMismatch {
+        /// ECG channel length.
+        ecg_len: usize,
+        /// Impedance channel length.
+        z_len: usize,
+    },
+    /// The recording contains too few analysable beats.
+    NotEnoughBeats {
+        /// Beats found.
+        found: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Violated constraint.
+        constraint: &'static str,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(cardiotouch_dsp::DspError),
+    /// A physiology synthesizer failed.
+    Physio(cardiotouch_physio::PhysioError),
+    /// A device model failed.
+    Device(cardiotouch_device::DeviceError),
+    /// The ECG chain failed.
+    Ecg(cardiotouch_ecg::EcgError),
+    /// The ICG chain failed.
+    Icg(cardiotouch_icg::IcgError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ChannelLengthMismatch { ecg_len, z_len } => write!(
+                f,
+                "ecg channel has {ecg_len} samples but impedance channel has {z_len}"
+            ),
+            CoreError::NotEnoughBeats { found, required } => {
+                write!(f, "found {found} analysable beats but {required} are required")
+            }
+            CoreError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
+            CoreError::Dsp(e) => write!(f, "dsp error: {e}"),
+            CoreError::Physio(e) => write!(f, "physiology error: {e}"),
+            CoreError::Device(e) => write!(f, "device error: {e}"),
+            CoreError::Ecg(e) => write!(f, "ecg error: {e}"),
+            CoreError::Icg(e) => write!(f, "icg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Dsp(e) => Some(e),
+            CoreError::Physio(e) => Some(e),
+            CoreError::Device(e) => Some(e),
+            CoreError::Ecg(e) => Some(e),
+            CoreError::Icg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cardiotouch_dsp::DspError> for CoreError {
+    fn from(e: cardiotouch_dsp::DspError) -> Self {
+        CoreError::Dsp(e)
+    }
+}
+
+impl From<cardiotouch_physio::PhysioError> for CoreError {
+    fn from(e: cardiotouch_physio::PhysioError) -> Self {
+        CoreError::Physio(e)
+    }
+}
+
+impl From<cardiotouch_device::DeviceError> for CoreError {
+    fn from(e: cardiotouch_device::DeviceError) -> Self {
+        CoreError::Device(e)
+    }
+}
+
+impl From<cardiotouch_ecg::EcgError> for CoreError {
+    fn from(e: cardiotouch_ecg::EcgError) -> Self {
+        CoreError::Ecg(e)
+    }
+}
+
+impl From<cardiotouch_icg::IcgError> for CoreError {
+    fn from(e: cardiotouch_icg::IcgError) -> Self {
+        CoreError::Icg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = CoreError::from(cardiotouch_dsp::DspError::InputTooShort { len: 0, min_len: 1 });
+        assert!(e.to_string().contains("dsp"));
+        assert!(std::error::Error::source(&e).is_some());
+        let m = CoreError::ChannelLengthMismatch {
+            ecg_len: 10,
+            z_len: 20,
+        };
+        assert!(m.to_string().contains("10") && m.to_string().contains("20"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

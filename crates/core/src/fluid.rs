@@ -1,0 +1,329 @@
+//! Fluid-status trend monitoring — the clinical application the paper
+//! builds toward.
+//!
+//! CHF decompensation "is usually preceded by an increase of fluid in the
+//! thoracic cavity" (paper, introduction), which shows up as a *falling*
+//! base impedance Z0 / rising thoracic fluid content TFC = 1000/Z0 days
+//! before the event — earlier and more reliably than weight gain \[2\],
+//! \[8\], \[10\]. [`TrendMonitor`] implements the corresponding alerting
+//! policy over daily spot-check measurements: it learns a personal
+//! baseline from the first measurements and raises an alert when TFC
+//! rises persistently above it.
+
+use crate::CoreError;
+
+/// State of the monitor after ingesting a measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FluidStatus {
+    /// Still collecting the personal baseline.
+    Learning {
+        /// Measurements still needed before the baseline is set.
+        remaining: usize,
+    },
+    /// TFC within the personal band.
+    Stable {
+        /// Relative TFC deviation from baseline (positive = wetter).
+        deviation: f64,
+    },
+    /// TFC elevated but not yet persistent.
+    Watch {
+        /// Relative TFC deviation from baseline.
+        deviation: f64,
+        /// Consecutive elevated measurements so far.
+        streak: usize,
+    },
+    /// Persistent TFC elevation — the early-decompensation alert.
+    Alert {
+        /// Relative TFC deviation from baseline.
+        deviation: f64,
+    },
+}
+
+/// Configuration of the trend monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendConfig {
+    /// Measurements used to learn the personal baseline.
+    pub baseline_measurements: usize,
+    /// Relative TFC elevation that counts as "elevated" (e.g. 0.05 =
+    /// 5 % above baseline).
+    pub elevation_threshold: f64,
+    /// Consecutive elevated measurements required for an alert.
+    pub persistence: usize,
+}
+
+impl Default for TrendConfig {
+    fn default() -> Self {
+        Self {
+            baseline_measurements: 5,
+            elevation_threshold: 0.05,
+            persistence: 3,
+        }
+    }
+}
+
+/// Watches daily Z0 measurements for persistent TFC elevation.
+///
+/// # Example
+///
+/// ```
+/// use cardiotouch::fluid::{FluidStatus, TrendConfig, TrendMonitor};
+///
+/// # fn main() -> Result<(), cardiotouch::CoreError> {
+/// let mut monitor = TrendMonitor::new(TrendConfig::default())?;
+/// for _ in 0..5 {
+///     monitor.ingest(30.0)?; // learn the personal baseline
+/// }
+/// // three consecutive wet readings escalate to an alert
+/// monitor.ingest(27.0)?;
+/// monitor.ingest(27.0)?;
+/// assert!(matches!(monitor.ingest(27.0)?, FluidStatus::Alert { .. }));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendMonitor {
+    config: TrendConfig,
+    baseline_tfc: Option<f64>,
+    learning: Vec<f64>,
+    streak: usize,
+}
+
+impl TrendMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a zero baseline count,
+    /// non-positive threshold or zero persistence.
+    pub fn new(config: TrendConfig) -> Result<Self, CoreError> {
+        if config.baseline_measurements == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "baseline_measurements",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        if !(config.elevation_threshold > 0.0 && config.elevation_threshold.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "elevation_threshold",
+                value: config.elevation_threshold,
+                constraint: "must be positive and finite",
+            });
+        }
+        if config.persistence == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "persistence",
+                value: 0.0,
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(Self {
+            config,
+            baseline_tfc: None,
+            learning: Vec::new(),
+            streak: 0,
+        })
+    }
+
+    /// The learned personal baseline TFC, once available (kΩ⁻¹).
+    #[must_use]
+    pub fn baseline_tfc(&self) -> Option<f64> {
+        self.baseline_tfc
+    }
+
+    /// Ingests one measurement's Z0 (ohms) and returns the updated
+    /// status.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive Z0.
+    pub fn ingest(&mut self, z0_ohm: f64) -> Result<FluidStatus, CoreError> {
+        if !(z0_ohm > 0.0 && z0_ohm.is_finite()) {
+            return Err(CoreError::InvalidParameter {
+                name: "z0_ohm",
+                value: z0_ohm,
+                constraint: "must be positive and finite",
+            });
+        }
+        let tfc = 1000.0 / z0_ohm;
+        let Some(baseline) = self.baseline_tfc else {
+            self.learning.push(tfc);
+            if self.learning.len() >= self.config.baseline_measurements {
+                self.baseline_tfc =
+                    Some(self.learning.iter().sum::<f64>() / self.learning.len() as f64);
+            }
+            return Ok(FluidStatus::Learning {
+                remaining: self
+                    .config
+                    .baseline_measurements
+                    .saturating_sub(self.learning.len()),
+            });
+        };
+        let deviation = tfc / baseline - 1.0;
+        if deviation >= self.config.elevation_threshold {
+            self.streak += 1;
+            if self.streak >= self.config.persistence {
+                Ok(FluidStatus::Alert { deviation })
+            } else {
+                Ok(FluidStatus::Watch {
+                    deviation,
+                    streak: self.streak,
+                })
+            }
+        } else {
+            self.streak = 0;
+            Ok(FluidStatus::Stable { deviation })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> TrendMonitor {
+        TrendMonitor::new(TrendConfig::default()).expect("default config is valid")
+    }
+
+    #[test]
+    fn learns_baseline_then_reports_stable() {
+        let mut m = monitor();
+        for day in 0..5 {
+            let s = m.ingest(30.0).unwrap();
+            if day < 4 {
+                assert!(matches!(s, FluidStatus::Learning { .. }), "{s:?}");
+            }
+        }
+        assert!(m.baseline_tfc().is_some());
+        let s = m.ingest(30.1).unwrap();
+        assert!(matches!(s, FluidStatus::Stable { .. }), "{s:?}");
+    }
+
+    #[test]
+    fn persistent_elevation_alerts() {
+        let mut m = monitor();
+        for _ in 0..5 {
+            m.ingest(30.0).unwrap();
+        }
+        // fluid accumulation: Z0 falls 30 → 27 (TFC +11 %)
+        let s1 = m.ingest(27.0).unwrap();
+        assert!(matches!(s1, FluidStatus::Watch { streak: 1, .. }), "{s1:?}");
+        let s2 = m.ingest(26.8).unwrap();
+        assert!(matches!(s2, FluidStatus::Watch { streak: 2, .. }), "{s2:?}");
+        let s3 = m.ingest(26.5).unwrap();
+        assert!(matches!(s3, FluidStatus::Alert { .. }), "{s3:?}");
+    }
+
+    #[test]
+    fn transient_dip_does_not_alert() {
+        let mut m = monitor();
+        for _ in 0..5 {
+            m.ingest(30.0).unwrap();
+        }
+        assert!(matches!(m.ingest(27.0).unwrap(), FluidStatus::Watch { .. }));
+        // recovery resets the streak
+        assert!(matches!(m.ingest(30.0).unwrap(), FluidStatus::Stable { .. }));
+        assert!(matches!(m.ingest(27.0).unwrap(), FluidStatus::Watch { streak: 1, .. }));
+    }
+
+    #[test]
+    fn dehydration_is_not_an_alert() {
+        // Z0 rising (TFC falling) is the dry direction — no alert.
+        let mut m = monitor();
+        for _ in 0..5 {
+            m.ingest(30.0).unwrap();
+        }
+        for _ in 0..5 {
+            assert!(matches!(
+                m.ingest(34.0).unwrap(),
+                FluidStatus::Stable { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(TrendMonitor::new(TrendConfig {
+            baseline_measurements: 0,
+            ..TrendConfig::default()
+        })
+        .is_err());
+        assert!(TrendMonitor::new(TrendConfig {
+            elevation_threshold: 0.0,
+            ..TrendConfig::default()
+        })
+        .is_err());
+        assert!(TrendMonitor::new(TrendConfig {
+            persistence: 0,
+            ..TrendConfig::default()
+        })
+        .is_err());
+        let mut m = monitor();
+        assert!(m.ingest(0.0).is_err());
+        assert!(m.ingest(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn end_to_end_with_fluid_overloaded_subject() {
+        // Simulated decompensation: daily 50 kHz spot checks; from day 8
+        // the subject accumulates thoracic fluid. The monitor must stay
+        // quiet before and alert after.
+        use crate::config::PipelineConfig;
+        use crate::pipeline::Pipeline;
+        use cardiotouch_physio::path::Position;
+        use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+        use cardiotouch_physio::subject::Population;
+
+        let population = Population::reference_five();
+        let subject = &population.subjects()[2];
+        let protocol = Protocol {
+            duration_s: 12.0,
+            ..Protocol::paper_default()
+        };
+        let pipeline = Pipeline::new(PipelineConfig::paper_default(protocol.fs)).unwrap();
+        // Follow the TRADITIONAL (chest) channel: thoracic fluid is a
+        // thorax-local signal, and the chest path is where Z0 reflects it
+        // most directly (on the touch path the arms dominate).
+        let mut m = TrendMonitor::new(TrendConfig {
+            baseline_measurements: 5,
+            elevation_threshold: 0.04,
+            persistence: 3,
+        })
+        .unwrap();
+        let mut alert_day = None;
+        for day in 0..16u64 {
+            let overload = if day >= 8 {
+                (0.03 * (day - 7) as f64).min(0.3)
+            } else {
+                0.0
+            };
+            let today = subject.with_fluid_overload(overload).unwrap();
+            let rec = PairedRecording::generate(
+                &today,
+                Position::One,
+                50_000.0,
+                &protocol,
+                1000 + day,
+            )
+            .unwrap();
+            let analysis = pipeline
+                .analyze(rec.device_ecg(), rec.traditional_z())
+                .unwrap();
+            let status = m.ingest(analysis.z0_ohm()).unwrap();
+            if matches!(status, FluidStatus::Alert { .. }) && alert_day.is_none() {
+                alert_day = Some(day);
+            }
+            if day < 8 {
+                assert!(
+                    !matches!(status, FluidStatus::Alert { .. }),
+                    "false alert on day {day}: {status:?}"
+                );
+            }
+        }
+        let alert = alert_day.expect("decompensation must be caught");
+        assert!(
+            (9..=14).contains(&alert),
+            "alert on day {alert}, expected a few days after onset (day 8)"
+        );
+    }
+}

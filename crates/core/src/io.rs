@@ -1,0 +1,281 @@
+//! Plain-text (CSV) interchange for recordings and beat reports.
+//!
+//! A downstream user adopting this library will want to run the pipeline
+//! over *their own* recordings and to export per-beat results to their
+//! plotting/statistics stack. This module provides the minimal, robust
+//! interchange: two-channel recording CSV in (`time_s,ecg_mv,z_ohm`
+//! header, one row per sample) and beat-report CSV out — no external
+//! parser dependencies, precise round-tripping, explicit errors with line
+//! numbers.
+
+use crate::pipeline::BeatReport;
+use crate::CoreError;
+use std::io::{BufRead, Write};
+
+/// A two-channel recording loaded from CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvRecording {
+    /// Sampling rate inferred from the time column, hertz.
+    pub fs: f64,
+    /// ECG channel, millivolts.
+    pub ecg_mv: Vec<f64>,
+    /// Impedance channel, ohms.
+    pub z_ohm: Vec<f64>,
+}
+
+/// Writes a recording as CSV (`time_s,ecg_mv,z_ohm`) to any writer;
+/// remember that a `&mut` reference to a writer is itself a writer.
+///
+/// # Errors
+///
+/// * [`CoreError::ChannelLengthMismatch`] when the channels differ;
+/// * [`CoreError::InvalidParameter`] for an unusable sampling rate or a
+///   failed write (wrapped as an I/O condition in the message).
+pub fn write_recording_csv<W: Write>(
+    mut w: W,
+    fs: f64,
+    ecg_mv: &[f64],
+    z_ohm: &[f64],
+) -> Result<(), CoreError> {
+    if ecg_mv.len() != z_ohm.len() {
+        return Err(CoreError::ChannelLengthMismatch {
+            ecg_len: ecg_mv.len(),
+            z_len: z_ohm.len(),
+        });
+    }
+    if !(fs > 0.0 && fs.is_finite()) {
+        return Err(CoreError::InvalidParameter {
+            name: "fs",
+            value: fs,
+            constraint: "must be positive and finite",
+        });
+    }
+    let io_err = |_| CoreError::InvalidParameter {
+        name: "writer",
+        value: 0.0,
+        constraint: "underlying writer failed",
+    };
+    writeln!(w, "time_s,ecg_mv,z_ohm").map_err(io_err)?;
+    for (i, (e, z)) in ecg_mv.iter().zip(z_ohm).enumerate() {
+        writeln!(w, "{:.6},{e:.9},{z:.9}", i as f64 / fs).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a recording from CSV written by [`write_recording_csv`] (or any
+/// file with the same three-column layout). The sampling rate is inferred
+/// from the median spacing of the time column.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] naming the offending line for
+/// malformed headers, rows with the wrong arity, unparsable numbers,
+/// non-monotone time stamps, or fewer than 2 samples.
+pub fn read_recording_csv<R: BufRead>(r: R) -> Result<CsvRecording, CoreError> {
+    let bad = |line: usize, constraint: &'static str| CoreError::InvalidParameter {
+        name: "csv line",
+        value: line as f64,
+        constraint,
+    };
+    let mut lines = r.lines().enumerate();
+    let header = match lines.next() {
+        Some((_, Ok(h))) => h,
+        _ => return Err(bad(1, "missing header")),
+    };
+    if header.trim() != "time_s,ecg_mv,z_ohm" {
+        return Err(bad(1, "header must be time_s,ecg_mv,z_ohm"));
+    }
+    let mut t = Vec::new();
+    let mut ecg = Vec::new();
+    let mut z = Vec::new();
+    for (i, line) in lines {
+        let line = line.map_err(|_| bad(i + 1, "unreadable line"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut cols = trimmed.split(',');
+        let mut next_num = || -> Result<f64, CoreError> {
+            cols.next()
+                .ok_or(bad(i + 1, "expected 3 columns"))?
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| bad(i + 1, "column is not a number"))
+        };
+        let ti = next_num()?;
+        let ei = next_num()?;
+        let zi = next_num()?;
+        if cols.next().is_some() {
+            return Err(bad(i + 1, "expected exactly 3 columns"));
+        }
+        if let Some(&prev) = t.last() {
+            if ti <= prev {
+                return Err(bad(i + 1, "time column must be strictly increasing"));
+            }
+        }
+        t.push(ti);
+        ecg.push(ei);
+        z.push(zi);
+    }
+    if t.len() < 2 {
+        return Err(bad(0, "need at least 2 samples"));
+    }
+    let mut dts: Vec<f64> = t.windows(2).map(|w| w[1] - w[0]).collect();
+    dts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let dt = dts[dts.len() / 2];
+    Ok(CsvRecording {
+        fs: 1.0 / dt,
+        ecg_mv: ecg,
+        z_ohm: z,
+    })
+}
+
+/// Writes per-beat reports as CSV, one row per beat.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when the writer fails.
+pub fn write_beats_csv<W: Write>(mut w: W, fs: f64, beats: &[BeatReport]) -> Result<(), CoreError> {
+    let io_err = |_| CoreError::InvalidParameter {
+        name: "writer",
+        value: 0.0,
+        constraint: "underlying writer failed",
+    };
+    writeln!(
+        w,
+        "t_r_s,hr_bpm,pep_ms,lvet_ms,dzdt_max,sv_kubicek_ml,co_l_per_min,physiological"
+    )
+    .map_err(io_err)?;
+    for b in beats {
+        writeln!(
+            w,
+            "{:.4},{:.2},{:.1},{:.1},{:.4},{:.2},{:.3},{}",
+            b.r as f64 / fs,
+            b.hr_bpm,
+            b.pep_s * 1e3,
+            b.lvet_s * 1e3,
+            b.dzdt_max,
+            b.sv_kubicek_ml,
+            b.co_l_per_min,
+            u8::from(b.physiological),
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn recording_round_trips() {
+        let fs = 250.0;
+        let ecg: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let z: Vec<f64> = (0..100).map(|i| 450.0 + (i as f64 * 0.05).cos()).collect();
+        let mut buf = Vec::new();
+        write_recording_csv(&mut buf, fs, &ecg, &z).unwrap();
+        let back = read_recording_csv(BufReader::new(buf.as_slice())).unwrap();
+        assert!((back.fs - fs).abs() < 1e-3);
+        assert_eq!(back.ecg_mv.len(), 100);
+        for (a, b) in back.ecg_mv.iter().zip(&ecg) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        for (a, b) in back.z_ohm.iter().zip(&z) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn writer_validates_inputs() {
+        let mut buf = Vec::new();
+        assert!(write_recording_csv(&mut buf, 250.0, &[1.0], &[1.0, 2.0]).is_err());
+        assert!(write_recording_csv(&mut buf, 0.0, &[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_malformed_input() {
+        let cases: &[&str] = &[
+            "",                                          // no header
+            "wrong,header,here\n0,1,2\n",                // bad header
+            "time_s,ecg_mv,z_ohm\n0,1\n",                // missing column
+            "time_s,ecg_mv,z_ohm\n0,1,2,3\n",            // extra column
+            "time_s,ecg_mv,z_ohm\n0,x,2\n",              // non-numeric
+            "time_s,ecg_mv,z_ohm\n0,1,2\n0,1,2\n",       // non-monotone time
+            "time_s,ecg_mv,z_ohm\n0,1,2\n",              // too short
+        ];
+        for c in cases {
+            assert!(
+                read_recording_csv(BufReader::new(c.as_bytes())).is_err(),
+                "accepted: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reader_skips_blank_lines() {
+        let text = "time_s,ecg_mv,z_ohm\n0.000,1,2\n\n0.004,3,4\n";
+        let rec = read_recording_csv(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(rec.ecg_mv, vec![1.0, 3.0]);
+        assert!((rec.fs - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beats_csv_has_one_row_per_beat() {
+        let beats = vec![crate::pipeline::BeatReport {
+            r: 250,
+            b: 275,
+            c: 300,
+            x: 350,
+            pep_s: 0.1,
+            lvet_s: 0.3,
+            hr_bpm: 70.0,
+            dzdt_max: 1.2,
+            sv_kubicek_ml: 80.0,
+            sv_sramek_ml: 75.0,
+            co_l_per_min: 5.6,
+            physiological: true,
+        }];
+        let mut buf = Vec::new();
+        write_beats_csv(&mut buf, 250.0, &beats).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().nth(1).unwrap().starts_with("1.0000,70.00,100.0,300.0"));
+    }
+
+    #[test]
+    fn csv_feeds_the_pipeline_end_to_end() {
+        use crate::config::PipelineConfig;
+        use crate::pipeline::Pipeline;
+        use cardiotouch_physio::path::Position;
+        use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+        use cardiotouch_physio::subject::Population;
+
+        let population = Population::reference_five();
+        let protocol = Protocol {
+            duration_s: 12.0,
+            ..Protocol::paper_default()
+        };
+        let rec = PairedRecording::generate(
+            &population.subjects()[0],
+            Position::One,
+            50_000.0,
+            &protocol,
+            4,
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_recording_csv(&mut buf, protocol.fs, rec.device_ecg(), rec.device_z()).unwrap();
+        let loaded = read_recording_csv(BufReader::new(buf.as_slice())).unwrap();
+        let pipeline = Pipeline::new(PipelineConfig::paper_default(loaded.fs.round())).unwrap();
+        let analysis = pipeline.analyze(&loaded.ecg_mv, &loaded.z_ohm).unwrap();
+        assert!(analysis.beats().len() > 8);
+        let mut out = Vec::new();
+        write_beats_csv(&mut out, loaded.fs, analysis.beats()).unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap().lines().count(),
+            analysis.beats().len() + 1
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Plain-text rendering of the study artifacts — the same rows and series
+//! the paper's tables and figures show, printable from the experiment
+//! binaries in `cardiotouch-bench`.
+
+use crate::experiment::{
+    BioimpedanceProfiles, CorrelationTable, HemodynamicsByPosition, RelativeErrors, StudySummary,
+};
+
+/// Renders one of Tables II–IV.
+#[must_use]
+pub fn correlation_table(table: &CorrelationTable) -> String {
+    let mut out = format!(
+        "TABLE: Correlation {} VS Thoracic bioimpedance\n{:<12} {:>22}\n",
+        table.position, "Subjects", "Correlation Coefficient"
+    );
+    for (name, r) in &table.rows {
+        out.push_str(&format!("{name:<12} {r:>22.4}\n"));
+    }
+    out.push_str(&format!(
+        "{:<12} {:>22.4}\n",
+        "(mean)",
+        table.mean()
+    ));
+    out
+}
+
+/// Renders the Fig 6/7 profiles as aligned columns.
+#[must_use]
+pub fn bioimpedance_profiles(p: &BioimpedanceProfiles) -> String {
+    let mut out = String::from(
+        "FIGURE 6/7: measured Z0 [ohm] vs injection frequency\n",
+    );
+    out.push_str(&format!("{:>10}", "f [kHz]"));
+    for f in &p.frequencies_hz {
+        out.push_str(&format!("{:>12.0}", f / 1e3));
+    }
+    out.push('\n');
+    let mut row = |label: &str, values: &[f64]| {
+        out.push_str(&format!("{label:>10}"));
+        for v in values {
+            out.push_str(&format!("{v:>12.2}"));
+        }
+        out.push('\n');
+    };
+    row("chest", &p.traditional);
+    row("pos 1", &p.device[0]);
+    row("pos 2", &p.device[1]);
+    row("pos 3", &p.device[2]);
+    out
+}
+
+/// Renders the Fig 8 error matrices (values in percent).
+#[must_use]
+pub fn relative_errors(e: &RelativeErrors) -> String {
+    let mut out = String::from("FIGURE 8: relative displacement errors [%]\n");
+    for (label, matrix) in [("e21", &e.e21), ("e23", &e.e23), ("e31", &e.e31)] {
+        out.push_str(&format!("-- {label} --\n{:>10}", "subject"));
+        for f in &e.frequencies_hz {
+            out.push_str(&format!("{:>10.0}k", f / 1e3));
+        }
+        out.push('\n');
+        for (si, name) in e.subjects.iter().enumerate() {
+            out.push_str(&format!("{name:>10}"));
+            for v in &matrix[si] {
+                out.push_str(&format!("{:>11.2}", v * 100.0));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders the Fig 9 hemodynamics rows.
+#[must_use]
+pub fn hemodynamics(h: &HemodynamicsByPosition) -> String {
+    let mut out = String::from("FIGURE 9: hemodynamic parameters (50 kHz injection)\n");
+    for (label, rows) in [("Position 1", &h.position1), ("Position 2", &h.position2)] {
+        out.push_str(&format!(
+            "-- {label} --\n{:<12}{:>10}{:>12}{:>12}\n",
+            "subject", "HR [bpm]", "LVET [ms]", "PEP [ms]"
+        ));
+        for r in rows {
+            out.push_str(&format!(
+                "{:<12}{:>10.1}{:>12.1}{:>12.1}\n",
+                r.subject, r.hr_bpm, r.lvet_ms, r.pep_ms
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the conclusion's aggregate claims.
+#[must_use]
+pub fn summary(s: &StudySummary) -> String {
+    format!(
+        "SUMMARY: mean correlation r = {:.1} % (min {:.1} %), worst-case displacement error = {:.1} % (paper: r ≈ 85 %, error < 20 %)\n",
+        s.mean_correlation * 100.0,
+        s.min_correlation * 100.0,
+        s.worst_error * 100.0
+    )
+}
+
+/// Renders a numeric series as a fixed-height ASCII chart (used by the
+/// Fig 5 waveform binary). Returns an empty string for an empty series.
+#[must_use]
+pub fn ascii_series(x: &[f64], height: usize) -> String {
+    if x.is_empty() || height == 0 {
+        return String::new();
+    }
+    let min = x.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let mut rows = vec![vec![b' '; x.len()]; height];
+    for (i, &v) in x.iter().enumerate() {
+        let level = (((v - min) / span) * (height - 1) as f64).round() as usize;
+        rows[height - 1 - level][i] = b'*';
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!("min {min:.3}  max {max:.3}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_physio::path::Position;
+
+    #[test]
+    fn correlation_table_renders_all_rows() {
+        let t = CorrelationTable {
+            position: Position::One,
+            rows: vec![
+                ("Subject 1".into(), 0.9081),
+                ("Subject 2".into(), 0.9471),
+            ],
+        };
+        let s = correlation_table(&t);
+        assert!(s.contains("Subject 1"));
+        assert!(s.contains("0.9081"));
+        assert!(s.contains("Position 1"));
+        assert!(s.contains("(mean)"));
+    }
+
+    #[test]
+    fn profiles_render_four_rows() {
+        let p = BioimpedanceProfiles {
+            frequencies_hz: vec![2e3, 10e3, 50e3, 100e3],
+            traditional: vec![20.0, 24.0, 22.0, 21.0],
+            device: [
+                vec![400.0, 480.0, 440.0, 420.0],
+                vec![420.0, 500.0, 460.0, 440.0],
+                vec![405.0, 485.0, 445.0, 425.0],
+            ],
+        };
+        let s = bioimpedance_profiles(&p);
+        assert!(s.contains("chest"));
+        assert!(s.contains("pos 3"));
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    fn errors_render_in_percent() {
+        let e = RelativeErrors {
+            frequencies_hz: vec![2e3],
+            subjects: vec!["Subject 1".into()],
+            e21: vec![vec![0.13]],
+            e23: vec![vec![0.10]],
+            e31: vec![vec![0.03]],
+        };
+        let s = relative_errors(&e);
+        assert!(s.contains("13.00"));
+        assert!(s.contains("e31"));
+    }
+
+    #[test]
+    fn summary_renders_percentages() {
+        let s = summary(&StudySummary {
+            mean_correlation: 0.874,
+            min_correlation: 0.69,
+            worst_error: 0.154,
+        });
+        assert!(s.contains("87.4"));
+        assert!(s.contains("15.4"));
+    }
+
+    #[test]
+    fn ascii_series_shape() {
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let s = ascii_series(&x, 8);
+        assert_eq!(s.lines().count(), 9);
+        assert!(s.contains('*'));
+        assert!(ascii_series(&[], 8).is_empty());
+    }
+}

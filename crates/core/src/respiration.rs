@@ -1,0 +1,153 @@
+//! Respiration-rate estimation from the impedance channel
+//! (impedance pneumography).
+//!
+//! The respiratory component the ICG chain works so hard to *remove* is
+//! itself a vital sign: breathing modulates the thoracic impedance far
+//! more strongly than the heart does, so the device can report the
+//! respiration rate for free from the same Z(t) it already acquires —
+//! a natural output for the CHF use case, where breathing-rate elevation
+//! is itself a decompensation symptom.
+
+use cardiotouch_dsp::iir::Butterworth;
+use cardiotouch_dsp::spectrum::goertzel;
+use cardiotouch_dsp::zero_phase::filtfilt_iir;
+
+use crate::CoreError;
+
+/// A respiration-rate estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RespirationEstimate {
+    /// Estimated rate, hertz.
+    pub rate_hz: f64,
+    /// The same rate in breaths per minute.
+    pub rate_brpm: f64,
+    /// Peak-to-total power ratio in the respiration band (0–1): how
+    /// dominant the detected line is. Below ~0.2 the estimate is
+    /// unreliable (irregular breathing or heavy motion).
+    pub confidence: f64,
+}
+
+/// Search band, hertz (4–48 breaths/min — the ambulatory range).
+pub const SEARCH_BAND_HZ: (f64, f64) = (0.07, 0.8);
+
+/// Estimates the respiration rate from a raw impedance record `z` (ohms)
+/// at sampling rate `fs`: isolate the 0.05–1 Hz band with a zero-phase
+/// Butterworth, scan the band with Goertzel at 0.01 Hz resolution, pick
+/// the dominant line.
+///
+/// # Errors
+///
+/// * [`CoreError::NotEnoughBeats`] (reused as a too-short condition)
+///   when the record is under 10 seconds — below that, the band
+///   resolution cannot separate breaths;
+/// * wrapped DSP errors otherwise.
+pub fn estimate_respiration_rate(z: &[f64], fs: f64) -> Result<RespirationEstimate, CoreError> {
+    if (z.len() as f64) < 10.0 * fs {
+        return Err(CoreError::NotEnoughBeats {
+            found: z.len(),
+            required: (10.0 * fs) as usize,
+        });
+    }
+    // detrend to keep the band-pass well-conditioned
+    let mean = z.iter().sum::<f64>() / z.len() as f64;
+    let centred: Vec<f64> = z.iter().map(|v| v - mean).collect();
+    let bp = Butterworth::bandpass(2, 0.05, 1.0, fs)?;
+    let band = filtfilt_iir(&bp, &centred)?;
+
+    // skip the edges where the slow band-pass still rings
+    let margin = (2.0 * fs) as usize;
+    let interior = &band[margin.min(band.len() / 4)..band.len() - margin.min(band.len() / 4)];
+
+    let mut powers = Vec::new();
+    let mut freqs = Vec::new();
+    let mut f = SEARCH_BAND_HZ.0;
+    while f <= SEARCH_BAND_HZ.1 {
+        powers.push(goertzel(interior, f, fs)?.magnitude().powi(2));
+        freqs.push(f);
+        f += 0.01;
+    }
+    let total: f64 = powers.iter().sum();
+    let peak = powers
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    // a real line leaks over neighbouring bins (the record holds a
+    // non-integer number of breaths), so confidence integrates ±2 bins
+    let lo = peak.saturating_sub(2);
+    let hi = (peak + 3).min(powers.len());
+    let line: f64 = powers[lo..hi].iter().sum();
+    let confidence = if total > 0.0 { line / total } else { 0.0 };
+    Ok(RespirationEstimate {
+        rate_hz: freqs[peak],
+        rate_brpm: freqs[peak] * 60.0,
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_physio::path::Position;
+    use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+    use cardiotouch_physio::subject::Population;
+
+    #[test]
+    fn recovers_every_subjects_breathing_rate() {
+        let population = Population::reference_five();
+        let protocol = Protocol::paper_default();
+        for subject in population.subjects() {
+            let rec =
+                PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 31)
+                    .expect("valid session");
+            let est = estimate_respiration_rate(rec.traditional_z(), protocol.fs)
+                .expect("valid record");
+            let truth = subject.resp().rate_hz;
+            assert!(
+                (est.rate_hz - truth).abs() < 0.03,
+                "{}: estimated {:.2} Hz vs truth {:.2} Hz",
+                subject.name(),
+                est.rate_hz,
+                truth
+            );
+            assert!(est.confidence > 0.15, "{}: confidence {}", subject.name(), est.confidence);
+            assert!((est.rate_brpm - est.rate_hz * 60.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn works_on_the_touch_channel_too() {
+        let population = Population::reference_five();
+        let protocol = Protocol::paper_default();
+        let subject = &population.subjects()[0];
+        let rec = PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 32)
+            .expect("valid session");
+        let est =
+            estimate_respiration_rate(rec.device_z(), protocol.fs).expect("valid record");
+        assert!(
+            (est.rate_hz - subject.resp().rate_hz).abs() < 0.04,
+            "estimated {:.2} vs {:.2}",
+            est.rate_hz,
+            subject.resp().rate_hz
+        );
+    }
+
+    #[test]
+    fn short_records_rejected() {
+        let z = vec![450.0; 100];
+        assert!(estimate_respiration_rate(&z, 250.0).is_err());
+    }
+
+    #[test]
+    fn pure_tone_yields_high_confidence() {
+        let fs = 250.0;
+        let n = (40.0 * fs) as usize;
+        let z: Vec<f64> = (0..n)
+            .map(|i| 450.0 + 0.5 * (2.0 * std::f64::consts::PI * 0.25 * i as f64 / fs).sin())
+            .collect();
+        let est = estimate_respiration_rate(&z, fs).unwrap();
+        assert!((est.rate_hz - 0.25).abs() < 0.015, "{}", est.rate_hz);
+        assert!(est.confidence > 0.5, "{}", est.confidence);
+    }
+}

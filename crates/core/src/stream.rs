@@ -1,0 +1,250 @@
+//! Streaming, beat-to-beat execution of the pipeline — the software
+//! architecture of the firmware flowchart (Fig 3).
+//!
+//! The embedded device cannot buffer a whole session; it processes a
+//! bounded window and emits each beat's parameters as soon as the beat
+//! completes, then ships them over BLE. [`BeatStream`] mirrors that:
+//! callers push sample chunks of any size and receive newly completed
+//! [`BeatReport`]s. Internally the stream keeps a sliding window (default
+//! 20 s — comfortably within the STM32L151's 48 KB RAM at 250 Hz), re-runs
+//! the block pipeline when at least one second of new data has arrived,
+//! and de-duplicates emissions by absolute R position.
+
+use crate::config::PipelineConfig;
+use crate::pipeline::{BeatReport, Pipeline};
+use crate::CoreError;
+
+/// Incremental beat-to-beat processor.
+#[derive(Debug, Clone)]
+pub struct BeatStream {
+    pipeline: Pipeline,
+    ecg: Vec<f64>,
+    z: Vec<f64>,
+    /// Absolute sample index of `ecg[0]`/`z[0]`.
+    base: usize,
+    /// Samples accumulated since the last analysis run.
+    pending: usize,
+    /// Absolute R index of the last emitted beat.
+    last_emitted_r: Option<usize>,
+    window_samples: usize,
+    hop_samples: usize,
+}
+
+impl BeatStream {
+    /// Creates a stream with the default 20 s window and 1 s re-analysis
+    /// hop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(config: PipelineConfig) -> Result<Self, CoreError> {
+        let fs = config.fs;
+        Ok(Self {
+            pipeline: Pipeline::new(config)?,
+            ecg: Vec::new(),
+            z: Vec::new(),
+            base: 0,
+            pending: 0,
+            last_emitted_r: None,
+            window_samples: (20.0 * fs) as usize,
+            hop_samples: fs as usize,
+        })
+    }
+
+    /// Absolute index of the next sample to be pushed.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.base + self.ecg.len()
+    }
+
+    /// Pushes one chunk of simultaneous samples and returns the beats that
+    /// completed since the previous call, in chronological order, with
+    /// indices in **absolute** (whole-session) coordinates.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ChannelLengthMismatch`] when the chunks differ in
+    ///   length;
+    /// * wrapped stage errors from the underlying pipeline (not-enough-
+    ///   beats conditions are treated as "nothing yet", not an error).
+    pub fn push(&mut self, ecg: &[f64], z: &[f64]) -> Result<Vec<BeatReport>, CoreError> {
+        if ecg.len() != z.len() {
+            return Err(CoreError::ChannelLengthMismatch {
+                ecg_len: ecg.len(),
+                z_len: z.len(),
+            });
+        }
+        self.ecg.extend_from_slice(ecg);
+        self.z.extend_from_slice(z);
+        self.pending += ecg.len();
+
+        // Trim to the sliding window.
+        if self.ecg.len() > self.window_samples {
+            let drop = self.ecg.len() - self.window_samples;
+            self.ecg.drain(..drop);
+            self.z.drain(..drop);
+            self.base += drop;
+        }
+
+        if self.pending < self.hop_samples
+            || self.ecg.len() < 4 * self.hop_samples
+        {
+            return Ok(Vec::new());
+        }
+        self.pending = 0;
+
+        let analysis = match self.pipeline.analyze(&self.ecg, &self.z) {
+            Ok(a) => a,
+            // A quiet or noisy window simply has nothing to emit yet.
+            Err(CoreError::NotEnoughBeats { .. }) => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+
+        let fs = self.pipeline.config().fs;
+        // Hold back beats whose X could still move when more context
+        // arrives (within ~1 s of the window end).
+        let settled_end = self.ecg.len().saturating_sub(fs as usize);
+        let mut out = Vec::new();
+        for b in analysis.beats() {
+            let abs_r = self.base + b.r;
+            if b.x >= settled_end {
+                continue;
+            }
+            if self.last_emitted_r.map_or(true, |last| abs_r > last) {
+                let mut report = *b;
+                report.r = abs_r;
+                report.b = self.base + b.b;
+                report.c = self.base + b.c;
+                report.x = self.base + b.x;
+                out.push(report);
+            }
+        }
+        if let Some(last) = out.last() {
+            self.last_emitted_r = Some(last.r);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_physio::path::Position;
+    use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+    use cardiotouch_physio::subject::Population;
+
+    fn recording(seed: u64) -> PairedRecording {
+        let population = Population::reference_five();
+        PairedRecording::generate(
+            &population.subjects()[0],
+            Position::One,
+            50_000.0,
+            &Protocol::paper_default(),
+            seed,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn streaming_emits_each_beat_once_in_order() {
+        let rec = recording(1);
+        let mut stream = BeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
+        let mut all = Vec::new();
+        for (e, z) in rec
+            .device_ecg()
+            .chunks(125)
+            .zip(rec.device_z().chunks(125))
+        {
+            all.extend(stream.push(e, z).unwrap());
+        }
+        assert!(all.len() > 20, "only {} beats emitted", all.len());
+        for w in all.windows(2) {
+            assert!(w[1].r > w[0].r, "duplicate or out-of-order emission");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_analysis() {
+        let rec = recording(2);
+        let cfg = PipelineConfig::paper_default(250.0);
+        let batch = Pipeline::new(cfg)
+            .unwrap()
+            .analyze(rec.device_ecg(), rec.device_z())
+            .unwrap();
+
+        let mut stream = BeatStream::new(cfg).unwrap();
+        let mut streamed = Vec::new();
+        for (e, z) in rec.device_ecg().chunks(250).zip(rec.device_z().chunks(250)) {
+            streamed.extend(stream.push(e, z).unwrap());
+        }
+        // Every streamed beat should match a batch beat at (nearly) the
+        // same R with similar intervals. Edge beats may differ.
+        let mut matched = 0;
+        let mut agree = 0;
+        for s in &streamed {
+            if let Some(b) = batch
+                .beats()
+                .iter()
+                .find(|b| b.r.abs_diff(s.r) <= 2)
+            {
+                matched += 1;
+                // Borderline beats may resolve X differently with
+                // different window context; the bulk must agree.
+                if (b.lvet_s - s.lvet_s).abs() < 0.045 {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(
+            matched as f64 >= 0.9 * streamed.len() as f64,
+            "{matched}/{} streamed beats matched batch",
+            streamed.len()
+        );
+        assert!(
+            agree as f64 >= 0.85 * matched as f64,
+            "only {agree}/{matched} matched beats agree on LVET"
+        );
+        assert!(streamed.len() as f64 >= 0.75 * batch.beats().len() as f64);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_emissions() {
+        let rec = recording(3);
+        let run = |chunk: usize| -> Vec<usize> {
+            let mut stream = BeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
+            let mut rs = Vec::new();
+            for (e, z) in rec
+                .device_ecg()
+                .chunks(chunk)
+                .zip(rec.device_z().chunks(chunk))
+            {
+                rs.extend(stream.push(e, z).unwrap().into_iter().map(|b| b.r));
+            }
+            rs
+        };
+        let small = run(50);
+        let large = run(500);
+        // identical beat sets up to the tail (the last partial hop)
+        let common = small.len().min(large.len());
+        assert!(common > 15);
+        assert_eq!(&small[..common.min(small.len())], &large[..common.min(large.len())]);
+    }
+
+    #[test]
+    fn mismatched_chunks_rejected() {
+        let mut stream = BeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
+        assert!(stream.push(&[0.0; 10], &[0.0; 9]).is_err());
+    }
+
+    #[test]
+    fn position_tracks_pushed_samples() {
+        let mut stream = BeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
+        stream.push(&[0.0; 100], &[500.0; 100]).unwrap();
+        assert_eq!(stream.position(), 100);
+        // push enough to exceed the window and force trimming
+        for _ in 0..60 {
+            stream.push(&[0.0; 125], &[500.0; 125]).unwrap();
+        }
+        assert_eq!(stream.position(), 100 + 60 * 125);
+    }
+}

@@ -1,0 +1,205 @@
+//! Analog-to-digital conversion: sampling and N-bit quantization.
+//!
+//! The paper's sensor block samples "from 125 Hz up to 16 kHz with up to
+//! 16 bits resolution"; the STM32L151's own ADC is 12-bit. [`Adc`] models
+//! mid-tread uniform quantization with full-scale clipping so downstream
+//! code sees exactly the discretisation the firmware would.
+
+use crate::DeviceError;
+
+/// An ideal uniform ADC with configurable resolution and full-scale range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Adc {
+    bits: u8,
+    full_scale: f64,
+    sample_rate_hz: f64,
+}
+
+impl Adc {
+    /// Supported sampling range of the paper's sensor, hertz.
+    pub const SAMPLE_RATE_RANGE_HZ: (f64, f64) = (125.0, 16_000.0);
+    /// Maximum supported resolution, bits.
+    pub const MAX_BITS: u8 = 16;
+
+    /// Creates an ADC with `bits` of resolution over `±full_scale` at
+    /// `sample_rate_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] when `bits` is 0 or above 16,
+    /// `full_scale` is not positive, or the sample rate is outside
+    /// 125 Hz–16 kHz.
+    pub fn new(bits: u8, full_scale: f64, sample_rate_hz: f64) -> Result<Self, DeviceError> {
+        if bits == 0 || bits > Self::MAX_BITS {
+            return Err(DeviceError::OutOfRange {
+                name: "bits",
+                value: f64::from(bits),
+                range: "1..=16",
+            });
+        }
+        if !(full_scale > 0.0 && full_scale.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "full_scale",
+                value: full_scale,
+                range: "(0, inf)",
+            });
+        }
+        let (lo, hi) = Self::SAMPLE_RATE_RANGE_HZ;
+        if !(lo..=hi).contains(&sample_rate_hz) {
+            return Err(DeviceError::OutOfRange {
+                name: "sample_rate_hz",
+                value: sample_rate_hz,
+                range: "125..=16000 Hz",
+            });
+        }
+        Ok(Self {
+            bits,
+            full_scale,
+            sample_rate_hz,
+        })
+    }
+
+    /// The paper's experiment configuration: 12-bit (STM32L151 ADC) at
+    /// 250 Hz over the given full scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] for a non-positive full scale.
+    pub fn paper_default(full_scale: f64) -> Result<Self, DeviceError> {
+        Self::new(12, full_scale, 250.0)
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Full-scale amplitude (the ADC spans `±full_scale`).
+    #[must_use]
+    pub fn full_scale(&self) -> f64 {
+        self.full_scale
+    }
+
+    /// Sampling rate, hertz.
+    #[must_use]
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Quantization step (LSB size).
+    #[must_use]
+    pub fn lsb(&self) -> f64 {
+        2.0 * self.full_scale / f64::from(1u32 << self.bits)
+    }
+
+    /// Quantizes a single value: mid-tread rounding with clipping at
+    /// ±full-scale.
+    #[must_use]
+    pub fn quantize(&self, v: f64) -> f64 {
+        let lsb = self.lsb();
+        let max_code = f64::from((1u32 << (self.bits - 1)) - 1);
+        let code = (v / lsb).round().clamp(-max_code - 1.0, max_code);
+        code * lsb
+    }
+
+    /// Quantizes a whole signal.
+    #[must_use]
+    pub fn digitize(&self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|&v| self.quantize(v)).collect()
+    }
+
+    /// Theoretical quantization-noise RMS, `LSB / √12`.
+    #[must_use]
+    pub fn quantization_noise_rms(&self) -> f64 {
+        self.lsb() / 12.0_f64.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Adc::new(0, 1.0, 250.0).is_err());
+        assert!(Adc::new(17, 1.0, 250.0).is_err());
+        assert!(Adc::new(12, 0.0, 250.0).is_err());
+        assert!(Adc::new(12, 1.0, 100.0).is_err());
+        assert!(Adc::new(12, 1.0, 20_000.0).is_err());
+        assert!(Adc::new(16, 1.0, 16_000.0).is_ok());
+    }
+
+    #[test]
+    fn lsb_size() {
+        let adc = Adc::new(12, 2.048, 250.0).unwrap();
+        assert!((adc.lsb() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_rounds_to_lsb_grid() {
+        let adc = Adc::new(8, 1.0, 250.0).unwrap();
+        let lsb = adc.lsb();
+        let q = adc.quantize(0.42);
+        assert!((q / lsb - (q / lsb).round()).abs() < 1e-12);
+        assert!((q - 0.42).abs() <= lsb / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn quantize_clips_at_full_scale() {
+        let adc = Adc::new(8, 1.0, 250.0).unwrap();
+        let max_out = adc.quantize(10.0);
+        let min_out = adc.quantize(-10.0);
+        assert!(max_out < 1.0 && max_out > 0.98);
+        assert!((min_out + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let adc = Adc::new(12, 1.0, 250.0).unwrap();
+        for k in 0..1000 {
+            let v = -0.9 + 1.8 * k as f64 / 1000.0;
+            let e = (adc.quantize(v) - v).abs();
+            assert!(e <= adc.lsb() / 2.0 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn higher_resolution_means_less_noise() {
+        let a8 = Adc::new(8, 1.0, 250.0).unwrap();
+        let a16 = Adc::new(16, 1.0, 250.0).unwrap();
+        assert!(a16.quantization_noise_rms() < a8.quantization_noise_rms() / 100.0);
+    }
+
+    #[test]
+    fn digitize_preserves_length_and_signal() {
+        let adc = Adc::new(12, 2.0, 250.0).unwrap();
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.05).sin()).collect();
+        let y = adc.digitize(&x);
+        assert_eq!(y.len(), x.len());
+        let max_err = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err <= adc.lsb() / 2.0 + 1e-15);
+    }
+
+    #[test]
+    fn measured_quantization_noise_near_theory() {
+        let adc = Adc::new(10, 1.0, 250.0).unwrap();
+        // a slow ramp exercises all code points uniformly
+        let x: Vec<f64> = (0..100_000).map(|i| -0.99 + 1.98 * i as f64 / 100_000.0).collect();
+        let y = adc.digitize(&x);
+        let err_rms = (x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / x.len() as f64)
+            .sqrt();
+        let theory = adc.quantization_noise_rms();
+        assert!((err_rms / theory - 1.0).abs() < 0.05, "{err_rms} vs {theory}");
+    }
+}

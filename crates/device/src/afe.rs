@@ -1,0 +1,285 @@
+//! Analog front-end model.
+//!
+//! Two front-ends matter to the system:
+//!
+//! * the **ECG front-end** (ADS1291-class): programmable gain, small
+//!   input-referred noise, single-pole anti-alias filter;
+//! * the **impedance front-end** (the proprietary ICG sensor): the carrier
+//!   path is **AC-coupled**, and its high-pass corner is what makes the
+//!   *measured* bioimpedance peak near 10 kHz in the paper's Figs 6–7 even
+//!   though tissue impedance itself decreases monotonically with frequency
+//!   — at 2 kHz the coupling attenuates the carrier noticeably, at 10 kHz
+//!   barely, and above that tissue dispersion takes over.
+//!
+//! [`ImpedanceFrontEnd::measured_z0`] composes the true path impedance
+//! with the carrier coupling gain, which is exactly the quantity the
+//! paper's Z0 analysis plots.
+
+use crate::DeviceError;
+use rand::Rng;
+
+/// Carrier-path AC coupling and gain of the impedance front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ImpedanceFrontEnd {
+    coupling_corner_hz: f64,
+    gain_error: f64,
+}
+
+impl ImpedanceFrontEnd {
+    /// Creates an impedance front-end with the given AC-coupling corner
+    /// frequency and a static gain error (1.0 = perfectly calibrated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] for a non-positive corner or
+    /// gain.
+    pub fn new(coupling_corner_hz: f64, gain_error: f64) -> Result<Self, DeviceError> {
+        if !(coupling_corner_hz > 0.0 && coupling_corner_hz.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "coupling_corner_hz",
+                value: coupling_corner_hz,
+                range: "(0, inf)",
+            });
+        }
+        if !(gain_error > 0.0 && gain_error.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "gain_error",
+                value: gain_error,
+                range: "(0, inf)",
+            });
+        }
+        Ok(Self {
+            coupling_corner_hz,
+            gain_error,
+        })
+    }
+
+    /// The reference design: 1.5 kHz coupling corner (chosen so the
+    /// measured Z0 curve peaks at the paper's 10 kHz), unity calibration.
+    #[must_use]
+    pub fn reference_design() -> Self {
+        Self {
+            coupling_corner_hz: 1_500.0,
+            gain_error: 1.0,
+        }
+    }
+
+    /// First-order high-pass magnitude of the carrier coupling at
+    /// injection frequency `f` hertz: `f / √(f² + fc²)`.
+    #[must_use]
+    pub fn carrier_gain(&self, f: f64) -> f64 {
+        if f <= 0.0 {
+            return 0.0;
+        }
+        f / (f * f + self.coupling_corner_hz * self.coupling_corner_hz).sqrt()
+    }
+
+    /// The bioimpedance the instrument *reports* for a true path impedance
+    /// `true_z0` at injection frequency `f`: the carrier attenuation scales
+    /// the developed voltage, and the firmware's amplitude calibration
+    /// assumes unity coupling, so the reading is scaled down accordingly.
+    #[must_use]
+    pub fn measured_z0(&self, true_z0: f64, f: f64) -> f64 {
+        true_z0 * self.carrier_gain(f) * self.gain_error
+    }
+
+    /// Applies the same measurement scaling to a whole Z(t) record.
+    #[must_use]
+    pub fn measure_series(&self, z: &[f64], f: f64) -> Vec<f64> {
+        let g = self.carrier_gain(f) * self.gain_error;
+        z.iter().map(|v| v * g).collect()
+    }
+}
+
+/// ECG front-end (ADS1291-class): gain, input-referred noise and a
+/// single-pole anti-alias low-pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EcgFrontEnd {
+    gain: f64,
+    input_noise_uv_rms: f64,
+    antialias_hz: f64,
+}
+
+impl EcgFrontEnd {
+    /// Creates an ECG front-end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] for non-positive gain or
+    /// anti-alias corner, or negative noise.
+    pub fn new(gain: f64, input_noise_uv_rms: f64, antialias_hz: f64) -> Result<Self, DeviceError> {
+        if !(gain > 0.0 && gain.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "gain",
+                value: gain,
+                range: "(0, inf)",
+            });
+        }
+        if !(input_noise_uv_rms >= 0.0 && input_noise_uv_rms.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "input_noise_uv_rms",
+                value: input_noise_uv_rms,
+                range: "[0, inf)",
+            });
+        }
+        if !(antialias_hz > 0.0 && antialias_hz.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "antialias_hz",
+                value: antialias_hz,
+                range: "(0, inf)",
+            });
+        }
+        Ok(Self {
+            gain,
+            input_noise_uv_rms,
+            antialias_hz,
+        })
+    }
+
+    /// ADS1291-like defaults: gain 6, 8 µV RMS input noise, 100 Hz
+    /// anti-alias corner.
+    #[must_use]
+    pub fn ads1291_like() -> Self {
+        Self {
+            gain: 6.0,
+            input_noise_uv_rms: 8.0,
+            antialias_hz: 100.0,
+        }
+    }
+
+    /// Amplifier gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Conditions an ECG record (millivolts in, millivolts out, referred
+    /// back to the input so the gain cancels): adds input noise and
+    /// applies the single-pole anti-alias filter at sampling rate `fs`.
+    #[must_use]
+    pub fn condition<R: Rng + ?Sized>(&self, x: &[f64], fs: f64, rng: &mut R) -> Vec<f64> {
+        // single-pole low-pass: y += a (x − y), a = 1 − exp(−2π fc / fs)
+        let a = 1.0 - (-2.0 * std::f64::consts::PI * self.antialias_hz / fs).exp();
+        let sigma_mv = self.input_noise_uv_rms / 1_000.0;
+        let mut g = crate::afe::gauss_helper::Gaussian::new();
+        let mut y = Vec::with_capacity(x.len());
+        let mut state = x.first().copied().unwrap_or(0.0);
+        for &v in x {
+            let noisy = v + sigma_mv * g.sample(rng);
+            state += a * (noisy - state);
+            y.push(state);
+        }
+        y
+    }
+}
+
+/// Minimal local Gaussian sampler (Box–Muller) so this crate does not need
+/// `rand_distr`.
+pub(crate) mod gauss_helper {
+    use rand::Rng;
+
+    #[derive(Debug, Default)]
+    pub(crate) struct Gaussian {
+        spare: Option<f64>,
+    }
+
+    impl Gaussian {
+        pub(crate) fn new() -> Self {
+            Self::default()
+        }
+
+        pub(crate) fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+            if let Some(v) = self.spare.take() {
+                return v;
+            }
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let th = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * th.sin());
+            r * th.cos()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn carrier_gain_monotone_rising() {
+        let fe = ImpedanceFrontEnd::reference_design();
+        assert!(fe.carrier_gain(2_000.0) < fe.carrier_gain(10_000.0));
+        assert!(fe.carrier_gain(10_000.0) < fe.carrier_gain(100_000.0));
+        assert!(fe.carrier_gain(100_000.0) < 1.0);
+        assert_eq!(fe.carrier_gain(0.0), 0.0);
+    }
+
+    #[test]
+    fn reference_corner_produces_10khz_peak() {
+        // Measured Z0 over the paper sweep must peak at 10 kHz when the
+        // true tissue curve is a gently decreasing one.
+        let fe = ImpedanceFrontEnd::reference_design();
+        // representative hand-to-hand tissue magnitudes (Ω) at 2/10/50/100 kHz
+        let true_z = [620.0, 560.0, 480.0, 450.0];
+        let freqs = [2_000.0, 10_000.0, 50_000.0, 100_000.0];
+        let measured: Vec<f64> = freqs
+            .iter()
+            .zip(&true_z)
+            .map(|(&f, &z)| fe.measured_z0(z, f))
+            .collect();
+        assert!(measured[1] > measured[0], "rise from 2 to 10 kHz: {measured:?}");
+        assert!(measured[1] > measured[2], "fall after 10 kHz: {measured:?}");
+        assert!(measured[2] > measured[3], "continued fall: {measured:?}");
+    }
+
+    #[test]
+    fn measure_series_scales_uniformly() {
+        let fe = ImpedanceFrontEnd::reference_design();
+        let z = [100.0, 200.0, 300.0];
+        let out = fe.measure_series(&z, 50_000.0);
+        let g = fe.carrier_gain(50_000.0);
+        for (a, b) in z.iter().zip(&out) {
+            assert!((a * g - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ImpedanceFrontEnd::new(0.0, 1.0).is_err());
+        assert!(ImpedanceFrontEnd::new(1_500.0, 0.0).is_err());
+        assert!(EcgFrontEnd::new(0.0, 1.0, 100.0).is_err());
+        assert!(EcgFrontEnd::new(6.0, -1.0, 100.0).is_err());
+        assert!(EcgFrontEnd::new(6.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn ecg_condition_preserves_inband_signal() {
+        let fe = EcgFrontEnd::ads1291_like();
+        let fs = 250.0;
+        let x: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * std::f64::consts::PI * 10.0 * i as f64 / fs).sin())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = fe.condition(&x, fs, &mut rng);
+        assert_eq!(y.len(), x.len());
+        let peak = y[500..].iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - 1.0).abs() < 0.05, "peak {peak}");
+    }
+
+    #[test]
+    fn ecg_condition_adds_bounded_noise() {
+        let fe = EcgFrontEnd::new(6.0, 8.0, 100.0).unwrap();
+        let fs = 250.0;
+        let x = vec![0.0; 20_000];
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = fe.condition(&x, fs, &mut rng);
+        let rms = (y.iter().map(|v| v * v).sum::<f64>() / y.len() as f64).sqrt();
+        // input-referred 8 µV = 0.008 mV, low-passed below that
+        assert!(rms > 0.001 && rms < 0.009, "rms {rms}");
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Error type for the device models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A configuration value was outside the hardware's documented range.
+    OutOfRange {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Value supplied.
+        value: f64,
+        /// Documented valid range, human-readable.
+        range: &'static str,
+    },
+    /// The requested injection amplitude exceeds the patient-safety limit
+    /// at the chosen frequency.
+    SafetyLimit {
+        /// Requested amplitude in milliamps.
+        requested_ma: f64,
+        /// Maximum permitted amplitude at this frequency, milliamps.
+        limit_ma: f64,
+        /// Injection frequency in hertz.
+        frequency_hz: f64,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(cardiotouch_dsp::DspError),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfRange { name, value, range } => {
+                write!(f, "parameter {name} = {value} is outside the supported range {range}")
+            }
+            DeviceError::SafetyLimit {
+                requested_ma,
+                limit_ma,
+                frequency_hz,
+            } => write!(
+                f,
+                "injection amplitude {requested_ma} mA exceeds the {limit_ma} mA safety limit at {frequency_hz} Hz"
+            ),
+            DeviceError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cardiotouch_dsp::DspError> for DeviceError {
+    fn from(e: cardiotouch_dsp::DspError) -> Self {
+        DeviceError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = DeviceError::SafetyLimit {
+            requested_ma: 8.0,
+            limit_ma: 5.0,
+            frequency_hz: 50_000.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains('8') && s.contains('5'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

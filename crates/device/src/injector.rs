@@ -1,0 +1,188 @@
+//! Injection current source.
+//!
+//! The device drives a low-amplitude alternating current through the outer
+//! electrode pair; its frequency is adjustable (the paper sweeps 2, 10, 50
+//! and 100 kHz and fixes 50 kHz for the hemodynamic measurements,
+//! following the dual-fluid-compartment argument of \[27\]). Patient
+//! auxiliary current is capped following the IEC 60601-1 pattern: 100 µA
+//! below 1 kHz, rising proportionally with frequency, ceiling at 10 mA.
+
+use crate::DeviceError;
+
+/// A sinusoidal injection current source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CurrentInjector {
+    frequency_hz: f64,
+    amplitude_ma: f64,
+}
+
+impl CurrentInjector {
+    /// The paper's four study frequencies, hertz.
+    pub const STUDY_FREQUENCIES_HZ: [f64; 4] = [2_000.0, 10_000.0, 50_000.0, 100_000.0];
+
+    /// The frequency used for LVET/PEP measurements (50 kHz, where current
+    /// penetrates both intra- and extracellular fluid).
+    pub const HEMODYNAMIC_FREQUENCY_HZ: f64 = 50_000.0;
+
+    /// Maximum safe amplitude at `frequency_hz`, in milliamps:
+    /// `0.1 mA · f/1 kHz`, clamped to `[0.1, 10]` mA.
+    #[must_use]
+    pub fn safety_limit_ma(frequency_hz: f64) -> f64 {
+        (0.1 * frequency_hz / 1_000.0).clamp(0.1, 10.0)
+    }
+
+    /// Creates an injector at `frequency_hz` with amplitude
+    /// `amplitude_ma`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::OutOfRange`] for a frequency outside 1–200 kHz or
+    ///   a non-positive amplitude;
+    /// * [`DeviceError::SafetyLimit`] when the amplitude exceeds
+    ///   [`CurrentInjector::safety_limit_ma`].
+    pub fn new(frequency_hz: f64, amplitude_ma: f64) -> Result<Self, DeviceError> {
+        if !(1_000.0..=200_000.0).contains(&frequency_hz) {
+            return Err(DeviceError::OutOfRange {
+                name: "frequency_hz",
+                value: frequency_hz,
+                range: "1 kHz ..= 200 kHz",
+            });
+        }
+        if !(amplitude_ma > 0.0 && amplitude_ma.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "amplitude_ma",
+                value: amplitude_ma,
+                range: "(0, safety limit]",
+            });
+        }
+        let limit = Self::safety_limit_ma(frequency_hz);
+        if amplitude_ma > limit {
+            return Err(DeviceError::SafetyLimit {
+                requested_ma: amplitude_ma,
+                limit_ma: limit,
+                frequency_hz,
+            });
+        }
+        Ok(Self {
+            frequency_hz,
+            amplitude_ma,
+        })
+    }
+
+    /// The paper's hemodynamic configuration: 50 kHz at 1 mA.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(Self::HEMODYNAMIC_FREQUENCY_HZ, 1.0)
+            .expect("the paper configuration is within the safety envelope")
+    }
+
+    /// Injection frequency, hertz.
+    #[must_use]
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Injection amplitude, milliamps.
+    #[must_use]
+    pub fn amplitude_ma(&self) -> f64 {
+        self.amplitude_ma
+    }
+
+    /// Renders the carrier current waveform (mA) over `n` samples at
+    /// simulation rate `fs_sim` — used when simulating the full
+    /// modulation/demodulation chain. `fs_sim` should exceed 2× the
+    /// injection frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] when `fs_sim` does not satisfy
+    /// the Nyquist criterion for the carrier.
+    pub fn carrier(&self, n: usize, fs_sim: f64) -> Result<Vec<f64>, DeviceError> {
+        if fs_sim <= 2.0 * self.frequency_hz {
+            return Err(DeviceError::OutOfRange {
+                name: "fs_sim",
+                value: fs_sim,
+                range: "> 2 × injection frequency",
+            });
+        }
+        let w = 2.0 * std::f64::consts::PI * self.frequency_hz;
+        Ok((0..n)
+            .map(|i| self.amplitude_ma * (w * i as f64 / fs_sim).sin())
+            .collect())
+    }
+
+    /// The voltage developed across a time-varying impedance `z_ohm`
+    /// (sampled at `fs_sim`), in millivolts: `v(t) = i(t) · Z(t)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CurrentInjector::carrier`].
+    pub fn modulate(&self, z_ohm: &[f64], fs_sim: f64) -> Result<Vec<f64>, DeviceError> {
+        let c = self.carrier(z_ohm.len(), fs_sim)?;
+        Ok(c.iter().zip(z_ohm).map(|(i, z)| i * z).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_limit_shape() {
+        assert!((CurrentInjector::safety_limit_ma(1_000.0) - 0.1).abs() < 1e-12);
+        assert!((CurrentInjector::safety_limit_ma(50_000.0) - 5.0).abs() < 1e-12);
+        assert!((CurrentInjector::safety_limit_ma(200_000.0) - 10.0).abs() < 1e-9);
+        // clamped below 1 kHz equivalent
+        assert!((CurrentInjector::safety_limit_ma(10.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_enforces_safety() {
+        assert!(CurrentInjector::new(2_000.0, 0.15).is_ok());
+        assert!(matches!(
+            CurrentInjector::new(2_000.0, 0.5),
+            Err(DeviceError::SafetyLimit { .. })
+        ));
+        assert!(CurrentInjector::new(500.0, 0.01).is_err());
+        assert!(CurrentInjector::new(50_000.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn paper_default_is_50khz_1ma() {
+        let inj = CurrentInjector::paper_default();
+        assert_eq!(inj.frequency_hz(), 50_000.0);
+        assert_eq!(inj.amplitude_ma(), 1.0);
+    }
+
+    #[test]
+    fn carrier_amplitude_and_frequency() {
+        let inj = CurrentInjector::new(2_000.0, 0.2).unwrap();
+        let fs = 50_000.0;
+        let c = inj.carrier(5000, fs).unwrap();
+        let peak = c.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - 0.2).abs() < 1e-3);
+        // dominant bin at 2 kHz
+        let b = cardiotouch_dsp::spectrum::goertzel(&c, 2_000.0, fs).unwrap();
+        let b_off = cardiotouch_dsp::spectrum::goertzel(&c, 3_000.0, fs).unwrap();
+        assert!(b.magnitude() > 100.0 * b_off.magnitude());
+    }
+
+    #[test]
+    fn carrier_rejects_sub_nyquist_sim_rate() {
+        let inj = CurrentInjector::new(50_000.0, 1.0).unwrap();
+        assert!(inj.carrier(100, 80_000.0).is_err());
+    }
+
+    #[test]
+    fn modulate_scales_with_impedance() {
+        // 0.2 mA is the safety ceiling at 2 kHz
+        let inj = CurrentInjector::new(2_000.0, 0.2).unwrap();
+        let fs = 50_000.0;
+        let z = vec![500.0; 5000];
+        let v = inj.modulate(&z, fs).unwrap();
+        let peak = v.iter().cloned().fold(f64::MIN, f64::max);
+        // 0.2 mA × 500 Ω = 100 mV
+        assert!((peak - 100.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,53 @@
+//! Embedded-platform simulation substrate for the `cardiotouch` workspace.
+//!
+//! The paper's device (Fig 2/4) is a hand-held board built around an
+//! STM32L151 microcontroller, an ADS1291 ECG front-end, a proprietary ICG
+//! front-end, an accelerometer/gyroscope pair, and an nRF8001 Bluetooth
+//! Low Energy radio, powered from a 710 mAh battery. None of that hardware
+//! is available here, so this crate models each block well enough to
+//! exercise the same design questions the paper answers:
+//!
+//! * [`injector`] — the adjustable-frequency injection current source,
+//!   with an IEC-style patient-safety amplitude ceiling;
+//! * [`afe`] — the analog front-end: gain, input-referred noise,
+//!   anti-alias pole and the AC-coupling corner whose low-frequency
+//!   attenuation produces the measured Z0 peak at 10 kHz (Figs 6–7);
+//! * [`demod`] — synchronous (lock-in) demodulation recovering Z(t) from
+//!   the voltage developed across the body;
+//! * [`adc`] — sampling and N-bit quantization (125 Hz–16 kHz, ≤16 bit,
+//!   per the paper's sensor description);
+//! * [`imu`] — accelerometer/gyroscope synthesis and the gravity-vector
+//!   position classifier ("used to distinguish different positions");
+//! * [`radio`] — BLE packet/energy model for the parameter uplink;
+//! * [`power`] — the Table I current inventory and duty-cycle battery
+//!   model that yields the paper's 106 h on a single charge;
+//! * [`mcu`] — an STM32L151 cycle-budget model reproducing the paper's
+//!   40–50 % CPU duty-cycle estimate.
+//!
+//! # Example
+//!
+//! Reproduce the paper's battery-life headline:
+//!
+//! ```
+//! use cardiotouch_device::power::{PowerBudget, DutyCycle};
+//!
+//! let budget = PowerBudget::paper_table_i();
+//! let duty = DutyCycle::paper_worst_case(); // MCU 50 %, radio 1 %
+//! let hours = budget.battery_life_hours(710.0, &duty);
+//! assert!((hours - 106.0).abs() < 2.0);
+//! ```
+
+pub mod adc;
+pub mod afe;
+pub mod demod;
+pub mod imu;
+pub mod injector;
+pub mod mcu;
+pub mod pmu;
+pub mod power;
+pub mod radio;
+pub mod uplink;
+
+mod error;
+
+pub use error::DeviceError;

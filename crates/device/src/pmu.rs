@@ -1,0 +1,323 @@
+//! Power Management Unit policy.
+//!
+//! Fig 4 of the paper includes a PMU that "dynamically tunes the system to
+//! achieve the best trade-off between energy consumption and performance,
+//! taking into account the available energy in the battery and
+//! requirements (accuracy, latency, etc.) of the target application".
+//! The paper does not detail the policy; this module implements the
+//! natural one over the Table-I power model: a ladder of operating modes
+//! from richest (continuous beat-to-beat monitoring) to thriftiest
+//! (sparse spot checks), with mode selection driven by the remaining
+//! battery energy and the mission's required endurance.
+
+use crate::power::{DutyCycle, PowerBudget};
+use crate::DeviceError;
+
+/// An operating mode of the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OperatingMode {
+    /// Continuous beat-to-beat monitoring — the paper's headline mode
+    /// (MCU 40–50 %, radio ~0.1–1 %, sensors always on).
+    Continuous,
+    /// Periodic spot checks: a full measurement of `measurement_s`
+    /// seconds every `interval_s` seconds, deep sleep in between. This is
+    /// the natural point-of-care usage the introduction motivates
+    /// ("hemodynamic parameters can be measured quickly and
+    /// conveniently").
+    SpotCheck {
+        /// Length of one measurement, seconds (the study uses 30 s).
+        measurement_s: f64,
+        /// Repetition interval, seconds.
+        interval_s: f64,
+    },
+    /// Raw streaming (no on-device processing) — kept as the unfavourable
+    /// baseline the architecture argues against.
+    RawStreaming,
+}
+
+impl OperatingMode {
+    /// The standard candidate ladder, richest first: continuous, then
+    /// spot checks every 15 min, hour, and 6 hours (30 s each).
+    #[must_use]
+    pub fn ladder() -> Vec<OperatingMode> {
+        vec![
+            OperatingMode::Continuous,
+            OperatingMode::SpotCheck {
+                measurement_s: 30.0,
+                interval_s: 900.0,
+            },
+            OperatingMode::SpotCheck {
+                measurement_s: 30.0,
+                interval_s: 3_600.0,
+            },
+            OperatingMode::SpotCheck {
+                measurement_s: 30.0,
+                interval_s: 21_600.0,
+            },
+        ]
+    }
+}
+
+impl std::fmt::Display for OperatingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OperatingMode::Continuous => write!(f, "continuous monitoring"),
+            OperatingMode::SpotCheck {
+                measurement_s,
+                interval_s,
+            } => write!(f, "{measurement_s:.0} s spot check every {:.0} min", interval_s / 60.0),
+            OperatingMode::RawStreaming => write!(f, "raw streaming"),
+        }
+    }
+}
+
+/// Selects operating modes from battery state and mission length.
+///
+/// # Example
+///
+/// ```
+/// use cardiotouch_device::pmu::{OperatingMode, Pmu};
+///
+/// # fn main() -> Result<(), cardiotouch_device::DeviceError> {
+/// let pmu = Pmu::paper_device();
+/// // a 3-day mission fits continuous monitoring (106 h)…
+/// assert_eq!(pmu.select_mode(72.0, 1.0)?, Some(OperatingMode::Continuous));
+/// // …a 3-week mission needs spot checks
+/// assert!(matches!(
+///     pmu.select_mode(21.0 * 24.0, 1.0)?,
+///     Some(OperatingMode::SpotCheck { .. })
+/// ));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Pmu {
+    budget: PowerBudget,
+    battery_mah: f64,
+}
+
+impl Pmu {
+    /// Creates a PMU over the given component inventory and battery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] for a non-positive battery.
+    pub fn new(budget: PowerBudget, battery_mah: f64) -> Result<Self, DeviceError> {
+        if !(battery_mah > 0.0 && battery_mah.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "battery_mah",
+                value: battery_mah,
+                range: "(0, inf)",
+            });
+        }
+        Ok(Self {
+            budget,
+            battery_mah,
+        })
+    }
+
+    /// The paper's device: Table I inventory, 710 mAh battery.
+    #[must_use]
+    pub fn paper_device() -> Self {
+        Self {
+            budget: PowerBudget::paper_table_i(),
+            battery_mah: 710.0,
+        }
+    }
+
+    /// Average system current in a mode, milliamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] for a spot-check interval that
+    /// cannot contain its measurement.
+    pub fn average_current_ma(&self, mode: OperatingMode) -> Result<f64, DeviceError> {
+        match mode {
+            OperatingMode::Continuous => Ok(self
+                .budget
+                .average_current_ma(&DutyCycle::paper_worst_case())),
+            OperatingMode::RawStreaming => {
+                Ok(self.budget.average_current_ma(&DutyCycle::raw_streaming()))
+            }
+            OperatingMode::SpotCheck {
+                measurement_s,
+                interval_s,
+            } => {
+                if !(measurement_s > 0.0 && interval_s > measurement_s) {
+                    return Err(DeviceError::OutOfRange {
+                        name: "interval_s",
+                        value: interval_s,
+                        range: "> measurement_s > 0",
+                    });
+                }
+                let active = self
+                    .budget
+                    .average_current_ma(&DutyCycle::paper_worst_case());
+                let asleep = self.budget.average_current_ma(&DutyCycle {
+                    mcu: 0.0,
+                    radio: 0.0,
+                    sensors_on: false,
+                    imu: false,
+                });
+                let frac = measurement_s / interval_s;
+                Ok(frac * active + (1.0 - frac) * asleep)
+            }
+        }
+    }
+
+    /// Endurance in a mode from a battery fraction (1.0 = full charge),
+    /// hours.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::OutOfRange`] for a fraction outside `[0, 1]`;
+    /// * propagated mode errors.
+    pub fn endurance_hours(
+        &self,
+        mode: OperatingMode,
+        battery_fraction: f64,
+    ) -> Result<f64, DeviceError> {
+        if !(0.0..=1.0).contains(&battery_fraction) {
+            return Err(DeviceError::OutOfRange {
+                name: "battery_fraction",
+                value: battery_fraction,
+                range: "[0, 1]",
+            });
+        }
+        let i = self.average_current_ma(mode)?;
+        Ok(if i <= 0.0 {
+            f64::INFINITY
+        } else {
+            battery_fraction * self.battery_mah / i
+        })
+    }
+
+    /// Selects the **richest** mode on the standard ladder that still
+    /// meets `target_hours` of endurance from the given battery fraction.
+    /// Returns `None` when even the sparsest spot check cannot last that
+    /// long.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] for an invalid battery
+    /// fraction or target.
+    pub fn select_mode(
+        &self,
+        target_hours: f64,
+        battery_fraction: f64,
+    ) -> Result<Option<OperatingMode>, DeviceError> {
+        if !(target_hours > 0.0 && target_hours.is_finite()) {
+            return Err(DeviceError::OutOfRange {
+                name: "target_hours",
+                value: target_hours,
+                range: "(0, inf)",
+            });
+        }
+        for mode in OperatingMode::ladder() {
+            if self.endurance_hours(mode, battery_fraction)? >= target_hours {
+                return Ok(Some(mode));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_endurance_matches_paper() {
+        let pmu = Pmu::paper_device();
+        let h = pmu
+            .endurance_hours(OperatingMode::Continuous, 1.0)
+            .unwrap();
+        assert!((h - 106.4).abs() < 1.0, "{h}");
+    }
+
+    #[test]
+    fn spot_checks_extend_endurance_dramatically() {
+        let pmu = Pmu::paper_device();
+        let continuous = pmu
+            .endurance_hours(OperatingMode::Continuous, 1.0)
+            .unwrap();
+        let hourly = pmu
+            .endurance_hours(
+                OperatingMode::SpotCheck {
+                    measurement_s: 30.0,
+                    interval_s: 3_600.0,
+                },
+                1.0,
+            )
+            .unwrap();
+        assert!(hourly > 20.0 * continuous, "hourly {hourly} vs continuous {continuous}");
+    }
+
+    #[test]
+    fn mode_selection_prefers_richest_feasible() {
+        let pmu = Pmu::paper_device();
+        // 3 days: continuous (106 h) suffices
+        assert_eq!(
+            pmu.select_mode(72.0, 1.0).unwrap(),
+            Some(OperatingMode::Continuous)
+        );
+        // 3 weeks: needs a spot-check mode
+        let three_weeks = pmu.select_mode(21.0 * 24.0, 1.0).unwrap();
+        assert!(matches!(
+            three_weeks,
+            Some(OperatingMode::SpotCheck { .. })
+        ));
+        // 10 years: infeasible on this ladder
+        assert_eq!(pmu.select_mode(87_600.0, 1.0).unwrap(), None);
+    }
+
+    #[test]
+    fn selection_adapts_to_battery_level() {
+        let pmu = Pmu::paper_device();
+        // full battery covers 4 days continuously; at 25 % it cannot
+        let full = pmu.select_mode(96.0, 1.0).unwrap();
+        let quarter = pmu.select_mode(96.0, 0.25).unwrap();
+        assert_eq!(full, Some(OperatingMode::Continuous));
+        assert!(matches!(quarter, Some(OperatingMode::SpotCheck { .. })));
+    }
+
+    #[test]
+    fn ladder_is_ordered_thriftier_downward() {
+        let pmu = Pmu::paper_device();
+        let ladder = OperatingMode::ladder();
+        let endur: Vec<f64> = ladder
+            .iter()
+            .map(|&m| pmu.endurance_hours(m, 1.0).unwrap())
+            .collect();
+        for w in endur.windows(2) {
+            assert!(w[1] > w[0], "ladder not monotone: {endur:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Pmu::new(PowerBudget::paper_table_i(), 0.0).is_err());
+        let pmu = Pmu::paper_device();
+        assert!(pmu.endurance_hours(OperatingMode::Continuous, 1.5).is_err());
+        assert!(pmu.select_mode(-1.0, 1.0).is_err());
+        assert!(pmu
+            .average_current_ma(OperatingMode::SpotCheck {
+                measurement_s: 60.0,
+                interval_s: 30.0
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(OperatingMode::Continuous.to_string(), "continuous monitoring");
+        assert!(OperatingMode::SpotCheck {
+            measurement_s: 30.0,
+            interval_s: 900.0
+        }
+        .to_string()
+        .contains("15 min"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Bluetooth Low Energy radio model (nRF8001-class).
+//!
+//! The design argument the paper makes in Section V is that processing on
+//! the microcontroller and transmitting only the derived parameters
+//! (`Z0, LVET, PEP, HR`) needs "just 0.1 % of the duty cycle of the
+//! Radio", whereas streaming raw samples would keep the radio on almost
+//! continuously. This module turns payload rates into radio airtime and
+//! duty cycle so that trade-off is computable.
+
+use crate::DeviceError;
+
+/// A BLE link model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BleLink {
+    /// Physical-layer bit rate, bits per second (BLE 4.x: 1 Mbit/s).
+    pub phy_bit_rate: f64,
+    /// Application payload per packet, bytes (ATT notification: 20 B).
+    pub payload_per_packet: usize,
+    /// Per-packet overhead on air, bytes (preamble, access address,
+    /// header, MIC/CRC, inter-frame spacing expressed as bytes).
+    pub overhead_per_packet: usize,
+    /// Fixed per-connection-event cost, seconds (radio ramp-up etc.).
+    pub event_overhead_s: f64,
+    /// Connection interval, seconds.
+    pub connection_interval_s: f64,
+}
+
+impl BleLink {
+    /// nRF8001-like defaults: 1 Mbit/s, 20-byte payloads, 17 bytes of
+    /// framing, 150 µs event overhead, 50 ms connection interval.
+    #[must_use]
+    pub fn nrf8001_like() -> Self {
+        Self {
+            phy_bit_rate: 1.0e6,
+            payload_per_packet: 20,
+            overhead_per_packet: 17,
+            event_overhead_s: 150e-6,
+            connection_interval_s: 0.050,
+        }
+    }
+
+    /// Airtime to move `bytes` of application payload, seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::OutOfRange`] if the link parameters are
+    /// degenerate (zero bit rate or payload size).
+    pub fn airtime_s(&self, bytes: usize) -> Result<f64, DeviceError> {
+        if self.phy_bit_rate <= 0.0 {
+            return Err(DeviceError::OutOfRange {
+                name: "phy_bit_rate",
+                value: self.phy_bit_rate,
+                range: "(0, inf)",
+            });
+        }
+        if self.payload_per_packet == 0 {
+            return Err(DeviceError::OutOfRange {
+                name: "payload_per_packet",
+                value: 0.0,
+                range: ">= 1",
+            });
+        }
+        let packets = bytes.div_ceil(self.payload_per_packet);
+        let on_air_bytes = packets * (self.payload_per_packet + self.overhead_per_packet);
+        Ok(on_air_bytes as f64 * 8.0 / self.phy_bit_rate + packets as f64 * self.event_overhead_s)
+    }
+
+    /// Radio duty cycle (0–1) to sustain `bytes_per_s` of payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BleLink::airtime_s`].
+    pub fn duty_cycle(&self, bytes_per_s: f64) -> Result<f64, DeviceError> {
+        if bytes_per_s < 0.0 {
+            return Err(DeviceError::OutOfRange {
+                name: "bytes_per_s",
+                value: bytes_per_s,
+                range: "[0, inf)",
+            });
+        }
+        Ok(self.airtime_s(bytes_per_s.ceil() as usize)?.min(1.0))
+    }
+
+    /// Payload rate of the paper's parameter uplink: one record of
+    /// `Z0, LVET, PEP, HR` (4 × f32 = 16 bytes + 4 bytes framing) per
+    /// beat at `hr_bpm`.
+    #[must_use]
+    pub fn parameter_uplink_bytes_per_s(hr_bpm: f64) -> f64 {
+        20.0 * hr_bpm / 60.0
+    }
+
+    /// Payload rate of streaming raw ECG+ICG samples at `fs` hertz with
+    /// `bytes_per_sample` per channel pair.
+    #[must_use]
+    pub fn raw_streaming_bytes_per_s(fs: f64, bytes_per_sample: f64) -> f64 {
+        fs * bytes_per_sample
+    }
+}
+
+impl Default for BleLink {
+    fn default() -> Self {
+        Self::nrf8001_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airtime_scales_with_bytes() {
+        let l = BleLink::nrf8001_like();
+        let t1 = l.airtime_s(20).unwrap();
+        let t10 = l.airtime_s(200).unwrap();
+        assert!((t10 / t1 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn airtime_rounds_up_to_packets() {
+        let l = BleLink::nrf8001_like();
+        // 1 byte still costs one full packet
+        assert_eq!(l.airtime_s(1).unwrap(), l.airtime_s(20).unwrap());
+        assert!(l.airtime_s(21).unwrap() > l.airtime_s(20).unwrap());
+    }
+
+    #[test]
+    fn parameter_uplink_duty_matches_paper_claim() {
+        // sending only Z0/LVET/PEP/HR per beat must need ≈ 0.1 % duty
+        let l = BleLink::nrf8001_like();
+        let rate = BleLink::parameter_uplink_bytes_per_s(70.0);
+        let duty = l.duty_cycle(rate).unwrap();
+        assert!(duty < 0.002, "parameter uplink duty {duty}");
+        assert!(duty > 1e-5);
+    }
+
+    #[test]
+    fn raw_streaming_needs_orders_of_magnitude_more() {
+        let l = BleLink::nrf8001_like();
+        // 250 Hz × 2 channels × 2 bytes = 1000 B/s
+        let raw = l
+            .duty_cycle(BleLink::raw_streaming_bytes_per_s(250.0, 4.0))
+            .unwrap();
+        let params = l
+            .duty_cycle(BleLink::parameter_uplink_bytes_per_s(70.0))
+            .unwrap();
+        assert!(raw > 20.0 * params, "raw {raw} vs params {params}");
+    }
+
+    #[test]
+    fn duty_cycle_saturates_at_one() {
+        let l = BleLink::nrf8001_like();
+        assert_eq!(l.duty_cycle(1.0e9).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut l = BleLink::nrf8001_like();
+        assert!(l.duty_cycle(-1.0).is_err());
+        l.payload_per_packet = 0;
+        assert!(l.airtime_s(10).is_err());
+        let mut l2 = BleLink::nrf8001_like();
+        l2.phy_bit_rate = 0.0;
+        assert!(l2.airtime_s(10).is_err());
+    }
+}

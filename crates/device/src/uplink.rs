@@ -1,0 +1,242 @@
+//! Parameter-uplink packet format.
+//!
+//! The device transmits "results such as Z0, LVET, PEP, HR" rather than
+//! raw samples — that is what keeps the radio at ~0.1 % duty cycle. This
+//! module defines the wire format of one per-beat record, sized to fit a
+//! single BLE 4.x ATT notification (20 bytes) exactly:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     beat sequence number (little-endian u16, wraps)
+//! 2       4     Z0 [ohm]        (little-endian f32)
+//! 6       4     LVET [ms]       (little-endian f32)
+//! 10      4     PEP [ms]        (little-endian f32)
+//! 14      4     HR [bpm]        (little-endian f32)
+//! 18      1     flags (bit 0: beat passed the physiological gate)
+//! 19      1     CRC-8 (poly 0x07) over bytes 0..19
+//! ```
+
+use crate::DeviceError;
+
+/// Size of one encoded record — exactly one BLE ATT notification payload.
+pub const RECORD_LEN: usize = 20;
+
+/// The per-beat record the device notifies over BLE.
+///
+/// # Example
+///
+/// ```
+/// use cardiotouch_device::uplink::ParameterRecord;
+///
+/// # fn main() -> Result<(), cardiotouch_device::DeviceError> {
+/// let record = ParameterRecord {
+///     sequence: 1,
+///     z0_ohm: 431.0,
+///     lvet_ms: 294.0,
+///     pep_ms: 104.0,
+///     hr_bpm: 68.0,
+///     valid: true,
+/// };
+/// let wire = record.encode(); // exactly one 20-byte notification
+/// assert_eq!(ParameterRecord::decode(&wire)?, record);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ParameterRecord {
+    /// Beat sequence number (wraps at 2¹⁶).
+    pub sequence: u16,
+    /// Base impedance, ohms.
+    pub z0_ohm: f32,
+    /// Left-ventricular ejection time, milliseconds.
+    pub lvet_ms: f32,
+    /// Pre-ejection period, milliseconds.
+    pub pep_ms: f32,
+    /// Heart rate, beats per minute.
+    pub hr_bpm: f32,
+    /// Whether the beat passed the physiological gate.
+    pub valid: bool,
+}
+
+/// CRC-8 with polynomial 0x07, init 0x00 (the SMBus flavour).
+#[must_use]
+pub fn crc8(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in data {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+impl ParameterRecord {
+    /// Encodes the record into one notification payload.
+    #[must_use]
+    pub fn encode(&self) -> [u8; RECORD_LEN] {
+        let mut out = [0u8; RECORD_LEN];
+        out[0..2].copy_from_slice(&self.sequence.to_le_bytes());
+        out[2..6].copy_from_slice(&self.z0_ohm.to_le_bytes());
+        out[6..10].copy_from_slice(&self.lvet_ms.to_le_bytes());
+        out[10..14].copy_from_slice(&self.pep_ms.to_le_bytes());
+        out[14..18].copy_from_slice(&self.hr_bpm.to_le_bytes());
+        out[18] = u8::from(self.valid);
+        out[19] = crc8(&out[..19]);
+        out
+    }
+
+    /// Decodes one notification payload.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::OutOfRange`] for a payload that is not exactly
+    ///   [`RECORD_LEN`] bytes or fails the CRC check.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DeviceError> {
+        if bytes.len() != RECORD_LEN {
+            return Err(DeviceError::OutOfRange {
+                name: "payload length",
+                value: bytes.len() as f64,
+                range: "exactly 20 bytes",
+            });
+        }
+        if crc8(&bytes[..19]) != bytes[19] {
+            return Err(DeviceError::OutOfRange {
+                name: "crc",
+                value: f64::from(bytes[19]),
+                range: "must match the computed CRC-8",
+            });
+        }
+        let f32_at = |o: usize| {
+            f32::from_le_bytes(bytes[o..o + 4].try_into().expect("length checked"))
+        };
+        Ok(Self {
+            sequence: u16::from_le_bytes(bytes[0..2].try_into().expect("length checked")),
+            z0_ohm: f32_at(2),
+            lvet_ms: f32_at(6),
+            pep_ms: f32_at(10),
+            hr_bpm: f32_at(14),
+            valid: bytes[18] & 1 != 0,
+        })
+    }
+}
+
+/// Encodes a stream of records into back-to-back payloads.
+#[must_use]
+pub fn encode_stream(records: &[ParameterRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * RECORD_LEN);
+    for r in records {
+        out.extend_from_slice(&r.encode());
+    }
+    out
+}
+
+/// Decodes back-to-back payloads, stopping at the first corrupt record.
+/// Returns the records decoded so far and the byte offset where decoding
+/// stopped (equal to `bytes.len()` on full success).
+#[must_use]
+pub fn decode_stream(bytes: &[u8]) -> (Vec<ParameterRecord>, usize) {
+    let mut out = Vec::new();
+    let mut offset = 0;
+    while offset + RECORD_LEN <= bytes.len() {
+        match ParameterRecord::decode(&bytes[offset..offset + RECORD_LEN]) {
+            Ok(r) => {
+                out.push(r);
+                offset += RECORD_LEN;
+            }
+            Err(_) => break,
+        }
+    }
+    (out, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seq: u16) -> ParameterRecord {
+        ParameterRecord {
+            sequence: seq,
+            z0_ohm: 431.5,
+            lvet_ms: 294.0,
+            pep_ms: 103.5,
+            hr_bpm: 68.2,
+            valid: true,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let r = sample(42);
+        let bytes = r.encode();
+        assert_eq!(bytes.len(), RECORD_LEN);
+        let back = ParameterRecord::decode(&bytes).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn crc_detects_any_single_byte_corruption() {
+        let bytes = sample(7).encode();
+        for i in 0..RECORD_LEN {
+            let mut corrupt = bytes;
+            corrupt[i] ^= 0x5A;
+            assert!(
+                ParameterRecord::decode(&corrupt).is_err(),
+                "corruption at byte {i} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert!(ParameterRecord::decode(&[0u8; 19]).is_err());
+        assert!(ParameterRecord::decode(&[0u8; 21]).is_err());
+    }
+
+    #[test]
+    fn crc8_known_vector() {
+        // CRC-8/SMBus of "123456789" is 0xF4
+        assert_eq!(crc8(b"123456789"), 0xF4);
+        assert_eq!(crc8(&[]), 0x00);
+    }
+
+    #[test]
+    fn stream_round_trip() {
+        let records: Vec<ParameterRecord> = (0..10).map(sample).collect();
+        let bytes = encode_stream(&records);
+        assert_eq!(bytes.len(), 200);
+        let (back, consumed) = decode_stream(&bytes);
+        assert_eq!(back, records);
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn stream_stops_at_corruption() {
+        let records: Vec<ParameterRecord> = (0..5).map(sample).collect();
+        let mut bytes = encode_stream(&records);
+        bytes[2 * RECORD_LEN + 3] ^= 0xFF; // corrupt the third record
+        let (back, consumed) = decode_stream(&bytes);
+        assert_eq!(back.len(), 2);
+        assert_eq!(consumed, 2 * RECORD_LEN);
+    }
+
+    #[test]
+    fn flags_bit_round_trips() {
+        let mut r = sample(1);
+        r.valid = false;
+        let back = ParameterRecord::decode(&r.encode()).unwrap();
+        assert!(!back.valid);
+    }
+
+    #[test]
+    fn sequence_wraps() {
+        let r = sample(u16::MAX);
+        let back = ParameterRecord::decode(&r.encode()).unwrap();
+        assert_eq!(back.sequence, u16::MAX);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests over the device models.
+
+use cardiotouch_device::adc::Adc;
+use cardiotouch_device::power::{DutyCycle, PowerBudget};
+use cardiotouch_device::uplink::{crc8, ParameterRecord, RECORD_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn uplink_record_round_trips(
+        sequence in any::<u16>(),
+        z0 in 1.0f32..2000.0,
+        lvet in 100.0f32..500.0,
+        pep in 30.0f32..250.0,
+        hr in 30.0f32..200.0,
+        valid in any::<bool>(),
+    ) {
+        let r = ParameterRecord { sequence, z0_ohm: z0, lvet_ms: lvet, pep_ms: pep, hr_bpm: hr, valid };
+        let bytes = r.encode();
+        prop_assert_eq!(bytes.len(), RECORD_LEN);
+        let back = ParameterRecord::decode(&bytes).expect("round trip");
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn uplink_single_bit_flips_detected(
+        sequence in any::<u16>(),
+        byte in 0usize..RECORD_LEN,
+        bit in 0u8..8,
+    ) {
+        let r = ParameterRecord {
+            sequence, z0_ohm: 431.0, lvet_ms: 294.0, pep_ms: 104.0, hr_bpm: 68.0, valid: true,
+        };
+        let mut bytes = r.encode();
+        bytes[byte] ^= 1 << bit;
+        // CRC-8 detects every single-bit error
+        prop_assert!(ParameterRecord::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn crc8_catches_prefix_changes(data in prop::collection::vec(any::<u8>(), 1..64), flip in 0usize..64) {
+        let flip = flip % data.len();
+        let c0 = crc8(&data);
+        let mut d2 = data.clone();
+        d2[flip] ^= 0xFF;
+        prop_assert_ne!(c0, crc8(&d2));
+    }
+
+    #[test]
+    fn adc_error_bounded_by_half_lsb(
+        bits in 4u8..=16,
+        v in -0.999f64..0.999,
+    ) {
+        let adc = Adc::new(bits, 1.0, 250.0).expect("valid adc");
+        // mid-tread coding clips above the top code; the ±LSB/2 bound
+        // only applies inside the representable range
+        let top = (f64::from((1u32 << (bits - 1)) - 1)) * adc.lsb();
+        prop_assume!(v.abs() <= top);
+        let q = adc.quantize(v);
+        prop_assert!((q - v).abs() <= adc.lsb() / 2.0 + 1e-15);
+    }
+
+    #[test]
+    fn adc_quantization_is_idempotent(bits in 2u8..=16, v in -2.0f64..2.0) {
+        let adc = Adc::new(bits, 1.0, 250.0).expect("valid adc");
+        let q = adc.quantize(v);
+        prop_assert_eq!(adc.quantize(q), q);
+    }
+
+    #[test]
+    fn battery_life_decreases_in_every_duty_knob(
+        mcu in 0.0f64..0.9,
+        radio in 0.0f64..0.9,
+        dm in 0.001f64..0.1,
+        dr in 0.001f64..0.1,
+    ) {
+        let b = PowerBudget::paper_table_i();
+        let mk = |m: f64, r: f64| DutyCycle { mcu: m, radio: r, sensors_on: true, imu: false };
+        let base = b.battery_life_hours(710.0, &mk(mcu, radio));
+        prop_assert!(b.battery_life_hours(710.0, &mk(mcu + dm, radio)) <= base);
+        prop_assert!(b.battery_life_hours(710.0, &mk(mcu, radio + dr)) <= base);
+    }
+}

@@ -1,0 +1,140 @@
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+///
+/// All variants carry enough context to diagnose the failing call without a
+/// debugger; messages are lowercase without trailing punctuation per the
+/// Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// A frequency argument was outside `(0, fs/2)` or otherwise invalid.
+    InvalidFrequency {
+        /// Offending frequency in hertz.
+        frequency_hz: f64,
+        /// Sampling rate in hertz the frequency was checked against.
+        sample_rate_hz: f64,
+    },
+    /// A filter order or window length was invalid (zero, or wrong parity).
+    InvalidOrder {
+        /// The order that was requested.
+        order: usize,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The input signal is too short for the requested operation.
+    InputTooShort {
+        /// Number of samples supplied.
+        len: usize,
+        /// Minimum number of samples required.
+        min_len: usize,
+    },
+    /// Two inputs that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A structuring element or kernel was empty or larger than the signal.
+    InvalidKernel {
+        /// Kernel length supplied.
+        kernel_len: usize,
+        /// Signal length it was applied to.
+        signal_len: usize,
+    },
+    /// A numeric parameter was out of its documented range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Value supplied, formatted for display.
+        value: f64,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::InvalidFrequency {
+                frequency_hz,
+                sample_rate_hz,
+            } => write!(
+                f,
+                "frequency {frequency_hz} Hz is not in (0, {}) for sample rate {sample_rate_hz} Hz",
+                sample_rate_hz / 2.0
+            ),
+            DspError::InvalidOrder { order, constraint } => {
+                write!(f, "invalid filter order {order}: {constraint}")
+            }
+            DspError::InputTooShort { len, min_len } => {
+                write!(f, "input has {len} samples but at least {min_len} are required")
+            }
+            DspError::LengthMismatch { left, right } => {
+                write!(f, "inputs must have equal length but got {left} and {right}")
+            }
+            DspError::InvalidKernel {
+                kernel_len,
+                signal_len,
+            } => write!(
+                f,
+                "kernel of length {kernel_len} cannot be applied to signal of length {signal_len}"
+            ),
+            DspError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DspError::InvalidFrequency {
+            frequency_hz: 300.0,
+            sample_rate_hz: 250.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("300"));
+        assert!(msg.contains("250"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = [
+            DspError::InvalidOrder {
+                order: 0,
+                constraint: "must be positive",
+            },
+            DspError::InputTooShort { len: 1, min_len: 2 },
+            DspError::LengthMismatch { left: 3, right: 4 },
+            DspError::InvalidKernel {
+                kernel_len: 9,
+                signal_len: 4,
+            },
+            DspError::InvalidParameter {
+                name: "beta",
+                value: -1.0,
+                constraint: "must be non-negative",
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Fixed-point (Q15) filter kernels.
+//!
+//! The STM32L151 is a Cortex-M3 with no FPU: double-precision software
+//! floats cost ~150 cycles per operation (see the cycle-budget model in
+//! `cardiotouch-device`), while 16×16→32-bit multiply–accumulate is
+//! single-cycle. Production firmware would therefore run the conditioning
+//! filters in Q15 fixed point. This module implements Q15 FIR and biquad
+//! kernels with coefficient quantization, so the workspace can quantify
+//! the precision cost of that optimisation (the `fixed_point` tests
+//! compare against the f64 reference) and the cycle model can reflect the
+//! speed-up.
+
+use crate::fir::Fir;
+use crate::iir::Biquad;
+use crate::DspError;
+
+/// One in Q15: `1.0` maps to `32767` (the representable maximum, since
+/// +1.0 itself does not fit).
+pub const Q15_ONE: i32 = 1 << 15;
+
+/// Converts a float in `[-1, 1)` to Q15 with saturation.
+#[must_use]
+pub fn to_q15(v: f64) -> i16 {
+    let scaled = (v * f64::from(Q15_ONE)).round();
+    scaled.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+}
+
+/// Converts Q15 back to float.
+#[must_use]
+pub fn from_q15(v: i16) -> f64 {
+    f64::from(v) / f64::from(Q15_ONE)
+}
+
+/// Saturating conversion of a Q-scaled 64-bit accumulator back to i16.
+fn saturate_i16(v: i64) -> i16 {
+    v.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16
+}
+
+/// A Q15 FIR filter with quantized taps.
+///
+/// Input samples are Q15; the accumulator is 64-bit so no intermediate
+/// overflow is possible for filters up to 2¹⁸ taps.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FirQ15 {
+    taps: Vec<i16>,
+}
+
+impl FirQ15 {
+    /// Quantizes the taps of a float design. Tap magnitudes must be below
+    /// 1.0 (true for every normalised design in this workspace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] when a tap's magnitude
+    /// reaches 1.0 (it would saturate and distort the response).
+    pub fn from_design(fir: &Fir) -> Result<Self, DspError> {
+        for &t in fir.taps() {
+            if t.abs() >= 1.0 {
+                return Err(DspError::InvalidParameter {
+                    name: "tap",
+                    value: t,
+                    constraint: "must have magnitude below 1.0 for Q15",
+                });
+            }
+        }
+        Ok(Self {
+            taps: fir.taps().iter().map(|&t| to_q15(t)).collect(),
+        })
+    }
+
+    /// The quantized taps.
+    #[must_use]
+    pub fn taps(&self) -> &[i16] {
+        &self.taps
+    }
+
+    /// Filters a Q15 signal causally (direct form), rounding the Q30
+    /// accumulator back to Q15 with saturation.
+    #[must_use]
+    pub fn filter(&self, x: &[i16]) -> Vec<i16> {
+        let mut y = Vec::with_capacity(x.len());
+        for n in 0..x.len() {
+            let mut acc: i64 = 0;
+            let kmax = n.min(self.taps.len() - 1);
+            for k in 0..=kmax {
+                acc += i64::from(self.taps[k]) * i64::from(x[n - k]);
+            }
+            // acc is Q30; round to Q15
+            y.push(saturate_i16((acc + (1 << 14)) >> 15));
+        }
+        y
+    }
+}
+
+/// A Q15 biquad (direct form I, Q30 accumulator, rounded once per
+/// sample). Denominator coefficients of Butterworth designs can exceed
+/// 1.0 in magnitude (|a1| < 2), so they are stored in Q14.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BiquadQ15 {
+    b0: i16,
+    b1: i16,
+    b2: i16,
+    a1_q14: i16,
+    a2_q14: i16,
+}
+
+impl BiquadQ15 {
+    /// Quantizes a float biquad. Numerator taps must be below 1.0 in
+    /// magnitude and denominator taps below 2.0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for out-of-range
+    /// coefficients.
+    pub fn from_design(s: &Biquad) -> Result<Self, DspError> {
+        for (name, v, lim) in [
+            ("b0", s.b0, 1.0),
+            ("b1", s.b1, 2.0),
+            ("b2", s.b2, 1.0),
+            ("a1", s.a1, 2.0),
+            ("a2", s.a2, 1.0),
+        ] {
+            if v.abs() >= lim {
+                return Err(DspError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "coefficient outside the representable Q range",
+                });
+            }
+        }
+        let to_q14 = |v: f64| -> i16 {
+            (v * f64::from(1 << 14))
+                .round()
+                .clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+        };
+        Ok(Self {
+            b0: to_q15(s.b0),
+            b1: to_q14(s.b1), // b1 of a low-pass is ±2·b0 < 2
+            b2: to_q15(s.b2),
+            a1_q14: to_q14(s.a1),
+            a2_q14: to_q14(s.a2),
+        })
+    }
+
+    /// Filters a Q15 signal causally from zero state.
+    #[must_use]
+    pub fn filter(&self, x: &[i16]) -> Vec<i16> {
+        let mut y = Vec::with_capacity(x.len());
+        let (mut x1, mut x2, mut y1, mut y2) = (0i64, 0i64, 0i64, 0i64);
+        for &xn in x {
+            let xn = i64::from(xn);
+            // numerator in Q30 (b0/b2 Q15, b1 Q14 → shift one extra)
+            let num = i64::from(self.b0) * xn
+                + ((i64::from(self.b1) * x1) << 1)
+                + i64::from(self.b2) * x2;
+            // denominator in Q14 against y in Q15 → Q29 → align to Q30
+            let den = (i64::from(self.a1_q14) * y1 + i64::from(self.a2_q14) * y2) << 1;
+            let yn = saturate_i16((num - den + (1 << 14)) >> 15);
+            x2 = x1;
+            x1 = xn;
+            y2 = y1;
+            y1 = i64::from(yn);
+            y.push(yn);
+        }
+        y
+    }
+}
+
+/// Helper: quantizes a float signal in `[-scale, scale]` to Q15 (values
+/// are divided by `scale` first) and back after `f` — the scaffolding the
+/// comparison tests use.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for a non-positive scale.
+pub fn with_q15_signal<F>(x: &[f64], scale: f64, f: F) -> Result<Vec<f64>, DspError>
+where
+    F: FnOnce(&[i16]) -> Vec<i16>,
+{
+    if !(scale > 0.0 && scale.is_finite()) {
+        return Err(DspError::InvalidParameter {
+            name: "scale",
+            value: scale,
+            constraint: "must be positive and finite",
+        });
+    }
+    let q: Vec<i16> = x.iter().map(|&v| to_q15(v / scale)).collect();
+    Ok(f(&q).into_iter().map(|v| from_q15(v) * scale).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iir::Butterworth;
+    use crate::window::Window;
+
+    const FS: f64 = 250.0;
+
+    #[test]
+    fn q15_round_trip() {
+        for v in [-0.999, -0.5, 0.0, 0.25, 0.999] {
+            assert!((from_q15(to_q15(v)) - v).abs() < 1.0 / 32768.0);
+        }
+        // saturation
+        assert_eq!(to_q15(2.0), i16::MAX);
+        assert_eq!(to_q15(-2.0), i16::MIN);
+    }
+
+    #[test]
+    fn fir_q15_matches_f64_reference() {
+        let fir = Fir::bandpass(32, 0.05, 40.0, FS, Window::Hamming).unwrap();
+        let fq = FirQ15::from_design(&fir).unwrap();
+        let x: Vec<f64> = (0..1000)
+            .map(|i| 0.8 * (2.0 * std::f64::consts::PI * 10.0 * i as f64 / FS).sin())
+            .collect();
+        let y_ref = fir.filter(&x);
+        let y_q = with_q15_signal(&x, 1.0, |q| fq.filter(q)).unwrap();
+        let mut worst = 0.0f64;
+        for i in 0..x.len() {
+            worst = worst.max((y_ref[i] - y_q[i]).abs());
+        }
+        // 33 taps of rounding noise: comfortably below 1 % of full scale
+        assert!(worst < 0.01, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn biquad_q15_matches_f64_reference() {
+        let lp = Butterworth::lowpass(4, 20.0, FS).unwrap();
+        let x: Vec<f64> = (0..2000)
+            .map(|i| 0.7 * (2.0 * std::f64::consts::PI * 5.0 * i as f64 / FS).sin())
+            .collect();
+        let y_ref = lp.filter(&x);
+
+        // cascade the two quantized sections
+        let sections: Vec<BiquadQ15> = lp
+            .sections()
+            .iter()
+            .map(|s| BiquadQ15::from_design(s).unwrap())
+            .collect();
+        let y_q = with_q15_signal(&x, 1.0, |q| {
+            let mut cur = q.to_vec();
+            for s in &sections {
+                cur = s.filter(&cur);
+            }
+            cur
+        })
+        .unwrap();
+
+        let mut worst = 0.0f64;
+        for i in 100..x.len() {
+            worst = worst.max((y_ref[i] - y_q[i]).abs());
+        }
+        // recursive rounding accumulates more than FIR; still below 2 %
+        assert!(worst < 0.02, "worst deviation {worst}");
+    }
+
+    #[test]
+    fn fir_q15_impulse_is_quantized_taps() {
+        let fir = Fir::from_taps(vec![0.25, -0.5, 0.125]).unwrap();
+        let fq = FirQ15::from_design(&fir).unwrap();
+        let mut x = vec![0i16; 6];
+        x[0] = i16::MAX;
+        let y = fq.filter(&x);
+        assert!((from_q15(y[0]) - 0.25).abs() < 1e-3);
+        assert!((from_q15(y[1]) + 0.5).abs() < 1e-3);
+        assert!((from_q15(y[2]) - 0.125).abs() < 1e-3);
+    }
+
+    #[test]
+    fn saturation_instead_of_wraparound() {
+        // a pathological all-max filter must clamp, not wrap
+        let fir = Fir::from_taps(vec![0.999, 0.999]).unwrap();
+        let fq = FirQ15::from_design(&fir).unwrap();
+        let x = vec![i16::MAX; 8];
+        let y = fq.filter(&x);
+        assert_eq!(y[4], i16::MAX);
+        let xneg = vec![i16::MIN; 8];
+        let yneg = fq.filter(&xneg);
+        assert_eq!(yneg[4], i16::MIN);
+    }
+
+    #[test]
+    fn out_of_range_coefficients_rejected() {
+        let fir = Fir::from_taps(vec![1.5]).unwrap();
+        assert!(FirQ15::from_design(&fir).is_err());
+        let bad = Biquad {
+            b0: 0.5,
+            b1: 0.5,
+            b2: 0.5,
+            a1: -2.5,
+            a2: 0.9,
+        };
+        assert!(BiquadQ15::from_design(&bad).is_err());
+    }
+
+    #[test]
+    fn quantized_butterworth_keeps_its_cutoff() {
+        // the quantized filter's empirical attenuation at 60 Hz must be
+        // close to the design's
+        let lp = Butterworth::lowpass(2, 20.0, FS).unwrap();
+        let s = BiquadQ15::from_design(&lp.sections()[0]).unwrap();
+        let x: Vec<f64> = (0..4000)
+            .map(|i| 0.8 * (2.0 * std::f64::consts::PI * 60.0 * i as f64 / FS).sin())
+            .collect();
+        let y = with_q15_signal(&x, 1.0, |q| s.filter(q)).unwrap();
+        let peak = y[1000..].iter().cloned().fold(0.0f64, |a, v| a.max(v.abs()));
+        let expect = 0.8 * lp.magnitude_at(60.0, FS);
+        assert!(
+            (peak - expect).abs() < 0.02,
+            "peak {peak} vs design {expect}"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Derivative-free minimisation (Nelder–Mead simplex).
+//!
+//! Used by the bioimpedance-spectroscopy fitter in `cardiotouch` to
+//! recover Cole–Cole tissue parameters from multi-frequency impedance
+//! readings — a nonlinear least-squares problem with only four unknowns,
+//! which is exactly the regime where a simplex search is simple, robust
+//! and fast enough.
+
+use crate::DspError;
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub f_tol: f64,
+    /// Initial simplex size relative to each coordinate (absolute step
+    /// for zero coordinates).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self {
+            max_evals: 4000,
+            f_tol: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a simplex run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Objective evaluations used.
+    pub evals: usize,
+    /// Whether the f-tolerance was met (otherwise the eval budget ran
+    /// out).
+    pub converged: bool,
+}
+
+/// Minimises `f` starting from `x0` with the standard Nelder–Mead moves
+/// (reflection 1, expansion 2, contraction ½, shrink ½).
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for an empty start point or a
+/// non-finite objective at the start.
+pub fn nelder_mead<F>(
+    f: F,
+    x0: &[f64],
+    options: &NelderMeadOptions,
+) -> Result<Minimum, DspError>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = x0.len();
+    if n == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "x0",
+            value: 0.0,
+            constraint: "must have at least one dimension",
+        });
+    }
+    let f0 = f(x0);
+    if !f0.is_finite() {
+        return Err(DspError::InvalidParameter {
+            name: "f(x0)",
+            value: f0,
+            constraint: "must be finite at the start point",
+        });
+    }
+
+    // initial simplex: x0 plus one perturbed vertex per dimension
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    simplex.push((x0.to_vec(), f0));
+    let mut evals = 1usize;
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        let step = if v[i] != 0.0 {
+            options.initial_step * v[i].abs()
+        } else {
+            options.initial_step
+        };
+        v[i] += step;
+        let fv = f(&v);
+        evals += 1;
+        simplex.push((v, fv));
+    }
+
+    let centroid = |s: &[(Vec<f64>, f64)]| -> Vec<f64> {
+        // centroid of all but the worst (last) vertex
+        let mut c = vec![0.0; n];
+        for (v, _) in &s[..s.len() - 1] {
+            for (ci, vi) in c.iter_mut().zip(v) {
+                *ci += vi;
+            }
+        }
+        for ci in c.iter_mut() {
+            *ci /= (s.len() - 1) as f64;
+        }
+        c
+    };
+    let along = |c: &[f64], w: &[f64], t: f64| -> Vec<f64> {
+        c.iter().zip(w).map(|(ci, wi)| ci + t * (ci - wi)).collect()
+    };
+
+    while evals < options.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() <= options.f_tol * (1.0 + simplex[0].1.abs()) {
+            // An f-spread of ~0 can also mean the simplex straddles the
+            // minimum symmetrically (the classic 1-D stall); only stop
+            // when the simplex is geometrically tiny too, otherwise
+            // shrink and keep going.
+            let x_spread = simplex[1..]
+                .iter()
+                .flat_map(|(v, _)| {
+                    v.iter()
+                        .zip(&simplex[0].0)
+                        .map(|(a, b)| (a - b).abs() / (1.0 + b.abs()))
+                })
+                .fold(0.0f64, f64::max);
+            if x_spread <= 1e-9 {
+                let best = simplex.remove(0);
+                return Ok(Minimum {
+                    x: best.0,
+                    value: best.1,
+                    evals,
+                    converged: true,
+                });
+            }
+            let best = simplex[0].0.clone();
+            for (v, fv) in simplex.iter_mut().skip(1) {
+                for (vi, bi) in v.iter_mut().zip(&best) {
+                    *vi = bi + 0.5 * (*vi - bi);
+                }
+                *fv = f(v);
+                evals += 1;
+            }
+            continue;
+        }
+        let c = centroid(&simplex);
+        let worst = simplex[n].clone();
+
+        // reflection
+        let xr = along(&c, &worst.0, 1.0);
+        let fr = f(&xr);
+        evals += 1;
+        if fr < simplex[0].1 {
+            // expansion
+            let xe = along(&c, &worst.0, 2.0);
+            let fe = f(&xe);
+            evals += 1;
+            simplex[n] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (xr, fr);
+        } else {
+            // contraction (outside if reflection improved on worst)
+            let t = if fr < worst.1 { 0.5 } else { -0.5 };
+            let xc = along(&c, &worst.0, t);
+            let fc = f(&xc);
+            evals += 1;
+            if fc < worst.1.min(fr) {
+                simplex[n] = (xc, fc);
+            } else {
+                // shrink toward the best vertex
+                let best = simplex[0].0.clone();
+                for (v, fv) in simplex.iter_mut().skip(1) {
+                    for (vi, bi) in v.iter_mut().zip(&best) {
+                        *vi = bi + 0.5 * (*vi - bi);
+                    }
+                    *fv = f(v);
+                    evals += 1;
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let best = simplex.remove(0);
+    Ok(Minimum {
+        x: best.0,
+        value: best.1,
+        evals,
+        converged: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic_bowl() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+        let m = nelder_mead(f, &[0.0, 0.0], &NelderMeadOptions::default()).unwrap();
+        assert!(m.converged);
+        assert!((m.x[0] - 3.0).abs() < 1e-4, "{:?}", m.x);
+        assert!((m.x[1] + 1.0).abs() < 1e-4, "{:?}", m.x);
+    }
+
+    #[test]
+    fn minimises_rosenbrock() {
+        let f = |x: &[f64]| {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        };
+        let opts = NelderMeadOptions {
+            max_evals: 20_000,
+            ..NelderMeadOptions::default()
+        };
+        let m = nelder_mead(f, &[-1.2, 1.0], &opts).unwrap();
+        assert!(m.value < 1e-6, "value {}", m.value);
+        assert!((m.x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let f = |x: &[f64]| (x[0] - 42.0).powi(2);
+        let m = nelder_mead(f, &[1.0], &NelderMeadOptions::default()).unwrap();
+        assert!((m.x[0] - 42.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let opts = NelderMeadOptions {
+            max_evals: 10,
+            ..NelderMeadOptions::default()
+        };
+        let m = nelder_mead(f, &[5.0, -3.0, 2.0, 1.0, 9.0], &opts).unwrap();
+        assert!(!m.converged);
+        assert!(m.evals <= 16); // budget plus one in-flight shrink sweep
+    }
+
+    #[test]
+    fn invalid_starts_rejected() {
+        let f = |_: &[f64]| f64::NAN;
+        assert!(nelder_mead(f, &[1.0], &NelderMeadOptions::default()).is_err());
+        let g = |x: &[f64]| x[0];
+        assert!(nelder_mead(g, &[], &NelderMeadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn penalty_constraints_are_respected() {
+        // minimise (x-2)² subject to x ≤ 1 via infinity penalty
+        let f = |x: &[f64]| {
+            if x[0] > 1.0 {
+                1e12 + x[0] // finite, steep penalty
+            } else {
+                (x[0] - 2.0).powi(2)
+            }
+        };
+        let m = nelder_mead(f, &[0.0], &NelderMeadOptions::default()).unwrap();
+        assert!(m.x[0] <= 1.0 + 1e-6);
+        assert!((m.x[0] - 1.0).abs() < 1e-3, "{:?}", m.x);
+    }
+}

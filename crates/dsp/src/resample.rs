@@ -1,0 +1,170 @@
+//! Linear interpolation and resampling.
+//!
+//! The device samples at rates between 125 Hz and 16 kHz while the paper's
+//! experiments run at 250 Hz; these helpers convert between rates and
+//! evaluate signals at fractional sample positions (the B0 x-axis intercept
+//! lands between samples).
+
+use crate::DspError;
+
+/// Evaluates `x` at fractional index `pos` by linear interpolation,
+/// clamping to the signal ends.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] for an empty signal or
+/// [`DspError::InvalidParameter`] for a non-finite `pos`.
+pub fn sample_at(x: &[f64], pos: f64) -> Result<f64, DspError> {
+    if x.is_empty() {
+        return Err(DspError::InputTooShort { len: 0, min_len: 1 });
+    }
+    if !pos.is_finite() {
+        return Err(DspError::InvalidParameter {
+            name: "pos",
+            value: pos,
+            constraint: "must be finite",
+        });
+    }
+    if pos <= 0.0 {
+        return Ok(x[0]);
+    }
+    let max = (x.len() - 1) as f64;
+    if pos >= max {
+        return Ok(x[x.len() - 1]);
+    }
+    let lo = pos.floor() as usize;
+    let frac = pos - lo as f64;
+    Ok(x[lo] * (1.0 - frac) + x[lo + 1] * frac)
+}
+
+/// Resamples `x` from `fs_in` to `fs_out` hertz by linear interpolation.
+/// The output covers the same time span `[0, (n−1)/fs_in]`.
+///
+/// Linear interpolation is adequate here because every consumer first
+/// low-passes well below the Nyquist rate of either grid; a polyphase
+/// kernel would be overkill for this workload.
+///
+/// # Errors
+///
+/// * [`DspError::InputTooShort`] when `x` has fewer than 2 samples;
+/// * [`DspError::InvalidParameter`] when either rate is non-positive.
+pub fn resample(x: &[f64], fs_in: f64, fs_out: f64) -> Result<Vec<f64>, DspError> {
+    if x.len() < 2 {
+        return Err(DspError::InputTooShort {
+            len: x.len(),
+            min_len: 2,
+        });
+    }
+    for (name, v) in [("fs_in", fs_in), ("fs_out", fs_out)] {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(DspError::InvalidParameter {
+                name,
+                value: v,
+                constraint: "must be positive and finite",
+            });
+        }
+    }
+    let duration = (x.len() - 1) as f64 / fs_in;
+    let n_out = (duration * fs_out).floor() as usize + 1;
+    let mut out = Vec::with_capacity(n_out);
+    for i in 0..n_out {
+        let t = i as f64 / fs_out;
+        out.push(sample_at(x, t * fs_in)?);
+    }
+    Ok(out)
+}
+
+/// Decimates `x` by the integer factor `m`, keeping every `m`-th sample.
+/// The caller is responsible for anti-alias filtering first.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `m == 0`.
+pub fn decimate(x: &[f64], m: usize) -> Result<Vec<f64>, DspError> {
+    if m == 0 {
+        return Err(DspError::InvalidParameter {
+            name: "m",
+            value: 0.0,
+            constraint: "decimation factor must be positive",
+        });
+    }
+    Ok(x.iter().step_by(m).copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_at_exact_indices() {
+        let x = [10.0, 20.0, 30.0];
+        assert_eq!(sample_at(&x, 0.0).unwrap(), 10.0);
+        assert_eq!(sample_at(&x, 1.0).unwrap(), 20.0);
+        assert_eq!(sample_at(&x, 2.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn sample_at_interpolates() {
+        let x = [10.0, 20.0];
+        assert_eq!(sample_at(&x, 0.5).unwrap(), 15.0);
+        assert_eq!(sample_at(&x, 0.25).unwrap(), 12.5);
+    }
+
+    #[test]
+    fn sample_at_clamps() {
+        let x = [10.0, 20.0];
+        assert_eq!(sample_at(&x, -3.0).unwrap(), 10.0);
+        assert_eq!(sample_at(&x, 9.0).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn sample_at_errors() {
+        assert!(sample_at(&[], 0.0).is_err());
+        assert!(sample_at(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn resample_identity_rate() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = resample(&x, 100.0, 100.0).unwrap();
+        assert_eq!(y, x.to_vec());
+    }
+
+    #[test]
+    fn resample_doubles_sample_count() {
+        let x = [0.0, 1.0, 2.0];
+        let y = resample(&x, 100.0, 200.0).unwrap();
+        // span 0.02 s at 200 Hz → 5 samples: 0, .5, 1, 1.5, 2
+        assert_eq!(y, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn resample_preserves_sine_shape() {
+        let fs_in = 1000.0;
+        let fs_out = 250.0;
+        let x: Vec<f64> = (0..1000)
+            .map(|i| (2.0 * std::f64::consts::PI * 5.0 * i as f64 / fs_in).sin())
+            .collect();
+        let y = resample(&x, fs_in, fs_out).unwrap();
+        for (i, v) in y.iter().enumerate() {
+            let expect = (2.0 * std::f64::consts::PI * 5.0 * i as f64 / fs_out).sin();
+            assert!((v - expect).abs() < 1e-3, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn resample_errors() {
+        assert!(resample(&[1.0], 100.0, 50.0).is_err());
+        assert!(resample(&[1.0, 2.0], 0.0, 50.0).is_err());
+        assert!(resample(&[1.0, 2.0], 100.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn decimate_keeps_every_mth() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(decimate(&x, 2).unwrap(), vec![0.0, 2.0, 4.0]);
+        assert_eq!(decimate(&x, 3).unwrap(), vec![0.0, 3.0]);
+        assert_eq!(decimate(&x, 1).unwrap(), x.to_vec());
+        assert!(decimate(&x, 0).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! Descriptive statistics and least-squares helpers.
+//!
+//! Two of these carry the paper's evaluation directly: [`pearson`] computes
+//! the correlation coefficients of Tables II–IV, and [`LineFit`] implements
+//! the least-squares line whose x-axis intercept defines the initial B0
+//! estimate ("line fit of the ICG points between 40 % and 80 % of the
+//! amplitude of point C").
+
+use crate::DspError;
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+#[must_use]
+pub fn mean(x: &[f64]) -> Option<f64> {
+    if x.is_empty() {
+        None
+    } else {
+        Some(x.iter().sum::<f64>() / x.len() as f64)
+    }
+}
+
+/// Population variance (divides by `n`). Returns `None` for an empty slice.
+#[must_use]
+pub fn variance(x: &[f64]) -> Option<f64> {
+    let m = mean(x)?;
+    Some(x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+#[must_use]
+pub fn std_dev(x: &[f64]) -> Option<f64> {
+    variance(x).map(f64::sqrt)
+}
+
+/// Root-mean-square value. Returns `None` for an empty slice.
+#[must_use]
+pub fn rms(x: &[f64]) -> Option<f64> {
+    if x.is_empty() {
+        None
+    } else {
+        Some((x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt())
+    }
+}
+
+/// Median (by sorting a copy). Returns `None` for an empty slice; NaNs are
+/// sorted last.
+#[must_use]
+pub fn median(x: &[f64]) -> Option<f64> {
+    percentile(x, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`. Returns `None` for an
+/// empty slice or out-of-range `p`.
+#[must_use]
+pub fn percentile(x: &[f64], p: f64) -> Option<f64> {
+    if x.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut v = x.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Greater));
+    let pos = p / 100.0 * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Pearson product-moment correlation coefficient between two equal-length
+/// series — the statistic behind the paper's Tables II–IV.
+///
+/// # Errors
+///
+/// * [`DspError::LengthMismatch`] when lengths differ;
+/// * [`DspError::InputTooShort`] when fewer than 2 samples;
+/// * [`DspError::InvalidParameter`] when either series has zero variance
+///   (the coefficient is undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, DspError> {
+    if x.len() != y.len() {
+        return Err(DspError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(DspError::InputTooShort {
+            len: x.len(),
+            min_len: 2,
+        });
+    }
+    let mx = mean(x).expect("non-empty");
+    let my = mean(y).expect("non-empty");
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "variance",
+            value: 0.0,
+            constraint: "both series must have non-zero variance",
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+}
+
+impl LineFit {
+    /// Fits a line to `(x[i], y[i])` pairs by ordinary least squares.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::LengthMismatch`] when lengths differ;
+    /// * [`DspError::InputTooShort`] when fewer than 2 points;
+    /// * [`DspError::InvalidParameter`] when all `x` are identical (the
+    ///   slope is undefined).
+    pub fn fit(x: &[f64], y: &[f64]) -> Result<Self, DspError> {
+        if x.len() != y.len() {
+            return Err(DspError::LengthMismatch {
+                left: x.len(),
+                right: y.len(),
+            });
+        }
+        if x.len() < 2 {
+            return Err(DspError::InputTooShort {
+                len: x.len(),
+                min_len: 2,
+            });
+        }
+        let mx = mean(x).expect("non-empty");
+        let my = mean(y).expect("non-empty");
+        let (mut sxy, mut sxx) = (0.0, 0.0);
+        for (&a, &b) in x.iter().zip(y) {
+            sxy += (a - mx) * (b - my);
+            sxx += (a - mx) * (a - mx);
+        }
+        if sxx == 0.0 {
+            return Err(DspError::InvalidParameter {
+                name: "x",
+                value: mx,
+                constraint: "abscissae must not all be identical",
+            });
+        }
+        let slope = sxy / sxx;
+        Ok(Self {
+            slope,
+            intercept: my - slope * mx,
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    #[must_use]
+    pub fn value_at(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// The x-axis intercept `−intercept / slope` (where the fitted line
+    /// crosses y = 0), or `None` when the line is horizontal. This is the
+    /// quantity the paper uses as the initial B-point estimate B0.
+    #[must_use]
+    pub fn x_intercept(&self) -> Option<f64> {
+        if self.slope == 0.0 {
+            None
+        } else {
+            Some(-self.intercept / self.slope)
+        }
+    }
+}
+
+/// Relative error `(a − b) / a`, the paper's displacement-error criterion
+/// (equations (1)–(3)): e.g. `e21 = (Z_pos2 − Z_pos1) / Z_pos2`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] when `a` is zero (undefined).
+pub fn relative_error(a: f64, b: f64) -> Result<f64, DspError> {
+    if a == 0.0 {
+        return Err(DspError::InvalidParameter {
+            name: "reference",
+            value: a,
+            constraint: "must be non-zero",
+        });
+    }
+    Ok((a - b) / a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&x), Some(5.0));
+        assert_eq!(variance(&x), Some(4.0));
+        assert_eq!(std_dev(&x), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn rms_of_sine_is_inv_sqrt2() {
+        let x: Vec<f64> = (0..10_000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 100.0).sin())
+            .collect();
+        let r = rms(&x).unwrap();
+        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn median_and_percentiles() {
+        let x = [3.0, 1.0, 2.0];
+        assert_eq!(median(&x), Some(2.0));
+        assert_eq!(percentile(&x, 0.0), Some(1.0));
+        assert_eq!(percentile(&x, 100.0), Some(3.0));
+        assert_eq!(percentile(&x, 25.0), Some(1.5));
+        assert_eq!(percentile(&x, 101.0), None);
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &yn).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_invariance_to_affine_maps() {
+        let x = [1.0, 2.0, 5.0, 3.0, 8.0];
+        let y = [0.3, -1.0, 2.0, 0.7, 4.0];
+        let r0 = pearson(&x, &y).unwrap();
+        let xs: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let r1 = pearson(&xs, &y).unwrap();
+        assert!((r0 - r1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pearson_bounded() {
+        let x = [0.3, 1.8, -0.2, 4.4, 2.2, -1.0];
+        let y = [1.1, 0.2, 3.3, -0.4, 0.0, 2.0];
+        let r = pearson(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn line_fit_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = LineFit::fit(&x, &y).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.value_at(10.0) - 21.0).abs() < 1e-12);
+        assert!((f.x_intercept().unwrap() + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_fit_horizontal_has_no_x_intercept() {
+        let f = LineFit::fit(&[0.0, 1.0], &[2.0, 2.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.x_intercept(), None);
+    }
+
+    #[test]
+    fn line_fit_errors() {
+        assert!(LineFit::fit(&[1.0], &[1.0]).is_err());
+        assert!(LineFit::fit(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(LineFit::fit(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn relative_error_matches_paper_equations() {
+        // e21 = (Z2 − Z1)/Z2 with Z2 = 100, Z1 = 80 → 0.2
+        assert!((relative_error(100.0, 80.0).unwrap() - 0.2).abs() < 1e-12);
+        assert!(relative_error(0.0, 1.0).is_err());
+        // sign flips when the comparison value is larger
+        assert!(relative_error(100.0, 120.0).unwrap() < 0.0);
+    }
+}

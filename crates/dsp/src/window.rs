@@ -1,0 +1,232 @@
+//! Tapering windows for FIR design and spectral analysis.
+//!
+//! The paper's 32nd-order ECG bandpass is designed with the windowed-sinc
+//! method; this module supplies the window shapes. The Kaiser window uses a
+//! series evaluation of the zeroth-order modified Bessel function `I0`.
+
+use crate::DspError;
+
+/// Window shape selector.
+///
+/// # Example
+///
+/// ```
+/// use cardiotouch_dsp::window::Window;
+///
+/// let w = Window::Hamming.coefficients(5);
+/// assert_eq!(w.len(), 5);
+/// // Hamming is symmetric and peaks in the middle.
+/// assert!((w[0] - w[4]).abs() < 1e-12);
+/// assert!(w[2] > w[0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Raised cosine with 0.54/0.46 coefficients; −43 dB sidelobes.
+    #[default]
+    Hamming,
+    /// Raised cosine reaching zero at the edges; −31 dB sidelobes.
+    Hann,
+    /// Three-term cosine window; −58 dB sidelobes.
+    Blackman,
+    /// Kaiser window with shape parameter β (trade-off between main-lobe
+    /// width and sidelobe level).
+    Kaiser {
+        /// Shape parameter; β = 0 degenerates to rectangular.
+        beta: f64,
+    },
+}
+
+impl Window {
+    /// Returns the `len` coefficients of a *symmetric* window.
+    ///
+    /// A symmetric window of length `L` satisfies `w[n] == w[L-1-n]`, which
+    /// is required for linear-phase FIR design.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; `len == 0` returns an empty vector and `len == 1`
+    /// returns `[1.0]`.
+    #[must_use]
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        if len == 1 {
+            return vec![1.0];
+        }
+        let m = (len - 1) as f64;
+        (0..len)
+            .map(|n| {
+                let x = n as f64;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hamming => {
+                        0.54 - 0.46 * (2.0 * std::f64::consts::PI * x / m).cos()
+                    }
+                    Window::Hann => {
+                        0.5 - 0.5 * (2.0 * std::f64::consts::PI * x / m).cos()
+                    }
+                    Window::Blackman => {
+                        let t = 2.0 * std::f64::consts::PI * x / m;
+                        0.42 - 0.5 * t.cos() + 0.08 * (2.0 * t).cos()
+                    }
+                    Window::Kaiser { beta } => {
+                        let r = 2.0 * x / m - 1.0;
+                        bessel_i0(beta * (1.0 - r * r).max(0.0).sqrt()) / bessel_i0(beta)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Estimates the Kaiser β needed for a given stop-band attenuation in
+    /// decibels (Kaiser's empirical formula).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `atten_db` is not finite or
+    /// is negative.
+    pub fn kaiser_beta_for_attenuation(atten_db: f64) -> Result<f64, DspError> {
+        if !atten_db.is_finite() || atten_db < 0.0 {
+            return Err(DspError::InvalidParameter {
+                name: "atten_db",
+                value: atten_db,
+                constraint: "must be finite and non-negative",
+            });
+        }
+        Ok(if atten_db > 50.0 {
+            0.1102 * (atten_db - 8.7)
+        } else if atten_db >= 21.0 {
+            0.5842 * (atten_db - 21.0).powf(0.4) + 0.07886 * (atten_db - 21.0)
+        } else {
+            0.0
+        })
+    }
+}
+
+/// Zeroth-order modified Bessel function of the first kind, by power series.
+///
+/// Converges rapidly for the argument range used by Kaiser windows
+/// (|x| ≲ 30). Truncates when a term falls below `1e-16` of the running sum.
+#[must_use]
+pub fn bessel_i0(x: f64) -> f64 {
+    let y = x * x / 4.0;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for k in 1..200 {
+        term *= y / ((k * k) as f64);
+        sum += term;
+        if term < sum * 1e-16 {
+            break;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_symmetric(w: &[f64]) {
+        for i in 0..w.len() / 2 {
+            assert!(
+                (w[i] - w[w.len() - 1 - i]).abs() < 1e-12,
+                "asymmetry at {i}: {} vs {}",
+                w[i],
+                w[w.len() - 1 - i]
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert_eq!(Window::Rectangular.coefficients(4), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn edge_lengths() {
+        assert!(Window::Hamming.coefficients(0).is_empty());
+        assert_eq!(Window::Hamming.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn hamming_endpoints_are_0_08() {
+        let w = Window::Hamming.coefficients(33);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[32] - 0.08).abs() < 1e-12);
+        assert!((w[16] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let w = Window::Hann.coefficients(21);
+        assert!(w[0].abs() < 1e-12);
+        assert!((w[10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_endpoints_near_zero() {
+        let w = Window::Blackman.coefficients(21);
+        assert!(w[0].abs() < 1e-10);
+        assert!((w[10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_windows_symmetric() {
+        for win in [
+            Window::Rectangular,
+            Window::Hamming,
+            Window::Hann,
+            Window::Blackman,
+            Window::Kaiser { beta: 6.0 },
+        ] {
+            for len in [2, 5, 16, 33] {
+                assert_symmetric(&win.coefficients(len));
+            }
+        }
+    }
+
+    #[test]
+    fn kaiser_beta_zero_is_rectangular() {
+        let w = Window::Kaiser { beta: 0.0 }.coefficients(9);
+        for v in w {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kaiser_peak_is_one() {
+        let w = Window::Kaiser { beta: 8.6 }.coefficients(33);
+        assert!((w[16] - 1.0).abs() < 1e-12);
+        assert!(w[0] < 0.01);
+    }
+
+    #[test]
+    fn bessel_i0_known_values() {
+        // I0(0) = 1; I0(1) ≈ 1.2660658; I0(5) ≈ 27.239872
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-15);
+        assert!((bessel_i0(1.0) - 1.266_065_877_752_008_3).abs() < 1e-12);
+        assert!((bessel_i0(5.0) - 27.239_871_823_604_45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kaiser_beta_formula_regions() {
+        // below 21 dB → 0
+        assert_eq!(Window::kaiser_beta_for_attenuation(10.0).unwrap(), 0.0);
+        // 60 dB → 0.1102*(60-8.7)
+        let b = Window::kaiser_beta_for_attenuation(60.0).unwrap();
+        assert!((b - 0.1102 * 51.3).abs() < 1e-12);
+        // mid region is positive and continuous-ish
+        let b30 = Window::kaiser_beta_for_attenuation(30.0).unwrap();
+        assert!(b30 > 0.0 && b30 < b);
+    }
+
+    #[test]
+    fn kaiser_beta_rejects_negative() {
+        assert!(Window::kaiser_beta_for_attenuation(-1.0).is_err());
+        assert!(Window::kaiser_beta_for_attenuation(f64::NAN).is_err());
+    }
+}

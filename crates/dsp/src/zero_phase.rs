@@ -1,0 +1,284 @@
+//! Zero-phase (forward–backward) filtering.
+//!
+//! Both of the paper's conditioning filters are *zero-phase*: the ECG
+//! 0.05–40 Hz FIR bandpass and the ICG 20 Hz Butterworth low-pass. Zero
+//! phase matters because the whole point of the downstream algorithm is the
+//! *timing* of the R, B, C and X landmarks — a causal filter's group delay
+//! (and, for IIR, its phase distortion) would bias LVET and PEP directly.
+//!
+//! The classic `filtfilt` construction is used: the signal is extended at
+//! both ends by odd reflection (to suppress edge transients), filtered
+//! forward, reversed, filtered again, reversed back, and trimmed. The
+//! resulting effective magnitude response is the square of the underlying
+//! filter's and the phase is identically zero.
+
+use crate::fir::Fir;
+use crate::iir::Butterworth;
+use crate::DspError;
+
+/// Applies `filter` forward and backward over `x`, returning a zero-phase
+/// result of the same length.
+///
+/// The edge extension length is `3 × (order + 1)` samples (clamped to
+/// `x.len() − 1`), mirroring SciPy's default.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] when `x` has fewer than 2 samples.
+///
+/// # Example
+///
+/// ```
+/// use cardiotouch_dsp::fir::Fir;
+/// use cardiotouch_dsp::window::Window;
+/// use cardiotouch_dsp::zero_phase::filtfilt_fir;
+///
+/// # fn main() -> Result<(), cardiotouch_dsp::DspError> {
+/// let lp = Fir::lowpass(32, 20.0, 250.0, Window::Hamming)?;
+/// let x: Vec<f64> = (0..300).map(|n| (n as f64 / 10.0).sin()).collect();
+/// let y = filtfilt_fir(&lp, &x)?;
+/// assert_eq!(y.len(), x.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn filtfilt_fir(filter: &Fir, x: &[f64]) -> Result<Vec<f64>, DspError> {
+    filtfilt_with(x, filter.order() + 1, |s| filter.filter(s))
+}
+
+/// Applies a Butterworth cascade forward and backward over `x`, returning a
+/// zero-phase result of the same length. This is the exact operation the
+/// paper describes for ICG conditioning.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] when `x` has fewer than 2 samples.
+pub fn filtfilt_iir(filter: &Butterworth, x: &[f64]) -> Result<Vec<f64>, DspError> {
+    // IIR transients decay over many samples; use a generous extension.
+    filtfilt_with(x, 6 * (filter.order() + 1), |s| filter.filter(s))
+}
+
+/// Like [`filtfilt_iir`] but with an explicit edge-extension length in
+/// samples (before the internal ×3 factor) and **even** (symmetric)
+/// reflection instead of odd.
+///
+/// Use this variant for **high-pass** filters with very low corners: odd
+/// reflection offsets the extension's local mean by `2·x(end)`, and a slow
+/// high-pass turns that pedestal into a decaying error that reaches
+/// hundreds of samples into the interior. Even reflection preserves the
+/// local mean (at the cost of a slope kink, which a high-pass passes as a
+/// brief, local wiggle), so the interior stays clean.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] when `x` has fewer than 2 samples.
+pub fn filtfilt_iir_ext(
+    filter: &Butterworth,
+    x: &[f64],
+    ext_samples: usize,
+) -> Result<Vec<f64>, DspError> {
+    if x.len() < 2 {
+        return Err(DspError::InputTooShort {
+            len: x.len(),
+            min_len: 2,
+        });
+    }
+    let ext = (3 * ext_samples.max(1)).min(x.len() - 1);
+    let padded = even_reflect(x, ext);
+    let fwd = filter.filter(&padded);
+    let mut rev: Vec<f64> = fwd.into_iter().rev().collect();
+    rev = filter.filter(&rev);
+    rev.reverse();
+    Ok(rev[ext..ext + x.len()].to_vec())
+}
+
+/// Shared forward–backward scaffolding: odd-reflect by `ext`, run the
+/// provided causal `apply` twice (with a reversal in between), trim.
+fn filtfilt_with<F>(x: &[f64], ext: usize, apply: F) -> Result<Vec<f64>, DspError>
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    if x.len() < 2 {
+        return Err(DspError::InputTooShort {
+            len: x.len(),
+            min_len: 2,
+        });
+    }
+    let ext = (3 * ext).min(x.len() - 1);
+    let padded = odd_reflect(x, ext);
+
+    let fwd = apply(&padded);
+    let mut rev: Vec<f64> = fwd.into_iter().rev().collect();
+    rev = apply(&rev);
+    rev.reverse();
+
+    Ok(rev[ext..ext + x.len()].to_vec())
+}
+
+/// Extends `x` by `ext` samples on each side using odd (anti-symmetric)
+/// reflection about the end points: the extension at the start is
+/// `2·x[0] − x[ext..0]` and analogously at the end. Odd reflection keeps
+/// the signal continuous in value *and* first difference, which minimises
+/// the start-up transient of the filter.
+#[must_use]
+pub fn odd_reflect(x: &[f64], ext: usize) -> Vec<f64> {
+    debug_assert!(ext < x.len());
+    let n = x.len();
+    let mut out = Vec::with_capacity(n + 2 * ext);
+    for i in (1..=ext).rev() {
+        out.push(2.0 * x[0] - x[i]);
+    }
+    out.extend_from_slice(x);
+    for i in 1..=ext {
+        out.push(2.0 * x[n - 1] - x[n - 1 - i]);
+    }
+    out
+}
+
+/// Extends `x` by `ext` samples on each side using even (symmetric)
+/// reflection about the end points: value-continuous and mean-preserving,
+/// but with a slope kink at the junction.
+#[must_use]
+pub fn even_reflect(x: &[f64], ext: usize) -> Vec<f64> {
+    debug_assert!(ext < x.len());
+    let n = x.len();
+    let mut out = Vec::with_capacity(n + 2 * ext);
+    for i in (1..=ext).rev() {
+        out.push(x[i]);
+    }
+    out.extend_from_slice(x);
+    for i in 1..=ext {
+        out.push(x[n - 1 - i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::Window;
+
+    const FS: f64 = 250.0;
+
+    fn sine(f: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / FS).sin())
+            .collect()
+    }
+
+    #[test]
+    fn odd_reflect_shape() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let p = odd_reflect(&x, 2);
+        // start: 2*1-3=-1, 2*1-2=0 ; end: 2*4-3=5, 2*4-2=6
+        assert_eq!(p, vec![-1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn odd_reflect_zero_ext_is_identity() {
+        let x = [1.0, 2.0];
+        assert_eq!(odd_reflect(&x, 0), x.to_vec());
+    }
+
+    #[test]
+    fn filtfilt_fir_preserves_length() {
+        let f = Fir::lowpass(32, 20.0, FS, Window::Hamming).unwrap();
+        for n in [2, 10, 50, 300] {
+            let x = sine(5.0, n);
+            assert_eq!(filtfilt_fir(&f, &x).unwrap().len(), n);
+        }
+    }
+
+    #[test]
+    fn filtfilt_rejects_tiny_input() {
+        let f = Fir::lowpass(32, 20.0, FS, Window::Hamming).unwrap();
+        assert!(filtfilt_fir(&f, &[1.0]).is_err());
+        assert!(filtfilt_fir(&f, &[]).is_err());
+    }
+
+    #[test]
+    fn filtfilt_fir_zero_phase_on_passband_sine() {
+        // A 5 Hz sine through a 20 Hz low-pass must come out time-aligned:
+        // cross-correlation at zero lag should dominate.
+        let f = Fir::lowpass(32, 20.0, FS, Window::Hamming).unwrap();
+        let x = sine(5.0, 1000);
+        let y = filtfilt_fir(&f, &x).unwrap();
+        // compare interior samples directly (transients are at the edges)
+        for i in 100..900 {
+            assert!(
+                (x[i] - y[i]).abs() < 0.01,
+                "sample {i}: {} vs {}",
+                x[i],
+                y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn filtfilt_iir_zero_phase_on_passband_sine() {
+        let f = Butterworth::lowpass(4, 20.0, FS).unwrap();
+        let x = sine(3.0, 1500);
+        let y = filtfilt_iir(&f, &x).unwrap();
+        for i in 200..1300 {
+            assert!((x[i] - y[i]).abs() < 0.01, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn filtfilt_iir_squares_the_magnitude() {
+        // A 30 Hz sine through a 20 Hz 4th-order LP: single pass gain g,
+        // filtfilt gain must be ~g².
+        let f = Butterworth::lowpass(4, 20.0, FS).unwrap();
+        let g = f.magnitude_at(30.0, FS);
+        let x = sine(30.0, 4000);
+        let y = filtfilt_iir(&f, &x).unwrap();
+        let peak = y[1000..3000].iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+        assert!(
+            (peak - g * g).abs() < 0.01,
+            "peak {peak} vs g² {}",
+            g * g
+        );
+    }
+
+    #[test]
+    fn filtfilt_preserves_dc() {
+        let f = Butterworth::lowpass(2, 20.0, FS).unwrap();
+        let x = vec![3.7; 400];
+        let y = filtfilt_iir(&f, &x).unwrap();
+        for v in &y[50..350] {
+            assert!((v - 3.7).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn filtfilt_linear_ramp_passes_lowpass_cleanly() {
+        // Odd reflection keeps first differences continuous, so a ramp
+        // through a low-pass should be nearly untouched even at edges.
+        let f = Butterworth::lowpass(2, 20.0, FS).unwrap();
+        let x: Vec<f64> = (0..500).map(|i| 0.01 * i as f64).collect();
+        let y = filtfilt_iir(&f, &x).unwrap();
+        for i in 0..500 {
+            assert!((x[i] - y[i]).abs() < 0.02, "sample {i}: {} vs {}", x[i], y[i]);
+        }
+    }
+
+    #[test]
+    fn paper_icg_chain_attenuates_above_20hz() {
+        // 35 Hz must be strongly suppressed, 5 Hz preserved — exactly what
+        // the ICG conditioning in the paper needs (ICG band 0.8–20 Hz).
+        let f = Butterworth::lowpass(4, 20.0, FS).unwrap();
+        let x: Vec<f64> = (0..2000)
+            .map(|i| {
+                let t = i as f64 / FS;
+                (2.0 * std::f64::consts::PI * 5.0 * t).sin()
+                    + 0.5 * (2.0 * std::f64::consts::PI * 35.0 * t).sin()
+            })
+            .collect();
+        let y = filtfilt_iir(&f, &x).unwrap();
+        let clean = sine(5.0, 2000);
+        let mut err = 0.0f64;
+        for i in 300..1700 {
+            err = err.max((y[i] - clean[i]).abs());
+        }
+        assert!(err < 0.06, "residual interference {err}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests over the DSP kernels.
+
+use cardiotouch_dsp::fir::Fir;
+use cardiotouch_dsp::iir::Butterworth;
+use cardiotouch_dsp::morph::{self, FlatElement};
+use cardiotouch_dsp::peaks;
+use cardiotouch_dsp::stats;
+use cardiotouch_dsp::window::Window;
+use cardiotouch_dsp::zero_phase::{filtfilt_fir, filtfilt_iir, odd_reflect};
+use proptest::prelude::*;
+
+fn signal(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, min_len..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn filtfilt_fir_preserves_length(x in signal(2, 400)) {
+        let f = Fir::lowpass(16, 20.0, 250.0, Window::Hamming).unwrap();
+        let y = filtfilt_fir(&f, &x).unwrap();
+        prop_assert_eq!(y.len(), x.len());
+    }
+
+    #[test]
+    fn filtfilt_iir_preserves_length(x in signal(2, 400)) {
+        let f = Butterworth::lowpass(4, 20.0, 250.0).unwrap();
+        let y = filtfilt_iir(&f, &x).unwrap();
+        prop_assert_eq!(y.len(), x.len());
+    }
+
+    #[test]
+    fn filtfilt_is_linear(x in signal(16, 128), a in -5.0f64..5.0) {
+        let f = Butterworth::lowpass(2, 20.0, 250.0).unwrap();
+        let y1 = filtfilt_iir(&f, &x).unwrap();
+        let xs: Vec<f64> = x.iter().map(|v| a * v).collect();
+        let y2 = filtfilt_iir(&f, &xs).unwrap();
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((a * u - v).abs() < 1e-6 * (1.0 + u.abs() * a.abs()));
+        }
+    }
+
+    #[test]
+    fn filtfilt_time_reversal_symmetry(x in signal(64, 256)) {
+        // Zero phase means filtering a reversed signal equals reversing the
+        // filtered signal. Exact only on infinite signals — edge transients
+        // differ — so compare interior samples with a tolerance scaled to
+        // the signal magnitude.
+        let f = Butterworth::lowpass(2, 20.0, 250.0).unwrap();
+        let y = filtfilt_iir(&f, &x).unwrap();
+        let xr: Vec<f64> = x.iter().rev().copied().collect();
+        let yr = filtfilt_iir(&f, &xr).unwrap();
+        let scale = x.iter().fold(1.0f64, |a, &v| a.max(v.abs()));
+        let rev: Vec<f64> = yr.iter().rev().copied().collect();
+        let margin = 24; // a few filter time-constants
+        for i in margin..x.len() - margin {
+            prop_assert!((y[i] - rev[i]).abs() < 0.02 * scale, "i={}", i);
+        }
+    }
+
+    #[test]
+    fn odd_reflect_length_and_interior(x in signal(3, 64), ext in 0usize..3) {
+        let ext = ext.min(x.len() - 1);
+        let p = odd_reflect(&x, ext);
+        prop_assert_eq!(p.len(), x.len() + 2 * ext);
+        prop_assert_eq!(&p[ext..ext + x.len()], &x[..]);
+    }
+
+    #[test]
+    fn erosion_le_signal_le_dilation(x in signal(9, 200), hw in 0usize..4) {
+        let el = FlatElement::new(hw);
+        let e = morph::erode(&x, el).unwrap();
+        let d = morph::dilate(&x, el).unwrap();
+        for i in 0..x.len() {
+            prop_assert!(e[i] <= x[i] && x[i] <= d[i]);
+        }
+    }
+
+    #[test]
+    fn opening_anti_extensive_closing_extensive(x in signal(9, 200), hw in 0usize..4) {
+        let el = FlatElement::new(hw);
+        let o = morph::open(&x, el).unwrap();
+        let c = morph::close(&x, el).unwrap();
+        for i in 0..x.len() {
+            prop_assert!(o[i] <= x[i] + 1e-12);
+            prop_assert!(c[i] >= x[i] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn opening_idempotent(x in signal(9, 150), hw in 1usize..4) {
+        let el = FlatElement::new(hw);
+        let once = morph::open(&x, el).unwrap();
+        let twice = morph::open(&once, el).unwrap();
+        for i in 0..x.len() {
+            prop_assert!((once[i] - twice[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn morphology_translation_invariant(x in signal(9, 150), hw in 0usize..4, c in -50.0f64..50.0) {
+        // eroding (x + c) equals erode(x) + c
+        let el = FlatElement::new(hw);
+        let e0 = morph::erode(&x, el).unwrap();
+        let shifted: Vec<f64> = x.iter().map(|v| v + c).collect();
+        let e1 = morph::erode(&shifted, el).unwrap();
+        for i in 0..x.len() {
+            prop_assert!((e0[i] + c - e1[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_in_unit_interval(
+        x in prop::collection::vec(-100.0f64..100.0, 3..64),
+        seed in 0u64..1000
+    ) {
+        // derive a second series deterministically but non-degenerately
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * ((seed % 7) as f64 - 3.0) + ((i as f64) * 0.37 + seed as f64).sin())
+            .collect();
+        if let (Ok(r),) = (stats::pearson(&x, &y),) {
+            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+        }
+    }
+
+    #[test]
+    fn pearson_symmetric(x in signal(3, 64)) {
+        let y: Vec<f64> = x.iter().enumerate().map(|(i, v)| v + (i as f64 * 0.7).cos()).collect();
+        if let (Ok(a), Ok(b)) = (stats::pearson(&x, &y), stats::pearson(&y, &x)) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_maxima_are_maxima(x in signal(3, 200)) {
+        for i in peaks::local_maxima(&x, f64::NEG_INFINITY, 1) {
+            prop_assert!(x[i] > x[i - 1]);
+            prop_assert!(x[i] >= x[i + 1]);
+        }
+    }
+
+    #[test]
+    fn local_maxima_respect_distance(x in signal(3, 200), d in 1usize..20) {
+        let m = peaks::local_maxima(&x, f64::NEG_INFINITY, d);
+        for w in m.windows(2) {
+            prop_assert!(w[1] - w[0] >= d);
+        }
+    }
+
+    #[test]
+    fn argmax_is_max(x in signal(1, 100)) {
+        let i = peaks::argmax(&x).unwrap();
+        for &v in &x {
+            prop_assert!(x[i] >= v);
+        }
+    }
+
+    #[test]
+    fn fir_filter_linearity(x in signal(8, 100), a in -3.0f64..3.0) {
+        let f = Fir::lowpass(8, 30.0, 250.0, Window::Hamming).unwrap();
+        let y1 = f.filter(&x);
+        let xs: Vec<f64> = x.iter().map(|v| a * v).collect();
+        let y2 = f.filter(&xs);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((a * u - v).abs() < 1e-9 * (1.0 + u.abs() * a.abs()));
+        }
+    }
+
+    #[test]
+    fn butterworth_magnitude_monotone_decreasing_lowpass(fc in 5.0f64..60.0, n in 1usize..6) {
+        let f = Butterworth::lowpass(n, fc, 250.0).unwrap();
+        let mut prev = f.magnitude_at(0.0, 250.0);
+        for k in 1..25 {
+            let g = f.magnitude_at(k as f64 * 5.0, 250.0);
+            prop_assert!(g <= prev + 1e-9);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn percentile_monotone(x in signal(2, 64), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = stats::percentile(&x, lo).unwrap();
+        let b = stats::percentile(&x, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn wavelet_perfect_reconstruction(
+        x in prop::collection::vec(-10.0f64..10.0, 64..300),
+        levels in 1usize..4,
+    ) {
+        use cardiotouch_dsp::wavelet::{decompose, Wavelet};
+        for w in [Wavelet::Haar, Wavelet::Db4] {
+            let dec = decompose(&x, w, levels).unwrap();
+            let y = dec.reconstruct();
+            prop_assert_eq!(y.len(), x.len());
+            // periodized transform: interior must reconstruct exactly
+            let margin = 8 << levels;
+            if x.len() > 2 * margin {
+                for i in margin..x.len() - margin {
+                    prop_assert!((x[i] - y[i]).abs() < 1e-8, "{:?} L{} i={}", w, levels, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q15_round_trip_error_bounded(v in -0.999f64..0.999) {
+        use cardiotouch_dsp::fixed::{from_q15, to_q15};
+        prop_assert!((from_q15(to_q15(v)) - v).abs() <= 1.0 / 32768.0);
+    }
+
+    #[test]
+    fn q15_fir_tracks_float_reference(
+        seed in 0u64..50,
+        freq in 2.0f64..35.0,
+    ) {
+        use cardiotouch_dsp::fixed::{with_q15_signal, FirQ15};
+        let fir = Fir::lowpass(16, 40.0, 250.0, Window::Hamming).unwrap();
+        let fq = FirQ15::from_design(&fir).unwrap();
+        let x: Vec<f64> = (0..400)
+            .map(|i| 0.7 * (2.0 * std::f64::consts::PI * freq * (i as f64 + seed as f64) / 250.0).sin())
+            .collect();
+        let y_ref = fir.filter(&x);
+        let y_q = with_q15_signal(&x, 1.0, |q| fq.filter(q)).unwrap();
+        for i in 0..x.len() {
+            prop_assert!((y_ref[i] - y_q[i]).abs() < 0.01, "i={}", i);
+        }
+    }
+
+    #[test]
+    fn nelder_mead_finds_quadratic_minimum(
+        cx in -5.0f64..5.0,
+        cy in -5.0f64..5.0,
+    ) {
+        use cardiotouch_dsp::optimize::{nelder_mead, NelderMeadOptions};
+        let f = move |p: &[f64]| (p[0] - cx).powi(2) + 2.0 * (p[1] - cy).powi(2);
+        let m = nelder_mead(f, &[0.0, 0.0], &NelderMeadOptions::default()).unwrap();
+        prop_assert!((m.x[0] - cx).abs() < 1e-3, "{:?}", m.x);
+        prop_assert!((m.x[1] - cy).abs() < 1e-3, "{:?}", m.x);
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Error type for the ECG chain.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EcgError {
+    /// The input record is too short for the requested operation.
+    RecordTooShort {
+        /// Number of samples supplied.
+        len: usize,
+        /// Minimum required.
+        min_len: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Violated constraint.
+        constraint: &'static str,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(cardiotouch_dsp::DspError),
+}
+
+impl fmt::Display for EcgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcgError::RecordTooShort { len, min_len } => {
+                write!(f, "record has {len} samples but at least {min_len} are required")
+            }
+            EcgError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
+            EcgError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EcgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EcgError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cardiotouch_dsp::DspError> for EcgError {
+    fn from(e: cardiotouch_dsp::DspError) -> Self {
+        EcgError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(EcgError::RecordTooShort { len: 1, min_len: 5 }
+            .to_string()
+            .contains('5'));
+        let e = EcgError::from(cardiotouch_dsp::DspError::InputTooShort { len: 0, min_len: 1 });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EcgError>();
+    }
+}

@@ -1,0 +1,194 @@
+//! Heart-rate variability analysis.
+//!
+//! The paper's reference \[11\] studies hemodynamic responses to
+//! psychological stress, whose canonical ECG-side readout is HRV: the
+//! balance of low-frequency (sympathetic + baroreflex, 0.04–0.15 Hz) and
+//! high-frequency (respiratory/vagal, 0.15–0.4 Hz) power in the RR-interval
+//! series. Since the device already produces a beat-to-beat RR series,
+//! these metrics come essentially for free; the spectral side uses the
+//! Lomb–Scargle periodogram, which handles the RR series' inherently
+//! uneven sampling without resampling artifacts.
+
+use crate::hr::RrSeries;
+use crate::EcgError;
+use cardiotouch_dsp::spectrum::lomb_scargle;
+
+/// Standard HRV frequency bands (hertz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HrvBands {
+    /// Very-low-frequency band lower edge.
+    pub vlf_lo: f64,
+    /// VLF/LF boundary.
+    pub lf_lo: f64,
+    /// LF/HF boundary.
+    pub hf_lo: f64,
+    /// HF upper edge.
+    pub hf_hi: f64,
+}
+
+impl Default for HrvBands {
+    fn default() -> Self {
+        Self {
+            vlf_lo: 0.003,
+            lf_lo: 0.04,
+            hf_lo: 0.15,
+            hf_hi: 0.40,
+        }
+    }
+}
+
+/// Time- and frequency-domain HRV summary of one recording.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HrvReport {
+    /// Mean heart rate, beats per minute.
+    pub mean_hr_bpm: f64,
+    /// SDNN, milliseconds.
+    pub sdnn_ms: f64,
+    /// RMSSD, milliseconds.
+    pub rmssd_ms: f64,
+    /// pNN50: fraction of successive RR differences above 50 ms.
+    pub pnn50: f64,
+    /// LF band power (normalized Lomb units).
+    pub lf_power: f64,
+    /// HF band power (normalized Lomb units).
+    pub hf_power: f64,
+    /// LF/HF ratio (sympathovagal balance index); infinite when HF is
+    /// zero.
+    pub lf_hf_ratio: f64,
+}
+
+/// Computes the HRV report from an RR series.
+///
+/// # Errors
+///
+/// * [`EcgError::RecordTooShort`] with fewer than 10 intervals (spectral
+///   estimates below that are meaningless);
+/// * wrapped DSP errors from the periodogram.
+pub fn analyze(rr: &RrSeries, bands: &HrvBands) -> Result<HrvReport, EcgError> {
+    let intervals = rr.intervals_s();
+    if intervals.len() < 10 {
+        return Err(EcgError::RecordTooShort {
+            len: intervals.len(),
+            min_len: 10,
+        });
+    }
+
+    // time domain
+    let mean_hr = rr.mean_hr_bpm();
+    let sdnn_ms = rr.sdnn_s() * 1e3;
+    let rmssd_ms = rr.rmssd_s() * 1e3;
+    let nn50 = intervals
+        .windows(2)
+        .filter(|w| (w[1] - w[0]).abs() > 0.050)
+        .count();
+    let pnn50 = nn50 as f64 / (intervals.len() - 1) as f64;
+
+    // frequency domain: tachogram samples live at the beat times
+    let mut t = Vec::with_capacity(intervals.len());
+    let mut acc = 0.0;
+    for &rr_s in intervals {
+        acc += rr_s;
+        t.push(acc);
+    }
+    let freqs: Vec<f64> = (1..=80).map(|k| k as f64 * 0.005).collect(); // 5 mHz … 0.4 Hz
+    let psd = lomb_scargle(&t, intervals, &freqs)?;
+    let band_power = |lo: f64, hi: f64| -> f64 {
+        freqs
+            .iter()
+            .zip(&psd)
+            .filter(|(f, _)| **f >= lo && **f < hi)
+            .map(|(_, p)| *p)
+            .sum()
+    };
+    let lf = band_power(bands.lf_lo, bands.hf_lo);
+    let hf = band_power(bands.hf_lo, bands.hf_hi);
+
+    Ok(HrvReport {
+        mean_hr_bpm: mean_hr,
+        sdnn_ms,
+        rmssd_ms,
+        pnn50,
+        lf_power: lf,
+        hf_power: hf,
+        lf_hf_ratio: if hf > 0.0 { lf / hf } else { f64::INFINITY },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RR series with a pure respiratory (HF) modulation at `f_mod`.
+    fn modulated_rr(f_mod: f64, depth_s: f64, n: usize) -> RrSeries {
+        let mut peaks = vec![0usize];
+        let mut t = 0.0;
+        let fs = 250.0;
+        for _ in 0..n {
+            let rr = 0.85 + depth_s * (2.0 * std::f64::consts::PI * f_mod * t).sin();
+            t += rr;
+            peaks.push((t * fs).round() as usize);
+        }
+        RrSeries::from_peaks(&peaks, fs).expect("valid peaks")
+    }
+
+    #[test]
+    fn respiratory_modulation_lands_in_hf() {
+        let rr = modulated_rr(0.25, 0.04, 240);
+        let report = analyze(&rr, &HrvBands::default()).unwrap();
+        assert!(
+            report.hf_power > 3.0 * report.lf_power,
+            "HF {} vs LF {}",
+            report.hf_power,
+            report.lf_power
+        );
+        assert!(report.lf_hf_ratio < 0.5);
+    }
+
+    #[test]
+    fn slow_modulation_lands_in_lf() {
+        let rr = modulated_rr(0.09, 0.04, 240);
+        let report = analyze(&rr, &HrvBands::default()).unwrap();
+        assert!(
+            report.lf_power > 3.0 * report.hf_power,
+            "LF {} vs HF {}",
+            report.lf_power,
+            report.hf_power
+        );
+        assert!(report.lf_hf_ratio > 2.0);
+    }
+
+    #[test]
+    fn time_domain_metrics_sane() {
+        let rr = modulated_rr(0.25, 0.04, 120);
+        let report = analyze(&rr, &HrvBands::default()).unwrap();
+        // mean RR 0.85 s → ~70.6 bpm
+        assert!((report.mean_hr_bpm - 70.6).abs() < 1.5, "{}", report.mean_hr_bpm);
+        // sinusoidal ±40 ms modulation → SDNN ≈ 40/√2 ≈ 28 ms
+        assert!((20.0..40.0).contains(&report.sdnn_ms), "{}", report.sdnn_ms);
+        assert!(report.rmssd_ms > 0.0);
+        assert!((0.0..=1.0).contains(&report.pnn50));
+    }
+
+    #[test]
+    fn pnn50_counts_large_changes() {
+        // alternating RR 0.7/0.9 s: every successive difference is 200 ms
+        let fs = 250.0;
+        let mut peaks = vec![0usize];
+        let mut t = 0.0f64;
+        for i in 0..40 {
+            t += if i % 2 == 0 { 0.7 } else { 0.9 };
+            peaks.push((t * fs).round() as usize);
+        }
+        let rr = RrSeries::from_peaks(&peaks, fs).unwrap();
+        let report = analyze(&rr, &HrvBands::default()).unwrap();
+        assert!((report.pnn50 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        let rr = modulated_rr(0.25, 0.04, 8);
+        assert!(analyze(&rr, &HrvBands::default()).is_err());
+    }
+}

@@ -1,0 +1,329 @@
+//! Causal, sample-by-sample Pan–Tompkins QRS detection.
+//!
+//! [`crate::pan_tompkins`] processes whole records with zero-phase
+//! filters — right for the retrospective analyses of the paper's
+//! evaluation. The *firmware* (Fig 3), however, sees one ADC sample at a
+//! time and must flag each R peak within a bounded latency so the ICG
+//! beat processing can start. [`OnlinePanTompkins`] is that detector: a
+//! per-sample state machine with causal filters, the original adaptive
+//! dual thresholds, and R-apex localisation against a short raw-signal
+//! ring buffer. Detections are emitted at most
+//! [`OnlinePanTompkins::MAX_LATENCY_S`] after the apex.
+
+use crate::EcgError;
+use cardiotouch_dsp::iir::{Biquad, Butterworth};
+
+/// Causal biquad with persistent state (direct form II transposed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StatefulBiquad {
+    c: Biquad,
+    s1: f64,
+    s2: f64,
+}
+
+impl StatefulBiquad {
+    fn new(c: Biquad) -> Self {
+        Self { c, s1: 0.0, s2: 0.0 }
+    }
+
+    fn push(&mut self, x: f64) -> f64 {
+        let y = self.c.b0 * x + self.s1;
+        self.s1 = self.c.b1 * x - self.c.a1 * y + self.s2;
+        self.s2 = self.c.b2 * x - self.c.a2 * y;
+        y
+    }
+}
+
+/// The streaming QRS detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlinePanTompkins {
+    fs: f64,
+    sections: Vec<StatefulBiquad>,
+    /// last 5 band-passed samples for the derivative kernel
+    bp_hist: [f64; 5],
+    /// moving-window-integration ring buffer of squared samples
+    mwi_buf: Vec<f64>,
+    mwi_pos: usize,
+    mwi_sum: f64,
+    /// last 3 MWI values for local-max detection
+    mwi_hist: [f64; 3],
+    /// raw-signal ring for apex localisation
+    raw_ring: Vec<f64>,
+    spki: f64,
+    npki: f64,
+    sample_idx: usize,
+    last_r: Option<usize>,
+    refractory: usize,
+    /// pending candidate: (mwi peak index, deadline for confirmation)
+    pending: Option<usize>,
+    warmup: usize,
+}
+
+impl OnlinePanTompkins {
+    /// Maximum emission latency after the R apex, seconds.
+    pub const MAX_LATENCY_S: f64 = 0.30;
+
+    /// Creates a streaming detector for sampling rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::InvalidParameter`] when `fs` cannot support
+    /// the 15 Hz band edge.
+    pub fn new(fs: f64) -> Result<Self, EcgError> {
+        if !(fs.is_finite() && fs > 30.0) {
+            return Err(EcgError::InvalidParameter {
+                name: "fs",
+                value: fs,
+                constraint: "must exceed 30 Hz",
+            });
+        }
+        let bp = Butterworth::bandpass(2, 5.0, 15.0, fs)?;
+        let w = (0.150 * fs).round().max(1.0) as usize;
+        let ring = (0.40 * fs).round() as usize;
+        Ok(Self {
+            fs,
+            sections: bp.sections().iter().map(|&c| StatefulBiquad::new(c)).collect(),
+            bp_hist: [0.0; 5],
+            mwi_buf: vec![0.0; w],
+            mwi_pos: 0,
+            mwi_sum: 0.0,
+            mwi_hist: [0.0; 3],
+            raw_ring: vec![0.0; ring],
+            spki: 0.0,
+            npki: 0.0,
+            sample_idx: 0,
+            last_r: None,
+            refractory: (0.200 * fs) as usize,
+            pending: None,
+            warmup: (2.0 * fs) as usize,
+        })
+    }
+
+    /// Current adaptive detection threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.npki + 0.25 * (self.spki - self.npki)
+    }
+
+    /// Pushes one raw ECG sample; returns the absolute sample index of a
+    /// newly confirmed R peak, if one was just confirmed.
+    pub fn push(&mut self, sample: f64) -> Option<usize> {
+        let idx = self.sample_idx;
+        self.sample_idx += 1;
+
+        // raw ring for apex localisation
+        let ring_len = self.raw_ring.len();
+        self.raw_ring[idx % ring_len] = sample;
+
+        // causal band-pass
+        let mut bp = sample;
+        for s in self.sections.iter_mut() {
+            bp = s.push(bp);
+        }
+        // five-point derivative
+        self.bp_hist.rotate_left(1);
+        self.bp_hist[4] = bp;
+        let d = (2.0 * self.bp_hist[4] + self.bp_hist[3]
+            - self.bp_hist[1]
+            - 2.0 * self.bp_hist[0])
+            * self.fs
+            / 8.0;
+        // squaring + moving-window integration
+        let sq = d * d;
+        self.mwi_sum += sq - self.mwi_buf[self.mwi_pos];
+        self.mwi_buf[self.mwi_pos] = sq;
+        self.mwi_pos = (self.mwi_pos + 1) % self.mwi_buf.len();
+        let mwi = self.mwi_sum / self.mwi_buf.len() as f64;
+        self.mwi_hist.rotate_left(1);
+        self.mwi_hist[2] = mwi;
+
+        // threshold warm-up: track the maximum during the first seconds
+        if idx < self.warmup {
+            if mwi > self.spki {
+                self.spki = mwi;
+                self.npki = 0.1 * mwi;
+            }
+            return None;
+        }
+
+        // local maximum of the MWI one sample ago?
+        let is_peak = self.mwi_hist[1] > self.mwi_hist[0] && self.mwi_hist[1] >= self.mwi_hist[2];
+        if is_peak {
+            let peak_val = self.mwi_hist[1];
+            let peak_idx = idx - 1;
+            let since_last = self.last_r.map_or(usize::MAX, |r| peak_idx.saturating_sub(r));
+            if peak_val > self.threshold() && since_last > self.refractory {
+                self.spki = 0.125 * peak_val + 0.875 * self.spki;
+                self.pending = Some(peak_idx);
+            } else {
+                self.npki = 0.125 * peak_val + 0.875 * self.npki;
+            }
+        }
+
+        // Confirm a pending candidate once enough post-peak context has
+        // streamed in to localise the apex (the MWI lags the QRS by
+        // roughly the integration window).
+        if let Some(peak_idx) = self.pending {
+            let settle = (0.05 * self.fs) as usize;
+            if idx >= peak_idx + settle {
+                self.pending = None;
+                let r = self.localize_apex(peak_idx);
+                // apex must respect the refractory after localisation too
+                if self.last_r.map_or(true, |p| r > p + self.refractory) {
+                    self.last_r = Some(r);
+                    return Some(r);
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds the raw-signal apex within the window preceding the MWI
+    /// peak, compensating the causal chain delay.
+    fn localize_apex(&self, mwi_peak_idx: usize) -> usize {
+        let ring_len = self.raw_ring.len();
+        let back = self.mwi_buf.len() + (0.10 * self.fs) as usize;
+        let lo = mwi_peak_idx.saturating_sub(back);
+        let hi = (mwi_peak_idx + (0.05 * self.fs) as usize).min(self.sample_idx - 1);
+        let lo = lo.max(self.sample_idx.saturating_sub(ring_len));
+        let mut best = (lo, f64::MIN);
+        for i in lo..=hi {
+            let v = self.raw_ring[i % ring_len];
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        best.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pan_tompkins::PanTompkins;
+    use cardiotouch_physio::ecg::EcgMorphology;
+    use cardiotouch_physio::heart::HeartModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 250.0;
+
+    fn synth(seed: u64, hr: f64) -> (Vec<f64>, Vec<usize>) {
+        let model = HeartModel {
+            hr_mean_bpm: hr,
+            ..HeartModel::default()
+        };
+        let beats = model
+            .schedule(30.0, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let n = (30.0 * FS) as usize;
+        (
+            EcgMorphology::default().render(&beats, n, FS),
+            EcgMorphology::r_peak_indices(&beats, n, FS),
+        )
+    }
+
+    fn run(x: &[f64]) -> Vec<usize> {
+        let mut det = OnlinePanTompkins::new(FS).unwrap();
+        let mut out = Vec::new();
+        for &v in x {
+            if let Some(r) = det.push(v) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    fn score(det: &[usize], truth: &[usize], tol: usize, skip_s: f64) -> (usize, usize) {
+        // ignore truth beats inside the warm-up
+        let start = (skip_s * FS) as usize;
+        let t: Vec<usize> = truth.iter().copied().filter(|&v| v > start).collect();
+        let hits = t
+            .iter()
+            .filter(|&&tr| det.iter().any(|&d| d.abs_diff(tr) <= tol))
+            .count();
+        (hits, t.len())
+    }
+
+    #[test]
+    fn detects_clean_stream() {
+        let (x, truth) = synth(1, 70.0);
+        let det = run(&x);
+        let (hits, total) = score(&det, &truth, 5, 2.5);
+        assert!(hits >= total - 1, "{hits}/{total} beats");
+        // no gross over-detection
+        assert!(det.len() <= total + 3, "{} detections", det.len());
+    }
+
+    #[test]
+    fn works_across_heart_rates() {
+        for hr in [55.0, 75.0, 100.0] {
+            let (x, truth) = synth(2, hr);
+            let det = run(&x);
+            let (hits, total) = score(&det, &truth, 5, 2.5);
+            assert!(hits as f64 >= 0.95 * total as f64, "hr {hr}: {hits}/{total}");
+        }
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let (mut x, truth) = synth(3, 70.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for (v, n) in x
+            .iter_mut()
+            .zip(cardiotouch_physio::noise::white(7500, 0.05, &mut rng))
+        {
+            *v += n;
+        }
+        let det = run(&x);
+        let (hits, total) = score(&det, &truth, 5, 2.5);
+        assert!(hits as f64 >= 0.9 * total as f64, "{hits}/{total}");
+    }
+
+    #[test]
+    fn agrees_with_batch_detector() {
+        let (x, _) = synth(4, 70.0);
+        let online = run(&x);
+        let batch = PanTompkins::new(FS).unwrap().detect(&x).unwrap();
+        let matched = online
+            .iter()
+            .filter(|&&o| batch.iter().any(|&b| b.abs_diff(o) <= 3))
+            .count();
+        assert!(
+            matched as f64 >= 0.95 * online.len() as f64,
+            "{matched}/{} online beats match batch",
+            online.len()
+        );
+    }
+
+    #[test]
+    fn latency_is_bounded() {
+        // instrument push() indices: a detection for apex r must be
+        // emitted no later than r + MAX_LATENCY_S.
+        let (x, _) = synth(5, 70.0);
+        let mut det = OnlinePanTompkins::new(FS).unwrap();
+        for (i, &v) in x.iter().enumerate() {
+            if let Some(r) = det.push(v) {
+                let latency = (i - r) as f64 / FS;
+                assert!(
+                    latency <= OnlinePanTompkins::MAX_LATENCY_S,
+                    "R at {r} emitted at {i}: latency {latency} s"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detections_monotone_and_refractory() {
+        let (x, _) = synth(6, 95.0);
+        let det = run(&x);
+        for w in det.windows(2) {
+            assert!(w[1] > w[0] + (0.2 * FS) as usize);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_fs() {
+        assert!(OnlinePanTompkins::new(20.0).is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! Pan–Tompkins real-time QRS detection \[29\].
+//!
+//! The classic five-stage structure, implemented from the 1985 paper:
+//!
+//! 1. band-pass 5–15 Hz (maximises QRS energy, rejects T waves and
+//!    baseline);
+//! 2. five-point derivative;
+//! 3. point-wise squaring;
+//! 4. moving-window integration (150 ms);
+//! 5. dual adaptive thresholds on the integrated waveform with a 200 ms
+//!    refractory period, T-wave discrimination on short RR intervals, and
+//!    search-back at half threshold when a beat is overdue.
+//!
+//! Detected fiducials are refined to the R-wave apex by searching the
+//! conditioned input signal around each integration-waveform onset, so the
+//! returned indices line up with the true R peaks (which the ICG beat
+//! segmentation requires).
+
+use crate::EcgError;
+use cardiotouch_dsp::diff::five_point_derivative;
+use cardiotouch_dsp::iir::Butterworth;
+
+/// Configuration of the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PanTompkinsConfig {
+    /// Lower band edge of the QRS band-pass, hertz.
+    pub band_lo_hz: f64,
+    /// Upper band edge of the QRS band-pass, hertz.
+    pub band_hi_hz: f64,
+    /// Moving-integration window, seconds (paper: 150 ms).
+    pub integration_window_s: f64,
+    /// Refractory period, seconds (paper: 200 ms).
+    pub refractory_s: f64,
+    /// Enable search-back at half threshold for overdue beats.
+    pub search_back: bool,
+    /// Enable T-wave discrimination by slope comparison.
+    pub t_wave_discrimination: bool,
+}
+
+impl Default for PanTompkinsConfig {
+    fn default() -> Self {
+        Self {
+            band_lo_hz: 5.0,
+            band_hi_hz: 15.0,
+            integration_window_s: 0.150,
+            refractory_s: 0.200,
+            search_back: true,
+            t_wave_discrimination: true,
+        }
+    }
+}
+
+/// Detects QRS complexes in a conditioned ECG record.
+///
+/// # Example
+///
+/// ```
+/// use cardiotouch_ecg::pan_tompkins::PanTompkins;
+///
+/// # fn main() -> Result<(), cardiotouch_ecg::EcgError> {
+/// // a 10-second spike train standing in for R waves
+/// let mut ecg = vec![0.0; 2500];
+/// for r in (100..2500).step_by(250) {
+///     ecg[r] = 1.0;
+/// }
+/// let peaks = PanTompkins::new(250.0)?.detect(&ecg)?;
+/// assert_eq!(peaks.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PanTompkins {
+    config: PanTompkinsConfig,
+    fs: f64,
+    bandpass: Butterworth,
+}
+
+/// Intermediate waveforms of a detection run, exposed for inspection,
+/// debugging and the artifact-lab example (C-INTERMEDIATE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stages {
+    /// Band-passed signal.
+    pub bandpassed: Vec<f64>,
+    /// Derivative signal.
+    pub derivative: Vec<f64>,
+    /// Squared signal.
+    pub squared: Vec<f64>,
+    /// Moving-window-integrated signal.
+    pub integrated: Vec<f64>,
+}
+
+impl PanTompkins {
+    /// Creates a detector with default configuration for sampling rate
+    /// `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::InvalidParameter`] when `fs` cannot support the
+    /// 15 Hz band edge.
+    pub fn new(fs: f64) -> Result<Self, EcgError> {
+        Self::with_config(fs, PanTompkinsConfig::default())
+    }
+
+    /// Creates a detector with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::InvalidParameter`] for an unusable sampling
+    /// rate or band.
+    pub fn with_config(fs: f64, config: PanTompkinsConfig) -> Result<Self, EcgError> {
+        if !(fs.is_finite() && fs > 2.0 * config.band_hi_hz) {
+            return Err(EcgError::InvalidParameter {
+                name: "fs",
+                value: fs,
+                constraint: "must exceed twice the upper band edge",
+            });
+        }
+        if config.band_lo_hz <= 0.0 || config.band_lo_hz >= config.band_hi_hz {
+            return Err(EcgError::InvalidParameter {
+                name: "band_lo_hz",
+                value: config.band_lo_hz,
+                constraint: "must satisfy 0 < lo < hi",
+            });
+        }
+        let bandpass = Butterworth::bandpass(2, config.band_lo_hz, config.band_hi_hz, fs)?;
+        Ok(Self {
+            config,
+            fs,
+            bandpass,
+        })
+    }
+
+    /// The detector's configuration.
+    #[must_use]
+    pub fn config(&self) -> &PanTompkinsConfig {
+        &self.config
+    }
+
+    /// Runs stages 1–4 and returns every intermediate waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::RecordTooShort`] for records under one second.
+    pub fn stages(&self, x: &[f64]) -> Result<Stages, EcgError> {
+        let min_len = self.fs as usize;
+        if x.len() < min_len {
+            return Err(EcgError::RecordTooShort {
+                len: x.len(),
+                min_len,
+            });
+        }
+        let bandpassed = self.bandpass.filter(x);
+        let derivative = five_point_derivative(&bandpassed, self.fs)?;
+        let squared: Vec<f64> = derivative.iter().map(|v| v * v).collect();
+        let w = (self.config.integration_window_s * self.fs).round().max(1.0) as usize;
+        let mut integrated = Vec::with_capacity(x.len());
+        let mut acc = 0.0;
+        for i in 0..squared.len() {
+            acc += squared[i];
+            if i >= w {
+                acc -= squared[i - w];
+            }
+            integrated.push(acc / w as f64);
+        }
+        Ok(Stages {
+            bandpassed,
+            derivative,
+            squared,
+            integrated,
+        })
+    }
+
+    /// Detects R peaks in the (already conditioned) ECG `x`, returning
+    /// their sample indices in ascending order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcgError::RecordTooShort`] for records under one second.
+    pub fn detect(&self, x: &[f64]) -> Result<Vec<usize>, EcgError> {
+        let stages = self.stages(x)?;
+        let mwi = &stages.integrated;
+        let refractory = (self.config.refractory_s * self.fs) as usize;
+        let twave_window = (0.360 * self.fs) as usize;
+
+        // Initialise thresholds from the first two seconds.
+        let init = (2.0 * self.fs) as usize;
+        let init_max = mwi[..init.min(mwi.len())]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let mut spki = 0.5 * init_max; // running signal-peak estimate
+        let mut npki = 0.1 * init_max; // running noise-peak estimate
+        let mut threshold1 = npki + 0.25 * (spki - npki);
+
+        let mut fiducials: Vec<usize> = Vec::new();
+        let mut rr_avg: f64 = 0.0; // running RR estimate in samples
+        let mut last_slope = 0.0;
+
+        // candidate peaks: local maxima of the MWI
+        let peak_candidates: Vec<usize> = (1..mwi.len().saturating_sub(1))
+            .filter(|&i| mwi[i] > mwi[i - 1] && mwi[i] >= mwi[i + 1])
+            .collect();
+
+        let slope_at = |i: usize| -> f64 {
+            let lo = i.saturating_sub((0.075 * self.fs) as usize);
+            stages.derivative[lo..=i]
+                .iter()
+                .cloned()
+                .fold(0.0f64, |a, v| a.max(v.abs()))
+        };
+
+        let mut i = 0usize;
+        while i < peak_candidates.len() {
+            let p = peak_candidates[i];
+            let v = mwi[p];
+            let since_last = fiducials.last().map_or(usize::MAX, |&f| p - f.min(p));
+
+            if v > threshold1 && since_last > refractory {
+                // T-wave discrimination: a candidate close after the last
+                // beat with a much smaller slope is a T wave.
+                let is_twave = self.config.t_wave_discrimination
+                    && since_last < twave_window
+                    && {
+                        let s = slope_at(p);
+                        s < 0.5 * last_slope
+                    };
+                if is_twave {
+                    npki = 0.125 * v + 0.875 * npki;
+                } else {
+                    if let Some(&last) = fiducials.last() {
+                        let rr = (p - last) as f64;
+                        rr_avg = if rr_avg == 0.0 {
+                            rr
+                        } else {
+                            0.875 * rr_avg + 0.125 * rr
+                        };
+                    }
+                    last_slope = slope_at(p);
+                    fiducials.push(p);
+                    spki = 0.125 * v + 0.875 * spki;
+                }
+            } else if v > threshold1 {
+                // inside refractory: treat as noise
+                npki = 0.125 * v + 0.875 * npki;
+            } else {
+                npki = 0.125 * v + 0.875 * npki;
+            }
+            threshold1 = npki + 0.25 * (spki - npki);
+
+            // Search-back: if a beat is overdue by 1.66 × RR, re-scan the
+            // gap at half threshold.
+            if self.config.search_back && rr_avg > 0.0 {
+                if let Some(&last) = fiducials.last() {
+                    if p > last && (p - last) as f64 > 1.66 * rr_avg {
+                        let threshold2 = 0.5 * threshold1;
+                        let lo = last + refractory;
+                        let hi = p;
+                        if lo < hi {
+                            if let Some(best) = peak_candidates
+                                .iter()
+                                .filter(|&&c| c > lo && c < hi && mwi[c] > threshold2)
+                                .max_by(|&&a, &&b| mwi[a].partial_cmp(&mwi[b]).unwrap())
+                            {
+                                let pos = fiducials
+                                    .binary_search(best)
+                                    .unwrap_or_else(|e| e);
+                                if !fiducials.contains(best) {
+                                    fiducials.insert(pos, *best);
+                                    spki = 0.25 * mwi[*best] + 0.75 * spki;
+                                    threshold1 = npki + 0.25 * (spki - npki);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        // Refine each fiducial to the R apex: the MWI peak lags the QRS by
+        // roughly the integration window; search the conditioned input for
+        // its maximum in the preceding window.
+        let w = (self.config.integration_window_s * self.fs) as usize;
+        let mut r_peaks: Vec<usize> = fiducials
+            .iter()
+            .map(|&f| {
+                let lo = f.saturating_sub(w + (0.05 * self.fs) as usize);
+                let hi = (f + 1).min(x.len());
+                lo + x[lo..hi]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect();
+        r_peaks.sort_unstable();
+        r_peaks.dedup();
+        // Enforce refractory once more after refinement.
+        let mut out: Vec<usize> = Vec::with_capacity(r_peaks.len());
+        for p in r_peaks {
+            if out.last().map_or(true, |&q| p - q > refractory) {
+                out.push(p);
+            } else if let Some(&q) = out.last() {
+                // keep the taller of the colliding pair
+                if x[p] > x[q] {
+                    *out.last_mut().expect("non-empty") = p;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_physio::ecg::EcgMorphology;
+    use cardiotouch_physio::heart::HeartModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 250.0;
+
+    fn synth(seed: u64, duration_s: f64, hr: f64) -> (Vec<f64>, Vec<usize>) {
+        let model = HeartModel {
+            hr_mean_bpm: hr,
+            ..HeartModel::default()
+        };
+        let beats = model
+            .schedule(duration_s, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let n = (duration_s * FS) as usize;
+        let x = EcgMorphology::default().render(&beats, n, FS);
+        let truth = EcgMorphology::r_peak_indices(&beats, n, FS);
+        (x, truth)
+    }
+
+    /// match detections to truth within ±tol samples; returns (TP, FP, FN)
+    fn score(det: &[usize], truth: &[usize], tol: usize) -> (usize, usize, usize) {
+        let mut tp = 0;
+        let mut used = vec![false; det.len()];
+        for &t in truth {
+            if let Some((i, _)) = det
+                .iter()
+                .enumerate()
+                .filter(|(i, &d)| !used[*i] && d.abs_diff(t) <= tol)
+                .min_by_key(|(_, &d)| d.abs_diff(t))
+            {
+                used[i] = true;
+                tp += 1;
+            }
+        }
+        (tp, det.len() - tp, truth.len() - tp)
+    }
+
+    #[test]
+    fn detects_clean_synthetic_ecg_perfectly() {
+        let (x, truth) = synth(1, 30.0, 70.0);
+        let det = PanTompkins::new(FS).unwrap().detect(&x).unwrap();
+        let (tp, fp, fn_) = score(&det, &truth, 5);
+        assert_eq!(fn_, 0, "missed beats: truth {} det {}", truth.len(), det.len());
+        assert!(fp <= 1, "false positives {fp}");
+        assert!(tp >= truth.len() - 1);
+    }
+
+    #[test]
+    fn works_across_heart_rates() {
+        for hr in [50.0, 70.0, 95.0, 120.0] {
+            let (x, truth) = synth(2, 30.0, hr);
+            let det = PanTompkins::new(FS).unwrap().detect(&x).unwrap();
+            let (tp, fp, fn_) = score(&det, &truth, 5);
+            assert!(
+                fn_ <= 1 && fp <= 1,
+                "hr {hr}: tp {tp} fp {fp} fn {fn_} (truth {})",
+                truth.len()
+            );
+        }
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        let (mut x, truth) = synth(3, 30.0, 70.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let noise = cardiotouch_physio::noise::white(x.len(), 0.05, &mut rng);
+        for (v, n) in x.iter_mut().zip(&noise) {
+            *v += n;
+        }
+        let det = PanTompkins::new(FS).unwrap().detect(&x).unwrap();
+        let (_, fp, fn_) = score(&det, &truth, 5);
+        assert!(fn_ <= 1, "missed {fn_} beats in noise");
+        assert!(fp <= 2, "false positives {fp}");
+    }
+
+    #[test]
+    fn does_not_double_count_t_waves() {
+        // Large T waves are the classic failure mode; raise T amplitude.
+        let model = HeartModel::default();
+        let beats = model
+            .schedule(30.0, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let n = (30.0 * FS) as usize;
+        let mut morph = EcgMorphology::default();
+        morph.t.amplitude_mv = 0.5;
+        let x = morph.render(&beats, n, FS);
+        let truth = EcgMorphology::r_peak_indices(&beats, n, FS);
+        let det = PanTompkins::new(FS).unwrap().detect(&x).unwrap();
+        let (_, fp, fn_) = score(&det, &truth, 5);
+        assert!(fp <= 1, "T waves detected as beats: fp {fp}");
+        assert!(fn_ <= 1);
+    }
+
+    #[test]
+    fn stages_have_consistent_lengths() {
+        let (x, _) = synth(6, 10.0, 70.0);
+        let s = PanTompkins::new(FS).unwrap().stages(&x).unwrap();
+        assert_eq!(s.bandpassed.len(), x.len());
+        assert_eq!(s.derivative.len(), x.len());
+        assert_eq!(s.squared.len(), x.len());
+        assert_eq!(s.integrated.len(), x.len());
+        assert!(s.squared.iter().all(|&v| v >= 0.0));
+        assert!(s.integrated.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn rejects_short_records_and_bad_config() {
+        let pt = PanTompkins::new(FS).unwrap();
+        assert!(pt.detect(&[0.0; 100]).is_err());
+        assert!(PanTompkins::new(25.0).is_err());
+        let bad = PanTompkinsConfig {
+            band_lo_hz: 20.0,
+            band_hi_hz: 15.0,
+            ..PanTompkinsConfig::default()
+        };
+        assert!(PanTompkins::with_config(FS, bad).is_err());
+    }
+
+    #[test]
+    fn detections_respect_refractory() {
+        let (x, _) = synth(7, 30.0, 120.0);
+        let pt = PanTompkins::new(FS).unwrap();
+        let det = pt.detect(&x).unwrap();
+        let refractory = (0.2 * FS) as usize;
+        for w in det.windows(2) {
+            assert!(w[1] - w[0] > refractory);
+        }
+    }
+
+    #[test]
+    fn detections_are_sorted_unique() {
+        let (x, _) = synth(8, 20.0, 80.0);
+        let det = PanTompkins::new(FS).unwrap().detect(&x).unwrap();
+        for w in det.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

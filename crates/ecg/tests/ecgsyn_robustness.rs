@@ -1,0 +1,96 @@
+//! Detector robustness on the ECGSYN dynamical model: the Pan–Tompkins
+//! implementations (batch and streaming) must hold up on the richer,
+//! continuously varying morphology, not just on the Gaussian-bump
+//! renderer they were developed against.
+
+use cardiotouch_ecg::online::OnlinePanTompkins;
+use cardiotouch_ecg::pan_tompkins::PanTompkins;
+use cardiotouch_physio::ecgsyn::EcgsynModel;
+use cardiotouch_physio::heart::HeartModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 250.0;
+
+fn synth(seed: u64, hr: f64) -> (Vec<f64>, Vec<usize>) {
+    let model = HeartModel {
+        hr_mean_bpm: hr,
+        ..HeartModel::default()
+    };
+    let beats = model
+        .schedule(30.0, &mut StdRng::seed_from_u64(seed))
+        .expect("valid model");
+    let n = (30.0 * FS) as usize;
+    let out = EcgsynModel::default()
+        .render(&beats, n, FS)
+        .expect("valid render");
+    (out.ecg_mv, out.r_peaks)
+}
+
+fn sensitivity(det: &[usize], truth: &[usize], tol: usize, skip: usize) -> f64 {
+    let t: Vec<usize> = truth.iter().copied().filter(|&v| v > skip).collect();
+    if t.is_empty() {
+        return 0.0;
+    }
+    let hits = t
+        .iter()
+        .filter(|&&tr| det.iter().any(|&d| d.abs_diff(tr) <= tol))
+        .count();
+    hits as f64 / t.len() as f64
+}
+
+#[test]
+fn batch_detector_handles_ecgsyn() {
+    for (seed, hr) in [(1u64, 60.0), (2, 75.0), (3, 95.0)] {
+        let (x, truth) = synth(seed, hr);
+        let det = PanTompkins::new(FS)
+            .expect("valid fs")
+            .detect(&x)
+            .expect("valid record");
+        let s = sensitivity(&det, &truth, 8, 0);
+        assert!(s >= 0.95, "hr {hr}: sensitivity {s}");
+        assert!(
+            det.len() <= truth.len() + 2,
+            "hr {hr}: {} detections vs {} beats",
+            det.len(),
+            truth.len()
+        );
+    }
+}
+
+#[test]
+fn streaming_detector_handles_ecgsyn() {
+    let (x, truth) = synth(4, 72.0);
+    let mut det = OnlinePanTompkins::new(FS).expect("valid fs");
+    let mut found = Vec::new();
+    for &v in &x {
+        if let Some(r) = det.push(v) {
+            found.push(r);
+        }
+    }
+    let s = sensitivity(&found, &truth, 8, (3.0 * FS) as usize);
+    assert!(s >= 0.9, "sensitivity {s}");
+}
+
+#[test]
+fn ecgsyn_with_artifacts_still_detectable_after_conditioning() {
+    use cardiotouch_ecg::filter::EcgConditioner;
+    let (mut x, truth) = synth(5, 70.0);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mains = cardiotouch_physio::noise::powerline(x.len(), 50.0, 0.1, FS, &mut rng);
+    let white = cardiotouch_physio::noise::white(x.len(), 0.02, &mut rng);
+    for i in 0..x.len() {
+        let t = i as f64 / FS;
+        x[i] += mains[i] + white[i] + 0.5 * (2.0 * std::f64::consts::PI * 0.2 * t).sin();
+    }
+    let clean = EcgConditioner::paper_default(FS)
+        .expect("valid fs")
+        .condition(&x)
+        .expect("valid record");
+    let det = PanTompkins::new(FS)
+        .expect("valid fs")
+        .detect(&clean)
+        .expect("valid record");
+    let s = sensitivity(&det, &truth, 8, 0);
+    assert!(s >= 0.9, "sensitivity {s}");
+}

@@ -1,0 +1,211 @@
+//! Respiratory/motion artifact suppression alternatives.
+//!
+//! The paper's own conditioning is the filter chain in [`crate::filter`];
+//! its related-work section cites wavelet approaches as the established
+//! alternative for respiratory artifact cancellation (Pandey & Pandey
+//! \[16\]; Sebastian et al. \[17\]). This module implements both behind one
+//! interface so the ablation benchmarks can compare them on identical
+//! signals.
+
+use crate::filter::IcgConditioner;
+use crate::IcgError;
+use cardiotouch_dsp::wavelet::{self, Wavelet};
+
+/// Which artifact-suppression method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SuppressionMethod {
+    /// The workspace reference: zero-phase 20 Hz low-pass plus the 0.4 Hz
+    /// baseline high-pass ([`IcgConditioner::paper_default`]).
+    FilterChain,
+    /// The literal paper text: 20 Hz low-pass only
+    /// ([`IcgConditioner::lowpass_only`]).
+    LowpassOnly,
+    /// The wavelet baseline of \[16\]/\[17\]: multi-level db4 decomposition,
+    /// discard the sub-band drift (approximation + deepest detail), then
+    /// the 20 Hz low-pass for high-frequency noise.
+    Wavelet {
+        /// Decomposition depth; at 250 Hz, 8 levels puts the discarded
+        /// content below ≈ 1 Hz.
+        levels: usize,
+    },
+}
+
+impl SuppressionMethod {
+    /// Default wavelet configuration for a 250 Hz class sampling rate.
+    #[must_use]
+    pub fn wavelet_default() -> Self {
+        SuppressionMethod::Wavelet { levels: 8 }
+    }
+}
+
+/// Applies the selected method to a raw ICG record at sampling rate `fs`.
+///
+/// # Errors
+///
+/// Propagates filter-design and decomposition errors; the wavelet method
+/// requires the record to be at least `4 · 2^levels` samples long.
+pub fn suppress_artifacts(
+    x: &[f64],
+    fs: f64,
+    method: SuppressionMethod,
+) -> Result<Vec<f64>, IcgError> {
+    match method {
+        SuppressionMethod::FilterChain => IcgConditioner::paper_default(fs)?.condition(x),
+        SuppressionMethod::LowpassOnly => IcgConditioner::lowpass_only(fs)?.condition(x),
+        SuppressionMethod::Wavelet { levels } => {
+            let debased = wavelet::remove_baseline_wavelet(x, Wavelet::Db4, levels)?;
+            IcgConditioner::lowpass_only(fs)?.condition(&debased)
+        }
+    }
+}
+
+/// Residual artifact power after suppression, measured against a known
+/// clean reference over an interior window — the comparison statistic the
+/// ablation benches report.
+///
+/// # Errors
+///
+/// Returns [`IcgError::InvalidParameter`] when the inputs differ in
+/// length or the margin leaves no interior.
+pub fn residual_rms(processed: &[f64], clean: &[f64], margin: usize) -> Result<f64, IcgError> {
+    if processed.len() != clean.len() {
+        return Err(IcgError::InvalidParameter {
+            name: "processed/clean",
+            value: processed.len() as f64,
+            constraint: "must have equal length",
+        });
+    }
+    if 2 * margin >= processed.len() {
+        return Err(IcgError::InvalidParameter {
+            name: "margin",
+            value: margin as f64,
+            constraint: "must leave a non-empty interior",
+        });
+    }
+    let interior = &processed[margin..processed.len() - margin];
+    let reference = &clean[margin..clean.len() - margin];
+    let ss: f64 = interior
+        .iter()
+        .zip(reference)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    Ok((ss / interior.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 250.0;
+
+    /// A beat-like ICG train plus strong respiration-derivative drift.
+    fn contaminated() -> (Vec<f64>, Vec<f64>) {
+        let n = 7500;
+        let mut clean = vec![0.0; n];
+        for centre in (120..n).step_by(210) {
+            for i in centre.saturating_sub(60)..(centre + 60).min(n) {
+                let t = (i as f64 - centre as f64) / 12.0;
+                clean[i] += 1.4 * (-t * t / 2.0).exp();
+            }
+        }
+        let mut dirty = clean.clone();
+        for (i, v) in dirty.iter_mut().enumerate() {
+            let t = i as f64 / FS;
+            *v += 0.4 * (2.0 * std::f64::consts::PI * 0.25 * t).cos();
+        }
+        (clean, dirty)
+    }
+
+    /// Artifact leakage of a method: how much of the added contamination
+    /// survives, isolated from the method's own signal distortion by
+    /// comparing method(dirty) against method(clean).
+    fn leakage(method: SuppressionMethod) -> f64 {
+        let (clean, dirty) = contaminated();
+        let out_dirty = suppress_artifacts(&dirty, FS, method).unwrap();
+        let out_clean = suppress_artifacts(&clean, FS, method).unwrap();
+        residual_rms(&out_dirty, &out_clean, 400).unwrap()
+    }
+
+    #[test]
+    fn suppressing_methods_remove_most_of_the_artifact() {
+        // raw artifact RMS is 0.4/√2 ≈ 0.28 Ω/s
+        for method in [
+            SuppressionMethod::FilterChain,
+            SuppressionMethod::wavelet_default(),
+        ] {
+            let l = leakage(method);
+            assert!(l < 0.06, "{method:?}: leakage {l}");
+        }
+    }
+
+    #[test]
+    fn lowpass_only_leaves_respiration() {
+        // The literal-text chain cannot remove sub-band drift — that is
+        // exactly why the reference chain adds the high-pass.
+        let l_lp = leakage(SuppressionMethod::LowpassOnly);
+        let l_chain = leakage(SuppressionMethod::FilterChain);
+        assert!(
+            l_chain < 0.25 * l_lp,
+            "chain {l_chain} vs lowpass-only {l_lp}"
+        );
+    }
+
+    #[test]
+    fn wavelet_and_filter_chain_are_comparable() {
+        let lw = leakage(SuppressionMethod::wavelet_default());
+        let lf = leakage(SuppressionMethod::FilterChain);
+        // within an order of magnitude of each other — both viable
+        assert!(lw < 10.0 * lf && lf < 10.0 * lw, "wavelet {lw} vs chain {lf}");
+    }
+
+    #[test]
+    fn methods_do_not_destroy_the_beats() {
+        // Signal-distortion side: the processed clean signal must keep
+        // the beat peaks (compare peak amplitude before/after).
+        let (clean, _) = contaminated();
+        let peak = |y: &[f64]| y[400..y.len() - 400].iter().cloned().fold(f64::MIN, f64::max);
+        let p0 = peak(&clean);
+        for method in [
+            SuppressionMethod::FilterChain,
+            SuppressionMethod::wavelet_default(),
+        ] {
+            let out = suppress_artifacts(&clean, FS, method).unwrap();
+            let p = peak(&out);
+            assert!(p > 0.75 * p0, "{method:?}: peak {p} vs clean {p0}");
+        }
+    }
+
+    #[test]
+    fn output_lengths_preserved() {
+        let (_, dirty) = contaminated();
+        for method in [
+            SuppressionMethod::FilterChain,
+            SuppressionMethod::LowpassOnly,
+            SuppressionMethod::wavelet_default(),
+        ] {
+            assert_eq!(
+                suppress_artifacts(&dirty, FS, method).unwrap().len(),
+                dirty.len()
+            );
+        }
+    }
+
+    #[test]
+    fn residual_rms_validation() {
+        assert!(residual_rms(&[1.0; 10], &[1.0; 9], 1).is_err());
+        assert!(residual_rms(&[1.0; 10], &[1.0; 10], 5).is_err());
+        assert_eq!(residual_rms(&[1.0; 10], &[1.0; 10], 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn wavelet_needs_enough_samples() {
+        let short = vec![0.0; 100];
+        assert!(suppress_artifacts(
+            &short,
+            FS,
+            SuppressionMethod::Wavelet { levels: 8 }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Beat segmentation: the ICG between consecutive ECG R peaks.
+//!
+//! "As our device is acquiring ECG and ICG simultaneously, R peaks are
+//! detected by using Pan-Tompkins algorithm. After that, ICG signal
+//! included between two consecutive ECG R-peaks was fed into the
+//! algorithm." (Section IV-C.) This module produces those windows.
+
+use crate::IcgError;
+
+/// One beat window: `[r_index, next_r_index)` in full-record coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BeatWindow {
+    /// Sample index of this beat's R peak.
+    pub r: usize,
+    /// Sample index of the next beat's R peak (exclusive end).
+    pub end: usize,
+}
+
+impl BeatWindow {
+    /// Window length in samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.r
+    }
+
+    /// `true` when the window is degenerate.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.r
+    }
+
+    /// Borrows the ICG samples of this beat from the full record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the record (cannot happen for windows
+    /// produced by [`segment_beats`] on the same record).
+    #[must_use]
+    pub fn slice<'a>(&self, icg: &'a [f64]) -> &'a [f64] {
+        &icg[self.r..self.end]
+    }
+
+    /// RR interval of this beat in seconds at sampling rate `fs`.
+    #[must_use]
+    pub fn rr_s(&self, fs: f64) -> f64 {
+        self.len() as f64 / fs
+    }
+}
+
+/// Splits a record of `record_len` samples into beat windows from the
+/// ascending R-peak indices. Beats shorter than `min_rr_s` or longer than
+/// `max_rr_s` are dropped (ectopic or missed detections would corrupt the
+/// interval statistics).
+///
+/// # Errors
+///
+/// * [`IcgError::BeatTooShort`] when fewer than 2 peaks are supplied;
+/// * [`IcgError::InvalidParameter`] for non-ascending peaks, peaks beyond
+///   the record, or an invalid RR range.
+pub fn segment_beats(
+    r_peaks: &[usize],
+    record_len: usize,
+    fs: f64,
+    min_rr_s: f64,
+    max_rr_s: f64,
+) -> Result<Vec<BeatWindow>, IcgError> {
+    if r_peaks.len() < 2 {
+        return Err(IcgError::BeatTooShort {
+            len: r_peaks.len(),
+            min_len: 2,
+        });
+    }
+    if !(min_rr_s > 0.0 && max_rr_s > min_rr_s) {
+        return Err(IcgError::InvalidParameter {
+            name: "min_rr_s/max_rr_s",
+            value: min_rr_s,
+            constraint: "must satisfy 0 < min < max",
+        });
+    }
+    let mut out = Vec::with_capacity(r_peaks.len() - 1);
+    for w in r_peaks.windows(2) {
+        if w[1] <= w[0] {
+            return Err(IcgError::InvalidParameter {
+                name: "r_peaks",
+                value: w[1] as f64,
+                constraint: "must be strictly ascending",
+            });
+        }
+        if w[1] > record_len {
+            return Err(IcgError::InvalidParameter {
+                name: "r_peaks",
+                value: w[1] as f64,
+                constraint: "must lie within the record",
+            });
+        }
+        let win = BeatWindow { r: w[0], end: w[1] };
+        let rr = win.rr_s(fs);
+        if rr >= min_rr_s && rr <= max_rr_s {
+            out.push(win);
+        }
+    }
+    Ok(out)
+}
+
+/// Conventional physiological RR bounds: 0.3 s (200 bpm) to 2.0 s
+/// (30 bpm).
+#[must_use]
+pub fn physiological_rr_bounds() -> (f64, f64) {
+    (0.3, 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 250.0;
+
+    #[test]
+    fn segments_consecutive_pairs() {
+        let peaks = [100usize, 350, 600, 850];
+        let w = segment_beats(&peaks, 1000, FS, 0.3, 2.0).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], BeatWindow { r: 100, end: 350 });
+        assert_eq!(w[2], BeatWindow { r: 600, end: 850 });
+    }
+
+    #[test]
+    fn drops_out_of_range_rr() {
+        // middle pair is only 0.2 s (50 samples) — below min_rr
+        let peaks = [100usize, 350, 400, 650];
+        let w = segment_beats(&peaks, 1000, FS, 0.3, 2.0).unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|b| b.rr_s(FS) >= 0.3));
+    }
+
+    #[test]
+    fn drops_too_long_rr() {
+        let peaks = [0usize, 250, 900];
+        let w = segment_beats(&peaks, 1000, FS, 0.3, 2.0).unwrap();
+        // 0→250 ok (1 s); 250→900 is 2.6 s — dropped
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(segment_beats(&[5], 100, FS, 0.3, 2.0).is_err());
+        assert!(segment_beats(&[10, 5], 100, FS, 0.3, 2.0).is_err());
+        assert!(segment_beats(&[10, 500], 100, FS, 0.3, 2.0).is_err());
+        assert!(segment_beats(&[10, 50], 100, FS, 2.0, 0.3).is_err());
+    }
+
+    #[test]
+    fn slice_returns_window_contents() {
+        let icg: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let w = BeatWindow { r: 100, end: 110 };
+        let s = w.slice(&icg);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 100.0);
+        assert_eq!(w.len(), 10);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn physiological_bounds_sensible() {
+        let (lo, hi) = physiological_rr_bounds();
+        assert!(lo < 60.0 / 70.0 && 60.0 / 70.0 < hi);
+    }
+}

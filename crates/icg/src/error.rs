@@ -1,0 +1,90 @@
+use std::fmt;
+
+/// Error type for the ICG chain.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IcgError {
+    /// The beat segment is too short for point detection.
+    BeatTooShort {
+        /// Number of samples in the segment.
+        len: usize,
+        /// Minimum required.
+        min_len: usize,
+    },
+    /// No usable characteristic point could be found in the segment.
+    PointNotFound {
+        /// Which point failed.
+        point: &'static str,
+        /// Why the search failed, human-readable.
+        reason: &'static str,
+    },
+    /// A configuration parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Supplied value.
+        value: f64,
+        /// Violated constraint.
+        constraint: &'static str,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(cardiotouch_dsp::DspError),
+}
+
+impl fmt::Display for IcgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcgError::BeatTooShort { len, min_len } => {
+                write!(f, "beat segment has {len} samples but at least {min_len} are required")
+            }
+            IcgError::PointNotFound { point, reason } => {
+                write!(f, "{point} point not found: {reason}")
+            }
+            IcgError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
+            IcgError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IcgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IcgError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cardiotouch_dsp::DspError> for IcgError {
+    fn from(e: cardiotouch_dsp::DspError) -> Self {
+        IcgError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(IcgError::BeatTooShort { len: 3, min_len: 20 }
+            .to_string()
+            .contains("20"));
+        assert!(IcgError::PointNotFound {
+            point: "B",
+            reason: "no zero crossing left of B0",
+        }
+        .to_string()
+        .contains("B point"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IcgError>();
+    }
+}

@@ -1,0 +1,230 @@
+//! Hemodynamic parameter estimation: stroke volume, cardiac output and
+//! thoracic fluid content.
+//!
+//! The systolic time intervals exist to feed these formulas ("these
+//! parameters … are used to estimate cardiac output (CO) and stroke volume
+//! (SV) \[25\], \[26\]"). Two classical estimators are provided:
+//!
+//! * **Kubicek** \[25\]: `SV = ρ · (L/Z0)² · LVET · (dZ/dt)max`, with blood
+//!   resistivity ρ and inter-electrode distance L;
+//! * **Sramek–Bernstein** \[26\]: `SV = ((0.17·H)³ / 4.25) · (dZ/dt)max/Z0 ·
+//!   LVET`, parameterised by subject height H.
+//!
+//! Thoracic fluid content, the CHF trend parameter, is `TFC = 1000 / Z0`.
+
+use crate::IcgError;
+
+/// Subject/electrode constants for the stroke-volume formulas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HemoConstants {
+    /// Blood resistivity ρ, ohm-centimetres (typical adult: 135 Ω·cm).
+    pub blood_resistivity_ohm_cm: f64,
+    /// Inter-electrode (thorax) distance L, centimetres.
+    pub electrode_distance_cm: f64,
+    /// Subject height H, centimetres (Sramek–Bernstein).
+    pub height_cm: f64,
+}
+
+impl Default for HemoConstants {
+    fn default() -> Self {
+        Self {
+            blood_resistivity_ohm_cm: 135.0,
+            electrode_distance_cm: 30.0,
+            height_cm: 178.0,
+        }
+    }
+}
+
+/// One beat's hemodynamic inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BeatHemoInput {
+    /// Base thoracic impedance Z0, ohms.
+    pub z0_ohm: f64,
+    /// Maximum of dZ/dt during ejection (the C-point amplitude), Ω/s.
+    pub dzdt_max_ohm_per_s: f64,
+    /// Left-ventricular ejection time, seconds.
+    pub lvet_s: f64,
+    /// Heart rate, beats per minute.
+    pub hr_bpm: f64,
+}
+
+impl BeatHemoInput {
+    fn validate(&self) -> Result<(), IcgError> {
+        for (name, v) in [
+            ("z0_ohm", self.z0_ohm),
+            ("dzdt_max_ohm_per_s", self.dzdt_max_ohm_per_s),
+            ("lvet_s", self.lvet_s),
+            ("hr_bpm", self.hr_bpm),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(IcgError::InvalidParameter {
+                    name,
+                    value: v,
+                    constraint: "must be positive and finite",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stroke volume by the Kubicek formula, millilitres.
+///
+/// # Errors
+///
+/// Returns [`IcgError::InvalidParameter`] for non-positive inputs.
+pub fn stroke_volume_kubicek(
+    input: &BeatHemoInput,
+    constants: &HemoConstants,
+) -> Result<f64, IcgError> {
+    input.validate()?;
+    let l_over_z = constants.electrode_distance_cm / input.z0_ohm;
+    Ok(constants.blood_resistivity_ohm_cm
+        * l_over_z
+        * l_over_z
+        * input.lvet_s
+        * input.dzdt_max_ohm_per_s)
+}
+
+/// Stroke volume by the Sramek–Bernstein formula, millilitres.
+///
+/// # Errors
+///
+/// Returns [`IcgError::InvalidParameter`] for non-positive inputs.
+pub fn stroke_volume_sramek_bernstein(
+    input: &BeatHemoInput,
+    constants: &HemoConstants,
+) -> Result<f64, IcgError> {
+    input.validate()?;
+    let vept = (0.17 * constants.height_cm).powi(3) / 4.25; // volume of electrically participating tissue, ml
+    Ok(vept * input.dzdt_max_ohm_per_s / input.z0_ohm * input.lvet_s)
+}
+
+/// Cardiac output from stroke volume, litres per minute.
+///
+/// # Errors
+///
+/// Returns [`IcgError::InvalidParameter`] for non-positive inputs.
+pub fn cardiac_output_l_per_min(sv_ml: f64, hr_bpm: f64) -> Result<f64, IcgError> {
+    for (name, v) in [("sv_ml", sv_ml), ("hr_bpm", hr_bpm)] {
+        if !(v > 0.0 && v.is_finite()) {
+            return Err(IcgError::InvalidParameter {
+                name,
+                value: v,
+                constraint: "must be positive and finite",
+            });
+        }
+    }
+    Ok(sv_ml * hr_bpm / 1000.0)
+}
+
+/// Thoracic fluid content, `1000 / Z0`, in kΩ⁻¹ — the fluid-status trend
+/// the paper monitors for CHF decompensation.
+///
+/// # Errors
+///
+/// Returns [`IcgError::InvalidParameter`] for a non-positive `z0_ohm`.
+pub fn thoracic_fluid_content(z0_ohm: f64) -> Result<f64, IcgError> {
+    if !(z0_ohm > 0.0 && z0_ohm.is_finite()) {
+        return Err(IcgError::InvalidParameter {
+            name: "z0_ohm",
+            value: z0_ohm,
+            constraint: "must be positive and finite",
+        });
+    }
+    Ok(1000.0 / z0_ohm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical() -> BeatHemoInput {
+        BeatHemoInput {
+            z0_ohm: 28.0,
+            dzdt_max_ohm_per_s: 1.4,
+            lvet_s: 0.30,
+            hr_bpm: 70.0,
+        }
+    }
+
+    #[test]
+    fn kubicek_in_physiological_range() {
+        let sv = stroke_volume_kubicek(&typical(), &HemoConstants::default()).unwrap();
+        // resting adult SV: roughly 50–120 ml
+        assert!((40.0..150.0).contains(&sv), "SV {sv} ml");
+    }
+
+    #[test]
+    fn sramek_in_physiological_range() {
+        let sv = stroke_volume_sramek_bernstein(&typical(), &HemoConstants::default()).unwrap();
+        assert!((40.0..150.0).contains(&sv), "SV {sv} ml");
+    }
+
+    #[test]
+    fn formulas_agree_within_factor_two() {
+        let i = typical();
+        let c = HemoConstants::default();
+        let k = stroke_volume_kubicek(&i, &c).unwrap();
+        let s = stroke_volume_sramek_bernstein(&i, &c).unwrap();
+        let ratio = k / s;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sv_increases_with_lvet_and_dzdt() {
+        let base = typical();
+        let c = HemoConstants::default();
+        let sv0 = stroke_volume_kubicek(&base, &c).unwrap();
+        let longer = BeatHemoInput {
+            lvet_s: 0.35,
+            ..base
+        };
+        let stronger = BeatHemoInput {
+            dzdt_max_ohm_per_s: 1.8,
+            ..base
+        };
+        assert!(stroke_volume_kubicek(&longer, &c).unwrap() > sv0);
+        assert!(stroke_volume_kubicek(&stronger, &c).unwrap() > sv0);
+    }
+
+    #[test]
+    fn sv_decreases_with_z0() {
+        // higher baseline impedance (drier thorax) → smaller SV estimate
+        let base = typical();
+        let c = HemoConstants::default();
+        let drier = BeatHemoInput {
+            z0_ohm: 35.0,
+            ..base
+        };
+        assert!(
+            stroke_volume_kubicek(&drier, &c).unwrap()
+                < stroke_volume_kubicek(&base, &c).unwrap()
+        );
+    }
+
+    #[test]
+    fn cardiac_output_scales() {
+        let co = cardiac_output_l_per_min(80.0, 70.0).unwrap();
+        assert!((co - 5.6).abs() < 1e-12);
+        assert!(cardiac_output_l_per_min(0.0, 70.0).is_err());
+    }
+
+    #[test]
+    fn tfc_inverse_of_z0() {
+        assert!((thoracic_fluid_content(25.0).unwrap() - 40.0).abs() < 1e-12);
+        // fluid accumulation (lower Z0) → higher TFC
+        assert!(thoracic_fluid_content(20.0).unwrap() > thoracic_fluid_content(30.0).unwrap());
+        assert!(thoracic_fluid_content(0.0).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let mut bad = typical();
+        bad.z0_ohm = -1.0;
+        assert!(stroke_volume_kubicek(&bad, &HemoConstants::default()).is_err());
+        assert!(stroke_volume_sramek_bernstein(&bad, &HemoConstants::default()).is_err());
+    }
+}

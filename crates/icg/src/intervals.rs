@@ -1,0 +1,205 @@
+//! Systolic time intervals: LVET and PEP.
+//!
+//! "The time interval between point B and point X is the Left Ventricular
+//! Ejection Time (LVET) while the time interval between R-wave at the ECG
+//! and B point at the ICG is the Pre-Ejection Period (PEP)." These are the
+//! hemodynamic parameters the device streams (together with HR and Z0).
+
+use crate::points::CharacteristicPoints;
+use crate::IcgError;
+
+/// Per-beat systolic time intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SystolicIntervals {
+    /// Pre-ejection period, seconds (R → B).
+    pub pep_s: f64,
+    /// Left-ventricular ejection time, seconds (B → X).
+    pub lvet_s: f64,
+}
+
+impl SystolicIntervals {
+    /// Derives the intervals from detected points (indices relative to the
+    /// R peak at segment index 0) at sampling rate `fs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgError::InvalidParameter`] for a non-positive `fs` or
+    /// an inconsistent point ordering (B ≥ X).
+    pub fn from_points(points: &CharacteristicPoints, fs: f64) -> Result<Self, IcgError> {
+        if !(fs > 0.0 && fs.is_finite()) {
+            return Err(IcgError::InvalidParameter {
+                name: "fs",
+                value: fs,
+                constraint: "must be positive and finite",
+            });
+        }
+        if points.x <= points.b {
+            return Err(IcgError::InvalidParameter {
+                name: "points",
+                value: points.x as f64,
+                constraint: "X must come after B",
+            });
+        }
+        if points.b == 0 {
+            return Err(IcgError::InvalidParameter {
+                name: "points",
+                value: 0.0,
+                constraint: "B must come after the R peak (PEP > 0)",
+            });
+        }
+        Ok(Self {
+            pep_s: points.b as f64 / fs,
+            lvet_s: (points.x - points.b) as f64 / fs,
+        })
+    }
+
+    /// Systolic time ratio PEP/LVET — a load-independent contractility
+    /// index commonly derived from these intervals.
+    #[must_use]
+    pub fn str_ratio(&self) -> f64 {
+        self.pep_s / self.lvet_s
+    }
+
+    /// `true` when both intervals are inside wide physiological bounds
+    /// (PEP 0.05–0.25 s, LVET 0.12–0.50 s). Even maximal sympathetic
+    /// drive does not shorten PEP below ~50 ms, so anything under that is
+    /// a mis-detected B point.
+    #[must_use]
+    pub fn is_physiological(&self) -> bool {
+        (0.05..=0.25).contains(&self.pep_s) && (0.12..=0.50).contains(&self.lvet_s)
+    }
+}
+
+/// Aggregate statistics over a recording's beats.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IntervalStatistics {
+    /// Mean PEP, seconds.
+    pub pep_mean_s: f64,
+    /// Standard deviation of PEP, seconds.
+    pub pep_sd_s: f64,
+    /// Mean LVET, seconds.
+    pub lvet_mean_s: f64,
+    /// Standard deviation of LVET, seconds.
+    pub lvet_sd_s: f64,
+    /// Number of beats aggregated.
+    pub beats: usize,
+}
+
+impl IntervalStatistics {
+    /// Aggregates a beat series, skipping nothing — filter with
+    /// [`SystolicIntervals::is_physiological`] first if outliers must be
+    /// excluded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgError::BeatTooShort`] for an empty series.
+    pub fn from_series(series: &[SystolicIntervals]) -> Result<Self, IcgError> {
+        if series.is_empty() {
+            return Err(IcgError::BeatTooShort {
+                len: 0,
+                min_len: 1,
+            });
+        }
+        let n = series.len() as f64;
+        let pep_mean = series.iter().map(|s| s.pep_s).sum::<f64>() / n;
+        let lvet_mean = series.iter().map(|s| s.lvet_s).sum::<f64>() / n;
+        let pep_var = series
+            .iter()
+            .map(|s| (s.pep_s - pep_mean) * (s.pep_s - pep_mean))
+            .sum::<f64>()
+            / n;
+        let lvet_var = series
+            .iter()
+            .map(|s| (s.lvet_s - lvet_mean) * (s.lvet_s - lvet_mean))
+            .sum::<f64>()
+            / n;
+        Ok(Self {
+            pep_mean_s: pep_mean,
+            pep_sd_s: pep_var.sqrt(),
+            lvet_mean_s: lvet_mean,
+            lvet_sd_s: lvet_var.sqrt(),
+            beats: series.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::points::{BRule, CharacteristicPoints};
+
+    fn pts(b: usize, c: usize, x: usize) -> CharacteristicPoints {
+        CharacteristicPoints {
+            b,
+            c,
+            x,
+            b0: b as f64,
+            b_rule: BRule::LineFitIntercept,
+        }
+    }
+
+    #[test]
+    fn intervals_from_indices() {
+        // at 250 Hz: B at 25 (100 ms), X at 100 (400 ms) → LVET 300 ms
+        let s = SystolicIntervals::from_points(&pts(25, 50, 100), 250.0).unwrap();
+        assert!((s.pep_s - 0.1).abs() < 1e-12);
+        assert!((s.lvet_s - 0.3).abs() < 1e-12);
+        assert!((s.str_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(s.is_physiological());
+    }
+
+    #[test]
+    fn rejects_inverted_points_and_bad_fs() {
+        assert!(SystolicIntervals::from_points(&pts(100, 120, 50), 250.0).is_err());
+        assert!(SystolicIntervals::from_points(&pts(25, 50, 100), 0.0).is_err());
+    }
+
+    #[test]
+    fn physiological_bounds() {
+        let ok = SystolicIntervals {
+            pep_s: 0.10,
+            lvet_s: 0.30,
+        };
+        let too_long = SystolicIntervals {
+            pep_s: 0.10,
+            lvet_s: 0.80,
+        };
+        let too_short = SystolicIntervals {
+            pep_s: 0.01,
+            lvet_s: 0.30,
+        };
+        assert!(ok.is_physiological());
+        assert!(!too_long.is_physiological());
+        assert!(!too_short.is_physiological());
+    }
+
+    #[test]
+    fn statistics_aggregate() {
+        let series = [
+            SystolicIntervals {
+                pep_s: 0.10,
+                lvet_s: 0.30,
+            },
+            SystolicIntervals {
+                pep_s: 0.12,
+                lvet_s: 0.28,
+            },
+            SystolicIntervals {
+                pep_s: 0.08,
+                lvet_s: 0.32,
+            },
+        ];
+        let st = IntervalStatistics::from_series(&series).unwrap();
+        assert_eq!(st.beats, 3);
+        assert!((st.pep_mean_s - 0.10).abs() < 1e-12);
+        assert!((st.lvet_mean_s - 0.30).abs() < 1e-12);
+        assert!(st.pep_sd_s > 0.0 && st.lvet_sd_s > 0.0);
+    }
+
+    #[test]
+    fn empty_series_rejected() {
+        assert!(IntervalStatistics::from_series(&[]).is_err());
+    }
+}

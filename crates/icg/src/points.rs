@@ -1,0 +1,506 @@
+//! Detection of the ICG characteristic points B, C and X (Section IV-C).
+//!
+//! The algorithm operates on one beat at a time — the ICG samples between
+//! two consecutive ECG R peaks, with index 0 corresponding to the R peak:
+//!
+//! * **C point** — the maximum of the ICG within the beat;
+//! * **B point** — first the initial estimate **B0** is computed as the
+//!   intersection with the horizontal axis of the least-squares line
+//!   through the ICG points between 40 % and 80 % of the C amplitude on
+//!   the rising edge. If the (+,−,+,−) sign pattern of the second
+//!   derivative is present left of C, B is the first minimum of the third
+//!   derivative to the left of B0; otherwise B is the first zero crossing
+//!   of the first derivative to the left of B0;
+//! * **X point** — the initial estimate **X0** is the lowest negative
+//!   minimum to the right of C (the paper's variant, chosen because the
+//!   T-wave end is an unreliable marker), or the lowest negative minimum
+//!   within `[RT, 1.75·RT]` (the Carvalho et al. variant \[28\]); X is then
+//!   refined to the local minimum of the third derivative just left of X0.
+//!
+//! The derivative refinements search within a bounded window (60 ms for B,
+//! 50 ms for X; the paper does not specify an extent) and fall back to the
+//! initial estimate when the window contains no qualifying extremum —
+//! without the bound, the smooth flanks of low-noise beats would let the
+//! search run far from the landmark.
+
+use crate::IcgError;
+use cardiotouch_dsp::diff;
+use cardiotouch_dsp::peaks;
+use cardiotouch_dsp::stats::LineFit;
+
+/// Strategy for locating the initial X estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum XSearch {
+    /// The paper's choice: the lowest ICG negative minimum to the right of
+    /// the C point.
+    GlobalMinimum,
+    /// Carvalho et al. \[28\]: the lowest ICG negative minimum in the
+    /// interval `RT ≤ t ≤ 1.75·RT`, where `RT` is the R→T duration.
+    RtWindow {
+        /// R-to-T-wave duration for this beat, seconds.
+        rt_s: f64,
+    },
+}
+
+/// Which rule produced the B point (exposed for analysis, C-INTERMEDIATE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum BRule {
+    /// The (+,−,+,−) second-derivative pattern was present: B is the first
+    /// third-derivative minimum left of B0.
+    ThirdDerivativeMinimum,
+    /// Pattern absent: B is the first first-derivative zero crossing left
+    /// of B0.
+    FirstDerivativeZeroCrossing,
+    /// Neither refinement found a candidate in its window: B0 itself.
+    LineFitIntercept,
+}
+
+/// Detected characteristic points of one beat, as sample indices relative
+/// to the segment start (the R peak).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CharacteristicPoints {
+    /// B point (aortic valve opening).
+    pub b: usize,
+    /// C point (dZ/dt maximum).
+    pub c: usize,
+    /// X point (aortic valve closure).
+    pub x: usize,
+    /// The fractional initial B estimate from the line fit.
+    pub b0: f64,
+    /// Which refinement rule produced B.
+    pub b_rule: BRule,
+}
+
+/// The beat-level characteristic-point detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PointDetector {
+    fs: f64,
+    x_search: XSearch,
+    /// Extent of the leftward B refinement searches, seconds.
+    b_refine_window_s: f64,
+    /// Extent of the leftward X refinement search, seconds.
+    x_refine_window_s: f64,
+}
+
+impl PointDetector {
+    /// Creates a detector for sampling rate `fs` with the given X-search
+    /// strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgError::InvalidParameter`] for a non-positive `fs` or a
+    /// non-positive `rt_s` in [`XSearch::RtWindow`].
+    pub fn new(fs: f64, x_search: XSearch) -> Result<Self, IcgError> {
+        if !(fs > 0.0 && fs.is_finite()) {
+            return Err(IcgError::InvalidParameter {
+                name: "fs",
+                value: fs,
+                constraint: "must be positive and finite",
+            });
+        }
+        if let XSearch::RtWindow { rt_s } = x_search {
+            if !(rt_s > 0.0 && rt_s.is_finite()) {
+                return Err(IcgError::InvalidParameter {
+                    name: "rt_s",
+                    value: rt_s,
+                    constraint: "must be positive and finite",
+                });
+            }
+        }
+        Ok(Self {
+            fs,
+            x_search,
+            b_refine_window_s: 0.060,
+            x_refine_window_s: 0.080,
+        })
+    }
+
+    /// The configured X-search strategy.
+    #[must_use]
+    pub fn x_search(&self) -> XSearch {
+        self.x_search
+    }
+
+    /// Detects B, C and X in one beat segment (`icg[0]` at the R peak).
+    ///
+    /// # Errors
+    ///
+    /// * [`IcgError::BeatTooShort`] for segments under 0.3 s;
+    /// * [`IcgError::PointNotFound`] when the beat has no positive C wave
+    ///   or no negative minimum after it.
+    pub fn detect(&self, icg: &[f64]) -> Result<CharacteristicPoints, IcgError> {
+        let min_len = (0.3 * self.fs) as usize;
+        if icg.len() < min_len {
+            return Err(IcgError::BeatTooShort {
+                len: icg.len(),
+                min_len,
+            });
+        }
+
+        // --- C point -----------------------------------------------------
+        // Search away from the segment edges: the ejection cannot start
+        // before ~40 ms after R, and C sits in the first ~3/4 of the cycle.
+        let c_lo = (0.04 * self.fs) as usize;
+        let c_hi = (icg.len() * 3) / 4;
+        let c = c_lo
+            + peaks::argmax(&icg[c_lo..c_hi]).ok_or(IcgError::PointNotFound {
+                point: "C",
+                reason: "empty search window",
+            })?;
+        let amp_c = icg[c];
+        if amp_c <= 0.0 {
+            return Err(IcgError::PointNotFound {
+                point: "C",
+                reason: "no positive deflection in the beat",
+            });
+        }
+
+        // --- derivatives ---------------------------------------------------
+        // Derivatives triple-amplify in-band noise, so they are computed
+        // on a lightly binomial-smoothed copy (a standard precaution in
+        // ICG point detectors); amplitudes and extrema searches above use
+        // the signal as given.
+        let smoothed = binomial_smooth(icg);
+        let d1 = diff::derivative(&smoothed, self.fs)?;
+        let d2 = diff::second_derivative(&smoothed, self.fs)?;
+        let d3 = diff::third_derivative(&smoothed, self.fs)?;
+
+        // --- B0: 40-80 % line fit -----------------------------------------
+        // Walk the rising edge leftward from C, collecting contiguous
+        // samples between the two amplitude thresholds.
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut i = c;
+        while i > 0 {
+            let v = icg[i];
+            if v < 0.4 * amp_c {
+                break;
+            }
+            if v <= 0.8 * amp_c {
+                xs.push(i as f64);
+                ys.push(v);
+            }
+            i -= 1;
+        }
+        let edge_floor = i; // last index inspected (below 40 %)
+        let b0 = if xs.len() >= 2 {
+            LineFit::fit(&xs, &ys)
+                .ok()
+                .and_then(|f| f.x_intercept())
+                .filter(|&v| v.is_finite() && v >= 0.0 && v < c as f64)
+                .unwrap_or(edge_floor as f64)
+        } else {
+            edge_floor as f64
+        };
+        let b0_idx = (b0.round() as usize).min(c.saturating_sub(1));
+
+        // --- B refinement ---------------------------------------------------
+        // The scan starts two samples right of the rounded B0: B0 is a
+        // fractional line-fit intercept, and after low-pass conditioning
+        // the knee's derivative extremum can land within that rounding
+        // slack on either side.
+        let b_window = (self.b_refine_window_s * self.fs) as usize;
+        let b_start = (b0_idx + 2).min(c.saturating_sub(1));
+        let pattern_lo = b0_idx.saturating_sub(2 * b_window);
+        let has_pattern =
+            peaks::has_sign_pattern(&d2[pattern_lo..=c], &[true, false, true, false]);
+        let (mut b, mut b_rule) = if has_pattern {
+            match first_local_min_left_within(&d3, b_start, b_window) {
+                Some(idx) => (idx, BRule::ThirdDerivativeMinimum),
+                None => (b0_idx, BRule::LineFitIntercept),
+            }
+        } else {
+            match first_zero_crossing_left_within(&d1, b_start, b_window) {
+                Some(idx) => (idx, BRule::FirstDerivativeZeroCrossing),
+                None => (b0_idx, BRule::LineFitIntercept),
+            }
+        };
+        // If the pattern rule found nothing, try the zero-crossing rule
+        // before settling on B0.
+        if b_rule == BRule::LineFitIntercept {
+            if let Some(idx) = first_zero_crossing_left_within(&d1, b_start, b_window) {
+                b = idx;
+                b_rule = BRule::FirstDerivativeZeroCrossing;
+            }
+        }
+        let b = b.min(c.saturating_sub(1));
+
+        // --- X0 ---------------------------------------------------------------
+        // The "global" search is bounded at 300 ms past C: the C apex sits
+        // ~40 % into ejection, so X trails it by 0.6·LVET ≤ 270 ms even at
+        // the longest physiological LVET; anything deeper farther out is a
+        // diastolic artifact, not the valve closure.
+        let x_bound = c + 1 + (0.30 * self.fs) as usize;
+        let (x_lo, x_hi) = match self.x_search {
+            XSearch::GlobalMinimum => (c + 1, icg.len().min(x_bound)),
+            XSearch::RtWindow { rt_s } => {
+                let lo = ((rt_s * self.fs) as usize).max(c + 1);
+                let hi = ((1.75 * rt_s * self.fs) as usize).min(icg.len());
+                if lo >= hi {
+                    (c + 1, icg.len())
+                } else {
+                    (lo, hi)
+                }
+            }
+        };
+        if x_lo >= x_hi {
+            return Err(IcgError::PointNotFound {
+                point: "X",
+                reason: "no samples after the C point",
+            });
+        }
+        let x0 = x_lo
+            + peaks::argmin(&icg[x_lo..x_hi]).ok_or(IcgError::PointNotFound {
+                point: "X",
+                reason: "empty search window",
+            })?;
+        if icg[x0] >= 0.0 {
+            return Err(IcgError::PointNotFound {
+                point: "X",
+                reason: "no negative minimum after the C point",
+            });
+        }
+
+        // --- X refinement ------------------------------------------------------
+        let x_window = (self.x_refine_window_s * self.fs) as usize;
+        let x = first_local_min_left_within(&d3, x0, x_window)
+            .filter(|&idx| idx > c)
+            .unwrap_or(x0);
+
+        Ok(CharacteristicPoints {
+            b,
+            c,
+            x,
+            b0,
+            b_rule,
+        })
+    }
+}
+
+/// One pass of 5-point binomial smoothing `[1, 4, 6, 4, 1] / 16` with
+/// replicated edges.
+fn binomial_smooth(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let at = |i: isize| -> f64 { x[i.clamp(0, n as isize - 1) as usize] };
+    (0..n as isize)
+        .map(|i| {
+            (at(i - 2) + 4.0 * at(i - 1) + 6.0 * at(i) + 4.0 * at(i + 1) + at(i + 2)) / 16.0
+        })
+        .collect()
+}
+
+/// First strict local minimum of `x` scanning left from `start`, not
+/// farther than `window` samples. `None` when nothing qualifies.
+fn first_local_min_left_within(x: &[f64], start: usize, window: usize) -> Option<usize> {
+    let stop = start.saturating_sub(window);
+    let mut i = start.min(x.len().saturating_sub(1));
+    while i >= 2 && i > stop.max(1) {
+        let c = i - 1;
+        if x[c] < x[c - 1] && x[c] <= x[c + 1] {
+            return Some(c);
+        }
+        i -= 1;
+    }
+    None
+}
+
+/// First sign change of `x` scanning left from `start`, not farther than
+/// `window` samples. Returns the left index of the crossing pair.
+fn first_zero_crossing_left_within(x: &[f64], start: usize, window: usize) -> Option<usize> {
+    let stop = start.saturating_sub(window);
+    let mut i = start.min(x.len().saturating_sub(1));
+    while i > stop && i > 0 {
+        let a = x[i - 1];
+        let b = x[i];
+        if a != 0.0 && b != 0.0 && (a > 0.0) != (b > 0.0) {
+            return Some(i - 1);
+        }
+        i -= 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_physio::heart::HeartModel;
+    use cardiotouch_physio::icg::IcgMorphology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 250.0;
+
+    /// Renders beats and returns (full icg, landmarks).
+    fn synth(seed: u64) -> (Vec<f64>, Vec<cardiotouch_physio::icg::BeatLandmarks>) {
+        let beats = HeartModel::default()
+            .schedule(20.0, &mut StdRng::seed_from_u64(seed))
+            .unwrap();
+        let n = (20.0 * FS) as usize;
+        let m = IcgMorphology::default();
+        (m.render_dzdt(&beats, n, FS), m.landmarks(&beats, n, FS))
+    }
+
+    fn detector() -> PointDetector {
+        PointDetector::new(FS, XSearch::GlobalMinimum).unwrap()
+    }
+
+    #[test]
+    fn detects_points_near_ground_truth() {
+        let (icg, lms) = synth(1);
+        let det = detector();
+        let mut b_err = Vec::new();
+        let mut c_err = Vec::new();
+        let mut x_err = Vec::new();
+        for w in lms.windows(2) {
+            let (lm, next) = (&w[0], &w[1]);
+            let seg = &icg[lm.r..next.r];
+            let pts = det.detect(seg).unwrap();
+            b_err.push((pts.b + lm.r) as f64 - lm.b as f64);
+            c_err.push((pts.c + lm.r) as f64 - lm.c as f64);
+            x_err.push((pts.x + lm.r) as f64 - lm.x as f64);
+        }
+        let mae = |v: &[f64]| v.iter().map(|e| e.abs()).sum::<f64>() / v.len() as f64;
+        // tolerances in samples at 250 Hz (4 ms each)
+        assert!(mae(&c_err) <= 1.5, "C MAE {} samples", mae(&c_err));
+        assert!(mae(&b_err) <= 5.0, "B MAE {} samples", mae(&b_err));
+        assert!(mae(&x_err) <= 4.0, "X MAE {} samples", mae(&x_err));
+    }
+
+    #[test]
+    fn ordering_invariant_holds() {
+        let (icg, lms) = synth(2);
+        let det = detector();
+        for w in lms.windows(2) {
+            let seg = &icg[w[0].r..w[1].r];
+            let pts = det.detect(seg).unwrap();
+            assert!(pts.b < pts.c && pts.c < pts.x, "{pts:?}");
+        }
+    }
+
+    #[test]
+    fn rt_window_variant_matches_global_minimum_on_clean_beats() {
+        let (icg, lms) = synth(3);
+        let global = detector();
+        for w in lms.windows(2) {
+            let seg = &icg[w[0].r..w[1].r];
+            let p1 = global.detect(seg).unwrap();
+            // RT duration ≈ R→T apex ≈ 0.30 s for these beats
+            let rt = PointDetector::new(FS, XSearch::RtWindow { rt_s: 0.30 }).unwrap();
+            let p2 = rt.detect(seg).unwrap();
+            assert!(
+                p1.x.abs_diff(p2.x) <= 2,
+                "variants disagree: {} vs {}",
+                p1.x,
+                p2.x
+            );
+        }
+    }
+
+    #[test]
+    fn b0_line_fit_lands_on_rising_edge() {
+        let (icg, lms) = synth(4);
+        let det = detector();
+        for w in lms.windows(2).take(5) {
+            let seg = &icg[w[0].r..w[1].r];
+            let pts = det.detect(seg).unwrap();
+            // B0 must precede C and come after the segment start
+            assert!(pts.b0 > 0.0 && pts.b0 < pts.c as f64);
+            // and the signal at B0 must be well below 40 % of the C peak
+            let v = seg[pts.b0.round() as usize];
+            assert!(v < 0.45 * seg[pts.c], "B0 too high on the edge: {v}");
+        }
+    }
+
+    #[test]
+    fn survives_filtering_chain() {
+        use crate::filter::IcgConditioner;
+        let (mut icg, lms) = synth(5);
+        // add out-of-band noise, then condition as the firmware would
+        let mut rng = StdRng::seed_from_u64(99);
+        let noise = cardiotouch_physio::noise::white(icg.len(), 0.05, &mut rng);
+        for (v, n) in icg.iter_mut().zip(&noise) {
+            *v += n;
+        }
+        let clean = IcgConditioner::paper_default(FS).unwrap().condition(&icg).unwrap();
+        let det = detector();
+        let mut ok = 0;
+        let mut total = 0;
+        for w in lms.windows(2) {
+            let seg = &clean[w[0].r..w[1].r];
+            if let Ok(pts) = det.detect(seg) {
+                total += 1;
+                let b_abs = pts.b + w[0].r;
+                let x_abs = pts.x + w[0].r;
+                // Under this much in-band noise (σ = 0.05 Ω/s is ~4 % of
+                // the C peak even after 20 Hz conditioning) B-point
+                // detection is known to be bimodal; ±40 ms for B and
+                // ±32 ms for X on ≥ 80 % of beats is the realistic bar.
+                if b_abs.abs_diff(w[0].b) <= 10 && x_abs.abs_diff(w[0].x) <= 8 {
+                    ok += 1;
+                }
+            }
+        }
+        assert!(total >= lms.len() - 2);
+        assert!(
+            ok as f64 >= 0.80 * total as f64,
+            "only {ok}/{total} beats within tolerance"
+        );
+    }
+
+    #[test]
+    fn too_short_beat_rejected() {
+        let det = detector();
+        assert!(matches!(
+            det.detect(&[0.0; 20]),
+            Err(IcgError::BeatTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn all_negative_beat_has_no_c() {
+        let det = detector();
+        let seg = vec![-1.0; 200];
+        assert!(matches!(
+            det.detect(&seg),
+            Err(IcgError::PointNotFound { point: "C", .. })
+        ));
+    }
+
+    #[test]
+    fn no_negative_trough_has_no_x() {
+        let det = detector();
+        // positive bump, never goes negative
+        let seg: Vec<f64> = (0..200)
+            .map(|i| {
+                let t = (i as f64 - 60.0) / FS;
+                (-t * t / (2.0 * 0.04 * 0.04)).exp()
+            })
+            .collect();
+        assert!(matches!(
+            det.detect(&seg),
+            Err(IcgError::PointNotFound { point: "X", .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_configuration_rejected() {
+        assert!(PointDetector::new(0.0, XSearch::GlobalMinimum).is_err());
+        assert!(PointDetector::new(FS, XSearch::RtWindow { rt_s: 0.0 }).is_err());
+    }
+
+    #[test]
+    fn b_rule_is_reported() {
+        let (icg, lms) = synth(6);
+        let det = detector();
+        let mut rules = std::collections::HashSet::new();
+        for w in lms.windows(2) {
+            let seg = &icg[w[0].r..w[1].r];
+            rules.insert(format!("{:?}", det.detect(seg).unwrap().b_rule));
+        }
+        assert!(!rules.is_empty());
+    }
+}

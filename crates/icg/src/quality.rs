@@ -1,0 +1,173 @@
+//! Per-beat signal-quality assessment.
+//!
+//! The paper's future-work section points at robustness on larger
+//! cohorts; the standard tool for that in ICG practice is a per-beat
+//! signal-quality index (SQI): each beat is correlated against the
+//! R-aligned ensemble template of the recording, and beats that do not
+//! resemble the template (artifact hits, mis-triggers, ectopy) are
+//! excluded before parameter aggregation. This composes with the
+//! physiological interval gate in `cardiotouch`'s pipeline — the SQI
+//! catches morphology-level corruption the interval bounds cannot see.
+
+use crate::beat::BeatWindow;
+use crate::ensemble::EnsembleBeat;
+use crate::IcgError;
+use cardiotouch_dsp::stats;
+
+/// Correlation-based SQI of one beat against a template: Pearson r over
+/// the common prefix, clamped to `[−1, 1]`, with 0 returned for
+/// degenerate (constant) inputs.
+///
+/// # Errors
+///
+/// Returns [`IcgError::BeatTooShort`] when the common prefix is under 8
+/// samples.
+pub fn beat_sqi(beat: &[f64], template: &[f64]) -> Result<f64, IcgError> {
+    let common = beat.len().min(template.len());
+    if common < 8 {
+        return Err(IcgError::BeatTooShort {
+            len: common,
+            min_len: 8,
+        });
+    }
+    match stats::pearson(&beat[..common], &template[..common]) {
+        Ok(r) => Ok(r.clamp(-1.0, 1.0)),
+        // constant series → undefined correlation → no resemblance
+        Err(_) => Ok(0.0),
+    }
+}
+
+/// Per-beat quality assessment of a whole recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// `(window, sqi)` for every assessed beat, in order.
+    pub beats: Vec<(BeatWindow, f64)>,
+    /// The ensemble template the beats were scored against.
+    pub template: Vec<f64>,
+}
+
+impl QualityReport {
+    /// Scores every beat of `icg` against the recording's own ensemble
+    /// template.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ensemble-construction errors (empty window list,
+    /// windows outside the record).
+    pub fn assess(icg: &[f64], windows: &[BeatWindow]) -> Result<Self, IcgError> {
+        let ensemble = EnsembleBeat::average(icg, windows)?;
+        let template = ensemble.samples().to_vec();
+        let mut beats = Vec::with_capacity(windows.len());
+        for w in windows {
+            let sqi = beat_sqi(w.slice(icg), &template)?;
+            beats.push((*w, sqi));
+        }
+        Ok(Self { beats, template })
+    }
+
+    /// The windows whose SQI is at least `threshold`.
+    #[must_use]
+    pub fn accepted(&self, threshold: f64) -> Vec<BeatWindow> {
+        self.beats
+            .iter()
+            .filter(|(_, sqi)| *sqi >= threshold)
+            .map(|(w, _)| *w)
+            .collect()
+    }
+
+    /// Fraction of beats at or above `threshold` (0 for an empty report).
+    #[must_use]
+    pub fn acceptance_rate(&self, threshold: f64) -> f64 {
+        if self.beats.is_empty() {
+            return 0.0;
+        }
+        self.accepted(threshold).len() as f64 / self.beats.len() as f64
+    }
+
+    /// Median SQI of the recording (0 for an empty report).
+    #[must_use]
+    pub fn median_sqi(&self) -> f64 {
+        let sqis: Vec<f64> = self.beats.iter().map(|(_, s)| *s).collect();
+        stats::median(&sqis).unwrap_or(0.0)
+    }
+}
+
+/// Conventional acceptance threshold: beats correlating under 0.8 with
+/// the recording's own template are artifact-corrupted.
+pub const DEFAULT_SQI_THRESHOLD: f64 = 0.8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_physio::heart::HeartModel;
+    use cardiotouch_physio::icg::IcgMorphology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 250.0;
+
+    fn synth() -> (Vec<f64>, Vec<BeatWindow>) {
+        let beats = HeartModel::default()
+            .schedule(20.0, &mut StdRng::seed_from_u64(3))
+            .unwrap();
+        let n = (20.0 * FS) as usize;
+        let icg = IcgMorphology::default().render_dzdt(&beats, n, FS);
+        let r: Vec<usize> = beats
+            .iter()
+            .map(|b| (b.t_r * FS).round() as usize)
+            .filter(|&i| i < n)
+            .collect();
+        let windows = crate::beat::segment_beats(&r, n, FS, 0.3, 2.0).unwrap();
+        (icg, windows)
+    }
+
+    #[test]
+    fn clean_beats_score_high() {
+        let (icg, windows) = synth();
+        let report = QualityReport::assess(&icg, &windows).unwrap();
+        assert!(report.median_sqi() > 0.95, "median {}", report.median_sqi());
+        assert!(report.acceptance_rate(DEFAULT_SQI_THRESHOLD) > 0.9);
+    }
+
+    #[test]
+    fn corrupted_beat_is_rejected() {
+        let (mut icg, windows) = synth();
+        // wreck the 4th beat with a big burst
+        let w = windows[3];
+        for i in w.r..w.end {
+            icg[i] += 3.0 * ((i - w.r) as f64 * 0.9).sin();
+        }
+        let report = QualityReport::assess(&icg, &windows).unwrap();
+        let (wrecked, sqi) = report.beats[3];
+        assert_eq!(wrecked, w);
+        assert!(sqi < DEFAULT_SQI_THRESHOLD, "wrecked beat SQI {sqi}");
+        // and it is excluded while most others survive
+        let accepted = report.accepted(DEFAULT_SQI_THRESHOLD);
+        assert!(!accepted.contains(&w));
+        assert!(accepted.len() >= windows.len() - 3);
+    }
+
+    #[test]
+    fn sqi_handles_degenerate_beats() {
+        let template = vec![1.0, 2.0, 3.0, 2.0, 1.0, 0.0, 1.0, 2.0];
+        let flat = vec![5.0; 8];
+        assert_eq!(beat_sqi(&flat, &template).unwrap(), 0.0);
+        assert!(beat_sqi(&template[..4], &template).is_err());
+    }
+
+    #[test]
+    fn identical_beat_scores_one() {
+        let t: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.3).sin()).collect();
+        assert!((beat_sqi(&t, &t).unwrap() - 1.0).abs() < 1e-12);
+        let inv: Vec<f64> = t.iter().map(|v| -v).collect();
+        assert!((beat_sqi(&inv, &t).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptance_rate_bounds() {
+        let (icg, windows) = synth();
+        let report = QualityReport::assess(&icg, &windows).unwrap();
+        assert_eq!(report.acceptance_rate(-1.1), 1.0);
+        assert_eq!(report.acceptance_rate(1.1), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Robust smoothing of streamed beat parameters.
+//!
+//! The raw beat-to-beat LVET/PEP/HR series carries detection jitter of a
+//! few samples per beat; a physician display (or the BLE uplink, to save
+//! even more airtime) wants a smoothed trend that individual bad beats
+//! cannot yank around. [`ParameterTrend`] combines the two standard
+//! ingredients: a rolling-median pre-filter (kills isolated outliers
+//! outright) followed by an exponentially weighted moving average
+//! (smooths the remainder with bounded memory — it runs in O(window) per
+//! beat on the MCU).
+
+use crate::IcgError;
+use std::collections::VecDeque;
+
+/// Smooths a beat-parameter stream for display.
+///
+/// # Example
+///
+/// ```
+/// use cardiotouch_icg::trending::ParameterTrend;
+///
+/// # fn main() -> Result<(), cardiotouch_icg::IcgError> {
+/// let mut trend = ParameterTrend::display_default();
+/// for _ in 0..10 {
+///     trend.ingest(300.0)?;
+/// }
+/// // a single wild beat barely moves the display value
+/// let after_outlier = trend.ingest(600.0)?;
+/// assert!((after_outlier - 300.0).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterTrend {
+    median_window: usize,
+    alpha: f64,
+    recent: VecDeque<f64>,
+    ewma: Option<f64>,
+    beats_seen: usize,
+}
+
+impl ParameterTrend {
+    /// Creates a smoother with a rolling-median pre-filter of
+    /// `median_window` beats (odd; 1 disables it) and EWMA coefficient
+    /// `alpha` in `(0, 1]` (1 disables smoothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgError::InvalidParameter`] for an even/zero window or
+    /// an out-of-range `alpha`.
+    pub fn new(median_window: usize, alpha: f64) -> Result<Self, IcgError> {
+        if median_window == 0 || median_window % 2 == 0 {
+            return Err(IcgError::InvalidParameter {
+                name: "median_window",
+                value: median_window as f64,
+                constraint: "must be odd and positive",
+            });
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(IcgError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be in (0, 1]",
+            });
+        }
+        Ok(Self {
+            median_window,
+            alpha,
+            recent: VecDeque::with_capacity(median_window),
+            ewma: None,
+            beats_seen: 0,
+        })
+    }
+
+    /// The conventional display smoother: 5-beat median, α = 0.2
+    /// (≈ 10-beat effective memory).
+    #[must_use]
+    pub fn display_default() -> Self {
+        Self::new(5, 0.2).expect("constants are valid")
+    }
+
+    /// Number of beats ingested so far.
+    #[must_use]
+    pub fn beats_seen(&self) -> usize {
+        self.beats_seen
+    }
+
+    /// Ingests one beat's value and returns the current trend estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgError::InvalidParameter`] for a non-finite value.
+    pub fn ingest(&mut self, value: f64) -> Result<f64, IcgError> {
+        if !value.is_finite() {
+            return Err(IcgError::InvalidParameter {
+                name: "value",
+                value,
+                constraint: "must be finite",
+            });
+        }
+        self.beats_seen += 1;
+        if self.recent.len() == self.median_window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(value);
+        let mut sorted: Vec<f64> = self.recent.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let med = sorted[sorted.len() / 2];
+        let next = match self.ewma {
+            Some(prev) => prev + self.alpha * (med - prev),
+            None => med,
+        };
+        self.ewma = Some(next);
+        Ok(next)
+    }
+
+    /// The current trend estimate, if any beat has been ingested.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        self.ewma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_input_is_identity() {
+        let mut t = ParameterTrend::display_default();
+        for _ in 0..20 {
+            assert!((t.ingest(300.0).unwrap() - 300.0).abs() < 1e-12);
+        }
+        assert_eq!(t.value(), Some(300.0));
+        assert_eq!(t.beats_seen(), 20);
+    }
+
+    #[test]
+    fn single_outlier_is_absorbed() {
+        let mut t = ParameterTrend::display_default();
+        for _ in 0..10 {
+            t.ingest(300.0).unwrap();
+        }
+        // one wild beat (double the LVET) must barely move the trend
+        let after = t.ingest(600.0).unwrap();
+        assert!((after - 300.0).abs() < 1.0, "trend jumped to {after}");
+        // and recovery is immediate
+        let next = t.ingest(300.0).unwrap();
+        assert!((next - 300.0).abs() < 1.0, "{next}");
+    }
+
+    #[test]
+    fn genuine_level_shift_is_tracked() {
+        let mut t = ParameterTrend::display_default();
+        for _ in 0..10 {
+            t.ingest(300.0).unwrap();
+        }
+        let mut last = 300.0;
+        for _ in 0..30 {
+            last = t.ingest(250.0).unwrap();
+        }
+        assert!((last - 250.0).abs() < 2.0, "converged to {last}");
+    }
+
+    #[test]
+    fn ewma_alpha_controls_speed() {
+        let run = |alpha: f64| -> f64 {
+            let mut t = ParameterTrend::new(1, alpha).unwrap();
+            t.ingest(0.0).unwrap();
+            let mut v = 0.0;
+            for _ in 0..5 {
+                v = t.ingest(100.0).unwrap();
+            }
+            v
+        };
+        assert!(run(0.5) > run(0.1));
+        assert!((run(1.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_window_one_disables_prefilter() {
+        let mut t = ParameterTrend::new(1, 1.0).unwrap();
+        assert_eq!(t.ingest(5.0).unwrap(), 5.0);
+        assert_eq!(t.ingest(7.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        assert!(ParameterTrend::new(0, 0.2).is_err());
+        assert!(ParameterTrend::new(4, 0.2).is_err());
+        assert!(ParameterTrend::new(5, 0.0).is_err());
+        assert!(ParameterTrend::new(5, 1.5).is_err());
+        let mut t = ParameterTrend::display_default();
+        assert!(t.ingest(f64::NAN).is_err());
+    }
+}

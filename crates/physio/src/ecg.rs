@@ -1,0 +1,195 @@
+//! Synthetic ECG waveform generation.
+//!
+//! Each cardiac cycle is rendered as a sum of Gaussian bumps for the P, Q,
+//! R, S and T waves — the standard reduced form of the McSharry/ECGSYN
+//! dynamical model, sufficient here because the downstream consumer is a
+//! QRS detector (Pan–Tompkins), not a morphology classifier. The R-peak
+//! sample positions are exact ground truth for evaluating detection.
+
+use crate::heart::Beat;
+
+/// Shape parameters of one ECG wave component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WaveComponent {
+    /// Centre offset from the R peak, seconds (negative = before R).
+    pub offset_s: f64,
+    /// Gaussian width, seconds.
+    pub sigma_s: f64,
+    /// Peak amplitude, millivolts.
+    pub amplitude_mv: f64,
+}
+
+/// Morphology of a synthetic ECG: one [`WaveComponent`] per wave.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EcgMorphology {
+    /// P wave (atrial depolarization).
+    pub p: WaveComponent,
+    /// Q wave.
+    pub q: WaveComponent,
+    /// R wave (the detector's target).
+    pub r: WaveComponent,
+    /// S wave.
+    pub s: WaveComponent,
+    /// T wave (ventricular repolarization). Its offset scales with √RR.
+    pub t: WaveComponent,
+}
+
+impl Default for EcgMorphology {
+    fn default() -> Self {
+        Self {
+            p: WaveComponent {
+                offset_s: -0.17,
+                sigma_s: 0.022,
+                amplitude_mv: 0.12,
+            },
+            q: WaveComponent {
+                offset_s: -0.035,
+                sigma_s: 0.009,
+                amplitude_mv: -0.10,
+            },
+            r: WaveComponent {
+                offset_s: 0.0,
+                sigma_s: 0.010,
+                amplitude_mv: 1.0,
+            },
+            s: WaveComponent {
+                offset_s: 0.035,
+                sigma_s: 0.010,
+                amplitude_mv: -0.22,
+            },
+            t: WaveComponent {
+                offset_s: 0.30,
+                sigma_s: 0.055,
+                amplitude_mv: 0.30,
+            },
+        }
+    }
+}
+
+impl EcgMorphology {
+    /// Renders the continuous ECG of the beats in `schedule` over
+    /// `n` samples at rate `fs`, in millivolts. Beats are additive, so
+    /// waves spanning a beat boundary are handled naturally.
+    #[must_use]
+    pub fn render(&self, schedule: &[Beat], n: usize, fs: f64) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        for beat in schedule {
+            // T-wave position adapts to cycle length (QT ∝ √RR, Bazett).
+            let rr_ref: f64 = beat.rr / 0.857; // 70 bpm reference
+            let waves = [
+                self.p,
+                self.q,
+                self.r,
+                self.s,
+                WaveComponent {
+                    offset_s: self.t.offset_s * rr_ref.sqrt(),
+                    ..self.t
+                },
+            ];
+            for w in waves {
+                let centre = beat.t_r + w.offset_s;
+                let amp = w.amplitude_mv * beat.amplitude;
+                // render only ±5σ around the centre
+                let lo = ((centre - 5.0 * w.sigma_s) * fs).floor().max(0.0) as usize;
+                let hi = (((centre + 5.0 * w.sigma_s) * fs).ceil() as usize).min(n);
+                for (i, xi) in x.iter_mut().enumerate().take(hi).skip(lo) {
+                    let t = i as f64 / fs - centre;
+                    *xi += amp * (-t * t / (2.0 * w.sigma_s * w.sigma_s)).exp();
+                }
+            }
+        }
+        x
+    }
+
+    /// Exact R-peak sample indices for `schedule` at rate `fs`, clipped to
+    /// `n` samples — the detection ground truth.
+    #[must_use]
+    pub fn r_peak_indices(schedule: &[Beat], n: usize, fs: f64) -> Vec<usize> {
+        schedule
+            .iter()
+            .map(|b| (b.t_r * fs).round() as usize)
+            .filter(|&i| i < n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heart::HeartModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn schedule() -> Vec<Beat> {
+        HeartModel::default()
+            .schedule(10.0, &mut StdRng::seed_from_u64(1))
+            .unwrap()
+    }
+
+    #[test]
+    fn render_length() {
+        let fs = 250.0;
+        let x = EcgMorphology::default().render(&schedule(), 2500, fs);
+        assert_eq!(x.len(), 2500);
+    }
+
+    #[test]
+    fn r_peaks_are_local_maxima_of_rendered_signal() {
+        let fs = 250.0;
+        let sched = schedule();
+        let x = EcgMorphology::default().render(&sched, 2500, fs);
+        for idx in EcgMorphology::r_peak_indices(&sched, 2500, fs) {
+            if idx < 3 || idx + 3 >= x.len() {
+                continue;
+            }
+            let local_max = (idx - 3..=idx + 3)
+                .map(|i| x[i])
+                .fold(f64::MIN, f64::max);
+            assert!(
+                x[idx] >= 0.95 * local_max && x[idx] > 0.5,
+                "R at {idx} is not a dominant local max"
+            );
+        }
+    }
+
+    #[test]
+    fn r_amplitude_dominates() {
+        let fs = 250.0;
+        let sched = schedule();
+        let x = EcgMorphology::default().render(&sched, 2500, fs);
+        let peak = x.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak > 0.8 && peak < 1.4, "peak {peak}");
+    }
+
+    #[test]
+    fn t_wave_present_after_r() {
+        let fs = 250.0;
+        let sched = schedule();
+        let x = EcgMorphology::default().render(&sched, 2500, fs);
+        let r = (sched[2].t_r * fs) as usize;
+        let t_region = &x[r + 50..r + 110]; // 200–440 ms after R
+        let t_max = t_region.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(t_max > 0.15, "t_max {t_max}");
+    }
+
+    #[test]
+    fn quiescent_before_first_beat() {
+        let fs = 250.0;
+        let sched = schedule();
+        let x = EcgMorphology::default().render(&sched, 2500, fs);
+        // First beat starts at ~0.26 s; the first 10 samples are baseline.
+        for v in &x[..10] {
+            assert!(v.abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn indices_clip_to_length() {
+        let sched = schedule();
+        let idx = EcgMorphology::r_peak_indices(&sched, 100, 250.0);
+        assert!(idx.iter().all(|&i| i < 100));
+        assert!(idx.len() < sched.len());
+    }
+}

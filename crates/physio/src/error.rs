@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Error type for the physiology synthesizers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhysioError {
+    /// A model parameter was outside its physiological/documented range.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Value supplied.
+        value: f64,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The requested recording is too short to contain a single beat.
+    DurationTooShort {
+        /// Requested duration in seconds.
+        duration_s: f64,
+        /// Minimum usable duration in seconds.
+        min_s: f64,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(cardiotouch_dsp::DspError),
+}
+
+impl fmt::Display for PhysioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysioError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
+            PhysioError::DurationTooShort { duration_s, min_s } => {
+                write!(f, "duration {duration_s} s is too short; need at least {min_s} s")
+            }
+            PhysioError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PhysioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PhysioError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cardiotouch_dsp::DspError> for PhysioError {
+    fn from(e: cardiotouch_dsp::DspError) -> Self {
+        PhysioError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PhysioError::InvalidParameter {
+            name: "hr",
+            value: -3.0,
+            constraint: "must be positive",
+        };
+        assert!(e.to_string().contains("hr"));
+
+        let d = PhysioError::from(cardiotouch_dsp::DspError::InputTooShort { len: 0, min_len: 1 });
+        assert!(std::error::Error::source(&d).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhysioError>();
+    }
+}

@@ -1,0 +1,254 @@
+//! Cardiac timing: beat scheduling with heart-rate variability and
+//! ground-truth systolic time intervals.
+//!
+//! The paper estimates PEP and LVET from the ICG; to *evaluate* such an
+//! estimator we need beats whose true PEP/LVET are known. The regressions
+//! of Weissler et al. (1968) tie the systolic time intervals to heart rate
+//! in adult men:
+//!
+//! ```text
+//! LVET [ms] = 413 − 1.7 · HR    PEP [ms] = 131 − 0.4 · HR
+//! ```
+//!
+//! Each scheduled beat carries its own HR-dependent PEP/LVET (plus
+//! per-subject offsets and per-beat jitter), which the ICG synthesizer
+//! turns into waveform landmarks.
+
+use crate::noise::Gaussian;
+use crate::PhysioError;
+use rand::Rng;
+
+/// Ground truth for one cardiac cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Beat {
+    /// Time of the R peak, seconds from recording start.
+    pub t_r: f64,
+    /// RR interval to the *next* beat, seconds.
+    pub rr: f64,
+    /// True pre-ejection period, seconds (R → B).
+    pub pep: f64,
+    /// True left-ventricular ejection time, seconds (B → X).
+    pub lvet: f64,
+    /// Per-beat amplitude scale (respiratory/stroke-volume modulation).
+    pub amplitude: f64,
+}
+
+impl Beat {
+    /// Time of aortic valve opening (the B point), seconds.
+    #[must_use]
+    pub fn t_b(&self) -> f64 {
+        self.t_r + self.pep
+    }
+
+    /// Time of aortic valve closure (the X point), seconds.
+    #[must_use]
+    pub fn t_x(&self) -> f64 {
+        self.t_r + self.pep + self.lvet
+    }
+
+    /// Instantaneous heart rate of this cycle, beats per minute.
+    #[must_use]
+    pub fn hr_bpm(&self) -> f64 {
+        60.0 / self.rr
+    }
+}
+
+/// Parameters of the beat scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HeartModel {
+    /// Mean heart rate, beats per minute.
+    pub hr_mean_bpm: f64,
+    /// Standard deviation of uncorrelated RR jitter, seconds.
+    pub rr_jitter_s: f64,
+    /// Peak respiratory sinus arrhythmia RR modulation, seconds.
+    pub rsa_depth_s: f64,
+    /// Respiration rate used for RSA, hertz.
+    pub resp_rate_hz: f64,
+    /// Additive subject offset on PEP, seconds.
+    pub pep_offset_s: f64,
+    /// Additive subject offset on LVET, seconds.
+    pub lvet_offset_s: f64,
+}
+
+impl Default for HeartModel {
+    fn default() -> Self {
+        Self {
+            hr_mean_bpm: 70.0,
+            rr_jitter_s: 0.02,
+            rsa_depth_s: 0.03,
+            resp_rate_hz: 0.25,
+            pep_offset_s: 0.0,
+            lvet_offset_s: 0.0,
+        }
+    }
+}
+
+impl HeartModel {
+    /// Weissler regression for LVET at heart rate `hr` bpm, seconds.
+    #[must_use]
+    pub fn lvet_at(&self, hr: f64) -> f64 {
+        ((413.0 - 1.7 * hr) / 1000.0 + self.lvet_offset_s).max(0.15)
+    }
+
+    /// Weissler regression for PEP at heart rate `hr` bpm, seconds.
+    #[must_use]
+    pub fn pep_at(&self, hr: f64) -> f64 {
+        ((131.0 - 0.4 * hr) / 1000.0 + self.pep_offset_s).max(0.04)
+    }
+
+    /// Generates the beat schedule covering `duration_s` seconds.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhysioError::InvalidParameter`] for a non-physiological mean
+    ///   heart rate (outside 20–240 bpm);
+    /// * [`PhysioError::DurationTooShort`] when the duration cannot hold
+    ///   one full cycle.
+    pub fn schedule<R: Rng + ?Sized>(
+        &self,
+        duration_s: f64,
+        rng: &mut R,
+    ) -> Result<Vec<Beat>, PhysioError> {
+        if !(20.0..=240.0).contains(&self.hr_mean_bpm) {
+            return Err(PhysioError::InvalidParameter {
+                name: "hr_mean_bpm",
+                value: self.hr_mean_bpm,
+                constraint: "must be within 20-240 bpm",
+            });
+        }
+        let rr_mean = 60.0 / self.hr_mean_bpm;
+        if duration_s < 2.0 * rr_mean {
+            return Err(PhysioError::DurationTooShort {
+                duration_s,
+                min_s: 2.0 * rr_mean,
+            });
+        }
+        let mut g = Gaussian::new();
+        let mut beats = Vec::new();
+        // Start the first beat a little into the recording so filters have
+        // a run-in region.
+        let mut t = 0.3 * rr_mean;
+        while t < duration_s {
+            let rsa = self.rsa_depth_s
+                * (2.0 * std::f64::consts::PI * self.resp_rate_hz * t).sin();
+            let rr = (rr_mean + rsa + self.rr_jitter_s * g.sample(rng)).clamp(
+                0.5 * rr_mean,
+                1.5 * rr_mean,
+            );
+            let hr = 60.0 / rr;
+            let pep = self.pep_at(hr) + 0.002 * g.sample(rng);
+            let lvet = self.lvet_at(hr) + 0.004 * g.sample(rng);
+            let amplitude = 1.0
+                + 0.08 * (2.0 * std::f64::consts::PI * self.resp_rate_hz * t).cos()
+                + 0.02 * g.sample(rng);
+            beats.push(Beat {
+                t_r: t,
+                rr,
+                pep: pep.max(0.04),
+                lvet: lvet.max(0.15),
+                amplitude: amplitude.max(0.5),
+            });
+            t += rr;
+        }
+        Ok(beats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weissler_values_at_70bpm() {
+        let m = HeartModel::default();
+        assert!((m.lvet_at(70.0) - 0.294).abs() < 1e-9);
+        assert!((m.pep_at(70.0) - 0.103).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lvet_decreases_with_hr() {
+        let m = HeartModel::default();
+        assert!(m.lvet_at(60.0) > m.lvet_at(90.0));
+        assert!(m.pep_at(60.0) > m.pep_at(90.0));
+    }
+
+    #[test]
+    fn schedule_covers_duration() {
+        let m = HeartModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let beats = m.schedule(30.0, &mut rng).unwrap();
+        // ~35 beats at 70 bpm in 30 s
+        assert!(beats.len() >= 30 && beats.len() <= 40, "{}", beats.len());
+        assert!(beats.last().unwrap().t_r < 30.0);
+        assert!(beats[0].t_r > 0.0);
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_consistent() {
+        let m = HeartModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let beats = m.schedule(60.0, &mut rng).unwrap();
+        for w in beats.windows(2) {
+            assert!(w[1].t_r > w[0].t_r);
+            assert!((w[0].t_r + w[0].rr - w[1].t_r).abs() < 1e-12);
+        }
+        for b in &beats {
+            assert!(b.pep > 0.0 && b.lvet > b.pep, "pep {} lvet {}", b.pep, b.lvet);
+            assert!(b.t_b() < b.t_x());
+            assert!(b.pep < 0.2, "pep out of physiological range");
+            assert!(b.lvet > 0.15 && b.lvet < 0.45);
+        }
+    }
+
+    #[test]
+    fn mean_hr_matches_request() {
+        let m = HeartModel {
+            hr_mean_bpm: 85.0,
+            ..HeartModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let beats = m.schedule(120.0, &mut rng).unwrap();
+        let mean_rr = beats.iter().map(|b| b.rr).sum::<f64>() / beats.len() as f64;
+        assert!((60.0 / mean_rr - 85.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn schedule_rejects_bad_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = HeartModel {
+            hr_mean_bpm: 10.0,
+            ..HeartModel::default()
+        };
+        assert!(m.schedule(30.0, &mut rng).is_err());
+        let m2 = HeartModel::default();
+        assert!(m2.schedule(0.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let m = HeartModel::default();
+        let a = m.schedule(10.0, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = m.schedule(10.0, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rsa_modulates_rr() {
+        // With no jitter, RR should oscillate at the respiration rate.
+        let m = HeartModel {
+            rr_jitter_s: 0.0,
+            rsa_depth_s: 0.05,
+            ..HeartModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let beats = m.schedule(30.0, &mut rng).unwrap();
+        let rrs: Vec<f64> = beats.iter().map(|b| b.rr).collect();
+        let spread = rrs.iter().cloned().fold(f64::MIN, f64::max)
+            - rrs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.05, "RSA should spread RR by ~2×depth, got {spread}");
+    }
+}

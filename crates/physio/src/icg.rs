@@ -1,0 +1,394 @@
+//! Synthetic ICG (dZ/dt) waveform generation with exact B/C/X ground
+//! truth.
+//!
+//! The ICG is defined as `ICG = −dZ/dt` (paper, Section IV-B). Each beat is
+//! rendered as a sum of the four canonical waves seen in real dZ/dt
+//! recordings:
+//!
+//! * **A wave** — small negative deflection before ejection (atrial);
+//! * **C wave** — the dominant positive wave; its onset is the **B point**
+//!   (aortic valve opening) and its apex the **C point**;
+//! * **X wave** — the negative trough at aortic valve closure (**X
+//!   point**);
+//! * **O wave** — small positive diastolic wave (mitral opening).
+//!
+//! Landmark times come from the beat schedule: B at `t_R + PEP`, X at
+//! `t_R + PEP + LVET`, C between them — so the *true* systolic time
+//! intervals behind every rendered sample are known exactly, which is what
+//! lets the workspace score the paper's detection algorithm.
+//!
+//! A per-beat baseline-compensation lobe is spread over diastole so that
+//! each cycle's dZ/dt integrates to zero (real ΔZ returns to baseline every
+//! beat; without compensation the integrated ΔZ would drift without bound).
+
+use crate::heart::Beat;
+
+/// Ground-truth landmark sample indices for one beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BeatLandmarks {
+    /// R-peak sample index (from the ECG schedule).
+    pub r: usize,
+    /// B-point sample index (aortic valve opening).
+    pub b: usize,
+    /// C-point sample index (dZ/dt maximum).
+    pub c: usize,
+    /// X-point sample index (aortic valve closure).
+    pub x: usize,
+}
+
+/// Shape parameters of the synthetic dZ/dt beat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IcgMorphology {
+    /// Peak of the C wave (dZ/dt max), Ω/s. Typical adults: 1–2 Ω/s.
+    pub dzdt_max: f64,
+    /// A-wave amplitude as a fraction of the C peak (applied negative).
+    pub a_frac: f64,
+    /// X-trough depth as a fraction of the C peak.
+    pub x_frac: f64,
+    /// O-wave amplitude as a fraction of the C peak.
+    pub o_frac: f64,
+    /// Position of the C apex within the ejection interval (0 = B, 1 = X).
+    pub c_position: f64,
+}
+
+impl Default for IcgMorphology {
+    fn default() -> Self {
+        Self {
+            dzdt_max: 1.4,
+            a_frac: 0.12,
+            x_frac: 0.62,
+            o_frac: 0.18,
+            c_position: 0.40,
+        }
+    }
+}
+
+impl IcgMorphology {
+    /// Left-flank σ of the X notch, seconds (sharp valve-closure event).
+    pub const X_NOTCH_SIGMA_S: f64 = 0.012;
+
+    /// σ of the B notch, seconds — the small indentation at aortic valve
+    /// opening that the detector's third-derivative rule keys on.
+    pub const B_NOTCH_SIGMA_S: f64 = 0.008;
+
+    /// Lag of the dZ/dt trough behind true aortic valve closure, seconds.
+    /// The closure (the true X landmark, end of LVET) is the *onset* of
+    /// the notch downslope; the trough follows ~2.33 notch-σ later. The
+    /// third-derivative refinement of the detector keys on the onset, so
+    /// detection and truth agree by construction.
+    pub const X_TROUGH_LAG_S: f64 = 2.33 * Self::X_NOTCH_SIGMA_S;
+
+    /// Renders the continuous dZ/dt signal (Ω/s) for `schedule` over `n`
+    /// samples at rate `fs`.
+    ///
+    /// Shape rationale (kept aligned with the detection rules so that the
+    /// detector's landmark conventions match the synthesis ground truth):
+    ///
+    /// * the C wave is an asymmetric Gaussian whose **rise σ** is sized so
+    ///   the true B point sits 2.33 σ before the apex — exactly where the
+    ///   "first third-derivative minimum left of B0" rule lands on a
+    ///   Gaussian flank (the signal there is ~7 % of the C peak, a
+    ///   realistic B amplitude);
+    /// * the X wave has a **sharp left flank** (the valve-closure notch)
+    ///   and a **slow right flank** that models early diastolic recovery
+    ///   of ΔZ, absorbing most of the ejection area so the X trough stays
+    ///   the deepest negative point of the beat (which the paper's global
+    ///   X0 search requires);
+    /// * any remaining per-beat area is returned through a late-diastolic
+    ///   Hann lobe, amplitude-capped below half the X depth (so it can
+    ///   never masquerade as X), with the residue spread uniformly —
+    ///   keeping the integrated ΔZ drift-free beat over beat.
+    #[must_use]
+    pub fn render_dzdt(&self, schedule: &[Beat], n: usize, fs: f64) -> Vec<f64> {
+        let mut x = vec![0.0; n];
+        let sqrt_2pi = (2.0 * std::f64::consts::PI).sqrt();
+        for beat in schedule {
+            let amp = self.dzdt_max * beat.amplitude;
+            let t_b = beat.t_b();
+            let t_x = beat.t_x();
+            let t_c = t_b + self.c_position * beat.lvet;
+            let sigma_cl = (self.c_position * beat.lvet / 2.33).max(0.015);
+            let sigma_cr = 0.6 * sigma_cl;
+            let (sigma_xl, sigma_xr) = (Self::X_NOTCH_SIGMA_S, 0.085);
+            let sigma_a = 0.030;
+            let sigma_o = 0.035;
+            let t_trough = t_x + Self::X_TROUGH_LAG_S;
+            // (centre, sigma_left, sigma_right, amplitude). The A wave sits
+            // 90 ms before B — far enough that its third-derivative tail
+            // cannot shadow the B notch. The B notch itself is the small
+            // sharp indentation real ICG beats show at valve opening; it
+            // is what gives the third derivative a local minimum at B for
+            // the detector's primary rule to find.
+            let waves = [
+                (t_b - 0.090, sigma_a, sigma_a, -self.a_frac * amp),
+                (t_b, Self::B_NOTCH_SIGMA_S, Self::B_NOTCH_SIGMA_S, -0.06 * amp),
+                (t_c, sigma_cl, sigma_cr, amp),
+                (t_trough, sigma_xl, sigma_xr, -self.x_frac * amp),
+                (t_trough + 0.15, sigma_o, sigma_o, self.o_frac * amp),
+            ];
+            let mut beat_integral = 0.0;
+            for (centre, sl, sr, a) in waves {
+                beat_integral += a * (sl + sr) / 2.0 * sqrt_2pi;
+                add_gaussian_asym(&mut x, centre, sl, sr, a, fs);
+            }
+            // Return the remaining area during late diastole. The lobe
+            // peak is capped below half the X depth; whatever it cannot
+            // absorb is spread uniformly over the same window.
+            let d_lo = t_trough + 0.12;
+            let d_hi = beat.t_r + 0.97 * beat.rr;
+            let width = d_hi - d_lo;
+            if width > 0.05 {
+                let area = -beat_integral;
+                let cap = 0.45 * self.x_frac * amp;
+                let lobe_area_max = cap * width / 2.0;
+                let lobe_area = area.clamp(-lobe_area_max, lobe_area_max);
+                add_hann_lobe(&mut x, d_lo, d_hi, lobe_area, fs);
+                let residue = area - lobe_area;
+                if residue.abs() > 0.0 {
+                    add_uniform(&mut x, d_lo, d_hi, residue, fs);
+                }
+            }
+        }
+        x
+    }
+
+    /// Integrates dZ/dt into the impedance variation ΔZ(t) in ohms, with
+    /// `ΔZ[0] = 0`. Note the sign: the paper defines `ICG = −dZ/dt`, and
+    /// this renderer produces the ICG (positive C wave), so
+    /// `dZ/dt = −render_dzdt(..)` and `ΔZ` *falls* during ejection.
+    #[must_use]
+    pub fn delta_z(icg: &[f64], fs: f64) -> Vec<f64> {
+        let mut z = Vec::with_capacity(icg.len());
+        let mut acc = 0.0;
+        for &v in icg {
+            z.push(acc);
+            acc -= v / fs;
+        }
+        z
+    }
+
+    /// Ground-truth landmark indices for every beat of `schedule` that fits
+    /// within `n` samples at rate `fs`.
+    #[must_use]
+    pub fn landmarks(&self, schedule: &[Beat], n: usize, fs: f64) -> Vec<BeatLandmarks> {
+        schedule
+            .iter()
+            .filter_map(|beat| {
+                let r = (beat.t_r * fs).round() as usize;
+                let b = (beat.t_b() * fs).round() as usize;
+                let c = ((beat.t_b() + self.c_position * beat.lvet) * fs).round() as usize;
+                let x = (beat.t_x() * fs).round() as usize;
+                if x < n && r < b && b < c && c < x {
+                    Some(BeatLandmarks { r, b, c, x })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// Adds an asymmetric Gaussian to `x`: width `sigma_l` left of `centre`,
+/// `sigma_r` right of it, rendered over ±5σ of the respective side.
+fn add_gaussian_asym(x: &mut [f64], centre: f64, sigma_l: f64, sigma_r: f64, a: f64, fs: f64) {
+    let n = x.len();
+    let lo = ((centre - 5.0 * sigma_l) * fs).floor().max(0.0) as usize;
+    let hi = (((centre + 5.0 * sigma_r) * fs).ceil() as usize).min(n);
+    for (i, xi) in x.iter_mut().enumerate().take(hi).skip(lo) {
+        let t = i as f64 / fs - centre;
+        let sigma = if t < 0.0 { sigma_l } else { sigma_r };
+        *xi += a * (-t * t / (2.0 * sigma * sigma)).exp();
+    }
+}
+
+/// Adds a constant `area / width` over `[lo_s, hi_s]`.
+fn add_uniform(x: &mut [f64], lo_s: f64, hi_s: f64, area: f64, fs: f64) {
+    let n = x.len();
+    let lo = (lo_s * fs).floor().max(0.0) as usize;
+    let hi = ((hi_s * fs).ceil() as usize).min(n);
+    if hi <= lo {
+        return;
+    }
+    let level = area / ((hi - lo) as f64 / fs);
+    for xi in x.iter_mut().take(hi).skip(lo) {
+        *xi += level;
+    }
+}
+
+/// Adds a Hann-shaped lobe over `[lo_s, hi_s]` whose integral is `area`.
+fn add_hann_lobe(x: &mut [f64], lo_s: f64, hi_s: f64, area: f64, fs: f64) {
+    let n = x.len();
+    let lo = (lo_s * fs).floor().max(0.0) as usize;
+    let hi = ((hi_s * fs).ceil() as usize).min(n);
+    if hi <= lo + 1 {
+        return;
+    }
+    let width_s = (hi - lo) as f64 / fs;
+    // ∫ Hann over its support = width / 2 → peak = 2·area/width.
+    let peak = 2.0 * area / width_s;
+    for (k, xi) in x.iter_mut().enumerate().take(hi).skip(lo) {
+        let phase = (k - lo) as f64 / (hi - lo) as f64;
+        *xi += peak * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * phase).cos());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heart::HeartModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 250.0;
+
+    fn schedule() -> Vec<Beat> {
+        HeartModel::default()
+            .schedule(12.0, &mut StdRng::seed_from_u64(1))
+            .unwrap()
+    }
+
+    #[test]
+    fn c_point_is_signal_maximum_near_truth() {
+        let sched = schedule();
+        let m = IcgMorphology::default();
+        let n = (12.0 * FS) as usize;
+        let x = m.render_dzdt(&sched, n, FS);
+        for lm in m.landmarks(&sched, n, FS) {
+            // within the beat, the max should be within 3 samples of c
+            let lo = lm.r;
+            let hi = (lm.x + 30).min(n);
+            let (mut best, mut best_v) = (lo, f64::MIN);
+            for i in lo..hi {
+                if x[i] > best_v {
+                    best_v = x[i];
+                    best = i;
+                }
+            }
+            assert!(
+                best.abs_diff(lm.c) <= 3,
+                "beat max {best} vs truth C {}",
+                lm.c
+            );
+        }
+    }
+
+    #[test]
+    fn x_trough_lags_truth_by_the_documented_offset() {
+        let sched = schedule();
+        let m = IcgMorphology::default();
+        let n = (12.0 * FS) as usize;
+        let x = m.render_dzdt(&sched, n, FS);
+        let lag = (IcgMorphology::X_TROUGH_LAG_S * FS).round() as usize;
+        for lm in m.landmarks(&sched, n, FS) {
+            let lo = lm.c;
+            let hi = (lm.x + 30).min(n);
+            let (mut best, mut best_v) = (lo, f64::MAX);
+            for i in lo..hi {
+                if x[i] < best_v {
+                    best_v = x[i];
+                    best = i;
+                }
+            }
+            assert!(
+                best.abs_diff(lm.x + lag) <= 3,
+                "beat min {best} vs truth X {} + lag {lag}",
+                lm.x
+            );
+            assert!(best_v < 0.0);
+        }
+    }
+
+    #[test]
+    fn signal_near_zero_at_b_point() {
+        let sched = schedule();
+        let m = IcgMorphology::default();
+        let n = (12.0 * FS) as usize;
+        let x = m.render_dzdt(&sched, n, FS);
+        for lm in m.landmarks(&sched, n, FS) {
+            assert!(
+                x[lm.b].abs() < 0.18 * m.dzdt_max,
+                "ICG at B = {}",
+                x[lm.b]
+            );
+        }
+    }
+
+    #[test]
+    fn per_beat_integral_compensated() {
+        let sched = schedule();
+        let m = IcgMorphology::default();
+        let n = (12.0 * FS) as usize;
+        let x = m.render_dzdt(&sched, n, FS);
+        let z = IcgMorphology::delta_z(&x, FS);
+        // ΔZ must not drift: its value at consecutive beat starts stays
+        // bounded.
+        let starts: Vec<usize> = sched
+            .iter()
+            .map(|b| (b.t_r * FS) as usize)
+            .filter(|&i| i < n)
+            .collect();
+        for w in starts.windows(2) {
+            assert!(
+                (z[w[1]] - z[w[0]]).abs() < 0.05,
+                "drift {} between beats",
+                z[w[1]] - z[w[0]]
+            );
+        }
+    }
+
+    #[test]
+    fn delta_z_falls_during_ejection() {
+        let sched = schedule();
+        let m = IcgMorphology::default();
+        let n = (12.0 * FS) as usize;
+        let x = m.render_dzdt(&sched, n, FS);
+        let z = IcgMorphology::delta_z(&x, FS);
+        for lm in m.landmarks(&sched, n, FS).iter().take(3) {
+            assert!(z[lm.x] < z[lm.b], "ΔZ should fall from B to X");
+        }
+    }
+
+    #[test]
+    fn landmarks_ordering() {
+        let sched = schedule();
+        let m = IcgMorphology::default();
+        let n = (12.0 * FS) as usize;
+        for lm in m.landmarks(&sched, n, FS) {
+            assert!(lm.r < lm.b && lm.b < lm.c && lm.c < lm.x);
+        }
+    }
+
+    #[test]
+    fn amplitude_scales_with_dzdt_max() {
+        let sched = schedule();
+        let n = (12.0 * FS) as usize;
+        let lo = IcgMorphology {
+            dzdt_max: 1.0,
+            ..IcgMorphology::default()
+        };
+        let hi = IcgMorphology {
+            dzdt_max: 2.0,
+            ..IcgMorphology::default()
+        };
+        let a = lo.render_dzdt(&sched, n, FS);
+        let b = hi.render_dzdt(&sched, n, FS);
+        let pa = a.iter().cloned().fold(f64::MIN, f64::max);
+        let pb = b.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((pb / pa - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn spectrum_is_below_20hz() {
+        // the paper low-passes ICG at 20 Hz because the signal band is
+        // 0.8–20 Hz; verify the synthetic signal respects that.
+        let sched = schedule();
+        let m = IcgMorphology::default();
+        let n = 2048;
+        let x = m.render_dzdt(&sched, n, FS);
+        let frac =
+            cardiotouch_dsp::spectrum::power_fraction_above(&x, 20.0, FS).unwrap();
+        assert!(frac < 0.02, "fraction of power above 20 Hz: {frac}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Synthetic physiology substrate for the `cardiotouch` workspace.
+//!
+//! The DATE 2016 paper evaluates its touch-based ICG/ECG device on five
+//! human subjects. Humans are not available to a simulation, so this crate
+//! provides the closest synthetic equivalent that exercises the same code
+//! paths:
+//!
+//! * [`tissue`] — Cole–Cole dispersion models of body segments, giving the
+//!   frequency-dependent bioimpedance the paper sweeps over
+//!   {2, 10, 50, 100} kHz;
+//! * [`heart`] — a beat scheduler with heart-rate variability and
+//!   ground-truth systolic time intervals (PEP, LVET) from Weissler-style
+//!   regressions;
+//! * [`ecg`] and [`icg`] — per-beat waveform synthesis with *known* R, B,
+//!   C and X landmark positions, so detector accuracy is measurable;
+//! * [`resp`], [`motion`], [`noise`] — the artifact processes the paper
+//!   names (respiration 0.04–2 Hz, motion 0.1–10 Hz, instrumentation
+//!   noise);
+//! * [`subject`] — the five-subject reference population;
+//! * [`path`] — the traditional 4-electrode chest configuration versus the
+//!   hand-to-hand touch configuration in arm Positions 1–3;
+//! * [`scenario`] — paired 30-second recordings (traditional + device,
+//!   simultaneously, sharing the same underlying hemodynamics) that drive
+//!   the paper's position-study experiments.
+//!
+//! Everything is deterministic given an RNG seed, so experiments are
+//! exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use cardiotouch_physio::scenario::{Protocol, PairedRecording};
+//! use cardiotouch_physio::subject::Population;
+//! use cardiotouch_physio::path::Position;
+//!
+//! # fn main() -> Result<(), cardiotouch_physio::PhysioError> {
+//! let population = Population::reference_five();
+//! let subject = &population.subjects()[0];
+//! let protocol = Protocol::paper_default(); // 250 Hz, 30 s
+//! let rec = PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 7)?;
+//! assert_eq!(rec.device_ecg().len(), rec.device_z().len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ecg;
+pub mod ecgsyn;
+pub mod heart;
+pub mod icg;
+pub mod motion;
+pub mod noise;
+pub mod path;
+pub mod resp;
+pub mod scenario;
+pub mod subject;
+pub mod tissue;
+
+mod error;
+
+pub use error::PhysioError;

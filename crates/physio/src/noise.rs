@@ -1,0 +1,215 @@
+//! Noise processes: white Gaussian, 50 Hz powerline, 1/f (pink) and burst
+//! artifacts.
+//!
+//! These model the instrumentation and environment disturbances the
+//! paper's filtering stages must remove. All generators are deterministic
+//! given the caller's RNG.
+
+use rand::Rng;
+
+/// Standard-normal sampler (Box–Muller), kept local so the workspace does
+/// not need `rand_distr`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gaussian {
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Creates a sampler with no cached spare value.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        // Box–Muller on (0,1] uniforms.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+/// `n` samples of white Gaussian noise with standard deviation `sigma`.
+#[must_use]
+pub fn white<R: Rng + ?Sized>(n: usize, sigma: f64, rng: &mut R) -> Vec<f64> {
+    let mut g = Gaussian::new();
+    (0..n).map(|_| sigma * g.sample(rng)).collect()
+}
+
+/// `n` samples of a powerline interference tone: `amp · sin(2π f t + φ)`
+/// with slow ±2 % amplitude flutter, at sampling rate `fs`.
+#[must_use]
+pub fn powerline<R: Rng + ?Sized>(
+    n: usize,
+    f_hz: f64,
+    amp: f64,
+    fs: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let phase: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+    let flutter_phase: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            let flutter = 1.0 + 0.02 * (2.0 * std::f64::consts::PI * 0.1 * t + flutter_phase).sin();
+            amp * flutter * (2.0 * std::f64::consts::PI * f_hz * t + phase).sin()
+        })
+        .collect()
+}
+
+/// `n` samples of approximately 1/f ("pink") noise via the Voss–McCartney
+/// multi-rate summation with `octaves` rows, scaled to standard deviation
+/// `sigma`.
+#[must_use]
+pub fn pink<R: Rng + ?Sized>(n: usize, sigma: f64, octaves: usize, rng: &mut R) -> Vec<f64> {
+    let octaves = octaves.max(1);
+    let mut g = Gaussian::new();
+    let mut rows: Vec<f64> = (0..octaves).map(|_| g.sample(rng)).collect();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        for (k, row) in rows.iter_mut().enumerate() {
+            // row k updates every 2^k samples
+            if i % (1usize << k.min(30)) == 0 {
+                *row = g.sample(rng);
+            }
+        }
+        out.push(rows.iter().sum::<f64>());
+    }
+    // normalise to the requested sigma
+    let m = out.iter().sum::<f64>() / n.max(1) as f64;
+    let var = out.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n.max(1) as f64;
+    let scale = if var > 0.0 { sigma / var.sqrt() } else { 0.0 };
+    for v in out.iter_mut() {
+        *v = (*v - m) * scale;
+    }
+    out
+}
+
+/// Adds sparse burst artifacts to `x`: on average `rate_per_s` bursts per
+/// second, each a half-sine bump of `burst_s` seconds and amplitude
+/// `amp` (random sign). Models momentary grip/contact disturbances.
+pub fn add_bursts<R: Rng + ?Sized>(
+    x: &mut [f64],
+    rate_per_s: f64,
+    burst_s: f64,
+    amp: f64,
+    fs: f64,
+    rng: &mut R,
+) {
+    if x.is_empty() || rate_per_s <= 0.0 {
+        return;
+    }
+    let p_per_sample = rate_per_s / fs;
+    let burst_len = (burst_s * fs).max(1.0) as usize;
+    let mut i = 0;
+    while i < x.len() {
+        if rng.gen::<f64>() < p_per_sample {
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            for k in 0..burst_len.min(x.len() - i) {
+                let w = (std::f64::consts::PI * k as f64 / burst_len as f64).sin();
+                x[i + k] += sign * amp * w;
+            }
+            i += burst_len;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Gaussian::new();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn white_noise_sigma() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = white(50_000, 0.5, &mut rng);
+        let var = x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64;
+        assert!((var.sqrt() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn white_noise_deterministic_for_seed() {
+        let a = white(100, 1.0, &mut StdRng::seed_from_u64(3));
+        let b = white(100, 1.0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn powerline_is_narrowband() {
+        let fs = 250.0;
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = powerline(1000, 50.0, 1.0, fs, &mut rng);
+        let b50 = cardiotouch_dsp::spectrum::goertzel(&x, 50.0, fs).unwrap();
+        let b20 = cardiotouch_dsp::spectrum::goertzel(&x, 20.0, fs).unwrap();
+        assert!(b50.magnitude() > 50.0 * b20.magnitude());
+    }
+
+    #[test]
+    fn pink_noise_low_frequencies_dominate() {
+        let fs = 250.0;
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = pink(8192, 1.0, 8, &mut rng);
+        let spec = cardiotouch_dsp::spectrum::amplitude_spectrum(&x[..2048], fs).unwrap();
+        let low: f64 = spec
+            .iter()
+            .filter(|(f, _)| *f > 0.0 && *f < 5.0)
+            .map(|(_, a)| a * a)
+            .sum();
+        let high: f64 = spec
+            .iter()
+            .filter(|(f, _)| *f > 60.0)
+            .map(|(_, a)| a * a)
+            .sum();
+        assert!(low > 3.0 * high, "low {low} vs high {high}");
+    }
+
+    #[test]
+    fn pink_noise_sigma_normalised() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = pink(20_000, 0.7, 8, &mut rng);
+        let m = x.iter().sum::<f64>() / x.len() as f64;
+        let var = x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64;
+        assert!((var.sqrt() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursts_inject_energy_at_expected_rate() {
+        let fs = 250.0;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut x = vec![0.0; (60.0 * fs) as usize];
+        add_bursts(&mut x, 1.0, 0.1, 2.0, fs, &mut rng);
+        let hit = x.iter().filter(|v| v.abs() > 0.1).count();
+        // ~60 bursts of ~25 samples each → ~1500 affected samples; allow wide margin
+        assert!(hit > 200 && hit < 5000, "hit {hit}");
+    }
+
+    #[test]
+    fn bursts_zero_rate_is_noop() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut x = vec![0.0; 100];
+        add_bursts(&mut x, 0.0, 0.1, 2.0, 250.0, &mut rng);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Respiration artifact model.
+//!
+//! Breathing modulates thoracic impedance far more strongly than the
+//! cardiac component does (that is how impedance pneumography works), and
+//! the paper lists it as the first of the two main ICG artifacts, with
+//! frequency content in 0.04–2 Hz. The model is a slightly non-sinusoidal
+//! oscillation (fundamental plus a second harmonic, as real airflow is
+//! asymmetric between inspiration and expiration) with slow amplitude and
+//! rate wander.
+
+use crate::PhysioError;
+use rand::Rng;
+
+/// Parameters of the respiration process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RespirationModel {
+    /// Breathing rate, hertz (typical resting adult: 0.2–0.3 Hz).
+    pub rate_hz: f64,
+    /// Peak impedance excursion, ohms (thoracic: 0.1–1 Ω; the hand-to-hand
+    /// path sees an attenuated version).
+    pub depth_ohm: f64,
+    /// Second-harmonic fraction (waveform asymmetry), 0–0.5.
+    pub harmonic: f64,
+}
+
+impl Default for RespirationModel {
+    fn default() -> Self {
+        Self {
+            rate_hz: 0.25,
+            depth_ohm: 0.5,
+            harmonic: 0.25,
+        }
+    }
+}
+
+impl RespirationModel {
+    /// Renders `n` samples of the respiration impedance component at rate
+    /// `fs`, in ohms. The random phase and slow wander come from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysioError::InvalidParameter`] when the rate is outside
+    /// the paper's stated respiration band (0.04–2 Hz) or the depth is
+    /// negative.
+    pub fn render<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        fs: f64,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, PhysioError> {
+        if !(0.04..=2.0).contains(&self.rate_hz) {
+            return Err(PhysioError::InvalidParameter {
+                name: "rate_hz",
+                value: self.rate_hz,
+                constraint: "must be within the 0.04-2 Hz respiration band",
+            });
+        }
+        if self.depth_ohm < 0.0 {
+            return Err(PhysioError::InvalidParameter {
+                name: "depth_ohm",
+                value: self.depth_ohm,
+                constraint: "must be non-negative",
+            });
+        }
+        let phase0: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+        let wander_phase: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+        // The instantaneous rate wanders ±10 % at 0.02 Hz; the phase is
+        // the *integral* of the instantaneous rate (computing
+        // `rate(t)·t` instead would make the effective frequency drift
+        // far beyond the wander envelope as t grows).
+        let mut ph = phase0;
+        Ok((0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let inst_rate = self.rate_hz
+                    * (1.0
+                        + 0.1
+                            * (2.0 * std::f64::consts::PI * 0.02 * t + wander_phase).sin());
+                ph += 2.0 * std::f64::consts::PI * inst_rate / fs;
+                self.depth_ohm * (ph.sin() + self.harmonic * (2.0 * ph).sin())
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn render_length_and_bound() {
+        let m = RespirationModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = m.render(1000, 250.0, &mut rng).unwrap();
+        assert_eq!(x.len(), 1000);
+        let bound = m.depth_ohm * (1.0 + m.harmonic);
+        assert!(x.iter().all(|v| v.abs() <= bound + 1e-9));
+    }
+
+    #[test]
+    fn energy_concentrated_in_respiration_band() {
+        let fs = 50.0; // enough for a 0.25 Hz signal, keeps the DFT small
+        let m = RespirationModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = m.render(4000, fs, &mut rng).unwrap();
+        let frac_above_2hz =
+            cardiotouch_dsp::spectrum::power_fraction_above(&x, 2.0, fs).unwrap();
+        assert!(frac_above_2hz < 0.01, "{frac_above_2hz}");
+    }
+
+    #[test]
+    fn rejects_out_of_band_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = RespirationModel {
+            rate_hz: 3.0,
+            ..RespirationModel::default()
+        };
+        assert!(m.render(100, 250.0, &mut rng).is_err());
+        let m2 = RespirationModel {
+            depth_ohm: -1.0,
+            ..RespirationModel::default()
+        };
+        assert!(m2.render(100, 250.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_depth_is_silent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = RespirationModel {
+            depth_ohm: 0.0,
+            ..RespirationModel::default()
+        };
+        let x = m.render(100, 250.0, &mut rng).unwrap();
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = RespirationModel::default();
+        let a = m.render(256, 250.0, &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = m.render(256, 250.0, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,67 @@
+//! Battery-life planning: the PMU trade-off of Fig 4. Sweeps the MCU and
+//! radio duty cycles over their feasible ranges and prints the
+//! operating-time map, the paper's two reference points, and the
+//! processing-on-device versus raw-streaming comparison.
+//!
+//! ```text
+//! cargo run --example battery_planner
+//! ```
+
+use cardiotouch_device::mcu::CycleBudget;
+use cardiotouch_device::power::{DutyCycle, PowerBudget};
+use cardiotouch_device::radio::BleLink;
+
+fn main() {
+    let budget = PowerBudget::paper_table_i();
+    let battery_mah = 710.0;
+
+    println!("battery life [h] on {battery_mah} mAh vs duty cycles\n");
+    print!("{:>10}", "mcu\\radio");
+    let radio_points = [0.001, 0.01, 0.05, 0.10, 0.20, 0.35];
+    for r in radio_points {
+        print!("{:>9.1}%", r * 100.0);
+    }
+    println!();
+    for mcu_pct in (10..=100).step_by(10) {
+        let mcu = mcu_pct as f64 / 100.0;
+        print!("{:>9}%", mcu_pct);
+        for r in radio_points {
+            let duty = DutyCycle {
+                mcu,
+                radio: r,
+                sensors_on: true,
+                imu: false,
+            };
+            print!("{:>10.1}", budget.battery_life_hours(battery_mah, &duty));
+        }
+        println!();
+    }
+
+    // Where does the actual pipeline land on this map?
+    let cycles = CycleBudget::paper_pipeline();
+    let link = BleLink::nrf8001_like();
+    let mcu = cycles.duty_cycle(250.0, 70.0);
+    let radio = link
+        .duty_cycle(BleLink::parameter_uplink_bytes_per_s(70.0))
+        .expect("valid link");
+    let operating = DutyCycle {
+        mcu,
+        radio,
+        sensors_on: true,
+        imu: false,
+    };
+    println!(
+        "\nmeasured pipeline point: MCU {:.1} %, radio {:.3} % -> {:.1} h",
+        mcu * 100.0,
+        radio * 100.0,
+        budget.battery_life_hours(battery_mah, &operating)
+    );
+    println!(
+        "paper worst case (MCU 50 %, radio 1 %): {:.1} h — \"over four days\"",
+        budget.battery_life_hours(battery_mah, &DutyCycle::paper_worst_case())
+    );
+    println!(
+        "raw streaming instead of on-device processing: {:.1} h",
+        budget.battery_life_hours(battery_mah, &DutyCycle::raw_streaming())
+    );
+}

@@ -1,0 +1,108 @@
+//! Full point-of-care report from one touch session: the outpatient
+//! workflow the paper's conclusion sketches ("managing complex patients
+//! in outpatient settings"). One 30-second measurement yields
+//! hemodynamics (HR/PEP/LVET/SV/CO), heart-rate variability, the fitted
+//! Cole–Cole tissue parameters from the four-frequency sweep, signal
+//! quality, and the smoothed trend values the uplink would transmit.
+//!
+//! ```text
+//! cargo run --release --example clinic_report
+//! ```
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::pipeline::Pipeline;
+use cardiotouch::spectroscopy::{fit_cole, undo_front_end};
+use cardiotouch_device::afe::ImpedanceFrontEnd;
+use cardiotouch_ecg::hr::RrSeries;
+use cardiotouch_ecg::hrv::{analyze as hrv_analyze, HrvBands};
+use cardiotouch_icg::beat::segment_beats;
+use cardiotouch_icg::quality::{QualityReport, DEFAULT_SQI_THRESHOLD};
+use cardiotouch_icg::trending::ParameterTrend;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let population = Population::reference_five();
+    let subject = &population.subjects()[0];
+    let protocol = Protocol::paper_default();
+    let pipeline = Pipeline::new(
+        PipelineConfig::paper_default(protocol.fs)
+            .with_hemo_z0(28.0)
+            .with_sqi_gate(DEFAULT_SQI_THRESHOLD),
+    )?;
+
+    println!("POINT-OF-CARE REPORT — {}\n", subject.name());
+
+    // --- hemodynamics from the 50 kHz session ---------------------------
+    let rec = PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 21)?;
+    let analysis = pipeline.analyze(rec.device_ecg(), rec.device_z())?;
+    let st = analysis.intervals()?;
+    println!("hemodynamics (50 kHz, Position 1, 30 s)");
+    println!("  HR    {:6.1} bpm", analysis.mean_hr_bpm()?);
+    println!("  PEP   {:6.1} ± {:.1} ms", st.pep_mean_s * 1e3, st.pep_sd_s * 1e3);
+    println!("  LVET  {:6.1} ± {:.1} ms", st.lvet_mean_s * 1e3, st.lvet_sd_s * 1e3);
+    if let (Some(sv), Some(co)) = (analysis.mean_sv_kubicek_ml(), analysis.mean_co_l_per_min()) {
+        println!("  SV    {sv:6.1} ml    CO {co:5.2} l/min");
+    }
+    println!("  Z0    {:6.1} ohm   TFC {:.2} 1/kohm", analysis.z0_ohm(), analysis.tfc()?);
+
+    // --- smoothed display trend -----------------------------------------
+    let mut lvet_trend = ParameterTrend::display_default();
+    let mut last = 0.0;
+    for b in analysis.valid_beats() {
+        last = lvet_trend.ingest(b.lvet_s * 1e3)?;
+    }
+    println!("  LVET display trend after {} beats: {last:.0} ms", lvet_trend.beats_seen());
+
+    // --- signal quality ---------------------------------------------------
+    let windows = segment_beats(
+        analysis.r_peaks(),
+        analysis.conditioned_icg().len(),
+        protocol.fs,
+        0.3,
+        2.0,
+    )?;
+    let quality = QualityReport::assess(analysis.conditioned_icg(), &windows)?;
+    println!(
+        "\nsignal quality: median SQI {:.2}, {:.0} % of beats accepted",
+        quality.median_sqi(),
+        quality.acceptance_rate(DEFAULT_SQI_THRESHOLD) * 100.0
+    );
+
+    // --- respiration (impedance pneumography, free from the Z channel) -----
+    let resp = cardiotouch::respiration::estimate_respiration_rate(rec.device_z(), protocol.fs)?;
+    println!(
+        "\nrespiration: {:.1} breaths/min (confidence {:.2})",
+        resp.rate_brpm, resp.confidence
+    );
+
+    // --- HRV ---------------------------------------------------------------
+    let rr = RrSeries::from_peaks(analysis.r_peaks(), protocol.fs)?;
+    let hrv = hrv_analyze(&rr, &HrvBands::default())?;
+    println!("\nheart-rate variability");
+    println!("  SDNN {:5.1} ms   RMSSD {:5.1} ms   pNN50 {:4.1} %", hrv.sdnn_ms, hrv.rmssd_ms, hrv.pnn50 * 100.0);
+    println!("  LF/HF ratio {:.2}", hrv.lf_hf_ratio);
+
+    // --- bioimpedance spectroscopy over the 4-frequency sweep --------------
+    let freqs = [2_000.0, 10_000.0, 50_000.0, 100_000.0];
+    let mut measured = Vec::new();
+    for &f in &freqs {
+        let r = PairedRecording::generate(subject, Position::One, f, &protocol, 21)?;
+        let z0 = r.device_z().iter().sum::<f64>() / r.device_z().len() as f64;
+        measured.push(ImpedanceFrontEnd::reference_design().measured_z0(z0, f));
+    }
+    let restored = undo_front_end(&freqs, &measured, &ImpedanceFrontEnd::reference_design())?;
+    let fit = fit_cole(&freqs, &restored)?;
+    println!("\nbioimpedance spectroscopy (Cole-Cole fit over 2/10/50/100 kHz)");
+    println!(
+        "  R0 {:6.1} ohm   Rinf {:6.1} ohm   fc {:5.1} kHz   alpha {:.2}   (rmse {:.2} ohm)",
+        fit.model.r0(),
+        fit.model.r_inf(),
+        1.0 / (2.0 * std::f64::consts::PI * fit.model.tau_s()) / 1e3,
+        fit.model.alpha(),
+        fit.rmse_ohm
+    );
+    println!("  (R0 tracks extracellular fluid — the CHF decompensation signal)");
+    Ok(())
+}

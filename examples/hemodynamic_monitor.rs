@@ -1,0 +1,59 @@
+//! Live beat-to-beat monitoring: the firmware scenario of Fig 3. Samples
+//! arrive chunk by chunk (as from the ADC), and each completed beat's
+//! parameters print as the device would stream them over BLE — including
+//! the IMU position check that tags the session.
+//!
+//! ```text
+//! cargo run --release --example hemodynamic_monitor
+//! ```
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::stream::BeatStream;
+use cardiotouch::CoreError;
+use cardiotouch_device::imu;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), CoreError> {
+    let population = Population::reference_five();
+    let subject = &population.subjects()[1];
+    let protocol = Protocol::paper_default();
+    let recording = PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 11)?;
+
+    // The IMU registers how the device is held before the measurement.
+    let mut rng = StdRng::seed_from_u64(3);
+    let window = imu::synthesize(imu::DevicePosition::AtChest, 200, 100.0, &mut rng);
+    let (position, similarity) = imu::classify(&window)?;
+    println!(
+        "IMU: device held {position:?} (gravity similarity {similarity:.2}) — starting monitor\n"
+    );
+
+    println!(
+        "{:>6} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "t [s]", "HR", "PEP [ms]", "LVET[ms]", "SV [ml]", "CO [l/m]"
+    );
+    let mut stream =
+        BeatStream::new(PipelineConfig::paper_default(protocol.fs).with_hemo_z0(30.0))?;
+    // quarter-second ADC chunks, exactly as a DMA buffer would deliver them
+    for (ecg, z) in recording
+        .device_ecg()
+        .chunks(64)
+        .zip(recording.device_z().chunks(64))
+    {
+        for beat in stream.push(ecg, z)? {
+            println!(
+                "{:>6.1} {:>8.1} {:>9.0} {:>9.0} {:>9.1} {:>9.2}",
+                beat.r as f64 / protocol.fs,
+                beat.hr_bpm,
+                beat.pep_s * 1e3,
+                beat.lvet_s * 1e3,
+                beat.sv_kubicek_ml,
+                beat.co_l_per_min,
+            );
+        }
+    }
+    Ok(())
+}

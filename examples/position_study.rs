@@ -1,0 +1,33 @@
+//! Reruns the paper's whole evaluation protocol (Section V) and prints
+//! every table and figure: Tables II-IV, Figs 6-9, and the conclusion's
+//! aggregate claims.
+//!
+//! ```text
+//! cargo run --release --example position_study
+//! ```
+
+use cardiotouch::experiment::{run_position_study, StudyConfig};
+use cardiotouch::report;
+use cardiotouch::CoreError;
+use cardiotouch_physio::subject::Population;
+
+fn main() -> Result<(), CoreError> {
+    let population = Population::reference_five();
+    let config = StudyConfig::paper_default();
+    println!(
+        "running: {} subjects x 3 positions x {} frequencies x {} s sessions…\n",
+        population.len(),
+        config.frequencies_hz.len(),
+        config.protocol.duration_s
+    );
+    let outcome = run_position_study(&population, &config)?;
+
+    for table in &outcome.correlation_tables {
+        println!("{}", report::correlation_table(table));
+    }
+    println!("{}", report::bioimpedance_profiles(&outcome.profiles));
+    println!("{}", report::relative_errors(&outcome.errors));
+    println!("{}", report::hemodynamics(&outcome.hemodynamics));
+    print!("{}", report::summary(&outcome.summary));
+    Ok(())
+}

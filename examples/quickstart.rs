@@ -1,0 +1,63 @@
+//! Quickstart: simulate one touch measurement and read out the
+//! hemodynamic parameters — the 60-second tour of the public API.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::pipeline::Pipeline;
+use cardiotouch::CoreError;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+
+fn main() -> Result<(), CoreError> {
+    // 1. A synthetic subject holds the device to the chest for 30 s while
+    //    it injects 50 kHz current through the fingers.
+    let population = Population::reference_five();
+    let subject = &population.subjects()[0];
+    let protocol = Protocol::paper_default(); // 250 Hz, 30 s
+    let recording = PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 7)?;
+
+    // 2. Run the device pipeline: conditioning, R peaks, B/C/X points,
+    //    systolic time intervals, stroke volume. The SV formulas expect a
+    //    chest-band Z0, so the touch session supplies the subject's
+    //    thoracic calibration value.
+    let pipeline = Pipeline::new(
+        PipelineConfig::paper_default(protocol.fs).with_hemo_z0(28.0),
+    )?;
+    let analysis = pipeline.analyze(recording.device_ecg(), recording.device_z())?;
+
+    // 3. Read out what the device would stream over BLE.
+    let intervals = analysis.intervals()?;
+    println!("{} — touch measurement, Position 1, 50 kHz", subject.name());
+    println!("  beats analysed : {}", analysis.beats().len());
+    println!("  HR             : {:6.1} bpm", analysis.mean_hr_bpm()?);
+    println!("  Z0             : {:6.1} ohm", analysis.z0_ohm());
+    println!(
+        "  PEP            : {:6.1} ± {:.1} ms",
+        intervals.pep_mean_s * 1e3,
+        intervals.pep_sd_s * 1e3
+    );
+    println!(
+        "  LVET           : {:6.1} ± {:.1} ms",
+        intervals.lvet_mean_s * 1e3,
+        intervals.lvet_sd_s * 1e3
+    );
+    if let (Some(sv), Some(co)) = (analysis.mean_sv_kubicek_ml(), analysis.mean_co_l_per_min()) {
+        println!("  SV (Kubicek)   : {sv:6.1} ml   CO: {co:.2} l/min");
+    }
+    println!("  TFC            : {:6.2} 1/kohm", analysis.tfc()?);
+
+    // 4. Compare against the recording's ground truth.
+    let truth = recording.truth();
+    let truth_pep = truth.beats.iter().map(|b| b.pep).sum::<f64>() / truth.beats.len() as f64;
+    let truth_lvet = truth.beats.iter().map(|b| b.lvet).sum::<f64>() / truth.beats.len() as f64;
+    println!(
+        "\nground truth   : PEP {:.1} ms, LVET {:.1} ms",
+        truth_pep * 1e3,
+        truth_lvet * 1e3
+    );
+    Ok(())
+}

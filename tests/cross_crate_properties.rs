@@ -1,0 +1,115 @@
+//! Property-based tests that span crate boundaries: whatever the
+//! (reasonable) subject physiology and acquisition parameters, the
+//! pipeline's invariants must hold.
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::pipeline::Pipeline;
+use cardiotouch_physio::heart::HeartModel;
+use cardiotouch_physio::icg::IcgMorphology;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+use proptest::prelude::*;
+
+const FS: f64 = 250.0;
+
+fn any_position() -> impl Strategy<Value = Position> {
+    prop_oneof![
+        Just(Position::One),
+        Just(Position::Two),
+        Just(Position::Three)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_invariants_hold_for_any_session(
+        subject_idx in 0usize..5,
+        pos in any_position(),
+        freq in prop_oneof![Just(2_000.0f64), Just(10_000.0), Just(50_000.0), Just(100_000.0)],
+        seed in 0u64..1000,
+    ) {
+        let population = Population::reference_five();
+        let protocol = Protocol { duration_s: 15.0, ..Protocol::paper_default() };
+        let rec = PairedRecording::generate(
+            &population.subjects()[subject_idx], pos, freq, &protocol, seed,
+        ).expect("valid session");
+        let pipeline = Pipeline::new(PipelineConfig::paper_default(FS)).expect("valid config");
+        let analysis = match pipeline.analyze(rec.device_ecg(), rec.device_z()) {
+            Ok(a) => a,
+            // heavy-motion draws may legitimately yield too few beats
+            Err(cardiotouch::CoreError::NotEnoughBeats { .. }) => return Ok(()),
+            Err(e) => panic!("unexpected error: {e}"),
+        };
+        // hard invariants on every analysed beat: ordering and positivity
+        for b in analysis.beats() {
+            prop_assert!(b.r < b.b && b.b < b.c && b.c < b.x);
+            prop_assert!(b.pep_s > 0.0 && b.lvet_s > 0.0);
+            prop_assert!(b.dzdt_max > 0.0);
+        }
+        // physiological bounds on the beats that pass the outlier gate
+        for b in analysis.valid_beats() {
+            prop_assert!((0.05..=0.25).contains(&b.pep_s));
+            prop_assert!((0.12..=0.50).contains(&b.lvet_s));
+        }
+        prop_assert!(analysis.z0_ohm() > 0.0);
+        // R peaks strictly ascending
+        for w in analysis.r_peaks().windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn synthetic_beats_always_detectable_clean(
+        hr in 50.0f64..110.0,
+        dzdt in 0.8f64..2.0,
+        seed in 0u64..500,
+    ) {
+        use cardiotouch_icg::points::{PointDetector, XSearch};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let model = HeartModel { hr_mean_bpm: hr, ..HeartModel::default() };
+        let beats = model.schedule(10.0, &mut StdRng::seed_from_u64(seed)).expect("valid model");
+        let n = (10.0 * FS) as usize;
+        let morph = IcgMorphology { dzdt_max: dzdt, ..IcgMorphology::default() };
+        let icg = morph.render_dzdt(&beats, n, FS);
+        let lms = morph.landmarks(&beats, n, FS);
+        let det = PointDetector::new(FS, XSearch::GlobalMinimum).expect("valid fs");
+        for w in lms.windows(2) {
+            let seg = &icg[w[0].r..w[1].r];
+            let pts = det.detect(seg).expect("clean beats always detect");
+            prop_assert!(pts.b < pts.c && pts.c < pts.x);
+            // C exact within 3 samples on clean beats
+            prop_assert!((pts.c + w[0].r).abs_diff(w[0].c) <= 3);
+        }
+    }
+
+    #[test]
+    fn recordings_are_reproducible(
+        subject_idx in 0usize..5,
+        pos in any_position(),
+        seed in 0u64..100,
+    ) {
+        let population = Population::reference_five();
+        let protocol = Protocol { duration_s: 5.0, ..Protocol::paper_default() };
+        let a = PairedRecording::generate(
+            &population.subjects()[subject_idx], pos, 50_000.0, &protocol, seed,
+        ).expect("valid");
+        let b = PairedRecording::generate(
+            &population.subjects()[subject_idx], pos, 50_000.0, &protocol, seed,
+        ).expect("valid");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn battery_life_monotone_in_duty(mcu1 in 0.0f64..1.0, mcu2 in 0.0f64..1.0) {
+        use cardiotouch_device::power::{DutyCycle, PowerBudget};
+        let (lo, hi) = if mcu1 <= mcu2 { (mcu1, mcu2) } else { (mcu2, mcu1) };
+        let b = PowerBudget::paper_table_i();
+        let mk = |mcu: f64| DutyCycle { mcu, radio: 0.01, sensors_on: true, imu: false };
+        prop_assert!(b.battery_life_hours(710.0, &mk(lo)) >= b.battery_life_hours(710.0, &mk(hi)));
+    }
+}

@@ -1,0 +1,115 @@
+//! Shape checks on the regenerated evaluation: the qualitative findings
+//! of the paper's Section V must hold in the simulated study — who wins,
+//! in which order, and within which bounds.
+
+use cardiotouch::experiment::{
+    run_position_study, BioimpedanceProfiles, RelativeErrors, StudyConfig, StudyOutcome,
+};
+use cardiotouch_physio::scenario::Protocol;
+use cardiotouch_physio::subject::Population;
+use std::sync::OnceLock;
+
+/// One shared study run for all shape checks (the study is deterministic,
+/// so sharing it is sound and keeps the test binary fast).
+fn outcome() -> &'static StudyOutcome {
+    static OUTCOME: OnceLock<StudyOutcome> = OnceLock::new();
+    OUTCOME.get_or_init(|| {
+        let config = StudyConfig {
+            protocol: Protocol {
+                duration_s: 15.0,
+                ..Protocol::paper_default()
+            },
+            ..StudyConfig::paper_default()
+        };
+        run_position_study(&Population::reference_five(), &config)
+            .expect("the study is deterministic")
+    })
+}
+
+#[test]
+fn tables_2_to_4_within_paper_band() {
+    // Paper values span 0.69-0.99; require every simulated coefficient in
+    // a slightly widened band and the mean comfortably high.
+    for table in &outcome().correlation_tables {
+        for (name, r) in &table.rows {
+            assert!(
+                (0.55..=0.999).contains(r),
+                "{} {name}: r = {r}",
+                table.position
+            );
+        }
+    }
+    assert!(outcome().summary.mean_correlation > 0.80);
+}
+
+#[test]
+fn position_3_is_the_worst_table() {
+    let [t1, t2, t3] = &outcome().correlation_tables;
+    assert!(t3.mean() < t1.mean() && t3.mean() < t2.mean());
+    assert!(t3.min() <= t1.min() && t3.min() <= t2.min());
+}
+
+#[test]
+fn subject_5_is_the_weakest_in_position_3() {
+    // The paper's Table IV bottoms out at Subject 5 (0.6919).
+    let t3 = &outcome().correlation_tables[2];
+    let min_row = t3
+        .rows
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("non-empty");
+    assert_eq!(min_row.0, "Subject 5");
+}
+
+#[test]
+fn figure_6_and_7_peak_at_10khz() {
+    let p = &outcome().profiles;
+    assert_eq!(BioimpedanceProfiles::peak_index(&p.traditional), Some(1));
+    for d in &p.device {
+        assert_eq!(BioimpedanceProfiles::peak_index(d), Some(1));
+    }
+    // and the fall continues monotonically after the peak
+    for profile in [&p.traditional, &p.device[0], &p.device[1], &p.device[2]] {
+        assert!(profile[1] > profile[2] && profile[2] > profile[3]);
+    }
+}
+
+#[test]
+fn figure_8_error_ordering_and_bound() {
+    let e = &outcome().errors;
+    let m21 = RelativeErrors::mean_abs(&e.e21);
+    let m23 = RelativeErrors::mean_abs(&e.e23);
+    let m31 = RelativeErrors::mean_abs(&e.e31);
+    assert!(m21 > m23 && m23 > m31, "e21 {m21}, e23 {m23}, e31 {m31}");
+    assert!(e.worst_abs() < 0.20, "worst error {}", e.worst_abs());
+}
+
+#[test]
+fn figure_9_values_follow_weissler_trend() {
+    // Faster hearts must show shorter ejection: correlation between HR
+    // and LVET across subjects must be strongly negative.
+    let rows = &outcome().hemodynamics.position1;
+    let hr: Vec<f64> = rows.iter().map(|r| r.hr_bpm).collect();
+    let lvet: Vec<f64> = rows.iter().map(|r| r.lvet_ms).collect();
+    let r = cardiotouch_dsp::stats::pearson(&hr, &lvet).expect("varied subjects");
+    assert!(r < -0.7, "HR-LVET correlation {r}");
+}
+
+#[test]
+fn conclusion_claims() {
+    let s = &outcome().summary;
+    assert!(s.mean_correlation > 0.80, "mean r {}", s.mean_correlation);
+    assert!(s.worst_error < 0.20, "worst error {}", s.worst_error);
+}
+
+#[test]
+fn device_reads_higher_impedance_than_chest() {
+    // Hand-to-hand path dominates: every device profile sits far above
+    // the thoracic one.
+    let p = &outcome().profiles;
+    for (fi, &t) in p.traditional.iter().enumerate() {
+        for d in &p.device {
+            assert!(d[fi] > 5.0 * t, "device {} vs chest {t}", d[fi]);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Integration tests spanning the whole workspace: synthetic subject →
+//! device channels → pipeline → hemodynamic parameters, checked against
+//! the generator's ground truth.
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::pipeline::Pipeline;
+use cardiotouch::stream::BeatStream;
+use cardiotouch_icg::points::XSearch;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+
+const FS: f64 = 250.0;
+
+fn record(subject_idx: usize, position: Position, seed: u64) -> PairedRecording {
+    let population = Population::reference_five();
+    PairedRecording::generate(
+        &population.subjects()[subject_idx],
+        position,
+        50_000.0,
+        &Protocol::paper_default(),
+        seed,
+    )
+    .expect("generation is deterministic")
+}
+
+#[test]
+fn every_subject_analyses_in_position_one() {
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(FS)).expect("valid config");
+    for si in 0..5 {
+        let rec = record(si, Position::One, 100 + si as u64);
+        let analysis = pipeline
+            .analyze(rec.device_ecg(), rec.device_z())
+            .unwrap_or_else(|e| panic!("subject {si} failed: {e}"));
+        assert!(
+            analysis.beats().len() >= 20,
+            "subject {si}: only {} beats",
+            analysis.beats().len()
+        );
+    }
+}
+
+#[test]
+fn hr_matches_truth_for_all_subjects_and_positions() {
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(FS)).expect("valid config");
+    for si in 0..5 {
+        for pos in Position::ALL {
+            let rec = record(si, pos, 7);
+            let analysis = pipeline
+                .analyze(rec.device_ecg(), rec.device_z())
+                .expect("analysis succeeds");
+            let truth = rec.truth();
+            let truth_hr = 60.0
+                / (truth.beats.iter().map(|b| b.rr).sum::<f64>() / truth.beats.len() as f64);
+            let hr = analysis.mean_hr_bpm().expect("enough beats");
+            assert!(
+                (hr - truth_hr).abs() < 3.0,
+                "subject {si} {pos}: HR {hr} vs truth {truth_hr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn intervals_track_truth_across_subjects() {
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(FS)).expect("valid config");
+    for si in 0..5 {
+        let rec = record(si, Position::One, 21);
+        let analysis = pipeline
+            .analyze(rec.device_ecg(), rec.device_z())
+            .expect("analysis succeeds");
+        let st = analysis.intervals().expect("has valid beats");
+        let truth = rec.truth();
+        let truth_pep =
+            truth.beats.iter().map(|b| b.pep).sum::<f64>() / truth.beats.len() as f64;
+        let truth_lvet =
+            truth.beats.iter().map(|b| b.lvet).sum::<f64>() / truth.beats.len() as f64;
+        // Subjects 4 and 5 carry deliberately heavy touch-motion levels;
+        // their PEP runs high because the outlier gate truncates only the
+        // too-short side, so the tolerance is wider than for a clean
+        // chest measurement.
+        assert!(
+            (st.pep_mean_s - truth_pep).abs() < 0.045,
+            "subject {si}: PEP {} vs {}",
+            st.pep_mean_s,
+            truth_pep
+        );
+        assert!(
+            (st.lvet_mean_s - truth_lvet).abs() < 0.045,
+            "subject {si}: LVET {} vs {}",
+            st.lvet_mean_s,
+            truth_lvet
+        );
+    }
+}
+
+#[test]
+fn r_peak_detection_matches_truth_indices() {
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(FS)).expect("valid config");
+    let rec = record(2, Position::One, 5);
+    let analysis = pipeline
+        .analyze(rec.device_ecg(), rec.device_z())
+        .expect("analysis succeeds");
+    let truth = &rec.truth().r_peaks;
+    let hits = truth
+        .iter()
+        .filter(|&&t| analysis.r_peaks().iter().any(|&d| d.abs_diff(t) <= 5))
+        .count();
+    assert!(
+        hits >= truth.len() - 1,
+        "{hits}/{} truth R peaks found",
+        truth.len()
+    );
+}
+
+#[test]
+fn both_x_variants_agree_on_clean_subject() {
+    let rec = record(2, Position::One, 9);
+    let global = Pipeline::new(PipelineConfig::paper_default(FS)).expect("valid config");
+    let rt = Pipeline::new(
+        PipelineConfig::paper_default(FS).with_x_search(XSearch::RtWindow { rt_s: 0.32 }),
+    )
+    .expect("valid config");
+    let a = global
+        .analyze(rec.device_ecg(), rec.device_z())
+        .expect("analysis succeeds");
+    let b = rt
+        .analyze(rec.device_ecg(), rec.device_z())
+        .expect("analysis succeeds");
+    let la = a.intervals().expect("beats").lvet_mean_s;
+    let lb = b.intervals().expect("beats").lvet_mean_s;
+    assert!((la - lb).abs() < 0.025, "LVET {la} vs {lb}");
+}
+
+#[test]
+fn streaming_and_batch_agree_on_aggregates() {
+    let rec = record(0, Position::One, 31);
+    let cfg = PipelineConfig::paper_default(FS);
+    let batch = Pipeline::new(cfg)
+        .expect("valid config")
+        .analyze(rec.device_ecg(), rec.device_z())
+        .expect("analysis succeeds");
+    let mut stream = BeatStream::new(cfg).expect("valid config");
+    let mut beats = Vec::new();
+    for (e, z) in rec.device_ecg().chunks(125).zip(rec.device_z().chunks(125)) {
+        beats.extend(stream.push(e, z).expect("valid chunk"));
+    }
+    assert!(!beats.is_empty());
+    let s_lvet = beats.iter().map(|b| b.lvet_s).sum::<f64>() / beats.len() as f64;
+    let b_lvet = batch.intervals().expect("beats").lvet_mean_s;
+    assert!(
+        (s_lvet - b_lvet).abs() < 0.03,
+        "stream LVET {s_lvet} vs batch {b_lvet}"
+    );
+}
+
+#[test]
+fn quantized_channels_still_analyse() {
+    // Run the device ADC model over both channels before analysis: the
+    // pipeline must survive 12-bit quantization (the STM32L151's ADC).
+    use cardiotouch_device::adc::Adc;
+    let rec = record(0, Position::One, 13);
+    // ECG spans ~±2 mV; Z sits near 450 Ω with ±1 Ω variation, so remove
+    // the mean before quantizing (as the AC-coupled front-end would).
+    let ecg_adc = Adc::paper_default(4.0).expect("valid adc");
+    let z_adc = Adc::paper_default(8.0).expect("valid adc");
+    let z0 = rec.device_z().iter().sum::<f64>() / rec.device_z().len() as f64;
+    let ecg_q = ecg_adc.digitize(rec.device_ecg());
+    let z_q: Vec<f64> = rec
+        .device_z()
+        .iter()
+        .map(|v| z0 + z_adc.quantize(v - z0))
+        .collect();
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(FS)).expect("valid config");
+    let analysis = pipeline.analyze(&ecg_q, &z_q).expect("analysis succeeds");
+    assert!(analysis.beats().len() >= 20);
+    let st = analysis.intervals().expect("beats");
+    assert!((0.2..0.4).contains(&st.lvet_mean_s));
+}
