@@ -98,5 +98,10 @@ fn bench_full_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_qrs, bench_point_detection, bench_full_pipeline);
+criterion_group!(
+    benches,
+    bench_qrs,
+    bench_point_detection,
+    bench_full_pipeline
+);
 criterion_main!(benches);

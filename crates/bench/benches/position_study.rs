@@ -63,5 +63,10 @@ fn bench_study(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_session_synthesis, bench_correlation, bench_study);
+criterion_group!(
+    benches,
+    bench_session_synthesis,
+    bench_correlation,
+    bench_study
+);
 criterion_main!(benches);

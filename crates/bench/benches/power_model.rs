@@ -82,5 +82,10 @@ fn bench_demodulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_power, bench_imu_classifier, bench_demodulation);
+criterion_group!(
+    benches,
+    bench_power,
+    bench_imu_classifier,
+    bench_demodulation
+);
 criterion_main!(benches);

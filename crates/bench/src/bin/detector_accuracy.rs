@@ -21,8 +21,7 @@ fn main() {
         duration_s: if quick_flag() { 12.0 } else { 30.0 },
         ..Protocol::paper_default()
     };
-    let pipeline =
-        Pipeline::new(PipelineConfig::paper_default(protocol.fs)).expect("valid config");
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(protocol.fs)).expect("valid config");
     let fs = protocol.fs;
 
     println!("DETECTION ACCURACY vs ground truth (touch channel, Position 1, 50 kHz)\n");

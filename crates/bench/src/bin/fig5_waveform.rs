@@ -38,8 +38,7 @@ fn main() {
     println!("\nICG [ohm/s]:");
     print!("{}", ascii_series(icg_seg, 10));
 
-    let detector =
-        PointDetector::new(fs, XSearch::GlobalMinimum).expect("fs is valid");
+    let detector = PointDetector::new(fs, XSearch::GlobalMinimum).expect("fs is valid");
     let pts = detector.detect(icg_seg).expect("clean beat must detect");
     println!("\nlandmarks (samples from R):");
     println!(

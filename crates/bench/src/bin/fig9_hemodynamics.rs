@@ -12,5 +12,7 @@ use cardiotouch_bench::{quick_flag, reference_study};
 fn main() {
     let outcome = reference_study(quick_flag());
     println!("{}", report::hemodynamics(&outcome.hemodynamics));
-    println!("reference: Weissler regressions give LVET = 413 - 1.7*HR ms and PEP = 131 - 0.4*HR ms");
+    println!(
+        "reference: Weissler regressions give LVET = 413 - 1.7*HR ms and PEP = 131 - 0.4*HR ms"
+    );
 }

@@ -1,0 +1,193 @@
+//! Machine-readable performance snapshot: `cargo run --release --bin
+//! perf_bench` writes `BENCH_<date>.json` with per-kernel throughput
+//! (samples/sec over a paper-length 30 s session) and end-to-end study
+//! throughput (sessions/sec), so perf regressions show up as a diff on a
+//! committed file rather than an anecdote.
+//!
+//! Unlike the criterion benches (which need `cargo bench` and print
+//! human-oriented tables), this binary runs in seconds and emits one JSON
+//! document. An optional first argument overrides the output path; `-`
+//! writes to stdout.
+
+use std::time::Instant;
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::experiment::{run_position_study, StudyConfig};
+use cardiotouch::pipeline::Pipeline;
+use cardiotouch_dsp::design_cache;
+use cardiotouch_dsp::diff;
+use cardiotouch_dsp::window::Window;
+use cardiotouch_dsp::zero_phase::{filtfilt_fir_into, filtfilt_iir_into, ZeroPhaseScratch};
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+
+/// One timed kernel: throughput over a fixed-size input.
+struct KernelResult {
+    name: &'static str,
+    samples_per_iter: usize,
+    iters: usize,
+    elapsed_s: f64,
+}
+
+impl KernelResult {
+    fn samples_per_sec(&self) -> f64 {
+        (self.samples_per_iter * self.iters) as f64 / self.elapsed_s.max(1e-12)
+    }
+}
+
+/// Times `f` until at least `MIN_ELAPSED_S` of work or `MAX_ITERS`
+/// iterations, after a short warm-up (fills caches and the filter-design
+/// cache so the steady state is what gets measured).
+fn time_kernel(name: &'static str, samples_per_iter: usize, mut f: impl FnMut()) -> KernelResult {
+    const MIN_ELAPSED_S: f64 = 0.25;
+    const MAX_ITERS: usize = 400;
+    for _ in 0..3 {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0usize;
+    while iters < MAX_ITERS {
+        f();
+        iters += 1;
+        if start.elapsed().as_secs_f64() >= MIN_ELAPSED_S {
+            break;
+        }
+    }
+    KernelResult {
+        name,
+        samples_per_iter,
+        iters,
+        elapsed_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Civil date from days since the Unix epoch (Howard Hinnant's
+/// `civil_from_days` algorithm), so the output filename carries the run
+/// date without any date-time dependency.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn today_iso() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = 250.0;
+    let protocol = Protocol::paper_default();
+    let population = Population::reference_five();
+    let rec = PairedRecording::generate(
+        &population.subjects()[0],
+        Position::One,
+        50_000.0,
+        &protocol,
+        StudyConfig::paper_default().seed,
+    )?;
+    let z = rec.device_z();
+    let n = z.len();
+
+    // --- DSP kernels over one 30 s session ------------------------------
+    let fir = design_cache::fir_bandpass(32, 0.05, 40.0, fs, Window::Hamming)?;
+    let butter = design_cache::butterworth_lowpass(4, 20.0, fs)?;
+    let mut scratch = ZeroPhaseScratch::new();
+    let mut out = Vec::new();
+
+    let mut kernels = Vec::new();
+    kernels.push(time_kernel("fir_bandpass_filter_into", n, || {
+        fir.filter_into(z, &mut out);
+    }));
+    kernels.push(time_kernel("filtfilt_fir_bandpass", n, || {
+        filtfilt_fir_into(&fir, z, &mut scratch, &mut out).expect("filtfilt fir");
+    }));
+    kernels.push(time_kernel("filtfilt_iir_butterworth4", n, || {
+        filtfilt_iir_into(&butter, z, &mut scratch, &mut out).expect("filtfilt iir");
+    }));
+    kernels.push(time_kernel("derivative_into", n, || {
+        diff::derivative_into(z, fs, &mut out).expect("derivative");
+    }));
+
+    // --- Full pipeline, one session per iteration -----------------------
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(fs))?;
+    let analyze = time_kernel("pipeline_analyze", n, || {
+        pipeline
+            .analyze(rec.device_ecg(), rec.device_z())
+            .expect("analyze");
+    });
+    let pipeline_sessions_per_sec = analyze.iters as f64 / analyze.elapsed_s.max(1e-12);
+    kernels.push(analyze);
+
+    // --- End-to-end study (the parallelized grid) -----------------------
+    let study_config = StudyConfig {
+        protocol: Protocol {
+            duration_s: 12.0,
+            ..Protocol::paper_default()
+        },
+        ..StudyConfig::paper_default()
+    };
+    let grid_sessions =
+        population.subjects().len() * Position::ALL.len() * study_config.frequencies_hz.len();
+    let start = Instant::now();
+    let outcome = run_position_study(&population, &study_config)?;
+    let study_elapsed = start.elapsed().as_secs_f64();
+    assert!(outcome.summary.mean_correlation.is_finite());
+
+    // --- Emit ------------------------------------------------------------
+    let date = today_iso();
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str(&format!("  \"date\": \"{date}\",\n"));
+    json.push_str(&format!(
+        "  \"threads\": {},\n",
+        rayon::current_num_threads()
+    ));
+    json.push_str(&format!("  \"session_samples\": {n},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples_per_sec\": {:.0}, \"iters\": {}, \"elapsed_s\": {:.4}}}{}\n",
+            k.name,
+            k.samples_per_sec(),
+            k.iters,
+            k.elapsed_s,
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"study\": {\n");
+    json.push_str(&format!("    \"grid_sessions\": {grid_sessions},\n"));
+    json.push_str(&format!("    \"session_seconds\": {:.0},\n", 12.0));
+    json.push_str(&format!("    \"elapsed_s\": {study_elapsed:.4},\n"));
+    json.push_str(&format!(
+        "    \"sessions_per_sec\": {:.2},\n",
+        grid_sessions as f64 / study_elapsed.max(1e-12)
+    ));
+    json.push_str(&format!(
+        "    \"pipeline_sessions_per_sec\": {pipeline_sessions_per_sec:.2}\n"
+    ));
+    json.push_str("  }\n}\n");
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("BENCH_{date}.json"));
+    if path == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(&path, &json)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

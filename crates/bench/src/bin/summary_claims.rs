@@ -17,8 +17,8 @@ fn main() {
     let outcome = reference_study(quick_flag());
     print!("{}", report::summary(&outcome.summary));
 
-    let battery = PowerBudget::paper_table_i()
-        .battery_life_hours(710.0, &DutyCycle::paper_worst_case());
+    let battery =
+        PowerBudget::paper_table_i().battery_life_hours(710.0, &DutyCycle::paper_worst_case());
     println!(
         "battery: {:.1} h = {:.1} days on 710 mAh (paper: 106 h, over four days)",
         battery,
@@ -38,6 +38,9 @@ fn main() {
         && (100.0..112.0).contains(&battery)
         && (0.40..=0.50).contains(&duty)
         && radio < 0.01;
-    println!("\nall conclusion-level claims reproduced: {}", if ok { "YES" } else { "NO" });
+    println!(
+        "\nall conclusion-level claims reproduced: {}",
+        if ok { "YES" } else { "NO" }
+    );
     std::process::exit(i32::from(!ok));
 }

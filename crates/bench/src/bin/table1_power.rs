@@ -18,7 +18,11 @@ fn main() {
         let d = budget.draw(c);
         match c {
             Component::Mcu | Component::Radio => {
-                println!("{:<28} {:>18.3}", format!("{} (active)", c.label()), d.active_ma);
+                println!(
+                    "{:<28} {:>18.3}",
+                    format!("{} (active)", c.label()),
+                    d.active_ma
+                );
                 println!(
                     "{:<28} {:>18.3}",
                     format!("{} (standby)", c.label()),
@@ -32,7 +36,10 @@ fn main() {
     println!("\nCPU duty cycle (paper: 40-50 %)");
     let cycles = CycleBudget::paper_pipeline();
     let duty = cycles.duty_cycle(250.0, 70.0);
-    println!("  pipeline at fs = 250 Hz, HR = 70 bpm: {:.1} %", duty * 100.0);
+    println!(
+        "  pipeline at fs = 250 Hz, HR = 70 bpm: {:.1} %",
+        duty * 100.0
+    );
     for (name, d) in cycles.breakdown(250.0, 70.0) {
         println!("    {:<46} {:>6.2} %", name, d * 100.0);
     }
@@ -50,12 +57,24 @@ fn main() {
 
     println!("\nBattery life on 710 mAh (paper: 106 h, \"over four days\")");
     for (label, duty) in [
-        ("worst case (MCU 50 %, radio 1 %)", DutyCycle::paper_worst_case()),
-        ("best case  (MCU 40 %, radio 0.1 %)", DutyCycle::paper_best_case()),
+        (
+            "worst case (MCU 50 %, radio 1 %)",
+            DutyCycle::paper_worst_case(),
+        ),
+        (
+            "best case  (MCU 40 %, radio 0.1 %)",
+            DutyCycle::paper_best_case(),
+        ),
         ("raw streaming alternative", DutyCycle::raw_streaming()),
     ] {
         let i = budget.average_current_ma(&duty);
         let h = budget.battery_life_hours(710.0, &duty);
-        println!("  {:<36} {:>6.3} mA -> {:>6.1} h ({:.1} days)", label, i, h, h / 24.0);
+        println!(
+            "  {:<36} {:>6.3} mA -> {:>6.1} h ({:.1} days)",
+            label,
+            i,
+            h,
+            h / 24.0
+        );
     }
 }

@@ -36,6 +36,8 @@ pub enum Command {
     Study {
         /// Use shortened (12 s) sessions.
         quick: bool,
+        /// Worker-thread count for the session grid (`None` → automatic).
+        threads: Option<usize>,
     },
     /// Print the Table-I power model and battery-life figures.
     Power,
@@ -64,7 +66,7 @@ USAGE:
                        [--seconds S] [--seed N] [--out FILE]
   cardiotouch analyze <recording.csv> [--beats-out FILE] [--sqi]
                        [--hemo-z0 OHM]
-  cardiotouch study [--quick]
+  cardiotouch study [--quick] [--threads N]
   cardiotouch power
   cardiotouch help
 ";
@@ -90,13 +92,29 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         }
         "study" => {
             let mut quick = false;
-            for a in &rest {
-                match a.as_str() {
-                    "--quick" => quick = true,
+            let mut threads = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--quick" => {
+                        quick = true;
+                        i += 1;
+                    }
+                    "--threads" => {
+                        let v = rest
+                            .get(i + 1)
+                            .ok_or_else(|| ParseArgsError("--threads requires a value".into()))?;
+                        let n: usize = parse_num("--threads", v)?;
+                        if n == 0 {
+                            return Err(ParseArgsError("--threads must be at least 1".into()));
+                        }
+                        threads = Some(n);
+                        i += 2;
+                    }
                     other => return Err(unknown_flag("study", other)),
                 }
             }
-            Ok(Command::Study { quick })
+            Ok(Command::Study { quick, threads })
         }
         "simulate" => {
             let mut subject = 1usize;
@@ -166,9 +184,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         i += 2;
                     }
                     "--hemo-z0" => {
-                        let v = rest.get(i + 1).ok_or_else(|| {
-                            ParseArgsError("--hemo-z0 requires a value".into())
-                        })?;
+                        let v = rest
+                            .get(i + 1)
+                            .ok_or_else(|| ParseArgsError("--hemo-z0 requires a value".into()))?;
                         hemo_z0 = Some(parse_num("--hemo-z0", v)?);
                         i += 2;
                     }
@@ -236,8 +254,19 @@ mod tests {
             }
         );
         let c = p(&[
-            "simulate", "--subject", "3", "--position", "2", "--freq", "10000", "--seconds",
-            "12", "--seed", "99", "--out", "rec.csv",
+            "simulate",
+            "--subject",
+            "3",
+            "--position",
+            "2",
+            "--freq",
+            "10000",
+            "--seconds",
+            "12",
+            "--seed",
+            "99",
+            "--out",
+            "rec.csv",
         ])
         .unwrap();
         assert_eq!(
@@ -273,8 +302,16 @@ mod tests {
             }
         );
         assert_eq!(
-            p(&["analyze", "rec.csv", "--sqi", "--beats-out", "b.csv", "--hemo-z0", "28"])
-                .unwrap(),
+            p(&[
+                "analyze",
+                "rec.csv",
+                "--sqi",
+                "--beats-out",
+                "b.csv",
+                "--hemo-z0",
+                "28"
+            ])
+            .unwrap(),
             Command::Analyze {
                 input: "rec.csv".into(),
                 beats_out: Some("b.csv".into()),
@@ -288,10 +325,43 @@ mod tests {
 
     #[test]
     fn study_and_power() {
-        assert_eq!(p(&["study"]).unwrap(), Command::Study { quick: false });
-        assert_eq!(p(&["study", "--quick"]).unwrap(), Command::Study { quick: true });
+        assert_eq!(
+            p(&["study"]).unwrap(),
+            Command::Study {
+                quick: false,
+                threads: None
+            }
+        );
+        assert_eq!(
+            p(&["study", "--quick"]).unwrap(),
+            Command::Study {
+                quick: true,
+                threads: None
+            }
+        );
         assert_eq!(p(&["power"]).unwrap(), Command::Power);
         assert!(p(&["power", "extra"]).is_err());
         assert!(p(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn study_threads_flag() {
+        assert_eq!(
+            p(&["study", "--threads", "4"]).unwrap(),
+            Command::Study {
+                quick: false,
+                threads: Some(4)
+            }
+        );
+        assert_eq!(
+            p(&["study", "--quick", "--threads", "2"]).unwrap(),
+            Command::Study {
+                quick: true,
+                threads: Some(2)
+            }
+        );
+        assert!(p(&["study", "--threads"]).is_err());
+        assert!(p(&["study", "--threads", "0"]).is_err());
+        assert!(p(&["study", "--threads", "abc"]).is_err());
     }
 }

@@ -58,7 +58,10 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 CycleBudget::paper_pipeline_q15().duty_cycle(250.0, 70.0) * 100.0
             );
             for (label, d) in [
-                ("continuous (paper worst case)", DutyCycle::paper_worst_case()),
+                (
+                    "continuous (paper worst case)",
+                    DutyCycle::paper_worst_case(),
+                ),
                 ("continuous (paper best case)", DutyCycle::paper_best_case()),
                 ("raw streaming", DutyCycle::raw_streaming()),
             ] {
@@ -70,7 +73,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             Ok(())
         }
-        Command::Study { quick } => {
+        Command::Study { quick, threads } => {
             let mut config = StudyConfig::paper_default();
             if quick {
                 config.protocol = Protocol {
@@ -78,7 +81,17 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     ..Protocol::paper_default()
                 };
             }
-            let outcome = run_position_study(&Population::reference_five(), &config)?;
+            // The study is bit-identical at any thread count (each session
+            // derives its own RNG streams), so --threads only trades wall
+            // clock for cores.
+            let population = Population::reference_five();
+            let outcome = match threads {
+                Some(n) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()?
+                    .install(|| run_position_study(&population, &config))?,
+                None => run_position_study(&population, &config)?,
+            };
             for table in &outcome.correlation_tables {
                 println!("{}", report::correlation_table(table));
             }
@@ -115,12 +128,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             )?;
             if out == "-" {
                 let stdout = std::io::stdout();
-                write_recording_csv(
-                    stdout.lock(),
-                    protocol.fs,
-                    rec.device_ecg(),
-                    rec.device_z(),
-                )?;
+                write_recording_csv(stdout.lock(), protocol.fs, rec.device_ecg(), rec.device_z())?;
             } else {
                 let f = BufWriter::new(File::create(&out)?);
                 write_recording_csv(f, protocol.fs, rec.device_ecg(), rec.device_z())?;
@@ -153,8 +161,16 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             println!("  beats analysed : {}", analysis.beats().len());
             println!("  HR             : {:6.1} bpm", analysis.mean_hr_bpm()?);
             println!("  Z0             : {:6.1} ohm", analysis.z0_ohm());
-            println!("  PEP            : {:6.1} ± {:.1} ms", st.pep_mean_s * 1e3, st.pep_sd_s * 1e3);
-            println!("  LVET           : {:6.1} ± {:.1} ms", st.lvet_mean_s * 1e3, st.lvet_sd_s * 1e3);
+            println!(
+                "  PEP            : {:6.1} ± {:.1} ms",
+                st.pep_mean_s * 1e3,
+                st.pep_sd_s * 1e3
+            );
+            println!(
+                "  LVET           : {:6.1} ± {:.1} ms",
+                st.lvet_mean_s * 1e3,
+                st.lvet_sd_s * 1e3
+            );
             if let Ok(resp) = estimate_respiration_rate(&rec.z_ohm, fs) {
                 println!(
                     "  respiration    : {:6.1} breaths/min (confidence {:.2})",

@@ -224,7 +224,11 @@ mod tests {
         };
         let outcome = run_agreement_study(&Population::reference_five(), &config).unwrap();
         // plenty of paired beats across five subjects
-        assert!(outcome.lvet_ms.n > 40, "only {} LVET pairs", outcome.lvet_ms.n);
+        assert!(
+            outcome.lvet_ms.n > 40,
+            "only {} LVET pairs",
+            outcome.lvet_ms.n
+        );
         // The two paths measure the same hearts, so the Bland–Altman bias
         // must be modest and the limits of agreement bounded. (The
         // subject-level correlation is reported but not asserted tightly:

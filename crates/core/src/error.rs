@@ -47,7 +47,10 @@ impl fmt::Display for CoreError {
                 "ecg channel has {ecg_len} samples but impedance channel has {z_len}"
             ),
             CoreError::NotEnoughBeats { found, required } => {
-                write!(f, "found {found} analysable beats but {required} are required")
+                write!(
+                    f,
+                    "found {found} analysable beats but {required} are required"
+                )
             }
             CoreError::InvalidParameter {
                 name,

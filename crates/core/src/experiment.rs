@@ -21,6 +21,7 @@ use cardiotouch_dsp::stats;
 use cardiotouch_physio::path::Position;
 use cardiotouch_physio::scenario::{PairedRecording, Protocol};
 use cardiotouch_physio::subject::{Population, Subject};
+use rayon::prelude::*;
 
 use crate::config::PipelineConfig;
 use crate::pipeline::Pipeline;
@@ -70,10 +71,15 @@ pub struct CorrelationTable {
 }
 
 impl CorrelationTable {
-    /// Mean correlation over the subjects.
+    /// Mean correlation over the subjects, or `None` when the table has
+    /// no rows (an empty table has no meaningful mean; the previous
+    /// `max(1)` divisor silently reported `0.0`).
     #[must_use]
-    pub fn mean(&self) -> f64 {
-        self.rows.iter().map(|(_, r)| r).sum::<f64>() / self.rows.len().max(1) as f64
+    pub fn mean(&self) -> Option<f64> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        Some(self.rows.iter().map(|(_, r)| r).sum::<f64>() / self.rows.len() as f64)
     }
 
     /// Minimum correlation over the subjects.
@@ -201,7 +207,27 @@ pub struct StudyOutcome {
     pub summary: StudySummary,
 }
 
+/// Per-session quantities measured by one cell of the study grid.
+struct SessionMeasure {
+    si: usize,
+    pi: usize,
+    fi: usize,
+    corr: f64,
+    device_z0: f64,
+    /// Only measured once per (subject, frequency), on Position 1.
+    trad_z0: Option<f64>,
+}
+
 /// Runs the full position study over `population`.
+///
+/// The (subject × position × frequency) session grid is evaluated in
+/// parallel over the available threads (wrap the call in
+/// `rayon::ThreadPool::install` to pin the count). Results are
+/// **bit-identical at any thread count**: every session derives its own
+/// RNG streams from `(seed, subject, position, frequency)` inside
+/// [`PairedRecording::generate`], so no session observes another's RNG
+/// state, and the grid results are re-assembled in grid order before any
+/// floating-point reduction.
 ///
 /// # Errors
 ///
@@ -222,32 +248,54 @@ pub fn run_position_study(
     let subjects = population.subjects();
     let nf = config.frequencies_hz.len();
 
-    // session storage: [subject][position][frequency]
+    // Flat session grid, one cell per (subject, position, frequency).
+    let grid: Vec<(usize, usize, usize)> = (0..subjects.len())
+        .flat_map(|si| {
+            (0..Position::ALL.len()).flat_map(move |pi| (0..nf).map(move |fi| (si, pi, fi)))
+        })
+        .collect();
+    let measures: Vec<SessionMeasure> = grid
+        .into_par_iter()
+        .map(|(si, pi, fi)| -> Result<SessionMeasure, CoreError> {
+            let freq = config.frequencies_hz[fi];
+            let rec = PairedRecording::generate(
+                &subjects[si],
+                Position::ALL[pi],
+                freq,
+                &config.protocol,
+                config.seed,
+            )?;
+            // Both chains measure through the front-end; Pearson is
+            // scale-invariant so the correlation uses the raw pair.
+            let corr = stats::pearson(rec.traditional_z(), rec.device_z())?;
+            let dz0 = stats::mean(rec.device_z()).unwrap_or(0.0);
+            let device_z0 = config.front_end.measured_z0(dz0, freq);
+            let trad_z0 = (pi == 0).then(|| {
+                let tz0 = stats::mean(rec.traditional_z()).unwrap_or(0.0);
+                config.front_end.measured_z0(tz0, freq)
+            });
+            Ok(SessionMeasure {
+                si,
+                pi,
+                fi,
+                corr,
+                device_z0,
+                trad_z0,
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+
+    // Scatter back into [subject][position][frequency] storage (grid
+    // order is preserved by the parallel collect, so this is equivalent
+    // to the former serial triple loop).
     let mut corr = vec![[vec![0.0f64; nf], vec![0.0; nf], vec![0.0; nf]]; subjects.len()];
     let mut device_z0 = vec![[vec![0.0f64; nf], vec![0.0; nf], vec![0.0; nf]]; subjects.len()];
     let mut trad_z0 = vec![vec![0.0f64; nf]; subjects.len()];
-
-    for (si, subject) in subjects.iter().enumerate() {
-        for (pi, position) in Position::ALL.iter().enumerate() {
-            for (fi, &freq) in config.frequencies_hz.iter().enumerate() {
-                let rec = PairedRecording::generate(
-                    subject,
-                    *position,
-                    freq,
-                    &config.protocol,
-                    config.seed,
-                )?;
-                // Both chains measure through the front-end; Pearson is
-                // scale-invariant so the correlation uses the raw pair.
-                let r = stats::pearson(rec.traditional_z(), rec.device_z())?;
-                corr[si][pi][fi] = r;
-                let dz0 = stats::mean(rec.device_z()).unwrap_or(0.0);
-                device_z0[si][pi][fi] = config.front_end.measured_z0(dz0, freq);
-                if pi == 0 {
-                    let tz0 = stats::mean(rec.traditional_z()).unwrap_or(0.0);
-                    trad_z0[si][fi] = config.front_end.measured_z0(tz0, freq);
-                }
-            }
+    for m in measures {
+        corr[m.si][m.pi][m.fi] = m.corr;
+        device_z0[m.si][m.pi][m.fi] = m.device_z0;
+        if let Some(t) = m.trad_z0 {
+            trad_z0[m.si][m.fi] = t;
         }
     }
 
@@ -294,12 +342,9 @@ pub fn run_position_study(
         e23: Vec::with_capacity(subjects.len()),
         e31: Vec::with_capacity(subjects.len()),
     };
-    for si in 0..subjects.len() {
+    for dz in &device_z0 {
         let (mut r21, mut r23, mut r31) = (Vec::new(), Vec::new(), Vec::new());
-        for fi in 0..nf {
-            let z1 = device_z0[si][0][fi];
-            let z2 = device_z0[si][1][fi];
-            let z3 = device_z0[si][2][fi];
+        for ((&z1, &z2), &z3) in dz[0].iter().zip(&dz[1]).zip(&dz[2]) {
             r21.push(stats::relative_error(z2, z1)?);
             r23.push(stats::relative_error(z2, z3)?);
             r31.push(stats::relative_error(z3, z1)?);
@@ -336,31 +381,37 @@ pub fn run_position_study(
 }
 
 /// Runs the device pipeline per subject in one position at 50 kHz.
+///
+/// Subjects run in parallel against one shared [`Pipeline`] (its analysis
+/// scratch is thread-local, so concurrent `analyze` calls never share
+/// mutable state); the order-preserving collect keeps rows in subject
+/// order, identical to the former serial loop.
 fn hemodynamics_rows(
     subjects: &[Subject],
     position: Position,
     config: &StudyConfig,
 ) -> Result<Vec<HemodynamicsRow>, CoreError> {
     let pipeline = Pipeline::new(PipelineConfig::paper_default(config.protocol.fs))?;
-    let mut rows = Vec::with_capacity(subjects.len());
-    for subject in subjects {
-        let rec = PairedRecording::generate(
-            subject,
-            position,
-            50_000.0,
-            &config.protocol,
-            config.seed,
-        )?;
-        let analysis = pipeline.analyze(rec.device_ecg(), rec.device_z())?;
-        let st = analysis.intervals()?;
-        rows.push(HemodynamicsRow {
-            subject: subject.name().to_owned(),
-            hr_bpm: analysis.mean_hr_bpm()?,
-            lvet_ms: st.lvet_mean_s * 1e3,
-            pep_ms: st.pep_mean_s * 1e3,
-        });
-    }
-    Ok(rows)
+    subjects
+        .par_iter()
+        .map(|subject| -> Result<HemodynamicsRow, CoreError> {
+            let rec = PairedRecording::generate(
+                subject,
+                position,
+                50_000.0,
+                &config.protocol,
+                config.seed,
+            )?;
+            let analysis = pipeline.analyze(rec.device_ecg(), rec.device_z())?;
+            let st = analysis.intervals()?;
+            Ok(HemodynamicsRow {
+                subject: subject.name().to_owned(),
+                hr_bpm: analysis.mean_hr_bpm()?,
+                lvet_ms: st.lvet_mean_s * 1e3,
+                pep_ms: st.pep_mean_s * 1e3,
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()
 }
 
 #[cfg(test)]
@@ -415,9 +466,24 @@ mod tests {
     fn position_three_has_lowest_overall_correlation() {
         let outcome = run_position_study(&Population::reference_five(), &quick_config()).unwrap();
         let [t1, t2, t3] = &outcome.correlation_tables;
-        assert!(t3.mean() < t1.mean(), "pos3 {} vs pos1 {}", t3.mean(), t1.mean());
-        assert!(t3.mean() < t2.mean(), "pos3 {} vs pos2 {}", t3.mean(), t2.mean());
+        let (m1, m2, m3) = (t1.mean().unwrap(), t2.mean().unwrap(), t3.mean().unwrap());
+        assert!(m3 < m1, "pos3 {m3} vs pos1 {m1}");
+        assert!(m3 < m2, "pos3 {m3} vs pos2 {m2}");
         assert!(t3.min() <= t1.min() && t3.min() <= t2.min());
+    }
+
+    #[test]
+    fn correlation_table_mean_is_none_for_empty_table() {
+        let empty = CorrelationTable {
+            position: Position::One,
+            rows: Vec::new(),
+        };
+        assert_eq!(empty.mean(), None);
+        let table = CorrelationTable {
+            position: Position::One,
+            rows: vec![("a".to_owned(), 0.8), ("b".to_owned(), 0.6)],
+        };
+        assert!((table.mean().unwrap() - 0.7).abs() < 1e-12);
     }
 
     #[test]

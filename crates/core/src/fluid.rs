@@ -222,8 +222,14 @@ mod tests {
         }
         assert!(matches!(m.ingest(27.0).unwrap(), FluidStatus::Watch { .. }));
         // recovery resets the streak
-        assert!(matches!(m.ingest(30.0).unwrap(), FluidStatus::Stable { .. }));
-        assert!(matches!(m.ingest(27.0).unwrap(), FluidStatus::Watch { streak: 1, .. }));
+        assert!(matches!(
+            m.ingest(30.0).unwrap(),
+            FluidStatus::Stable { .. }
+        ));
+        assert!(matches!(
+            m.ingest(27.0).unwrap(),
+            FluidStatus::Watch { streak: 1, .. }
+        ));
     }
 
     #[test]
@@ -298,14 +304,9 @@ mod tests {
                 0.0
             };
             let today = subject.with_fluid_overload(overload).unwrap();
-            let rec = PairedRecording::generate(
-                &today,
-                Position::One,
-                50_000.0,
-                &protocol,
-                1000 + day,
-            )
-            .unwrap();
+            let rec =
+                PairedRecording::generate(&today, Position::One, 50_000.0, &protocol, 1000 + day)
+                    .unwrap();
             let analysis = pipeline
                 .analyze(rec.device_ecg(), rec.traditional_z())
                 .unwrap();

@@ -197,13 +197,13 @@ mod tests {
     #[test]
     fn reader_rejects_malformed_input() {
         let cases: &[&str] = &[
-            "",                                          // no header
-            "wrong,header,here\n0,1,2\n",                // bad header
-            "time_s,ecg_mv,z_ohm\n0,1\n",                // missing column
-            "time_s,ecg_mv,z_ohm\n0,1,2,3\n",            // extra column
-            "time_s,ecg_mv,z_ohm\n0,x,2\n",              // non-numeric
-            "time_s,ecg_mv,z_ohm\n0,1,2\n0,1,2\n",       // non-monotone time
-            "time_s,ecg_mv,z_ohm\n0,1,2\n",              // too short
+            "",                                    // no header
+            "wrong,header,here\n0,1,2\n",          // bad header
+            "time_s,ecg_mv,z_ohm\n0,1\n",          // missing column
+            "time_s,ecg_mv,z_ohm\n0,1,2,3\n",      // extra column
+            "time_s,ecg_mv,z_ohm\n0,x,2\n",        // non-numeric
+            "time_s,ecg_mv,z_ohm\n0,1,2\n0,1,2\n", // non-monotone time
+            "time_s,ecg_mv,z_ohm\n0,1,2\n",        // too short
         ];
         for c in cases {
             assert!(
@@ -241,7 +241,11 @@ mod tests {
         write_beats_csv(&mut buf, 250.0, &beats).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
-        assert!(text.lines().nth(1).unwrap().starts_with("1.0000,70.00,100.0,300.0"));
+        assert!(text
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("1.0000,70.00,100.0,300.0"));
     }
 
     #[test]

@@ -13,13 +13,16 @@
 //! 6. estimate stroke volume (Kubicek and Sramek–Bernstein), cardiac
 //!    output and thoracic fluid content from `Z0` and `(dZ/dt)max`.
 
+use std::cell::RefCell;
+
 use cardiotouch_dsp::diff;
 use cardiotouch_dsp::stats;
+use cardiotouch_dsp::zero_phase::ZeroPhaseScratch;
 use cardiotouch_ecg::filter::EcgConditioner;
 use cardiotouch_ecg::hr::RrSeries;
 use cardiotouch_ecg::pan_tompkins::PanTompkins;
 use cardiotouch_icg::beat::{segment_beats, BeatWindow};
-use cardiotouch_icg::filter::IcgConditioner;
+use cardiotouch_icg::filter::{IcgConditioner, IcgScratch};
 use cardiotouch_icg::hemo::{
     cardiac_output_l_per_min, stroke_volume_kubicek, stroke_volume_sramek_bernstein,
     thoracic_fluid_content, BeatHemoInput,
@@ -195,7 +198,43 @@ impl Analysis {
     }
 }
 
+/// Reusable work buffers for [`Pipeline::analyze_with`].
+///
+/// One instance amortises the derivative, negation and zero-phase
+/// filtering buffers across sessions: after the first analysis at a
+/// given record length the hot path performs no intermediate
+/// allocations (only the conditioned channels owned by the returned
+/// [`Analysis`] are freshly allocated, since they outlive the call).
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisScratch {
+    dz: Vec<f64>,
+    icg_raw: Vec<f64>,
+    ecg: ZeroPhaseScratch,
+    icg: IcgScratch,
+}
+
+impl AnalysisScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the `&self` convenience entry points
+    /// ([`Pipeline::analyze`], [`Pipeline::analyze_ensemble`]). Thread
+    /// local so a `Pipeline` shared across a parallel study never
+    /// contends or aliases buffers.
+    static THREAD_SCRATCH: RefCell<AnalysisScratch> = RefCell::new(AnalysisScratch::new());
+}
+
 /// The assembled device pipeline.
+///
+/// Construction pulls all four filter designs from the process-wide
+/// [`cardiotouch_dsp::design_cache`], so building one pipeline per
+/// session (as the study harness does) shares coefficient sets instead
+/// of re-running the designs.
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     config: PipelineConfig,
@@ -239,6 +278,23 @@ impl Pipeline {
     ///   [`PipelineConfig::min_beats`] beats could be analysed;
     /// * wrapped stage errors otherwise.
     pub fn analyze(&self, ecg: &[f64], z: &[f64]) -> Result<Analysis, CoreError> {
+        THREAD_SCRATCH.with(|s| self.analyze_with(&mut s.borrow_mut(), ecg, z))
+    }
+
+    /// [`Pipeline::analyze`] with caller-provided scratch buffers, for
+    /// callers that manage their own reuse (e.g. a benchmark loop). The
+    /// default entry point uses a thread-local scratch and produces
+    /// bitwise-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pipeline::analyze`].
+    pub fn analyze_with(
+        &self,
+        scratch: &mut AnalysisScratch,
+        ecg: &[f64],
+        z: &[f64],
+    ) -> Result<Analysis, CoreError> {
         if ecg.len() != z.len() {
             return Err(CoreError::ChannelLengthMismatch {
                 ecg_len: ecg.len(),
@@ -248,14 +304,22 @@ impl Pipeline {
         let fs = self.config.fs;
 
         // 1-2: ECG conditioning and R-peak detection.
-        let conditioned_ecg = self.ecg_conditioner.condition(ecg)?;
+        let mut conditioned_ecg = Vec::new();
+        self.ecg_conditioner
+            .condition_into(ecg, &mut scratch.ecg, &mut conditioned_ecg)?;
         let r_peaks = self.qrs.detect(&conditioned_ecg)?;
 
         // 3: ICG = −dZ/dt, conditioned at 20 Hz zero-phase.
         let z0_ohm = stats::mean(z).unwrap_or(0.0);
-        let dz = diff::derivative(z, fs)?;
-        let icg_raw: Vec<f64> = dz.iter().map(|v| -v).collect();
-        let conditioned_icg = self.icg_conditioner.condition(&icg_raw)?;
+        diff::derivative_into(z, fs, &mut scratch.dz)?;
+        scratch.icg_raw.clear();
+        scratch.icg_raw.extend(scratch.dz.iter().map(|v| -v));
+        let mut conditioned_icg = Vec::new();
+        self.icg_conditioner.condition_into(
+            &scratch.icg_raw,
+            &mut scratch.icg,
+            &mut conditioned_icg,
+        )?;
 
         // 4: beat segmentation.
         if r_peaks.len() < 2 {
@@ -277,8 +341,7 @@ impl Pipeline {
         // skipped before point detection.
         let windows = match self.config.sqi_threshold {
             Some(threshold) => {
-                match cardiotouch_icg::quality::QualityReport::assess(&conditioned_icg, &windows)
-                {
+                match cardiotouch_icg::quality::QualityReport::assess(&conditioned_icg, &windows) {
                     Ok(report) => report.accepted(threshold),
                     // degenerate record (e.g. all windows dropped): keep
                     // the ungated windows and let detection decide
@@ -452,10 +515,10 @@ mod tests {
     fn recovers_systolic_intervals_within_tolerance() {
         let (a, rec) = analysis(3);
         let st = a.intervals().unwrap();
-        let truth_pep = rec.truth().beats.iter().map(|b| b.pep).sum::<f64>()
-            / rec.truth().beats.len() as f64;
-        let truth_lvet = rec.truth().beats.iter().map(|b| b.lvet).sum::<f64>()
-            / rec.truth().beats.len() as f64;
+        let truth_pep =
+            rec.truth().beats.iter().map(|b| b.pep).sum::<f64>() / rec.truth().beats.len() as f64;
+        let truth_lvet =
+            rec.truth().beats.iter().map(|b| b.lvet).sum::<f64>() / rec.truth().beats.len() as f64;
         assert!(
             (st.pep_mean_s - truth_pep).abs() < 0.025,
             "PEP {} vs truth {}",
@@ -546,8 +609,8 @@ mod tests {
             .collect();
         let pipeline = Pipeline::new(PipelineConfig::paper_default(250.0)).unwrap();
         let ens = pipeline.analyze_ensemble(rec.device_ecg(), &z).unwrap();
-        let truth_lvet = rec.truth().beats.iter().map(|b| b.lvet).sum::<f64>()
-            / rec.truth().beats.len() as f64;
+        let truth_lvet =
+            rec.truth().beats.iter().map(|b| b.lvet).sum::<f64>() / rec.truth().beats.len() as f64;
         assert!(ens.beats_used >= 25);
         assert!(
             (ens.lvet_s - truth_lvet).abs() < 0.03,
@@ -595,8 +658,8 @@ mod tests {
         // …while the surviving aggregate stays accurate in absolute terms
         // (whether it also beats the ungated aggregate depends on which
         // beats the bursts hit in a given realization)
-        let truth_lvet = rec.truth().beats.iter().map(|b| b.lvet).sum::<f64>()
-            / rec.truth().beats.len() as f64;
+        let truth_lvet =
+            rec.truth().beats.iter().map(|b| b.lvet).sum::<f64>() / rec.truth().beats.len() as f64;
         let err = (a_gated.intervals().unwrap().lvet_mean_s - truth_lvet).abs();
         assert!(err < 0.040, "gated LVET error {err} (truth {truth_lvet})");
     }

@@ -16,20 +16,17 @@ pub fn correlation_table(table: &CorrelationTable) -> String {
     for (name, r) in &table.rows {
         out.push_str(&format!("{name:<12} {r:>22.4}\n"));
     }
-    out.push_str(&format!(
-        "{:<12} {:>22.4}\n",
-        "(mean)",
-        table.mean()
-    ));
+    match table.mean() {
+        Some(mean) => out.push_str(&format!("{:<12} {:>22.4}\n", "(mean)", mean)),
+        None => out.push_str(&format!("{:<12} {:>22}\n", "(mean)", "n/a")),
+    }
     out
 }
 
 /// Renders the Fig 6/7 profiles as aligned columns.
 #[must_use]
 pub fn bioimpedance_profiles(p: &BioimpedanceProfiles) -> String {
-    let mut out = String::from(
-        "FIGURE 6/7: measured Z0 [ohm] vs injection frequency\n",
-    );
+    let mut out = String::from("FIGURE 6/7: measured Z0 [ohm] vs injection frequency\n");
     out.push_str(&format!("{:>10}", "f [kHz]"));
     for f in &p.frequencies_hz {
         out.push_str(&format!("{:>12.0}", f / 1e3));
@@ -133,10 +130,7 @@ mod tests {
     fn correlation_table_renders_all_rows() {
         let t = CorrelationTable {
             position: Position::One,
-            rows: vec![
-                ("Subject 1".into(), 0.9081),
-                ("Subject 2".into(), 0.9471),
-            ],
+            rows: vec![("Subject 1".into(), 0.9081), ("Subject 2".into(), 0.9471)],
         };
         let s = correlation_table(&t);
         assert!(s.contains("Subject 1"));

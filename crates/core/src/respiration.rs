@@ -98,11 +98,10 @@ mod tests {
         let population = Population::reference_five();
         let protocol = Protocol::paper_default();
         for subject in population.subjects() {
-            let rec =
-                PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 31)
-                    .expect("valid session");
-            let est = estimate_respiration_rate(rec.traditional_z(), protocol.fs)
-                .expect("valid record");
+            let rec = PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 31)
+                .expect("valid session");
+            let est =
+                estimate_respiration_rate(rec.traditional_z(), protocol.fs).expect("valid record");
             let truth = subject.resp().rate_hz;
             assert!(
                 (est.rate_hz - truth).abs() < 0.03,
@@ -111,7 +110,12 @@ mod tests {
                 est.rate_hz,
                 truth
             );
-            assert!(est.confidence > 0.15, "{}: confidence {}", subject.name(), est.confidence);
+            assert!(
+                est.confidence > 0.15,
+                "{}: confidence {}",
+                subject.name(),
+                est.confidence
+            );
             assert!((est.rate_brpm - est.rate_hz * 60.0).abs() < 1e-12);
         }
     }
@@ -123,8 +127,7 @@ mod tests {
         let subject = &population.subjects()[0];
         let rec = PairedRecording::generate(subject, Position::One, 50_000.0, &protocol, 32)
             .expect("valid session");
-        let est =
-            estimate_respiration_rate(rec.device_z(), protocol.fs).expect("valid record");
+        let est = estimate_respiration_rate(rec.device_z(), protocol.fs).expect("valid record");
         assert!(
             (est.rate_hz - subject.resp().rate_hz).abs() < 0.04,
             "estimated {:.2} vs {:.2}",

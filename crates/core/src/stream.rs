@@ -86,9 +86,7 @@ impl BeatStream {
             self.base += drop;
         }
 
-        if self.pending < self.hop_samples
-            || self.ecg.len() < 4 * self.hop_samples
-        {
+        if self.pending < self.hop_samples || self.ecg.len() < 4 * self.hop_samples {
             return Ok(Vec::new());
         }
         self.pending = 0;
@@ -150,11 +148,7 @@ mod tests {
         let rec = recording(1);
         let mut stream = BeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
         let mut all = Vec::new();
-        for (e, z) in rec
-            .device_ecg()
-            .chunks(125)
-            .zip(rec.device_z().chunks(125))
-        {
+        for (e, z) in rec.device_ecg().chunks(125).zip(rec.device_z().chunks(125)) {
             all.extend(stream.push(e, z).unwrap());
         }
         assert!(all.len() > 20, "only {} beats emitted", all.len());
@@ -182,11 +176,7 @@ mod tests {
         let mut matched = 0;
         let mut agree = 0;
         for s in &streamed {
-            if let Some(b) = batch
-                .beats()
-                .iter()
-                .find(|b| b.r.abs_diff(s.r) <= 2)
-            {
+            if let Some(b) = batch.beats().iter().find(|b| b.r.abs_diff(s.r) <= 2) {
                 matched += 1;
                 // Borderline beats may resolve X differently with
                 // different window context; the bulk must agree.
@@ -227,7 +217,10 @@ mod tests {
         // identical beat sets up to the tail (the last partial hop)
         let common = small.len().min(large.len());
         assert!(common > 15);
-        assert_eq!(&small[..common.min(small.len())], &large[..common.min(large.len())]);
+        assert_eq!(
+            &small[..common.min(small.len())],
+            &large[..common.min(large.len())]
+        );
     }
 
     #[test]

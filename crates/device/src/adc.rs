@@ -190,7 +190,9 @@ mod tests {
     fn measured_quantization_noise_near_theory() {
         let adc = Adc::new(10, 1.0, 250.0).unwrap();
         // a slow ramp exercises all code points uniformly
-        let x: Vec<f64> = (0..100_000).map(|i| -0.99 + 1.98 * i as f64 / 100_000.0).collect();
+        let x: Vec<f64> = (0..100_000)
+            .map(|i| -0.99 + 1.98 * i as f64 / 100_000.0)
+            .collect();
         let y = adc.digitize(&x);
         let err_rms = (x
             .iter()
@@ -200,6 +202,9 @@ mod tests {
             / x.len() as f64)
             .sqrt();
         let theory = adc.quantization_noise_rms();
-        assert!((err_rms / theory - 1.0).abs() < 0.05, "{err_rms} vs {theory}");
+        assert!(
+            (err_rms / theory - 1.0).abs() < 0.05,
+            "{err_rms} vs {theory}"
+        );
     }
 }

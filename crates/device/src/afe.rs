@@ -232,7 +232,10 @@ mod tests {
             .zip(&true_z)
             .map(|(&f, &z)| fe.measured_z0(z, f))
             .collect();
-        assert!(measured[1] > measured[0], "rise from 2 to 10 kHz: {measured:?}");
+        assert!(
+            measured[1] > measured[0],
+            "rise from 2 to 10 kHz: {measured:?}"
+        );
         assert!(measured[1] > measured[2], "fall after 10 kHz: {measured:?}");
         assert!(measured[2] > measured[3], "continued fall: {measured:?}");
     }

@@ -190,7 +190,11 @@ mod tests {
         let max = tail.iter().cloned().fold(f64::MIN, f64::max);
         let min = tail.iter().cloned().fold(f64::MAX, f64::min);
         assert!((mean - 500.0).abs() < 1.0);
-        assert!(((max - min) / 2.0 - 2.0).abs() < 0.1, "envelope {}", (max - min) / 2.0);
+        assert!(
+            ((max - min) / 2.0 - 2.0).abs() < 0.1,
+            "envelope {}",
+            (max - min) / 2.0
+        );
     }
 
     #[test]
@@ -248,9 +252,7 @@ mod tests {
         let fs = 50_000.0;
         let n = 30_000;
         let w = 2.0 * std::f64::consts::PI * fc;
-        let v: Vec<f64> = (0..n)
-            .map(|i| (w * i as f64 / fs).sin() * 500.0)
-            .collect();
+        let v: Vec<f64> = (0..n).map(|i| (w * i as f64 / fs).sin() * 500.0).collect();
         let d = Demodulator::new(fc, 1.0, fs, 50.0).unwrap();
         let z = d.demodulate(&v).unwrap();
         let (mag, phase) = d.demodulate_iq(&v).unwrap();
@@ -268,9 +270,7 @@ mod tests {
         let fs = 50_000.0;
         let n = 50_000; // 1 s
         let w = 2.0 * std::f64::consts::PI * fc;
-        let v: Vec<f64> = (0..n)
-            .map(|i| (w * i as f64 / fs).sin() * 500.0)
-            .collect();
+        let v: Vec<f64> = (0..n).map(|i| (w * i as f64 / fs).sin() * 500.0).collect();
         let d = Demodulator::new(fc, 1.0, fs, 50.0).unwrap();
         let z = d.demodulate_to_rate(&v, 250.0).unwrap();
         // 1 s at 250 Hz (+1 fence-post sample)

@@ -115,8 +115,8 @@ pub fn classify(samples: &[ImuSample]) -> Result<(DevicePosition, f64), DeviceEr
     }
     let mut mean = [0.0f64; 3];
     for s in samples {
-        for k in 0..3 {
-            mean[k] += s.accel_g[k];
+        for (m, a) in mean.iter_mut().zip(&s.accel_g) {
+            *m += a;
         }
     }
     let n = samples.len() as f64;
@@ -187,8 +187,7 @@ mod tests {
     #[test]
     fn tremor_ordering_matches_positions() {
         assert!(
-            DevicePosition::ArmsDown.tremor_g_rms()
-                > DevicePosition::ArmsForward.tremor_g_rms()
+            DevicePosition::ArmsDown.tremor_g_rms() > DevicePosition::ArmsForward.tremor_g_rms()
         );
         assert!(
             DevicePosition::ArmsForward.tremor_g_rms() > DevicePosition::AtChest.tremor_g_rms()

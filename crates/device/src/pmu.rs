@@ -66,7 +66,11 @@ impl std::fmt::Display for OperatingMode {
             OperatingMode::SpotCheck {
                 measurement_s,
                 interval_s,
-            } => write!(f, "{measurement_s:.0} s spot check every {:.0} min", interval_s / 60.0),
+            } => write!(
+                f,
+                "{measurement_s:.0} s spot check every {:.0} min",
+                interval_s / 60.0
+            ),
             OperatingMode::RawStreaming => write!(f, "raw streaming"),
         }
     }
@@ -231,18 +235,14 @@ mod tests {
     #[test]
     fn continuous_endurance_matches_paper() {
         let pmu = Pmu::paper_device();
-        let h = pmu
-            .endurance_hours(OperatingMode::Continuous, 1.0)
-            .unwrap();
+        let h = pmu.endurance_hours(OperatingMode::Continuous, 1.0).unwrap();
         assert!((h - 106.4).abs() < 1.0, "{h}");
     }
 
     #[test]
     fn spot_checks_extend_endurance_dramatically() {
         let pmu = Pmu::paper_device();
-        let continuous = pmu
-            .endurance_hours(OperatingMode::Continuous, 1.0)
-            .unwrap();
+        let continuous = pmu.endurance_hours(OperatingMode::Continuous, 1.0).unwrap();
         let hourly = pmu
             .endurance_hours(
                 OperatingMode::SpotCheck {
@@ -252,7 +252,10 @@ mod tests {
                 1.0,
             )
             .unwrap();
-        assert!(hourly > 20.0 * continuous, "hourly {hourly} vs continuous {continuous}");
+        assert!(
+            hourly > 20.0 * continuous,
+            "hourly {hourly} vs continuous {continuous}"
+        );
     }
 
     #[test]
@@ -265,10 +268,7 @@ mod tests {
         );
         // 3 weeks: needs a spot-check mode
         let three_weeks = pmu.select_mode(21.0 * 24.0, 1.0).unwrap();
-        assert!(matches!(
-            three_weeks,
-            Some(OperatingMode::SpotCheck { .. })
-        ));
+        assert!(matches!(three_weeks, Some(OperatingMode::SpotCheck { .. })));
         // 10 years: infeasible on this ladder
         assert_eq!(pmu.select_mode(87_600.0, 1.0).unwrap(), None);
     }
@@ -312,7 +312,10 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        assert_eq!(OperatingMode::Continuous.to_string(), "continuous monitoring");
+        assert_eq!(
+            OperatingMode::Continuous.to_string(),
+            "continuous monitoring"
+        );
         assert!(OperatingMode::SpotCheck {
             measurement_s: 30.0,
             interval_s: 900.0

@@ -112,9 +112,8 @@ impl ParameterRecord {
                 range: "must match the computed CRC-8",
             });
         }
-        let f32_at = |o: usize| {
-            f32::from_le_bytes(bytes[o..o + 4].try_into().expect("length checked"))
-        };
+        let f32_at =
+            |o: usize| f32::from_le_bytes(bytes[o..o + 4].try_into().expect("length checked"));
         Ok(Self {
             sequence: u16::from_le_bytes(bytes[0..2].try_into().expect("length checked")),
             z0_ohm: f32_at(2),

@@ -20,6 +20,19 @@ use crate::DspError;
 /// Returns [`DspError::InputTooShort`] when `x` has fewer than 2 samples,
 /// or [`DspError::InvalidParameter`] for a non-positive `fs`.
 pub fn derivative(x: &[f64], fs: f64) -> Result<Vec<f64>, DspError> {
+    let mut y = Vec::new();
+    derivative_into(x, fs, &mut y)?;
+    Ok(y)
+}
+
+/// Buffer-reusing variant of [`derivative`]: `y` is cleared and filled
+/// with the derivative, reusing its capacity. Bitwise-identical to
+/// [`derivative`], which delegates here.
+///
+/// # Errors
+///
+/// Same conditions as [`derivative`].
+pub fn derivative_into(x: &[f64], fs: f64, y: &mut Vec<f64>) -> Result<(), DspError> {
     if x.len() < 2 {
         return Err(DspError::InputTooShort {
             len: x.len(),
@@ -34,13 +47,14 @@ pub fn derivative(x: &[f64], fs: f64) -> Result<Vec<f64>, DspError> {
         });
     }
     let n = x.len();
-    let mut y = Vec::with_capacity(n);
+    y.clear();
+    y.reserve(n);
     y.push((x[1] - x[0]) * fs);
     for i in 1..n - 1 {
         y.push((x[i + 1] - x[i - 1]) * fs / 2.0);
     }
     y.push((x[n - 1] - x[n - 2]) * fs);
-    Ok(y)
+    Ok(())
 }
 
 /// Second derivative: `derivative` applied twice.
@@ -135,9 +149,9 @@ mod tests {
         let w = 2.0 * std::f64::consts::PI * f;
         let x: Vec<f64> = (0..2000).map(|i| (w * i as f64 / fs).sin()).collect();
         let d = derivative(&x, fs).unwrap();
-        for i in 10..1990 {
+        for (i, &di) in d.iter().enumerate().take(1990).skip(10) {
             let expect = w * (w * i as f64 / fs).cos();
-            assert!((d[i] - expect).abs() < 0.01 * w, "sample {i}");
+            assert!((di - expect).abs() < 0.01 * w, "sample {i}");
         }
     }
 

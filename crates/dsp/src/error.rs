@@ -69,10 +69,16 @@ impl fmt::Display for DspError {
                 write!(f, "invalid filter order {order}: {constraint}")
             }
             DspError::InputTooShort { len, min_len } => {
-                write!(f, "input has {len} samples but at least {min_len} are required")
+                write!(
+                    f,
+                    "input has {len} samples but at least {min_len} are required"
+                )
             }
             DspError::LengthMismatch { left, right } => {
-                write!(f, "inputs must have equal length but got {left} and {right}")
+                write!(
+                    f,
+                    "inputs must have equal length but got {left} and {right}"
+                )
             }
             DspError::InvalidKernel {
                 kernel_len,

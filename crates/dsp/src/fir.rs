@@ -176,9 +176,25 @@ impl Fir {
     /// of the same length. The first `order` outputs carry the start-up
     /// transient; use [`crate::zero_phase::filtfilt_fir`] for the zero-phase
     /// variant the paper requires.
+    ///
+    /// Allocates the output vector; delegates to [`Fir::filter_into`], so
+    /// both paths are arithmetic-identical.
     #[must_use]
     pub fn filter(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; x.len()];
+        let mut y = Vec::new();
+        self.filter_into(x, &mut y);
+        y
+    }
+
+    /// Filters `x` causally into a caller-provided buffer, reusing its
+    /// capacity. `y` is cleared and resized to `x.len()`; after the first
+    /// call at a given length, no allocation occurs.
+    ///
+    /// This is the hot-path entry used by the pipeline's pre-allocated
+    /// scratch buffers; [`Fir::filter`] is the convenience wrapper.
+    pub fn filter_into(&self, x: &[f64], y: &mut Vec<f64>) {
+        y.clear();
+        y.resize(x.len(), 0.0);
         for (n, out) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             let kmax = n.min(self.taps.len() - 1);
@@ -187,7 +203,6 @@ impl Fir {
             }
             *out = acc;
         }
-        y
     }
 
     /// Complex frequency response magnitude at frequency `f` hertz for

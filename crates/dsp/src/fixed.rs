@@ -305,7 +305,10 @@ mod tests {
             .map(|i| 0.8 * (2.0 * std::f64::consts::PI * 60.0 * i as f64 / FS).sin())
             .collect();
         let y = with_q15_signal(&x, 1.0, |q| s.filter(q)).unwrap();
-        let peak = y[1000..].iter().cloned().fold(0.0f64, |a, v| a.max(v.abs()));
+        let peak = y[1000..]
+            .iter()
+            .cloned()
+            .fold(0.0f64, |a, v| a.max(v.abs()));
         let expect = 0.8 * lp.magnitude_at(60.0, FS);
         assert!(
             (peak - expect).abs() < 0.02,

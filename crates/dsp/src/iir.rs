@@ -77,17 +77,28 @@ impl Biquad {
 
     /// Filters `x` through this section (direct form II transposed),
     /// starting from zero state.
+    ///
+    /// Allocates the output vector; delegates to
+    /// [`Biquad::filter_in_place`], so both paths are
+    /// arithmetic-identical.
     #[must_use]
     pub fn filter(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = Vec::with_capacity(x.len());
-        let (mut s1, mut s2) = (0.0, 0.0);
-        for &xn in x {
-            let yn = self.b0 * xn + s1;
-            s1 = self.b1 * xn - self.a1 * yn + s2;
-            s2 = self.b2 * xn - self.a2 * yn;
-            y.push(yn);
-        }
+        let mut y = x.to_vec();
+        self.filter_in_place(&mut y);
         y
+    }
+
+    /// Filters the buffer through this section in place (direct form II
+    /// transposed, zero initial state) without allocating.
+    pub fn filter_in_place(&self, x: &mut [f64]) {
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for xn in x.iter_mut() {
+            let input = *xn;
+            let yn = self.b0 * input + s1;
+            s1 = self.b1 * input - self.a1 * yn + s2;
+            s2 = self.b2 * input - self.a2 * yn;
+            *xn = yn;
+        }
     }
 
     /// Complex magnitude response at normalised angular frequency
@@ -213,8 +224,8 @@ impl Butterworth {
         for i in 0..n / 2 {
             let theta = std::f64::consts::PI * (2.0 * i as f64 + 1.0) / (2.0 * n as f64);
             let q2 = 2.0 * theta.sin(); // = 2·ζ for this pair
-            // Denominator after bilinear transform of
-            // wc² / (s² + q2·wc·s + wc²):
+                                        // Denominator after bilinear transform of
+                                        // wc² / (s² + q2·wc·s + wc²):
             let a0 = k * k + q2 * wc * k + wc * wc;
             let a1 = (2.0 * wc * wc - 2.0 * k * k) / a0;
             let a2 = (k * k - q2 * wc * k + wc * wc) / a0;
@@ -268,13 +279,24 @@ impl Butterworth {
     /// The output has the group-delay distortion inherent to causal IIR
     /// filtering; the paper's processing uses
     /// [`crate::zero_phase::filtfilt_iir`] instead.
+    ///
+    /// Allocates the output vector; delegates to
+    /// [`Butterworth::filter_in_place`], so both paths are
+    /// arithmetic-identical.
     #[must_use]
     pub fn filter(&self, x: &[f64]) -> Vec<f64> {
         let mut y = x.to_vec();
-        for s in &self.sections {
-            y = s.filter(&y);
-        }
+        self.filter_in_place(&mut y);
         y
+    }
+
+    /// Filters the buffer through the cascade in place without
+    /// allocating: each biquad section runs over the buffer in sequence,
+    /// exactly as the allocating path does.
+    pub fn filter_in_place(&self, x: &mut [f64]) {
+        for s in &self.sections {
+            s.filter_in_place(x);
+        }
     }
 
     /// Magnitude response at `f` hertz for sampling rate `fs`.
@@ -320,8 +342,12 @@ mod tests {
 
     #[test]
     fn lowpass_rolloff_increases_with_order() {
-        let g2 = Butterworth::lowpass(2, 20.0, FS).unwrap().magnitude_at(40.0, FS);
-        let g6 = Butterworth::lowpass(6, 20.0, FS).unwrap().magnitude_at(40.0, FS);
+        let g2 = Butterworth::lowpass(2, 20.0, FS)
+            .unwrap()
+            .magnitude_at(40.0, FS);
+        let g6 = Butterworth::lowpass(6, 20.0, FS)
+            .unwrap()
+            .magnitude_at(40.0, FS);
         assert!(g6 < g2);
         assert!(g2 < 0.3);
     }
@@ -358,9 +384,18 @@ mod tests {
 
     #[test]
     fn section_count_matches_order() {
-        assert_eq!(Butterworth::lowpass(4, 20.0, FS).unwrap().sections().len(), 2);
-        assert_eq!(Butterworth::lowpass(5, 20.0, FS).unwrap().sections().len(), 3);
-        assert_eq!(Butterworth::lowpass(1, 20.0, FS).unwrap().sections().len(), 1);
+        assert_eq!(
+            Butterworth::lowpass(4, 20.0, FS).unwrap().sections().len(),
+            2
+        );
+        assert_eq!(
+            Butterworth::lowpass(5, 20.0, FS).unwrap().sections().len(),
+            3
+        );
+        assert_eq!(
+            Butterworth::lowpass(1, 20.0, FS).unwrap().sections().len(),
+            1
+        );
     }
 
     #[test]
@@ -381,7 +416,10 @@ mod tests {
         let y = f.filter(&x);
         let peak = y[500..].iter().fold(0.0f64, |a, &v| a.max(v.abs()));
         let expect = f.magnitude_at(60.0, FS);
-        assert!((peak - expect).abs() < 0.02, "peak {peak} vs expected {expect}");
+        assert!(
+            (peak - expect).abs() < 0.02,
+            "peak {peak} vs expected {expect}"
+        );
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //! * linear **resampling** helpers ([`resample`]).
 //!
 //! All routines operate on `&[f64]` slices and return owned `Vec<f64>`
-//! results; none of them allocate global state, so they are `Send + Sync`
-//! and usable from multi-threaded experiment runners.
+//! results; they are `Send + Sync` and usable from multi-threaded
+//! experiment runners. The hot kernels additionally expose
+//! zero-allocation entry points (`filter_into`, `filter_in_place`, the
+//! `filtfilt_*_into` family with [`zero_phase::ZeroPhaseScratch`]) that
+//! reuse caller-owned buffers, and [`design_cache`] memoises filter
+//! designs process-wide so repeated constructions share coefficients.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod design_cache;
 pub mod diff;
 pub mod fir;
 pub mod fixed;

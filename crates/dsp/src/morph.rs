@@ -326,16 +326,18 @@ mod tests {
         let mut state = 0x1234_5678_u64;
         let mut x = Vec::with_capacity(300);
         for _ in 0..300 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x.push((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5);
         }
         for k in [0usize, 1, 3, 7, 20] {
             let fast = sliding_extremum(&x, k, true);
-            for i in 0..x.len() {
+            for (i, &f) in fast.iter().enumerate() {
                 let lo = i.saturating_sub(k);
                 let hi = (i + k).min(x.len() - 1);
                 let naive = x[lo..=hi].iter().cloned().fold(f64::INFINITY, f64::min);
-                assert_eq!(fast[i], naive, "k={k} i={i}");
+                assert_eq!(f, naive, "k={k} i={i}");
             }
         }
     }

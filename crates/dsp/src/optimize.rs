@@ -51,11 +51,7 @@ pub struct Minimum {
 ///
 /// Returns [`DspError::InvalidParameter`] for an empty start point or a
 /// non-finite objective at the start.
-pub fn nelder_mead<F>(
-    f: F,
-    x0: &[f64],
-    options: &NelderMeadOptions,
-) -> Result<Minimum, DspError>
+pub fn nelder_mead<F>(f: F, x0: &[f64], options: &NelderMeadOptions) -> Result<Minimum, DspError>
 where
     F: Fn(&[f64]) -> f64,
 {
@@ -207,9 +203,7 @@ mod tests {
 
     #[test]
     fn minimises_rosenbrock() {
-        let f = |x: &[f64]| {
-            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
-        };
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let opts = NelderMeadOptions {
             max_evals: 20_000,
             ..NelderMeadOptions::default()

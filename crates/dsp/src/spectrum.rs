@@ -207,8 +207,7 @@ pub fn welch_psd(
             } else {
                 2.0
             };
-            acc[k] += one_sided * b.magnitude().powi(2)
-                / (fs * segment_len as f64 * win_power);
+            acc[k] += one_sided * b.magnitude().powi(2) / (fs * segment_len as f64 * win_power);
         }
         segments += 1;
         start += hop;
@@ -424,7 +423,10 @@ mod tests {
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = vals[vals.len() / 2];
         for (f, p) in &psd[1..] {
-            assert!(*p < 3.0 * med && *p > med / 3.0, "bin {f}: {p} vs median {med}");
+            assert!(
+                *p < 3.0 * med && *p > med / 3.0,
+                "bin {f}: {p} vs median {med}"
+            );
         }
     }
 

@@ -384,9 +384,10 @@ mod tests {
         let n = 2048;
         let mut clean = vec![0.0; n];
         for centre in (100..n).step_by(200) {
-            for i in centre.saturating_sub(60)..(centre + 60).min(n) {
-                let t = (i as f64 - centre as f64) / 15.0;
-                clean[i] += 2.0 * (-t * t / 2.0).exp();
+            let lo = centre.saturating_sub(60);
+            for (i, c) in clean[lo..(centre + 60).min(n)].iter_mut().enumerate() {
+                let t = ((i + lo) as f64 - centre as f64) / 15.0;
+                *c += 2.0 * (-t * t / 2.0).exp();
             }
         }
         let mut rng = StdRng::seed_from_u64(2);

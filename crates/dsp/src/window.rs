@@ -63,12 +63,8 @@ impl Window {
                 let x = n as f64;
                 match self {
                     Window::Rectangular => 1.0,
-                    Window::Hamming => {
-                        0.54 - 0.46 * (2.0 * std::f64::consts::PI * x / m).cos()
-                    }
-                    Window::Hann => {
-                        0.5 - 0.5 * (2.0 * std::f64::consts::PI * x / m).cos()
-                    }
+                    Window::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x / m).cos(),
+                    Window::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x / m).cos(),
                     Window::Blackman => {
                         let t = 2.0 * std::f64::consts::PI * x / m;
                         0.42 - 0.5 * t.cos() + 0.08 * (2.0 * t).cos()

@@ -16,6 +16,32 @@ use crate::fir::Fir;
 use crate::iir::Butterworth;
 use crate::DspError;
 
+/// Reusable work buffers for the `filtfilt_*_into` zero-allocation entry
+/// points.
+///
+/// One scratch instance amortises the padded-signal and forward-pass
+/// buffers across calls: after the first call at a given session length no
+/// further allocation happens. The allocating wrappers
+/// ([`filtfilt_fir`], [`filtfilt_iir`], [`filtfilt_iir_ext`]) delegate to
+/// the `_into` functions with a fresh scratch, so both paths run the exact
+/// same arithmetic and produce bitwise-identical output.
+#[derive(Debug, Clone, Default)]
+pub struct ZeroPhaseScratch {
+    /// Edge-extended copy of the input (and, for IIR, the in-place
+    /// filtering buffer).
+    padded: Vec<f64>,
+    /// Secondary buffer for FIR passes, which cannot run in place.
+    work: Vec<f64>,
+}
+
+impl ZeroPhaseScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Applies `filter` forward and backward over `x`, returning a zero-phase
 /// result of the same length.
 ///
@@ -42,7 +68,38 @@ use crate::DspError;
 /// # }
 /// ```
 pub fn filtfilt_fir(filter: &Fir, x: &[f64]) -> Result<Vec<f64>, DspError> {
-    filtfilt_with(x, filter.order() + 1, |s| filter.filter(s))
+    let mut y = Vec::new();
+    filtfilt_fir_into(filter, x, &mut ZeroPhaseScratch::new(), &mut y)?;
+    Ok(y)
+}
+
+/// Zero-allocation variant of [`filtfilt_fir`]: writes the zero-phase
+/// result into `y` (cleared first) using the caller's scratch buffers.
+///
+/// Bitwise-identical to [`filtfilt_fir`] by construction — the allocating
+/// wrapper delegates here.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] when `x` has fewer than 2 samples.
+pub fn filtfilt_fir_into(
+    filter: &Fir,
+    x: &[f64],
+    scratch: &mut ZeroPhaseScratch,
+    y: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    let ext = checked_ext(x, filter.order() + 1)?;
+    odd_reflect_into(x, ext, &mut scratch.padded);
+    // Forward pass, reverse, backward pass, reverse back: the two FIR
+    // passes ping-pong between the scratch buffers since direct-form
+    // convolution cannot run in place.
+    filter.filter_into(&scratch.padded, &mut scratch.work);
+    scratch.work.reverse();
+    filter.filter_into(&scratch.work, &mut scratch.padded);
+    scratch.padded.reverse();
+    y.clear();
+    y.extend_from_slice(&scratch.padded[ext..ext + x.len()]);
+    Ok(())
 }
 
 /// Applies a Butterworth cascade forward and backward over `x`, returning a
@@ -53,8 +110,42 @@ pub fn filtfilt_fir(filter: &Fir, x: &[f64]) -> Result<Vec<f64>, DspError> {
 ///
 /// Returns [`DspError::InputTooShort`] when `x` has fewer than 2 samples.
 pub fn filtfilt_iir(filter: &Butterworth, x: &[f64]) -> Result<Vec<f64>, DspError> {
+    let mut y = Vec::new();
+    filtfilt_iir_into(filter, x, &mut ZeroPhaseScratch::new(), &mut y)?;
+    Ok(y)
+}
+
+/// Zero-allocation variant of [`filtfilt_iir`]: writes the zero-phase
+/// result into `y` (cleared first) using the caller's scratch buffers.
+///
+/// Bitwise-identical to [`filtfilt_iir`] by construction — the allocating
+/// wrapper delegates here.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] when `x` has fewer than 2 samples.
+pub fn filtfilt_iir_into(
+    filter: &Butterworth,
+    x: &[f64],
+    scratch: &mut ZeroPhaseScratch,
+    y: &mut Vec<f64>,
+) -> Result<(), DspError> {
     // IIR transients decay over many samples; use a generous extension.
-    filtfilt_with(x, 6 * (filter.order() + 1), |s| filter.filter(s))
+    let ext = checked_ext(x, 6 * (filter.order() + 1))?;
+    odd_reflect_into(x, ext, &mut scratch.padded);
+    filtfilt_iir_core(filter, &mut scratch.padded);
+    y.clear();
+    y.extend_from_slice(&scratch.padded[ext..ext + x.len()]);
+    Ok(())
+}
+
+/// Forward–backward IIR pass over an already edge-extended buffer, fully
+/// in place (biquad cascades, unlike FIR convolution, can filter in situ).
+fn filtfilt_iir_core(filter: &Butterworth, padded: &mut [f64]) {
+    filter.filter_in_place(padded);
+    padded.reverse();
+    filter.filter_in_place(padded);
+    padded.reverse();
 }
 
 /// Like [`filtfilt_iir`] but with an explicit edge-extension length in
@@ -76,42 +167,46 @@ pub fn filtfilt_iir_ext(
     x: &[f64],
     ext_samples: usize,
 ) -> Result<Vec<f64>, DspError> {
-    if x.len() < 2 {
-        return Err(DspError::InputTooShort {
-            len: x.len(),
-            min_len: 2,
-        });
-    }
-    let ext = (3 * ext_samples.max(1)).min(x.len() - 1);
-    let padded = even_reflect(x, ext);
-    let fwd = filter.filter(&padded);
-    let mut rev: Vec<f64> = fwd.into_iter().rev().collect();
-    rev = filter.filter(&rev);
-    rev.reverse();
-    Ok(rev[ext..ext + x.len()].to_vec())
+    let mut y = Vec::new();
+    filtfilt_iir_ext_into(filter, x, ext_samples, &mut ZeroPhaseScratch::new(), &mut y)?;
+    Ok(y)
 }
 
-/// Shared forward–backward scaffolding: odd-reflect by `ext`, run the
-/// provided causal `apply` twice (with a reversal in between), trim.
-fn filtfilt_with<F>(x: &[f64], ext: usize, apply: F) -> Result<Vec<f64>, DspError>
-where
-    F: Fn(&[f64]) -> Vec<f64>,
-{
+/// Zero-allocation variant of [`filtfilt_iir_ext`]: writes the zero-phase
+/// result into `y` (cleared first) using the caller's scratch buffers.
+///
+/// Bitwise-identical to [`filtfilt_iir_ext`] by construction — the
+/// allocating wrapper delegates here.
+///
+/// # Errors
+///
+/// Returns [`DspError::InputTooShort`] when `x` has fewer than 2 samples.
+pub fn filtfilt_iir_ext_into(
+    filter: &Butterworth,
+    x: &[f64],
+    ext_samples: usize,
+    scratch: &mut ZeroPhaseScratch,
+    y: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    let ext = checked_ext(x, ext_samples.max(1))?;
+    even_reflect_into(x, ext, &mut scratch.padded);
+    filtfilt_iir_core(filter, &mut scratch.padded);
+    y.clear();
+    y.extend_from_slice(&scratch.padded[ext..ext + x.len()]);
+    Ok(())
+}
+
+/// Validates the minimum input length and returns the clamped edge
+/// extension `(3 × base).min(x.len() − 1)` shared by every filtfilt
+/// entry point.
+fn checked_ext(x: &[f64], base: usize) -> Result<usize, DspError> {
     if x.len() < 2 {
         return Err(DspError::InputTooShort {
             len: x.len(),
             min_len: 2,
         });
     }
-    let ext = (3 * ext).min(x.len() - 1);
-    let padded = odd_reflect(x, ext);
-
-    let fwd = apply(&padded);
-    let mut rev: Vec<f64> = fwd.into_iter().rev().collect();
-    rev = apply(&rev);
-    rev.reverse();
-
-    Ok(rev[ext..ext + x.len()].to_vec())
+    Ok((3 * base).min(x.len() - 1))
 }
 
 /// Extends `x` by `ext` samples on each side using odd (anti-symmetric)
@@ -121,9 +216,18 @@ where
 /// the start-up transient of the filter.
 #[must_use]
 pub fn odd_reflect(x: &[f64], ext: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    odd_reflect_into(x, ext, &mut out);
+    out
+}
+
+/// Buffer-reusing variant of [`odd_reflect`]: `out` is cleared and filled
+/// with the extended signal.
+pub fn odd_reflect_into(x: &[f64], ext: usize, out: &mut Vec<f64>) {
     debug_assert!(ext < x.len());
     let n = x.len();
-    let mut out = Vec::with_capacity(n + 2 * ext);
+    out.clear();
+    out.reserve(n + 2 * ext);
     for i in (1..=ext).rev() {
         out.push(2.0 * x[0] - x[i]);
     }
@@ -131,7 +235,6 @@ pub fn odd_reflect(x: &[f64], ext: usize) -> Vec<f64> {
     for i in 1..=ext {
         out.push(2.0 * x[n - 1] - x[n - 1 - i]);
     }
-    out
 }
 
 /// Extends `x` by `ext` samples on each side using even (symmetric)
@@ -139,9 +242,18 @@ pub fn odd_reflect(x: &[f64], ext: usize) -> Vec<f64> {
 /// but with a slope kink at the junction.
 #[must_use]
 pub fn even_reflect(x: &[f64], ext: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    even_reflect_into(x, ext, &mut out);
+    out
+}
+
+/// Buffer-reusing variant of [`even_reflect`]: `out` is cleared and filled
+/// with the extended signal.
+pub fn even_reflect_into(x: &[f64], ext: usize, out: &mut Vec<f64>) {
     debug_assert!(ext < x.len());
     let n = x.len();
-    let mut out = Vec::with_capacity(n + 2 * ext);
+    out.clear();
+    out.reserve(n + 2 * ext);
     for i in (1..=ext).rev() {
         out.push(x[i]);
     }
@@ -149,7 +261,6 @@ pub fn even_reflect(x: &[f64], ext: usize) -> Vec<f64> {
     for i in 1..=ext {
         out.push(x[n - 1 - i]);
     }
-    out
 }
 
 #[cfg(test)]
@@ -232,11 +343,7 @@ mod tests {
         let x = sine(30.0, 4000);
         let y = filtfilt_iir(&f, &x).unwrap();
         let peak = y[1000..3000].iter().fold(0.0f64, |a, &v| a.max(v.abs()));
-        assert!(
-            (peak - g * g).abs() < 0.01,
-            "peak {peak} vs g² {}",
-            g * g
-        );
+        assert!((peak - g * g).abs() < 0.01, "peak {peak} vs g² {}", g * g);
     }
 
     #[test]
@@ -257,7 +364,12 @@ mod tests {
         let x: Vec<f64> = (0..500).map(|i| 0.01 * i as f64).collect();
         let y = filtfilt_iir(&f, &x).unwrap();
         for i in 0..500 {
-            assert!((x[i] - y[i]).abs() < 0.02, "sample {i}: {} vs {}", x[i], y[i]);
+            assert!(
+                (x[i] - y[i]).abs() < 0.02,
+                "sample {i}: {} vs {}",
+                x[i],
+                y[i]
+            );
         }
     }
 

@@ -6,7 +6,10 @@ use cardiotouch_dsp::morph::{self, FlatElement};
 use cardiotouch_dsp::peaks;
 use cardiotouch_dsp::stats;
 use cardiotouch_dsp::window::Window;
-use cardiotouch_dsp::zero_phase::{filtfilt_fir, filtfilt_iir, odd_reflect};
+use cardiotouch_dsp::zero_phase::{
+    filtfilt_fir, filtfilt_fir_into, filtfilt_iir, filtfilt_iir_ext, filtfilt_iir_ext_into,
+    filtfilt_iir_into, odd_reflect, ZeroPhaseScratch,
+};
 use proptest::prelude::*;
 
 fn signal(min_len: usize, max_len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -153,6 +156,80 @@ proptest! {
         let i = peaks::argmax(&x).unwrap();
         for &v in &x {
             prop_assert!(x[i] >= v);
+        }
+    }
+
+    #[test]
+    fn fir_filter_into_bitwise_equals_allocating(x in signal(1, 300), order in 1usize..8) {
+        // The allocating path delegates to `filter_into`; this pins that
+        // contract as observable behaviour: same bits, every sample, and
+        // a dirty reused buffer must not leak through.
+        let f = Fir::lowpass(2 * order, 30.0, 250.0, Window::Hamming).unwrap();
+        let reference = f.filter(&x);
+        let mut reused = vec![f64::NAN; 17]; // dirty, wrong-sized buffer
+        f.filter_into(&x, &mut reused);
+        prop_assert_eq!(reused.len(), reference.len());
+        for (a, b) in reference.iter().zip(&reused) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn filtfilt_fir_scratch_bitwise_equals_allocating(x in signal(2, 300)) {
+        let f = Fir::lowpass(16, 20.0, 250.0, Window::Hamming).unwrap();
+        let reference = filtfilt_fir(&f, &x).unwrap();
+        let mut scratch = ZeroPhaseScratch::new();
+        let mut y = Vec::new();
+        // run twice through the same scratch: the second pass sees dirty
+        // buffers from the first and must still match exactly
+        for _ in 0..2 {
+            filtfilt_fir_into(&f, &x, &mut scratch, &mut y).unwrap();
+            prop_assert_eq!(y.len(), reference.len());
+            for (a, b) in reference.iter().zip(&y) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn filtfilt_iir_scratch_bitwise_equals_allocating(x in signal(2, 300), n in 1usize..6) {
+        let f = Butterworth::lowpass(n, 20.0, 250.0).unwrap();
+        let reference = filtfilt_iir(&f, &x).unwrap();
+        let mut scratch = ZeroPhaseScratch::new();
+        let mut y = Vec::new();
+        for _ in 0..2 {
+            filtfilt_iir_into(&f, &x, &mut scratch, &mut y).unwrap();
+            prop_assert_eq!(y.len(), reference.len());
+            for (a, b) in reference.iter().zip(&y) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn filtfilt_iir_ext_scratch_bitwise_equals_allocating(
+        x in signal(2, 300),
+        ext in 0usize..200,
+    ) {
+        let f = Butterworth::highpass(2, 0.4, 250.0).unwrap();
+        let reference = filtfilt_iir_ext(&f, &x, ext).unwrap();
+        let mut scratch = ZeroPhaseScratch::new();
+        let mut y = Vec::new();
+        filtfilt_iir_ext_into(&f, &x, ext, &mut scratch, &mut y).unwrap();
+        prop_assert_eq!(y.len(), reference.len());
+        for (a, b) in reference.iter().zip(&y) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn butterworth_filter_in_place_bitwise_equals_allocating(x in signal(1, 300), n in 1usize..6) {
+        let f = Butterworth::lowpass(n, 20.0, 250.0).unwrap();
+        let reference = f.filter(&x);
+        let mut buf = x.clone();
+        f.filter_in_place(&mut buf);
+        for (a, b) in reference.iter().zip(&buf) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -28,7 +28,10 @@ impl fmt::Display for EcgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EcgError::RecordTooShort { len, min_len } => {
-                write!(f, "record has {len} samples but at least {min_len} are required")
+                write!(
+                    f,
+                    "record has {len} samples but at least {min_len} are required"
+                )
             }
             EcgError::InvalidParameter {
                 name,

@@ -6,18 +6,26 @@
 //! *zero-phase* 32nd-order FIR band-pass, cut-offs 0.05 Hz and 40 Hz.
 //! Both stage parameters are exposed so ablation benchmarks can vary them.
 
+use std::sync::Arc;
+
 use crate::EcgError;
+use cardiotouch_dsp::design_cache;
 use cardiotouch_dsp::fir::Fir;
 use cardiotouch_dsp::morph::{self, BaselineConfig};
 use cardiotouch_dsp::window::Window;
-use cardiotouch_dsp::zero_phase::filtfilt_fir;
+use cardiotouch_dsp::zero_phase::{filtfilt_fir_into, ZeroPhaseScratch};
 
 /// The paper's ECG conditioning chain.
+///
+/// The FIR stage is held behind an [`Arc`] obtained from the process-wide
+/// [`design_cache`], so every conditioner built with the same parameters
+/// (e.g. one per study session) shares a single coefficient set and
+/// construction skips the windowed-sinc design entirely after first use.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EcgConditioner {
     baseline: BaselineConfig,
-    bandpass: Fir,
+    bandpass: Arc<Fir>,
     baseline_enabled: bool,
 }
 
@@ -40,7 +48,7 @@ impl EcgConditioner {
         }
         Ok(Self {
             baseline: BaselineConfig::for_ecg(fs),
-            bandpass: Fir::bandpass(32, 0.05, 40.0, fs, Window::Hamming)?,
+            bandpass: design_cache::fir_bandpass(32, 0.05, 40.0, fs, Window::Hamming)?,
             baseline_enabled: true,
         })
     }
@@ -50,7 +58,7 @@ impl EcgConditioner {
     pub fn with_parts(baseline: BaselineConfig, bandpass: Fir, baseline_enabled: bool) -> Self {
         Self {
             baseline,
-            bandpass,
+            bandpass: Arc::new(bandpass),
             baseline_enabled,
         }
     }
@@ -70,6 +78,29 @@ impl EcgConditioner {
     /// than the morphological structuring elements or the filter can not
     /// run (fewer than 2 samples).
     pub fn condition(&self, x: &[f64]) -> Result<Vec<f64>, EcgError> {
+        let mut y = Vec::new();
+        self.condition_into(x, &mut ZeroPhaseScratch::new(), &mut y)?;
+        Ok(y)
+    }
+
+    /// Zero-allocation variant of [`EcgConditioner::condition`] for hot
+    /// loops: the band-pass stage reuses the caller's scratch buffers and
+    /// writes into `y` (cleared first). The morphological baseline stage
+    /// still allocates internally; it is a small fraction of the chain's
+    /// cost (the order-32 zero-phase FIR dominates).
+    ///
+    /// Bitwise-identical to [`EcgConditioner::condition`] by construction
+    /// — the allocating wrapper delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`EcgConditioner::condition`].
+    pub fn condition_into(
+        &self,
+        x: &[f64],
+        scratch: &mut ZeroPhaseScratch,
+        y: &mut Vec<f64>,
+    ) -> Result<(), EcgError> {
         let min_len = 2 * self.baseline.pit_element.len().max(2);
         if x.len() < min_len {
             return Err(EcgError::RecordTooShort {
@@ -77,12 +108,13 @@ impl EcgConditioner {
                 min_len,
             });
         }
-        let detrended = if self.baseline_enabled {
-            morph::remove_baseline(x, self.baseline)?
+        if self.baseline_enabled {
+            let detrended = morph::remove_baseline(x, self.baseline)?;
+            filtfilt_fir_into(&self.bandpass, &detrended, scratch, y)?;
         } else {
-            x.to_vec()
-        };
-        Ok(filtfilt_fir(&self.bandpass, &detrended)?)
+            filtfilt_fir_into(&self.bandpass, x, scratch, y)?;
+        }
+        Ok(())
     }
 
     /// Returns only the estimated baseline (useful for inspection and for
@@ -210,7 +242,11 @@ mod tests {
         let b = c.baseline_estimate(&x).unwrap();
         for i in (300..2200).step_by(100) {
             let truth = 0.8 * (2.0 * std::f64::consts::PI * 0.15 * i as f64 / FS).sin();
-            assert!((b[i] - truth).abs() < 0.2, "sample {i}: {} vs {truth}", b[i]);
+            assert!(
+                (b[i] - truth).abs() < 0.2,
+                "sample {i}: {} vs {truth}",
+                b[i]
+            );
         }
     }
 

@@ -164,7 +164,11 @@ mod tests {
         let rr = modulated_rr(0.25, 0.04, 120);
         let report = analyze(&rr, &HrvBands::default()).unwrap();
         // mean RR 0.85 s → ~70.6 bpm
-        assert!((report.mean_hr_bpm - 70.6).abs() < 1.5, "{}", report.mean_hr_bpm);
+        assert!(
+            (report.mean_hr_bpm - 70.6).abs() < 1.5,
+            "{}",
+            report.mean_hr_bpm
+        );
         // sinusoidal ±40 ms modulation → SDNN ≈ 40/√2 ≈ 28 ms
         assert!((20.0..40.0).contains(&report.sdnn_ms), "{}", report.sdnn_ms);
         assert!(report.rmssd_ms > 0.0);

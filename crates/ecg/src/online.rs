@@ -23,7 +23,11 @@ struct StatefulBiquad {
 
 impl StatefulBiquad {
     fn new(c: Biquad) -> Self {
-        Self { c, s1: 0.0, s2: 0.0 }
+        Self {
+            c,
+            s1: 0.0,
+            s2: 0.0,
+        }
     }
 
     fn push(&mut self, x: f64) -> f64 {
@@ -82,7 +86,11 @@ impl OnlinePanTompkins {
         let ring = (0.40 * fs).round() as usize;
         Ok(Self {
             fs,
-            sections: bp.sections().iter().map(|&c| StatefulBiquad::new(c)).collect(),
+            sections: bp
+                .sections()
+                .iter()
+                .map(|&c| StatefulBiquad::new(c))
+                .collect(),
             bp_hist: [0.0; 5],
             mwi_buf: vec![0.0; w],
             mwi_pos: 0,
@@ -123,9 +131,7 @@ impl OnlinePanTompkins {
         // five-point derivative
         self.bp_hist.rotate_left(1);
         self.bp_hist[4] = bp;
-        let d = (2.0 * self.bp_hist[4] + self.bp_hist[3]
-            - self.bp_hist[1]
-            - 2.0 * self.bp_hist[0])
+        let d = (2.0 * self.bp_hist[4] + self.bp_hist[3] - self.bp_hist[1] - 2.0 * self.bp_hist[0])
             * self.fs
             / 8.0;
         // squaring + moving-window integration
@@ -151,7 +157,9 @@ impl OnlinePanTompkins {
         if is_peak {
             let peak_val = self.mwi_hist[1];
             let peak_idx = idx - 1;
-            let since_last = self.last_r.map_or(usize::MAX, |r| peak_idx.saturating_sub(r));
+            let since_last = self
+                .last_r
+                .map_or(usize::MAX, |r| peak_idx.saturating_sub(r));
             if peak_val > self.threshold() && since_last > self.refractory {
                 self.spki = 0.125 * peak_val + 0.875 * self.spki;
                 self.pending = Some(peak_idx);
@@ -261,7 +269,10 @@ mod tests {
             let (x, truth) = synth(2, hr);
             let det = run(&x);
             let (hits, total) = score(&det, &truth, 5, 2.5);
-            assert!(hits as f64 >= 0.95 * total as f64, "hr {hr}: {hits}/{total}");
+            assert!(
+                hits as f64 >= 0.95 * total as f64,
+                "hr {hr}: {hits}/{total}"
+            );
         }
     }
 

@@ -16,7 +16,10 @@
 //! returned indices line up with the true R peaks (which the ICG beat
 //! segmentation requires).
 
+use std::sync::Arc;
+
 use crate::EcgError;
+use cardiotouch_dsp::design_cache;
 use cardiotouch_dsp::diff::five_point_derivative;
 use cardiotouch_dsp::iir::Butterworth;
 
@@ -74,7 +77,7 @@ impl Default for PanTompkinsConfig {
 pub struct PanTompkins {
     config: PanTompkinsConfig,
     fs: f64,
-    bandpass: Butterworth,
+    bandpass: Arc<Butterworth>,
 }
 
 /// Intermediate waveforms of a detection run, exposed for inspection,
@@ -124,7 +127,8 @@ impl PanTompkins {
                 constraint: "must satisfy 0 < lo < hi",
             });
         }
-        let bandpass = Butterworth::bandpass(2, config.band_lo_hz, config.band_hi_hz, fs)?;
+        let bandpass =
+            design_cache::butterworth_bandpass(2, config.band_lo_hz, config.band_hi_hz, fs)?;
         Ok(Self {
             config,
             fs,
@@ -154,7 +158,9 @@ impl PanTompkins {
         let bandpassed = self.bandpass.filter(x);
         let derivative = five_point_derivative(&bandpassed, self.fs)?;
         let squared: Vec<f64> = derivative.iter().map(|v| v * v).collect();
-        let w = (self.config.integration_window_s * self.fs).round().max(1.0) as usize;
+        let w = (self.config.integration_window_s * self.fs)
+            .round()
+            .max(1.0) as usize;
         let mut integrated = Vec::with_capacity(x.len());
         let mut acc = 0.0;
         for i in 0..squared.len() {
@@ -220,12 +226,10 @@ impl PanTompkins {
             if v > threshold1 && since_last > refractory {
                 // T-wave discrimination: a candidate close after the last
                 // beat with a much smaller slope is a T wave.
-                let is_twave = self.config.t_wave_discrimination
-                    && since_last < twave_window
-                    && {
-                        let s = slope_at(p);
-                        s < 0.5 * last_slope
-                    };
+                let is_twave = self.config.t_wave_discrimination && since_last < twave_window && {
+                    let s = slope_at(p);
+                    s < 0.5 * last_slope
+                };
                 if is_twave {
                     npki = 0.125 * v + 0.875 * npki;
                 } else {
@@ -263,9 +267,7 @@ impl PanTompkins {
                                 .filter(|&&c| c > lo && c < hi && mwi[c] > threshold2)
                                 .max_by(|&&a, &&b| mwi[a].partial_cmp(&mwi[b]).unwrap())
                             {
-                                let pos = fiducials
-                                    .binary_search(best)
-                                    .unwrap_or_else(|e| e);
+                                let pos = fiducials.binary_search(best).unwrap_or_else(|e| e);
                                 if !fiducials.contains(best) {
                                     fiducials.insert(pos, *best);
                                     spki = 0.25 * mwi[*best] + 0.75 * spki;
@@ -361,7 +363,13 @@ mod tests {
         let (x, truth) = synth(1, 30.0, 70.0);
         let det = PanTompkins::new(FS).unwrap().detect(&x).unwrap();
         let (tp, fp, fn_) = score(&det, &truth, 5);
-        assert_eq!(fn_, 0, "missed beats: truth {} det {}", truth.len(), det.len());
+        assert_eq!(
+            fn_,
+            0,
+            "missed beats: truth {} det {}",
+            truth.len(),
+            det.len()
+        );
         assert!(fp <= 1, "false positives {fp}");
         assert!(tp >= truth.len() - 1);
     }
@@ -398,9 +406,7 @@ mod tests {
     fn does_not_double_count_t_waves() {
         // Large T waves are the classic failure mode; raise T amplitude.
         let model = HeartModel::default();
-        let beats = model
-            .schedule(30.0, &mut StdRng::seed_from_u64(5))
-            .unwrap();
+        let beats = model.schedule(30.0, &mut StdRng::seed_from_u64(5)).unwrap();
         let n = (30.0 * FS) as usize;
         let mut morph = EcgMorphology::default();
         morph.t.amplitude_mv = 0.5;

@@ -104,9 +104,10 @@ mod tests {
         let n = 7500;
         let mut clean = vec![0.0; n];
         for centre in (120..n).step_by(210) {
-            for i in centre.saturating_sub(60)..(centre + 60).min(n) {
-                let t = (i as f64 - centre as f64) / 12.0;
-                clean[i] += 1.4 * (-t * t / 2.0).exp();
+            let lo = centre.saturating_sub(60);
+            for (i, c) in clean[lo..(centre + 60).min(n)].iter_mut().enumerate() {
+                let t = ((i + lo) as f64 - centre as f64) / 12.0;
+                *c += 1.4 * (-t * t / 2.0).exp();
             }
         }
         let mut dirty = clean.clone();
@@ -156,7 +157,10 @@ mod tests {
         let lw = leakage(SuppressionMethod::wavelet_default());
         let lf = leakage(SuppressionMethod::FilterChain);
         // within an order of magnitude of each other — both viable
-        assert!(lw < 10.0 * lf && lf < 10.0 * lw, "wavelet {lw} vs chain {lf}");
+        assert!(
+            lw < 10.0 * lf && lf < 10.0 * lw,
+            "wavelet {lw} vs chain {lf}"
+        );
     }
 
     #[test]
@@ -164,7 +168,12 @@ mod tests {
         // Signal-distortion side: the processed clean signal must keep
         // the beat peaks (compare peak amplitude before/after).
         let (clean, _) = contaminated();
-        let peak = |y: &[f64]| y[400..y.len() - 400].iter().cloned().fold(f64::MIN, f64::max);
+        let peak = |y: &[f64]| {
+            y[400..y.len() - 400]
+                .iter()
+                .cloned()
+                .fold(f64::MIN, f64::max)
+        };
         let p0 = peak(&clean);
         for method in [
             SuppressionMethod::FilterChain,
@@ -201,11 +210,6 @@ mod tests {
     #[test]
     fn wavelet_needs_enough_samples() {
         let short = vec![0.0; 100];
-        assert!(suppress_artifacts(
-            &short,
-            FS,
-            SuppressionMethod::Wavelet { levels: 8 }
-        )
-        .is_err());
+        assert!(suppress_artifacts(&short, FS, SuppressionMethod::Wavelet { levels: 8 }).is_err());
     }
 }

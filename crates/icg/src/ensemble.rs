@@ -31,10 +31,7 @@ impl EnsembleBeat {
     /// * [`IcgError::InvalidParameter`] when a window exceeds the record.
     pub fn average(icg: &[f64], windows: &[BeatWindow]) -> Result<Self, IcgError> {
         if windows.is_empty() {
-            return Err(IcgError::BeatTooShort {
-                len: 0,
-                min_len: 1,
-            });
+            return Err(IcgError::BeatTooShort { len: 0, min_len: 1 });
         }
         for w in windows {
             if w.end > icg.len() || w.is_empty() {
@@ -45,7 +42,11 @@ impl EnsembleBeat {
                 });
             }
         }
-        let common = windows.iter().map(BeatWindow::len).min().expect("non-empty");
+        let common = windows
+            .iter()
+            .map(BeatWindow::len)
+            .min()
+            .expect("non-empty");
         if common < 2 {
             return Err(IcgError::BeatTooShort {
                 len: common,
@@ -92,7 +93,9 @@ mod tests {
     #[test]
     fn averages_identical_beats_exactly() {
         // two identical triangular beats
-        let beat: Vec<f64> = (0..50).map(|i| (25 - (i as i64 - 25).abs()) as f64).collect();
+        let beat: Vec<f64> = (0..50)
+            .map(|i| (25 - (i as i64 - 25).abs()) as f64)
+            .collect();
         let mut icg = beat.clone();
         icg.extend_from_slice(&beat);
         let e = EnsembleBeat::average(&icg, &[window(0, 50), window(50, 100)]).unwrap();
@@ -114,9 +117,7 @@ mod tests {
     fn suppresses_uncorrelated_noise() {
         // one clean template + per-beat deterministic "noise" of
         // alternating sign — averaging 2k beats cancels it
-        let template: Vec<f64> = (0..100)
-            .map(|i| ((i as f64) * 0.1).sin())
-            .collect();
+        let template: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.1).sin()).collect();
         let beats = 20;
         let mut icg = Vec::new();
         for b in 0..beats {
@@ -125,9 +126,7 @@ mod tests {
                 icg.push(t + sign * 0.5 * ((i * 7 + 3) as f64).sin());
             }
         }
-        let windows: Vec<BeatWindow> = (0..beats)
-            .map(|b| window(b * 100, (b + 1) * 100))
-            .collect();
+        let windows: Vec<BeatWindow> = (0..beats).map(|b| window(b * 100, (b + 1) * 100)).collect();
         let e = EnsembleBeat::average(&icg, &windows).unwrap();
         for (a, t) in e.samples().iter().zip(&template) {
             assert!((a - t).abs() < 1e-9, "{a} vs {t}");

@@ -35,7 +35,10 @@ impl fmt::Display for IcgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IcgError::BeatTooShort { len, min_len } => {
-                write!(f, "beat segment has {len} samples but at least {min_len} are required")
+                write!(
+                    f,
+                    "beat segment has {len} samples but at least {min_len} are required"
+                )
             }
             IcgError::PointNotFound { point, reason } => {
                 write!(f, "{point} point not found: {reason}")
@@ -71,9 +74,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(IcgError::BeatTooShort { len: 3, min_len: 20 }
-            .to_string()
-            .contains("20"));
+        assert!(IcgError::BeatTooShort {
+            len: 3,
+            min_len: 20
+        }
+        .to_string()
+        .contains("20"));
         assert!(IcgError::PointNotFound {
             point: "B",
             reason: "no zero crossing left of B0",

@@ -16,16 +16,43 @@
 //! [`IcgConditioner::lowpass_only`] builds the literal-paper variant for
 //! the ablation benchmarks.
 
+use std::sync::Arc;
+
 use crate::IcgError;
+use cardiotouch_dsp::design_cache;
 use cardiotouch_dsp::iir::Butterworth;
-use cardiotouch_dsp::zero_phase::{filtfilt_iir, filtfilt_iir_ext};
+use cardiotouch_dsp::zero_phase::{filtfilt_iir_ext_into, filtfilt_iir_into, ZeroPhaseScratch};
+
+/// Reusable work buffers for [`IcgConditioner::condition_into`].
+///
+/// Holds the low-pass stage's intermediate output plus the shared
+/// zero-phase scratch; one instance amortises all allocation across the
+/// beats of a session (and across sessions of equal length).
+#[derive(Debug, Clone, Default)]
+pub struct IcgScratch {
+    stage: Vec<f64>,
+    zero_phase: ZeroPhaseScratch,
+}
+
+impl IcgScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The ICG conditioning chain.
+///
+/// Both Butterworth cascades are held behind [`Arc`]s obtained from the
+/// process-wide [`design_cache`], so every conditioner built with the
+/// same parameters shares one coefficient set and skips pole placement
+/// after first use.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IcgConditioner {
-    lowpass: Butterworth,
-    highpass: Option<Butterworth>,
+    lowpass: Arc<Butterworth>,
+    highpass: Option<Arc<Butterworth>>,
     fs: f64,
 }
 
@@ -46,7 +73,11 @@ impl IcgConditioner {
     /// Returns [`IcgError::InvalidParameter`] when `fs ≤ 40 Hz`.
     pub fn paper_default(fs: f64) -> Result<Self, IcgError> {
         let mut c = Self::with_cutoff(fs, 20.0, Self::DEFAULT_ORDER)?;
-        c.highpass = Some(Butterworth::highpass(2, Self::HIGHPASS_HZ, fs)?);
+        c.highpass = Some(design_cache::butterworth_highpass(
+            2,
+            Self::HIGHPASS_HZ,
+            fs,
+        )?);
         Ok(c)
     }
 
@@ -76,7 +107,7 @@ impl IcgConditioner {
             });
         }
         Ok(Self {
-            lowpass: Butterworth::lowpass(order, cutoff_hz, fs)?,
+            lowpass: design_cache::butterworth_lowpass(order, cutoff_hz, fs)?,
             highpass: None,
             fs,
         })
@@ -91,7 +122,7 @@ impl IcgConditioner {
     /// The baseline high-pass, when enabled.
     #[must_use]
     pub fn highpass(&self) -> Option<&Butterworth> {
-        self.highpass.as_ref()
+        self.highpass.as_deref()
     }
 
     /// Applies the chain with zero phase (forward–backward).
@@ -100,17 +131,44 @@ impl IcgConditioner {
     ///
     /// Returns a wrapped DSP error for records under 2 samples.
     pub fn condition(&self, x: &[f64]) -> Result<Vec<f64>, IcgError> {
-        let y = filtfilt_iir(&self.lowpass, x)?;
+        let mut y = Vec::new();
+        self.condition_into(x, &mut IcgScratch::new(), &mut y)?;
+        Ok(y)
+    }
+
+    /// Zero-allocation variant of [`IcgConditioner::condition`] for hot
+    /// loops: both filter stages reuse the caller's scratch buffers and
+    /// write into `y` (cleared first).
+    ///
+    /// Bitwise-identical to [`IcgConditioner::condition`] by construction
+    /// — the allocating wrapper delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wrapped DSP error for records under 2 samples.
+    pub fn condition_into(
+        &self,
+        x: &[f64],
+        scratch: &mut IcgScratch,
+        y: &mut Vec<f64>,
+    ) -> Result<(), IcgError> {
         match &self.highpass {
             Some(hp) => {
+                filtfilt_iir_into(
+                    &self.lowpass,
+                    x,
+                    &mut scratch.zero_phase,
+                    &mut scratch.stage,
+                )?;
                 // The 0.4 Hz corner rings for seconds; extend the edges by
                 // a full time constant (×3 internally) so its transient
                 // never reaches the analysed interior.
                 let ext = (self.fs / Self::HIGHPASS_HZ) as usize;
-                Ok(filtfilt_iir_ext(hp, &y, ext)?)
+                filtfilt_iir_ext_into(hp, &scratch.stage, ext, &mut scratch.zero_phase, y)?;
             }
-            None => Ok(y),
+            None => filtfilt_iir_into(&self.lowpass, x, &mut scratch.zero_phase, y)?,
         }
+        Ok(())
     }
 }
 

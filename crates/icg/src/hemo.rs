@@ -200,8 +200,7 @@ mod tests {
             ..base
         };
         assert!(
-            stroke_volume_kubicek(&drier, &c).unwrap()
-                < stroke_volume_kubicek(&base, &c).unwrap()
+            stroke_volume_kubicek(&drier, &c).unwrap() < stroke_volume_kubicek(&base, &c).unwrap()
         );
     }
 

@@ -97,10 +97,7 @@ impl IntervalStatistics {
     /// Returns [`IcgError::BeatTooShort`] for an empty series.
     pub fn from_series(series: &[SystolicIntervals]) -> Result<Self, IcgError> {
         if series.is_empty() {
-            return Err(IcgError::BeatTooShort {
-                len: 0,
-                min_len: 1,
-            });
+            return Err(IcgError::BeatTooShort { len: 0, min_len: 1 });
         }
         let n = series.len() as f64;
         let pep_mean = series.iter().map(|s| s.pep_s).sum::<f64>() / n;

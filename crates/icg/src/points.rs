@@ -206,8 +206,7 @@ impl PointDetector {
         let b_window = (self.b_refine_window_s * self.fs) as usize;
         let b_start = (b0_idx + 2).min(c.saturating_sub(1));
         let pattern_lo = b0_idx.saturating_sub(2 * b_window);
-        let has_pattern =
-            peaks::has_sign_pattern(&d2[pattern_lo..=c], &[true, false, true, false]);
+        let has_pattern = peaks::has_sign_pattern(&d2[pattern_lo..=c], &[true, false, true, false]);
         let (mut b, mut b_rule) = if has_pattern {
             match first_local_min_left_within(&d3, b_start, b_window) {
                 Some(idx) => (idx, BRule::ThirdDerivativeMinimum),
@@ -287,9 +286,7 @@ fn binomial_smooth(x: &[f64]) -> Vec<f64> {
     let n = x.len();
     let at = |i: isize| -> f64 { x[i.clamp(0, n as isize - 1) as usize] };
     (0..n as isize)
-        .map(|i| {
-            (at(i - 2) + 4.0 * at(i - 1) + 6.0 * at(i) + 4.0 * at(i + 1) + at(i + 2)) / 16.0
-        })
+        .map(|i| (at(i - 2) + 4.0 * at(i - 1) + 6.0 * at(i) + 4.0 * at(i + 1) + at(i + 2)) / 16.0)
         .collect()
 }
 
@@ -425,7 +422,10 @@ mod tests {
         for (v, n) in icg.iter_mut().zip(&noise) {
             *v += n;
         }
-        let clean = IcgConditioner::paper_default(FS).unwrap().condition(&icg).unwrap();
+        let clean = IcgConditioner::paper_default(FS)
+            .unwrap()
+            .condition(&icg)
+            .unwrap();
         let det = detector();
         let mut ok = 0;
         let mut total = 0;

@@ -134,8 +134,8 @@ mod tests {
         let (mut icg, windows) = synth();
         // wreck the 4th beat with a big burst
         let w = windows[3];
-        for i in w.r..w.end {
-            icg[i] += 3.0 * ((i - w.r) as f64 * 0.9).sin();
+        for (i, v) in icg[w.r..w.end].iter_mut().enumerate() {
+            *v += 3.0 * (i as f64 * 0.9).sin();
         }
         let report = QualityReport::assess(&icg, &windows).unwrap();
         let (wrecked, sqi) = report.beats[3];

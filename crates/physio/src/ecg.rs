@@ -144,9 +144,7 @@ mod tests {
             if idx < 3 || idx + 3 >= x.len() {
                 continue;
             }
-            let local_max = (idx - 3..=idx + 3)
-                .map(|i| x[i])
-                .fold(f64::MIN, f64::max);
+            let local_max = (idx - 3..=idx + 3).map(|i| x[i]).fold(f64::MIN, f64::max);
             assert!(
                 x[idx] >= 0.95 * local_max && x[idx] > 0.5,
                 "R at {idx} is not a dominant local max"

@@ -99,7 +99,12 @@ impl EcgsynModel {
     ///
     /// Returns [`PhysioError::InvalidParameter`] for an empty schedule or
     /// a non-positive sampling rate.
-    pub fn render(&self, schedule: &[Beat], n: usize, fs: f64) -> Result<EcgsynOutput, PhysioError> {
+    pub fn render(
+        &self,
+        schedule: &[Beat],
+        n: usize,
+        fs: f64,
+    ) -> Result<EcgsynOutput, PhysioError> {
         if schedule.is_empty() {
             return Err(PhysioError::InvalidParameter {
                 name: "schedule",
@@ -130,7 +135,7 @@ impl EcgsynModel {
         let first_r = schedule[0].t_r;
         let w0 = 2.0 * pi / schedule[0].rr;
         let mut theta = -w0 * first_r; // phase at t = 0
-        // wrap into (-π, π]
+                                       // wrap into (-π, π]
         theta = wrap(theta);
         let (mut x, mut y) = (theta.cos(), theta.sin());
         let mut z = 0.0;
@@ -171,7 +176,10 @@ impl EcgsynModel {
             prev_theta = th;
             ecg.push(z * self.scale_mv);
         }
-        Ok(EcgsynOutput { ecg_mv: ecg, r_peaks })
+        Ok(EcgsynOutput {
+            ecg_mv: ecg,
+            r_peaks,
+        })
     }
 }
 
@@ -252,7 +260,10 @@ mod tests {
         let t_max = t_region.iter().cloned().fold(f64::MIN, f64::max);
         assert!(t_max > 0.02, "T wave missing: {t_max}");
         // S dip right after R
-        let s_min = seg[1..seg.len() / 8].iter().cloned().fold(f64::MAX, f64::min);
+        let s_min = seg[1..seg.len() / 8]
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
         assert!(s_min < -0.02, "S wave missing: {s_min}");
     }
 

@@ -33,7 +33,10 @@ impl fmt::Display for PhysioError {
                 constraint,
             } => write!(f, "parameter {name} = {value} is invalid: {constraint}"),
             PhysioError::DurationTooShort { duration_s, min_s } => {
-                write!(f, "duration {duration_s} s is too short; need at least {min_s} s")
+                write!(
+                    f,
+                    "duration {duration_s} s is too short; need at least {min_s} s"
+                )
             }
             PhysioError::Dsp(e) => write!(f, "dsp error: {e}"),
         }

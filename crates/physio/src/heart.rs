@@ -131,12 +131,9 @@ impl HeartModel {
         // a run-in region.
         let mut t = 0.3 * rr_mean;
         while t < duration_s {
-            let rsa = self.rsa_depth_s
-                * (2.0 * std::f64::consts::PI * self.resp_rate_hz * t).sin();
-            let rr = (rr_mean + rsa + self.rr_jitter_s * g.sample(rng)).clamp(
-                0.5 * rr_mean,
-                1.5 * rr_mean,
-            );
+            let rsa = self.rsa_depth_s * (2.0 * std::f64::consts::PI * self.resp_rate_hz * t).sin();
+            let rr = (rr_mean + rsa + self.rr_jitter_s * g.sample(rng))
+                .clamp(0.5 * rr_mean, 1.5 * rr_mean);
             let hr = 60.0 / rr;
             let pep = self.pep_at(hr) + 0.002 * g.sample(rng);
             let lvet = self.lvet_at(hr) + 0.004 * g.sample(rng);
@@ -197,7 +194,12 @@ mod tests {
             assert!((w[0].t_r + w[0].rr - w[1].t_r).abs() < 1e-12);
         }
         for b in &beats {
-            assert!(b.pep > 0.0 && b.lvet > b.pep, "pep {} lvet {}", b.pep, b.lvet);
+            assert!(
+                b.pep > 0.0 && b.lvet > b.pep,
+                "pep {} lvet {}",
+                b.pep,
+                b.lvet
+            );
             assert!(b.t_b() < b.t_x());
             assert!(b.pep < 0.2, "pep out of physiological range");
             assert!(b.lvet > 0.15 && b.lvet < 0.45);
@@ -249,6 +251,9 @@ mod tests {
         let rrs: Vec<f64> = beats.iter().map(|b| b.rr).collect();
         let spread = rrs.iter().cloned().fold(f64::MIN, f64::max)
             - rrs.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(spread > 0.05, "RSA should spread RR by ~2×depth, got {spread}");
+        assert!(
+            spread > 0.05,
+            "RSA should spread RR by ~2×depth, got {spread}"
+        );
     }
 }

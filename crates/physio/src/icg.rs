@@ -123,7 +123,12 @@ impl IcgMorphology {
             // the detector's primary rule to find.
             let waves = [
                 (t_b - 0.090, sigma_a, sigma_a, -self.a_frac * amp),
-                (t_b, Self::B_NOTCH_SIGMA_S, Self::B_NOTCH_SIGMA_S, -0.06 * amp),
+                (
+                    t_b,
+                    Self::B_NOTCH_SIGMA_S,
+                    Self::B_NOTCH_SIGMA_S,
+                    -0.06 * amp,
+                ),
                 (t_c, sigma_cl, sigma_cr, amp),
                 (t_trough, sigma_xl, sigma_xr, -self.x_frac * amp),
                 (t_trough + 0.15, sigma_o, sigma_o, self.o_frac * amp),
@@ -260,9 +265,9 @@ mod tests {
             let lo = lm.r;
             let hi = (lm.x + 30).min(n);
             let (mut best, mut best_v) = (lo, f64::MIN);
-            for i in lo..hi {
-                if x[i] > best_v {
-                    best_v = x[i];
+            for (i, &v) in x.iter().enumerate().take(hi).skip(lo) {
+                if v > best_v {
+                    best_v = v;
                     best = i;
                 }
             }
@@ -285,9 +290,9 @@ mod tests {
             let lo = lm.c;
             let hi = (lm.x + 30).min(n);
             let (mut best, mut best_v) = (lo, f64::MAX);
-            for i in lo..hi {
-                if x[i] < best_v {
-                    best_v = x[i];
+            for (i, &v) in x.iter().enumerate().take(hi).skip(lo) {
+                if v < best_v {
+                    best_v = v;
                     best = i;
                 }
             }
@@ -307,11 +312,7 @@ mod tests {
         let n = (12.0 * FS) as usize;
         let x = m.render_dzdt(&sched, n, FS);
         for lm in m.landmarks(&sched, n, FS) {
-            assert!(
-                x[lm.b].abs() < 0.18 * m.dzdt_max,
-                "ICG at B = {}",
-                x[lm.b]
-            );
+            assert!(x[lm.b].abs() < 0.18 * m.dzdt_max, "ICG at B = {}", x[lm.b]);
         }
     }
 
@@ -387,8 +388,7 @@ mod tests {
         let m = IcgMorphology::default();
         let n = 2048;
         let x = m.render_dzdt(&sched, n, FS);
-        let frac =
-            cardiotouch_dsp::spectrum::power_fraction_above(&x, 20.0, FS).unwrap();
+        let frac = cardiotouch_dsp::spectrum::power_fraction_above(&x, 20.0, FS).unwrap();
         assert!(frac < 0.02, "fraction of power above 20 Hz: {frac}");
     }
 }

@@ -71,7 +71,9 @@ impl MotionModel {
         if self.rms_ohm == 0.0 || n == 0 {
             return Ok(vec![0.0; n]);
         }
-        if !(self.band_lo_hz > 0.0 && self.band_hi_hz > self.band_lo_hz && self.band_hi_hz < fs / 2.0)
+        if !(self.band_lo_hz > 0.0
+            && self.band_hi_hz > self.band_lo_hz
+            && self.band_hi_hz < fs / 2.0)
         {
             return Err(PhysioError::InvalidParameter {
                 name: "band",

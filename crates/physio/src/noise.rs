@@ -46,13 +46,7 @@ pub fn white<R: Rng + ?Sized>(n: usize, sigma: f64, rng: &mut R) -> Vec<f64> {
 /// `n` samples of a powerline interference tone: `amp · sin(2π f t + φ)`
 /// with slow ±2 % amplitude flutter, at sampling rate `fs`.
 #[must_use]
-pub fn powerline<R: Rng + ?Sized>(
-    n: usize,
-    f_hz: f64,
-    amp: f64,
-    fs: f64,
-    rng: &mut R,
-) -> Vec<f64> {
+pub fn powerline<R: Rng + ?Sized>(n: usize, f_hz: f64, amp: f64, fs: f64, rng: &mut R) -> Vec<f64> {
     let phase: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
     let flutter_phase: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
     (0..n)

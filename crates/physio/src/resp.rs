@@ -74,9 +74,7 @@ impl RespirationModel {
             .map(|i| {
                 let t = i as f64 / fs;
                 let inst_rate = self.rate_hz
-                    * (1.0
-                        + 0.1
-                            * (2.0 * std::f64::consts::PI * 0.02 * t + wander_phase).sin());
+                    * (1.0 + 0.1 * (2.0 * std::f64::consts::PI * 0.02 * t + wander_phase).sin());
                 ph += 2.0 * std::f64::consts::PI * inst_rate / fs;
                 self.depth_ohm * (ph.sin() + self.harmonic * (2.0 * ph).sin())
             })
@@ -106,8 +104,7 @@ mod tests {
         let m = RespirationModel::default();
         let mut rng = StdRng::seed_from_u64(2);
         let x = m.render(4000, fs, &mut rng).unwrap();
-        let frac_above_2hz =
-            cardiotouch_dsp::spectrum::power_fraction_above(&x, 2.0, fs).unwrap();
+        let frac_above_2hz = cardiotouch_dsp::spectrum::power_fraction_above(&x, 2.0, fs).unwrap();
         assert!(frac_above_2hz < 0.01, "{frac_above_2hz}");
     }
 

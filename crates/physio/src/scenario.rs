@@ -149,7 +149,10 @@ impl PairedRecording {
         let chest_noise = noise::white(n, subject.sensor_noise_rms_ohm(), &mut mix(4));
         let traditional_z: Vec<f64> = (0..n)
             .map(|i| {
-                traditional_z0 + delta_z_cardiac[i] + resp_thorax[i] + chest_motion[i]
+                traditional_z0
+                    + delta_z_cardiac[i]
+                    + resp_thorax[i]
+                    + chest_motion[i]
                     + chest_noise[i]
             })
             .collect();
@@ -190,7 +193,13 @@ impl PairedRecording {
         } else {
             0.0
         };
-        let mains = noise::powerline(n, protocol.powerline_hz, protocol.powerline_mv, fs, &mut mix(8));
+        let mains = noise::powerline(
+            n,
+            protocol.powerline_hz,
+            protocol.powerline_mv,
+            fs,
+            &mut mix(8),
+        );
         let ecg_noise = noise::white(n, protocol.ecg_noise_mv, &mut mix(9));
         for i in 0..n {
             device_ecg[i] += wander_scale * resp_thorax[i] + mains[i] + ecg_noise[i];

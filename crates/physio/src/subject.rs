@@ -354,11 +354,7 @@ mod tests {
     #[test]
     fn subjects_differ_in_heart_rate() {
         let p = Population::reference_five();
-        let hrs: Vec<f64> = p
-            .subjects()
-            .iter()
-            .map(|s| s.heart().hr_mean_bpm)
-            .collect();
+        let hrs: Vec<f64> = p.subjects().iter().map(|s| s.heart().hr_mean_bpm).collect();
         let spread = hrs.iter().cloned().fold(f64::MIN, f64::max)
             - hrs.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 10.0);

@@ -109,7 +109,12 @@ impl ColeCole {
                 constraint: "must be positive and finite",
             });
         }
-        Self::new(self.r0 * factor, self.r_inf * factor, self.tau_s, self.alpha)
+        Self::new(
+            self.r0 * factor,
+            self.r_inf * factor,
+            self.tau_s,
+            self.alpha,
+        )
     }
 
     /// Complex impedance at frequency `f` hertz, as `(re, im)` ohms.
@@ -252,15 +257,25 @@ pub mod segments {
     /// fc ≈ 30 kHz.
     #[must_use]
     pub fn thorax() -> ColeCole {
-        ColeCole::new(32.0, 22.0, 1.0 / (2.0 * std::f64::consts::PI * 30_000.0), 0.65)
-            .expect("catalogue parameters are valid")
+        ColeCole::new(
+            32.0,
+            22.0,
+            1.0 / (2.0 * std::f64::consts::PI * 30_000.0),
+            0.65,
+        )
+        .expect("catalogue parameters are valid")
     }
 
     /// One arm, wrist-to-shoulder: R0 ≈ 230 Ω, R∞ ≈ 140 Ω, fc ≈ 40 kHz.
     #[must_use]
     pub fn arm() -> ColeCole {
-        ColeCole::new(230.0, 140.0, 1.0 / (2.0 * std::f64::consts::PI * 40_000.0), 0.7)
-            .expect("catalogue parameters are valid")
+        ColeCole::new(
+            230.0,
+            140.0,
+            1.0 / (2.0 * std::f64::consts::PI * 40_000.0),
+            0.7,
+        )
+        .expect("catalogue parameters are valid")
     }
 }
 

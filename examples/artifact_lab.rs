@@ -99,17 +99,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (ok, lvet_mae / counted.max(1) as f64 * 1e3)
     };
     let (ok, mae) = bcx_score(&icg);
-    println!("  raw + artifacts:          {ok}/{} beats ok, LVET MAE {mae:.1} ms", lms.len() - 1);
+    println!(
+        "  raw + artifacts:          {ok}/{} beats ok, LVET MAE {mae:.1} ms",
+        lms.len() - 1
+    );
     let lp_only = IcgConditioner::lowpass_only(FS)?.condition(&icg)?;
     let (ok, mae) = bcx_score(&lp_only);
-    println!("  20 Hz low-pass only:      {ok}/{} beats ok, LVET MAE {mae:.1} ms", lms.len() - 1);
+    println!(
+        "  20 Hz low-pass only:      {ok}/{} beats ok, LVET MAE {mae:.1} ms",
+        lms.len() - 1
+    );
     let full = IcgConditioner::paper_default(FS)?.condition(&icg)?;
     let (ok, mae) = bcx_score(&full);
-    println!("  + baseline high-pass:     {ok}/{} beats ok, LVET MAE {mae:.1} ms", lms.len() - 1);
+    println!(
+        "  + baseline high-pass:     {ok}/{} beats ok, LVET MAE {mae:.1} ms",
+        lms.len() - 1
+    );
     // the related-work baseline: wavelet respiratory cancellation [16][17]
     use cardiotouch_icg::artifact::{suppress_artifacts, SuppressionMethod};
     let wav = suppress_artifacts(&icg, FS, SuppressionMethod::wavelet_default())?;
     let (ok, mae) = bcx_score(&wav);
-    println!("  wavelet baseline [16,17]: {ok}/{} beats ok, LVET MAE {mae:.1} ms", lms.len() - 1);
+    println!(
+        "  wavelet baseline [16,17]: {ok}/{} beats ok, LVET MAE {mae:.1} ms",
+        lms.len() - 1
+    );
     Ok(())
 }

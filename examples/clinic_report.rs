@@ -40,12 +40,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let st = analysis.intervals()?;
     println!("hemodynamics (50 kHz, Position 1, 30 s)");
     println!("  HR    {:6.1} bpm", analysis.mean_hr_bpm()?);
-    println!("  PEP   {:6.1} ± {:.1} ms", st.pep_mean_s * 1e3, st.pep_sd_s * 1e3);
-    println!("  LVET  {:6.1} ± {:.1} ms", st.lvet_mean_s * 1e3, st.lvet_sd_s * 1e3);
+    println!(
+        "  PEP   {:6.1} ± {:.1} ms",
+        st.pep_mean_s * 1e3,
+        st.pep_sd_s * 1e3
+    );
+    println!(
+        "  LVET  {:6.1} ± {:.1} ms",
+        st.lvet_mean_s * 1e3,
+        st.lvet_sd_s * 1e3
+    );
     if let (Some(sv), Some(co)) = (analysis.mean_sv_kubicek_ml(), analysis.mean_co_l_per_min()) {
         println!("  SV    {sv:6.1} ml    CO {co:5.2} l/min");
     }
-    println!("  Z0    {:6.1} ohm   TFC {:.2} 1/kohm", analysis.z0_ohm(), analysis.tfc()?);
+    println!(
+        "  Z0    {:6.1} ohm   TFC {:.2} 1/kohm",
+        analysis.z0_ohm(),
+        analysis.tfc()?
+    );
 
     // --- smoothed display trend -----------------------------------------
     let mut lvet_trend = ParameterTrend::display_default();
@@ -53,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for b in analysis.valid_beats() {
         last = lvet_trend.ingest(b.lvet_s * 1e3)?;
     }
-    println!("  LVET display trend after {} beats: {last:.0} ms", lvet_trend.beats_seen());
+    println!(
+        "  LVET display trend after {} beats: {last:.0} ms",
+        lvet_trend.beats_seen()
+    );
 
     // --- signal quality ---------------------------------------------------
     let windows = segment_beats(
@@ -81,7 +96,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rr = RrSeries::from_peaks(analysis.r_peaks(), protocol.fs)?;
     let hrv = hrv_analyze(&rr, &HrvBands::default())?;
     println!("\nheart-rate variability");
-    println!("  SDNN {:5.1} ms   RMSSD {:5.1} ms   pNN50 {:4.1} %", hrv.sdnn_ms, hrv.rmssd_ms, hrv.pnn50 * 100.0);
+    println!(
+        "  SDNN {:5.1} ms   RMSSD {:5.1} ms   pNN50 {:4.1} %",
+        hrv.sdnn_ms,
+        hrv.rmssd_ms,
+        hrv.pnn50 * 100.0
+    );
     println!("  LF/HF ratio {:.2}", hrv.lf_hf_ratio);
 
     // --- bioimpedance spectroscopy over the 4-frequency sweep --------------

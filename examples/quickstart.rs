@@ -24,9 +24,7 @@ fn main() -> Result<(), CoreError> {
     //    systolic time intervals, stroke volume. The SV formulas expect a
     //    chest-band Z0, so the touch session supplies the subject's
     //    thoracic calibration value.
-    let pipeline = Pipeline::new(
-        PipelineConfig::paper_default(protocol.fs).with_hemo_z0(28.0),
-    )?;
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(protocol.fs).with_hemo_z0(28.0))?;
     let analysis = pipeline.analyze(recording.device_ecg(), recording.device_z())?;
 
     // 3. Read out what the device would stream over BLE.

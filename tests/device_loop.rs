@@ -29,11 +29,7 @@ fn beat_stream_to_uplink_round_trip_and_radio_budget() {
         BeatStream::new(PipelineConfig::paper_default(protocol.fs)).expect("valid config");
     let mut records = Vec::new();
     let z0 = rec.device_z().iter().sum::<f64>() / rec.device_z().len() as f64;
-    for (e, z) in rec
-        .device_ecg()
-        .chunks(125)
-        .zip(rec.device_z().chunks(125))
-    {
+    for (e, z) in rec.device_ecg().chunks(125).zip(rec.device_z().chunks(125)) {
         for beat in stream.push(e, z).expect("valid chunk") {
             records.push(ParameterRecord {
                 sequence: records.len() as u16,

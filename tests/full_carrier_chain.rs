@@ -55,8 +55,8 @@ fn carrier_level_simulation_matches_direct_channel() {
     //    once the demodulator's start-up transient has passed.
     let settle = (1.0 * fs_phys) as usize;
     let mut worst = 0.0f64;
-    for i in settle..z_rec.len() {
-        worst = worst.max((z_rec[i] - rec.device_z()[i]).abs());
+    for (a, b) in z_rec[settle..].iter().zip(&rec.device_z()[settle..]) {
+        worst = worst.max((a - b).abs());
     }
     assert!(worst < 1.0, "worst Z reconstruction error {worst} ohm");
 
@@ -66,7 +66,9 @@ fn carrier_level_simulation_matches_direct_channel() {
     let direct = pipeline
         .analyze(rec.device_ecg(), rec.device_z())
         .expect("direct channel analyses");
-    let via_carrier = pipeline.analyze(ecg, &z_rec).expect("carrier channel analyses");
+    let via_carrier = pipeline
+        .analyze(ecg, &z_rec)
+        .expect("carrier channel analyses");
 
     let d = direct.intervals().expect("beats");
     let c = via_carrier.intervals().expect("beats");

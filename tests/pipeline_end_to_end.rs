@@ -50,8 +50,8 @@ fn hr_matches_truth_for_all_subjects_and_positions() {
                 .analyze(rec.device_ecg(), rec.device_z())
                 .expect("analysis succeeds");
             let truth = rec.truth();
-            let truth_hr = 60.0
-                / (truth.beats.iter().map(|b| b.rr).sum::<f64>() / truth.beats.len() as f64);
+            let truth_hr =
+                60.0 / (truth.beats.iter().map(|b| b.rr).sum::<f64>() / truth.beats.len() as f64);
             let hr = analysis.mean_hr_bpm().expect("enough beats");
             assert!(
                 (hr - truth_hr).abs() < 3.0,
@@ -71,10 +71,8 @@ fn intervals_track_truth_across_subjects() {
             .expect("analysis succeeds");
         let st = analysis.intervals().expect("has valid beats");
         let truth = rec.truth();
-        let truth_pep =
-            truth.beats.iter().map(|b| b.pep).sum::<f64>() / truth.beats.len() as f64;
-        let truth_lvet =
-            truth.beats.iter().map(|b| b.lvet).sum::<f64>() / truth.beats.len() as f64;
+        let truth_pep = truth.beats.iter().map(|b| b.pep).sum::<f64>() / truth.beats.len() as f64;
+        let truth_lvet = truth.beats.iter().map(|b| b.lvet).sum::<f64>() / truth.beats.len() as f64;
         // Subjects 4 and 5 carry deliberately heavy touch-motion levels;
         // their PEP runs high because the outlier gate truncates only the
         // too-short side, so the tolerance is wider than for a clean

@@ -1,0 +1,67 @@
+//! The position study must be **bit-identical at any thread count**: every
+//! (subject, position, frequency) session derives its own RNG streams from
+//! the study seed, so parallel evaluation order cannot leak into results.
+//! This is the contract that makes `--threads` a pure wall-clock knob.
+
+use cardiotouch::experiment::{run_position_study, StudyConfig, StudyOutcome};
+use cardiotouch_physio::scenario::Protocol;
+use cardiotouch_physio::subject::Population;
+use rayon::ThreadPoolBuilder;
+
+fn quick_config() -> StudyConfig {
+    // 12 s sessions keep the test fast while preserving ≥ 12 beats.
+    StudyConfig {
+        protocol: Protocol {
+            duration_s: 12.0,
+            ..Protocol::paper_default()
+        },
+        ..StudyConfig::paper_default()
+    }
+}
+
+fn run_with_threads(n: usize, population: &Population, config: &StudyConfig) -> StudyOutcome {
+    ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("thread pool")
+        .install(|| run_position_study(population, config))
+        .expect("study run")
+}
+
+#[test]
+fn study_is_bit_identical_across_thread_counts() {
+    let population = Population::reference_five();
+    let config = quick_config();
+    let serial = run_with_threads(1, &population, &config);
+    for n in [2, 4, 8] {
+        let parallel = run_with_threads(n, &population, &config);
+        // StudyOutcome's PartialEq compares every f64 exactly, so this is
+        // bitwise equality of all tables, profiles, errors and rows (no
+        // value is NaN — the serial run's assertions below guard that).
+        assert_eq!(serial, parallel, "{n} threads changed the study outcome");
+    }
+    assert!(serial.summary.mean_correlation.is_finite());
+    assert!(serial.summary.worst_error.is_finite());
+}
+
+#[test]
+fn same_seed_reproduces_the_same_outcome() {
+    let population = Population::reference_five();
+    let config = quick_config();
+    let a = run_with_threads(2, &population, &config);
+    let b = run_with_threads(2, &population, &config);
+    assert_eq!(a, b, "same seed and thread count must reproduce exactly");
+}
+
+#[test]
+fn different_seed_changes_the_outcome() {
+    let population = Population::reference_five();
+    let config = quick_config();
+    let other = StudyConfig {
+        seed: config.seed + 1,
+        ..config.clone()
+    };
+    let a = run_with_threads(2, &population, &config);
+    let b = run_with_threads(2, &population, &other);
+    assert_ne!(a, b, "the seed must actually drive the session RNG");
+}

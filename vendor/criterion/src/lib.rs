@@ -1,0 +1,276 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! The build container has no access to crates.io, so the real criterion
+//! crate can never resolve. This stand-in implements the subset of its API
+//! that the workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] with throughput/sample-size knobs,
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock timing loop.
+//!
+//! It reports median iteration time and derived throughput per benchmark
+//! on stdout. It intentionally performs no statistical outlier analysis,
+//! no warm-up tuning, no HTML reports and no baseline storage; the
+//! workspace's regression tracking lives in the `perf_bench` binary
+//! instead, which emits machine-readable JSON.
+//!
+//! Measurements use [`std::hint::black_box`] to keep the optimizer from
+//! deleting benchmarked work, same as upstream.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark unless overridden with
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Target wall-clock time for one sample; the per-sample iteration count
+/// is calibrated so a sample takes roughly this long.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
+
+/// Benchmark registry and entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, None, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+}
+
+/// Units processed per iteration, used to derive throughput figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements (e.g. samples).
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into an id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Uses the parameter alone as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A set of related benchmarks sharing throughput and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used to derive rate figures.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times a closure under this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Times a closure over a borrowed input under this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_benchmark(&name, self.throughput, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Upstream finalizes reports here; the stand-in
+    /// prints per-benchmark lines eagerly, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` `self.iters` times, timing the whole batch.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrates an iteration count, collects samples and prints the median.
+fn run_benchmark<F>(name: &str, throughput: Option<Throughput>, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibration: grow the batch until one batch reaches the target time.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+            break;
+        }
+        // Aim directly for the target using the observed per-iter time.
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        let needed = if per_iter > 0.0 {
+            (TARGET_SAMPLE_TIME.as_secs_f64() / per_iter).ceil() as u64
+        } else {
+            iters * 2
+        };
+        iters = needed.clamp(iters + 1, iters * 10);
+    }
+
+    let mut per_iter_ns: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.3} Melem/s", n as f64 / median * 1e3),
+        Throughput::Bytes(n) => format!(" ({:.3} MB/s", n as f64 / median * 1e3),
+    });
+    println!(
+        "{name:<55} time: {}{}",
+        format_ns(median),
+        rate.map(|r| r + ")").unwrap_or_default()
+    );
+}
+
+/// Formats a nanosecond figure with an appropriate unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner function, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench-harness `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_the_batch() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut calls = 0u64;
+        g.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert!(calls > 0, "routine must have been invoked");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(512.0), "512.0 ns");
+        assert_eq!(format_ns(2_500.0), "2.50 us");
+        assert_eq!(format_ns(3_000_000.0), "3.00 ms");
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! The build container has no access to crates.io, so the real rayon crate
+//! can never resolve. This stand-in provides the subset the workspace uses
+//! — [`prelude::IntoParallelIterator`] / [`prelude::ParallelIterator`]
+//! with `map` + `collect`, [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//! and [`current_num_threads`] — implemented with `std::thread::scope`
+//! over a shared work queue, entirely in safe code.
+//!
+//! Unlike upstream rayon there is no work-stealing deque and no persistent
+//! worker pool: each `collect` spawns scoped OS threads that drain an
+//! index-tagged queue and the results are re-ordered before returning.
+//! That is the right trade-off here because the workspace only
+//! parallelizes coarse session-level work (each unit is milliseconds of
+//! DSP), where thread spawn cost is noise. Ordering — and therefore
+//! bit-identical output at any thread count — is guaranteed by tagging
+//! each item with its source index.
+//!
+//! Thread-count resolution order: [`ThreadPool::install`] override on the
+//! current thread, then [`ThreadPoolBuilder::build_global`], then the
+//! `RAYON_NUM_THREADS` environment variable, then
+//! `std::thread::available_parallelism`.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global thread count set by [`ThreadPoolBuilder::build_global`]
+/// (0 = unset).
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`].
+    static INSTALLED_NUM_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Returns the number of threads parallel iterators will use on this
+/// thread, honoring `install` overrides, the global pool, the
+/// `RAYON_NUM_THREADS` environment variable and the machine's available
+/// parallelism, in that order.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Some(n) = INSTALLED_NUM_THREADS.with(Cell::get) {
+        return n;
+    }
+    let global = GLOBAL_NUM_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]; the stand-in never
+/// actually fails to build, so this is uninhabited in practice but kept
+/// for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with automatic thread count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count; 0 means automatic.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a pool handle carrying the configured thread count.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+
+    /// Sets the process-wide default thread count.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let pool = self.build()?;
+        GLOBAL_NUM_THREADS.store(pool.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Handle scoping a thread count over a region of code.
+///
+/// The stand-in holds no live workers; threads are spawned per `collect`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it executes (on this thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_NUM_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        // Restore on unwind too, so a panicking op doesn't leak the
+        // override into unrelated work on this thread.
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_NUM_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+
+    /// Returns this pool's configured thread count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Order-preserving parallel map: applies `f` to every item using up to
+/// [`current_num_threads`] scoped threads draining a shared queue.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let workers = current_num_threads().min(len);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let job = queue.lock().expect("queue poisoned").pop_front();
+                let Some((index, item)) = job else { break };
+                let result = f(item);
+                done.lock().expect("results poisoned").push((index, result));
+            });
+        }
+    });
+    let mut tagged = done.into_inner().expect("results poisoned");
+    tagged.sort_unstable_by_key(|&(index, _)| index);
+    tagged.into_iter().map(|(_, result)| result).collect()
+}
+
+pub mod iter {
+    //! Parallel iterator traits and adapters (`rayon::iter` subset).
+
+    use super::parallel_map;
+
+    /// Conversion into a parallel iterator, by value.
+    pub trait IntoParallelIterator {
+        /// Element type produced by the iterator.
+        type Item: Send;
+        /// Concrete parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Borrowing conversion into a parallel iterator over `&T`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type produced by the iterator (a reference).
+        type Item: Send + 'data;
+        /// Concrete parallel iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Creates a parallel iterator over references into `self`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// The parallel-iterator operations the workspace uses.
+    ///
+    /// Execution is deferred to [`ParallelIterator::collect`]; adapters
+    /// only record the mapping closure.
+    pub trait ParallelIterator: Sized {
+        /// Element type produced by the iterator.
+        type Item: Send;
+
+        /// Materializes the items, running any recorded maps in parallel.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Maps every element through `f` (in parallel at execution).
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Executes the pipeline and collects into `C`.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_ordered_vec(self.run())
+        }
+
+        /// Executes the pipeline for its effects, discarding results.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            self.map(f).run();
+        }
+    }
+
+    /// Collection types buildable from an ordered parallel result.
+    pub trait FromParallelIterator<T> {
+        /// Builds `Self` from items in their original source order.
+        fn from_ordered_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+            items.into_iter().collect()
+        }
+    }
+
+    /// Base parallel iterator over an owned set of items.
+    #[derive(Debug)]
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+        fn run(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// Lazy map adapter; the closure runs in parallel at `collect`.
+    #[derive(Debug)]
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+        fn run(self) -> Vec<R> {
+            parallel_map(self.base.run(), &self.f)
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<T>;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = ParIter<usize>;
+        fn into_par_iter(self) -> ParIter<usize> {
+            ParIter {
+                items: self.collect(),
+            }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = ParIter<&'data T>;
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = ParIter<&'data T>;
+        fn par_iter(&'data self) -> ParIter<&'data T> {
+            self.as_slice().par_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_collect_is_order_stable_across_thread_counts() {
+        let serial: Vec<u64> = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool")
+            .install(|| (0..64).into_par_iter().map(|i| (i as u64) << 3).collect());
+        for n in [2, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("pool");
+            let parallel: Vec<u64> =
+                pool.install(|| (0..64).into_par_iter().map(|i| (i as u64) << 3).collect());
+            assert_eq!(serial, parallel, "thread count {n} changed results");
+        }
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let ok: Result<Vec<usize>, String> = vec![1usize, 2, 3]
+            .into_par_iter()
+            .map(Ok::<usize, String>)
+            .collect();
+        assert_eq!(ok.expect("all ok"), vec![1, 2, 3]);
+
+        let err: Result<Vec<usize>, String> = vec![1usize, 2, 3]
+            .into_par_iter()
+            .map(|i| {
+                if i == 2 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(err.expect_err("second item fails"), "boom");
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("pool");
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(
+            INSTALLED_NUM_THREADS.with(std::cell::Cell::get),
+            Some(3),
+            "override must not leak past install"
+        );
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let doubled: Vec<f64> = data.par_iter().map(|v| v * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+        assert_eq!(data.len(), 3, "source still usable after par_iter");
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build container has no access to crates.io, and nothing in the
+//! workspace serializes data through serde at runtime — the dependency
+//! exists only behind optional `serde` cargo features on model types.
+//! This stand-in keeps those feature gates compiling: [`Serialize`] and
+//! [`Deserialize`] are marker traits blanket-implemented for every type,
+//! and the `derive` feature re-exports no-op derive macros.
+//!
+//! If real serialization is ever needed, replace this vendored crate with
+//! the upstream one; no workspace code changes are required.
+
+/// Marker stand-in for `serde::Serialize`; implemented by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de> + ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn blanket_impls_cover_arbitrary_types() {
+        assert_serialize::<Vec<f64>>();
+        assert_deserialize::<(u8, String)>();
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate blanket-implements its marker traits for
+//! every type, so these derives legitimately have nothing to generate —
+//! they exist so `#[derive(serde::Serialize, serde::Deserialize)]` (and
+//! the `cfg_attr` forms used throughout the workspace) compile unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
