@@ -1,19 +1,26 @@
 //! Machine-readable performance snapshot: `cargo run --release --bin
 //! perf_bench` writes `BENCH_<date>.json` with per-kernel throughput
-//! (samples/sec over a paper-length 30 s session) and end-to-end study
-//! throughput (sessions/sec), so perf regressions show up as a diff on a
-//! committed file rather than an anecdote.
+//! (samples/sec over a paper-length 30 s session), end-to-end study
+//! throughput (sessions/sec), and the streaming-engine comparison: the
+//! incremental O(hop) `BeatStream` vs the windowed re-analysis baseline,
+//! with per-hop latency percentiles and the filter-design-cache hit
+//! statistics. Perf regressions show up as a diff on a committed file
+//! rather than an anecdote.
 //!
 //! Unlike the criterion benches (which need `cargo bench` and print
 //! human-oriented tables), this binary runs in seconds and emits one JSON
-//! document. An optional first argument overrides the output path; `-`
-//! writes to stdout.
+//! document. Arguments: an optional output path (`-` writes to stdout)
+//! and `--smoke`, which shrinks every measurement for CI smoke runs
+//! (same schema, noisier numbers).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cardiotouch::config::PipelineConfig;
 use cardiotouch::experiment::{run_position_study, StudyConfig};
 use cardiotouch::pipeline::Pipeline;
+use cardiotouch::scheduler::{SessionFeed, SessionScheduler};
+use cardiotouch::stream::{BeatStream, ReanalysisBeatStream};
 use cardiotouch_dsp::design_cache;
 use cardiotouch_dsp::diff;
 use cardiotouch_dsp::window::Window;
@@ -36,11 +43,15 @@ impl KernelResult {
     }
 }
 
-/// Times `f` until at least `MIN_ELAPSED_S` of work or `MAX_ITERS`
+/// Times `f` until at least `min_elapsed_s` of work or `MAX_ITERS`
 /// iterations, after a short warm-up (fills caches and the filter-design
 /// cache so the steady state is what gets measured).
-fn time_kernel(name: &'static str, samples_per_iter: usize, mut f: impl FnMut()) -> KernelResult {
-    const MIN_ELAPSED_S: f64 = 0.25;
+fn time_kernel(
+    name: &'static str,
+    samples_per_iter: usize,
+    min_elapsed_s: f64,
+    mut f: impl FnMut(),
+) -> KernelResult {
     const MAX_ITERS: usize = 400;
     for _ in 0..3 {
         f();
@@ -50,7 +61,7 @@ fn time_kernel(name: &'static str, samples_per_iter: usize, mut f: impl FnMut())
     while iters < MAX_ITERS {
         f();
         iters += 1;
-        if start.elapsed().as_secs_f64() >= MIN_ELAPSED_S {
+        if start.elapsed().as_secs_f64() >= min_elapsed_s {
             break;
         }
     }
@@ -60,6 +71,42 @@ fn time_kernel(name: &'static str, samples_per_iter: usize, mut f: impl FnMut())
         iters,
         elapsed_s: start.elapsed().as_secs_f64(),
     }
+}
+
+/// Percentile (0..=1) of a latency sample set, microseconds.
+fn percentile_us(ns: &[u64], p: f64) -> f64 {
+    if ns.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = ns.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64 / 1e3
+}
+
+/// Per-hop latency distribution of a streaming engine fed 1 s chunks
+/// from a wrapped template for `total_hops` hops. Returns nanoseconds
+/// per hop, in hop order.
+fn hop_latencies(
+    mut push: impl FnMut(&[f64], &[f64]),
+    ecg: &[f64],
+    z: &[f64],
+    hop: usize,
+    total_hops: usize,
+) -> Vec<u64> {
+    let n = ecg.len();
+    let mut out = Vec::with_capacity(total_hops);
+    for h in 0..total_hops {
+        let at = (h * hop) % n;
+        let take = hop.min(n - at);
+        let start = Instant::now();
+        push(&ecg[at..at + take], &z[at..at + take]);
+        if take < hop {
+            push(&ecg[..hop - take], &z[..hop - take]);
+        }
+        out.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    out
 }
 
 /// Civil date from days since the Unix epoch (Howard Hinnant's
@@ -86,8 +133,21 @@ fn today_iso() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+#[allow(clippy::too_many_lines)]
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut out_path: Option<String> = None;
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = Some(arg);
+        }
+    }
+    let min_elapsed = if smoke { 0.05 } else { 0.25 };
+
     let fs = 250.0;
+    let hop = fs as usize;
     let protocol = Protocol::paper_default();
     let population = Population::reference_five();
     let rec = PairedRecording::generate(
@@ -97,8 +157,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &protocol,
         StudyConfig::paper_default().seed,
     )?;
+    let ecg = rec.device_ecg();
     let z = rec.device_z();
     let n = z.len();
+    let session_s = n as f64 / fs;
 
     // --- DSP kernels over one 30 s session ------------------------------
     let fir = design_cache::fir_bandpass(32, 0.05, 40.0, fs, Window::Hamming)?;
@@ -107,28 +169,124 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out = Vec::new();
 
     let mut kernels = Vec::new();
-    kernels.push(time_kernel("fir_bandpass_filter_into", n, || {
-        fir.filter_into(z, &mut out);
-    }));
-    kernels.push(time_kernel("filtfilt_fir_bandpass", n, || {
+    kernels.push(time_kernel(
+        "fir_bandpass_filter_into",
+        n,
+        min_elapsed,
+        || {
+            fir.filter_into(z, &mut out);
+        },
+    ));
+    kernels.push(time_kernel("filtfilt_fir_bandpass", n, min_elapsed, || {
         filtfilt_fir_into(&fir, z, &mut scratch, &mut out).expect("filtfilt fir");
     }));
-    kernels.push(time_kernel("filtfilt_iir_butterworth4", n, || {
-        filtfilt_iir_into(&butter, z, &mut scratch, &mut out).expect("filtfilt iir");
-    }));
-    kernels.push(time_kernel("derivative_into", n, || {
+    kernels.push(time_kernel(
+        "filtfilt_iir_butterworth4",
+        n,
+        min_elapsed,
+        || {
+            filtfilt_iir_into(&butter, z, &mut scratch, &mut out).expect("filtfilt iir");
+        },
+    ));
+    kernels.push(time_kernel("derivative_into", n, min_elapsed, || {
         diff::derivative_into(z, fs, &mut out).expect("derivative");
     }));
 
     // --- Full pipeline, one session per iteration -----------------------
-    let pipeline = Pipeline::new(PipelineConfig::paper_default(fs))?;
-    let analyze = time_kernel("pipeline_analyze", n, || {
-        pipeline
-            .analyze(rec.device_ecg(), rec.device_z())
-            .expect("analyze");
+    let config = PipelineConfig::paper_default(fs);
+    let pipeline = Pipeline::new(config)?;
+    let analyze = time_kernel("pipeline_analyze", n, min_elapsed, || {
+        pipeline.analyze(ecg, z).expect("analyze");
     });
     let pipeline_sessions_per_sec = analyze.iters as f64 / analyze.elapsed_s.max(1e-12);
     kernels.push(analyze);
+
+    // --- Streaming engines: whole-session throughput ---------------------
+    // One iteration = one full 30 s session streamed in 1 s chunks.
+    let run_incremental = || {
+        let mut s = BeatStream::new(config).expect("stream");
+        let mut beats = 0usize;
+        for (e, zc) in ecg.chunks(hop).zip(z.chunks(hop)) {
+            beats += s.push(e, zc).expect("push").len();
+        }
+        beats
+    };
+    let inc_beats_per_session = run_incremental();
+    let inc = time_kernel("beatstream_incremental_session", n, min_elapsed, || {
+        run_incremental();
+    });
+    let inc_sessions_per_sec = inc.iters as f64 / inc.elapsed_s.max(1e-12);
+    kernels.push(inc);
+
+    let run_reanalysis = |window_s: f64| {
+        let mut s = ReanalysisBeatStream::with_window(config, window_s).expect("stream");
+        for (e, zc) in ecg.chunks(hop).zip(z.chunks(hop)) {
+            s.push(e, zc).expect("push");
+        }
+    };
+    let re = time_kernel("beatstream_reanalysis_session_w20", n, min_elapsed, || {
+        run_reanalysis(20.0);
+    });
+    let re_sessions_per_sec = re.iters as f64 / re.elapsed_s.max(1e-12);
+    kernels.push(re);
+    let speedup = inc_sessions_per_sec / re_sessions_per_sec.max(1e-12);
+
+    // --- Streaming engines: per-hop latency distributions -----------------
+    // The incremental engine is measured over a long wrapped feed and
+    // split into early vs late halves: equal medians demonstrate per-hop
+    // cost independent of how much signal has streamed (no window to
+    // re-filter). The windowed baseline is measured at three window
+    // lengths after its window has filled: its per-hop cost scales with
+    // the window.
+    let long_hops = if smoke { 60 } else { 240 };
+    let mut inc_stream = BeatStream::new(config)?;
+    let inc_ns = hop_latencies(
+        |e, zc| {
+            inc_stream.push(e, zc).expect("push");
+        },
+        ecg,
+        z,
+        hop,
+        long_hops,
+    );
+    let (inc_early, inc_late) = inc_ns.split_at(long_hops / 2);
+
+    let mut re_windows = Vec::new();
+    for window_s in [10.0, 20.0, 40.0] {
+        let measure_hops = if smoke { 20 } else { 60 };
+        let fill_hops = window_s as usize + 1;
+        let mut s = ReanalysisBeatStream::with_window(config, window_s)?;
+        let ns = hop_latencies(
+            |e, zc| {
+                s.push(e, zc).expect("push");
+            },
+            ecg,
+            z,
+            hop,
+            fill_hops + measure_hops,
+        );
+        let settled = &ns[fill_hops..];
+        re_windows.push((
+            window_s,
+            percentile_us(settled, 0.50),
+            percentile_us(settled, 0.99),
+        ));
+    }
+
+    // --- Multi-session scheduler ------------------------------------------
+    let fleet = if smoke { 16 } else { 128 };
+    let ticks = if smoke { 5 } else { 15 };
+    let ecg_arc = Arc::new(ecg.to_vec());
+    let z_arc = Arc::new(z.to_vec());
+    let feeds: Vec<SessionFeed> = (0..fleet)
+        .map(|i| SessionFeed {
+            ecg: Arc::clone(&ecg_arc),
+            z: Arc::clone(&z_arc),
+            offset: (i * 977) % n,
+        })
+        .collect();
+    let mut scheduler = SessionScheduler::new(config, feeds)?;
+    let sched = scheduler.run(ticks)?;
 
     // --- End-to-end study (the parallelized grid) -----------------------
     let study_config = StudyConfig {
@@ -145,11 +303,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let study_elapsed = start.elapsed().as_secs_f64();
     assert!(outcome.summary.mean_correlation.is_finite());
 
+    let cache = design_cache::stats();
+
     // --- Emit ------------------------------------------------------------
     let date = today_iso();
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
     json.push_str(&format!("  \"date\": \"{date}\",\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!(
         "  \"threads\": {},\n",
         rayon::current_num_threads()
@@ -167,6 +328,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"streaming\": {\n");
+    json.push_str("    \"hop_s\": 1.0,\n");
+    json.push_str(&format!("    \"session_seconds\": {session_s:.0},\n"));
+    json.push_str("    \"incremental\": {\n");
+    json.push_str(&format!(
+        "      \"sessions_per_sec\": {inc_sessions_per_sec:.2},\n"
+    ));
+    json.push_str(&format!(
+        "      \"beats_per_session\": {inc_beats_per_session},\n"
+    ));
+    json.push_str(&format!(
+        "      \"hop_p50_us\": {:.1},\n",
+        percentile_us(&inc_ns, 0.50)
+    ));
+    json.push_str(&format!(
+        "      \"hop_p99_us\": {:.1},\n",
+        percentile_us(&inc_ns, 0.99)
+    ));
+    json.push_str(&format!(
+        "      \"hop_p50_us_first_half\": {:.1},\n",
+        percentile_us(inc_early, 0.50)
+    ));
+    json.push_str(&format!(
+        "      \"hop_p50_us_second_half\": {:.1}\n",
+        percentile_us(inc_late, 0.50)
+    ));
+    json.push_str("    },\n");
+    json.push_str("    \"reanalysis\": [\n");
+    for (i, (w, p50, p99)) in re_windows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"window_s\": {w:.0}, \"hop_p50_us\": {p50:.1}, \"hop_p99_us\": {p99:.1}{}}}{}\n",
+            if (*w - 20.0).abs() < f64::EPSILON {
+                format!(", \"sessions_per_sec\": {re_sessions_per_sec:.2}")
+            } else {
+                String::new()
+            },
+            if i + 1 < re_windows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str(&format!(
+        "    \"incremental_speedup_vs_reanalysis_w20\": {speedup:.2},\n"
+    ));
+    json.push_str("    \"scheduler\": {\n");
+    json.push_str(&format!("      \"sessions\": {},\n", sched.sessions));
+    json.push_str(&format!("      \"ticks\": {},\n", sched.ticks));
+    json.push_str(&format!("      \"beats\": {},\n", sched.beats));
+    json.push_str(&format!(
+        "      \"sustained_realtime_sessions\": {:.0},\n",
+        sched.sustained_sessions()
+    ));
+    json.push_str(&format!("      \"hop_p50_us\": {:.1},\n", sched.hop_p50_us));
+    json.push_str(&format!("      \"hop_p99_us\": {:.1}\n", sched.hop_p99_us));
+    json.push_str("    }\n");
+    json.push_str("  },\n");
+    json.push_str("  \"design_cache\": {\n");
+    json.push_str(&format!("    \"hits\": {},\n", cache.hits));
+    json.push_str(&format!("    \"misses\": {},\n", cache.misses));
+    json.push_str(&format!("    \"entries\": {},\n", cache.entries));
+    json.push_str(&format!(
+        "    \"hit_rate\": {:.4}\n",
+        cache.hit_rate().unwrap_or(0.0)
+    ));
+    json.push_str("  },\n");
     json.push_str("  \"study\": {\n");
     json.push_str(&format!("    \"grid_sessions\": {grid_sessions},\n"));
     json.push_str(&format!("    \"session_seconds\": {:.0},\n", 12.0));
@@ -180,14 +405,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ));
     json.push_str("  }\n}\n");
 
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| format!("BENCH_{date}.json"));
+    let path = out_path.unwrap_or_else(|| format!("BENCH_{date}.json"));
     if path == "-" {
         print!("{json}");
     } else {
         std::fs::write(&path, &json)?;
         eprintln!("wrote {path}");
     }
+    eprintln!(
+        "incremental {inc_sessions_per_sec:.0} sessions/s vs reanalysis {re_sessions_per_sec:.0} sessions/s ({speedup:.1}x)"
+    );
     Ok(())
 }

@@ -39,6 +39,18 @@ pub enum Command {
         /// Worker-thread count for the session grid (`None` → automatic).
         threads: Option<usize>,
     },
+    /// Drive many concurrent streaming sessions through the incremental
+    /// engine and report sustained throughput and per-hop latency.
+    ServeSim {
+        /// Concurrent session count.
+        sessions: usize,
+        /// Worker-thread count (`None` → automatic).
+        threads: Option<usize>,
+        /// Simulated signal duration per session, seconds (= hops).
+        seconds: usize,
+        /// Random seed for the template recordings.
+        seed: u64,
+    },
     /// Print the Table-I power model and battery-life figures.
     Power,
     /// Print usage.
@@ -67,6 +79,8 @@ USAGE:
   cardiotouch analyze <recording.csv> [--beats-out FILE] [--sqi]
                        [--hemo-z0 OHM]
   cardiotouch study [--quick] [--threads N]
+  cardiotouch serve-sim [--sessions N] [--threads N] [--seconds S]
+                       [--seed N]
   cardiotouch power
   cardiotouch help
 ";
@@ -115,6 +129,44 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 }
             }
             Ok(Command::Study { quick, threads })
+        }
+        "serve-sim" => {
+            let mut sessions = 256usize;
+            let mut threads = None;
+            let mut seconds = 10usize;
+            let mut seed = 7u64;
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let value = |i: usize| -> Result<&String, ParseArgsError> {
+                    rest.get(i + 1)
+                        .copied()
+                        .ok_or_else(|| ParseArgsError(format!("{flag} requires a value")))
+                };
+                match flag {
+                    "--sessions" => sessions = parse_num(flag, value(i)?)?,
+                    "--threads" => threads = Some(parse_num(flag, value(i)?)?),
+                    "--seconds" => seconds = parse_num(flag, value(i)?)?,
+                    "--seed" => seed = parse_num(flag, value(i)?)?,
+                    other => return Err(unknown_flag("serve-sim", other)),
+                }
+                i += 2;
+            }
+            if sessions == 0 {
+                return Err(ParseArgsError("--sessions must be at least 1".into()));
+            }
+            if seconds == 0 {
+                return Err(ParseArgsError("--seconds must be at least 1".into()));
+            }
+            if threads == Some(0) {
+                return Err(ParseArgsError("--threads must be at least 1".into()));
+            }
+            Ok(Command::ServeSim {
+                sessions,
+                threads,
+                seconds,
+                seed,
+            })
         }
         "simulate" => {
             let mut subject = 1usize;
@@ -342,6 +394,43 @@ mod tests {
         assert_eq!(p(&["power"]).unwrap(), Command::Power);
         assert!(p(&["power", "extra"]).is_err());
         assert!(p(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn serve_sim_defaults_and_overrides() {
+        assert_eq!(
+            p(&["serve-sim"]).unwrap(),
+            Command::ServeSim {
+                sessions: 256,
+                threads: None,
+                seconds: 10,
+                seed: 7
+            }
+        );
+        assert_eq!(
+            p(&[
+                "serve-sim",
+                "--sessions",
+                "1000",
+                "--threads",
+                "4",
+                "--seconds",
+                "30",
+                "--seed",
+                "9"
+            ])
+            .unwrap(),
+            Command::ServeSim {
+                sessions: 1000,
+                threads: Some(4),
+                seconds: 30,
+                seed: 9
+            }
+        );
+        assert!(p(&["serve-sim", "--sessions", "0"]).is_err());
+        assert!(p(&["serve-sim", "--seconds", "0"]).is_err());
+        assert!(p(&["serve-sim", "--threads", "0"]).is_err());
+        assert!(p(&["serve-sim", "--bogus", "1"]).is_err());
     }
 
     #[test]

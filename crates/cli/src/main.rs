@@ -16,6 +16,7 @@ use cardiotouch::io::{read_recording_csv, write_beats_csv, write_recording_csv};
 use cardiotouch::pipeline::Pipeline;
 use cardiotouch::report;
 use cardiotouch::respiration::estimate_respiration_rate;
+use cardiotouch::scheduler::{SessionFeed, SessionScheduler};
 use cardiotouch_device::mcu::CycleBudget;
 use cardiotouch_device::power::{DutyCycle, PowerBudget};
 use cardiotouch_physio::path::Position;
@@ -24,6 +25,7 @@ use cardiotouch_physio::subject::Population;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +101,69 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", report::relative_errors(&outcome.errors));
             println!("{}", report::hemodynamics(&outcome.hemodynamics));
             print!("{}", report::summary(&outcome.summary));
+            Ok(())
+        }
+        Command::ServeSim {
+            sessions,
+            threads,
+            seconds,
+            seed,
+        } => {
+            // A handful of distinct template recordings (subject × seed)
+            // shared across the fleet: generation is the expensive part,
+            // playback phase offsets make every session's timeline unique.
+            let fs = 250.0;
+            let population = Population::reference_five();
+            let protocol = Protocol::paper_default();
+            let template_count = sessions.min(population.subjects().len());
+            let mut templates = Vec::with_capacity(template_count);
+            for t in 0..template_count {
+                let rec = PairedRecording::generate(
+                    &population.subjects()[t % population.subjects().len()],
+                    Position::One,
+                    50_000.0,
+                    &protocol,
+                    seed + t as u64,
+                )?;
+                templates.push((
+                    Arc::new(rec.device_ecg().to_vec()),
+                    Arc::new(rec.device_z().to_vec()),
+                ));
+            }
+            let feeds: Vec<SessionFeed> = (0..sessions)
+                .map(|i| {
+                    let (ecg, z) = &templates[i % templates.len()];
+                    SessionFeed {
+                        ecg: Arc::clone(ecg),
+                        z: Arc::clone(z),
+                        offset: (i * 977) % ecg.len(),
+                    }
+                })
+                .collect();
+            let config = PipelineConfig::paper_default(fs);
+            let mut scheduler = SessionScheduler::new(config, feeds)?;
+            eprintln!("serving {sessions} concurrent sessions for {seconds} simulated seconds…");
+            let report = match threads {
+                Some(n) => rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()?
+                    .install(|| scheduler.run(seconds))?,
+                None => scheduler.run(seconds)?,
+            };
+            println!("sessions            : {}", report.sessions);
+            println!("worker threads      : {}", report.threads);
+            println!(
+                "signal processed    : {:.0} session-seconds",
+                report.session_seconds
+            );
+            println!("wall clock          : {:.3} s", report.elapsed_s);
+            println!("beats emitted       : {}", report.beats);
+            println!(
+                "sustained sessions  : {:.0} concurrent real-time streams",
+                report.sustained_sessions()
+            );
+            println!("per-hop latency p50 : {:.1} us", report.hop_p50_us);
+            println!("per-hop latency p99 : {:.1} us", report.hop_p99_us);
             Ok(())
         }
         Command::Simulate {

@@ -65,6 +65,7 @@ pub mod io;
 pub mod pipeline;
 pub mod report;
 pub mod respiration;
+pub mod scheduler;
 pub mod spectroscopy;
 pub mod stream;
 

@@ -440,33 +440,47 @@ impl Pipeline {
     fn analyze_beat(&self, icg: &[f64], w: &BeatWindow, z0_ohm: f64) -> Option<BeatReport> {
         let seg = w.slice(icg);
         let pts: CharacteristicPoints = self.detector.detect(seg).ok()?;
-        let si = SystolicIntervals::from_points(&pts, self.config.fs).ok()?;
-        let hr_bpm = 60.0 / w.rr_s(self.config.fs);
-        let dzdt_max = seg[pts.c];
-        let hemo_in = BeatHemoInput {
-            z0_ohm: self.config.hemo_z0_ohm.unwrap_or(z0_ohm),
-            dzdt_max_ohm_per_s: dzdt_max,
-            lvet_s: si.lvet_s,
-            hr_bpm,
-        };
-        let sv_k = stroke_volume_kubicek(&hemo_in, &self.config.hemo).ok()?;
-        let sv_s = stroke_volume_sramek_bernstein(&hemo_in, &self.config.hemo).ok()?;
-        let co = cardiac_output_l_per_min(sv_k, hr_bpm).ok()?;
-        Some(BeatReport {
-            r: w.r,
-            b: w.r + pts.b,
-            c: w.r + pts.c,
-            x: w.r + pts.x,
-            pep_s: si.pep_s,
-            lvet_s: si.lvet_s,
-            hr_bpm,
-            dzdt_max,
-            sv_kubicek_ml: sv_k,
-            sv_sramek_ml: sv_s,
-            co_l_per_min: co,
-            physiological: si.is_physiological(),
-        })
+        report_from_points(&self.config, w, &pts, seg[pts.c], z0_ohm)
     }
+}
+
+/// Derives one [`BeatReport`] from already-detected characteristic
+/// points: intervals, instantaneous heart rate, and the Kubicek and
+/// Sramek–Bernstein hemodynamics. Shared verbatim by the batch pipeline
+/// and the incremental [`crate::stream::BeatStream`], so both execution
+/// models run identical per-beat arithmetic.
+pub(crate) fn report_from_points(
+    config: &PipelineConfig,
+    w: &BeatWindow,
+    pts: &CharacteristicPoints,
+    dzdt_max: f64,
+    z0_ohm: f64,
+) -> Option<BeatReport> {
+    let si = SystolicIntervals::from_points(pts, config.fs).ok()?;
+    let hr_bpm = 60.0 / w.rr_s(config.fs);
+    let hemo_in = BeatHemoInput {
+        z0_ohm: config.hemo_z0_ohm.unwrap_or(z0_ohm),
+        dzdt_max_ohm_per_s: dzdt_max,
+        lvet_s: si.lvet_s,
+        hr_bpm,
+    };
+    let sv_k = stroke_volume_kubicek(&hemo_in, &config.hemo).ok()?;
+    let sv_s = stroke_volume_sramek_bernstein(&hemo_in, &config.hemo).ok()?;
+    let co = cardiac_output_l_per_min(sv_k, hr_bpm).ok()?;
+    Some(BeatReport {
+        r: w.r,
+        b: w.r + pts.b,
+        c: w.r + pts.c,
+        x: w.r + pts.x,
+        pep_s: si.pep_s,
+        lvet_s: si.lvet_s,
+        hr_bpm,
+        dzdt_max,
+        sv_kubicek_ml: sv_k,
+        sv_sramek_ml: sv_s,
+        co_l_per_min: co,
+        physiological: si.is_physiological(),
+    })
 }
 
 #[cfg(test)]

@@ -1,27 +1,322 @@
 //! Streaming, beat-to-beat execution of the pipeline — the software
 //! architecture of the firmware flowchart (Fig 3).
 //!
-//! The embedded device cannot buffer a whole session; it processes a
-//! bounded window and emits each beat's parameters as soon as the beat
-//! completes, then ships them over BLE. [`BeatStream`] mirrors that:
-//! callers push sample chunks of any size and receive newly completed
-//! [`BeatReport`]s. Internally the stream keeps a sliding window (default
-//! 20 s — comfortably within the STM32L151's 48 KB RAM at 250 Hz), re-runs
-//! the block pipeline when at least one second of new data has arrived,
-//! and de-duplicates emissions by absolute R position.
+//! The embedded device cannot buffer a whole session; it processes each
+//! ADC chunk as it arrives and emits every beat's parameters as soon as
+//! the beat completes. Two execution models live here:
+//!
+//! * [`BeatStream`] — the **incremental engine**: stateful streaming
+//!   filters ([`cardiotouch_dsp::streaming`]), the online Pan–Tompkins
+//!   detector ([`cardiotouch_ecg::online`]) and the incremental B/C/X
+//!   delineator ([`cardiotouch_icg::online`]). Per-hop cost is O(hop),
+//!   independent of any window length; per-session memory is a few
+//!   seconds of signal (≈20 KB at 250 Hz — within the STM32L151's 48 KB
+//!   budget with room for the radio stack).
+//! * [`ReanalysisBeatStream`] — the original windowed engine, kept as
+//!   the equivalence oracle and benchmark baseline: it re-runs the whole
+//!   block pipeline over a 20 s sliding window every 1 s hop, so each
+//!   emitted beat costs ~20× redundant filtering and detection.
+//!
+//! Both accept chunks of any size and emit [`BeatReport`]s in absolute
+//! session coordinates. The incremental engine additionally quantizes
+//! all internal state transitions to exact 1 s hops of the *absolute*
+//! sample count, which makes its emissions bitwise chunk-size invariant
+//! (the windowed engine is only invariant up to the final partial hop).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use cardiotouch_dsp::design_cache;
+use cardiotouch_dsp::fir::Fir;
+use cardiotouch_dsp::streaming::{HistoryRing, StreamingDerivative, StreamingZeroPhase};
+use cardiotouch_dsp::window::Window;
+use cardiotouch_dsp::zero_phase::{filtfilt_fir_into, ZeroPhaseScratch};
+use cardiotouch_ecg::online::OnlinePanTompkins;
+use cardiotouch_icg::filter::IcgConditioner;
+use cardiotouch_icg::online::{BeatDelineator, OnlineBeat};
 
 use crate::config::PipelineConfig;
-use crate::pipeline::{BeatReport, Pipeline};
+use crate::pipeline::{report_from_points, BeatReport, Pipeline};
 use crate::CoreError;
 
-/// Incremental beat-to-beat processor.
+/// Incremental beat-to-beat processor with O(hop) per-hop cost.
+///
+/// Pipeline per hop (1 s of samples): raw ECG → online Pan–Tompkins →
+/// local zero-phase FIR apex refinement; raw Z → streaming central
+/// difference → negation → streaming zero-phase 20 Hz low-pass →
+/// streaming zero-phase 0.4 Hz high-pass → incremental B/C/X
+/// delineation → the same per-beat interval/hemodynamics arithmetic the
+/// batch [`Pipeline`] runs.
+///
+/// Non-finite input samples (NaN/±∞ from a saturated front-end) are
+/// replaced at ingestion by the last finite value of the same channel,
+/// so a transient glitch cannot poison the recursive filter states.
 #[derive(Debug, Clone)]
 pub struct BeatStream {
+    config: PipelineConfig,
+    /// Internal processing quantum: 1 s of samples.
+    hop: usize,
+    /// Raw samples awaiting a complete hop (sanitized).
+    pend_ecg: Vec<f64>,
+    pend_z: Vec<f64>,
+    /// Absolute count of samples accepted by `push`.
+    pushed: usize,
+    /// Absolute count of samples consumed by the engine (hop multiple).
+    processed: usize,
+    /// Last finite sample per channel, for glitch hold-over.
+    last_ecg: f64,
+    last_z: f64,
+    z_seen_finite: bool,
+    /// Running sum of processed Z for the Z0 estimate.
+    z_sum: f64,
+    // --- ECG path ---
+    qrs: OnlinePanTompkins,
+    ecg_fir: Arc<Fir>,
+    ecg_ring: HistoryRing,
+    /// Confirmed raw-apex R peaks awaiting refinement context.
+    raw_rs: VecDeque<usize>,
+    last_refined_r: Option<usize>,
+    zp: ZeroPhaseScratch,
+    refine_buf: Vec<f64>,
+    /// Raw context kept around each apex for local zero-phase filtering.
+    ctx: usize,
+    /// Half-width of the apex search around the online detection.
+    search: usize,
+    // --- ICG path ---
+    deriv: StreamingDerivative,
+    lp: StreamingZeroPhase,
+    hp: StreamingZeroPhase,
+    neg_buf: Vec<f64>,
+    lp_buf: Vec<f64>,
+    hp_buf: Vec<f64>,
+    delineator: BeatDelineator,
+    beats_scratch: Vec<OnlineBeat>,
+}
+
+impl BeatStream {
+    /// Creates an incremental stream for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and filter-design errors.
+    pub fn new(config: PipelineConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let fs = config.fs;
+        let hop = fs as usize;
+        // The zero-phase stages mirror the batch conditioner's designs
+        // (shared via the design cache) and edge extensions. Settle
+        // margins: the 20 Hz low-pass transient dies in tens of samples
+        // (0.5 s is ~24 time constants); the 0.4 Hz high-pass rings for
+        // ~0.56 s, so 2 s of right context leaves ~1% residual — well
+        // inside the B/X detection tolerances.
+        let lp_filter = design_cache::butterworth_lowpass(IcgConditioner::DEFAULT_ORDER, 20.0, fs)
+            .map_err(cardiotouch_icg::IcgError::from)?;
+        let hp_filter = design_cache::butterworth_highpass(2, IcgConditioner::HIGHPASS_HZ, fs)
+            .map_err(cardiotouch_icg::IcgError::from)?;
+        let lp_ext = 3 * 6 * (IcgConditioner::DEFAULT_ORDER + 1);
+        let hp_ext = (fs / IcgConditioner::HIGHPASS_HZ) as usize;
+        let block = (hop / 2).max(1);
+        Ok(Self {
+            config,
+            hop,
+            pend_ecg: Vec::new(),
+            pend_z: Vec::new(),
+            pushed: 0,
+            processed: 0,
+            last_ecg: 0.0,
+            last_z: 0.0,
+            z_seen_finite: false,
+            z_sum: 0.0,
+            qrs: OnlinePanTompkins::new(fs)?,
+            ecg_fir: design_cache::fir_bandpass(32, 0.05, 40.0, fs, Window::Hamming)
+                .map_err(cardiotouch_ecg::EcgError::from)?,
+            ecg_ring: HistoryRing::new(),
+            raw_rs: VecDeque::new(),
+            last_refined_r: None,
+            zp: ZeroPhaseScratch::new(),
+            refine_buf: Vec::new(),
+            ctx: (0.4 * fs) as usize,
+            search: (0.04 * fs) as usize,
+            deriv: StreamingDerivative::new(fs),
+            lp: StreamingZeroPhase::new(lp_filter, (0.5 * fs) as usize, lp_ext, block),
+            hp: StreamingZeroPhase::new(hp_filter, (2.0 * fs) as usize, hp_ext, block),
+            neg_buf: Vec::new(),
+            lp_buf: Vec::new(),
+            hp_buf: Vec::new(),
+            delineator: BeatDelineator::new(fs, config.x_search, config.min_rr_s, config.max_rr_s)?,
+            beats_scratch: Vec::new(),
+        })
+    }
+
+    /// Absolute index of the next sample to be pushed.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pushed
+    }
+
+    /// Pushes one chunk of simultaneous samples and returns the beats
+    /// that completed since the previous call, in chronological order,
+    /// with indices in **absolute** (whole-session) coordinates.
+    ///
+    /// Chunks of any size are accepted — including chunks far larger
+    /// than any internal buffer; the engine consumes them in exact 1 s
+    /// quanta, so emissions depend only on the total sample count.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ChannelLengthMismatch`] when the chunks differ in
+    ///   length.
+    pub fn push(&mut self, ecg: &[f64], z: &[f64]) -> Result<Vec<BeatReport>, CoreError> {
+        if ecg.len() != z.len() {
+            return Err(CoreError::ChannelLengthMismatch {
+                ecg_len: ecg.len(),
+                z_len: z.len(),
+            });
+        }
+        for (&e, &zv) in ecg.iter().zip(z) {
+            // Hold the last finite value over non-finite glitches; the
+            // recursive filters must never ingest a NaN (it would stick
+            // in their state forever).
+            if e.is_finite() {
+                self.last_ecg = e;
+            }
+            self.pend_ecg.push(self.last_ecg);
+            if zv.is_finite() {
+                self.last_z = zv;
+                self.z_seen_finite = true;
+            }
+            self.pend_z
+                .push(if self.z_seen_finite { self.last_z } else { 0.0 });
+        }
+        self.pushed += ecg.len();
+
+        let mut out = Vec::new();
+        let mut off = 0;
+        while self.pend_ecg.len() - off >= self.hop {
+            self.process_hop(off, &mut out);
+            off += self.hop;
+        }
+        self.pend_ecg.drain(..off);
+        self.pend_z.drain(..off);
+        Ok(out)
+    }
+
+    /// Consumes one exact hop starting at `off` in the pending buffers.
+    fn process_hop(&mut self, off: usize, out: &mut Vec<BeatReport>) {
+        let hop = self.hop;
+
+        // ECG: raw ring (for apex refinement) + online QRS detection.
+        self.ecg_ring.extend(&self.pend_ecg[off..off + hop]);
+        for i in off..off + hop {
+            if let Some(r) = self.qrs.push(self.pend_ecg[i]) {
+                self.raw_rs.push_back(r);
+            }
+        }
+
+        // ICG: Z → −dZ/dt → streaming zero-phase chain → delineator.
+        self.neg_buf.clear();
+        for i in off..off + hop {
+            let zv = self.pend_z[i];
+            self.z_sum += zv;
+            if let Some(d) = self.deriv.push(zv) {
+                self.neg_buf.push(-d);
+            }
+        }
+        self.processed += hop;
+        let head = self.processed;
+
+        self.lp_buf.clear();
+        self.lp.push_chunk(&self.neg_buf, &mut self.lp_buf);
+        self.hp_buf.clear();
+        self.hp.push_chunk(&self.lp_buf, &mut self.hp_buf);
+        self.delineator.push_samples(&self.hp_buf);
+
+        // Refine and commit every raw R that now has full context.
+        while let Some(&r) = self.raw_rs.front() {
+            if head <= r + self.ctx {
+                break;
+            }
+            self.raw_rs.pop_front();
+            let refined = self.refine_r(r);
+            if self.last_refined_r.map_or(true, |p| refined > p) {
+                let _ = self.delineator.push_r(refined);
+                self.last_refined_r = Some(refined);
+            }
+        }
+        // Keep 3 s of raw ECG (apexes confirm within 0.3 s, refinement
+        // reaches 0.4 s back), but never discard a pending apex context.
+        let mut keep = head.saturating_sub(3 * hop);
+        if let Some(&r) = self.raw_rs.front() {
+            keep = keep.min(r.saturating_sub(self.ctx));
+        }
+        self.ecg_ring.discard_before(keep);
+
+        // Finalize beats whose segments are fully settled.
+        self.beats_scratch.clear();
+        self.delineator.poll_into(&mut self.beats_scratch);
+        if self.beats_scratch.is_empty() {
+            return;
+        }
+        let z0 = self.z_sum / head as f64;
+        for ob in &self.beats_scratch {
+            if let Some(rep) =
+                report_from_points(&self.config, &ob.window, &ob.points, ob.dzdt_max, z0)
+            {
+                if rep.pep_s.is_finite()
+                    && rep.lvet_s.is_finite()
+                    && rep.dzdt_max.is_finite()
+                    && rep.sv_kubicek_ml.is_finite()
+                {
+                    out.push(rep);
+                }
+            }
+        }
+    }
+
+    /// Re-localises a raw online apex against a local zero-phase FIR
+    /// rendering of the surrounding raw ECG — the streaming stand-in for
+    /// the batch path's apex on the globally conditioned record. The
+    /// local window is wide enough (±0.4 s around a ±0.04 s search) that
+    /// the filtered interior is edge-effect free, so the argmax agrees
+    /// with the batch apex wherever the slow baseline is locally smooth.
+    fn refine_r(&mut self, r: usize) -> usize {
+        let lo = r.saturating_sub(self.ctx).max(self.ecg_ring.base());
+        let hi = (r + self.ctx + 1).min(self.ecg_ring.end());
+        if hi <= lo + 2 {
+            return r;
+        }
+        let seg = self.ecg_ring.slice(lo, hi);
+        if filtfilt_fir_into(&self.ecg_fir, seg, &mut self.zp, &mut self.refine_buf).is_err() {
+            return r;
+        }
+        let s_lo = r.saturating_sub(self.search).max(lo);
+        let s_hi = (r + self.search + 1).min(hi);
+        let mut best = (r, f64::MIN);
+        for i in s_lo..s_hi {
+            let v = self.refine_buf[i - lo];
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        best.0
+    }
+}
+
+/// The original windowed streaming engine: re-runs the whole block
+/// pipeline over a sliding window (default 20 s) on every 1 s hop.
+///
+/// Kept as the equivalence oracle and the benchmark baseline for
+/// [`BeatStream`]; its per-hop cost grows with the window length where
+/// the incremental engine's does not. Buffer trims use
+/// [`HistoryRing`]'s amortized compaction instead of the original
+/// per-push `Vec::drain`, so even this engine no longer pays O(window)
+/// per push (nor a pathological cost when one chunk exceeds the
+/// window).
+#[derive(Debug, Clone)]
+pub struct ReanalysisBeatStream {
     pipeline: Pipeline,
-    ecg: Vec<f64>,
-    z: Vec<f64>,
-    /// Absolute sample index of `ecg[0]`/`z[0]`.
-    base: usize,
+    ecg: HistoryRing,
+    z: HistoryRing,
     /// Samples accumulated since the last analysis run.
     pending: usize,
     /// Absolute R index of the last emitted beat.
@@ -30,7 +325,7 @@ pub struct BeatStream {
     hop_samples: usize,
 }
 
-impl BeatStream {
+impl ReanalysisBeatStream {
     /// Creates a stream with the default 20 s window and 1 s re-analysis
     /// hop.
     ///
@@ -38,15 +333,36 @@ impl BeatStream {
     ///
     /// Propagates configuration validation errors.
     pub fn new(config: PipelineConfig) -> Result<Self, CoreError> {
+        Self::with_window(config, 20.0)
+    }
+
+    /// Creates a stream with an explicit sliding-window length. The
+    /// re-analysis hop stays 1 s; a longer window buys more per-window
+    /// context at proportionally more re-filtering per hop — which is
+    /// exactly the cost curve the benchmarks contrast with the
+    /// incremental engine's window-free O(hop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors; rejects windows
+    /// shorter than 5 s (the pipeline needs several beats per window).
+    pub fn with_window(config: PipelineConfig, window_s: f64) -> Result<Self, CoreError> {
         let fs = config.fs;
+        let pipeline = Pipeline::new(config)?;
+        if !(window_s.is_finite() && window_s >= 5.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "window_s",
+                value: window_s,
+                constraint: "must be at least 5 s",
+            });
+        }
         Ok(Self {
-            pipeline: Pipeline::new(config)?,
-            ecg: Vec::new(),
-            z: Vec::new(),
-            base: 0,
+            pipeline,
+            ecg: HistoryRing::new(),
+            z: HistoryRing::new(),
             pending: 0,
             last_emitted_r: None,
-            window_samples: (20.0 * fs) as usize,
+            window_samples: (window_s * fs) as usize,
             hop_samples: fs as usize,
         })
     }
@@ -54,7 +370,7 @@ impl BeatStream {
     /// Absolute index of the next sample to be pushed.
     #[must_use]
     pub fn position(&self) -> usize {
-        self.base + self.ecg.len()
+        self.ecg.end()
     }
 
     /// Pushes one chunk of simultaneous samples and returns the beats that
@@ -74,16 +390,15 @@ impl BeatStream {
                 z_len: z.len(),
             });
         }
-        self.ecg.extend_from_slice(ecg);
-        self.z.extend_from_slice(z);
+        self.ecg.extend(ecg);
+        self.z.extend(z);
         self.pending += ecg.len();
 
-        // Trim to the sliding window.
+        // Trim to the sliding window (amortized O(dropped)).
         if self.ecg.len() > self.window_samples {
-            let drop = self.ecg.len() - self.window_samples;
-            self.ecg.drain(..drop);
-            self.z.drain(..drop);
-            self.base += drop;
+            let keep_from = self.ecg.end() - self.window_samples;
+            self.ecg.discard_before(keep_from);
+            self.z.discard_before(keep_from);
         }
 
         if self.pending < self.hop_samples || self.ecg.len() < 4 * self.hop_samples {
@@ -91,29 +406,33 @@ impl BeatStream {
         }
         self.pending = 0;
 
-        let analysis = match self.pipeline.analyze(&self.ecg, &self.z) {
+        let analysis = match self
+            .pipeline
+            .analyze(self.ecg.as_slice(), self.z.as_slice())
+        {
             Ok(a) => a,
             // A quiet or noisy window simply has nothing to emit yet.
             Err(CoreError::NotEnoughBeats { .. }) => return Ok(Vec::new()),
             Err(e) => return Err(e),
         };
 
+        let base = self.ecg.base();
         let fs = self.pipeline.config().fs;
         // Hold back beats whose X could still move when more context
         // arrives (within ~1 s of the window end).
         let settled_end = self.ecg.len().saturating_sub(fs as usize);
         let mut out = Vec::new();
         for b in analysis.beats() {
-            let abs_r = self.base + b.r;
+            let abs_r = base + b.r;
             if b.x >= settled_end {
                 continue;
             }
             if self.last_emitted_r.map_or(true, |last| abs_r > last) {
                 let mut report = *b;
                 report.r = abs_r;
-                report.b = self.base + b.b;
-                report.c = self.base + b.c;
-                report.x = self.base + b.x;
+                report.b = base + b.b;
+                report.c = base + b.c;
+                report.x = base + b.x;
                 out.push(report);
             }
         }
@@ -234,10 +553,101 @@ mod tests {
         let mut stream = BeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
         stream.push(&[0.0; 100], &[500.0; 100]).unwrap();
         assert_eq!(stream.position(), 100);
-        // push enough to exceed the window and force trimming
+        // push enough to exceed any internal buffer and force trimming
         for _ in 0..60 {
             stream.push(&[0.0; 125], &[500.0; 125]).unwrap();
         }
         assert_eq!(stream.position(), 100 + 60 * 125);
+    }
+
+    #[test]
+    fn reanalysis_stream_emits_each_beat_once_in_order() {
+        let rec = recording(1);
+        let mut stream = ReanalysisBeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
+        let mut all = Vec::new();
+        for (e, z) in rec.device_ecg().chunks(125).zip(rec.device_z().chunks(125)) {
+            all.extend(stream.push(e, z).unwrap());
+        }
+        assert!(all.len() > 20, "only {} beats emitted", all.len());
+        for w in all.windows(2) {
+            assert!(w[1].r > w[0].r, "duplicate or out-of-order emission");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_the_bulk_of_beats() {
+        let rec = recording(2);
+        let cfg = PipelineConfig::paper_default(250.0);
+        let run_inc = || {
+            let mut s = BeatStream::new(cfg).unwrap();
+            let mut v = Vec::new();
+            for (e, z) in rec.device_ecg().chunks(250).zip(rec.device_z().chunks(250)) {
+                v.extend(s.push(e, z).unwrap());
+            }
+            v
+        };
+        let run_re = || {
+            let mut s = ReanalysisBeatStream::new(cfg).unwrap();
+            let mut v = Vec::new();
+            for (e, z) in rec.device_ecg().chunks(250).zip(rec.device_z().chunks(250)) {
+                v.extend(s.push(e, z).unwrap());
+            }
+            v
+        };
+        let inc = run_inc();
+        let re = run_re();
+        let matched = inc
+            .iter()
+            .filter(|s| re.iter().any(|b| b.r.abs_diff(s.r) <= 2))
+            .count();
+        assert!(
+            matched as f64 >= 0.85 * inc.len() as f64,
+            "{matched}/{} incremental beats matched the windowed engine",
+            inc.len()
+        );
+    }
+
+    #[test]
+    fn reanalysis_position_survives_oversized_chunks() {
+        let rec = recording(4);
+        let mut stream = ReanalysisBeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
+        // one chunk larger than the whole 20 s window
+        let n = 6000;
+        let beats = stream
+            .push(&rec.device_ecg()[..n], &rec.device_z()[..n])
+            .unwrap();
+        assert_eq!(stream.position(), n);
+        assert!(!beats.is_empty());
+    }
+
+    #[test]
+    fn nan_and_saturated_samples_do_not_panic_or_emit_garbage() {
+        let rec = recording(5);
+        let mut ecg = rec.device_ecg().to_vec();
+        let mut z = rec.device_z().to_vec();
+        // a NaN burst, an infinite spike and a saturated plateau
+        for i in 2000..2050 {
+            ecg[i] = f64::NAN;
+            z[i] = f64::NAN;
+        }
+        ecg[3000] = f64::INFINITY;
+        z[3100] = f64::NEG_INFINITY;
+        for i in 4000..4100 {
+            ecg[i] = 1.0e6;
+            z[i] = 1.0e6;
+        }
+        let mut stream = BeatStream::new(PipelineConfig::paper_default(250.0)).unwrap();
+        let mut all = Vec::new();
+        for (e, zc) in ecg.chunks(125).zip(z.chunks(125)) {
+            all.extend(stream.push(e, zc).unwrap());
+        }
+        // the stream must keep running and still find clean-region beats
+        assert!(all.len() > 5, "only {} beats after glitches", all.len());
+        for b in &all {
+            assert!(b.pep_s.is_finite() && b.lvet_s.is_finite());
+            assert!(b.dzdt_max.is_finite());
+            assert!(b.sv_kubicek_ml.is_finite() && b.co_l_per_min.is_finite());
+            assert!(b.r < b.b && b.b < b.c && b.c < b.x);
+        }
     }
 }

@@ -19,6 +19,7 @@
 //! workspace is a handful of filters; the cache stays a few kilobytes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::fir::Fir;
@@ -103,12 +104,52 @@ fn cache() -> &'static Mutex<HashMap<Key, Entry>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the cache's hit/miss counters, taken with
+/// [`stats`]. Counters are process-wide, monotone, and never reset;
+/// consumers interested in a window of activity should difference two
+/// snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from an already-designed entry.
+    pub hits: u64,
+    /// Lookups that had to run the designer. Failed designs count as
+    /// misses (the work was done) but insert nothing.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`, or `None` before any lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+/// Reads the process-wide cache counters — the observability hook
+/// surfaced by `perf_bench`.
+#[must_use]
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        entries: cache().lock().expect("design cache poisoned").len(),
+    }
+}
+
 /// Looks up `key`, designing (and inserting) on first use. The design
 /// runs outside the lock so a slow design never blocks other lookups.
 fn get_fir(key: Key, design: impl FnOnce() -> Result<Fir, DspError>) -> Result<Arc<Fir>, DspError> {
     if let Some(Entry::Fir(f)) = cache().lock().expect("design cache poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(Arc::clone(f));
     }
+    MISSES.fetch_add(1, Ordering::Relaxed);
     let designed = Arc::new(design()?);
     let mut map = cache().lock().expect("design cache poisoned");
     // A racing thread may have inserted the same (deterministic) design;
@@ -128,8 +169,10 @@ fn get_butterworth(
     design: impl FnOnce() -> Result<Butterworth, DspError>,
 ) -> Result<Arc<Butterworth>, DspError> {
     if let Some(Entry::Butterworth(f)) = cache().lock().expect("design cache poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
         return Ok(Arc::clone(f));
     }
+    MISSES.fetch_add(1, Ordering::Relaxed);
     let designed = Arc::new(design()?);
     let mut map = cache().lock().expect("design cache poisoned");
     match map
@@ -281,6 +324,28 @@ mod tests {
         let b = fir_lowpass(32, 20.0, 250.0, Window::Kaiser { beta: 8.0 }).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(*a, *b);
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert on deltas with ≥: the first lookup of a fresh key
+        // must add a miss, the second a hit.
+        let before = stats();
+        let _a = fir_lowpass(32, 33.0, 251.0, Window::Hann).unwrap();
+        let mid = stats();
+        assert!(mid.misses > before.misses);
+        let _b = fir_lowpass(32, 33.0, 251.0, Window::Hann).unwrap();
+        let after = stats();
+        assert!(after.hits > mid.hits);
+        assert!(after.entries >= 1);
+        assert!(after.hit_rate().is_some());
+        let zero = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+        };
+        assert_eq!(zero.hit_rate(), None);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod peaks;
 pub mod resample;
 pub mod spectrum;
 pub mod stats;
+pub mod streaming;
 pub mod wavelet;
 pub mod window;
 pub mod zero_phase;

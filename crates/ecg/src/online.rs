@@ -11,32 +11,8 @@
 //! [`OnlinePanTompkins::MAX_LATENCY_S`] after the apex.
 
 use crate::EcgError;
-use cardiotouch_dsp::iir::{Biquad, Butterworth};
-
-/// Causal biquad with persistent state (direct form II transposed).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct StatefulBiquad {
-    c: Biquad,
-    s1: f64,
-    s2: f64,
-}
-
-impl StatefulBiquad {
-    fn new(c: Biquad) -> Self {
-        Self {
-            c,
-            s1: 0.0,
-            s2: 0.0,
-        }
-    }
-
-    fn push(&mut self, x: f64) -> f64 {
-        let y = self.c.b0 * x + self.s1;
-        self.s1 = self.c.b1 * x - self.c.a1 * y + self.s2;
-        self.s2 = self.c.b2 * x - self.c.a2 * y;
-        y
-    }
-}
+use cardiotouch_dsp::design_cache;
+use cardiotouch_dsp::streaming::StatefulBiquad;
 
 /// The streaming QRS detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,7 +57,7 @@ impl OnlinePanTompkins {
                 constraint: "must exceed 30 Hz",
             });
         }
-        let bp = Butterworth::bandpass(2, 5.0, 15.0, fs)?;
+        let bp = design_cache::butterworth_bandpass(2, 5.0, 15.0, fs)?;
         let w = (0.150 * fs).round().max(1.0) as usize;
         let ring = (0.40 * fs).round() as usize;
         Ok(Self {

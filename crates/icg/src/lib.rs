@@ -51,6 +51,7 @@ pub mod ensemble;
 pub mod filter;
 pub mod hemo;
 pub mod intervals;
+pub mod online;
 pub mod points;
 pub mod quality;
 pub mod trending;

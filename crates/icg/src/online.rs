@@ -1,0 +1,287 @@
+//! Incremental beat-to-beat B/C/X delineation.
+//!
+//! The batch path segments a whole conditioned record with
+//! [`crate::beat::segment_beats`] and runs [`crate::points::PointDetector`]
+//! on every window. The firmware path (paper Fig 3) instead sees the
+//! conditioned ICG as it settles out of the streaming filters, and R-peak
+//! events as the online QRS detector confirms them. [`BeatDelineator`]
+//! bridges the two: it buffers settled conditioned samples in absolute
+//! stream coordinates, queues confirmed R peaks, and finalizes one beat as
+//! soon as the conditioned stream covers `[rᵢ, rᵢ₊₁)` — the same
+//! "enough right-context has arrived" hold-back rule the windowed
+//! re-analysis engine applied, but O(beat) instead of O(window) per
+//! emission.
+//!
+//! Per-beat arithmetic is the batch detector verbatim (the same
+//! [`PointDetector`] runs on the same segment slice), so streamed points
+//! equal batch points wherever the conditioned samples agree.
+
+use std::collections::VecDeque;
+
+use cardiotouch_dsp::streaming::HistoryRing;
+
+use crate::beat::BeatWindow;
+use crate::points::{CharacteristicPoints, PointDetector, XSearch};
+use crate::IcgError;
+
+/// One finalized beat from the incremental delineator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineBeat {
+    /// The beat window `[r, next_r)` in absolute stream coordinates.
+    pub window: BeatWindow,
+    /// Characteristic points relative to `window.r` (index 0 = R), as
+    /// produced by [`PointDetector::detect`].
+    pub points: CharacteristicPoints,
+    /// Conditioned-ICG amplitude at the C point, `(dZ/dt)_max` in Ω/s.
+    pub dzdt_max: f64,
+}
+
+/// Incremental B/C/X delineator over a settled conditioned-ICG stream.
+///
+/// Feed conditioned samples with [`BeatDelineator::push_samples`] and
+/// confirmed R peaks with [`BeatDelineator::push_r`] (in any interleaving
+/// — R events may run ahead of the conditioned stream, as they do when an
+/// online QRS detector with sub-second latency feeds a zero-phase stage
+/// with a multi-second settle delay). Collect finalized beats with
+/// [`BeatDelineator::poll_into`].
+///
+/// Memory is O(seconds of signal): consumed samples are discarded with
+/// amortized O(1) cost, and when no beat is pending the buffer is capped
+/// at twice the maximum RR interval.
+#[derive(Debug, Clone)]
+pub struct BeatDelineator {
+    fs: f64,
+    min_rr_s: f64,
+    max_rr_s: f64,
+    detector: PointDetector,
+    ring: HistoryRing,
+    /// Confirmed R peaks not yet consumed as a beat start.
+    rs: VecDeque<usize>,
+}
+
+impl BeatDelineator {
+    /// Creates a delineator. `min_rr_s`/`max_rr_s` bound accepted RR
+    /// intervals exactly as [`crate::beat::segment_beats`] does.
+    ///
+    /// # Errors
+    ///
+    /// * [`IcgError::InvalidParameter`] for an invalid `fs` or RR range
+    ///   (propagated from [`PointDetector::new`] or checked here).
+    pub fn new(fs: f64, x_search: XSearch, min_rr_s: f64, max_rr_s: f64) -> Result<Self, IcgError> {
+        if !(min_rr_s > 0.0 && max_rr_s > min_rr_s) {
+            return Err(IcgError::InvalidParameter {
+                name: "min_rr_s/max_rr_s",
+                value: min_rr_s,
+                constraint: "must satisfy 0 < min < max",
+            });
+        }
+        Ok(Self {
+            fs,
+            min_rr_s,
+            max_rr_s,
+            detector: PointDetector::new(fs, x_search)?,
+            ring: HistoryRing::new(),
+            rs: VecDeque::new(),
+        })
+    }
+
+    /// Absolute index one past the newest buffered conditioned sample.
+    #[must_use]
+    pub fn samples_end(&self) -> usize {
+        self.ring.end()
+    }
+
+    /// Appends settled conditioned-ICG samples (consecutive from stream
+    /// start).
+    pub fn push_samples(&mut self, settled: &[f64]) {
+        self.ring.extend(settled);
+    }
+
+    /// Registers a confirmed R peak at absolute sample index `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IcgError::InvalidParameter`] when `r` does not strictly
+    /// ascend past the previously registered peak.
+    pub fn push_r(&mut self, r: usize) -> Result<(), IcgError> {
+        if let Some(&last) = self.rs.back() {
+            if r <= last {
+                return Err(IcgError::InvalidParameter {
+                    name: "r",
+                    value: r as f64,
+                    constraint: "R peaks must be strictly ascending",
+                });
+            }
+        }
+        self.rs.push_back(r);
+        Ok(())
+    }
+
+    /// Finalizes every beat whose segment the conditioned stream now
+    /// covers, appending them to `out` in order. Beats with out-of-range
+    /// RR, or whose segment the point detector rejects, are skipped —
+    /// matching the batch pipeline's behaviour of dropping those windows.
+    pub fn poll_into(&mut self, out: &mut Vec<OnlineBeat>) {
+        while self.rs.len() >= 2 {
+            let (r0, r1) = (self.rs[0], self.rs[1]);
+            if self.ring.end() < r1 {
+                break;
+            }
+            let window = BeatWindow { r: r0, end: r1 };
+            let rr = window.rr_s(self.fs);
+            if rr >= self.min_rr_s && rr <= self.max_rr_s && r0 >= self.ring.base() {
+                let segment = self.ring.slice(r0, r1);
+                if let Ok(points) = self.detector.detect(segment) {
+                    out.push(OnlineBeat {
+                        window,
+                        points,
+                        dzdt_max: segment[points.c],
+                    });
+                }
+            }
+            self.rs.pop_front();
+        }
+        // Everything before the next pending beat start is dead; with no
+        // pending beat, cap the buffer at 2× the longest acceptable RR
+        // (any beat reaching further back would be dropped as too long).
+        let cap = (2.0 * self.max_rr_s * self.fs) as usize;
+        let keep = self
+            .rs
+            .front()
+            .copied()
+            .unwrap_or_else(|| self.ring.end().saturating_sub(cap));
+        self.ring.discard_before(keep.min(self.ring.end()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beat::segment_beats;
+    use crate::filter::IcgConditioner;
+
+    const FS: f64 = 250.0;
+
+    /// A few synthetic ICG-like beats with C waves and X troughs.
+    fn synth(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / FS;
+                let phase = t % 0.8;
+                1.4 * (-(phase - 0.20) * (phase - 0.20) / (2.0 * 0.04 * 0.04)).exp()
+                    - 0.5 * (-(phase - 0.45) * (phase - 0.45) / (2.0 * 0.02 * 0.02)).exp()
+            })
+            .collect()
+    }
+
+    fn r_peaks(n: usize) -> Vec<usize> {
+        // R at the start of each 0.8 s cycle
+        (0..n / 200).map(|k| k * 200).collect()
+    }
+
+    #[test]
+    fn matches_batch_segmentation_and_detection() {
+        let raw = synth(5000);
+        let icg = IcgConditioner::paper_default(FS)
+            .unwrap()
+            .condition(&raw)
+            .unwrap();
+        let peaks = r_peaks(5000);
+
+        let windows = segment_beats(&peaks, icg.len(), FS, 0.3, 2.0).unwrap();
+        let batch: Vec<_> = windows
+            .iter()
+            .filter_map(|w| {
+                PointDetector::new(FS, XSearch::GlobalMinimum)
+                    .unwrap()
+                    .detect(w.slice(&icg))
+                    .ok()
+                    .map(|p| (*w, p))
+            })
+            .collect();
+
+        let mut d = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        let mut streamed = Vec::new();
+        let mut fed = 0;
+        let mut next_peak = 0;
+        for chunk in icg.chunks(173) {
+            d.push_samples(chunk);
+            fed += chunk.len();
+            // deliver any R peak whose index is now within ~0.3 s of the head
+            while next_peak < peaks.len() && peaks[next_peak] + 50 <= fed {
+                d.push_r(peaks[next_peak]).unwrap();
+                next_peak += 1;
+            }
+            d.poll_into(&mut streamed);
+        }
+
+        assert_eq!(streamed.len(), batch.len());
+        for (s, (w, p)) in streamed.iter().zip(&batch) {
+            assert_eq!(s.window, *w);
+            assert_eq!(s.points, *p);
+        }
+    }
+
+    #[test]
+    fn r_ahead_of_samples_is_held_back() {
+        let raw = synth(2000);
+        let mut d = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        // R peaks announced long before any conditioned sample arrives.
+        d.push_r(0).unwrap();
+        d.push_r(200).unwrap();
+        let mut out = Vec::new();
+        d.poll_into(&mut out);
+        assert!(out.is_empty(), "no samples yet — nothing may finalize");
+        d.push_samples(&raw[..150]);
+        d.poll_into(&mut out);
+        assert!(out.is_empty(), "segment not yet covered");
+        d.push_samples(&raw[150..300]);
+        d.poll_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window, BeatWindow { r: 0, end: 200 });
+    }
+
+    #[test]
+    fn out_of_range_rr_is_skipped() {
+        let raw = synth(3000);
+        let mut d = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        d.push_samples(&raw);
+        // 40-sample RR (0.16 s) is below min_rr; the follow-up beat is fine.
+        for r in [0, 40, 300] {
+            d.push_r(r).unwrap();
+        }
+        let mut out = Vec::new();
+        d.poll_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window, BeatWindow { r: 40, end: 300 });
+    }
+
+    #[test]
+    fn non_ascending_r_rejected() {
+        let mut d = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        d.push_r(100).unwrap();
+        assert!(d.push_r(100).is_err());
+        assert!(d.push_r(50).is_err());
+    }
+
+    #[test]
+    fn memory_stays_bounded_without_beats() {
+        let mut d = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        let chunk = vec![0.0; 250];
+        let mut out = Vec::new();
+        for _ in 0..600 {
+            d.push_samples(&chunk);
+            d.poll_into(&mut out);
+        }
+        assert!(out.is_empty());
+        // cap = 2 × max_rr × fs = 1000 samples
+        assert_eq!(d.samples_end(), 150_000);
+        assert!(d.ring.len() <= 1000 + 250);
+    }
+
+    #[test]
+    fn bad_rr_range_rejected() {
+        assert!(BeatDelineator::new(FS, XSearch::GlobalMinimum, 2.0, 0.3).is_err());
+        assert!(BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.0, 2.0).is_err());
+    }
+}
