@@ -1,0 +1,120 @@
+//! CI validator for the metrics snapshot embedded in a `perf_bench`
+//! document: `cargo run --bin metrics_check -- BENCH.json` parses the
+//! file with the dependency-free `cardiotouch-obs` JSON parser and
+//! fails (exit 1) unless the document is schema v3+ and its `metrics`
+//! object carries the core instrumentation the streaming stack is
+//! supposed to populate — beat counters, design-cache hit statistics
+//! and a non-empty per-hop latency histogram.
+
+use std::process::ExitCode;
+
+use cardiotouch_obs::json::{self, Value};
+
+/// Counters every benchmarked run must have incremented.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "core.stream.beats_emitted",
+    "core.scheduler.ticks",
+    "ecg.online.beats_detected",
+    "icg.online.beats_delineated",
+    "dsp.design_cache.hits",
+    "dsp.design_cache.misses",
+];
+
+/// Counters that must be registered but may legitimately still be zero
+/// (the smoke fleet runs fewer ticks than the engine's settle latency,
+/// so its sessions may not have emitted any beat yet).
+const PRESENT_COUNTERS: &[&str] = &["core.scheduler.beats", "core.stream.samples_sanitized"];
+
+/// Histograms that must exist with at least one recorded sample.
+const REQUIRED_HISTOGRAMS: &[&str] = &["core.scheduler.hop_us", "core.stream.hop_us"];
+
+fn check(doc: &Value) -> Result<(), String> {
+    let schema = doc
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .ok_or("missing schema_version")?;
+    if schema < 3.0 {
+        return Err(format!(
+            "schema_version {schema} predates embedded metrics (need >= 3)"
+        ));
+    }
+    let metrics = doc.get("metrics").ok_or("missing `metrics` object")?;
+    let counters = metrics
+        .get("counters")
+        .and_then(Value::as_obj)
+        .ok_or("metrics.counters missing or not an object")?;
+    for name in REQUIRED_COUNTERS {
+        let v = counters
+            .get(*name)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("counter `{name}` missing"))?;
+        if v <= 0.0 {
+            return Err(format!("counter `{name}` is {v}, expected > 0"));
+        }
+    }
+    for name in PRESENT_COUNTERS {
+        if counters.get(*name).and_then(Value::as_f64).is_none() {
+            return Err(format!("counter `{name}` missing"));
+        }
+    }
+    let histograms = metrics
+        .get("histograms")
+        .and_then(Value::as_obj)
+        .ok_or("metrics.histograms missing or not an object")?;
+    for name in REQUIRED_HISTOGRAMS {
+        let h = histograms
+            .get(*name)
+            .ok_or_else(|| format!("histogram `{name}` missing"))?;
+        let count = h
+            .get("count")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("histogram `{name}` has no count"))?;
+        if count <= 0.0 {
+            return Err(format!("histogram `{name}` is empty"));
+        }
+        for q in ["p50", "p99"] {
+            if h.get(q).and_then(Value::as_f64).is_none() {
+                return Err(format!("histogram `{name}` has no {q}"));
+            }
+        }
+    }
+    let overhead = doc
+        .get("obs")
+        .and_then(|o| o.get("overhead_pct"))
+        .and_then(Value::as_f64)
+        .ok_or("missing obs.overhead_pct")?;
+    eprintln!(
+        "metrics snapshot ok: {} counters, {} histograms, obs overhead {overhead:.2} %",
+        counters.len(),
+        histograms.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: metrics_check <BENCH.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: invalid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&doc) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

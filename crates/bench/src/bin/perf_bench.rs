@@ -9,9 +9,16 @@
 //!
 //! Unlike the criterion benches (which need `cargo bench` and print
 //! human-oriented tables), this binary runs in seconds and emits one JSON
-//! document. Arguments: an optional output path (`-` writes to stdout)
-//! and `--smoke`, which shrinks every measurement for CI smoke runs
-//! (same schema, noisier numbers).
+//! document. Arguments: an optional output path (`-` writes to stdout),
+//! `--smoke`, which shrinks every measurement for CI smoke runs (same
+//! schema, noisier numbers), and `--metrics`, which additionally prints
+//! the embedded observability snapshot to stderr.
+//!
+//! Since schema v3 the document embeds a compact snapshot of the
+//! process-wide `cardiotouch-obs` registry (every counter/gauge/latency
+//! histogram the run populated) plus the measured throughput overhead of
+//! the instrumentation itself (incremental engine re-timed with the
+//! registry's global gate off).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -137,9 +144,12 @@ fn today_iso() -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out_path: Option<String> = None;
     let mut smoke = false;
+    let mut print_metrics = false;
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--metrics" {
+            print_metrics = true;
         } else {
             out_path = Some(arg);
         }
@@ -217,6 +227,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let inc_sessions_per_sec = inc.iters as f64 / inc.elapsed_s.max(1e-12);
     kernels.push(inc);
+
+    // Same workload with the global metrics gate alternately on and off:
+    // interleaving the iterations makes slow drift (thermal, frequency
+    // scaling, cache warmth) hit both sides equally, so the remaining gap
+    // is the cost of the observability wiring on the streaming hot path.
+    let overhead_pairs = if smoke { 12 } else { 100 };
+    let mut obs_on_ns = 0u64;
+    let mut obs_off_ns = 0u64;
+    for _ in 0..overhead_pairs {
+        let t = Instant::now();
+        run_incremental();
+        obs_on_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        cardiotouch_obs::set_enabled(false);
+        let t = Instant::now();
+        run_incremental();
+        obs_off_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        cardiotouch_obs::set_enabled(true);
+    }
+    let inc_on_sessions_per_sec = overhead_pairs as f64 / (obs_on_ns as f64 / 1e9).max(1e-12);
+    let inc_off_sessions_per_sec = overhead_pairs as f64 / (obs_off_ns as f64 / 1e9).max(1e-12);
+    let obs_overhead_pct =
+        100.0 * (obs_on_ns as f64 - obs_off_ns as f64) / (obs_off_ns as f64).max(1.0);
 
     let run_reanalysis = |window_s: f64| {
         let mut s = ReanalysisBeatStream::with_window(config, window_s).expect("stream");
@@ -304,11 +336,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(outcome.summary.mean_correlation.is_finite());
 
     let cache = design_cache::stats();
+    // Taken last so it reflects everything the benchmarks streamed.
+    let metrics_snapshot = cardiotouch_obs::snapshot();
 
     // --- Emit ------------------------------------------------------------
     let date = today_iso();
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 2,\n");
+    json.push_str("  \"schema_version\": 3,\n");
     json.push_str(&format!("  \"date\": \"{date}\",\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!(
@@ -403,7 +437,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str(&format!(
         "    \"pipeline_sessions_per_sec\": {pipeline_sessions_per_sec:.2}\n"
     ));
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str("  \"obs\": {\n");
+    json.push_str(&format!("    \"overhead_pct\": {obs_overhead_pct:.2},\n"));
+    json.push_str(&format!(
+        "    \"sessions_per_sec_obs_on\": {inc_on_sessions_per_sec:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"sessions_per_sec_obs_off\": {inc_off_sessions_per_sec:.2}\n"
+    ));
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"metrics\": {}\n",
+        metrics_snapshot.to_json(false)
+    ));
+    json.push_str("}\n");
 
     let path = out_path.unwrap_or_else(|| format!("BENCH_{date}.json"));
     if path == "-" {
@@ -415,5 +463,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!(
         "incremental {inc_sessions_per_sec:.0} sessions/s vs reanalysis {re_sessions_per_sec:.0} sessions/s ({speedup:.1}x)"
     );
+    eprintln!("obs overhead on the incremental engine: {obs_overhead_pct:.2} %");
+    if print_metrics {
+        eprintln!("{}", metrics_snapshot.to_json(false));
+    }
     Ok(())
 }

@@ -38,6 +38,9 @@ pub enum Command {
         quick: bool,
         /// Worker-thread count for the session grid (`None` → automatic).
         threads: Option<usize>,
+        /// Write a metrics snapshot (JSON) here after the run (`-` for
+        /// stdout).
+        metrics_out: Option<String>,
     },
     /// Drive many concurrent streaming sessions through the incremental
     /// engine and report sustained throughput and per-hop latency.
@@ -50,6 +53,10 @@ pub enum Command {
         seconds: usize,
         /// Random seed for the template recordings.
         seed: u64,
+        /// Metrics destination: `.jsonl` paths stream one snapshot per
+        /// tick, anything else gets one pretty snapshot after the run
+        /// (`-` for stdout).
+        metrics_out: Option<String>,
     },
     /// Print the Table-I power model and battery-life figures.
     Power,
@@ -78,9 +85,14 @@ USAGE:
                        [--seconds S] [--seed N] [--out FILE]
   cardiotouch analyze <recording.csv> [--beats-out FILE] [--sqi]
                        [--hemo-z0 OHM]
-  cardiotouch study [--quick] [--threads N]
+  cardiotouch study [--quick] [--threads N] [--metrics-out FILE]
   cardiotouch serve-sim [--sessions N] [--threads N] [--seconds S]
-                       [--seed N]
+                       [--seed N] [--metrics-out FILE]
+
+Metrics: --metrics-out writes a point-in-time observability snapshot
+(counters, gauges, latency histograms) as JSON; `-` writes to stdout.
+For serve-sim a path ending in `.jsonl` streams one compact snapshot
+line per scheduler tick instead.
   cardiotouch power
   cardiotouch help
 ";
@@ -107,6 +119,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         "study" => {
             let mut quick = false;
             let mut threads = None;
+            let mut metrics_out = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -125,16 +138,31 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         threads = Some(n);
                         i += 2;
                     }
+                    "--metrics-out" => {
+                        metrics_out = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| {
+                                    ParseArgsError("--metrics-out requires a value".into())
+                                })?
+                                .to_string(),
+                        );
+                        i += 2;
+                    }
                     other => return Err(unknown_flag("study", other)),
                 }
             }
-            Ok(Command::Study { quick, threads })
+            Ok(Command::Study {
+                quick,
+                threads,
+                metrics_out,
+            })
         }
         "serve-sim" => {
             let mut sessions = 256usize;
             let mut threads = None;
             let mut seconds = 10usize;
             let mut seed = 7u64;
+            let mut metrics_out = None;
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
@@ -148,6 +176,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                     "--threads" => threads = Some(parse_num(flag, value(i)?)?),
                     "--seconds" => seconds = parse_num(flag, value(i)?)?,
                     "--seed" => seed = parse_num(flag, value(i)?)?,
+                    "--metrics-out" => metrics_out = Some(value(i)?.clone()),
                     other => return Err(unknown_flag("serve-sim", other)),
                 }
                 i += 2;
@@ -166,6 +195,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 threads,
                 seconds,
                 seed,
+                metrics_out,
             })
         }
         "simulate" => {
@@ -381,14 +411,16 @@ mod tests {
             p(&["study"]).unwrap(),
             Command::Study {
                 quick: false,
-                threads: None
+                threads: None,
+                metrics_out: None
             }
         );
         assert_eq!(
             p(&["study", "--quick"]).unwrap(),
             Command::Study {
                 quick: true,
-                threads: None
+                threads: None,
+                metrics_out: None
             }
         );
         assert_eq!(p(&["power"]).unwrap(), Command::Power);
@@ -404,7 +436,8 @@ mod tests {
                 sessions: 256,
                 threads: None,
                 seconds: 10,
-                seed: 7
+                seed: 7,
+                metrics_out: None
             }
         );
         assert_eq!(
@@ -424,7 +457,8 @@ mod tests {
                 sessions: 1000,
                 threads: Some(4),
                 seconds: 30,
-                seed: 9
+                seed: 9,
+                metrics_out: None
             }
         );
         assert!(p(&["serve-sim", "--sessions", "0"]).is_err());
@@ -439,18 +473,54 @@ mod tests {
             p(&["study", "--threads", "4"]).unwrap(),
             Command::Study {
                 quick: false,
-                threads: Some(4)
+                threads: Some(4),
+                metrics_out: None
             }
         );
         assert_eq!(
             p(&["study", "--quick", "--threads", "2"]).unwrap(),
             Command::Study {
                 quick: true,
-                threads: Some(2)
+                threads: Some(2),
+                metrics_out: None
             }
         );
         assert!(p(&["study", "--threads"]).is_err());
         assert!(p(&["study", "--threads", "0"]).is_err());
         assert!(p(&["study", "--threads", "abc"]).is_err());
+    }
+
+    #[test]
+    fn metrics_out_flag() {
+        assert_eq!(
+            p(&["serve-sim", "--metrics-out", "m.json"]).unwrap(),
+            Command::ServeSim {
+                sessions: 256,
+                threads: None,
+                seconds: 10,
+                seed: 7,
+                metrics_out: Some("m.json".into())
+            }
+        );
+        assert_eq!(
+            p(&["serve-sim", "--sessions", "8", "--metrics-out", "m.jsonl"]).unwrap(),
+            Command::ServeSim {
+                sessions: 8,
+                threads: None,
+                seconds: 10,
+                seed: 7,
+                metrics_out: Some("m.jsonl".into())
+            }
+        );
+        assert_eq!(
+            p(&["study", "--quick", "--metrics-out", "-"]).unwrap(),
+            Command::Study {
+                quick: true,
+                threads: None,
+                metrics_out: Some("-".into())
+            }
+        );
+        assert!(p(&["serve-sim", "--metrics-out"]).is_err());
+        assert!(p(&["study", "--metrics-out"]).is_err());
     }
 }

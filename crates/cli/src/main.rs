@@ -26,6 +26,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +44,22 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Writes a pretty point-in-time snapshot of the process-wide metrics
+/// registry to `path` (`-` for stdout).
+fn write_metrics_snapshot(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let json = cardiotouch_obs::snapshot().to_json(true);
+    if path == "-" {
+        println!("{json}");
+    } else {
+        let mut f = BufWriter::new(File::create(path)?);
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.flush()?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    Ok(())
 }
 
 fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
@@ -75,7 +92,11 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             Ok(())
         }
-        Command::Study { quick, threads } => {
+        Command::Study {
+            quick,
+            threads,
+            metrics_out,
+        } => {
             let mut config = StudyConfig::paper_default();
             if quick {
                 config.protocol = Protocol {
@@ -101,6 +122,9 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", report::relative_errors(&outcome.errors));
             println!("{}", report::hemodynamics(&outcome.hemodynamics));
             print!("{}", report::summary(&outcome.summary));
+            if let Some(path) = metrics_out {
+                write_metrics_snapshot(&path)?;
+            }
             Ok(())
         }
         Command::ServeSim {
@@ -108,6 +132,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             threads,
             seconds,
             seed,
+            metrics_out,
         } => {
             // A handful of distinct template recordings (subject × seed)
             // shared across the fleet: generation is the expensive part,
@@ -143,13 +168,36 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             let config = PipelineConfig::paper_default(fs);
             let mut scheduler = SessionScheduler::new(config, feeds)?;
             eprintln!("serving {sessions} concurrent sessions for {seconds} simulated seconds…");
-            let report = match threads {
-                Some(n) => rayon::ThreadPoolBuilder::new()
-                    .num_threads(n)
-                    .build()?
-                    .install(|| scheduler.run(seconds))?,
-                None => scheduler.run(seconds)?,
+            // A `.jsonl` metrics path streams one registry snapshot per
+            // scheduler tick (a metrics time series); any other path gets
+            // one pretty snapshot after the run.
+            let mut exporter = match metrics_out.as_deref().filter(|p| p.ends_with(".jsonl")) {
+                Some(p) => Some(cardiotouch_obs::JsonlExporter::new(BufWriter::new(
+                    File::create(p)?,
+                ))),
+                None => None,
             };
+            let pool = match threads {
+                Some(n) => Some(rayon::ThreadPoolBuilder::new().num_threads(n).build()?),
+                None => None,
+            };
+            let start = Instant::now();
+            for _ in 0..seconds {
+                match &pool {
+                    Some(p) => p.install(|| scheduler.tick())?,
+                    None => scheduler.tick()?,
+                }
+                if let Some(ex) = &mut exporter {
+                    ex.export(&cardiotouch_obs::snapshot())?;
+                }
+            }
+            let report = scheduler.report(start.elapsed().as_secs_f64());
+            if let Some(ex) = exporter {
+                let path = metrics_out.as_deref().unwrap_or("-");
+                eprintln!("streamed {} metric snapshots to {path}", ex.lines());
+            } else if let Some(path) = &metrics_out {
+                write_metrics_snapshot(path)?;
+            }
             println!("sessions            : {}", report.sessions);
             println!("worker threads      : {}", report.threads);
             println!(

@@ -295,6 +295,8 @@ impl Pipeline {
         ecg: &[f64],
         z: &[f64],
     ) -> Result<Analysis, CoreError> {
+        let _span = cardiotouch_obs::span!("core.pipeline.analyze_us");
+        cardiotouch_obs::counter("core.pipeline.analyses").inc();
         if ecg.len() != z.len() {
             return Err(CoreError::ChannelLengthMismatch {
                 ecg_len: ecg.len(),

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use cardiotouch_obs::LocalHistogram;
 use rayon::prelude::*;
 
 use crate::config::PipelineConfig;
@@ -107,8 +108,14 @@ pub struct SessionScheduler {
     slots: Vec<SessionSlot>,
     hop: usize,
     fs: f64,
-    hop_ns: Vec<u64>,
+    /// Per-hop wall-clock costs in nanoseconds. A log-linear histogram
+    /// (~3% bucket width) replaces the old sorted-`Vec` percentile scan:
+    /// O(1) memory regardless of run length, O(buckets) quantile reads.
+    hop_hist: LocalHistogram,
     ticks: usize,
+    hop_us: cardiotouch_obs::Histogram,
+    ticks_counter: cardiotouch_obs::Counter,
+    beats_counter: cardiotouch_obs::Counter,
 }
 
 impl SessionScheduler {
@@ -138,12 +145,18 @@ impl SessionScheduler {
                 beats: 0,
             });
         }
+        // The gauge handle lives in the process-wide registry; the
+        // scheduler only needs to publish the fleet size once.
+        cardiotouch_obs::gauge("core.scheduler.sessions_active").set(slots.len() as i64);
         Ok(Self {
             slots,
             hop,
             fs,
-            hop_ns: Vec::new(),
+            hop_hist: LocalHistogram::new(),
             ticks: 0,
+            hop_us: cardiotouch_obs::histogram("core.scheduler.hop_us"),
+            ticks_counter: cardiotouch_obs::counter("core.scheduler.ticks"),
+            beats_counter: cardiotouch_obs::counter("core.scheduler.beats"),
         })
     }
 
@@ -174,12 +187,16 @@ impl SessionScheduler {
                 (slot, outcome, ns)
             })
             .collect();
+        let mut beats = 0;
         for (slot, outcome, ns) in results {
-            outcome?;
-            self.hop_ns.push(ns);
+            beats += outcome?;
+            self.hop_hist.record(ns);
+            self.hop_us.record((ns / 1_000).max(1));
             self.slots.push(slot);
         }
         self.ticks += 1;
+        self.ticks_counter.inc();
+        self.beats_counter.add(beats as u64);
         Ok(())
     }
 
@@ -197,16 +214,16 @@ impl SessionScheduler {
         Ok(self.report(elapsed_s))
     }
 
-    /// Builds the report for everything ticked so far.
-    fn report(&self, elapsed_s: f64) -> ScheduleReport {
-        let mut sorted = self.hop_ns.clone();
-        sorted.sort_unstable();
+    /// Builds the report for everything ticked so far. Quantiles come
+    /// from the log-linear hop histogram (≲3% relative bucket error)
+    /// rather than a sorted copy of every sample.
+    #[must_use]
+    pub fn report(&self, elapsed_s: f64) -> ScheduleReport {
         let pct = |p: f64| -> f64 {
-            if sorted.is_empty() {
+            if self.hop_hist.count() == 0 {
                 return 0.0;
             }
-            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-            sorted[idx] as f64 / 1e3
+            self.hop_hist.quantile(p) / 1e3
         };
         ScheduleReport {
             sessions: self.slots.len(),

@@ -91,6 +91,17 @@ pub struct BeatStream {
     hp_buf: Vec<f64>,
     delineator: BeatDelineator,
     beats_scratch: Vec<OnlineBeat>,
+    // --- observability (see DESIGN.md §6c) ---
+    /// `core.stream.beats_emitted` — finalized reports handed to callers.
+    beats_emitted: cardiotouch_obs::Counter,
+    /// `core.stream.samples_sanitized` — non-finite samples replaced at
+    /// ingestion (per channel sample, not per pair).
+    samples_sanitized: cardiotouch_obs::Counter,
+    /// `core.stream.holdover_events` — finite→non-finite transitions,
+    /// i.e. distinct glitch bursts rather than glitched samples.
+    holdover_events: cardiotouch_obs::Counter,
+    ecg_in_holdover: bool,
+    z_in_holdover: bool,
 }
 
 impl BeatStream {
@@ -145,6 +156,11 @@ impl BeatStream {
             hp_buf: Vec::new(),
             delineator: BeatDelineator::new(fs, config.x_search, config.min_rr_s, config.max_rr_s)?,
             beats_scratch: Vec::new(),
+            beats_emitted: cardiotouch_obs::counter("core.stream.beats_emitted"),
+            samples_sanitized: cardiotouch_obs::counter("core.stream.samples_sanitized"),
+            holdover_events: cardiotouch_obs::counter("core.stream.holdover_events"),
+            ecg_in_holdover: false,
+            z_in_holdover: false,
         })
     }
 
@@ -173,22 +189,45 @@ impl BeatStream {
                 z_len: z.len(),
             });
         }
+        // Metric deltas accumulate locally and flush as one batched
+        // atomic add per counter per chunk, keeping the per-sample loop
+        // free of shared-memory traffic.
+        let mut sanitized: u64 = 0;
+        let mut holdovers: u64 = 0;
         for (&e, &zv) in ecg.iter().zip(z) {
             // Hold the last finite value over non-finite glitches; the
             // recursive filters must never ingest a NaN (it would stick
             // in their state forever).
             if e.is_finite() {
                 self.last_ecg = e;
+                self.ecg_in_holdover = false;
+            } else {
+                sanitized += 1;
+                if !self.ecg_in_holdover {
+                    holdovers += 1;
+                    self.ecg_in_holdover = true;
+                }
             }
             self.pend_ecg.push(self.last_ecg);
             if zv.is_finite() {
                 self.last_z = zv;
                 self.z_seen_finite = true;
+                self.z_in_holdover = false;
+            } else {
+                sanitized += 1;
+                if !self.z_in_holdover {
+                    holdovers += 1;
+                    self.z_in_holdover = true;
+                }
             }
             self.pend_z
                 .push(if self.z_seen_finite { self.last_z } else { 0.0 });
         }
         self.pushed += ecg.len();
+        if sanitized > 0 {
+            self.samples_sanitized.add(sanitized);
+            self.holdover_events.add(holdovers);
+        }
 
         let mut out = Vec::new();
         let mut off = 0;
@@ -198,11 +237,15 @@ impl BeatStream {
         }
         self.pend_ecg.drain(..off);
         self.pend_z.drain(..off);
+        if !out.is_empty() {
+            self.beats_emitted.add(out.len() as u64);
+        }
         Ok(out)
     }
 
     /// Consumes one exact hop starting at `off` in the pending buffers.
     fn process_hop(&mut self, off: usize, out: &mut Vec<BeatReport>) {
+        let _hop_span = cardiotouch_obs::span!("core.stream.hop_us");
         let hop = self.hop;
 
         // ECG: raw ring (for apex refinement) + online QRS detection.

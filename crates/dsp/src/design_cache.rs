@@ -19,7 +19,6 @@
 //! workspace is a handful of filters; the cache stays a few kilobytes.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::fir::Fir;
@@ -104,13 +103,33 @@ fn cache() -> &'static Mutex<HashMap<Key, Entry>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Registry counter of cache hits (`dsp.design_cache.hits`).
+fn hits() -> &'static cardiotouch_obs::Counter {
+    static C: OnceLock<cardiotouch_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| cardiotouch_obs::counter("dsp.design_cache.hits"))
+}
+
+/// Registry counter of cache misses (`dsp.design_cache.misses`).
+fn misses() -> &'static cardiotouch_obs::Counter {
+    static C: OnceLock<cardiotouch_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| cardiotouch_obs::counter("dsp.design_cache.misses"))
+}
+
+/// Registry gauge of resident entries (`dsp.design_cache.entries`).
+fn entries_gauge() -> &'static cardiotouch_obs::Gauge {
+    static G: OnceLock<cardiotouch_obs::Gauge> = OnceLock::new();
+    G.get_or_init(|| cardiotouch_obs::gauge("dsp.design_cache.entries"))
+}
 
 /// A snapshot of the cache's hit/miss counters, taken with
 /// [`stats`]. Counters are process-wide, monotone, and never reset;
 /// consumers interested in a window of activity should difference two
 /// snapshots.
+///
+/// This type is a thin shim over the `cardiotouch-obs` registry
+/// counters `dsp.design_cache.{hits,misses}` (and the `entries` gauge):
+/// existing callers keep their API while metric exporters see the same
+/// numbers under the uniform naming scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from an already-designed entry.
@@ -136,8 +155,8 @@ impl CacheStats {
 #[must_use]
 pub fn stats() -> CacheStats {
     CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
+        hits: hits().get(),
+        misses: misses().get(),
         entries: cache().lock().expect("design cache poisoned").len(),
     }
 }
@@ -146,21 +165,23 @@ pub fn stats() -> CacheStats {
 /// runs outside the lock so a slow design never blocks other lookups.
 fn get_fir(key: Key, design: impl FnOnce() -> Result<Fir, DspError>) -> Result<Arc<Fir>, DspError> {
     if let Some(Entry::Fir(f)) = cache().lock().expect("design cache poisoned").get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        hits().inc();
         return Ok(Arc::clone(f));
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    misses().inc();
     let designed = Arc::new(design()?);
     let mut map = cache().lock().expect("design cache poisoned");
     // A racing thread may have inserted the same (deterministic) design;
     // keep the first insertion so all holders share one allocation.
-    match map
+    let out = match map
         .entry(key)
         .or_insert_with(|| Entry::Fir(Arc::clone(&designed)))
     {
         Entry::Fir(f) => Ok(Arc::clone(f)),
         Entry::Butterworth(_) => unreachable!("FIR key mapped to Butterworth entry"),
-    }
+    };
+    entries_gauge().set(map.len() as i64);
+    out
 }
 
 /// Butterworth twin of [`get_fir`].
@@ -169,19 +190,21 @@ fn get_butterworth(
     design: impl FnOnce() -> Result<Butterworth, DspError>,
 ) -> Result<Arc<Butterworth>, DspError> {
     if let Some(Entry::Butterworth(f)) = cache().lock().expect("design cache poisoned").get(&key) {
-        HITS.fetch_add(1, Ordering::Relaxed);
+        hits().inc();
         return Ok(Arc::clone(f));
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    misses().inc();
     let designed = Arc::new(design()?);
     let mut map = cache().lock().expect("design cache poisoned");
-    match map
+    let out = match map
         .entry(key)
         .or_insert_with(|| Entry::Butterworth(Arc::clone(&designed)))
     {
         Entry::Butterworth(f) => Ok(Arc::clone(f)),
         Entry::Fir(_) => unreachable!("Butterworth key mapped to FIR entry"),
-    }
+    };
+    entries_gauge().set(map.len() as i64);
+    out
 }
 
 /// Cached [`Fir::lowpass`].

@@ -37,6 +37,8 @@ pub struct OnlinePanTompkins {
     /// pending candidate: (mwi peak index, deadline for confirmation)
     pending: Option<usize>,
     warmup: usize,
+    /// `ecg.online.beats_detected` — confirmed R emissions.
+    beats_detected: cardiotouch_obs::Counter,
 }
 
 impl OnlinePanTompkins {
@@ -80,6 +82,7 @@ impl OnlinePanTompkins {
             refractory: (0.200 * fs) as usize,
             pending: None,
             warmup: (2.0 * fs) as usize,
+            beats_detected: cardiotouch_obs::counter("ecg.online.beats_detected"),
         })
     }
 
@@ -155,6 +158,7 @@ impl OnlinePanTompkins {
                 // apex must respect the refractory after localisation too
                 if self.last_r.map_or(true, |p| r > p + self.refractory) {
                     self.last_r = Some(r);
+                    self.beats_detected.inc();
                     return Some(r);
                 }
             }

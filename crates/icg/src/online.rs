@@ -57,6 +57,13 @@ pub struct BeatDelineator {
     ring: HistoryRing,
     /// Confirmed R peaks not yet consumed as a beat start.
     rs: VecDeque<usize>,
+    /// `icg.online.beats_delineated` — finalized beats.
+    beats_delineated: cardiotouch_obs::Counter,
+    /// `icg.online.delineation_failures` — segments the point detector
+    /// rejected.
+    delineation_failures: cardiotouch_obs::Counter,
+    /// `icg.online.rr_rejected` — beats skipped for out-of-range RR.
+    rr_rejected: cardiotouch_obs::Counter,
 }
 
 impl BeatDelineator {
@@ -82,6 +89,9 @@ impl BeatDelineator {
             detector: PointDetector::new(fs, x_search)?,
             ring: HistoryRing::new(),
             rs: VecDeque::new(),
+            beats_delineated: cardiotouch_obs::counter("icg.online.beats_delineated"),
+            delineation_failures: cardiotouch_obs::counter("icg.online.delineation_failures"),
+            rr_rejected: cardiotouch_obs::counter("icg.online.rr_rejected"),
         })
     }
 
@@ -132,12 +142,17 @@ impl BeatDelineator {
             if rr >= self.min_rr_s && rr <= self.max_rr_s && r0 >= self.ring.base() {
                 let segment = self.ring.slice(r0, r1);
                 if let Ok(points) = self.detector.detect(segment) {
+                    self.beats_delineated.inc();
                     out.push(OnlineBeat {
                         window,
                         points,
                         dzdt_max: segment[points.c],
                     });
+                } else {
+                    self.delineation_failures.inc();
                 }
+            } else {
+                self.rr_rejected.inc();
             }
             self.rs.pop_front();
         }

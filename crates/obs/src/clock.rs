@@ -1,0 +1,109 @@
+//! Time sources for span timing.
+//!
+//! Spans measure durations against a [`Clock`] owned by their
+//! [`crate::Registry`]. Production registries use [`MonotonicClock`]
+//! (`std::time::Instant` against a per-registry epoch); tests inject a
+//! [`ManualClock`] and advance it explicitly, which makes span timing
+//! fully deterministic — a test can assert the exact recorded duration.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+///
+/// Implementations must be monotone non-decreasing; span durations are
+/// computed as differences of two readings.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Nanoseconds since an arbitrary (per-clock) epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock monotonic time via [`Instant`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock that only moves when told to — the deterministic test double.
+///
+/// ```
+/// use cardiotouch_obs::clock::{Clock, ManualClock};
+/// let c = ManualClock::default();
+/// c.advance_us(250);
+/// assert_eq!(c.now_ns(), 250_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// Moves the clock forward by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Moves the clock forward by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        self.advance_ns(us.saturating_mul(1_000));
+    }
+
+    /// Sets the absolute reading. Callers are responsible for keeping it
+    /// monotone if spans are open across the call.
+    pub fn set_ns(&self, ns: u64) {
+        self.ns.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_exact() {
+        let c = ManualClock::default();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_ns(7);
+        c.advance_us(3);
+        assert_eq!(c.now_ns(), 3_007);
+        c.set_ns(42);
+        assert_eq!(c.now_ns(), 42);
+    }
+}

@@ -1,0 +1,548 @@
+//! Metric primitives: atomic counters, gauges, and lock-free
+//! log-linear histograms.
+//!
+//! All handles are cheap `Arc` clones of a shared cell registered in a
+//! [`crate::Registry`]; updating a metric never takes a lock. Every
+//! mutator is gated by the owning registry's enabled flag, so disabling
+//! observability reduces each update to one relaxed atomic load — that
+//! gate is what lets `perf_bench` measure the instrumentation overhead
+//! of the streaming hot path directly.
+//!
+//! # Histogram design
+//!
+//! [`Histogram`] buckets values on a **log-linear** grid: values below
+//! 2⁵ = 32 get exact unit buckets, and every octave `[2ᵏ, 2ᵏ⁺¹)` above
+//! that is split into 32 linear sub-buckets. The worst-case relative
+//! width of a bucket is 1/32 ≈ 3.1 %, so any quantile read off the grid
+//! (bucket midpoint) is within ~1.6 % of the exact order statistic —
+//! ample for latency percentiles, at 1 920 buckets total.
+//!
+//! Recording is lock-free and contention-free: each histogram keeps a
+//! small set of **shards** (arrays of `AtomicU64` counts) and every
+//! thread hashes to a stable shard, so concurrent recorders touch
+//! disjoint cache lines. Queries merge the shards; merging loses
+//! nothing because bucket counts are order-independent sums. The
+//! non-atomic [`LocalHistogram`] twin serves single-threaded hot loops
+//! and exact-reference tests, and can be absorbed into a shared
+//! [`Histogram`] — the per-thread-shard-then-merge pattern.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Sub-bucket resolution: 2⁵ = 32 linear divisions per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+pub(crate) const NUM_BUCKETS: usize = SUB * (64 - SUB_BITS as usize + 1);
+/// Number of write shards per histogram.
+const SHARDS: usize = 8;
+
+/// Maps a value to its bucket index (monotone in the value).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) as usize) - SUB;
+    (msb - SUB_BITS + 1) as usize * SUB + sub
+}
+
+/// Lower bound and width of bucket `idx`.
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx < SUB {
+        return (idx as u64, 1);
+    }
+    let block = (idx / SUB) as u32;
+    let msb = block + SUB_BITS - 1;
+    let sub = (idx % SUB) as u64;
+    let shift = msb - SUB_BITS;
+    ((SUB as u64 + sub) << shift, 1u64 << shift)
+}
+
+/// Representative value reported for bucket `idx` (exact for the unit
+/// buckets, midpoint otherwise).
+fn representative(idx: usize) -> f64 {
+    let (lo, width) = bucket_bounds(idx);
+    if width == 1 {
+        lo as f64
+    } else {
+        lo as f64 + width as f64 / 2.0
+    }
+}
+
+/// Nearest-rank quantile over merged bucket counts.
+pub(crate) fn quantile_from_counts(counts: &[u64], total: u64, q: f64) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = ((total - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+    let mut cum = 0u64;
+    for (idx, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum > rank {
+            return representative(idx);
+        }
+    }
+    representative(NUM_BUCKETS - 1)
+}
+
+/// Stable per-thread shard assignment (round-robin at first use).
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    IDX.with(|i| *i)
+}
+
+/// A monotone event counter. Handles are cheap clones of one shared
+/// atomic; two handles compare equal when they share the cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+    gate: Arc<AtomicBool>,
+}
+
+impl Counter {
+    pub(crate) fn new(gate: Arc<AtomicBool>) -> Self {
+        Self {
+            cell: Arc::new(AtomicU64::new(0)),
+            gate,
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for Counter {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// A last-written-wins instantaneous value (queue depths, resident
+/// entries, sessions active).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+    gate: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    pub(crate) fn new(gate: Arc<AtomicBool>) -> Self {
+        Self {
+            cell: Arc::new(AtomicI64::new(0)),
+            gate,
+        }
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if self.gate.load(Ordering::Relaxed) {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for Gauge {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// Shared state behind a [`Histogram`] handle.
+pub(crate) struct HistogramCell {
+    /// `SHARDS` independent bucket arrays; threads write disjoint shards.
+    shards: Vec<Vec<AtomicU64>>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free log-linear histogram of `u64` observations (typically
+/// durations in microseconds or nanoseconds — the unit is the caller's
+/// naming convention, e.g. a `…_us` metric records microseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+    gate: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    pub(crate) fn new(gate: Arc<AtomicBool>) -> Self {
+        Self {
+            cell: Arc::new(HistogramCell::new()),
+            gate,
+        }
+    }
+
+    /// Records one observation. Lock-free; concurrent recorders land on
+    /// distinct shards.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !self.gate.load(Ordering::Relaxed) {
+            return;
+        }
+        let c = &self.cell;
+        c.shards[shard_index()][bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Merges a thread-local histogram into this one (ignores the gate:
+    /// the local recorder already decided to measure).
+    pub fn absorb(&self, local: &LocalHistogram) {
+        let c = &self.cell;
+        let shard = &c.shards[shard_index()];
+        for (idx, &n) in local.counts.iter().enumerate() {
+            if n > 0 {
+                shard[idx].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        if local.count > 0 {
+            c.count.fetch_add(local.count, Ordering::Relaxed);
+            c.sum.fetch_add(local.sum, Ordering::Relaxed);
+            c.min.fetch_min(local.min, Ordering::Relaxed);
+            c.max.fetch_max(local.max, Ordering::Relaxed);
+        }
+    }
+
+    /// Total observation count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Merged bucket counts plus the scalar accumulators
+    /// `(counts, count, sum, min, max)`.
+    fn merged(&self) -> (Vec<u64>, u64, u64, u64, u64) {
+        let c = &self.cell;
+        let mut counts = vec![0u64; NUM_BUCKETS];
+        for shard in &c.shards {
+            for (dst, bucket) in counts.iter_mut().zip(shard) {
+                *dst += bucket.load(Ordering::Relaxed);
+            }
+        }
+        (
+            counts,
+            c.count.load(Ordering::Relaxed),
+            c.sum.load(Ordering::Relaxed),
+            c.min.load(Ordering::Relaxed),
+            c.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`) of everything recorded so
+    /// far; `0.0` when empty. Accurate to the bucket's relative width
+    /// (≤ 1/32).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let (counts, total, _, _, _) = self.merged();
+        quantile_from_counts(&counts, total, q)
+    }
+
+    /// Point-in-time distribution summary under `name`.
+    #[must_use]
+    pub fn stat(&self, name: &str) -> HistogramStat {
+        let (counts, count, sum, min, max) = self.merged();
+        HistogramStat::from_parts(name, &counts, count, sum, min, max)
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// Single-threaded histogram twin: plain `u64` buckets, no atomics, no
+/// gate. Use it where one thread owns the measurement loop (e.g. the
+/// scheduler's per-run latency record) and merge into a shared
+/// [`Histogram`] with [`Histogram::absorb`] when cross-thread
+/// aggregation is wanted.
+#[derive(Clone)]
+pub struct LocalHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LocalHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total observation count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`); `0.0` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_counts(&self.counts, self.count, q)
+    }
+
+    /// Point-in-time distribution summary under `name`.
+    #[must_use]
+    pub fn stat(&self, name: &str) -> HistogramStat {
+        HistogramStat::from_parts(name, &self.counts, self.count, self.sum, self.min, self.max)
+    }
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for LocalHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Exported distribution summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HistogramStat {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl HistogramStat {
+    fn from_parts(name: &str, counts: &[u64], count: u64, sum: u64, min: u64, max: u64) -> Self {
+        Self {
+            name: name.to_owned(),
+            count,
+            min: if count == 0 { 0 } else { min },
+            max,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            p50: quantile_from_counts(counts, count, 0.50),
+            p90: quantile_from_counts(counts, count, 0.90),
+            p99: quantile_from_counts(counts, count, 0.99),
+            p999: quantile_from_counts(counts, count, 0.999),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(true))
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_exhaustive() {
+        // unit buckets are exact
+        for v in 0..SUB as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+        }
+        // monotone across octave boundaries
+        let mut prev = 0;
+        for shift in 0..58 {
+            for v in [31u64 << shift, 32 << shift, 33 << shift] {
+                let idx = bucket_index(v);
+                assert!(idx >= prev, "index regressed at {v}");
+                assert!(idx < NUM_BUCKETS);
+                prev = idx;
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bounds_invert_the_index() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 123_456, u64::MAX / 3] {
+            let idx = bucket_index(v);
+            let (lo, width) = bucket_bounds(idx);
+            assert!(lo <= v && v < lo.saturating_add(width), "v={v} idx={idx}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LocalHistogram::new();
+        for v in [3u64, 3, 7, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 3.0);
+        assert_eq!(h.quantile(1.0), 9.0);
+        let s = h.stat("x");
+        assert_eq!((s.count, s.min, s.max), (4, 3, 9));
+        assert!((s.mean - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let mut h = LocalHistogram::new();
+        let mut values: Vec<u64> = (0..5_000).map(|i| 100 + 37 * i % 900_000).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = values[((values.len() - 1) as f64 * q).round() as usize] as f64;
+            let approx = h.quantile(q);
+            assert!(
+                (approx - exact).abs() <= exact / 32.0 + 1.0,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new(gate());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        let s = h.stat("e");
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn absorb_merges_local_shards() {
+        let shared = Histogram::new(gate());
+        let mut a = LocalHistogram::new();
+        let mut b = LocalHistogram::new();
+        for v in 1..=100u64 {
+            a.record(v);
+            b.record(v * 1_000);
+        }
+        shared.absorb(&a);
+        shared.absorb(&b);
+        let s = shared.stat("m");
+        assert_eq!(s.count, 200);
+        assert_eq!(s.min, 1);
+        // rank 100 of the 200 merged values is the smallest of `b`
+        assert!((s.p50 - 1_000.0).abs() <= 1_000.0 / 32.0, "p50={}", s.p50);
+    }
+
+    #[test]
+    fn disabled_gate_drops_records() {
+        let g = gate();
+        let c = Counter::new(Arc::clone(&g));
+        let h = Histogram::new(Arc::clone(&g));
+        let gau = Gauge::new(Arc::clone(&g));
+        g.store(false, Ordering::SeqCst);
+        c.inc();
+        h.record(5);
+        gau.set(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(gau.get(), 0);
+        g.store(true, Ordering::SeqCst);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

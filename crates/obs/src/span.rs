@@ -1,0 +1,169 @@
+//! Scoped span timers over a thread-local span stack.
+//!
+//! A span is an RAII guard: entering pushes the span name onto the
+//! current thread's stack and reads the registry clock; dropping pops
+//! the stack and records the elapsed time — in **microseconds**, per
+//! the `…_us` naming convention — into the registry histogram of the
+//! same name. Nesting is free (the stack is just a `Vec`), and
+//! [`depth`]/[`current`] expose it for tests and debugging.
+//!
+//! Spans opened while the registry is disabled skip the clock reads and
+//! the stack entirely, so a disabled process pays one atomic load per
+//! span site.
+
+use std::cell::RefCell;
+
+use crate::registry::Registry;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Number of spans currently open on this thread.
+#[must_use]
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}
+
+/// Name of the innermost open span on this thread, if any.
+#[must_use]
+pub fn current() -> Option<&'static str> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// An open span; records its duration on drop.
+///
+/// Created by [`Registry::span`] or the [`crate::span!`] macro. Guards
+/// should drop in reverse creation order (normal scoping guarantees
+/// this); an out-of-order drop still records correct durations, only
+/// the nesting stack telemetry degrades.
+#[derive(Debug)]
+pub struct SpanGuard<'r> {
+    registry: &'r Registry,
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+}
+
+impl<'r> SpanGuard<'r> {
+    /// Opens a span on `registry` timing into histogram `name`.
+    pub(crate) fn enter_in(registry: &'r Registry, name: &'static str) -> Self {
+        let active = registry.enabled();
+        let start_ns = if active {
+            STACK.with(|s| s.borrow_mut().push(name));
+            registry.clock().now_ns()
+        } else {
+            0
+        };
+        Self {
+            registry,
+            name,
+            start_ns,
+            active,
+        }
+    }
+
+    /// Opens a span on the global registry (what [`crate::span!`]
+    /// expands to).
+    #[must_use]
+    pub fn enter(name: &'static str) -> SpanGuard<'static> {
+        SpanGuard::enter_in(crate::registry(), name)
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let elapsed_ns = self.registry.clock().now_ns().saturating_sub(self.start_ns);
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&n| n == self.name) {
+                stack.remove(pos);
+            }
+        });
+        self.registry
+            .histogram(self.name)
+            .record(elapsed_ns / 1_000);
+    }
+}
+
+/// Opens a scoped span timer on the **global** registry: the guard
+/// records its lifetime (microseconds) into the histogram named by the
+/// argument when it drops.
+///
+/// ```
+/// {
+///     let _span = cardiotouch_obs::span!("example.work_us");
+///     // ... timed work ...
+/// } // histogram `example.work_us` gains one observation here
+/// assert!(cardiotouch_obs::snapshot().histogram("example.work_us").is_some());
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_exact_durations_with_a_manual_clock() {
+        let clock = Arc::new(ManualClock::default());
+        let reg = Registry::with_clock(Arc::clone(&clock) as Arc<dyn crate::clock::Clock>);
+        {
+            let _g = reg.span("t.outer_us");
+            clock.advance_us(1_000);
+            {
+                let _h = reg.span("t.inner_us");
+                clock.advance_us(200);
+                assert_eq!(depth(), 2);
+                assert_eq!(current(), Some("t.inner_us"));
+            }
+            clock.advance_us(300);
+        }
+        assert_eq!(depth(), 0);
+        let snap = reg.snapshot();
+        let inner = snap.histogram("t.inner_us").unwrap();
+        let outer = snap.histogram("t.outer_us").unwrap();
+        assert_eq!(inner.count, 1);
+        assert_eq!(outer.count, 1);
+        // 200 µs and 1 500 µs, up to log-linear bucket resolution (1/32)
+        assert!((inner.p50 - 200.0).abs() <= 200.0 / 32.0);
+        assert!((outer.p50 - 1_500.0).abs() <= 1_500.0 / 32.0);
+        assert_eq!(inner.min, 200);
+        assert_eq!(outer.min, 1_500);
+    }
+
+    #[test]
+    fn disabled_registry_skips_stack_and_recording() {
+        let reg = Registry::new();
+        reg.set_enabled(false);
+        {
+            let _g = reg.span("t.skipped_us");
+            assert_eq!(depth(), 0);
+        }
+        assert!(reg.snapshot().histogram("t.skipped_us").is_none());
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        let clock = Arc::new(ManualClock::default());
+        let reg = Registry::with_clock(Arc::clone(&clock) as Arc<dyn crate::clock::Clock>);
+        for us in [100u64, 200, 300] {
+            let _g = reg.span("t.loop_us");
+            clock.advance_us(us);
+        }
+        let stat = reg.snapshot();
+        let h = stat.histogram("t.loop_us").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 300);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property and concurrency tests for the observability substrate:
+//! histogram quantile accuracy against an exact sorted reference,
+//! cross-thread counter/histogram merge correctness, and deterministic
+//! span timing through an injected [`ManualClock`].
+
+use std::sync::Arc;
+use std::thread;
+
+use cardiotouch_obs::clock::{Clock, ManualClock};
+use cardiotouch_obs::{LocalHistogram, Registry};
+use proptest::prelude::*;
+
+/// Worst-case relative half-width of a log-linear bucket (32 linear
+/// sub-buckets per octave → bucket width ≤ lower/32, midpoint within
+/// half of that).
+const BUCKET_REL_ERR: f64 = 1.0 / 32.0;
+
+/// Exact nearest-rank quantile over raw samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank] as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported quantile of a histogram lands within one
+    /// log-linear bucket of the exact order statistic, across sample
+    /// counts and seven orders of magnitude of values.
+    #[test]
+    fn quantiles_match_exact_reference(
+        samples in prop::collection::vec(1u64..10_000_000, 1..600),
+    ) {
+        let mut h = LocalHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = h.quantile(q);
+            let tol = exact * BUCKET_REL_ERR + 1.0;
+            prop_assert!(
+                (approx - exact).abs() <= tol,
+                "q={}: approx {} vs exact {} (n={})", q, approx, exact, sorted.len()
+            );
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let stat = h.stat("q");
+        prop_assert_eq!(stat.min, sorted[0]);
+        prop_assert_eq!(stat.max, *sorted.last().unwrap());
+    }
+
+    /// Recording through per-thread `LocalHistogram`s merged with
+    /// `absorb` is indistinguishable (same count/min/max, quantiles
+    /// within bucket resolution) from recording everything into the
+    /// shared histogram directly.
+    #[test]
+    fn sharded_merge_equals_direct_recording(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(1u64..1_000_000, 1..200),
+            2..5,
+        ),
+    ) {
+        let reg = Registry::new();
+        let merged = reg.histogram("merge.h_us");
+        let direct = reg.histogram("direct.h_us");
+        thread::scope(|scope| {
+            for chunk in &per_thread {
+                let merged = merged.clone();
+                scope.spawn(move || {
+                    let mut local = LocalHistogram::new();
+                    for &v in chunk {
+                        local.record(v);
+                    }
+                    merged.absorb(&local);
+                });
+            }
+        });
+        for chunk in &per_thread {
+            for &v in chunk {
+                direct.record(v);
+            }
+        }
+        let m = merged.stat("m");
+        let d = direct.stat("d");
+        prop_assert_eq!(m.count, d.count);
+        prop_assert_eq!(m.min, d.min);
+        prop_assert_eq!(m.max, d.max);
+        for (qm, qd) in [(m.p50, d.p50), (m.p90, d.p90), (m.p99, d.p99), (m.p999, d.p999)] {
+            prop_assert!((qm - qd).abs() < 1e-9, "{} vs {}", qm, qd);
+        }
+    }
+}
+
+#[test]
+fn counters_merge_across_threads_without_loss() {
+    let reg = Registry::new();
+    let c = reg.counter("merge.events");
+    let h = reg.histogram("merge.lat_us");
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let c = c.clone();
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    // distinct per-thread value ranges so every shard
+                    // contributes distinguishable buckets
+                    h.record((t as u64 + 1) * 1_000 + (i % 7));
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+    let stat = h.stat("m");
+    assert_eq!(stat.count, THREADS as u64 * PER_THREAD);
+    assert_eq!(stat.min, 1_000);
+    assert!(stat.max >= 8_000);
+    // p50 sits between the 4th and 5th thread's value band
+    assert!(
+        stat.p50 >= 3_000.0 && stat.p50 <= 6_000.0,
+        "p50={}",
+        stat.p50
+    );
+}
+
+#[test]
+fn span_timing_is_deterministic_with_a_manual_clock() {
+    let clock = Arc::new(ManualClock::default());
+    let reg = Registry::with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+
+    // Three nested hops with exactly known durations.
+    for (outer_us, inner_us) in [(5_000u64, 1_000u64), (8_000, 2_000), (13_000, 3_000)] {
+        let _hop = reg.span("det.hop_us");
+        clock.advance_us(outer_us - inner_us);
+        {
+            let _delineate = reg.span("det.delineate_us");
+            clock.advance_us(inner_us);
+        }
+    }
+
+    let snap = reg.snapshot();
+    let hop = snap.histogram("det.hop_us").unwrap();
+    let inner = snap.histogram("det.delineate_us").unwrap();
+    assert_eq!(hop.count, 3);
+    assert_eq!(inner.count, 3);
+    // exact extremes survive (min/max track raw microsecond values)
+    assert_eq!(hop.min, 5_000);
+    assert_eq!(hop.max, 13_000);
+    assert_eq!(inner.min, 1_000);
+    assert_eq!(inner.max, 3_000);
+    // median within bucket resolution of the exact middle duration
+    assert!((hop.p50 - 8_000.0).abs() <= 8_000.0 * BUCKET_REL_ERR);
+    assert!((inner.p50 - 2_000.0).abs() <= 2_000.0 * BUCKET_REL_ERR);
+}
+
+#[test]
+fn snapshot_json_survives_adversarial_metric_names() {
+    let reg = Registry::new();
+    reg.counter("weird.\"quoted\"\\name\nline").add(2);
+    let snap = reg.snapshot();
+    let text = snap.to_json(true);
+    let v = cardiotouch_obs::json::parse(&text).expect("emitted JSON must parse");
+    let counters = v.get("counters").unwrap().as_obj().unwrap();
+    assert_eq!(
+        counters
+            .get("weird.\"quoted\"\\name\nline")
+            .and_then(|x| x.as_f64()),
+        Some(2.0)
+    );
+}

@@ -1,0 +1,139 @@
+//! End-to-end checks of the observability subsystem wired through the
+//! streaming stack: running a fleet must populate the process-wide
+//! registry with per-hop latency quantiles and beat counters, and
+//! snapshots must round-trip through the JSON exporter into the
+//! dependency-free parser. (The enable gate is covered by scoped
+//! registries in the `obs` crate's own tests — toggling the *global*
+//! gate would race the concurrently running tests here.)
+//!
+//! All metrics here are process-wide, and the test binary runs its
+//! tests concurrently — so every assertion is a *delta* or a `>=`
+//! against a snapshot taken inside the test, never an exact global
+//! value.
+
+use std::sync::Arc;
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::scheduler::{SessionFeed, SessionScheduler};
+use cardiotouch::stream::BeatStream;
+use cardiotouch_obs as obs;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+
+const FS: f64 = 250.0;
+
+fn recording(seed: u64) -> PairedRecording {
+    let population = Population::reference_five();
+    PairedRecording::generate(
+        &population.subjects()[0],
+        Position::One,
+        50_000.0,
+        &Protocol {
+            duration_s: 20.0,
+            ..Protocol::paper_default()
+        },
+        seed,
+    )
+    .expect("valid session")
+}
+
+fn feeds(count: usize, rec: &PairedRecording) -> Vec<SessionFeed> {
+    let ecg = Arc::new(rec.device_ecg().to_vec());
+    let z = Arc::new(rec.device_z().to_vec());
+    (0..count)
+        .map(|i| SessionFeed {
+            ecg: Arc::clone(&ecg),
+            z: Arc::clone(&z),
+            offset: (i * 977) % ecg.len(),
+        })
+        .collect()
+}
+
+#[test]
+fn scheduler_run_populates_hop_quantiles_and_beat_counters() {
+    let before = obs::snapshot();
+    let rec = recording(1);
+    let mut sched =
+        SessionScheduler::new(PipelineConfig::paper_default(FS), feeds(4, &rec)).unwrap();
+    let report = sched.run(8).unwrap();
+    assert!(report.beats > 0);
+
+    let snap = obs::snapshot();
+    let hops = |s: &obs::Snapshot| s.histogram("core.scheduler.hop_us").map_or(0, |h| h.count);
+    // 4 sessions × 8 ticks = 32 new hop latency samples.
+    assert!(hops(&snap) >= hops(&before) + 32, "hop histogram not fed");
+    let hop = snap.histogram("core.scheduler.hop_us").unwrap();
+    assert!(hop.p50 > 0.0 && hop.p99 >= hop.p50 && hop.p999 >= hop.p99);
+
+    let delta =
+        |name: &str| snap.counter(name).unwrap_or(0) - before.counter(name).map_or(0, |v| v);
+    assert!(delta("core.scheduler.ticks") >= 8);
+    assert!(
+        delta("core.scheduler.beats") >= report.beats as u64,
+        "scheduler beat counter lags its own report"
+    );
+    assert!(
+        delta("core.stream.beats_emitted") >= report.beats as u64,
+        "stream-level beat counter lags the scheduler total"
+    );
+    assert!(delta("ecg.online.beats_detected") > 0);
+    assert!(delta("icg.online.beats_delineated") > 0);
+    assert_eq!(snap.gauge("core.scheduler.sessions_active"), Some(4));
+    // the per-hop span must have fed the stream hop histogram too
+    let stream_hops = |s: &obs::Snapshot| s.histogram("core.stream.hop_us").map_or(0, |h| h.count);
+    assert!(stream_hops(&snap) >= stream_hops(&before) + 32);
+}
+
+#[test]
+fn sanitizer_counters_count_bursts_not_samples() {
+    let before = obs::snapshot();
+    let mut stream = BeatStream::new(PipelineConfig::paper_default(FS)).unwrap();
+    let mut ecg = vec![0.0; 500];
+    let z = vec![500.0; 500];
+    // two separate NaN bursts: 30 + 20 glitched samples
+    ecg[100..130].fill(f64::NAN);
+    ecg[300..320].fill(f64::INFINITY);
+    stream.push(&ecg, &z).unwrap();
+    let snap = obs::snapshot();
+    let delta =
+        |name: &str| snap.counter(name).unwrap_or(0) - before.counter(name).map_or(0, |v| v);
+    assert!(delta("core.stream.samples_sanitized") >= 50);
+    assert!(delta("core.stream.holdover_events") >= 2);
+}
+
+#[test]
+fn snapshot_round_trips_through_jsonl_exporter_and_parser() {
+    // make sure at least one of each metric kind exists
+    obs::counter("test.obs.events").add(7);
+    obs::gauge("test.obs.level").set(-3);
+    obs::histogram("test.obs.lat_us").record(1234);
+
+    let mut exporter = obs::JsonlExporter::new(Vec::new());
+    exporter.export(&obs::snapshot()).unwrap();
+    exporter.export(&obs::snapshot()).unwrap();
+    assert_eq!(exporter.lines(), 2);
+    let bytes = exporter.into_inner();
+    let text = String::from_utf8(bytes).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    for line in lines {
+        let doc = obs::json::parse(line).expect("exporter emits valid JSON");
+        let counters = doc.get("counters").and_then(|v| v.as_obj()).unwrap();
+        assert!(counters
+            .get("test.obs.events")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|v| v >= 7.0));
+        let gauges = doc.get("gauges").and_then(|v| v.as_obj()).unwrap();
+        assert_eq!(
+            gauges.get("test.obs.level").and_then(|v| v.as_f64()),
+            Some(-3.0)
+        );
+        let hist = doc
+            .get("histograms")
+            .and_then(|v| v.get("test.obs.lat_us"))
+            .expect("histogram present");
+        assert!(hist.get("p50").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(hist.get("count").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+    }
+}
