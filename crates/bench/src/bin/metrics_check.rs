@@ -4,7 +4,10 @@
 //! fails (exit 1) unless the document is schema v3+ and its `metrics`
 //! object carries the core instrumentation the streaming stack is
 //! supposed to populate — beat counters, design-cache hit statistics
-//! and a non-empty per-hop latency histogram.
+//! and a non-empty per-hop latency histogram. Documents produced with
+//! `perf_bench --faults` additionally carry a `faults` section; for
+//! those the fault/degradation counters must have fired and the
+//! degraded-path overhead must sit inside its declared budget.
 
 use std::process::ExitCode;
 
@@ -27,6 +30,24 @@ const PRESENT_COUNTERS: &[&str] = &["core.scheduler.beats", "core.stream.samples
 
 /// Histograms that must exist with at least one recorded sample.
 const REQUIRED_HISTOGRAMS: &[&str] = &["core.scheduler.hop_us", "core.stream.hop_us"];
+
+/// Counters the degradation ladder and scheduler quarantine must have
+/// incremented whenever the document carries a `faults` section (the
+/// run was `perf_bench --faults`): its scenario includes a dropout
+/// longer than the holdover cap and a hard front-end fault, so a zero
+/// here means the fault plumbing silently stopped firing.
+const FAULT_REQUIRED_COUNTERS: &[&str] = &[
+    "core.stream.state_transitions",
+    "core.stream.holdover_truncated",
+    "core.scheduler.session_errors",
+    "core.scheduler.session_retries",
+    "core.scheduler.session_recoveries",
+];
+
+/// Ladder counters registered at stream construction that a lucky
+/// faulted run may legitimately leave at zero.
+const FAULT_PRESENT_COUNTERS: &[&str] =
+    &["core.stream.beats_suppressed", "core.stream.beats_degraded"];
 
 fn check(doc: &Value) -> Result<(), String> {
     let schema = doc
@@ -83,6 +104,38 @@ fn check(doc: &Value) -> Result<(), String> {
         .and_then(|o| o.get("overhead_pct"))
         .and_then(Value::as_f64)
         .ok_or("missing obs.overhead_pct")?;
+    if let Some(faults) = doc.get("faults") {
+        for name in FAULT_REQUIRED_COUNTERS {
+            let v = counters
+                .get(*name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("counter `{name}` missing from a faulted run"))?;
+            if v <= 0.0 {
+                return Err(format!(
+                    "counter `{name}` is {v} in a faulted run, expected > 0"
+                ));
+            }
+        }
+        for name in FAULT_PRESENT_COUNTERS {
+            if counters.get(*name).and_then(Value::as_f64).is_none() {
+                return Err(format!("counter `{name}` missing from a faulted run"));
+            }
+        }
+        let degraded = faults
+            .get("degraded_overhead_pct")
+            .and_then(Value::as_f64)
+            .ok_or("missing faults.degraded_overhead_pct")?;
+        let budget = faults
+            .get("degraded_overhead_budget_pct")
+            .and_then(Value::as_f64)
+            .ok_or("missing faults.degraded_overhead_budget_pct")?;
+        if !degraded.is_finite() || degraded >= budget {
+            return Err(format!(
+                "degraded-path overhead {degraded:.2} % violates the {budget:.0} % budget"
+            ));
+        }
+        eprintln!("faulted run ok: degraded-path overhead {degraded:.2} % (budget {budget:.0} %)");
+    }
     eprintln!(
         "metrics snapshot ok: {} counters, {} histograms, obs overhead {overhead:.2} %",
         counters.len(),

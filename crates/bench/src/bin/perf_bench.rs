@@ -11,8 +11,13 @@
 //! human-oriented tables), this binary runs in seconds and emits one JSON
 //! document. Arguments: an optional output path (`-` writes to stdout),
 //! `--smoke`, which shrinks every measurement for CI smoke runs (same
-//! schema, noisier numbers), and `--metrics`, which additionally prints
-//! the embedded observability snapshot to stderr.
+//! schema, noisier numbers), `--metrics`, which additionally prints the
+//! embedded observability snapshot to stderr, and `--faults`, which adds
+//! a fault-injection leg (schema v4 `faults` section): the degradation
+//! ladder timed against the clean path on a pre-corrupted session, plus
+//! a fleet carrying a hard front-end fault so the quarantine counters
+//! are exercised. The run aborts if the degraded-path overhead exceeds
+//! [`DEGRADED_OVERHEAD_BUDGET_PCT`].
 //!
 //! Since schema v3 the document embeds a compact snapshot of the
 //! process-wide `cardiotouch-obs` registry (every counter/gauge/latency
@@ -32,9 +37,17 @@ use cardiotouch_dsp::design_cache;
 use cardiotouch_dsp::diff;
 use cardiotouch_dsp::window::Window;
 use cardiotouch_dsp::zero_phase::{filtfilt_fir_into, filtfilt_iir_into, ZeroPhaseScratch};
+use cardiotouch_physio::faults::FaultScenario;
 use cardiotouch_physio::path::Position;
 use cardiotouch_physio::scenario::{PairedRecording, Protocol};
 use cardiotouch_physio::subject::Population;
+
+/// Hard ceiling on how much slower the degradation ladder may make a
+/// fully faulted session versus the same session clean (`--faults`
+/// aborts past this). The ladder re-locks filters and fabricates
+/// holdover samples, so some cost is expected; a regression past 150 %
+/// means the degraded path stopped being O(hop).
+const DEGRADED_OVERHEAD_BUDGET_PCT: f64 = 150.0;
 
 /// One timed kernel: throughput over a fixed-size input.
 struct KernelResult {
@@ -145,11 +158,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut out_path: Option<String> = None;
     let mut smoke = false;
     let mut print_metrics = false;
+    let mut with_faults = false;
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             smoke = true;
         } else if arg == "--metrics" {
             print_metrics = true;
+        } else if arg == "--faults" {
+            with_faults = true;
         } else {
             out_path = Some(arg);
         }
@@ -311,14 +327,133 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ecg_arc = Arc::new(ecg.to_vec());
     let z_arc = Arc::new(z.to_vec());
     let feeds: Vec<SessionFeed> = (0..fleet)
-        .map(|i| SessionFeed {
-            ecg: Arc::clone(&ecg_arc),
-            z: Arc::clone(&z_arc),
-            offset: (i * 977) % n,
-        })
+        .map(|i| SessionFeed::clean(Arc::clone(&ecg_arc), Arc::clone(&z_arc), (i * 977) % n))
         .collect();
     let mut scheduler = SessionScheduler::new(config, feeds)?;
     let sched = scheduler.run(ticks)?;
+
+    // --- Fault injection: degraded path vs clean, faulted fleet ----------
+    // Gated behind --faults. A copy of the template is pre-corrupted with
+    // the touch-device fault taxonomy (a >cap contact dropout so holdover
+    // truncation fires, an ECG flatline, a motion burst, AFE saturation)
+    // and the degradation ladder is timed against the clean path with
+    // interleaved iterations — the same drift cancellation as the obs
+    // overhead pairs above. A second fleet carries one hard front-end
+    // fault at t = 2 s (error on tick 3, quarantine on tick 4, clean
+    // retry on tick 5) so the quarantine/backoff/recovery counters are
+    // exercised even by the 5-tick smoke run.
+    const BENCH_SCENARIO: &str = "drop@5s+400ms,loss=0@12s+1s:ecg,motion@18s+2s:z,sat=2.0@22s+1s";
+    let faults_json = if with_faults {
+        let scenario = FaultScenario::parse(BENCH_SCENARIO, fs)?;
+        let mut fe = ecg.to_vec();
+        let mut fz = z.to_vec();
+        scenario
+            .apply_chunk(0, &mut fe, &mut fz)
+            .expect("the bench scenario is soft-fault only");
+        let run_qualified = |e: &[f64], zc: &[f64]| {
+            let mut s = BeatStream::new(config).expect("stream");
+            let mut beats = 0usize;
+            for (ce, cz) in e.chunks(hop).zip(zc.chunks(hop)) {
+                beats += s.push_qualified(ce, cz).expect("push").len();
+            }
+            beats
+        };
+        // Warm-up; also guarantees the ladder counters in the final
+        // metrics snapshot are populated regardless of pair count.
+        let faulted_beats = run_qualified(&fe, &fz);
+        assert!(
+            faulted_beats > 0,
+            "the faulted session must still emit beats"
+        );
+        let fault_pairs = if smoke { 8 } else { 40 };
+        let mut clean_ns = 0u64;
+        let mut faulted_ns = 0u64;
+        for _ in 0..fault_pairs {
+            let t = Instant::now();
+            run_qualified(ecg, z);
+            clean_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let t = Instant::now();
+            run_qualified(&fe, &fz);
+            faulted_ns += u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+        let clean_sessions_per_sec = fault_pairs as f64 / (clean_ns as f64 / 1e9).max(1e-12);
+        let faulted_sessions_per_sec = fault_pairs as f64 / (faulted_ns as f64 / 1e9).max(1e-12);
+        let degraded_overhead_pct =
+            100.0 * (faulted_ns as f64 - clean_ns as f64) / (clean_ns as f64).max(1.0);
+        assert!(
+            degraded_overhead_pct < DEGRADED_OVERHEAD_BUDGET_PCT,
+            "degraded-path overhead {degraded_overhead_pct:.1} % exceeds the \
+             {DEGRADED_OVERHEAD_BUDGET_PCT:.0} % budget"
+        );
+
+        let fleet_f = if smoke { 8 } else { 32 };
+        let hard = Arc::new(FaultScenario::parse("fail@2s+1s", fs)?);
+        let feeds: Vec<SessionFeed> = (0..fleet_f)
+            .map(|i| {
+                let feed =
+                    SessionFeed::clean(Arc::clone(&ecg_arc), Arc::clone(&z_arc), (i * 977) % n);
+                if i == 0 {
+                    feed.with_faults(Arc::clone(&hard))
+                } else {
+                    feed.with_faults(Arc::new(FaultScenario::random(i as u64, n, fs)))
+                }
+            })
+            .collect();
+        let mut fsched = SessionScheduler::new(config, feeds)?;
+        let fr = fsched.run(ticks)?;
+        assert!(fr.session_errors >= 1, "the hard fault was never hit");
+        assert!(
+            fr.session_recoveries >= 1,
+            "the quarantined session never recovered"
+        );
+        eprintln!(
+            "degraded-path overhead: {degraded_overhead_pct:.2} % (budget {DEGRADED_OVERHEAD_BUDGET_PCT:.0} %); \
+             faulted fleet: {} errors, {} retries, {} recoveries",
+            fr.session_errors, fr.session_retries, fr.session_recoveries
+        );
+        let mut s = String::from("  \"faults\": {\n");
+        s.push_str(&format!("    \"scenario\": \"{BENCH_SCENARIO}\",\n"));
+        s.push_str(&format!(
+            "    \"degraded_overhead_pct\": {degraded_overhead_pct:.2},\n"
+        ));
+        s.push_str(&format!(
+            "    \"degraded_overhead_budget_pct\": {DEGRADED_OVERHEAD_BUDGET_PCT:.0},\n"
+        ));
+        s.push_str(&format!(
+            "    \"clean_sessions_per_sec\": {clean_sessions_per_sec:.2},\n"
+        ));
+        s.push_str(&format!(
+            "    \"faulted_sessions_per_sec\": {faulted_sessions_per_sec:.2},\n"
+        ));
+        s.push_str(&format!(
+            "    \"beats_per_faulted_session\": {faulted_beats},\n"
+        ));
+        s.push_str("    \"fleet\": {\n");
+        s.push_str(&format!("      \"sessions\": {},\n", fr.sessions));
+        s.push_str(&format!("      \"ticks\": {},\n", fr.ticks));
+        s.push_str(&format!("      \"beats\": {},\n", fr.beats));
+        s.push_str(&format!(
+            "      \"session_errors\": {},\n",
+            fr.session_errors
+        ));
+        s.push_str(&format!(
+            "      \"session_retries\": {},\n",
+            fr.session_retries
+        ));
+        s.push_str(&format!(
+            "      \"session_recoveries\": {},\n",
+            fr.session_recoveries
+        ));
+        s.push_str(&format!(
+            "      \"sessions_quarantined\": {}\n",
+            fr.sessions_quarantined
+        ));
+        s.push_str("    }\n");
+        s.push_str("  },\n");
+        Some(s)
+    } else {
+        None
+    };
 
     // --- End-to-end study (the parallelized grid) -----------------------
     let study_config = StudyConfig {
@@ -342,7 +477,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Emit ------------------------------------------------------------
     let date = today_iso();
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 3,\n");
+    json.push_str("  \"schema_version\": 4,\n");
     json.push_str(&format!("  \"date\": \"{date}\",\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!(
@@ -447,6 +582,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "    \"sessions_per_sec_obs_off\": {inc_off_sessions_per_sec:.2}\n"
     ));
     json.push_str("  },\n");
+    if let Some(f) = &faults_json {
+        json.push_str(f);
+    }
     json.push_str(&format!(
         "  \"metrics\": {}\n",
         metrics_snapshot.to_json(false)

@@ -19,6 +19,7 @@ use cardiotouch::respiration::estimate_respiration_rate;
 use cardiotouch::scheduler::{SessionFeed, SessionScheduler};
 use cardiotouch_device::mcu::CycleBudget;
 use cardiotouch_device::power::{DutyCycle, PowerBudget};
+use cardiotouch_physio::faults::FaultScenario;
 use cardiotouch_physio::path::Position;
 use cardiotouch_physio::scenario::{PairedRecording, Protocol};
 use cardiotouch_physio::subject::Population;
@@ -96,6 +97,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             quick,
             threads,
             metrics_out,
+            faults,
         } => {
             let mut config = StudyConfig::paper_default();
             if quick {
@@ -103,6 +105,9 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     duration_s: 12.0,
                     ..Protocol::paper_default()
                 };
+            }
+            if let Some(spec) = faults {
+                config.faults = Some(FaultScenario::parse(&spec, config.protocol.fs)?);
             }
             // The study is bit-identical at any thread count (each session
             // derives its own RNG streams), so --threads only trades wall
@@ -133,6 +138,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             seconds,
             seed,
             metrics_out,
+            faults,
         } => {
             // A handful of distinct template recordings (subject × seed)
             // shared across the fleet: generation is the expensive part,
@@ -155,13 +161,21 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     Arc::new(rec.device_z().to_vec()),
                 ));
             }
+            let scenario = match faults.as_deref() {
+                Some(spec) => {
+                    let s = FaultScenario::parse(spec, fs)?;
+                    (!s.is_empty()).then(|| Arc::new(s))
+                }
+                None => None,
+            };
             let feeds: Vec<SessionFeed> = (0..sessions)
                 .map(|i| {
                     let (ecg, z) = &templates[i % templates.len()];
-                    SessionFeed {
-                        ecg: Arc::clone(ecg),
-                        z: Arc::clone(z),
-                        offset: (i * 977) % ecg.len(),
+                    let feed =
+                        SessionFeed::clean(Arc::clone(ecg), Arc::clone(z), (i * 977) % ecg.len());
+                    match &scenario {
+                        Some(s) => feed.with_faults(Arc::clone(s)),
+                        None => feed,
                     }
                 })
                 .collect();
@@ -206,6 +220,12 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             );
             println!("wall clock          : {:.3} s", report.elapsed_s);
             println!("beats emitted       : {}", report.beats);
+            if scenario.is_some() {
+                println!("session errors      : {}", report.session_errors);
+                println!("session retries     : {}", report.session_retries);
+                println!("session recoveries  : {}", report.session_recoveries);
+                println!("quarantined now     : {}", report.sessions_quarantined);
+            }
             println!(
                 "sustained sessions  : {:.0} concurrent real-time streams",
                 report.sustained_sessions()

@@ -51,6 +51,11 @@ pub struct PipelineConfig {
     /// below this threshold are skipped before point detection. `None`
     /// disables the gate. See [`cardiotouch_icg::quality`].
     pub sqi_threshold: Option<f64>,
+    /// Maximum duration, seconds, that the streaming engine may hold the
+    /// last finite sample over a non-finite (or railed/flat) stretch
+    /// before it stops fabricating data and declares the channel `Lost`
+    /// (see `cardiotouch::stream::SignalState`). Default 0.25 s.
+    pub holdover_cap_s: f64,
 }
 
 impl PipelineConfig {
@@ -70,7 +75,16 @@ impl PipelineConfig {
             hemo_z0_ohm: None,
             reject_outliers: true,
             sqi_threshold: None,
+            holdover_cap_s: 0.25,
         }
+    }
+
+    /// Replaces the streaming holdover cap (seconds a channel may be
+    /// bridged with fabricated samples before it is declared lost).
+    #[must_use]
+    pub fn with_holdover_cap_s(mut self, cap_s: f64) -> Self {
+        self.holdover_cap_s = cap_s;
+        self
     }
 
     /// Enables the per-beat morphology (SQI) gate at `threshold`
@@ -154,6 +168,13 @@ impl PipelineConfig {
                 });
             }
         }
+        if !(self.holdover_cap_s > 0.0 && self.holdover_cap_s <= 5.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "holdover_cap_s",
+                value: self.holdover_cap_s,
+                constraint: "must be within (0, 5] seconds",
+            });
+        }
         Ok(())
     }
 }
@@ -190,5 +211,9 @@ mod tests {
         assert!(cfg2.validate().is_err());
         let cfg3 = PipelineConfig::paper_default(250.0).with_min_beats(0);
         assert!(cfg3.validate().is_err());
+        let cfg4 = PipelineConfig::paper_default(250.0).with_holdover_cap_s(0.0);
+        assert!(cfg4.validate().is_err());
+        let cfg5 = PipelineConfig::paper_default(250.0).with_holdover_cap_s(0.5);
+        assert!(cfg5.validate().is_ok());
     }
 }

@@ -37,6 +37,12 @@ pub enum CoreError {
     Ecg(cardiotouch_ecg::EcgError),
     /// The ICG chain failed.
     Icg(cardiotouch_icg::IcgError),
+    /// A hard front-end fault was injected into a session's sample
+    /// source (see `cardiotouch_physio::faults`).
+    SessionFault {
+        /// Absolute sample index of the first faulted sample.
+        at: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -62,6 +68,9 @@ impl fmt::Display for CoreError {
             CoreError::Device(e) => write!(f, "device error: {e}"),
             CoreError::Ecg(e) => write!(f, "ecg error: {e}"),
             CoreError::Icg(e) => write!(f, "icg error: {e}"),
+            CoreError::SessionFault { at } => {
+                write!(f, "hard front-end fault injected at sample {at}")
+            }
         }
     }
 }

@@ -17,7 +17,10 @@
 //!   worst-case error below 20 %).
 
 use cardiotouch_device::afe::ImpedanceFrontEnd;
+use std::borrow::Cow;
+
 use cardiotouch_dsp::stats;
+use cardiotouch_physio::faults::FaultScenario;
 use cardiotouch_physio::path::Position;
 use cardiotouch_physio::scenario::{PairedRecording, Protocol};
 use cardiotouch_physio::subject::{Population, Subject};
@@ -39,6 +42,11 @@ pub struct StudyConfig {
     /// Base random seed; every (subject, position, frequency) session
     /// derives its own stream from it.
     pub seed: u64,
+    /// Optional fault scenario injected into every session's *device*
+    /// channels (the traditional reference chain stays clean) — a
+    /// what-if knob for rerunning the paper's tables under contact
+    /// loss, saturation or motion. `None` reproduces the paper.
+    pub faults: Option<FaultScenario>,
 }
 
 impl StudyConfig {
@@ -50,6 +58,7 @@ impl StudyConfig {
             frequencies_hz: vec![2_000.0, 10_000.0, 50_000.0, 100_000.0],
             front_end: ImpedanceFrontEnd::reference_design(),
             seed: 20_160_314, // DATE 2016 conference date
+            faults: None,
         }
     }
 }
@@ -265,10 +274,11 @@ pub fn run_position_study(
                 &config.protocol,
                 config.seed,
             )?;
+            let (_, dev_z) = device_channels(&rec, config)?;
             // Both chains measure through the front-end; Pearson is
             // scale-invariant so the correlation uses the raw pair.
-            let corr = stats::pearson(rec.traditional_z(), rec.device_z())?;
-            let dz0 = stats::mean(rec.device_z()).unwrap_or(0.0);
+            let corr = stats::pearson(rec.traditional_z(), &dev_z)?;
+            let dz0 = stats::mean(&dev_z).unwrap_or(0.0);
             let device_z0 = config.front_end.measured_z0(dz0, freq);
             let trad_z0 = (pi == 0).then(|| {
                 let tz0 = stats::mean(rec.traditional_z()).unwrap_or(0.0);
@@ -380,6 +390,36 @@ pub fn run_position_study(
     })
 }
 
+/// ECG and Z device channels, borrowed when untouched.
+type DeviceChannels<'a> = (Cow<'a, [f64]>, Cow<'a, [f64]>);
+
+/// The device-chain channels of a session, with the configured fault
+/// scenario applied from the session's sample 0 (borrowed untouched
+/// when no faults are configured, so the clean path stays copy-free).
+///
+/// A [`cardiotouch_physio::faults::FaultKind::HardFault`] surfaces as
+/// [`CoreError::SessionFault`] and aborts the study, matching the
+/// single-session-failure contract of [`run_position_study`].
+fn device_channels<'a>(
+    rec: &'a PairedRecording,
+    config: &StudyConfig,
+) -> Result<DeviceChannels<'a>, CoreError> {
+    match &config.faults {
+        Some(scenario) if !scenario.is_empty() => {
+            let mut ecg = rec.device_ecg().to_vec();
+            let mut z = rec.device_z().to_vec();
+            scenario
+                .apply_chunk(0, &mut ecg, &mut z)
+                .map_err(|hf| CoreError::SessionFault { at: hf.at })?;
+            Ok((Cow::Owned(ecg), Cow::Owned(z)))
+        }
+        _ => Ok((
+            Cow::Borrowed(rec.device_ecg()),
+            Cow::Borrowed(rec.device_z()),
+        )),
+    }
+}
+
 /// Runs the device pipeline per subject in one position at 50 kHz.
 ///
 /// Subjects run in parallel against one shared [`Pipeline`] (its analysis
@@ -402,7 +442,8 @@ fn hemodynamics_rows(
                 &config.protocol,
                 config.seed,
             )?;
-            let analysis = pipeline.analyze(rec.device_ecg(), rec.device_z())?;
+            let (dev_ecg, dev_z) = device_channels(&rec, config)?;
+            let analysis = pipeline.analyze(&dev_ecg, &dev_z)?;
             let st = analysis.intervals()?;
             Ok(HemodynamicsRow {
                 subject: subject.name().to_owned(),
@@ -445,6 +486,48 @@ mod tests {
         assert_eq!(outcome.errors.e21.len(), 5);
         assert_eq!(outcome.hemodynamics.position1.len(), 5);
         assert_eq!(outcome.hemodynamics.position2.len(), 5);
+    }
+
+    #[test]
+    fn faulted_study_stays_finite_and_differs_from_clean() {
+        let clean = quick_config();
+        let mut faulted = clean.clone();
+        faulted.faults = Some(
+            FaultScenario::parse("sat=1.0@2s+1s:ecg,step=40@4s+2s:z", clean.protocol.fs).unwrap(),
+        );
+        let a = run_position_study(&Population::reference_five(), &clean).unwrap();
+        let b = run_position_study(&Population::reference_five(), &faulted).unwrap();
+        assert_ne!(a, b, "soft faults must actually perturb the tables");
+        for t in &b.correlation_tables {
+            for (name, r) in &t.rows {
+                assert!(r.is_finite(), "{name}: non-finite correlation under faults");
+            }
+        }
+        for row in b
+            .hemodynamics
+            .position1
+            .iter()
+            .chain(&b.hemodynamics.position2)
+        {
+            assert!(row.hr_bpm.is_finite() && row.lvet_ms.is_finite() && row.pep_ms.is_finite());
+        }
+        // an empty scenario is the clean path (no copies, no drift)
+        let mut noop = clean.clone();
+        noop.faults = Some(FaultScenario::new(clean.protocol.fs));
+        assert_eq!(
+            run_position_study(&Population::reference_five(), &noop).unwrap(),
+            a
+        );
+    }
+
+    #[test]
+    fn hard_fault_aborts_the_study_with_session_fault() {
+        let mut config = quick_config();
+        config.faults = Some(FaultScenario::parse("fail@3s+1s", config.protocol.fs).unwrap());
+        match run_position_study(&Population::reference_five(), &config) {
+            Err(CoreError::SessionFault { at }) => assert_eq!(at, 750),
+            other => panic!("expected SessionFault, got {other:?}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cardiotouch_obs::LocalHistogram;
+use cardiotouch_physio::faults::FaultScenario;
 use rayon::prelude::*;
 
 use crate::config::PipelineConfig;
@@ -27,9 +28,16 @@ use crate::pipeline::BeatReport;
 use crate::stream::BeatStream;
 use crate::CoreError;
 
+/// Quarantine backoff cap, ticks: an erroring session retries after
+/// 1, 2, 4, … up to this many skipped ticks.
+const MAX_BACKOFF_TICKS: usize = 32;
+
 /// One session's input: a pair of equal-length template channels played
 /// back from `offset`, wrapping around, so arbitrarily many sessions can
-/// share a few [`Arc`]'d recordings without cloning sample data.
+/// share a few [`Arc`]'d recordings without cloning sample data. An
+/// optional [`FaultScenario`] corrupts the replayed samples on the
+/// session's *absolute* sample clock (not the template's), so fault
+/// timing is independent of the template length and phase.
 #[derive(Debug, Clone)]
 pub struct SessionFeed {
     /// ECG channel template (device sample rate).
@@ -38,6 +46,37 @@ pub struct SessionFeed {
     pub z: Arc<Vec<f64>>,
     /// Starting phase into the template, samples.
     pub offset: usize,
+    /// Fault schedule applied to the replayed samples; `None` (or an
+    /// empty scenario) replays the template untouched — and skips the
+    /// copy into scratch entirely, so fault-free sessions pay nothing.
+    pub faults: Option<Arc<FaultScenario>>,
+}
+
+impl SessionFeed {
+    /// A clean feed (no fault injection) for the given templates.
+    #[must_use]
+    pub fn clean(ecg: Arc<Vec<f64>>, z: Arc<Vec<f64>>, offset: usize) -> Self {
+        Self {
+            ecg,
+            z,
+            offset,
+            faults: None,
+        }
+    }
+
+    /// Attaches a fault scenario (builder style).
+    #[must_use]
+    pub fn with_faults(mut self, scenario: Arc<FaultScenario>) -> Self {
+        self.faults = Some(scenario);
+        self
+    }
+}
+
+/// Why a session is currently not being stepped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Quarantine {
+    /// Ticks left to skip before the next retry.
+    skip: usize,
 }
 
 /// One scheduled session: an incremental engine plus its feed cursor.
@@ -47,10 +86,27 @@ struct SessionSlot {
     feed: SessionFeed,
     cursor: usize,
     beats: usize,
+    /// Set while the session is sitting out after an error.
+    quarantine: Option<Quarantine>,
+    /// Next quarantine length in ticks: doubles on every consecutive
+    /// failure (capped at [`MAX_BACKOFF_TICKS`]), resets on a clean
+    /// retry.
+    backoff: usize,
+    /// `true` when the slot just came back from quarantine and its next
+    /// clean step should count as a recovery.
+    retrying: bool,
+    errors: usize,
+    retries: usize,
+    recoveries: usize,
+    /// Scratch for the faulted copy of the current chunk.
+    ecg_scratch: Vec<f64>,
+    z_scratch: Vec<f64>,
 }
 
 impl SessionSlot {
-    /// Feeds exactly `hop` samples from the wrapped template.
+    /// Feeds exactly `hop` samples from the wrapped template, applying
+    /// the feed's fault scenario (if any) on the session's absolute
+    /// sample clock.
     fn step(&mut self, hop: usize) -> Result<Vec<BeatReport>, CoreError> {
         let n = self.feed.ecg.len();
         let mut emitted = Vec::new();
@@ -58,10 +114,21 @@ impl SessionSlot {
         while remaining > 0 {
             let at = (self.feed.offset + self.cursor) % n;
             let take = remaining.min(n - at);
-            emitted.extend(
-                self.stream
-                    .push(&self.feed.ecg[at..at + take], &self.feed.z[at..at + take])?,
-            );
+            let (ecg, z) = (&self.feed.ecg[at..at + take], &self.feed.z[at..at + take]);
+            let beats = match self.feed.faults.as_deref().filter(|s| !s.is_empty()) {
+                Some(scenario) => {
+                    self.ecg_scratch.clear();
+                    self.ecg_scratch.extend_from_slice(ecg);
+                    self.z_scratch.clear();
+                    self.z_scratch.extend_from_slice(z);
+                    scenario
+                        .apply_chunk(self.cursor, &mut self.ecg_scratch, &mut self.z_scratch)
+                        .map_err(|hf| CoreError::SessionFault { at: hf.at })?;
+                    self.stream.push(&self.ecg_scratch, &self.z_scratch)?
+                }
+                None => self.stream.push(ecg, z)?,
+            };
+            emitted.extend(beats);
             self.cursor += take;
             remaining -= take;
         }
@@ -89,6 +156,14 @@ pub struct ScheduleReport {
     pub hop_p50_us: f64,
     /// 99th-percentile per-hop processing latency, microseconds.
     pub hop_p99_us: f64,
+    /// Engine errors observed (each quarantines one session).
+    pub session_errors: usize,
+    /// Quarantine retries attempted.
+    pub session_retries: usize,
+    /// Retries that came back clean (session resumed).
+    pub session_recoveries: usize,
+    /// Sessions still quarantined at report time.
+    pub sessions_quarantined: usize,
 }
 
 impl ScheduleReport {
@@ -106,6 +181,7 @@ impl ScheduleReport {
 #[derive(Debug)]
 pub struct SessionScheduler {
     slots: Vec<SessionSlot>,
+    config: PipelineConfig,
     hop: usize,
     fs: f64,
     /// Per-hop wall-clock costs in nanoseconds. A log-linear histogram
@@ -116,6 +192,12 @@ pub struct SessionScheduler {
     hop_us: cardiotouch_obs::Histogram,
     ticks_counter: cardiotouch_obs::Counter,
     beats_counter: cardiotouch_obs::Counter,
+    /// `core.scheduler.session_errors` — engine errors (quarantines).
+    errors_counter: cardiotouch_obs::Counter,
+    /// `core.scheduler.session_retries` — post-backoff retry attempts.
+    retries_counter: cardiotouch_obs::Counter,
+    /// `core.scheduler.session_recoveries` — retries that came back clean.
+    recoveries_counter: cardiotouch_obs::Counter,
 }
 
 impl SessionScheduler {
@@ -143,6 +225,14 @@ impl SessionScheduler {
                 feed,
                 cursor: 0,
                 beats: 0,
+                quarantine: None,
+                backoff: 1,
+                retrying: false,
+                errors: 0,
+                retries: 0,
+                recoveries: 0,
+                ecg_scratch: Vec::new(),
+                z_scratch: Vec::new(),
             });
         }
         // The gauge handle lives in the process-wide registry; the
@@ -150,6 +240,7 @@ impl SessionScheduler {
         cardiotouch_obs::gauge("core.scheduler.sessions_active").set(slots.len() as i64);
         Ok(Self {
             slots,
+            config,
             hop,
             fs,
             hop_hist: LocalHistogram::new(),
@@ -157,6 +248,9 @@ impl SessionScheduler {
             hop_us: cardiotouch_obs::histogram("core.scheduler.hop_us"),
             ticks_counter: cardiotouch_obs::counter("core.scheduler.ticks"),
             beats_counter: cardiotouch_obs::counter("core.scheduler.beats"),
+            errors_counter: cardiotouch_obs::counter("core.scheduler.session_errors"),
+            retries_counter: cardiotouch_obs::counter("core.scheduler.session_retries"),
+            recoveries_counter: cardiotouch_obs::counter("core.scheduler.session_recoveries"),
         })
     }
 
@@ -171,16 +265,46 @@ impl SessionScheduler {
     /// per session; per-beat payloads are dropped here because fleet
     /// throughput, not beat content, is what the scheduler measures.
     ///
+    /// A session whose engine errors is **quarantined**, never allowed
+    /// to fail the whole tick: it sits out for 1, 2, 4, … up to
+    /// [`MAX_BACKOFF_TICKS`] ticks (its cursor still advances — the
+    /// signal it missed while down is gone, exactly as on a real
+    /// uplink), then retries with a freshly constructed engine. A clean
+    /// retry resets the backoff and counts as a recovery.
+    ///
     /// # Errors
     ///
-    /// Propagates the first engine error (feeds are validated at
-    /// construction, so this is unreachable in practice).
+    /// Never fails in practice: feeds are validated at construction and
+    /// engine errors are absorbed into quarantine. The `Result` is kept
+    /// for API stability.
     pub fn tick(&mut self) -> Result<(), CoreError> {
         let hop = self.hop;
+        let config = self.config;
         let slots = std::mem::take(&mut self.slots);
         let results: Vec<(SessionSlot, Result<usize, CoreError>, u64)> = slots
             .into_par_iter()
             .map(|mut slot| {
+                // Quarantined sessions skip the tick; their input keeps
+                // flowing past them (cursor advance without processing).
+                if let Some(q) = &mut slot.quarantine {
+                    if q.skip > 0 {
+                        q.skip -= 1;
+                        slot.cursor += hop;
+                        return (slot, Ok(0), 0);
+                    }
+                    // Backoff elapsed: retry with a fresh engine (the
+                    // old one may hold poisoned filter state).
+                    slot.retries += 1;
+                    slot.retrying = true;
+                    match BeatStream::new(config) {
+                        Ok(stream) => slot.stream = stream,
+                        Err(e) => {
+                            slot.cursor += hop;
+                            return (slot, Err(e), 0);
+                        }
+                    }
+                    slot.quarantine = None;
+                }
                 let start = Instant::now();
                 let outcome = slot.step(hop).map(|beats| beats.len());
                 let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -188,15 +312,49 @@ impl SessionScheduler {
             })
             .collect();
         let mut beats = 0;
-        for (slot, outcome, ns) in results {
-            beats += outcome?;
-            self.hop_hist.record(ns);
-            self.hop_us.record((ns / 1_000).max(1));
+        let mut errors: u64 = 0;
+        let mut retries: u64 = 0;
+        let mut recoveries: u64 = 0;
+        for (mut slot, outcome, ns) in results {
+            if slot.retrying {
+                retries += 1;
+            }
+            match outcome {
+                Ok(n) => {
+                    beats += n;
+                    if slot.retrying {
+                        slot.retrying = false;
+                        slot.recoveries += 1;
+                        slot.backoff = 1;
+                        recoveries += 1;
+                    }
+                    if ns > 0 {
+                        self.hop_hist.record(ns);
+                        self.hop_us.record((ns / 1_000).max(1));
+                    }
+                }
+                Err(_) => {
+                    slot.retrying = false;
+                    slot.errors += 1;
+                    errors += 1;
+                    slot.quarantine = Some(Quarantine { skip: slot.backoff });
+                    slot.backoff = (slot.backoff * 2).min(MAX_BACKOFF_TICKS);
+                }
+            }
             self.slots.push(slot);
         }
         self.ticks += 1;
         self.ticks_counter.inc();
         self.beats_counter.add(beats as u64);
+        if errors > 0 {
+            self.errors_counter.add(errors);
+        }
+        if retries > 0 {
+            self.retries_counter.add(retries);
+        }
+        if recoveries > 0 {
+            self.recoveries_counter.add(recoveries);
+        }
         Ok(())
     }
 
@@ -235,6 +393,10 @@ impl SessionScheduler {
             beats: self.slots.iter().map(|s| s.beats).sum(),
             hop_p50_us: pct(0.50),
             hop_p99_us: pct(0.99),
+            session_errors: self.slots.iter().map(|s| s.errors).sum(),
+            session_retries: self.slots.iter().map(|s| s.retries).sum(),
+            session_recoveries: self.slots.iter().map(|s| s.recoveries).sum(),
+            sessions_quarantined: self.slots.iter().filter(|s| s.quarantine.is_some()).count(),
         }
     }
 }
@@ -259,11 +421,7 @@ mod tests {
         let ecg = Arc::new(rec.device_ecg().to_vec());
         let z = Arc::new(rec.device_z().to_vec());
         (0..count)
-            .map(|i| SessionFeed {
-                ecg: Arc::clone(&ecg),
-                z: Arc::clone(&z),
-                offset: (i * 977) % ecg.len(),
-            })
+            .map(|i| SessionFeed::clean(Arc::clone(&ecg), Arc::clone(&z), (i * 977) % ecg.len()))
             .collect()
     }
 
@@ -305,11 +463,70 @@ mod tests {
 
     #[test]
     fn mismatched_feed_rejected() {
-        let bad = vec![SessionFeed {
-            ecg: Arc::new(vec![0.0; 10]),
-            z: Arc::new(vec![0.0; 9]),
-            offset: 0,
-        }];
+        let bad = vec![SessionFeed::clean(
+            Arc::new(vec![0.0; 10]),
+            Arc::new(vec![0.0; 9]),
+            0,
+        )];
         assert!(SessionScheduler::new(PipelineConfig::paper_default(250.0), bad).is_err());
+    }
+
+    #[test]
+    fn hard_fault_quarantines_one_session_not_the_tick() {
+        use cardiotouch_physio::faults::FaultScenario;
+        let mut all = feeds(4);
+        // Session 2 hard-faults at 5 s for 1 s; everyone else is clean.
+        let scenario = Arc::new(FaultScenario::parse("fail@5s+1s", 250.0).unwrap());
+        all[2] = all[2].clone().with_faults(scenario);
+        let mut sched = SessionScheduler::new(PipelineConfig::paper_default(250.0), all).unwrap();
+        let report = sched.run(20).unwrap();
+        assert_eq!(report.ticks, 20, "the tick loop must never fail");
+        assert!(report.session_errors >= 1, "the fault must surface");
+        assert!(
+            report.session_recoveries >= 1,
+            "the session must come back: {report:?}"
+        );
+        assert_eq!(report.sessions_quarantined, 0);
+        // Clean sessions were unaffected: they emitted beats every tick.
+        assert!(report.beats > 3 * 10, "only {} beats", report.beats);
+    }
+
+    #[test]
+    fn soft_faults_degrade_a_session_without_errors() {
+        use cardiotouch_physio::faults::FaultScenario;
+        let mut all = feeds(2);
+        let scenario = Arc::new(FaultScenario::parse("drop@4s+3s,sat=0.4@12s+2s", 250.0).unwrap());
+        all[1] = all[1].clone().with_faults(scenario);
+        let mut sched = SessionScheduler::new(PipelineConfig::paper_default(250.0), all).unwrap();
+        let report = sched.run(25).unwrap();
+        assert_eq!(report.session_errors, 0);
+        assert!(report.beats > 0);
+        // The faulted session still produces beats (clean stretches),
+        // just fewer than its clean twin.
+        assert!(sched.slots[1].beats > 0);
+        assert!(sched.slots[1].beats <= sched.slots[0].beats);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        use cardiotouch_physio::faults::FaultScenario;
+        // A session that hard-faults forever: every retry fails again.
+        let ecg = Arc::new(vec![0.5; 7500]);
+        let z = Arc::new(vec![430.0; 7500]);
+        let scenario = Arc::new(FaultScenario::parse("fail@0+3600s", 250.0).unwrap());
+        let feeds = vec![SessionFeed::clean(ecg, z, 0).with_faults(scenario)];
+        let mut sched = SessionScheduler::new(PipelineConfig::paper_default(250.0), feeds).unwrap();
+        let report = sched.run(200).unwrap();
+        // With 1+2+4+…+32+32… backoff, 200 ticks see ~9 attempts, far
+        // fewer than the 200 a retry-every-tick policy would burn.
+        assert!(
+            report.session_errors <= 12,
+            "{} errors — backoff not applied",
+            report.session_errors
+        );
+        assert!(report.session_errors >= 5);
+        assert_eq!(report.session_recoveries, 0);
+        assert_eq!(report.sessions_quarantined, 1);
+        assert_eq!(report.beats, 0);
     }
 }

@@ -39,6 +39,219 @@ use crate::config::PipelineConfig;
 use crate::pipeline::{report_from_points, BeatReport, Pipeline};
 use crate::CoreError;
 
+/// Per-channel signal condition in the degradation ladder.
+///
+/// The ladder replaces the original "hold the last finite sample
+/// forever" policy with explicit semantics:
+///
+/// ```text
+///            ≥0.1 s suspect              ≥ holdover cap suspect
+///   Good ───────────────────▶ Degraded ───────────────────▶ Lost
+///    ▲                           │ ≥0.25 s clean              │
+///    │                           ▼                            │ ≥0.25 s clean
+///    │ ≥2 s clean (re-lock)   Good                            ▼
+///    └────────────────────────────────────────────────── Recovering
+/// ```
+///
+/// A sample is *suspect* when it is non-finite, clamped at a rail, or
+/// part of a flatline run (bit-identical consecutive values — an open
+/// measurement loop). `Lost` stops data fabrication: the channel is fed
+/// a neutral value and, on contact return, the conditioning chain is
+/// warm-restarted at the next hop boundary and beats are suppressed
+/// until the detectors re-lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SignalState {
+    /// Clean contact; beats emit as usual.
+    Good,
+    /// Contact has returned after a loss; detectors are re-locking and
+    /// beats overlapping this phase are suppressed.
+    Recovering,
+    /// Suspect signal beyond the degrade threshold but within the
+    /// holdover cap; beats are emitted flagged, not clean.
+    Degraded,
+    /// Sustained suspect signal beyond the holdover cap; no data is
+    /// fabricated and no beat may span this stretch.
+    Lost,
+}
+
+impl SignalState {
+    fn severity(self) -> u8 {
+        match self {
+            SignalState::Good => 0,
+            SignalState::Recovering => 1,
+            SignalState::Degraded => 2,
+            SignalState::Lost => 3,
+        }
+    }
+
+    fn from_severity(sev: u8) -> Self {
+        match sev {
+            0 => SignalState::Good,
+            1 => SignalState::Recovering,
+            2 => SignalState::Degraded,
+            _ => SignalState::Lost,
+        }
+    }
+}
+
+/// A beat report annotated with the ladder's quality verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualifiedBeat {
+    /// The hemodynamic parameters, as [`BeatStream::push`] emits them.
+    pub report: BeatReport,
+    /// Worst combined channel state over the beat's `[r, next_r)`
+    /// window. [`SignalState::Lost`] never appears here — such beats are
+    /// suppressed before emission.
+    pub state: SignalState,
+    /// Morphology confidence from the online delineator's ensemble
+    /// template ([`cardiotouch_icg::quality::beat_sqi`]); `None` during
+    /// template warm-up.
+    pub sqi: Option<f64>,
+}
+
+impl QualifiedBeat {
+    /// `true` when the ladder saw clean contact for the whole beat and
+    /// the morphology confidence (when available) clears `threshold`.
+    #[must_use]
+    pub fn is_clean(&self, threshold: f64) -> bool {
+        self.state == SignalState::Good && self.sqi.map_or(true, |s| s >= threshold)
+    }
+}
+
+/// Flatline run length, seconds, before samples count as suspect.
+const FLAT_S: f64 = 0.08;
+/// Suspect run, seconds, before a channel degrades.
+const DEGRADE_S: f64 = 0.10;
+/// Clean run, seconds, before a lost channel starts recovering (and a
+/// degraded one returns to good).
+const RECOVER_S: f64 = 0.25;
+/// Clean run, seconds, of detector re-lock before a recovering channel
+/// is good again (matches the QRS warm-restart threshold window).
+const RELOCK_S: f64 = 2.0;
+/// ECG rail magnitude, millivolts: far beyond any physiological R wave,
+/// reached only by a saturated front end or an open loop.
+const ECG_RAIL_MV: f64 = 25.0;
+/// Impedance rails, ohms: a hand-to-hand path reads hundreds of ohms;
+/// at or below zero (short) or in the kilo-ohm range (open loop) the
+/// loop is broken.
+const Z_RAIL_LO_OHM: f64 = 1.0;
+const Z_RAIL_HI_OHM: f64 = 3000.0;
+
+/// Flatline/rail/finiteness detectors and the per-channel state machine.
+#[derive(Debug, Clone)]
+struct ChannelMonitor {
+    state: SignalState,
+    /// Consecutive suspect samples (retroactively covers a flat run).
+    bad_run: usize,
+    /// Consecutive clean samples.
+    good_run: usize,
+    /// Consecutive bit-identical raw samples.
+    flat_run: usize,
+    last_bits: u64,
+    /// A non-finite sample occurred in the current suspect run (the run
+    /// was being bridged by holdover fabrication).
+    run_had_nonfinite: bool,
+    rail_lo: f64,
+    rail_hi: f64,
+    flat: usize,
+    degrade: usize,
+    lost: usize,
+    recover: usize,
+    relock: usize,
+}
+
+impl ChannelMonitor {
+    fn new(fs: f64, rail_lo: f64, rail_hi: f64, holdover_cap_s: f64) -> Self {
+        Self {
+            state: SignalState::Good,
+            bad_run: 0,
+            good_run: 0,
+            flat_run: 0,
+            last_bits: f64::NAN.to_bits(),
+            run_had_nonfinite: false,
+            rail_lo,
+            rail_hi,
+            flat: ((FLAT_S * fs) as usize).max(2),
+            degrade: ((DEGRADE_S * fs) as usize).max(1),
+            lost: ((holdover_cap_s * fs) as usize).max(2),
+            recover: ((RECOVER_S * fs) as usize).max(1),
+            relock: ((RELOCK_S * fs) as usize).max(1),
+        }
+    }
+
+    /// Observes one raw sample and advances the ladder; returns the
+    /// state before the observation so the caller can react to edges.
+    fn observe(&mut self, v: f64) -> SignalState {
+        let prev = self.state;
+        let bits = v.to_bits();
+        if bits == self.last_bits {
+            self.flat_run += 1;
+        } else {
+            self.flat_run = 0;
+            self.last_bits = bits;
+        }
+        let finite = v.is_finite();
+        let railed = finite && (v <= self.rail_lo || v >= self.rail_hi);
+        let flat = self.flat_run >= self.flat;
+        if !finite || railed || flat {
+            if self.bad_run == 0 {
+                self.run_had_nonfinite = false;
+            }
+            self.good_run = 0;
+            self.bad_run += 1;
+            if flat {
+                // The whole flat run was suspect in hindsight.
+                self.bad_run = self.bad_run.max(self.flat_run + 1);
+            }
+            if !finite {
+                self.run_had_nonfinite = true;
+            }
+            if self.bad_run >= self.lost {
+                self.state = SignalState::Lost;
+            } else if self.bad_run >= self.degrade && self.state != SignalState::Lost {
+                self.state = SignalState::Degraded;
+            }
+        } else {
+            self.bad_run = 0;
+            self.good_run += 1;
+            match self.state {
+                SignalState::Lost if self.good_run >= self.recover => {
+                    self.state = SignalState::Recovering;
+                }
+                SignalState::Degraded if self.good_run >= self.recover => {
+                    self.state = SignalState::Good;
+                }
+                SignalState::Recovering if self.good_run >= self.relock => {
+                    self.state = SignalState::Good;
+                }
+                _ => {}
+            }
+        }
+        prev
+    }
+}
+
+/// Worst combined ladder state over the absolute range `[lo, hi)`.
+///
+/// `log` holds `(absolute sample, severity)` transitions in ascending
+/// order, each meaning "combined severity from this sample onward", with
+/// an implicit `(0, Good)` before the first entry.
+fn worst_state(log: &VecDeque<(usize, u8)>, lo: usize, hi: usize) -> SignalState {
+    let mut sev = 0;
+    for &(idx, s) in log {
+        if idx >= hi {
+            break;
+        }
+        if idx <= lo {
+            // The newest entry at or before `lo` governs the window start.
+            sev = s;
+        } else {
+            sev = sev.max(s);
+        }
+    }
+    SignalState::from_severity(sev)
+}
+
 /// Incremental beat-to-beat processor with O(hop) per-hop cost.
 ///
 /// Pipeline per hop (1 s of samples): raw ECG → online Pan–Tompkins →
@@ -102,6 +315,34 @@ pub struct BeatStream {
     holdover_events: cardiotouch_obs::Counter,
     ecg_in_holdover: bool,
     z_in_holdover: bool,
+    // --- degradation ladder (see DESIGN.md §6d) ---
+    ecg_mon: ChannelMonitor,
+    z_mon: ChannelMonitor,
+    /// Slow EMA of clean impedance samples — the neutral fill while the
+    /// Z channel is lost (frozen for the loss duration).
+    z_ema: f64,
+    z_ema_init: bool,
+    /// Combined-severity transition log `(absolute sample, severity)`
+    /// for worst-state-over-window queries at beat emission.
+    state_log: VecDeque<(usize, u8)>,
+    /// Absolute samples of Lost→Recovering transitions whose warm
+    /// restart has not yet been applied (applied at the start of the hop
+    /// containing them, keeping restarts chunk-size invariant).
+    restarts: VecDeque<usize>,
+    /// Beats whose R lies before this absolute index are suppressed
+    /// (re-lock window after each loss).
+    suppress_before: usize,
+    /// `core.stream.state_transitions` — per-channel ladder edges.
+    state_transitions: cardiotouch_obs::Counter,
+    /// `core.stream.holdover_truncated` — suspect runs that hit the
+    /// holdover cap while being bridged with fabricated samples.
+    holdover_truncated: cardiotouch_obs::Counter,
+    /// `core.stream.beats_suppressed` — beats dropped by the ladder
+    /// (loss overlap or re-lock window).
+    beats_suppressed: cardiotouch_obs::Counter,
+    /// `core.stream.beats_degraded` — beats emitted flagged (ladder
+    /// state not `Good`, or SQI below the configured threshold).
+    beats_degraded: cardiotouch_obs::Counter,
 }
 
 impl BeatStream {
@@ -161,7 +402,24 @@ impl BeatStream {
             holdover_events: cardiotouch_obs::counter("core.stream.holdover_events"),
             ecg_in_holdover: false,
             z_in_holdover: false,
+            ecg_mon: ChannelMonitor::new(fs, -ECG_RAIL_MV, ECG_RAIL_MV, config.holdover_cap_s),
+            z_mon: ChannelMonitor::new(fs, Z_RAIL_LO_OHM, Z_RAIL_HI_OHM, config.holdover_cap_s),
+            z_ema: 0.0,
+            z_ema_init: false,
+            state_log: VecDeque::new(),
+            restarts: VecDeque::new(),
+            suppress_before: 0,
+            state_transitions: cardiotouch_obs::counter("core.stream.state_transitions"),
+            holdover_truncated: cardiotouch_obs::counter("core.stream.holdover_truncated"),
+            beats_suppressed: cardiotouch_obs::counter("core.stream.beats_suppressed"),
+            beats_degraded: cardiotouch_obs::counter("core.stream.beats_degraded"),
         })
+    }
+
+    /// Current ladder state of the `(ecg, z)` channels.
+    #[must_use]
+    pub fn channel_states(&self) -> (SignalState, SignalState) {
+        (self.ecg_mon.state, self.z_mon.state)
     }
 
     /// Absolute index of the next sample to be pushed.
@@ -183,6 +441,33 @@ impl BeatStream {
     /// * [`CoreError::ChannelLengthMismatch`] when the chunks differ in
     ///   length.
     pub fn push(&mut self, ecg: &[f64], z: &[f64]) -> Result<Vec<BeatReport>, CoreError> {
+        Ok(self
+            .push_qualified(ecg, z)?
+            .into_iter()
+            .map(|q| q.report)
+            .collect())
+    }
+
+    /// Like [`BeatStream::push`], but annotates every beat with the
+    /// degradation ladder's verdict: the worst channel state over the
+    /// beat window and the per-beat morphology confidence. Beats whose
+    /// window overlaps a `Lost` stretch, or that fall in the re-lock
+    /// window after a loss, are suppressed (counted in
+    /// `core.stream.beats_suppressed`), never returned.
+    ///
+    /// On clean input every beat comes back `Good` and the emitted
+    /// reports are bit-identical to [`BeatStream::push`]'s historical
+    /// behaviour — the ladder only observes until a detector trips.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ChannelLengthMismatch`] when the chunks differ in
+    ///   length.
+    pub fn push_qualified(
+        &mut self,
+        ecg: &[f64],
+        z: &[f64],
+    ) -> Result<Vec<QualifiedBeat>, CoreError> {
         if ecg.len() != z.len() {
             return Err(CoreError::ChannelLengthMismatch {
                 ecg_len: ecg.len(),
@@ -194,10 +479,48 @@ impl BeatStream {
         // free of shared-memory traffic.
         let mut sanitized: u64 = 0;
         let mut holdovers: u64 = 0;
-        for (&e, &zv) in ecg.iter().zip(z) {
-            // Hold the last finite value over non-finite glitches; the
-            // recursive filters must never ingest a NaN (it would stick
-            // in their state forever).
+        let mut transitions: u64 = 0;
+        let mut truncated: u64 = 0;
+        let mut last_sev = self.state_log.back().map_or(0, |&(_, sev)| sev);
+        for (i, (&e, &zv)) in ecg.iter().zip(z).enumerate() {
+            let idx = self.pushed + i;
+
+            // Ladder detectors observe the *raw* samples; transitions
+            // are pure functions of the absolute sample history, so the
+            // ladder is chunk-size invariant by construction.
+            let e_prev = self.ecg_mon.observe(e);
+            let z_prev = self.z_mon.observe(zv);
+            let (e_state, z_state) = (self.ecg_mon.state, self.z_mon.state);
+            for (prev, now, mon) in [
+                (e_prev, e_state, &self.ecg_mon),
+                (z_prev, z_state, &self.z_mon),
+            ] {
+                if prev == now {
+                    continue;
+                }
+                transitions += 1;
+                if now == SignalState::Lost && mon.run_had_nonfinite {
+                    // The holdover cap tripped while fabricating data.
+                    truncated += 1;
+                }
+                if prev == SignalState::Lost && now == SignalState::Recovering {
+                    // Warm-restart the conditioning chain at the next
+                    // hop boundary and suppress beats until re-lock.
+                    if self.restarts.back() != Some(&idx) {
+                        self.restarts.push_back(idx);
+                    }
+                    self.suppress_before = self.suppress_before.max(idx + mon.relock);
+                }
+            }
+            let sev = e_state.severity().max(z_state.severity());
+            if sev != last_sev {
+                self.state_log.push_back((idx, sev));
+                last_sev = sev;
+            }
+
+            // ECG fill: hold the last finite value over glitches (the
+            // recursive filters must never ingest a NaN), but stop
+            // fabricating once the ladder declares the channel lost.
             if e.is_finite() {
                 self.last_ecg = e;
                 self.ecg_in_holdover = false;
@@ -208,11 +531,27 @@ impl BeatStream {
                     self.ecg_in_holdover = true;
                 }
             }
-            self.pend_ecg.push(self.last_ecg);
+            self.pend_ecg.push(if e_state == SignalState::Lost {
+                0.0
+            } else {
+                self.last_ecg
+            });
+
+            // Z fill: same policy; the neutral value is the frozen slow
+            // EMA of clean impedance, so Z0 estimates do not drift
+            // toward an arbitrary constant during a loss.
             if zv.is_finite() {
                 self.last_z = zv;
                 self.z_seen_finite = true;
                 self.z_in_holdover = false;
+                if z_state == SignalState::Good {
+                    if self.z_ema_init {
+                        self.z_ema += (zv - self.z_ema) / 256.0;
+                    } else {
+                        self.z_ema = zv;
+                        self.z_ema_init = true;
+                    }
+                }
             } else {
                 sanitized += 1;
                 if !self.z_in_holdover {
@@ -220,13 +559,22 @@ impl BeatStream {
                     self.z_in_holdover = true;
                 }
             }
-            self.pend_z
-                .push(if self.z_seen_finite { self.last_z } else { 0.0 });
+            self.pend_z.push(if z_state == SignalState::Lost {
+                self.z_ema
+            } else if self.z_seen_finite {
+                self.last_z
+            } else {
+                0.0
+            });
         }
         self.pushed += ecg.len();
         if sanitized > 0 {
             self.samples_sanitized.add(sanitized);
             self.holdover_events.add(holdovers);
+        }
+        if transitions > 0 {
+            self.state_transitions.add(transitions);
+            self.holdover_truncated.add(truncated);
         }
 
         let mut out = Vec::new();
@@ -243,10 +591,42 @@ impl BeatStream {
         Ok(out)
     }
 
+    /// Applies a deferred warm restart: the conditioning chain is reset
+    /// to its start-of-stream state, the delineator drops anything that
+    /// could span the gap, and its conditioned stream is zero-padded up
+    /// to the current hop boundary so post-restart output stays aligned
+    /// with the absolute R-peak clock.
+    fn warm_restart(&mut self) {
+        self.deriv.reset();
+        self.lp.reset();
+        self.hp.reset();
+        self.qrs.restart();
+        self.raw_rs.clear();
+        self.delineator.abort_pending();
+        self.delineator.pad_to(self.processed);
+    }
+
     /// Consumes one exact hop starting at `off` in the pending buffers.
-    fn process_hop(&mut self, off: usize, out: &mut Vec<BeatReport>) {
+    fn process_hop(&mut self, off: usize, out: &mut Vec<QualifiedBeat>) {
         let _hop_span = cardiotouch_obs::span!("core.stream.hop_us");
         let hop = self.hop;
+
+        // A Lost→Recovering transition inside (or before) this hop
+        // triggers the warm restart now, at the hop boundary — the
+        // restart point is a pure function of the absolute transition
+        // sample, never of caller chunking.
+        let mut restart = false;
+        while let Some(&t) = self.restarts.front() {
+            if t < self.processed + hop {
+                self.restarts.pop_front();
+                restart = true;
+            } else {
+                break;
+            }
+        }
+        if restart {
+            self.warm_restart();
+        }
 
         // ECG: raw ring (for apex refinement) + online QRS detection.
         self.ecg_ring.extend(&self.pend_ecg[off..off + hop]);
@@ -294,6 +674,13 @@ impl BeatStream {
         }
         self.ecg_ring.discard_before(keep);
 
+        // Prune the state log: anything older than the delineator's
+        // reach is dead (keep one entry as the governing state).
+        let cutoff = head.saturating_sub(30 * hop);
+        while self.state_log.len() >= 2 && self.state_log[1].0 <= cutoff {
+            self.state_log.pop_front();
+        }
+
         // Finalize beats whose segments are fully settled.
         self.beats_scratch.clear();
         self.delineator.poll_into(&mut self.beats_scratch);
@@ -301,7 +688,16 @@ impl BeatStream {
             return;
         }
         let z0 = self.z_sum / head as f64;
+        let mut suppressed: u64 = 0;
+        let mut degraded: u64 = 0;
         for ob in &self.beats_scratch {
+            let worst = worst_state(&self.state_log, ob.window.r, ob.window.end);
+            // The ladder's emission gate: nothing from a lost stretch or
+            // the post-loss re-lock window reaches the caller.
+            if ob.window.r < self.suppress_before || worst == SignalState::Lost {
+                suppressed += 1;
+                continue;
+            }
             if let Some(rep) =
                 report_from_points(&self.config, &ob.window, &ob.points, ob.dzdt_max, z0)
             {
@@ -310,9 +706,27 @@ impl BeatStream {
                     && rep.dzdt_max.is_finite()
                     && rep.sv_kubicek_ml.is_finite()
                 {
-                    out.push(rep);
+                    let threshold = self
+                        .config
+                        .sqi_threshold
+                        .unwrap_or(cardiotouch_icg::quality::DEFAULT_SQI_THRESHOLD);
+                    let qb = QualifiedBeat {
+                        report: rep,
+                        state: worst,
+                        sqi: ob.sqi,
+                    };
+                    if !qb.is_clean(threshold) {
+                        degraded += 1;
+                    }
+                    out.push(qb);
                 }
             }
+        }
+        if suppressed > 0 {
+            self.beats_suppressed.add(suppressed);
+        }
+        if degraded > 0 {
+            self.beats_degraded.add(degraded);
         }
     }
 
@@ -661,6 +1075,119 @@ mod tests {
             .unwrap();
         assert_eq!(stream.position(), n);
         assert!(!beats.is_empty());
+    }
+
+    #[test]
+    fn ladder_declares_lost_then_recovers_and_resumes_beats() {
+        let rec = recording(6);
+        let fs = 250.0;
+        let mut ecg = rec.device_ecg().to_vec();
+        let mut z = rec.device_z().to_vec();
+        // 3 s of full contact loss (dropout on both channels) at 10 s.
+        let (lo, hi) = ((10.0 * fs) as usize, (13.0 * fs) as usize);
+        for i in lo..hi {
+            ecg[i] = f64::NAN;
+            z[i] = f64::NAN;
+        }
+        let cfg = PipelineConfig::paper_default(fs);
+        let mut stream = BeatStream::new(cfg).unwrap();
+        let mut all = Vec::new();
+        let mut lost_seen_at = None;
+        for (k, (e, zc)) in ecg.chunks(125).zip(z.chunks(125)).enumerate() {
+            all.extend(stream.push_qualified(e, zc).unwrap());
+            let (es, zs) = stream.channel_states();
+            let pos = (k + 1) * 125;
+            if pos > lo + (cfg.holdover_cap_s * fs) as usize + 125 && pos < hi {
+                assert_eq!(es, SignalState::Lost, "ecg must be lost at {pos}");
+                assert_eq!(zs, SignalState::Lost, "z must be lost at {pos}");
+                lost_seen_at.get_or_insert(pos);
+            }
+        }
+        // Lost was entered within the holdover cap of the onset.
+        assert!(lost_seen_at.is_some(), "never observed Lost during the gap");
+        // Contact returned 17 s before the end: both channels re-locked.
+        let (es, zs) = stream.channel_states();
+        assert_eq!(es, SignalState::Good);
+        assert_eq!(zs, SignalState::Good);
+        // Beats resumed after restoration, none spanning the gap, and no
+        // non-finite parameter anywhere.
+        let after = all.iter().filter(|q| q.report.r > hi).count();
+        assert!(after >= 5, "only {after} beats after contact returned");
+        for q in &all {
+            assert!(
+                q.report.r >= hi || q.report.x < lo,
+                "beat [{}, {}] overlaps the loss window",
+                q.report.r,
+                q.report.x
+            );
+            assert!(q.state != SignalState::Lost);
+            assert!(q.report.pep_s.is_finite() && q.report.lvet_s.is_finite());
+            assert!(q.report.sv_kubicek_ml.is_finite() && q.report.co_l_per_min.is_finite());
+        }
+    }
+
+    #[test]
+    fn push_qualified_on_clean_input_is_all_good_and_matches_push() {
+        let rec = recording(7);
+        let cfg = PipelineConfig::paper_default(250.0);
+        let mut qual_stream = BeatStream::new(cfg).unwrap();
+        let mut plain_stream = BeatStream::new(cfg).unwrap();
+        let mut qual = Vec::new();
+        let mut plain = Vec::new();
+        for (e, z) in rec.device_ecg().chunks(125).zip(rec.device_z().chunks(125)) {
+            qual.extend(qual_stream.push_qualified(e, z).unwrap());
+            plain.extend(plain_stream.push(e, z).unwrap());
+        }
+        assert_eq!(qual.len(), plain.len());
+        for (q, p) in qual.iter().zip(&plain) {
+            assert_eq!(q.state, SignalState::Good);
+            assert_eq!(q.report, *p, "clean-path reports must be bit-identical");
+        }
+        // SQI wiring: once the template warms, beats carry a confidence.
+        let scored = qual.iter().filter(|q| q.sqi.is_some()).count();
+        assert!(
+            scored >= qual.len().saturating_sub(4),
+            "{scored}/{}",
+            qual.len()
+        );
+    }
+
+    #[test]
+    fn flatline_contact_loss_is_detected_without_nonfinite_samples() {
+        let rec = recording(8);
+        let fs = 250.0;
+        let mut ecg = rec.device_ecg().to_vec();
+        let mut z = rec.device_z().to_vec();
+        // Finger lift modeled as a hard rail: perfectly flat, finite.
+        let (lo, hi) = ((12.0 * fs) as usize, (15.0 * fs) as usize);
+        for i in lo..hi {
+            ecg[i] = 0.0;
+            z[i] = 430.0;
+        }
+        let mut stream = BeatStream::new(PipelineConfig::paper_default(fs)).unwrap();
+        let mut saw_lost = false;
+        for (e, zc) in ecg.chunks(250).zip(z.chunks(250)) {
+            stream.push_qualified(e, zc).unwrap();
+            let (es, zs) = stream.channel_states();
+            saw_lost |= es == SignalState::Lost && zs == SignalState::Lost;
+        }
+        assert!(saw_lost, "flatline must trip the ladder without any NaN");
+        let (es, zs) = stream.channel_states();
+        assert_eq!((es, zs), (SignalState::Good, SignalState::Good));
+    }
+
+    #[test]
+    fn worst_state_queries_the_transition_log() {
+        let mut log = VecDeque::new();
+        assert_eq!(worst_state(&log, 0, 100), SignalState::Good);
+        log.push_back((50, SignalState::Degraded.severity()));
+        log.push_back((80, SignalState::Lost.severity()));
+        log.push_back((120, SignalState::Good.severity()));
+        assert_eq!(worst_state(&log, 0, 40), SignalState::Good);
+        assert_eq!(worst_state(&log, 0, 60), SignalState::Degraded);
+        assert_eq!(worst_state(&log, 60, 90), SignalState::Lost);
+        assert_eq!(worst_state(&log, 130, 200), SignalState::Good);
+        assert_eq!(worst_state(&log, 90, 130), SignalState::Lost);
     }
 
     #[test]

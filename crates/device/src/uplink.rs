@@ -154,6 +154,191 @@ pub fn decode_stream(bytes: &[u8]) -> (Vec<ParameterRecord>, usize) {
     (out, offset)
 }
 
+/// Accounting from a resynchronising stream decode
+/// ([`decode_stream_resync`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ResyncStats {
+    /// Bytes discarded while hunting for the next CRC-valid record.
+    pub bytes_skipped: usize,
+    /// Number of distinct corruption runs that were skipped over (a run
+    /// of consecutive bad alignments counts once).
+    pub resyncs: usize,
+    /// Undecodable bytes left at the tail (a truncated final record, or
+    /// trailing garbage shorter than one record).
+    pub trailing_bytes: usize,
+}
+
+/// Decodes back-to-back payloads, *resynchronising* after corruption
+/// instead of giving up.
+///
+/// Where [`decode_stream`] stops at the first CRC failure, this variant
+/// slides forward one byte at a time until it re-locks, so intact
+/// records after a corrupt region are still recovered. A lone CRC match
+/// is not trusted while hunting — a random 20-byte window passes the
+/// CRC with probability 2⁻⁸, and committing to such a false lock would
+/// consume the head of the next genuine record. Re-lock therefore
+/// requires *two* consecutive CRC-valid windows (false-lock probability
+/// 2⁻¹⁶), falling back to a single match only when fewer than two
+/// record lengths remain. The one stream this trades away: a single
+/// good record sandwiched between two corrupt regions stays dropped.
+#[must_use]
+pub fn decode_stream_resync(bytes: &[u8]) -> (Vec<ParameterRecord>, ResyncStats) {
+    let mut out = Vec::new();
+    let mut stats = ResyncStats::default();
+    let mut offset = 0;
+    let mut in_skip = false;
+    while offset + RECORD_LEN <= bytes.len() {
+        match ParameterRecord::decode(&bytes[offset..offset + RECORD_LEN]) {
+            Ok(r) => {
+                let confirmed = !in_skip
+                    || offset + 2 * RECORD_LEN > bytes.len()
+                    || ParameterRecord::decode(
+                        &bytes[offset + RECORD_LEN..offset + 2 * RECORD_LEN],
+                    )
+                    .is_ok();
+                if confirmed {
+                    out.push(r);
+                    offset += RECORD_LEN;
+                    in_skip = false;
+                } else {
+                    // a misaligned window that matched by chance
+                    stats.bytes_skipped += 1;
+                    offset += 1;
+                }
+            }
+            Err(_) => {
+                if !in_skip {
+                    stats.resyncs += 1;
+                    in_skip = true;
+                }
+                stats.bytes_skipped += 1;
+                offset += 1;
+            }
+        }
+    }
+    stats.trailing_bytes = bytes.len() - offset;
+    (out, stats)
+}
+
+/// Returns the sequence numbers missing from `records`, assuming the
+/// wrapping u16 sequence increments by one per beat. This is the
+/// receiver-side view the host uses to request retransmission after
+/// [`LossyLink`] drops or CRC-failed notifications.
+///
+/// Gaps wider than half the sequence space are treated as a stream
+/// restart, not a loss, and skipped.
+#[must_use]
+pub fn missing_sequences(records: &[ParameterRecord]) -> Vec<u16> {
+    let mut missing = Vec::new();
+    for pair in records.windows(2) {
+        let gap = pair[1].sequence.wrapping_sub(pair[0].sequence);
+        if gap > 1 && gap < u16::MAX / 2 {
+            for d in 1..gap {
+                missing.push(pair[0].sequence.wrapping_add(d));
+            }
+        }
+    }
+    missing
+}
+
+/// Deterministic lossy BLE notification channel with one retransmission
+/// round.
+///
+/// Models the uplink fault mode the fault taxonomy calls "packet loss":
+/// each 20-byte notification is independently dropped with probability
+/// `drop_prob` under a seeded RNG, so a given `(seed, drop_prob,
+/// record stream)` always produces the same received byte stream.
+/// [`LossyLink::transmit_with_retry`] re-offers dropped records once —
+/// the device keeps a small retransmit buffer of recent beats — which
+/// is enough to recover isolated drops but (faithfully) not a sustained
+/// outage.
+#[derive(Debug, Clone)]
+pub struct LossyLink {
+    rng: rand::rngs::StdRng,
+    drop_prob: f64,
+    delivered: usize,
+    dropped: usize,
+}
+
+impl LossyLink {
+    /// Creates a link that drops each notification with probability
+    /// `drop_prob`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeviceError::OutOfRange`] unless `0 ≤ drop_prob < 1`.
+    pub fn new(seed: u64, drop_prob: f64) -> Result<Self, DeviceError> {
+        if !(0.0..1.0).contains(&drop_prob) {
+            return Err(DeviceError::OutOfRange {
+                name: "drop_prob",
+                value: drop_prob,
+                range: "[0, 1)",
+            });
+        }
+        use rand::SeedableRng;
+        Ok(Self {
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            drop_prob,
+            delivered: 0,
+            dropped: 0,
+        })
+    }
+
+    /// Notifications that made it through so far.
+    #[must_use]
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Notifications lost so far (counting failed retransmissions).
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    fn send(&mut self, record: &ParameterRecord, out: &mut Vec<u8>) -> bool {
+        use rand::Rng;
+        if self.rng.gen_bool(self.drop_prob) {
+            self.dropped += 1;
+            false
+        } else {
+            out.extend_from_slice(&record.encode());
+            self.delivered += 1;
+            true
+        }
+    }
+
+    /// Transmits `records` with no retransmission; dropped records
+    /// simply vanish from the returned byte stream.
+    #[must_use]
+    pub fn transmit(&mut self, records: &[ParameterRecord]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(records.len() * RECORD_LEN);
+        for r in records {
+            self.send(r, &mut out);
+        }
+        out
+    }
+
+    /// Transmits `records`, then re-offers every dropped record once in
+    /// sequence order (appended after the live stream, as a real
+    /// retransmit round would be).
+    #[must_use]
+    pub fn transmit_with_retry(&mut self, records: &[ParameterRecord]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(records.len() * RECORD_LEN);
+        let mut lost: Vec<&ParameterRecord> = Vec::new();
+        for r in records {
+            if !self.send(r, &mut out) {
+                lost.push(r);
+            }
+        }
+        for r in lost {
+            self.send(r, &mut out);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +407,103 @@ mod tests {
         let (back, consumed) = decode_stream(&bytes);
         assert_eq!(back.len(), 2);
         assert_eq!(consumed, 2 * RECORD_LEN);
+    }
+
+    #[test]
+    fn resync_recovers_every_record_after_bad_crc() {
+        let records: Vec<ParameterRecord> = (0..8).map(sample).collect();
+        let mut bytes = encode_stream(&records);
+        bytes[3 * RECORD_LEN + 5] ^= 0xFF; // corrupt record 3 in place
+        let (back, stats) = decode_stream_resync(&bytes);
+        // records 0..3 and 4..8 all survive; only record 3 is lost
+        assert_eq!(back.len(), 7);
+        assert_eq!(back[..3], records[..3]);
+        assert_eq!(back[3..], records[4..]);
+        assert_eq!(stats.resyncs, 1);
+        assert_eq!(stats.bytes_skipped, RECORD_LEN);
+        assert_eq!(stats.trailing_bytes, 0);
+    }
+
+    #[test]
+    fn resync_skips_a_garbage_prefix() {
+        let records: Vec<ParameterRecord> = (0..5).map(sample).collect();
+        let mut bytes = vec![0xA5u8; 13]; // misaligned junk before the stream
+        bytes.extend_from_slice(&encode_stream(&records));
+        let (back, stats) = decode_stream_resync(&bytes);
+        assert_eq!(back, records);
+        assert_eq!(stats.bytes_skipped, 13);
+        assert_eq!(stats.resyncs, 1);
+        // the naive decoder recovers nothing from the same stream
+        assert_eq!(decode_stream(&bytes).0.len(), 0);
+    }
+
+    #[test]
+    fn resync_reports_a_truncated_tail() {
+        let records: Vec<ParameterRecord> = (0..4).map(sample).collect();
+        let mut bytes = encode_stream(&records);
+        bytes.truncate(bytes.len() - 7); // final notification cut short
+        let (back, stats) = decode_stream_resync(&bytes);
+        assert_eq!(back, records[..3]);
+        assert_eq!(stats.bytes_skipped, 0);
+        assert_eq!(stats.trailing_bytes, RECORD_LEN - 7);
+    }
+
+    #[test]
+    fn resync_on_clean_stream_matches_naive_decoder() {
+        let records: Vec<ParameterRecord> = (0..12).map(sample).collect();
+        let bytes = encode_stream(&records);
+        let (back, stats) = decode_stream_resync(&bytes);
+        assert_eq!(back, records);
+        assert_eq!(stats, ResyncStats::default());
+    }
+
+    #[test]
+    fn missing_sequences_finds_gaps_and_ignores_restarts() {
+        let recs: Vec<ParameterRecord> = [0u16, 1, 4, 5].iter().map(|&s| sample(s)).collect();
+        assert_eq!(missing_sequences(&recs), vec![2, 3]);
+        let wrap: Vec<ParameterRecord> = [u16::MAX - 1, u16::MAX, 1]
+            .iter()
+            .map(|&s| sample(s))
+            .collect();
+        assert_eq!(missing_sequences(&wrap), vec![0]);
+        // sequence jumping backwards = device restarted, not a loss
+        let restart: Vec<ParameterRecord> = [500u16, 0].iter().map(|&s| sample(s)).collect();
+        assert!(missing_sequences(&restart).is_empty());
+    }
+
+    #[test]
+    fn lossy_link_is_deterministic_and_retry_recovers_isolated_drops() {
+        let records: Vec<ParameterRecord> = (0..200).map(sample).collect();
+        let a = LossyLink::new(9, 0.1).unwrap().transmit(&records);
+        let b = LossyLink::new(9, 0.1).unwrap().transmit(&records);
+        assert_eq!(a, b, "same seed must give the same received stream");
+        let mut link = LossyLink::new(9, 0.1).unwrap();
+        let (got, _) = decode_stream_resync(&link.transmit(&records));
+        assert!(got.len() < records.len(), "10 % loss over 200 beats");
+        assert!(link.dropped() > 0);
+
+        let mut retry = LossyLink::new(9, 0.1).unwrap();
+        let (with_retry, _) = decode_stream_resync(&retry.transmit_with_retry(&records));
+        assert!(
+            with_retry.len() > got.len(),
+            "one retransmit round must recover some drops"
+        );
+        let mut seqs: Vec<u16> = with_retry.iter().map(|r| r.sequence).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        // after in-order reassembly, far fewer beats are missing
+        assert!(seqs.len() >= records.len() * 95 / 100);
+    }
+
+    #[test]
+    fn lossy_link_rejects_certain_loss() {
+        assert!(LossyLink::new(0, 1.0).is_err());
+        assert!(LossyLink::new(0, -0.1).is_err());
+        let mut perfect = LossyLink::new(0, 0.0).unwrap();
+        let records: Vec<ParameterRecord> = (0..5).map(sample).collect();
+        assert_eq!(perfect.transmit(&records), encode_stream(&records));
+        assert_eq!(perfect.delivered(), 5);
+        assert_eq!(perfect.dropped(), 0);
     }
 
     #[test]

@@ -325,6 +325,20 @@ impl StreamingZeroPhase {
         self.block
     }
 
+    /// Returns the stage to its start-of-stream state: both cascades are
+    /// zeroed, buffered input and unsettled tail are dropped, and the next
+    /// block re-runs the stream-start forward priming. Used for
+    /// warm-restarting a pipeline after signal loss — the discarded tail
+    /// was conditioned from pre-loss signal and must not leak across the
+    /// restart.
+    pub fn reset(&mut self) {
+        self.forward.reset();
+        self.backward.reset();
+        self.pending.clear();
+        self.tail.clear();
+        self.primed = false;
+    }
+
     /// Pushes a chunk and appends every newly settled zero-phase output
     /// sample to `out`. Output order across calls is the input order; the
     /// emitted stream lags the input by at most
@@ -608,6 +622,23 @@ mod tests {
         let n = a.len().min(b.len());
         assert!(n > 1000);
         assert_eq!(a[..n], b[..n]);
+    }
+
+    #[test]
+    fn zero_phase_reset_matches_fresh_instance() {
+        let f = design_cache::butterworth_lowpass(4, 20.0, FS).unwrap();
+        let x = signal(1500);
+        let mut reused = StreamingZeroPhase::new(Arc::clone(&f), (0.5 * FS) as usize, 90, 50);
+        let mut garbage = Vec::new();
+        reused.push_chunk(&x[..700], &mut garbage);
+        reused.reset();
+        let mut fresh = StreamingZeroPhase::new(Arc::clone(&f), (0.5 * FS) as usize, 90, 50);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for chunk in x.chunks(125) {
+            reused.push_chunk(chunk, &mut a);
+            fresh.push_chunk(chunk, &mut b);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -92,6 +92,28 @@ impl OnlinePanTompkins {
         self.npki + 0.25 * (self.spki - self.npki)
     }
 
+    /// Warm restart after signal loss: zeroes every filter delay line,
+    /// forgets the adaptive thresholds and any pending candidate, and
+    /// re-enters the threshold warm-up for the next 2 s of signal — but
+    /// **preserves the absolute sample clock**, so detections emitted
+    /// after the restart stay in absolute stream coordinates.
+    pub fn restart(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+        self.bp_hist = [0.0; 5];
+        self.mwi_buf.fill(0.0);
+        self.mwi_pos = 0;
+        self.mwi_sum = 0.0;
+        self.mwi_hist = [0.0; 3];
+        self.raw_ring.fill(0.0);
+        self.spki = 0.0;
+        self.npki = 0.0;
+        self.last_r = None;
+        self.pending = None;
+        self.warmup = self.sample_idx + (2.0 * self.fs) as usize;
+    }
+
     /// Pushes one raw ECG sample; returns the absolute sample index of a
     /// newly confirmed R peak, if one was just confirmed.
     pub fn push(&mut self, sample: f64) -> Option<usize> {
@@ -316,5 +338,28 @@ mod tests {
     #[test]
     fn rejects_bad_fs() {
         assert!(OnlinePanTompkins::new(20.0).is_err());
+    }
+
+    #[test]
+    fn restart_relocks_after_garbage() {
+        let (x, truth) = synth(7, 70.0);
+        let mut det = OnlinePanTompkins::new(FS).unwrap();
+        // 4 s of rail garbage, then restart, then the clean record.
+        for _ in 0..(4.0 * FS) as usize {
+            let _ = det.push(50.0);
+        }
+        det.restart();
+        let offset = (4.0 * FS) as usize;
+        let mut out = Vec::new();
+        for &v in &x {
+            if let Some(r) = det.push(v) {
+                out.push(r - offset);
+            }
+        }
+        let (hits, total) = score(&out, &truth, 5, 2.5);
+        assert!(hits as f64 >= 0.95 * total as f64, "{hits}/{total}");
+        // absolute clock preserved: detections sit past the garbage
+        let raw_first = out.first().map_or(0, |&r| r + offset);
+        assert!(raw_first >= offset);
     }
 }

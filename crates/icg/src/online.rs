@@ -34,6 +34,11 @@ pub struct OnlineBeat {
     pub points: CharacteristicPoints,
     /// Conditioned-ICG amplitude at the C point, `(dZ/dt)_max` in Ω/s.
     pub dzdt_max: f64,
+    /// Morphology confidence from [`crate::quality::beat_sqi`] against the
+    /// delineator's running R-aligned ensemble template, in `[-1, 1]`.
+    /// `None` until the template has warmed (first
+    /// [`BeatDelineator::SQI_WARMUP_BEATS`] beats).
+    pub sqi: Option<f64>,
 }
 
 /// Incremental B/C/X delineator over a settled conditioned-ICG stream.
@@ -57,6 +62,13 @@ pub struct BeatDelineator {
     ring: HistoryRing,
     /// Confirmed R peaks not yet consumed as a beat start.
     rs: VecDeque<usize>,
+    /// R-aligned ensemble template (EMA of finalized segments), capped at
+    /// 0.6 s — the systolic portion [`crate::quality::beat_sqi`] scores.
+    template: Vec<f64>,
+    /// Beats folded into the template so far.
+    template_beats: usize,
+    /// Template length cap in samples.
+    template_cap: usize,
     /// `icg.online.beats_delineated` — finalized beats.
     beats_delineated: cardiotouch_obs::Counter,
     /// `icg.online.delineation_failures` — segments the point detector
@@ -67,6 +79,13 @@ pub struct BeatDelineator {
 }
 
 impl BeatDelineator {
+    /// Beats folded into the ensemble template before per-beat SQI
+    /// scoring starts (earlier beats report `sqi: None`).
+    pub const SQI_WARMUP_BEATS: usize = 3;
+
+    /// EMA weight of the newest beat in the ensemble template.
+    const TEMPLATE_LAMBDA: f64 = 0.25;
+
     /// Creates a delineator. `min_rr_s`/`max_rr_s` bound accepted RR
     /// intervals exactly as [`crate::beat::segment_beats`] does.
     ///
@@ -89,6 +108,9 @@ impl BeatDelineator {
             detector: PointDetector::new(fs, x_search)?,
             ring: HistoryRing::new(),
             rs: VecDeque::new(),
+            template: Vec::new(),
+            template_beats: 0,
+            template_cap: (0.6 * fs) as usize,
             beats_delineated: cardiotouch_obs::counter("icg.online.beats_delineated"),
             delineation_failures: cardiotouch_obs::counter("icg.online.delineation_failures"),
             rr_rejected: cardiotouch_obs::counter("icg.online.rr_rejected"),
@@ -105,6 +127,30 @@ impl BeatDelineator {
     /// start).
     pub fn push_samples(&mut self, settled: &[f64]) {
         self.ring.extend(settled);
+    }
+
+    /// Drops every R peak queued but not yet finalized. Used on a
+    /// warm restart after signal loss: no beat may span the gap, because
+    /// its segment would mix pre-loss and post-loss conditioned samples.
+    pub fn abort_pending(&mut self) {
+        self.rs.clear();
+    }
+
+    /// Pads the conditioned stream with zeros up to absolute index `abs`
+    /// (no-op when already there). Used on a warm restart: the upstream
+    /// conditioning chain is reset and re-primed, so the samples it would
+    /// have emitted for the gap never arrive — padding keeps subsequent
+    /// [`BeatDelineator::push_samples`] calls aligned with the absolute
+    /// R-peak clock. Call [`BeatDelineator::abort_pending`] alongside so
+    /// the padding can never enter a finalized segment.
+    pub fn pad_to(&mut self, abs: usize) {
+        const ZEROS: [f64; 256] = [0.0; 256];
+        let mut missing = abs.saturating_sub(self.ring.end());
+        while missing > 0 {
+            let k = missing.min(ZEROS.len());
+            self.ring.extend(&ZEROS[..k]);
+            missing -= k;
+        }
     }
 
     /// Registers a confirmed R peak at absolute sample index `r`.
@@ -143,10 +189,13 @@ impl BeatDelineator {
                 let segment = self.ring.slice(r0, r1);
                 if let Ok(points) = self.detector.detect(segment) {
                     self.beats_delineated.inc();
+                    let sqi = self.score_and_learn(r0, r1);
+                    let segment = self.ring.slice(r0, r1);
                     out.push(OnlineBeat {
                         window,
                         points,
                         dzdt_max: segment[points.c],
+                        sqi,
                     });
                 } else {
                     self.delineation_failures.inc();
@@ -166,6 +215,31 @@ impl BeatDelineator {
             .copied()
             .unwrap_or_else(|| self.ring.end().saturating_sub(cap));
         self.ring.discard_before(keep.min(self.ring.end()));
+    }
+
+    /// Scores `[r0, r1)` against the ensemble template (once warm), then
+    /// folds the segment into the template with an EMA.
+    fn score_and_learn(&mut self, r0: usize, r1: usize) -> Option<f64> {
+        let segment = self.ring.slice(r0, r1);
+        let m = segment.len().min(self.template_cap);
+        let sqi = if self.template_beats >= Self::SQI_WARMUP_BEATS {
+            let s = crate::quality::beat_sqi(&segment[..m], &self.template).unwrap_or(0.0);
+            Some(if s.is_finite() { s } else { 0.0 })
+        } else {
+            None
+        };
+        if segment[..m].iter().all(|v| v.is_finite()) {
+            if self.template.is_empty() {
+                self.template.extend_from_slice(&segment[..m]);
+            } else {
+                let k = self.template.len().min(m);
+                for (t, &x) in self.template[..k].iter_mut().zip(&segment[..k]) {
+                    *t += Self::TEMPLATE_LAMBDA * (x - *t);
+                }
+            }
+            self.template_beats += 1;
+        }
+        sqi
     }
 }
 
@@ -292,6 +366,63 @@ mod tests {
         // cap = 2 × max_rr × fs = 1000 samples
         assert_eq!(d.samples_end(), 150_000);
         assert!(d.ring.len() <= 1000 + 250);
+    }
+
+    #[test]
+    fn sqi_warms_then_scores_consistent_beats_high() {
+        let raw = synth(8000);
+        let icg = IcgConditioner::paper_default(FS)
+            .unwrap()
+            .condition(&raw)
+            .unwrap();
+        let mut d = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        d.push_samples(&icg);
+        for r in r_peaks(8000) {
+            d.push_r(r).unwrap();
+        }
+        let mut out = Vec::new();
+        d.poll_into(&mut out);
+        assert!(out.len() > BeatDelineator::SQI_WARMUP_BEATS + 3);
+        for (i, b) in out.iter().enumerate() {
+            if i < BeatDelineator::SQI_WARMUP_BEATS {
+                assert!(b.sqi.is_none(), "beat {i} should be warm-up");
+            } else {
+                let sqi = b.sqi.expect("warm template must score");
+                assert!(
+                    sqi > 0.95,
+                    "identical morphology must correlate: beat {i} sqi {sqi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abort_and_pad_realign_after_a_gap() {
+        let raw = synth(4000);
+        let icg = IcgConditioner::paper_default(FS)
+            .unwrap()
+            .condition(&raw)
+            .unwrap();
+        let mut d = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        d.push_samples(&icg[..500]);
+        d.push_r(0).unwrap();
+        d.push_r(200).unwrap();
+        d.push_r(400).unwrap();
+        // Signal lost: drop pending beats, skip 1000 samples of the
+        // conditioned stream, re-align, and continue with later signal.
+        d.abort_pending();
+        d.pad_to(1500);
+        assert_eq!(d.samples_end(), 1500);
+        d.push_samples(&icg[1500..]);
+        d.push_r(1600).unwrap();
+        d.push_r(1800).unwrap();
+        let mut out = Vec::new();
+        d.poll_into(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window, BeatWindow { r: 1600, end: 1800 });
+        // pad_to at or behind the current head is a no-op
+        d.pad_to(100);
+        assert_eq!(d.samples_end(), icg.len());
     }
 
     #[test]

@@ -1,0 +1,586 @@
+//! Deterministic fault injection for the touch-acquisition front end.
+//!
+//! The paper's whole premise is *opportunistic* acquisition — fingers
+//! resting on a hand-held device — so the dominant real-world failure
+//! modes are not Gaussian noise but structural: a finger lifts and the
+//! measurement loop opens, the AFE saturates against a rail, the ADC
+//! drops samples, an arm movement injects a broadband burst, the
+//! electrode–skin interface steps in impedance, or the BLE uplink loses
+//! notifications. This module turns that taxonomy into composable,
+//! *reproducible* [`FaultScenario`]s: every fault is scheduled on
+//! **absolute sample indices** (no wall clock anywhere), so a scenario
+//! applied to a stream is a pure function of the signal and the schedule
+//! — identical across chunk sizes, thread counts and reruns.
+//!
+//! A scenario can be built programmatically, parsed from a compact CLI
+//! spec ([`FaultScenario::parse`]), or drawn from a seeded RNG
+//! ([`FaultScenario::random`]) for chaos testing.
+//!
+//! # Example
+//!
+//! ```
+//! use cardiotouch_physio::faults::{FaultChannel, FaultEvent, FaultKind, FaultScenario};
+//!
+//! let scenario = FaultScenario::new(250.0)
+//!     .with_event(FaultEvent {
+//!         start: 1000,
+//!         duration: 250,
+//!         channel: FaultChannel::Both,
+//!         kind: FaultKind::Dropout,
+//!     });
+//! let mut ecg = vec![0.5; 2000];
+//! let mut z = vec![430.0; 2000];
+//! scenario.apply_chunk(0, &mut ecg, &mut z).unwrap();
+//! assert!(ecg[1000].is_nan() && ecg[999].is_finite());
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Which channel(s) a fault corrupts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultChannel {
+    /// ECG channel only.
+    Ecg,
+    /// Impedance channel only.
+    Z,
+    /// Both channels simultaneously (the common case: one finger lifts).
+    Both,
+}
+
+impl FaultChannel {
+    fn hits_ecg(self) -> bool {
+        matches!(self, FaultChannel::Ecg | FaultChannel::Both)
+    }
+
+    fn hits_z(self) -> bool {
+        matches!(self, FaultChannel::Z | FaultChannel::Both)
+    }
+}
+
+/// The touch-device fault taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultKind {
+    /// Finger-lift contact loss: the channel rails to a constant level
+    /// (open measurement loop — flatline at the amplifier rail).
+    ContactLoss {
+        /// The level the channel sticks at (ECG: rail mV; Z: open-loop Ω).
+        level: f64,
+    },
+    /// AFE/ADC saturation: samples clip to `±limit` (the waveform is
+    /// preserved where it fits, clipped where it does not).
+    Saturation {
+        /// Clipping magnitude.
+        limit: f64,
+    },
+    /// Sample dropout: the ADC delivers non-finite samples (NaN).
+    Dropout,
+    /// Burst motion artifact: a large additive low-frequency oscillation,
+    /// phase-locked to the absolute sample index so injection is
+    /// chunk-size invariant.
+    MotionBurst {
+        /// Peak amplitude of the burst.
+        amplitude: f64,
+        /// Oscillation frequency, hertz.
+        freq_hz: f64,
+    },
+    /// Electrode–skin impedance step: an additive offset for the fault's
+    /// duration (a grip change), released when the event ends.
+    ImpedanceStep {
+        /// Offset added to the affected channel.
+        delta: f64,
+    },
+    /// Hard front-end fault: the sample source errors out entirely
+    /// (watchdog-reset territory). Surfaces as [`HardFault`] from
+    /// [`FaultScenario::apply_chunk`] so schedulers can exercise their
+    /// isolation and retry paths.
+    HardFault,
+}
+
+/// One scheduled fault: `kind` applied to `channel` over the absolute
+/// sample range `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultEvent {
+    /// Absolute sample index where the fault begins.
+    pub start: usize,
+    /// Fault length in samples.
+    pub duration: usize,
+    /// Affected channel(s).
+    pub channel: FaultChannel,
+    /// What happens to the affected samples.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Absolute sample index one past the fault's end.
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.start.saturating_add(self.duration)
+    }
+
+    /// Whether the event overlaps the absolute range `[lo, hi)`.
+    #[must_use]
+    pub fn overlaps(&self, lo: usize, hi: usize) -> bool {
+        self.start < hi && self.end() > lo
+    }
+}
+
+/// A hard front-end failure raised by [`FaultScenario::apply_chunk`] when
+/// a [`FaultKind::HardFault`] event covers the chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardFault {
+    /// Absolute sample index of the first faulted sample in the chunk.
+    pub at: usize,
+}
+
+impl fmt::Display for HardFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hard front-end fault at sample {}", self.at)
+    }
+}
+
+impl std::error::Error for HardFault {}
+
+/// A malformed `--faults` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A deterministic, composable schedule of front-end faults.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultScenario {
+    fs: f64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultScenario {
+    /// An empty scenario at sampling rate `fs` (injection disabled —
+    /// applying it is a no-op).
+    #[must_use]
+    pub fn new(fs: f64) -> Self {
+        Self {
+            fs,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds one event (builder style).
+    #[must_use]
+    pub fn with_event(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Sampling rate the schedule's time-based specs were resolved at.
+    #[must_use]
+    pub fn fs(&self) -> f64 {
+        self.fs
+    }
+
+    /// `true` when no fault is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Absolute sample index one past the last scheduled fault (0 when
+    /// empty).
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.events.iter().map(FaultEvent::end).max().unwrap_or(0)
+    }
+
+    /// Applies every scheduled fault to the chunk whose first sample has
+    /// absolute index `base`. Pure in the schedule: the result depends
+    /// only on `(base, chunk contents)`, never on prior calls, so any
+    /// chunking of the same stream yields the same corrupted stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardFault`] when a [`FaultKind::HardFault`] event
+    /// overlaps the chunk (the channels are left partially mutated; a
+    /// hard-faulted source has no meaningful output).
+    pub fn apply_chunk(
+        &self,
+        base: usize,
+        ecg: &mut [f64],
+        z: &mut [f64],
+    ) -> Result<(), HardFault> {
+        debug_assert_eq!(ecg.len(), z.len());
+        let hi = base + ecg.len();
+        let mut hard: Option<usize> = None;
+        for ev in &self.events {
+            if !ev.overlaps(base, hi) {
+                continue;
+            }
+            let lo = ev.start.max(base);
+            let end = ev.end().min(hi);
+            if matches!(ev.kind, FaultKind::HardFault) {
+                hard = Some(hard.map_or(lo, |h| h.min(lo)));
+                continue;
+            }
+            for abs in lo..end {
+                let i = abs - base;
+                if ev.channel.hits_ecg() {
+                    ecg[i] = corrupt(ev.kind, ecg[i], abs, self.fs);
+                }
+                if ev.channel.hits_z() {
+                    z[i] = corrupt(ev.kind, z[i], abs, self.fs);
+                }
+            }
+        }
+        match hard {
+            Some(at) => Err(HardFault { at }),
+            None => Ok(()),
+        }
+    }
+
+    /// Draws a reproducible scenario for a stream of `samples` samples:
+    /// 1–4 non-overlapping soft faults (no [`FaultKind::HardFault`]) with
+    /// randomized kinds, channels, onsets and durations of 0.1–2 s.
+    /// The same `(seed, samples, fs)` always yields the same schedule.
+    #[must_use]
+    pub fn random(seed: u64, samples: usize, fs: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let count = 1 + (rng.gen::<u32>() as usize) % 4;
+        let min_dur = ((0.1 * fs) as usize).max(1);
+        let max_dur = ((2.0 * fs) as usize).max(min_dur + 1);
+        for _ in 0..count {
+            if samples <= max_dur {
+                break;
+            }
+            let duration = min_dur + (rng.gen::<u32>() as usize) % (max_dur - min_dur);
+            let start = (rng.gen::<u32>() as usize) % (samples - duration);
+            let channel = match rng.gen::<u32>() % 3 {
+                0 => FaultChannel::Ecg,
+                1 => FaultChannel::Z,
+                _ => FaultChannel::Both,
+            };
+            let kind = match rng.gen::<u32>() % 5 {
+                0 => FaultKind::ContactLoss {
+                    level: if rng.gen_bool(0.5) { 0.0 } else { 5.0e3 },
+                },
+                1 => FaultKind::Saturation {
+                    limit: 1.0 + rng.gen::<f64>() * 4.0,
+                },
+                2 => FaultKind::Dropout,
+                3 => FaultKind::MotionBurst {
+                    amplitude: 1.0 + rng.gen::<f64>() * 3.0,
+                    freq_hz: 0.5 + rng.gen::<f64>() * 7.0,
+                },
+                _ => FaultKind::ImpedanceStep {
+                    delta: 20.0 + rng.gen::<f64>() * 80.0,
+                },
+            };
+            events.push(FaultEvent {
+                start,
+                duration,
+                channel,
+                kind,
+            });
+        }
+        Self { fs, events }
+    }
+
+    /// Parses a compact fault spec at sampling rate `fs`.
+    ///
+    /// Grammar (whitespace-free, comma-separated events):
+    ///
+    /// ```text
+    /// spec    := "none" | "rand:SEED" | event ("," event)*
+    /// event   := kind "@" time "+" time [":" channel]
+    /// kind    := "drop" | "loss" ["=" level] | "sat" ["=" limit]
+    ///          | "motion" ["=" amp] | "step" ["=" delta] | "fail"
+    /// time    := NUMBER ("s" | "ms" | "")        -- "" means raw samples
+    /// channel := "ecg" | "z" | "both"            -- default "both"
+    /// ```
+    ///
+    /// Examples: `drop@5s+200ms`, `loss=0@10s+1.5s:ecg`,
+    /// `sat=2.5@3s+500ms,motion@8s+2s:z`, `rand:42`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSpecError`] with a user-facing message for any
+    /// token the grammar does not admit.
+    pub fn parse(spec: &str, fs: f64) -> Result<Self, FaultSpecError> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(Self::new(fs));
+        }
+        if let Some(seed) = spec.strip_prefix("rand:") {
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| FaultSpecError(format!("bad random seed `{seed}`")))?;
+            // A random scenario needs a nominal stream length; 30 s is the
+            // paper's session length and the serve-sim template length.
+            return Ok(Self::random(seed, (30.0 * fs) as usize, fs));
+        }
+        let mut out = Self::new(fs);
+        for part in spec.split(',') {
+            out.events.push(parse_event(part, fs)?);
+        }
+        Ok(out)
+    }
+}
+
+/// One corrupted sample: pure in `(kind, clean value, absolute index)`.
+fn corrupt(kind: FaultKind, x: f64, abs: usize, fs: f64) -> f64 {
+    match kind {
+        FaultKind::ContactLoss { level } => level,
+        FaultKind::Saturation { limit } => x.clamp(-limit, limit),
+        FaultKind::Dropout => f64::NAN,
+        FaultKind::MotionBurst { amplitude, freq_hz } => {
+            let t = abs as f64 / fs;
+            x + amplitude * (2.0 * std::f64::consts::PI * freq_hz * t).sin()
+        }
+        FaultKind::ImpedanceStep { delta } => x + delta,
+        FaultKind::HardFault => x,
+    }
+}
+
+/// Parses `kind@start+dur[:channel]`.
+fn parse_event(part: &str, fs: f64) -> Result<FaultEvent, FaultSpecError> {
+    let err = |msg: String| FaultSpecError(format!("`{part}`: {msg}"));
+    let (head, channel) = match part.rsplit_once(':') {
+        Some((head, chan)) => {
+            let channel = match chan {
+                "ecg" => FaultChannel::Ecg,
+                "z" => FaultChannel::Z,
+                "both" => FaultChannel::Both,
+                other => return Err(err(format!("unknown channel `{other}`"))),
+            };
+            (head, channel)
+        }
+        None => (part, FaultChannel::Both),
+    };
+    let (kind_str, times) = head
+        .split_once('@')
+        .ok_or_else(|| err("expected `kind@start+duration`".into()))?;
+    let (start_str, dur_str) = times
+        .split_once('+')
+        .ok_or_else(|| err("expected `start+duration`".into()))?;
+    let start = parse_time(start_str, fs).map_err(err)?;
+    let duration = parse_time(dur_str, fs).map_err(err)?;
+    if duration == 0 {
+        return Err(err("duration must be positive".into()));
+    }
+    let (name, value) = match kind_str.split_once('=') {
+        Some((name, v)) => {
+            let v: f64 = v.parse().map_err(|_| err(format!("bad parameter `{v}`")))?;
+            (name, Some(v))
+        }
+        None => (kind_str, None),
+    };
+    let kind = match name {
+        "drop" => FaultKind::Dropout,
+        "loss" => FaultKind::ContactLoss {
+            level: value.unwrap_or(0.0),
+        },
+        "sat" => FaultKind::Saturation {
+            limit: value.unwrap_or(2.0),
+        },
+        "motion" => FaultKind::MotionBurst {
+            amplitude: value.unwrap_or(2.0),
+            freq_hz: 4.0,
+        },
+        "step" => FaultKind::ImpedanceStep {
+            delta: value.unwrap_or(50.0),
+        },
+        "fail" => FaultKind::HardFault,
+        other => return Err(err(format!("unknown fault kind `{other}`"))),
+    };
+    Ok(FaultEvent {
+        start,
+        duration,
+        channel,
+        kind,
+    })
+}
+
+/// Parses `5s`, `200ms` or a raw sample count at sampling rate `fs`.
+fn parse_time(s: &str, fs: f64) -> Result<usize, String> {
+    let (num, scale) = if let Some(v) = s.strip_suffix("ms") {
+        (v, fs / 1000.0)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, fs)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num.parse().map_err(|_| format!("bad time `{s}`"))?;
+    if !(v.is_finite() && v >= 0.0) {
+        return Err(format!("time `{s}` must be non-negative"));
+    }
+    Ok((v * scale).round() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(n: usize) -> (Vec<f64>, Vec<f64>) {
+        (
+            (0..n).map(|i| (i as f64 * 0.1).sin()).collect(),
+            (0..n).map(|i| 430.0 + (i as f64 * 0.03).cos()).collect(),
+        )
+    }
+
+    #[test]
+    fn empty_scenario_is_a_no_op() {
+        let (mut ecg, mut z) = clean(500);
+        let (e0, z0) = (ecg.clone(), z.clone());
+        FaultScenario::new(250.0)
+            .apply_chunk(0, &mut ecg, &mut z)
+            .unwrap();
+        assert_eq!(ecg, e0);
+        assert_eq!(z, z0);
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_corruption() {
+        let scenario =
+            FaultScenario::parse("drop@100+50,sat=0.5@300+100:ecg,motion@0+2s:z", 250.0).unwrap();
+        let (ecg, z) = clean(1000);
+        let mut whole = (ecg.clone(), z.clone());
+        scenario.apply_chunk(0, &mut whole.0, &mut whole.1).unwrap();
+        let mut piecewise = (ecg, z);
+        for at in (0..1000).step_by(33) {
+            let hi = (at + 33).min(1000);
+            scenario
+                .apply_chunk(at, &mut piecewise.0[at..hi], &mut piecewise.1[at..hi])
+                .unwrap();
+        }
+        // NaNs break Vec equality; compare bitwise.
+        for (a, b) in whole.0.iter().zip(&piecewise.0) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in whole.1.iter().zip(&piecewise.1) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn each_kind_corrupts_as_documented() {
+        let fs = 250.0;
+        let n = 400;
+        let mk = |kind| {
+            FaultScenario::new(fs).with_event(FaultEvent {
+                start: 100,
+                duration: 100,
+                channel: FaultChannel::Both,
+                kind,
+            })
+        };
+
+        let (mut e, mut z) = clean(n);
+        mk(FaultKind::Dropout)
+            .apply_chunk(0, &mut e, &mut z)
+            .unwrap();
+        assert!(e[100].is_nan() && z[150].is_nan() && e[99].is_finite() && e[200].is_finite());
+
+        let (mut e, mut z) = clean(n);
+        mk(FaultKind::ContactLoss { level: 7.0 })
+            .apply_chunk(0, &mut e, &mut z)
+            .unwrap();
+        assert!(e[100..200].iter().all(|&v| v == 7.0));
+        assert!(z[100..200].iter().all(|&v| v == 7.0));
+
+        let (mut e, mut z) = clean(n);
+        mk(FaultKind::Saturation { limit: 0.2 })
+            .apply_chunk(0, &mut e, &mut z)
+            .unwrap();
+        assert!(e[100..200].iter().all(|&v| v.abs() <= 0.2));
+        assert!(z[100..200].iter().all(|&v| v == 0.2), "z clips to +limit");
+
+        let (mut e, mut z) = clean(n);
+        let (e0, _) = clean(n);
+        mk(FaultKind::ImpedanceStep { delta: 50.0 })
+            .apply_chunk(0, &mut e, &mut z)
+            .unwrap();
+        assert!((e[150] - e0[150] - 50.0).abs() < 1e-12);
+        assert!((e[250] - e0[250]).abs() < 1e-12, "step releases at end");
+    }
+
+    #[test]
+    fn hard_fault_surfaces_as_error_with_first_index() {
+        let scenario = FaultScenario::parse("fail@200+100", 250.0).unwrap();
+        let (mut e, mut z) = clean(400);
+        assert!(scenario
+            .apply_chunk(0, &mut e[..100], &mut z[..100])
+            .is_ok());
+        let err = scenario
+            .apply_chunk(150, &mut e[150..260], &mut z[150..260])
+            .unwrap_err();
+        assert_eq!(err.at, 200);
+    }
+
+    #[test]
+    fn random_scenarios_are_reproducible_and_bounded() {
+        let a = FaultScenario::random(9, 7500, 250.0);
+        let b = FaultScenario::random(9, 7500, 250.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.events().len() <= 4);
+        for ev in a.events() {
+            assert!(ev.end() <= 7500);
+            assert!(!matches!(ev.kind, FaultKind::HardFault));
+        }
+        assert_ne!(a, FaultScenario::random(10, 7500, 250.0));
+    }
+
+    #[test]
+    fn spec_round_trip_and_errors() {
+        let s = FaultScenario::parse("drop@5s+200ms:ecg", 250.0).unwrap();
+        assert_eq!(
+            s.events(),
+            &[FaultEvent {
+                start: 1250,
+                duration: 50,
+                channel: FaultChannel::Ecg,
+                kind: FaultKind::Dropout,
+            }]
+        );
+        assert_eq!(
+            FaultScenario::parse("none", 250.0).unwrap().events().len(),
+            0
+        );
+        assert_eq!(FaultScenario::parse("", 250.0).unwrap().events().len(), 0);
+        let r = FaultScenario::parse("rand:3", 250.0).unwrap();
+        assert_eq!(r, FaultScenario::random(3, 7500, 250.0));
+
+        for bad in [
+            "bogus@1s+1s",
+            "drop@1s",
+            "drop@1s+0",
+            "drop@1s+1s:noses",
+            "sat=abc@1s+1s",
+            "rand:xyz",
+        ] {
+            assert!(FaultScenario::parse(bad, 250.0).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn scenario_end_covers_all_events() {
+        let s = FaultScenario::parse("drop@1s+1s,step@20s+2s", 250.0).unwrap();
+        assert_eq!(s.end(), (22.0 * 250.0) as usize);
+        assert_eq!(FaultScenario::new(250.0).end(), 0);
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod ecg;
 pub mod ecgsyn;
+pub mod faults;
 pub mod heart;
 pub mod icg;
 pub mod motion;

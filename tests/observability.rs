@@ -42,11 +42,7 @@ fn feeds(count: usize, rec: &PairedRecording) -> Vec<SessionFeed> {
     let ecg = Arc::new(rec.device_ecg().to_vec());
     let z = Arc::new(rec.device_z().to_vec());
     (0..count)
-        .map(|i| SessionFeed {
-            ecg: Arc::clone(&ecg),
-            z: Arc::clone(&z),
-            offset: (i * 977) % ecg.len(),
-        })
+        .map(|i| SessionFeed::clean(Arc::clone(&ecg), Arc::clone(&z), (i * 977) % ecg.len()))
         .collect()
 }
 
