@@ -64,6 +64,18 @@ pub enum Command {
         /// (see `FAULTS` in [`USAGE`]).
         faults: Option<String>,
     },
+    /// Run the conformance suite: differential batch/stream testing
+    /// over the pinned corpus, golden-vector drift check and the
+    /// accuracy snapshot.
+    Conformance {
+        /// Golden-vector directory (default `conformance/golden`).
+        golden: Option<String>,
+        /// Regenerate the golden baseline instead of checking it.
+        write_golden: bool,
+        /// Write the accuracy snapshot (`ACC_*.json` format) here
+        /// (`-` for stdout).
+        acc_out: Option<String>,
+    },
     /// Print the Table-I power model and battery-life figures.
     Power,
     /// Print usage.
@@ -95,8 +107,16 @@ USAGE:
                        [--faults SPEC]
   cardiotouch serve-sim [--sessions N] [--threads N] [--seconds S]
                        [--seed N] [--metrics-out FILE] [--faults SPEC]
+  cardiotouch conformance [--golden DIR] [--write-golden]
+                       [--acc-out FILE]
   cardiotouch power
   cardiotouch help
+
+Conformance: runs the pinned corpus through the batch pipeline and
+both streaming engines, asserts the tolerance bands, checks the
+committed golden vectors under --golden (default conformance/golden;
+--write-golden regenerates them instead) and prints the accuracy
+snapshot (--acc-out saves it in the committed ACC_*.json format).
 
 Metrics: --metrics-out writes a point-in-time observability snapshot
 (counters, gauges, latency histograms) as JSON; `-` writes to stdout.
@@ -129,6 +149,39 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         "power" => {
             expect_no_args(&rest)?;
             Ok(Command::Power)
+        }
+        "conformance" => {
+            let mut golden = None;
+            let mut write_golden = false;
+            let mut acc_out = None;
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                match flag {
+                    "--write-golden" => {
+                        write_golden = true;
+                        i += 1;
+                    }
+                    "--golden" | "--acc-out" => {
+                        let v = rest
+                            .get(i + 1)
+                            .ok_or_else(|| ParseArgsError(format!("{flag} requires a value")))?
+                            .to_string();
+                        if flag == "--golden" {
+                            golden = Some(v);
+                        } else {
+                            acc_out = Some(v);
+                        }
+                        i += 2;
+                    }
+                    other => return Err(unknown_flag("conformance", other)),
+                }
+            }
+            Ok(Command::Conformance {
+                golden,
+                write_golden,
+                acc_out,
+            })
         }
         "study" => {
             let mut quick = false;
@@ -498,6 +551,37 @@ mod tests {
         assert!(p(&["serve-sim", "--seconds", "0"]).is_err());
         assert!(p(&["serve-sim", "--threads", "0"]).is_err());
         assert!(p(&["serve-sim", "--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn conformance_forms() {
+        assert_eq!(
+            p(&["conformance"]).unwrap(),
+            Command::Conformance {
+                golden: None,
+                write_golden: false,
+                acc_out: None
+            }
+        );
+        assert_eq!(
+            p(&[
+                "conformance",
+                "--golden",
+                "golden/dir",
+                "--write-golden",
+                "--acc-out",
+                "ACC_test.json"
+            ])
+            .unwrap(),
+            Command::Conformance {
+                golden: Some("golden/dir".into()),
+                write_golden: true,
+                acc_out: Some("ACC_test.json".into())
+            }
+        );
+        assert!(p(&["conformance", "--golden"]).is_err());
+        assert!(p(&["conformance", "--acc-out"]).is_err());
+        assert!(p(&["conformance", "--bogus"]).is_err());
     }
 
     #[test]

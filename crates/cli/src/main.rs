@@ -63,6 +63,109 @@ fn write_metrics_snapshot(path: &str) -> Result<(), Box<dyn std::error::Error>> 
     Ok(())
 }
 
+/// The conformance suite as a CLI verb: differential engines over the
+/// pinned corpus, golden drift check (or regeneration) and the
+/// accuracy snapshot — the same layers CI gates on, runnable locally
+/// in one command.
+fn run_conformance(
+    golden_dir: Option<&str>,
+    write_golden: bool,
+    acc_out: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use cardiotouch_conformance::{accuracy, corpus, differential, golden};
+    use std::path::Path;
+
+    let dir = golden_dir.unwrap_or("conformance/golden");
+    let corpus_cases = corpus::golden_corpus();
+
+    // 1. Differential: batch vs incremental stream everywhere, plus the
+    //    windowed oracle on a fixed subset (it costs ~20x a batch run).
+    let reanalysis_ids = [
+        "s1-p1-f50k",
+        "s3-p2-f50k",
+        "s1-p1-f50k-loss",
+        "s2-p2-f50k-satstep",
+    ];
+    let tol = differential::Tolerances::default();
+    let reports = differential::run_corpus(&corpus_cases, &tol, &reanalysis_ids)?;
+    println!("differential ({} cases):", reports.len());
+    let mut violations = Vec::new();
+    for r in &reports {
+        println!(
+            "  {:<22} batch {:>3}  stream {:>3}  matched {:>3}  agreed {:>3}{}{}",
+            r.id,
+            r.batch_beats,
+            r.stream_beats,
+            r.matched,
+            r.agreed,
+            if r.faulted { "  [faulted]" } else { "" },
+            if r.reanalysis.is_some() {
+                "  [oracle]"
+            } else {
+                ""
+            },
+        );
+        violations.extend(r.violations(&tol));
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("  VIOLATION {v}");
+        }
+        return Err(format!("{} differential tolerance violation(s)", violations.len()).into());
+    }
+
+    // 2. Golden vectors: regenerate or drift-check.
+    if write_golden {
+        std::fs::create_dir_all(dir)?;
+        for case in &corpus_cases {
+            let g = golden::compute(case)?;
+            std::fs::write(Path::new(dir).join(format!("{}.json", g.id)), g.to_json())?;
+        }
+        println!("golden: rewrote {} baselines in {dir}", corpus_cases.len());
+    } else {
+        let mut drifts = Vec::new();
+        for case in &corpus_cases {
+            let fresh = golden::compute(case)?;
+            let path = Path::new(dir).join(format!("{}.json", fresh.id));
+            let committed = golden::GoldenCase::from_json(&std::fs::read_to_string(&path)?)?;
+            drifts.extend(golden::diff(&committed, &fresh));
+        }
+        if !drifts.is_empty() {
+            for d in &drifts {
+                eprintln!("  DRIFT {d}");
+            }
+            return Err(format!("{} golden drift(s) vs {dir}", drifts.len()).into());
+        }
+        println!("golden: {} cases conformant with {dir}", corpus_cases.len());
+    }
+
+    // 3. Accuracy snapshot over the clean cases.
+    let acc = accuracy::compute(&corpus_cases, "local")?;
+    println!(
+        "accuracy: {} clean cases, detection {:.4} ({}/{} beats)",
+        acc.cases, acc.detection_rate, acc.matched_beats, acc.truth_beats
+    );
+    println!(
+        "  landmark p95 |offset|: B {:.1} ms, C {:.1} ms, X {:.1} ms",
+        acc.b.p95_abs_ms, acc.c.p95_abs_ms, acc.x.p95_abs_ms
+    );
+    println!(
+        "  bias: LVET {:+.1} ms, PEP {:+.1} ms, HR {:+.2} bpm",
+        acc.lvet.bias * 1e3,
+        acc.pep.bias * 1e3,
+        acc.hr.bias
+    );
+    if let Some(path) = acc_out {
+        if path == "-" {
+            print!("{}", acc.to_json());
+        } else {
+            std::fs::write(path, acc.to_json())?;
+            eprintln!("wrote accuracy snapshot to {path}");
+        }
+    }
+    Ok(())
+}
+
 fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
     match command {
         Command::Help => {
@@ -93,6 +196,11 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             Ok(())
         }
+        Command::Conformance {
+            golden,
+            write_golden,
+            acc_out,
+        } => run_conformance(golden.as_deref(), write_golden, acc_out.as_deref()),
         Command::Study {
             quick,
             threads,

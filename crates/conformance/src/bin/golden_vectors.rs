@@ -1,0 +1,93 @@
+//! Golden-vector regenerate-and-diff tool.
+//!
+//! ```text
+//! golden_vectors --check [DIR]   # recompute, diff against committed files (CI gate)
+//! golden_vectors --write [DIR]   # regenerate the committed set in place
+//! ```
+//!
+//! `DIR` defaults to `conformance/golden` relative to the working
+//! directory. `--check` exits non-zero on any drift, listing every
+//! drifted case and field; `--write` is the one command an intentional
+//! detector change needs to refresh the baseline (review the diff!).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cardiotouch_conformance::corpus::golden_corpus;
+use cardiotouch_conformance::golden::{self, GoldenCase};
+
+const DEFAULT_DIR: &str = "conformance/golden";
+
+fn usage() -> ExitCode {
+    eprintln!("usage: golden_vectors --check [DIR] | --write [DIR]");
+    ExitCode::from(2)
+}
+
+fn write_all(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    for case in golden_corpus() {
+        let g = golden::compute(&case).map_err(|e| format!("{}: {e}", case.id()))?;
+        let path = dir.join(format!("{}.json", g.id));
+        std::fs::write(&path, g.to_json()).map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote {} ({} beats)", path.display(), g.beats.len());
+    }
+    Ok(())
+}
+
+fn check_all(dir: &Path) -> Result<Vec<String>, String> {
+    let mut drifts = Vec::new();
+    for case in golden_corpus() {
+        let fresh = golden::compute(&case).map_err(|e| format!("{}: {e}", case.id()))?;
+        let path = dir.join(format!("{}.json", fresh.id));
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "read {}: {e} (run `golden_vectors --write` to create the baseline)",
+                path.display()
+            )
+        })?;
+        let committed =
+            GoldenCase::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        drifts.extend(golden::diff(&committed, &fresh));
+    }
+    Ok(drifts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, dir) = match args.as_slice() {
+        [m] => (m.as_str(), PathBuf::from(DEFAULT_DIR)),
+        [m, d] => (m.as_str(), PathBuf::from(d)),
+        _ => return usage(),
+    };
+    match mode {
+        "--write" => match write_all(&dir) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("golden_vectors: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "--check" => match check_all(&dir) {
+            Ok(drifts) if drifts.is_empty() => {
+                println!("golden_vectors: {} cases conformant", golden_corpus().len());
+                ExitCode::SUCCESS
+            }
+            Ok(drifts) => {
+                eprintln!(
+                    "golden_vectors: {} drift(s) vs committed baseline:",
+                    drifts.len()
+                );
+                for d in &drifts {
+                    eprintln!("  {d}");
+                }
+                eprintln!("(intentional change? regenerate with `golden_vectors --write` and review the diff)");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("golden_vectors: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,324 @@
+//! Golden vectors: the committed per-beat output of the batch pipeline
+//! over the pinned corpus.
+//!
+//! Each corpus case gets one compact JSON document under
+//! `conformance/golden/<id>.json` holding the detected landmarks
+//! (exact sample indices — the pipeline is deterministic, so these are
+//! integers with no tolerance) and the derived hemodynamic parameters
+//! quantized to three decimals. The `golden_vectors` binary
+//! regenerates the set (`--write`) or diffs a fresh computation against
+//! the committed files (`--check`), which is what the CI drift gate
+//! runs.
+//!
+//! Float comparisons in [`diff`] are tolerance-based, never exact:
+//! the documented epsilons ([`PARAM_MS_EPS`] and friends) are one unit
+//! in the last written decimal place, i.e. they forgive formatting
+//! round-trips but flag any real numeric drift.
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::pipeline::{BeatReport, Pipeline};
+use cardiotouch_obs::json::{self, Value};
+
+use crate::corpus::CorpusCase;
+use crate::ConformanceError;
+
+/// Golden-file schema version; bump on incompatible layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Tolerance for interval parameters stored in milliseconds (PEP,
+/// LVET): half a written decimal unit above one ULP-of-format, i.e.
+/// files quantize to 0.001 ms and anything beyond ±0.05 ms is drift.
+pub const PARAM_MS_EPS: f64 = 0.05;
+
+/// Tolerance for heart rate, beats per minute.
+pub const HR_BPM_EPS: f64 = 0.05;
+
+/// Tolerance for stroke volume, millilitres.
+pub const SV_ML_EPS: f64 = 0.05;
+
+/// Tolerance for the base impedance Z0, ohms.
+pub const Z0_OHM_EPS: f64 = 0.01;
+
+/// One beat of a golden vector: landmarks exact, parameters quantized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenBeat {
+    /// R-peak sample index.
+    pub r: usize,
+    /// B-point sample index.
+    pub b: usize,
+    /// C-point sample index.
+    pub c: usize,
+    /// X-point sample index.
+    pub x: usize,
+    /// Pre-ejection period, milliseconds (3-decimal quantized).
+    pub pep_ms: f64,
+    /// Left-ventricular ejection time, milliseconds (3-decimal
+    /// quantized).
+    pub lvet_ms: f64,
+    /// Instantaneous heart rate, beats per minute (3-decimal
+    /// quantized).
+    pub hr_bpm: f64,
+    /// Kubicek stroke volume, millilitres (3-decimal quantized).
+    pub sv_ml: f64,
+    /// Whether the beat passed the physiological gate.
+    pub physiological: bool,
+}
+
+/// The golden vector of one corpus case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenCase {
+    /// Corpus case identity ([`CorpusCase::id`]).
+    pub id: String,
+    /// The pinned generation seed (consistency check against the
+    /// corpus definition).
+    pub seed: u64,
+    /// Sampling rate, hertz.
+    pub fs: f64,
+    /// Batch-pipeline Z0 estimate, ohms (3-decimal quantized).
+    pub z0_ohm: f64,
+    /// Per-beat landmarks and parameters, chronological.
+    pub beats: Vec<GoldenBeat>,
+}
+
+/// Quantizes to the golden files' three written decimals so computed
+/// and parsed values compare on equal footing.
+fn q3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+fn golden_beat(b: &BeatReport) -> GoldenBeat {
+    GoldenBeat {
+        r: b.r,
+        b: b.b,
+        c: b.c,
+        x: b.x,
+        pep_ms: q3(b.pep_s * 1e3),
+        lvet_ms: q3(b.lvet_s * 1e3),
+        hr_bpm: q3(b.hr_bpm),
+        sv_ml: q3(b.sv_kubicek_ml),
+        physiological: b.physiological,
+    }
+}
+
+/// Renders `case` and runs the batch pipeline, producing its golden
+/// vector.
+///
+/// # Errors
+///
+/// Propagates rendering and pipeline errors.
+pub fn compute(case: &CorpusCase) -> Result<GoldenCase, ConformanceError> {
+    let rendered = case.render()?;
+    let pipeline = Pipeline::new(PipelineConfig::paper_default(rendered.fs))?;
+    let analysis = pipeline.analyze(&rendered.ecg, &rendered.z)?;
+    Ok(GoldenCase {
+        id: rendered.id,
+        seed: case.seed,
+        fs: rendered.fs,
+        z0_ohm: q3(analysis.z0_ohm()),
+        beats: analysis.beats().iter().map(golden_beat).collect(),
+    })
+}
+
+impl GoldenCase {
+    /// Serializes to the committed golden-file format (one beat per
+    /// line, so drift diffs are readable in review).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 128 * self.beats.len());
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!("  \"id\": \"{}\",\n", json::escape(&self.id)));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"fs\": {},\n", json::number(self.fs)));
+        out.push_str(&format!("  \"z0_ohm\": {},\n", json::number(self.z0_ohm)));
+        out.push_str("  \"beats\": [\n");
+        for (i, b) in self.beats.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"r\": {}, \"b\": {}, \"c\": {}, \"x\": {}, \
+                 \"pep_ms\": {}, \"lvet_ms\": {}, \"hr_bpm\": {}, \
+                 \"sv_ml\": {}, \"physiological\": {}}}{}\n",
+                b.r,
+                b.b,
+                b.c,
+                b.x,
+                json::number(b.pep_ms),
+                json::number(b.lvet_ms),
+                json::number(b.hr_bpm),
+                json::number(b.sv_ml),
+                b.physiological,
+                if i + 1 < self.beats.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a committed golden file.
+    ///
+    /// # Errors
+    ///
+    /// [`ConformanceError::Format`] on malformed JSON, a missing field
+    /// or an unsupported schema version.
+    pub fn from_json(text: &str) -> Result<Self, ConformanceError> {
+        let doc = json::parse(text).map_err(|e| ConformanceError::Format(format!("{e}")))?;
+        let field = |key: &str| -> Result<&Value, ConformanceError> {
+            doc.get(key)
+                .ok_or_else(|| ConformanceError::Format(format!("golden file missing `{key}`")))
+        };
+        let num = |key: &str| -> Result<f64, ConformanceError> {
+            field(key)?
+                .as_f64()
+                .ok_or_else(|| ConformanceError::Format(format!("golden `{key}` is not a number")))
+        };
+        let version = num("schema_version")? as u64;
+        if version != SCHEMA_VERSION {
+            return Err(ConformanceError::Format(format!(
+                "golden schema_version {version} (supported: {SCHEMA_VERSION})"
+            )));
+        }
+        let id = field("id")?
+            .as_str()
+            .ok_or_else(|| ConformanceError::Format("golden `id` is not a string".into()))?
+            .to_owned();
+        let beats_val = field("beats")?
+            .as_arr()
+            .ok_or_else(|| ConformanceError::Format("golden `beats` is not an array".into()))?;
+        let mut beats = Vec::with_capacity(beats_val.len());
+        for (i, bv) in beats_val.iter().enumerate() {
+            let bnum = |key: &str| -> Result<f64, ConformanceError> {
+                bv.get(key).and_then(Value::as_f64).ok_or_else(|| {
+                    ConformanceError::Format(format!("golden beat {i} missing numeric `{key}`"))
+                })
+            };
+            let physiological = match bv.get("physiological") {
+                Some(Value::Bool(b)) => *b,
+                _ => {
+                    return Err(ConformanceError::Format(format!(
+                        "golden beat {i} missing boolean `physiological`"
+                    )))
+                }
+            };
+            beats.push(GoldenBeat {
+                r: bnum("r")? as usize,
+                b: bnum("b")? as usize,
+                c: bnum("c")? as usize,
+                x: bnum("x")? as usize,
+                pep_ms: bnum("pep_ms")?,
+                lvet_ms: bnum("lvet_ms")?,
+                hr_bpm: bnum("hr_bpm")?,
+                sv_ml: bnum("sv_ml")?,
+                physiological,
+            });
+        }
+        Ok(Self {
+            id,
+            seed: num("seed")? as u64,
+            fs: num("fs")?,
+            z0_ohm: num("z0_ohm")?,
+            beats,
+        })
+    }
+}
+
+/// Compares a freshly computed golden vector against a committed one,
+/// returning one human-readable line per drift. Landmark indices must
+/// match exactly; float parameters compare within the documented
+/// epsilons. Empty means conformant.
+#[must_use]
+pub fn diff(committed: &GoldenCase, fresh: &GoldenCase) -> Vec<String> {
+    let mut drifts = Vec::new();
+    let id = &committed.id;
+    if committed.id != fresh.id {
+        drifts.push(format!("{id}: id mismatch (fresh: {})", fresh.id));
+        return drifts;
+    }
+    if committed.seed != fresh.seed {
+        drifts.push(format!(
+            "{id}: seed {} -> {} (corpus definition changed)",
+            committed.seed, fresh.seed
+        ));
+    }
+    if (committed.z0_ohm - fresh.z0_ohm).abs() > Z0_OHM_EPS {
+        drifts.push(format!(
+            "{id}: z0_ohm {} -> {} (eps {Z0_OHM_EPS})",
+            committed.z0_ohm, fresh.z0_ohm
+        ));
+    }
+    if committed.beats.len() != fresh.beats.len() {
+        drifts.push(format!(
+            "{id}: beat count {} -> {}",
+            committed.beats.len(),
+            fresh.beats.len()
+        ));
+        return drifts;
+    }
+    for (i, (c, f)) in committed.beats.iter().zip(&fresh.beats).enumerate() {
+        for (name, a, b) in [
+            ("r", c.r, f.r),
+            ("b", c.b, f.b),
+            ("c", c.c, f.c),
+            ("x", c.x, f.x),
+        ] {
+            if a != b {
+                drifts.push(format!("{id}: beat {i} landmark {name} {a} -> {b}"));
+            }
+        }
+        for (name, a, b, eps) in [
+            ("pep_ms", c.pep_ms, f.pep_ms, PARAM_MS_EPS),
+            ("lvet_ms", c.lvet_ms, f.lvet_ms, PARAM_MS_EPS),
+            ("hr_bpm", c.hr_bpm, f.hr_bpm, HR_BPM_EPS),
+            ("sv_ml", c.sv_ml, f.sv_ml, SV_ML_EPS),
+        ] {
+            if (a - b).abs() > eps {
+                drifts.push(format!("{id}: beat {i} {name} {a} -> {b} (eps {eps})"));
+            }
+        }
+        if c.physiological != f.physiological {
+            drifts.push(format!(
+                "{id}: beat {i} physiological {} -> {}",
+                c.physiological, f.physiological
+            ));
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::golden_corpus;
+
+    #[test]
+    fn golden_json_round_trips_and_self_diffs_clean() {
+        let case = &golden_corpus()[0];
+        let golden = compute(case).unwrap();
+        assert!(!golden.beats.is_empty());
+        let reparsed = GoldenCase::from_json(&golden.to_json()).unwrap();
+        assert_eq!(reparsed, golden);
+        assert!(diff(&golden, &reparsed).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_landmark_and_parameter_drift() {
+        let case = &golden_corpus()[0];
+        let golden = compute(case).unwrap();
+        let mut drifted = golden.clone();
+        drifted.beats[0].b += 1;
+        drifted.beats[1].lvet_ms += 1.0;
+        let drifts = diff(&golden, &drifted);
+        assert_eq!(drifts.len(), 2, "{drifts:?}");
+        assert!(drifts[0].contains("landmark b"));
+        assert!(drifts[1].contains("lvet_ms"));
+        // within-epsilon jitter is not drift
+        let mut jitter = golden.clone();
+        jitter.beats[0].pep_ms += PARAM_MS_EPS / 2.0;
+        assert!(diff(&golden, &jitter).is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(GoldenCase::from_json("not json").is_err());
+        assert!(GoldenCase::from_json("{\"schema_version\": 99}").is_err());
+        assert!(GoldenCase::from_json("{\"schema_version\": 1, \"id\": 3}").is_err());
+    }
+}

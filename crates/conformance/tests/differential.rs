@@ -1,0 +1,155 @@
+//! The conformance crate's integration proof: the full pinned corpus
+//! through every engine, the committed golden baseline, and the
+//! accuracy snapshot — the same checks CI runs via `golden_vectors
+//! --check` and `accuracy_check`, exercised as plain tests so a local
+//! `cargo test` catches drift before a push does.
+
+use std::path::PathBuf;
+
+use cardiotouch_conformance::accuracy::{self, AccuracyReport, Thresholds};
+use cardiotouch_conformance::corpus::{clean_corpus, golden_corpus};
+use cardiotouch_conformance::differential::{run_corpus, Tolerances};
+use cardiotouch_conformance::golden::{self, GoldenCase};
+
+/// The windowed-oracle leg costs ~20× a batch run, so tests (and the
+/// CLI) run it on this fixed subset: two clean cells and both fault
+/// scenarios.
+const REANALYSIS_IDS: [&str; 4] = [
+    "s1-p1-f50k",
+    "s3-p2-f50k",
+    "s1-p1-f50k-loss",
+    "s2-p2-f50k-satstep",
+];
+
+#[test]
+fn full_corpus_differential_conformance() {
+    let corpus = golden_corpus();
+    let tol = Tolerances::default();
+    let reports = run_corpus(&corpus, &tol, &REANALYSIS_IDS).expect("corpus runs");
+    assert_eq!(reports.len(), 13);
+    assert_eq!(
+        reports.iter().filter(|r| r.faulted).count(),
+        2,
+        "the differential proof must cover both fault scenarios"
+    );
+    assert_eq!(
+        reports.iter().filter(|r| r.reanalysis.is_some()).count(),
+        REANALYSIS_IDS.len()
+    );
+
+    let mut violations = Vec::new();
+    for report in &reports {
+        assert!(
+            report.batch_beats > 0,
+            "{}: batch found no beats",
+            report.id
+        );
+        assert!(
+            report.chunk_invariant,
+            "{}: stream emissions depend on chunking",
+            report.id
+        );
+        if !report.faulted {
+            assert_eq!(
+                report.qualified_identical,
+                Some(true),
+                "{}: push_qualified must be bit-identical to push on clean input",
+                report.id
+            );
+        }
+        violations.extend(report.violations(&tol));
+    }
+    assert!(
+        violations.is_empty(),
+        "tolerance violations: {violations:#?}"
+    );
+}
+
+#[test]
+fn golden_vectors_round_trip_bitwise() {
+    for case in golden_corpus() {
+        let fresh = golden::compute(&case).expect("golden computes");
+        assert!(!fresh.beats.is_empty(), "{}: empty golden vector", fresh.id);
+        let reparsed = GoldenCase::from_json(&fresh.to_json()).expect("parses back");
+        assert_eq!(reparsed, fresh, "{}: JSON round-trip drift", fresh.id);
+        assert!(golden::diff(&fresh, &reparsed).is_empty());
+    }
+}
+
+#[test]
+fn committed_golden_baseline_is_current() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../conformance/golden");
+    let mut drifts = Vec::new();
+    for case in golden_corpus() {
+        let fresh = golden::compute(&case).expect("golden computes");
+        let path = dir.join(format!("{}.json", fresh.id));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e} — regenerate with `cargo run -p cardiotouch-conformance \
+                 --bin golden_vectors -- --write`",
+                path.display()
+            )
+        });
+        let committed = GoldenCase::from_json(&text).expect("committed golden parses");
+        drifts.extend(golden::diff(&committed, &fresh));
+    }
+    assert!(
+        drifts.is_empty(),
+        "committed golden baseline drifted (regenerate with golden_vectors --write \
+         and review): {drifts:#?}"
+    );
+}
+
+#[test]
+fn accuracy_snapshot_is_sane_and_gate_is_reflexive() {
+    let corpus = clean_corpus();
+    let report = accuracy::compute(&corpus, "test").expect("accuracy computes");
+    assert_eq!(report.cases, 11);
+    // The batch baseline on this corpus sits near 0.75: the
+    // physiological gate legitimately rejects beats in the noisier
+    // free-hanging positions. The committed ACC snapshot pins the
+    // exact value; this bound only guards against collapse.
+    assert!(
+        report.detection_rate > 0.70,
+        "detection rate {:.3} implausibly low",
+        report.detection_rate
+    );
+    // Landmark errors are bounded sanely: the baseline sits near
+    // 76/52/92 ms p95 for B/C/X (B and X have heavy outlier tails on
+    // noisy touch signals); the committed ACC snapshot pins the exact
+    // values and the gate tracks drift — these bounds only catch a
+    // detector measuring something else entirely.
+    for (name, s) in [("b", &report.b), ("c", &report.c), ("x", &report.x)] {
+        assert!(s.n > 100, "landmark {name}: only {} matched beats", s.n);
+        assert!(
+            s.p95_abs_ms < 120.0,
+            "landmark {name}: p95 |offset| {:.1} ms",
+            s.p95_abs_ms
+        );
+        assert!(s.sd_ms.is_finite() && s.sd_ms >= 0.0);
+    }
+    // LVET/PEP agreement limits stay inside physiologically meaningful
+    // bands (the paper's LVET spans ~0.25-0.35 s).
+    assert!(
+        report.lvet.bias.abs() < 0.060,
+        "LVET bias {:.4} s",
+        report.lvet.bias
+    );
+    assert!(
+        report.pep.bias.abs() < 0.060,
+        "PEP bias {:.4} s",
+        report.pep.bias
+    );
+    assert!(
+        report.hr.bias.abs() < 2.0,
+        "HR bias {:.2} bpm",
+        report.hr.bias
+    );
+
+    // The regression gate is reflexive: a snapshot never regresses
+    // against itself, and the JSON round-trip stays within margins.
+    let thr = Thresholds::default();
+    assert!(accuracy::regressions(&report, &report, &thr).is_empty());
+    let reparsed = AccuracyReport::from_json(&report.to_json()).expect("ACC parses");
+    assert!(accuracy::regressions(&reparsed, &report, &thr).is_empty());
+}

@@ -106,27 +106,22 @@ pub struct AgreementOutcome {
     pub pep_correlation: f64,
 }
 
-/// Matches beats of two analyses by R-peak proximity (±3 samples) and
-/// returns the paired (touch, traditional) values via `get`.
+/// Matches beats of two analyses by R-peak proximity (±3 samples, via
+/// [`crate::compare::match_by_r`]) and returns the paired
+/// (touch, traditional) values via `get`. Only physiological beats
+/// participate on either side.
 fn pair_beats(
     touch: &[BeatReport],
     traditional: &[BeatReport],
     get: impl Fn(&BeatReport) -> f64,
 ) -> (Vec<f64>, Vec<f64>) {
-    let mut a = Vec::new();
-    let mut b = Vec::new();
-    for t in touch {
-        if !t.physiological {
-            continue;
-        }
-        if let Some(m) = traditional
-            .iter()
-            .find(|m| m.physiological && m.r.abs_diff(t.r) <= 3)
-        {
-            a.push(get(t));
-            b.push(get(m));
-        }
-    }
+    let t: Vec<&BeatReport> = touch.iter().filter(|r| r.physiological).collect();
+    let m: Vec<&BeatReport> = traditional.iter().filter(|r| r.physiological).collect();
+    let t_rs: Vec<usize> = t.iter().map(|r| r.r).collect();
+    let m_rs: Vec<usize> = m.iter().map(|r| r.r).collect();
+    let pairs = crate::compare::match_by_r(&t_rs, &m_rs, 3);
+    let a = pairs.iter().map(|&(i, _)| get(t[i])).collect();
+    let b = pairs.iter().map(|&(_, j)| get(m[j])).collect();
     (a, b)
 }
 

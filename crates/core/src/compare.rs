@@ -1,0 +1,96 @@
+//! Beat-set matching shared by the agreement study and the conformance
+//! differential engine.
+//!
+//! Every cross-engine or cross-method comparison in this workspace
+//! reduces to the same primitive: two chronologically ordered beat
+//! sequences, paired by R-peak proximity, with each beat used at most
+//! once. [`run_agreement_study`] pairs the touch and traditional paths
+//! this way, and the `cardiotouch-conformance` crate pairs the batch
+//! [`Pipeline`], the incremental `BeatStream` and the windowed
+//! `ReanalysisBeatStream` against each other and against the synthetic
+//! ground truth. Centralising the matcher keeps all of those layers on
+//! identical pairing semantics.
+//!
+//! [`run_agreement_study`]: crate::agreement::run_agreement_study
+//! [`Pipeline`]: crate::pipeline::Pipeline
+
+/// Pairs two ascending R-index sequences by proximity: for each `a[i]`
+/// the nearest not-yet-used `b[j]` with `|a[i] − b[j]| ≤ tol` is taken,
+/// scanning left to right. Returns `(i, j)` index pairs into the input
+/// slices, in ascending order on both sides.
+///
+/// Both inputs must be sorted ascending (beat emissions always are);
+/// with unsorted input the pairing is merely incomplete, never wrong
+/// (every returned pair still satisfies the tolerance).
+#[must_use]
+pub fn match_by_r(a: &[usize], b: &[usize], tol: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    let mut j = 0;
+    for (i, &ra) in a.iter().enumerate() {
+        // discard b entries too far left to ever match again
+        while j < b.len() && b[j] + tol < ra {
+            j += 1;
+        }
+        let mut best: Option<(usize, usize)> = None;
+        let mut k = j;
+        while k < b.len() && b[k] <= ra + tol {
+            let d = b[k].abs_diff(ra);
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((k, d));
+            }
+            k += 1;
+        }
+        if let Some((k, _)) = best {
+            pairs.push((i, k));
+            j = k + 1;
+        }
+    }
+    pairs
+}
+
+/// Fraction of `a` beats that found a partner, `matched / a_len`
+/// (`1.0` for an empty `a`: nothing was missed).
+#[must_use]
+pub fn matched_fraction(pairs: &[(usize, usize)], a_len: usize) -> f64 {
+    if a_len == 0 {
+        1.0
+    } else {
+        pairs.len() as f64 / a_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_nearest_within_tolerance_without_reuse() {
+        let a = [100, 200, 300, 400];
+        let b = [98, 103, 301, 500];
+        let pairs = match_by_r(&a, &b, 3);
+        // 100 takes the nearer 98 over 103? 98 is d=2, 103 is d=3 → 98.
+        // 200 has no partner; 300 → 301; 400 → nothing (500 too far).
+        assert_eq!(pairs, vec![(0, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn each_b_is_used_at_most_once() {
+        let a = [100, 101, 102];
+        let b = [101];
+        let pairs = match_by_r(&a, &b, 2);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn exact_tolerance_bound_is_inclusive() {
+        assert_eq!(match_by_r(&[100], &[103], 3), vec![(0, 0)]);
+        assert_eq!(match_by_r(&[100], &[104], 3), vec![]);
+    }
+
+    #[test]
+    fn matched_fraction_handles_empty_inputs() {
+        assert_eq!(matched_fraction(&[], 0), 1.0);
+        assert_eq!(matched_fraction(&[], 4), 0.0);
+        assert_eq!(matched_fraction(&[(0, 0), (1, 1)], 4), 0.5);
+    }
+}

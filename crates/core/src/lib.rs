@@ -58,6 +58,7 @@
 //! ```
 
 pub mod agreement;
+pub mod compare;
 pub mod config;
 pub mod experiment;
 pub mod fluid;

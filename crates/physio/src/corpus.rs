@@ -1,0 +1,135 @@
+//! Corpus enumeration for conformance and accuracy testing.
+//!
+//! The conformance subsystem (the `cardiotouch-conformance` crate) pins
+//! a seeded corpus of scenarios — subjects × positions × injection
+//! frequencies — and renders each cell to a [`PairedRecording`] with
+//! ground truth. This module owns the *enumeration* side: a stable,
+//! human-readable identity per grid cell ([`GridCell::id`]) and the
+//! cartesian-product helper ([`enumerate`]), so every layer (golden
+//! files, accuracy snapshots, CI logs) names the same scenario the same
+//! way.
+//!
+//! Identities are part of the committed golden-file format: changing
+//! them invalidates every golden vector, so they are deliberately
+//! boring — `s<subject>-p<position>-f<freq>` with the frequency in
+//! kilohertz when it divides evenly (`f50k`), raw hertz otherwise.
+
+use crate::path::Position;
+use crate::scenario::{PairedRecording, Protocol};
+use crate::subject::Population;
+use crate::PhysioError;
+
+/// One cell of the study grid: a subject (0-based index into the
+/// population), an arm position and an injection frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridCell {
+    /// 0-based subject index into the population.
+    pub subject: usize,
+    /// Arm position of the touch measurement.
+    pub position: Position,
+    /// Injection frequency, hertz.
+    pub freq_hz: f64,
+}
+
+impl GridCell {
+    /// Stable identity used in golden-file names and report rows, e.g.
+    /// `s1-p2-f50k` (1-based subject, paper position index, frequency
+    /// in kHz when whole, raw Hz otherwise).
+    #[must_use]
+    pub fn id(&self) -> String {
+        let khz = self.freq_hz / 1000.0;
+        let freq = if khz >= 1.0 && khz.fract() == 0.0 {
+            format!("{}k", khz as u64)
+        } else {
+            format!("{}", self.freq_hz)
+        };
+        format!("s{}-p{}-f{freq}", self.subject + 1, self.position.index())
+    }
+
+    /// Renders the cell to one deterministic recording: the same
+    /// `(cell, protocol, seed)` always yields the same channels and
+    /// ground truth.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhysioError::InvalidParameter`] when `subject` is out of
+    ///   range for `population`;
+    /// * generation errors from the underlying physiological models.
+    pub fn render(
+        &self,
+        population: &Population,
+        protocol: &Protocol,
+        seed: u64,
+    ) -> Result<PairedRecording, PhysioError> {
+        let subject = population.subjects().get(self.subject).ok_or({
+            PhysioError::InvalidParameter {
+                name: "subject",
+                value: self.subject as f64,
+                constraint: "must index into the population",
+            }
+        })?;
+        PairedRecording::generate(subject, self.position, self.freq_hz, protocol, seed)
+    }
+}
+
+/// Cartesian product of subjects × positions × frequencies, in
+/// deterministic row-major order (subjects outermost, frequencies
+/// innermost) — the enumeration every corpus derives from.
+#[must_use]
+pub fn enumerate(subjects: &[usize], positions: &[Position], freqs_hz: &[f64]) -> Vec<GridCell> {
+    let mut cells = Vec::with_capacity(subjects.len() * positions.len() * freqs_hz.len());
+    for &subject in subjects {
+        for &position in positions {
+            for &freq_hz in freqs_hz {
+                cells.push(GridCell {
+                    subject,
+                    position,
+                    freq_hz,
+                });
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_unique() {
+        let cells = enumerate(&[0, 2, 4], &Position::ALL, &[2_000.0, 50_000.0, 1_500.0]);
+        assert_eq!(cells.len(), 27);
+        assert_eq!(cells[0].id(), "s1-p1-f2k");
+        assert_eq!(cells[1].id(), "s1-p1-f50k");
+        assert_eq!(cells[2].id(), "s1-p1-f1500");
+        let mut ids: Vec<String> = cells.iter().map(GridCell::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 27, "grid-cell ids must be unique");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_validates_subject() {
+        let population = Population::reference_five();
+        let protocol = Protocol {
+            duration_s: 8.0,
+            ..Protocol::paper_default()
+        };
+        let cell = GridCell {
+            subject: 1,
+            position: Position::Two,
+            freq_hz: 50_000.0,
+        };
+        let a = cell.render(&population, &protocol, 7).unwrap();
+        let b = cell.render(&population, &protocol, 7).unwrap();
+        assert_eq!(a.device_ecg(), b.device_ecg());
+        assert_eq!(a.device_z(), b.device_z());
+
+        let bad = GridCell {
+            subject: 99,
+            ..cell
+        };
+        assert!(bad.render(&population, &protocol, 7).is_err());
+    }
+}

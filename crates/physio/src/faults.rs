@@ -50,6 +50,16 @@ pub enum FaultChannel {
     Both,
 }
 
+impl fmt::Display for FaultChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultChannel::Ecg => "ecg",
+            FaultChannel::Z => "z",
+            FaultChannel::Both => "both",
+        })
+    }
+}
+
 impl FaultChannel {
     fn hits_ecg(self) -> bool {
         matches!(self, FaultChannel::Ecg | FaultChannel::Both)
@@ -129,6 +139,27 @@ impl FaultEvent {
     }
 }
 
+impl fmt::Display for FaultEvent {
+    /// Renders the event in the CLI grammar, losslessly: times as raw
+    /// sample counts (suffix-free, so parsing cannot re-round them),
+    /// parameters via `f64`'s shortest round-trip formatting, and the
+    /// channel always explicit. `FaultScenario::parse(&ev.to_string(),
+    /// fs)` reconstructs the event exactly (for finite parameters).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Dropout => write!(f, "drop")?,
+            FaultKind::ContactLoss { level } => write!(f, "loss={level}")?,
+            FaultKind::Saturation { limit } => write!(f, "sat={limit}")?,
+            FaultKind::MotionBurst { amplitude, freq_hz } => {
+                write!(f, "motion={amplitude}/{freq_hz}")?;
+            }
+            FaultKind::ImpedanceStep { delta } => write!(f, "step={delta}")?,
+            FaultKind::HardFault => write!(f, "fail")?,
+        }
+        write!(f, "@{}+{}:{}", self.start, self.duration, self.channel)
+    }
+}
+
 /// A hard front-end failure raised by [`FaultScenario::apply_chunk`] when
 /// a [`FaultKind::HardFault`] event covers the chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +194,25 @@ impl std::error::Error for FaultSpecError {}
 pub struct FaultScenario {
     fs: f64,
     events: Vec<FaultEvent>,
+}
+
+impl fmt::Display for FaultScenario {
+    /// Renders the schedule in the CLI grammar (`"none"` when empty);
+    /// the inverse of [`FaultScenario::parse`] at the same sampling
+    /// rate: `parse(&s.to_string(), s.fs()) == s` for every scenario
+    /// with finite, positive-duration events.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.events.is_empty() {
+            return f.write_str("none");
+        }
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{ev}")?;
+        }
+        Ok(())
+    }
 }
 
 impl FaultScenario {
@@ -309,7 +359,8 @@ impl FaultScenario {
     /// spec    := "none" | "rand:SEED" | event ("," event)*
     /// event   := kind "@" time "+" time [":" channel]
     /// kind    := "drop" | "loss" ["=" level] | "sat" ["=" limit]
-    ///          | "motion" ["=" amp] | "step" ["=" delta] | "fail"
+    ///          | "motion" ["=" amp ["/" freq_hz]] | "step" ["=" delta]
+    ///          | "fail"
     /// time    := NUMBER ("s" | "ms" | "")        -- "" means raw samples
     /// channel := "ecg" | "z" | "both"            -- default "both"
     /// ```
@@ -383,29 +434,50 @@ fn parse_event(part: &str, fs: f64) -> Result<FaultEvent, FaultSpecError> {
     if duration == 0 {
         return Err(err("duration must be positive".into()));
     }
-    let (name, value) = match kind_str.split_once('=') {
-        Some((name, v)) => {
-            let v: f64 = v.parse().map_err(|_| err(format!("bad parameter `{v}`")))?;
-            (name, Some(v))
-        }
+    let (name, raw_value) = match kind_str.split_once('=') {
+        Some((name, v)) => (name, Some(v)),
         None => (kind_str, None),
     };
+    // `motion` takes a compound `amp/freq` value; every other kind a
+    // plain number. Parse lazily so the error names the bad token.
+    let scalar = |raw: Option<&str>, default: f64| -> Result<f64, FaultSpecError> {
+        match raw {
+            Some(v) => v.parse().map_err(|_| err(format!("bad parameter `{v}`"))),
+            None => Ok(default),
+        }
+    };
     let kind = match name {
-        "drop" => FaultKind::Dropout,
+        "drop" => {
+            if raw_value.is_some() {
+                return Err(err("`drop` takes no parameter".into()));
+            }
+            FaultKind::Dropout
+        }
         "loss" => FaultKind::ContactLoss {
-            level: value.unwrap_or(0.0),
+            level: scalar(raw_value, 0.0)?,
         },
         "sat" => FaultKind::Saturation {
-            limit: value.unwrap_or(2.0),
+            limit: scalar(raw_value, 2.0)?,
         },
-        "motion" => FaultKind::MotionBurst {
-            amplitude: value.unwrap_or(2.0),
-            freq_hz: 4.0,
-        },
+        "motion" => {
+            let (amp, freq) = match raw_value.and_then(|v| v.split_once('/')) {
+                Some((amp, freq)) => (Some(amp), Some(freq)),
+                None => (raw_value, None),
+            };
+            FaultKind::MotionBurst {
+                amplitude: scalar(amp, 2.0)?,
+                freq_hz: scalar(freq, 4.0)?,
+            }
+        }
         "step" => FaultKind::ImpedanceStep {
-            delta: value.unwrap_or(50.0),
+            delta: scalar(raw_value, 50.0)?,
         },
-        "fail" => FaultKind::HardFault,
+        "fail" => {
+            if raw_value.is_some() {
+                return Err(err("`fail` takes no parameter".into()));
+            }
+            FaultKind::HardFault
+        }
         other => return Err(err(format!("unknown fault kind `{other}`"))),
     };
     Ok(FaultEvent {
@@ -575,6 +647,54 @@ mod tests {
         ] {
             assert!(FaultScenario::parse(bad, 250.0).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn display_renders_the_grammar_and_round_trips() {
+        let scenario = FaultScenario::new(250.0)
+            .with_event(FaultEvent {
+                start: 1250,
+                duration: 50,
+                channel: FaultChannel::Ecg,
+                kind: FaultKind::Dropout,
+            })
+            .with_event(FaultEvent {
+                start: 500,
+                duration: 750,
+                channel: FaultChannel::Z,
+                kind: FaultKind::MotionBurst {
+                    amplitude: 1.5,
+                    freq_hz: 6.25,
+                },
+            });
+        let spec = scenario.to_string();
+        assert_eq!(spec, "drop@1250+50:ecg,motion=1.5/6.25@500+750:z");
+        assert_eq!(FaultScenario::parse(&spec, 250.0).unwrap(), scenario);
+        assert_eq!(FaultScenario::new(250.0).to_string(), "none");
+    }
+
+    #[test]
+    fn motion_freq_parses_and_bare_kinds_reject_parameters() {
+        let s = FaultScenario::parse("motion=3/0.5@0+100", 250.0).unwrap();
+        assert_eq!(
+            s.events()[0].kind,
+            FaultKind::MotionBurst {
+                amplitude: 3.0,
+                freq_hz: 0.5
+            }
+        );
+        // default frequency stays 4 Hz when only the amplitude is given
+        let s = FaultScenario::parse("motion=3@0+100", 250.0).unwrap();
+        assert_eq!(
+            s.events()[0].kind,
+            FaultKind::MotionBurst {
+                amplitude: 3.0,
+                freq_hz: 4.0
+            }
+        );
+        assert!(FaultScenario::parse("drop=1@0+100", 250.0).is_err());
+        assert!(FaultScenario::parse("fail=1@0+100", 250.0).is_err());
+        assert!(FaultScenario::parse("motion=3/x@0+100", 250.0).is_err());
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod corpus;
 pub mod ecg;
 pub mod ecgsyn;
 pub mod faults;

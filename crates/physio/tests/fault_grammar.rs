@@ -1,0 +1,95 @@
+//! Round-trip property for the fault CLI grammar: rendering any
+//! [`FaultScenario`] with `Display` and re-parsing the spec at the same
+//! sampling rate reconstructs the scenario exactly —
+//! `parse(render(scenario)) == scenario`.
+//!
+//! Scenarios are drawn from a seeded generator that covers the whole
+//! taxonomy (every kind including `HardFault`, every channel, 0–6
+//! events, arbitrary sample-indexed schedules and full-precision float
+//! parameters), i.e. strictly more than [`FaultScenario::random`]
+//! produces.
+
+use cardiotouch_physio::faults::{FaultChannel, FaultEvent, FaultKind, FaultScenario};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FS: f64 = 250.0;
+
+/// Draws one scenario covering the full fault taxonomy. Parameters are
+/// arbitrary finite floats (ratios of raw 53-bit mantissas, so most
+/// have long decimal expansions — exercising the shortest-round-trip
+/// float formatting, not just pretty values).
+fn arbitrary_scenario(seed: u64) -> FaultScenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scenario = FaultScenario::new(FS);
+    let count = (rng.gen::<u32>() % 7) as usize;
+    for _ in 0..count {
+        let param = |rng: &mut StdRng| {
+            let v = (rng.gen::<f64>() - 0.5) * 2.0e4;
+            // keep parameters finite; the grammar cannot express NaN/inf
+            if v.is_finite() {
+                v
+            } else {
+                0.0
+            }
+        };
+        let kind = match rng.gen::<u32>() % 6 {
+            0 => FaultKind::Dropout,
+            1 => FaultKind::ContactLoss {
+                level: param(&mut rng),
+            },
+            2 => FaultKind::Saturation {
+                limit: param(&mut rng),
+            },
+            3 => FaultKind::MotionBurst {
+                amplitude: param(&mut rng),
+                freq_hz: rng.gen::<f64>() * 40.0,
+            },
+            4 => FaultKind::ImpedanceStep {
+                delta: param(&mut rng),
+            },
+            _ => FaultKind::HardFault,
+        };
+        let channel = match rng.gen::<u32>() % 3 {
+            0 => FaultChannel::Ecg,
+            1 => FaultChannel::Z,
+            _ => FaultChannel::Both,
+        };
+        scenario = scenario.with_event(FaultEvent {
+            start: (rng.gen::<u32>() as usize) % 100_000,
+            // the grammar rejects zero durations, so never generate one
+            duration: 1 + (rng.gen::<u32>() as usize) % 10_000,
+            channel,
+            kind,
+        });
+    }
+    scenario
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_render_round_trips_arbitrary_scenarios(seed in any::<u64>()) {
+        let scenario = arbitrary_scenario(seed);
+        let spec = scenario.to_string();
+        let reparsed = FaultScenario::parse(&spec, FS)
+            .unwrap_or_else(|e| panic!("render produced an unparsable spec `{spec}`: {e}"));
+        prop_assert_eq!(reparsed, scenario);
+    }
+
+    #[test]
+    fn random_scenarios_also_round_trip(seed in any::<u16>()) {
+        let scenario = FaultScenario::random(u64::from(seed), 7500, FS);
+        let spec = scenario.to_string();
+        prop_assert_eq!(FaultScenario::parse(&spec, FS).unwrap(), scenario);
+    }
+}
+
+#[test]
+fn empty_scenario_renders_as_none_and_round_trips() {
+    let empty = FaultScenario::new(FS);
+    assert_eq!(empty.to_string(), "none");
+    assert_eq!(FaultScenario::parse(&empty.to_string(), FS).unwrap(), empty);
+}

@@ -1,0 +1,89 @@
+//! Hand-computed fixtures for the method-agreement statistics:
+//! [`BlandAltman`] bias/SD/limits-of-agreement and the study's
+//! [`CorrelationTable`] aggregation, including the empty-table
+//! `mean() -> None` path.
+//!
+//! Every expected value below is derived by hand from the definition
+//! (sample SD with the n−1 divisor, LoA = bias ± 1.96·SD) and asserted
+//! within `EPS` — never exact-float — so the fixtures stay valid across
+//! platforms and summation-order changes.
+
+use cardiotouch::agreement::BlandAltman;
+use cardiotouch::experiment::CorrelationTable;
+use cardiotouch_physio::path::Position;
+
+/// Slack for hand-computed expectations: ~4 ulp at the magnitudes used
+/// here, generous enough for any reassociation of the sums.
+const EPS: f64 = 1e-12;
+
+#[test]
+fn bland_altman_matches_hand_computed_fixture() {
+    // diffs = [10, 12, 14, 16]  →  bias = 13
+    // centered = [-3, -1, 1, 3] →  SD = sqrt((9+1+1+9)/3) = sqrt(20/3)
+    let a = [20.0, 24.0, 28.0, 32.0];
+    let b = [10.0, 12.0, 14.0, 16.0];
+    let ba = BlandAltman::from_pairs(&a, &b).unwrap();
+    let sd = (20.0f64 / 3.0).sqrt();
+    assert_eq!(ba.n, 4);
+    assert!((ba.bias - 13.0).abs() < EPS, "bias {}", ba.bias);
+    assert!((ba.sd - sd).abs() < EPS, "sd {}", ba.sd);
+    assert!((ba.loa_lower - (13.0 - 1.96 * sd)).abs() < EPS);
+    assert!((ba.loa_upper - (13.0 + 1.96 * sd)).abs() < EPS);
+    // the limits straddle the bias symmetrically
+    assert!(((ba.loa_upper + ba.loa_lower) / 2.0 - ba.bias).abs() < EPS);
+    // bias − 1.96·SD ≈ 7.94 > 0: systematic disagreement
+    assert!(!ba.zero_within_loa());
+}
+
+#[test]
+fn bland_altman_zero_within_loa_for_unbiased_methods() {
+    // diffs = [-1, 1] → bias = 0, SD = sqrt(2), LoA = ∓1.96·sqrt(2)
+    let ba = BlandAltman::from_pairs(&[1.0, 3.0], &[2.0, 2.0]).unwrap();
+    assert!(ba.bias.abs() < EPS);
+    assert!((ba.sd - 2.0f64.sqrt()).abs() < EPS);
+    assert!(ba.zero_within_loa());
+    assert!((ba.loa_lower + 1.96 * 2.0f64.sqrt()).abs() < EPS);
+}
+
+#[test]
+fn bland_altman_rejects_degenerate_inputs() {
+    assert!(BlandAltman::from_pairs(&[1.0, 2.0], &[1.0]).is_err());
+    assert!(BlandAltman::from_pairs(&[], &[]).is_err());
+    assert!(BlandAltman::from_pairs(&[1.0], &[1.0]).is_err());
+}
+
+#[test]
+fn correlation_table_mean_and_min_match_hand_computed_rows() {
+    let table = CorrelationTable {
+        position: Position::Two,
+        rows: vec![
+            ("Subject 1".into(), 0.9),
+            ("Subject 2".into(), 0.8),
+            ("Subject 3".into(), 0.7),
+        ],
+    };
+    let mean = table.mean().expect("non-empty table has a mean");
+    assert!((mean - 0.8).abs() < EPS, "mean {mean}");
+    assert!((table.min() - 0.7).abs() < EPS);
+}
+
+#[test]
+fn correlation_table_mean_is_none_and_min_is_infinite_when_empty() {
+    let empty = CorrelationTable {
+        position: Position::Three,
+        rows: Vec::new(),
+    };
+    assert_eq!(empty.mean(), None);
+    // the fold identity: no rows → positive infinity, by definition
+    assert_eq!(empty.min(), f64::INFINITY);
+}
+
+#[test]
+fn single_pair_is_rejected_but_two_identical_pairs_collapse_the_limits() {
+    assert!(BlandAltman::from_pairs(&[5.0], &[4.0]).is_err());
+    let ba = BlandAltman::from_pairs(&[5.0, 5.0], &[4.0, 4.0]).unwrap();
+    assert!((ba.bias - 1.0).abs() < EPS);
+    assert!(ba.sd.abs() < EPS);
+    // zero-width limits collapse onto the bias
+    assert!((ba.loa_lower - 1.0).abs() < EPS && (ba.loa_upper - 1.0).abs() < EPS);
+}

@@ -172,6 +172,58 @@ proptest! {
     }
 }
 
+/// The committed chaos-replay corpus: every seed that ever mattered.
+/// A seed the randomized properties catch failing gets appended to the
+/// file (with a dated comment) and is then replayed by
+/// [`pinned_seed_corpus_replays_clean`] on every test run.
+const SEED_CORPUS: &str = include_str!("../conformance/fault_seed_corpus.txt");
+
+#[test]
+fn pinned_seed_corpus_replays_clean() {
+    let mut replayed = 0usize;
+    for line in SEED_CORPUS.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let seed: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("malformed seed-corpus line `{line}`"));
+        let chunk: usize = parts.next().map_or(125, |c| {
+            c.parse()
+                .unwrap_or_else(|_| panic!("malformed chunk in `{line}`"))
+        });
+        assert!(chunk > 0, "chunk must be positive in `{line}`");
+
+        // Same body as `random_scenarios_never_panic_or_emit_non_finite`,
+        // pinned to the corpus seed instead of a generated one.
+        let (ecg, z) = template();
+        let scenario = FaultScenario::random(seed, ecg.len(), FS);
+        let mut e = ecg.clone();
+        let mut zz = z.clone();
+        scenario
+            .apply_chunk(0, &mut e, &mut zz)
+            .expect("random scenarios contain no hard faults");
+        let mut stream = BeatStream::new(PipelineConfig::paper_default(FS)).unwrap();
+        let mut beats = Vec::new();
+        for (ce, cz) in e.chunks(chunk).zip(zz.chunks(chunk)) {
+            beats.extend(
+                stream
+                    .push_qualified(ce, cz)
+                    .expect("soft faults never error"),
+            );
+        }
+        assert_finite(&beats).unwrap_or_else(|err| panic!("seed {seed} chunk {chunk}: {err:?}"));
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 10,
+        "seed corpus lost entries ({replayed} replayed)"
+    );
+}
+
 proptest! {
     // scheduler cases drive 3 sessions × 20 hops each — keep the count low
     #![proptest_config(ProptestConfig::with_cases(12))]

@@ -75,7 +75,14 @@ fn scheduler_run_populates_hop_quantiles_and_beat_counters() {
     );
     assert!(delta("ecg.online.beats_detected") > 0);
     assert!(delta("icg.online.beats_delineated") > 0);
-    assert_eq!(snap.gauge("core.scheduler.sessions_active"), Some(4));
+    // The gauge is process-wide and last-writer-wins: our 4 sessions
+    // are still alive at snapshot time, but a concurrently running
+    // test could have written after us — so `>=`, never exact.
+    assert!(
+        snap.gauge("core.scheduler.sessions_active")
+            .is_some_and(|v| v >= 4),
+        "sessions_active gauge below our own fleet size"
+    );
     // the per-hop span must have fed the stream hop histogram too
     let stream_hops = |s: &obs::Snapshot| s.histogram("core.stream.hop_us").map_or(0, |h| h.count);
     assert!(stream_hops(&snap) >= stream_hops(&before) + 32);
@@ -121,15 +128,28 @@ fn snapshot_round_trips_through_jsonl_exporter_and_parser() {
             .and_then(|v| v.as_f64())
             .is_some_and(|v| v >= 7.0));
         let gauges = doc.get("gauges").and_then(|v| v.as_obj()).unwrap();
-        assert_eq!(
-            gauges.get("test.obs.level").and_then(|v| v.as_f64()),
-            Some(-3.0)
-        );
+        // Tolerance-based, never exact-float: the value survives a
+        // format-then-parse round trip, so allow representation noise.
+        let level = gauges
+            .get("test.obs.level")
+            .and_then(|v| v.as_f64())
+            .expect("gauge present");
+        assert!((level - (-3.0)).abs() < 1e-9, "gauge level {level}");
         let hist = doc
             .get("histograms")
             .and_then(|v| v.get("test.obs.lat_us"))
             .expect("histogram present");
-        assert!(hist.get("p50").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        // The histogram is log-linear with 32 sub-buckets per octave:
+        // worst-case bucket relative width is 1/32 ≈ 3.1%, so any
+        // reported quantile sits within ~1.6% of the recorded value.
+        // Assert p50 ≈ 1234 within a documented 2% relative epsilon
+        // instead of the old `> 0.0` (too weak) or an exact match
+        // (flaky by construction).
+        let p50 = hist.get("p50").and_then(|v| v.as_f64()).unwrap();
+        assert!(
+            (p50 - 1234.0).abs() <= 0.02 * 1234.0,
+            "p50 {p50} outside 2% of the single recorded value 1234"
+        );
         assert!(hist.get("count").and_then(|v| v.as_f64()).unwrap() >= 1.0);
     }
 }
