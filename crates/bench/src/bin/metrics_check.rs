@@ -8,6 +8,11 @@
 //! `perf_bench --faults` additionally carry a `faults` section; for
 //! those the fault/degradation counters must have fired and the
 //! degraded-path overhead must sit inside its declared budget.
+//! Documents produced with `perf_bench --fleet` carry a `fleet`
+//! section; for those the `core.fleet.*` instrumentation must be live
+//! (admissions and migrations fired, per-shard hop histograms
+//! populated) and the declared scaling efficiency must clear its own
+//! floor.
 
 use std::process::ExitCode;
 
@@ -48,6 +53,16 @@ const FAULT_REQUIRED_COUNTERS: &[&str] = &[
 /// faulted run may legitimately leave at zero.
 const FAULT_PRESENT_COUNTERS: &[&str] =
     &["core.stream.beats_suppressed", "core.stream.beats_degraded"];
+
+/// Counters the sharded fleet must have incremented whenever the
+/// document carries a `fleet` section (the run was `perf_bench
+/// --fleet`): sessions were admitted and at least one live migration
+/// went through the snapshot codec.
+const FLEET_REQUIRED_COUNTERS: &[&str] = &["core.fleet.enqueued", "core.fleet.migrations"];
+
+/// Fleet counters that must be registered but may legitimately be zero
+/// (a run without admission pressure rejects nothing).
+const FLEET_PRESENT_COUNTERS: &[&str] = &["core.fleet.rejected"];
 
 fn check(doc: &Value) -> Result<(), String> {
     let schema = doc
@@ -121,6 +136,17 @@ fn check(doc: &Value) -> Result<(), String> {
                 return Err(format!("counter `{name}` missing from a faulted run"));
             }
         }
+        // The scheduler republishes quarantine occupancy after every
+        // tick; a faulted run must at least have registered the gauge.
+        if metrics
+            .get("gauges")
+            .and_then(Value::as_obj)
+            .and_then(|g| g.get("core.scheduler.quarantined"))
+            .and_then(Value::as_f64)
+            .is_none()
+        {
+            return Err("gauge `core.scheduler.quarantined` missing from a faulted run".into());
+        }
         let degraded = faults
             .get("degraded_overhead_pct")
             .and_then(Value::as_f64)
@@ -135,6 +161,76 @@ fn check(doc: &Value) -> Result<(), String> {
             ));
         }
         eprintln!("faulted run ok: degraded-path overhead {degraded:.2} % (budget {budget:.0} %)");
+    }
+    if let Some(fleet) = doc.get("fleet") {
+        for name in FLEET_REQUIRED_COUNTERS {
+            let v = counters
+                .get(*name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("counter `{name}` missing from a fleet run"))?;
+            if v <= 0.0 {
+                return Err(format!(
+                    "counter `{name}` is {v} in a fleet run, expected > 0"
+                ));
+            }
+        }
+        for name in FLEET_PRESENT_COUNTERS {
+            if counters.get(*name).and_then(Value::as_f64).is_none() {
+                return Err(format!("counter `{name}` missing from a fleet run"));
+            }
+        }
+        let gauges = metrics
+            .get("gauges")
+            .and_then(Value::as_obj)
+            .ok_or("metrics.gauges missing or not an object")?;
+        let shards = gauges
+            .get("core.fleet.shards")
+            .and_then(Value::as_f64)
+            .ok_or("gauge `core.fleet.shards` missing from a fleet run")?;
+        if shards <= 0.0 {
+            return Err(format!("gauge `core.fleet.shards` is {shards}"));
+        }
+        // Every shard that existed must have published its own hop
+        // histogram and quarantine gauge.
+        for shard in 0..shards as usize {
+            let hop = format!("core.fleet.shard{shard}.hop_us");
+            let count = histograms
+                .get(&hop)
+                .and_then(|h| h.get("count"))
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("histogram `{hop}` missing from a fleet run"))?;
+            if count <= 0.0 {
+                return Err(format!("histogram `{hop}` is empty"));
+            }
+            let quarantined = format!("core.fleet.shard{shard}.quarantined");
+            if gauges.get(&quarantined).and_then(Value::as_f64).is_none() {
+                return Err(format!("gauge `{quarantined}` missing from a fleet run"));
+            }
+        }
+        if !histograms
+            .get("core.fleet.rebalance_us")
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_f64)
+            .is_some_and(|c| c > 0.0)
+        {
+            return Err("histogram `core.fleet.rebalance_us` missing or empty".into());
+        }
+        let efficiency = fleet
+            .get("scaling_efficiency")
+            .and_then(Value::as_f64)
+            .ok_or("missing fleet.scaling_efficiency")?;
+        let floor = fleet
+            .get("efficiency_floor")
+            .and_then(Value::as_f64)
+            .ok_or("missing fleet.efficiency_floor")?;
+        if !efficiency.is_finite() || efficiency < floor {
+            return Err(format!(
+                "fleet scaling efficiency {efficiency:.3} is below the {floor} floor"
+            ));
+        }
+        eprintln!(
+            "fleet run ok: {shards:.0} shards, scaling efficiency {efficiency:.3} (floor {floor})"
+        );
     }
     eprintln!(
         "metrics snapshot ok: {} counters, {} histograms, obs overhead {overhead:.2} %",

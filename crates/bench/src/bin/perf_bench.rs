@@ -17,7 +17,15 @@
 //! ladder timed against the clean path on a pre-corrupted session, plus
 //! a fleet carrying a hard front-end fault so the quarantine counters
 //! are exercised. The run aborts if the degraded-path overhead exceeds
-//! [`DEGRADED_OVERHEAD_BUDGET_PCT`].
+//! [`DEGRADED_OVERHEAD_BUDGET_PCT`]. `--fleet` adds the sharded-fleet
+//! scaling leg (schema v5 `fleet` section): the same session workload
+//! through 1 shard and [`FLEET_SHARDS`] shards of `cardiotouch::fleet`,
+//! plus a live snapshot-codec migration and a rebalance. The run aborts
+//! if scaling efficiency — speedup normalized by
+//! `min(shards, available_parallelism)` — falls below
+//! [`FLEET_EFFICIENCY_FLOOR`]; normalizing by the host's actual
+//! parallelism keeps the gate meaningful on single-core CI runners
+//! while still demanding ≥ 2.8× raw speedup wherever 4 cores exist.
 //!
 //! Since schema v3 the document embeds a compact snapshot of the
 //! process-wide `cardiotouch-obs` registry (every counter/gauge/latency
@@ -30,6 +38,7 @@ use std::time::Instant;
 
 use cardiotouch::config::PipelineConfig;
 use cardiotouch::experiment::{run_position_study, StudyConfig};
+use cardiotouch::fleet::Fleet;
 use cardiotouch::pipeline::Pipeline;
 use cardiotouch::scheduler::{SessionFeed, SessionScheduler};
 use cardiotouch::stream::{BeatStream, ReanalysisBeatStream};
@@ -48,6 +57,16 @@ use cardiotouch_physio::subject::Population;
 /// holdover samples, so some cost is expected; a regression past 150 %
 /// means the degraded path stopped being O(hop).
 const DEGRADED_OVERHEAD_BUDGET_PCT: f64 = 150.0;
+
+/// Shard count for the `--fleet` scaling leg.
+const FLEET_SHARDS: usize = 4;
+
+/// Minimum scaling efficiency for the `--fleet` leg:
+/// `speedup / min(FLEET_SHARDS, available_parallelism)`. On a host with
+/// ≥ 4 cores this demands ≥ 2.8× raw speedup at 4 shards; on a
+/// single-core runner it demands that sharding costs < 30 % (the
+/// mailbox/thread overhead stays negligible).
+const FLEET_EFFICIENCY_FLOOR: f64 = 0.7;
 
 /// One timed kernel: throughput over a fixed-size input.
 struct KernelResult {
@@ -159,6 +178,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut smoke = false;
     let mut print_metrics = false;
     let mut with_faults = false;
+    let mut with_fleet = false;
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             smoke = true;
@@ -166,6 +186,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print_metrics = true;
         } else if arg == "--faults" {
             with_faults = true;
+        } else if arg == "--fleet" {
+            with_fleet = true;
         } else {
             out_path = Some(arg);
         }
@@ -332,6 +354,99 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scheduler = SessionScheduler::new(config, feeds)?;
     let sched = scheduler.run(ticks)?;
 
+    // --- Sharded fleet scaling (gated behind --fleet) ---------------------
+    // The same session workload through 1 worker shard and FLEET_SHARDS
+    // shards: each shard is a dedicated thread ticking its own scheduler
+    // slab inline, so throughput should scale with whichever is smaller,
+    // the shard count or the host's parallelism. A second fleet then
+    // performs a live migration (through the serialized snapshot codec)
+    // and a rebalance, so the committed document's metrics section
+    // carries non-trivial `core.fleet.*` counters.
+    let fleet_json = if with_fleet {
+        let fleet_sessions = if smoke { 8 } else { 32 };
+        let fleet_ticks = if smoke { 4 } else { 12 };
+        let measure = |shards: usize| -> Result<f64, Box<dyn std::error::Error>> {
+            let mut fleet = Fleet::new(config, shards, 64)?;
+            for i in 0..fleet_sessions {
+                fleet.admit(SessionFeed::clean(
+                    Arc::clone(&ecg_arc),
+                    Arc::clone(&z_arc),
+                    (i * 977) % n,
+                ))?;
+            }
+            // Warm-up tick: engines constructed, design cache hot, and
+            // every admission drained before the timed window opens.
+            fleet.run(1)?;
+            let report = fleet.run(fleet_ticks)?;
+            assert_eq!(report.sessions(), fleet_sessions, "fleet lost sessions");
+            // The smoke run's few ticks sit inside the engine's settle
+            // latency, so beats may legitimately still be zero there.
+            assert!(smoke || report.beats() > 0, "fleet emitted no beats");
+            let sustained = report.sustained_sessions();
+            fleet.shutdown();
+            Ok(sustained)
+        };
+        let single_sps = measure(1)?;
+        let sharded_sps = measure(FLEET_SHARDS)?;
+        let fleet_speedup = sharded_sps / single_sps.max(1e-12);
+        let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let efficiency = fleet_speedup / FLEET_SHARDS.min(available) as f64;
+        assert!(
+            efficiency >= FLEET_EFFICIENCY_FLOOR,
+            "fleet scaling efficiency {efficiency:.3} at {FLEET_SHARDS} shards \
+             (speedup {fleet_speedup:.2}x, {available} cores) is below the \
+             {FLEET_EFFICIENCY_FLOOR} floor"
+        );
+
+        let mut fleet = Fleet::new(config, FLEET_SHARDS, 64)?;
+        for i in 0..fleet_sessions {
+            fleet.admit(SessionFeed::clean(
+                Arc::clone(&ecg_arc),
+                Arc::clone(&z_arc),
+                (i * 977) % n,
+            ))?;
+        }
+        fleet.run(2)?;
+        let migrated = fleet.migrate(0, 1, 2)?;
+        assert!(migrated >= 1, "no session was migratable");
+        let rebalanced = fleet.rebalance()?;
+        let report = fleet.run(2)?;
+        assert_eq!(
+            report.sessions(),
+            fleet_sessions,
+            "sessions lost across migration/rebalance"
+        );
+        fleet.shutdown();
+        eprintln!(
+            "fleet: {single_sps:.0} -> {sharded_sps:.0} sustained sessions at {FLEET_SHARDS} \
+             shards ({fleet_speedup:.2}x, efficiency {efficiency:.2} over {available} cores); \
+             migrated {migrated}, rebalanced {rebalanced}"
+        );
+
+        let mut s = String::from("  \"fleet\": {\n");
+        s.push_str(&format!("    \"shards\": {FLEET_SHARDS},\n"));
+        s.push_str(&format!("    \"sessions\": {fleet_sessions},\n"));
+        s.push_str(&format!("    \"ticks\": {fleet_ticks},\n"));
+        s.push_str(&format!(
+            "    \"sustained_sessions_1_shard\": {single_sps:.1},\n"
+        ));
+        s.push_str(&format!(
+            "    \"sustained_sessions_sharded\": {sharded_sps:.1},\n"
+        ));
+        s.push_str(&format!("    \"speedup\": {fleet_speedup:.3},\n"));
+        s.push_str(&format!("    \"available_parallelism\": {available},\n"));
+        s.push_str(&format!("    \"scaling_efficiency\": {efficiency:.3},\n"));
+        s.push_str(&format!(
+            "    \"efficiency_floor\": {FLEET_EFFICIENCY_FLOOR},\n"
+        ));
+        s.push_str(&format!("    \"sessions_migrated\": {migrated},\n"));
+        s.push_str(&format!("    \"sessions_rebalanced\": {rebalanced}\n"));
+        s.push_str("  },\n");
+        Some(s)
+    } else {
+        None
+    };
+
     // --- Fault injection: degraded path vs clean, faulted fleet ----------
     // Gated behind --faults. A copy of the template is pre-corrupted with
     // the touch-device fault taxonomy (a >cap contact dropout so holdover
@@ -470,14 +585,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let study_elapsed = start.elapsed().as_secs_f64();
     assert!(outcome.summary.mean_correlation.is_finite());
 
-    let cache = design_cache::stats();
-    // Taken last so it reflects everything the benchmarks streamed.
+    // Taken last so it reflects everything the benchmarks streamed. The
+    // design-cache statistics are read straight out of the registry
+    // snapshot (`dsp.design_cache.*` — the old `design_cache::stats()`
+    // shim is gone).
     let metrics_snapshot = cardiotouch_obs::snapshot();
+    let cache_hits = metrics_snapshot
+        .counter("dsp.design_cache.hits")
+        .unwrap_or(0);
+    let cache_misses = metrics_snapshot
+        .counter("dsp.design_cache.misses")
+        .unwrap_or(0);
+    let cache_entries = metrics_snapshot
+        .gauge("dsp.design_cache.entries")
+        .unwrap_or(0);
+    let cache_lookups = cache_hits + cache_misses;
+    let cache_hit_rate = if cache_lookups > 0 {
+        cache_hits as f64 / cache_lookups as f64
+    } else {
+        0.0
+    };
 
     // --- Emit ------------------------------------------------------------
     let date = today_iso();
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 4,\n");
+    json.push_str("  \"schema_version\": 5,\n");
     json.push_str(&format!("  \"date\": \"{date}\",\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!(
@@ -553,13 +685,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("    }\n");
     json.push_str("  },\n");
     json.push_str("  \"design_cache\": {\n");
-    json.push_str(&format!("    \"hits\": {},\n", cache.hits));
-    json.push_str(&format!("    \"misses\": {},\n", cache.misses));
-    json.push_str(&format!("    \"entries\": {},\n", cache.entries));
-    json.push_str(&format!(
-        "    \"hit_rate\": {:.4}\n",
-        cache.hit_rate().unwrap_or(0.0)
-    ));
+    json.push_str(&format!("    \"hits\": {cache_hits},\n"));
+    json.push_str(&format!("    \"misses\": {cache_misses},\n"));
+    json.push_str(&format!("    \"entries\": {cache_entries},\n"));
+    json.push_str(&format!("    \"hit_rate\": {cache_hit_rate:.4}\n"));
     json.push_str("  },\n");
     json.push_str("  \"study\": {\n");
     json.push_str(&format!("    \"grid_sessions\": {grid_sessions},\n"));
@@ -582,6 +711,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "    \"sessions_per_sec_obs_off\": {inc_off_sessions_per_sec:.2}\n"
     ));
     json.push_str("  },\n");
+    if let Some(f) = &fleet_json {
+        json.push_str(f);
+    }
     if let Some(f) = &faults_json {
         json.push_str(f);
     }

@@ -52,6 +52,10 @@ pub enum Command {
         sessions: usize,
         /// Worker-thread count (`None` → automatic).
         threads: Option<usize>,
+        /// Fleet shard count: `None` runs the single rayon-pool
+        /// scheduler, `Some(n)` serves the sessions from `n` dedicated
+        /// shard threads (`cardiotouch::fleet`).
+        shards: Option<usize>,
         /// Simulated signal duration per session, seconds (= hops).
         seconds: usize,
         /// Random seed for the template recordings.
@@ -105,8 +109,9 @@ USAGE:
                        [--hemo-z0 OHM]
   cardiotouch study [--quick] [--threads N] [--metrics-out FILE]
                        [--faults SPEC]
-  cardiotouch serve-sim [--sessions N] [--threads N] [--seconds S]
-                       [--seed N] [--metrics-out FILE] [--faults SPEC]
+  cardiotouch serve-sim [--sessions N] [--threads N] [--shards N]
+                       [--seconds S] [--seed N] [--metrics-out FILE]
+                       [--faults SPEC]
   cardiotouch conformance [--golden DIR] [--write-golden]
                        [--acc-out FILE]
   cardiotouch power
@@ -122,6 +127,11 @@ Metrics: --metrics-out writes a point-in-time observability snapshot
 (counters, gauges, latency histograms) as JSON; `-` writes to stdout.
 For serve-sim a path ending in `.jsonl` streams one compact snapshot
 line per scheduler tick instead.
+
+Sharding: serve-sim --shards N serves the fleet from N worker shards,
+each a dedicated thread owning its own scheduler slab with bounded
+ingest and per-shard metrics (core.fleet.shard<i>.*); without --shards
+one scheduler fans sessions over the rayon pool instead.
 
 FAULTS: --faults injects a deterministic fault scenario into every
 device chain. SPEC is `none`, `rand:SEED`, or comma-separated events
@@ -239,6 +249,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         "serve-sim" => {
             let mut sessions = 256usize;
             let mut threads = None;
+            let mut shards = None;
             let mut seconds = 10usize;
             let mut seed = 7u64;
             let mut metrics_out = None;
@@ -254,6 +265,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 match flag {
                     "--sessions" => sessions = parse_num(flag, value(i)?)?,
                     "--threads" => threads = Some(parse_num(flag, value(i)?)?),
+                    "--shards" => shards = Some(parse_num(flag, value(i)?)?),
                     "--seconds" => seconds = parse_num(flag, value(i)?)?,
                     "--seed" => seed = parse_num(flag, value(i)?)?,
                     "--metrics-out" => metrics_out = Some(value(i)?.clone()),
@@ -271,9 +283,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             if threads == Some(0) {
                 return Err(ParseArgsError("--threads must be at least 1".into()));
             }
+            if shards == Some(0) {
+                return Err(ParseArgsError("--shards must be at least 1".into()));
+            }
             Ok(Command::ServeSim {
                 sessions,
                 threads,
+                shards,
                 seconds,
                 seed,
                 metrics_out,
@@ -519,6 +535,7 @@ mod tests {
             Command::ServeSim {
                 sessions: 256,
                 threads: None,
+                shards: None,
                 seconds: 10,
                 seed: 7,
                 metrics_out: None,
@@ -541,6 +558,7 @@ mod tests {
             Command::ServeSim {
                 sessions: 1000,
                 threads: Some(4),
+                shards: None,
                 seconds: 30,
                 seed: 9,
                 metrics_out: None,
@@ -616,6 +634,7 @@ mod tests {
             Command::ServeSim {
                 sessions: 256,
                 threads: None,
+                shards: None,
                 seconds: 10,
                 seed: 7,
                 metrics_out: Some("m.json".into()),
@@ -627,6 +646,7 @@ mod tests {
             Command::ServeSim {
                 sessions: 8,
                 threads: None,
+                shards: None,
                 seconds: 10,
                 seed: 7,
                 metrics_out: Some("m.jsonl".into()),
@@ -653,6 +673,7 @@ mod tests {
             Command::ServeSim {
                 sessions: 256,
                 threads: None,
+                shards: None,
                 seconds: 10,
                 seed: 7,
                 metrics_out: None,

@@ -12,6 +12,7 @@ mod args;
 use args::{parse, Command, USAGE};
 use cardiotouch::config::PipelineConfig;
 use cardiotouch::experiment::{run_position_study, StudyConfig};
+use cardiotouch::fleet::{Fleet, DEFAULT_MAILBOX_CAPACITY};
 use cardiotouch::io::{read_recording_csv, write_beats_csv, write_recording_csv};
 use cardiotouch::pipeline::Pipeline;
 use cardiotouch::report;
@@ -243,6 +244,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::ServeSim {
             sessions,
             threads,
+            shards,
             seconds,
             seed,
             metrics_out,
@@ -288,8 +290,6 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 })
                 .collect();
             let config = PipelineConfig::paper_default(fs);
-            let mut scheduler = SessionScheduler::new(config, feeds)?;
-            eprintln!("serving {sessions} concurrent sessions for {seconds} simulated seconds…");
             // A `.jsonl` metrics path streams one registry snapshot per
             // scheduler tick (a metrics time series); any other path gets
             // one pretty snapshot after the run.
@@ -299,6 +299,76 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 ))),
                 None => None,
             };
+
+            // --shards: serve the fleet from dedicated shard threads
+            // (each owning its own scheduler slab) instead of fanning
+            // one scheduler over the rayon pool.
+            if let Some(shards) = shards {
+                let mut fleet = Fleet::new(config, shards, sessions.max(DEFAULT_MAILBOX_CAPACITY))?;
+                for feed in feeds {
+                    fleet.admit(feed)?;
+                }
+                eprintln!(
+                    "serving {sessions} concurrent sessions across {shards} shard(s) \
+                     for {seconds} simulated seconds…"
+                );
+                let start = Instant::now();
+                for _ in 0..seconds {
+                    fleet.run(1)?;
+                    if let Some(ex) = &mut exporter {
+                        ex.export(&cardiotouch_obs::snapshot())?;
+                    }
+                }
+                let elapsed_s = start.elapsed().as_secs_f64();
+                let reports = fleet.reports(elapsed_s)?;
+                fleet.shutdown();
+                if let Some(ex) = exporter {
+                    let path = metrics_out.as_deref().unwrap_or("-");
+                    eprintln!("streamed {} metric snapshots to {path}", ex.lines());
+                } else if let Some(path) = &metrics_out {
+                    write_metrics_snapshot(path)?;
+                }
+                let total_sessions: usize = reports.iter().map(|r| r.sessions).sum();
+                let total_beats: usize = reports.iter().map(|r| r.beats).sum();
+                let session_seconds: f64 = reports.iter().map(|r| r.session_seconds).sum();
+                println!("sessions            : {total_sessions}");
+                println!("shards              : {shards}");
+                for (i, r) in reports.iter().enumerate() {
+                    println!(
+                        "  shard {i:<2}          : {} sessions, {} beats, hop p50 {:.1} us, \
+                         p99 {:.1} us, {} quarantined",
+                        r.sessions, r.beats, r.hop_p50_us, r.hop_p99_us, r.sessions_quarantined
+                    );
+                }
+                println!("signal processed    : {session_seconds:.0} session-seconds");
+                println!("wall clock          : {elapsed_s:.3} s");
+                println!("beats emitted       : {total_beats}");
+                if scenario.is_some() {
+                    println!(
+                        "session errors      : {}",
+                        reports.iter().map(|r| r.session_errors).sum::<usize>()
+                    );
+                    println!(
+                        "session recoveries  : {}",
+                        reports.iter().map(|r| r.session_recoveries).sum::<usize>()
+                    );
+                    println!(
+                        "quarantined now     : {}",
+                        reports
+                            .iter()
+                            .map(|r| r.sessions_quarantined)
+                            .sum::<usize>()
+                    );
+                }
+                println!(
+                    "sustained sessions  : {:.0} concurrent real-time streams",
+                    session_seconds / elapsed_s.max(1e-12)
+                );
+                return Ok(());
+            }
+
+            let mut scheduler = SessionScheduler::new(config, feeds)?;
+            eprintln!("serving {sessions} concurrent sessions for {seconds} simulated seconds…");
             let pool = match threads {
                 Some(n) => Some(rayon::ThreadPoolBuilder::new().num_threads(n).build()?),
                 None => None,

@@ -19,6 +19,7 @@
 use cardiotouch::compare::match_by_r;
 use cardiotouch::config::PipelineConfig;
 use cardiotouch::pipeline::{BeatReport, Pipeline};
+use cardiotouch::snapshot::BeatStreamSnapshot;
 use cardiotouch::stream::{BeatStream, ReanalysisBeatStream};
 use cardiotouch_physio::faults::FaultScenario;
 
@@ -94,6 +95,12 @@ pub struct CaseReport {
     /// only; `None` on fault cases, where the ladder legitimately
     /// suppresses beats).
     pub qualified_identical: Option<bool>,
+    /// Snapshot → serialize → restore at a mid-recording hop boundary,
+    /// then resume: emissions bit-identical to the unmigrated stream.
+    /// Checked on **every** case, fault scenarios included — migration
+    /// moves the complete engine state, so unlike the batch↔stream
+    /// comparison no guard band applies.
+    pub migration_identical: bool,
     /// The windowed-oracle leg, when requested.
     pub reanalysis: Option<ReanalysisLeg>,
 }
@@ -111,6 +118,11 @@ impl CaseReport {
         if self.qualified_identical == Some(false) {
             out.push(format!(
                 "{id}: push_qualified diverges from push on clean input"
+            ));
+        }
+        if !self.migration_identical {
+            out.push(format!(
+                "{id}: snapshot→restore migration diverges from the unmigrated stream"
             ));
         }
         let count_ratio = self.stream_beats as f64 / self.batch_beats.max(1) as f64;
@@ -201,6 +213,42 @@ fn run_stream_qualified(
     Ok(out)
 }
 
+/// Replays the case with the same chunking as [`run_stream`], but
+/// halfway through — at a hop boundary — the stream is snapshotted,
+/// serialized to bytes, deserialized, and restored into a brand-new
+/// engine that finishes the recording. This is the live-migration /
+/// crash-recovery path: the only state that survives the hand-off is
+/// what the byte codec carries.
+fn run_stream_migrated(
+    rendered: &RenderedCase,
+    chunk: usize,
+) -> Result<Vec<BeatReport>, ConformanceError> {
+    let config = PipelineConfig::paper_default(rendered.fs);
+    let hop = rendered.fs as usize;
+    // Midpoint quantized down to a whole hop (the engine processes in
+    // 1 s hops, so this is a hop boundary once pushed).
+    let split = (rendered.ecg.len() / 2 / hop) * hop;
+    let mut first = BeatStream::new(config)?;
+    let mut out = Vec::new();
+    for (e, z) in rendered.ecg[..split]
+        .chunks(chunk)
+        .zip(rendered.z[..split].chunks(chunk))
+    {
+        out.extend(first.push(e, z)?);
+    }
+    let bytes = first.snapshot().to_bytes();
+    drop(first);
+    let snapshot = BeatStreamSnapshot::from_bytes(&bytes)?;
+    let mut resumed = BeatStream::restore(config, &snapshot)?;
+    for (e, z) in rendered.ecg[split..]
+        .chunks(chunk)
+        .zip(rendered.z[split..].chunks(chunk))
+    {
+        out.extend(resumed.push(e, z)?);
+    }
+    Ok(out)
+}
+
 fn run_reanalysis(
     rendered: &RenderedCase,
     chunk: usize,
@@ -267,6 +315,12 @@ pub fn run_case(
         None
     };
 
+    // Migration leg: same chunking as `streamed`, but the engine is
+    // serialized and rebuilt halfway through. Bitwise on every case —
+    // fault scenarios included.
+    let migrated = run_stream_migrated(&rendered, 125)?;
+    let migration_identical = bitwise_equal(&streamed, &migrated);
+
     let stream_cmp: Vec<&BeatReport> = streamed
         .iter()
         .filter(|b| outside_faults(b.r, faults, fs))
@@ -305,6 +359,7 @@ pub fn run_case(
         agreed,
         chunk_invariant,
         qualified_identical,
+        migration_identical,
         reanalysis,
     })
 }
@@ -345,6 +400,7 @@ mod tests {
             agreed: 26,
             chunk_invariant: true,
             qualified_identical: Some(true),
+            migration_identical: true,
             reanalysis: Some(ReanalysisLeg {
                 beats: 20,
                 matched: 19,
@@ -355,6 +411,7 @@ mod tests {
         let mut bad = clean.clone();
         bad.chunk_invariant = false;
         bad.qualified_identical = Some(false);
+        bad.migration_identical = false;
         bad.stream_beats = 10;
         bad.matched = 5;
         bad.agreed = 2;
@@ -363,7 +420,7 @@ mod tests {
             matched: 3,
         });
         let v = bad.violations(&tol);
-        assert_eq!(v.len(), 6, "{v:?}");
+        assert_eq!(v.len(), 7, "{v:?}");
     }
 
     #[test]

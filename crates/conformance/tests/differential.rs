@@ -49,6 +49,11 @@ fn full_corpus_differential_conformance() {
             "{}: stream emissions depend on chunking",
             report.id
         );
+        assert!(
+            report.migration_identical,
+            "{}: snapshot→restore migration is not bitwise identical",
+            report.id
+        );
         if !report.faulted {
             assert_eq!(
                 report.qualified_identical,

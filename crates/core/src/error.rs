@@ -43,6 +43,19 @@ pub enum CoreError {
         /// Absolute sample index of the first faulted sample.
         at: usize,
     },
+    /// A fleet shard's ingest mailbox was full — the admission was
+    /// rejected rather than queued (backpressure; see
+    /// `core.fleet.rejected`).
+    FleetBackpressure {
+        /// The shard whose mailbox was full.
+        shard: usize,
+    },
+    /// A fleet shard's worker thread is gone (it panicked or was torn
+    /// down); the command could not be delivered or answered.
+    FleetWorkerLost {
+        /// The shard whose worker disappeared.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -70,6 +83,12 @@ impl fmt::Display for CoreError {
             CoreError::Icg(e) => write!(f, "icg error: {e}"),
             CoreError::SessionFault { at } => {
                 write!(f, "hard front-end fault injected at sample {at}")
+            }
+            CoreError::FleetBackpressure { shard } => {
+                write!(f, "fleet shard {shard} ingest mailbox is full")
+            }
+            CoreError::FleetWorkerLost { shard } => {
+                write!(f, "fleet shard {shard} worker thread is gone")
             }
         }
     }

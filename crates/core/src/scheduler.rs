@@ -25,6 +25,7 @@ use rayon::prelude::*;
 
 use crate::config::PipelineConfig;
 use crate::pipeline::BeatReport;
+use crate::snapshot::BeatStreamSnapshot;
 use crate::stream::BeatStream;
 use crate::CoreError;
 
@@ -137,6 +138,30 @@ impl SessionSlot {
     }
 }
 
+/// A session lifted out of one scheduler for admission into another —
+/// the unit of live migration. Carries the feed (template `Arc`s, so no
+/// sample data is copied), the replay cursor, the lifetime tallies and
+/// the engine's complete serializable state. Sessions are always
+/// extracted between ticks, i.e. at a hop boundary, so the snapshot is
+/// taken at a well-defined point of the absolute sample clock.
+#[derive(Debug, Clone)]
+pub struct MigratedSession {
+    /// The session's input feed.
+    pub feed: SessionFeed,
+    /// Absolute samples replayed so far.
+    pub cursor: usize,
+    /// Beats emitted so far.
+    pub beats: usize,
+    /// Engine errors observed so far.
+    pub errors: usize,
+    /// Quarantine retries attempted so far.
+    pub retries: usize,
+    /// Retries that came back clean so far.
+    pub recoveries: usize,
+    /// The engine's complete mutable state.
+    pub snapshot: BeatStreamSnapshot,
+}
+
 /// Aggregate outcome of a scheduler run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleReport {
@@ -164,6 +189,12 @@ pub struct ScheduleReport {
     pub session_recoveries: usize,
     /// Sessions still quarantined at report time.
     pub sessions_quarantined: usize,
+    /// Quarantined sessions still inside their backoff window (they
+    /// will skip the next tick).
+    pub sessions_backing_off: usize,
+    /// Quarantined sessions whose backoff has elapsed (they retry with
+    /// a fresh engine on the next tick).
+    pub sessions_retry_due: usize,
 }
 
 impl ScheduleReport {
@@ -198,6 +229,19 @@ pub struct SessionScheduler {
     retries_counter: cardiotouch_obs::Counter,
     /// `core.scheduler.session_recoveries` — retries that came back clean.
     recoveries_counter: cardiotouch_obs::Counter,
+    /// `core.scheduler.quarantined` — sessions sitting out, republished
+    /// after every tick so fleet rebalancing sees live occupancy.
+    quarantined_gauge: cardiotouch_obs::Gauge,
+}
+
+/// Per-tick accounting deltas, flushed as one batched update per
+/// counter at the end of the tick.
+#[derive(Debug, Default)]
+struct TickTallies {
+    beats: u64,
+    errors: u64,
+    retries: u64,
+    recoveries: u64,
 }
 
 impl SessionScheduler {
@@ -251,13 +295,106 @@ impl SessionScheduler {
             errors_counter: cardiotouch_obs::counter("core.scheduler.session_errors"),
             retries_counter: cardiotouch_obs::counter("core.scheduler.session_retries"),
             recoveries_counter: cardiotouch_obs::counter("core.scheduler.session_recoveries"),
+            quarantined_gauge: cardiotouch_obs::gauge("core.scheduler.quarantined"),
         })
+    }
+
+    /// Redirects this scheduler's live metrics under `prefix` (builder
+    /// style): hop latencies go to `<prefix>.hop_us` and quarantine
+    /// occupancy to `<prefix>.quarantined`. Fleet shards use
+    /// `core.fleet.shard<i>` so per-shard latency and occupancy stay
+    /// observable without post-hoc filtering — and so N shards do not
+    /// fight over one global gauge.
+    #[must_use]
+    pub fn with_metric_prefix(mut self, prefix: &str) -> Self {
+        self.hop_us = cardiotouch_obs::histogram(&format!("{prefix}.hop_us"));
+        self.quarantined_gauge = cardiotouch_obs::gauge(&format!("{prefix}.quarantined"));
+        self
     }
 
     /// Number of scheduled sessions.
     #[must_use]
     pub fn sessions(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Admits a fresh session mid-run (the fleet ingest path). The new
+    /// engine starts at the beginning of its feed; tick accounting
+    /// treats it like any other slot from the next tick on.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ChannelLengthMismatch`] for an invalid feed;
+    /// * engine construction errors.
+    pub fn admit(&mut self, feed: SessionFeed) -> Result<(), CoreError> {
+        if feed.ecg.len() != feed.z.len() || feed.ecg.is_empty() {
+            return Err(CoreError::ChannelLengthMismatch {
+                ecg_len: feed.ecg.len(),
+                z_len: feed.z.len(),
+            });
+        }
+        self.slots.push(SessionSlot {
+            stream: BeatStream::new(self.config)?,
+            feed,
+            cursor: 0,
+            beats: 0,
+            quarantine: None,
+            backoff: 1,
+            retrying: false,
+            errors: 0,
+            retries: 0,
+            recoveries: 0,
+            ecg_scratch: Vec::new(),
+            z_scratch: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Lifts one migratable session out of the slab: the most recently
+    /// admitted slot that is **not** quarantined (a quarantined session
+    /// has no healthy engine state worth moving — its snapshot would be
+    /// rebuilt from scratch on retry anyway, so rebalancing skips it).
+    /// Returns `None` when every remaining slot is quarantined or the
+    /// slab is empty.
+    pub fn extract_migratable(&mut self) -> Option<MigratedSession> {
+        let idx = self.slots.iter().rposition(|s| s.quarantine.is_none())?;
+        let slot = self.slots.swap_remove(idx);
+        Some(MigratedSession {
+            snapshot: slot.stream.snapshot(),
+            feed: slot.feed,
+            cursor: slot.cursor,
+            beats: slot.beats,
+            errors: slot.errors,
+            retries: slot.retries,
+            recoveries: slot.recoveries,
+        })
+    }
+
+    /// Admits a migrated session, rebuilding its engine from the
+    /// carried snapshot. The restored stream resumes bitwise
+    /// identically to the extracted one.
+    ///
+    /// # Errors
+    ///
+    /// Restore errors when the snapshot does not match this
+    /// scheduler's configuration.
+    pub fn admit_migrated(&mut self, m: &MigratedSession) -> Result<(), CoreError> {
+        let stream = BeatStream::restore(self.config, &m.snapshot)?;
+        self.slots.push(SessionSlot {
+            stream,
+            feed: m.feed.clone(),
+            cursor: m.cursor,
+            beats: m.beats,
+            quarantine: None,
+            backoff: 1,
+            retrying: false,
+            errors: m.errors,
+            retries: m.retries,
+            recoveries: m.recoveries,
+            ecg_scratch: Vec::new(),
+            z_scratch: Vec::new(),
+        });
+        Ok(())
     }
 
     /// Advances every session by one hop (1 s of signal) in parallel,
@@ -284,78 +421,143 @@ impl SessionScheduler {
         let results: Vec<(SessionSlot, Result<usize, CoreError>, u64)> = slots
             .into_par_iter()
             .map(|mut slot| {
-                // Quarantined sessions skip the tick; their input keeps
-                // flowing past them (cursor advance without processing).
-                if let Some(q) = &mut slot.quarantine {
-                    if q.skip > 0 {
-                        q.skip -= 1;
-                        slot.cursor += hop;
-                        return (slot, Ok(0), 0);
-                    }
-                    // Backoff elapsed: retry with a fresh engine (the
-                    // old one may hold poisoned filter state).
-                    slot.retries += 1;
-                    slot.retrying = true;
-                    match BeatStream::new(config) {
-                        Ok(stream) => slot.stream = stream,
-                        Err(e) => {
-                            slot.cursor += hop;
-                            return (slot, Err(e), 0);
-                        }
-                    }
-                    slot.quarantine = None;
-                }
-                let start = Instant::now();
-                let outcome = slot.step(hop).map(|beats| beats.len());
-                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let (outcome, ns) = Self::advance(&mut slot, hop, &config);
                 (slot, outcome, ns)
             })
             .collect();
-        let mut beats = 0;
-        let mut errors: u64 = 0;
-        let mut retries: u64 = 0;
-        let mut recoveries: u64 = 0;
+        let mut tallies = TickTallies::default();
         for (mut slot, outcome, ns) in results {
-            if slot.retrying {
-                retries += 1;
-            }
-            match outcome {
-                Ok(n) => {
-                    beats += n;
-                    if slot.retrying {
-                        slot.retrying = false;
-                        slot.recoveries += 1;
-                        slot.backoff = 1;
-                        recoveries += 1;
-                    }
-                    if ns > 0 {
-                        self.hop_hist.record(ns);
-                        self.hop_us.record((ns / 1_000).max(1));
-                    }
-                }
-                Err(_) => {
-                    slot.retrying = false;
-                    slot.errors += 1;
-                    errors += 1;
-                    slot.quarantine = Some(Quarantine { skip: slot.backoff });
-                    slot.backoff = (slot.backoff * 2).min(MAX_BACKOFF_TICKS);
-                }
-            }
+            Self::settle(
+                &mut slot,
+                outcome,
+                ns,
+                &mut self.hop_hist,
+                &self.hop_us,
+                &mut tallies,
+            );
             self.slots.push(slot);
         }
+        self.finish_tick(&tallies);
+        Ok(())
+    }
+
+    /// Advances every session by one hop **on the calling thread** — no
+    /// pool involvement. This is the shard worker's tick: each fleet
+    /// shard owns a dedicated OS thread, so fanning a shard's slab back
+    /// out over a process-global pool would only add contention between
+    /// shards. Semantics (quarantine, backoff, accounting) are
+    /// identical to [`SessionScheduler::tick`].
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (see [`SessionScheduler::tick`]).
+    pub fn tick_inline(&mut self) -> Result<(), CoreError> {
+        let hop = self.hop;
+        let config = self.config;
+        let mut tallies = TickTallies::default();
+        for slot in &mut self.slots {
+            let (outcome, ns) = Self::advance(slot, hop, &config);
+            Self::settle(
+                slot,
+                outcome,
+                ns,
+                &mut self.hop_hist,
+                &self.hop_us,
+                &mut tallies,
+            );
+        }
+        self.finish_tick(&tallies);
+        Ok(())
+    }
+
+    /// One slot's share of a tick: quarantine bookkeeping, then a timed
+    /// hop. Shared verbatim by the parallel and inline tick paths.
+    fn advance(
+        slot: &mut SessionSlot,
+        hop: usize,
+        config: &PipelineConfig,
+    ) -> (Result<usize, CoreError>, u64) {
+        // Quarantined sessions skip the tick; their input keeps
+        // flowing past them (cursor advance without processing).
+        if let Some(q) = &mut slot.quarantine {
+            if q.skip > 0 {
+                q.skip -= 1;
+                slot.cursor += hop;
+                return (Ok(0), 0);
+            }
+            // Backoff elapsed: retry with a fresh engine (the
+            // old one may hold poisoned filter state).
+            slot.retries += 1;
+            slot.retrying = true;
+            match BeatStream::new(*config) {
+                Ok(stream) => slot.stream = stream,
+                Err(e) => {
+                    slot.cursor += hop;
+                    return (Err(e), 0);
+                }
+            }
+            slot.quarantine = None;
+        }
+        let start = Instant::now();
+        let outcome = slot.step(hop).map(|beats| beats.len());
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        (outcome, ns)
+    }
+
+    /// Post-hop accounting for one slot: recovery/quarantine state
+    /// transitions and latency recording.
+    fn settle(
+        slot: &mut SessionSlot,
+        outcome: Result<usize, CoreError>,
+        ns: u64,
+        hop_hist: &mut LocalHistogram,
+        hop_us: &cardiotouch_obs::Histogram,
+        tallies: &mut TickTallies,
+    ) {
+        if slot.retrying {
+            tallies.retries += 1;
+        }
+        match outcome {
+            Ok(n) => {
+                tallies.beats += n as u64;
+                if slot.retrying {
+                    slot.retrying = false;
+                    slot.recoveries += 1;
+                    slot.backoff = 1;
+                    tallies.recoveries += 1;
+                }
+                if ns > 0 {
+                    hop_hist.record(ns);
+                    hop_us.record((ns / 1_000).max(1));
+                }
+            }
+            Err(_) => {
+                slot.retrying = false;
+                slot.errors += 1;
+                tallies.errors += 1;
+                slot.quarantine = Some(Quarantine { skip: slot.backoff });
+                slot.backoff = (slot.backoff * 2).min(MAX_BACKOFF_TICKS);
+            }
+        }
+    }
+
+    /// Flushes one tick's tallies to the registry and republishes the
+    /// quarantine occupancy gauge.
+    fn finish_tick(&mut self, tallies: &TickTallies) {
         self.ticks += 1;
         self.ticks_counter.inc();
-        self.beats_counter.add(beats as u64);
-        if errors > 0 {
-            self.errors_counter.add(errors);
+        self.beats_counter.add(tallies.beats);
+        if tallies.errors > 0 {
+            self.errors_counter.add(tallies.errors);
         }
-        if retries > 0 {
-            self.retries_counter.add(retries);
+        if tallies.retries > 0 {
+            self.retries_counter.add(tallies.retries);
         }
-        if recoveries > 0 {
-            self.recoveries_counter.add(recoveries);
+        if tallies.recoveries > 0 {
+            self.recoveries_counter.add(tallies.recoveries);
         }
-        Ok(())
+        let quarantined = self.slots.iter().filter(|s| s.quarantine.is_some()).count();
+        self.quarantined_gauge.set(quarantined as i64);
     }
 
     /// Runs `ticks` hops and returns the aggregate report.
@@ -397,6 +599,16 @@ impl SessionScheduler {
             session_retries: self.slots.iter().map(|s| s.retries).sum(),
             session_recoveries: self.slots.iter().map(|s| s.recoveries).sum(),
             sessions_quarantined: self.slots.iter().filter(|s| s.quarantine.is_some()).count(),
+            sessions_backing_off: self
+                .slots
+                .iter()
+                .filter(|s| s.quarantine.is_some_and(|q| q.skip > 0))
+                .count(),
+            sessions_retry_due: self
+                .slots
+                .iter()
+                .filter(|s| s.quarantine.is_some_and(|q| q.skip == 0))
+                .count(),
         }
     }
 }
@@ -505,6 +717,90 @@ mod tests {
         // just fewer than its clean twin.
         assert!(sched.slots[1].beats > 0);
         assert!(sched.slots[1].beats <= sched.slots[0].beats);
+    }
+
+    #[test]
+    fn inline_tick_matches_parallel_tick_bitwise() {
+        let mut par =
+            SessionScheduler::new(PipelineConfig::paper_default(250.0), feeds(4)).unwrap();
+        let mut seq =
+            SessionScheduler::new(PipelineConfig::paper_default(250.0), feeds(4)).unwrap();
+        for _ in 0..12 {
+            par.tick().unwrap();
+            seq.tick_inline().unwrap();
+        }
+        let (rp, rs) = (par.report(1.0), seq.report(1.0));
+        assert_eq!(rp.beats, rs.beats);
+        assert_eq!(rp.ticks, rs.ticks);
+        for (a, b) in par.slots.iter().zip(&seq.slots) {
+            assert_eq!(a.beats, b.beats);
+            assert_eq!(a.cursor, b.cursor);
+        }
+    }
+
+    #[test]
+    fn migration_between_schedulers_is_bitwise() {
+        let cfg = PipelineConfig::paper_default(250.0);
+        // Reference: one scheduler runs a single session for 20 ticks.
+        let mut reference = SessionScheduler::new(cfg, feeds(1)).unwrap();
+        reference.run(20).unwrap();
+        // Migrated: 8 ticks on shard A, move the session, 12 on shard B.
+        let mut a = SessionScheduler::new(cfg, feeds(1)).unwrap();
+        for _ in 0..8 {
+            a.tick_inline().unwrap();
+        }
+        let m = a.extract_migratable().expect("one healthy session");
+        assert_eq!(a.sessions(), 0);
+        assert_eq!(m.cursor, 8 * 250);
+        let mut b = SessionScheduler::new(cfg, Vec::new()).unwrap();
+        b.admit_migrated(&m).unwrap();
+        for _ in 0..12 {
+            b.tick_inline().unwrap();
+        }
+        assert_eq!(b.slots[0].beats, reference.slots[0].beats);
+        assert_eq!(b.slots[0].cursor, reference.slots[0].cursor);
+    }
+
+    #[test]
+    fn extract_skips_quarantined_sessions() {
+        use cardiotouch_physio::faults::FaultScenario;
+        let ecg = Arc::new(vec![0.5; 7500]);
+        let z = Arc::new(vec![430.0; 7500]);
+        let scenario = Arc::new(FaultScenario::parse("fail@0+3600s", 250.0).unwrap());
+        let feeds = vec![SessionFeed::clean(ecg, z, 0).with_faults(scenario)];
+        // A private metric prefix keeps the gauge assertion immune to
+        // other tests' schedulers publishing to the global name.
+        let mut sched = SessionScheduler::new(PipelineConfig::paper_default(250.0), feeds)
+            .unwrap()
+            .with_metric_prefix("test.scheduler.extract_skips");
+        sched.run(3).unwrap();
+        let report = sched.report(1.0);
+        assert_eq!(report.sessions_quarantined, 1);
+        assert_eq!(
+            report.sessions_backing_off + report.sessions_retry_due,
+            report.sessions_quarantined
+        );
+        assert!(
+            sched.extract_migratable().is_none(),
+            "a quarantined session must not migrate"
+        );
+        // The gauge tracks quarantine occupancy after every tick.
+        let snap = cardiotouch_obs::snapshot();
+        assert_eq!(
+            snap.gauge("test.scheduler.extract_skips.quarantined"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn admit_grows_the_slab_mid_run() {
+        let mut sched =
+            SessionScheduler::new(PipelineConfig::paper_default(250.0), feeds(1)).unwrap();
+        sched.run(2).unwrap();
+        sched.admit(feeds(1).pop().unwrap()).unwrap();
+        assert_eq!(sched.sessions(), 2);
+        sched.run(2).unwrap();
+        assert!(sched.slots[1].cursor == 2 * 250);
     }
 
     #[test]

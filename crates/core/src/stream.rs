@@ -37,6 +37,7 @@ use cardiotouch_icg::online::{BeatDelineator, OnlineBeat};
 
 use crate::config::PipelineConfig;
 use crate::pipeline::{report_from_points, BeatReport, Pipeline};
+use crate::snapshot::{BeatStreamSnapshot, MonitorState};
 use crate::CoreError;
 
 /// Per-channel signal condition in the degradation ladder.
@@ -228,6 +229,29 @@ impl ChannelMonitor {
             }
         }
         prev
+    }
+
+    /// Captures the run counters and machine state (thresholds are
+    /// derived from the configuration and re-computed on restore).
+    fn snapshot(&self) -> MonitorState {
+        MonitorState {
+            severity: self.state.severity(),
+            bad_run: self.bad_run,
+            good_run: self.good_run,
+            flat_run: self.flat_run,
+            last_bits: self.last_bits,
+            run_had_nonfinite: self.run_had_nonfinite,
+        }
+    }
+
+    /// Overwrites the mutable state from a snapshot.
+    fn restore(&mut self, state: &MonitorState) {
+        self.state = SignalState::from_severity(state.severity);
+        self.bad_run = state.bad_run;
+        self.good_run = state.good_run;
+        self.flat_run = state.flat_run;
+        self.last_bits = state.last_bits;
+        self.run_had_nonfinite = state.run_had_nonfinite;
     }
 }
 
@@ -730,6 +754,100 @@ impl BeatStream {
         }
     }
 
+    /// Captures the complete mutable state of the stream — every filter
+    /// delay line, ring buffer, adaptive threshold, ladder counter and
+    /// holdover flag — as plain data ([`BeatStreamSnapshot`]).
+    ///
+    /// Scratch buffers (`ZeroPhaseScratch`, the per-hop work vectors)
+    /// are pure workspace and never captured; coefficient sets are
+    /// shared `Arc`s re-derived from the design cache by
+    /// [`BeatStream::restore`]. A snapshot taken between two `push`
+    /// calls and restored into a fresh stream resumes **bitwise
+    /// identically** — the conformance migration leg pins this across
+    /// the whole golden corpus.
+    #[must_use]
+    pub fn snapshot(&self) -> BeatStreamSnapshot {
+        BeatStreamSnapshot {
+            fs: self.config.fs,
+            pend_ecg: self.pend_ecg.clone(),
+            pend_z: self.pend_z.clone(),
+            pushed: self.pushed,
+            processed: self.processed,
+            last_ecg: self.last_ecg,
+            last_z: self.last_z,
+            z_seen_finite: self.z_seen_finite,
+            z_sum: self.z_sum,
+            qrs: self.qrs.snapshot(),
+            ecg_ring: self.ecg_ring.snapshot(),
+            raw_rs: self.raw_rs.iter().copied().collect(),
+            last_refined_r: self.last_refined_r,
+            deriv: self.deriv.snapshot(),
+            lp: self.lp.snapshot(),
+            hp: self.hp.snapshot(),
+            delineator: self.delineator.snapshot(),
+            ecg_in_holdover: self.ecg_in_holdover,
+            z_in_holdover: self.z_in_holdover,
+            ecg_mon: self.ecg_mon.snapshot(),
+            z_mon: self.z_mon.snapshot(),
+            z_ema: self.z_ema,
+            z_ema_init: self.z_ema_init,
+            state_log: self.state_log.iter().copied().collect(),
+            restarts: self.restarts.iter().copied().collect(),
+            suppress_before: self.suppress_before,
+        }
+    }
+
+    /// Reconstructs a stream from a snapshot: designs a fresh engine
+    /// for `config` (re-deriving every coefficient set from the design
+    /// cache) and overwrites its mutable state, resuming the session
+    /// bitwise-identically to one that never paused.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] when the snapshot was taken at
+    ///   a different sampling rate than `config.fs`;
+    /// * shape-mismatch errors from the kernel restores (a corrupted
+    ///   snapshot);
+    /// * construction errors from [`BeatStream::new`].
+    pub fn restore(config: PipelineConfig, snap: &BeatStreamSnapshot) -> Result<Self, CoreError> {
+        if snap.fs.to_bits() != config.fs.to_bits() {
+            return Err(CoreError::InvalidParameter {
+                name: "snapshot.fs",
+                value: snap.fs,
+                constraint: "must equal the restoring configuration's fs",
+            });
+        }
+        let mut s = Self::new(config)?;
+        s.pend_ecg.extend_from_slice(&snap.pend_ecg);
+        s.pend_z.extend_from_slice(&snap.pend_z);
+        s.pushed = snap.pushed;
+        s.processed = snap.processed;
+        s.last_ecg = snap.last_ecg;
+        s.last_z = snap.last_z;
+        s.z_seen_finite = snap.z_seen_finite;
+        s.z_sum = snap.z_sum;
+        s.qrs.restore(&snap.qrs).map_err(CoreError::Ecg)?;
+        s.ecg_ring.restore(&snap.ecg_ring);
+        s.raw_rs.extend(snap.raw_rs.iter().copied());
+        s.last_refined_r = snap.last_refined_r;
+        s.deriv.restore(&snap.deriv);
+        s.lp.restore(&snap.lp).map_err(CoreError::Dsp)?;
+        s.hp.restore(&snap.hp).map_err(CoreError::Dsp)?;
+        s.delineator
+            .restore(&snap.delineator)
+            .map_err(CoreError::Icg)?;
+        s.ecg_in_holdover = snap.ecg_in_holdover;
+        s.z_in_holdover = snap.z_in_holdover;
+        s.ecg_mon.restore(&snap.ecg_mon);
+        s.z_mon.restore(&snap.z_mon);
+        s.z_ema = snap.z_ema;
+        s.z_ema_init = snap.z_ema_init;
+        s.state_log.extend(snap.state_log.iter().copied());
+        s.restarts.extend(snap.restarts.iter().copied());
+        s.suppress_before = snap.suppress_before;
+        Ok(s)
+    }
+
     /// Re-localises a raw online apex against a local zero-phase FIR
     /// rendering of the surrounding raw ECG — the streaming stand-in for
     /// the batch path's apex on the globally conditioned record. The
@@ -1188,6 +1306,69 @@ mod tests {
         assert_eq!(worst_state(&log, 60, 90), SignalState::Lost);
         assert_eq!(worst_state(&log, 130, 200), SignalState::Good);
         assert_eq!(worst_state(&log, 90, 130), SignalState::Lost);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bitwise_including_faults() {
+        let rec = recording(9);
+        let fs = 250.0;
+        let mut ecg = rec.device_ecg().to_vec();
+        let mut z = rec.device_z().to_vec();
+        // A contact loss mid-record so ladder/restart/suppression state
+        // is live at the migration point.
+        let (lo, hi) = ((9.0 * fs) as usize, (12.0 * fs) as usize);
+        for i in lo..hi {
+            ecg[i] = f64::NAN;
+            z[i] = f64::NAN;
+        }
+        let cfg = PipelineConfig::paper_default(fs);
+        let qkey = |q: &QualifiedBeat| {
+            (
+                q.report.r,
+                q.report.pep_s.to_bits(),
+                q.report.lvet_s.to_bits(),
+                q.report.sv_kubicek_ml.to_bits(),
+                q.report.co_l_per_min.to_bits(),
+                q.state,
+                q.sqi.map(f64::to_bits),
+            )
+        };
+
+        let mut reference = BeatStream::new(cfg).unwrap();
+        let mut ref_out = Vec::new();
+        for (e, zc) in ecg.chunks(125).zip(z.chunks(125)) {
+            ref_out.extend(reference.push_qualified(e, zc).unwrap());
+        }
+        assert!(ref_out.len() > 10);
+
+        // Migrate at an uneven chunk boundary inside the fault window —
+        // through the full byte codec, as the fleet's live path does.
+        let split = 125 * 20; // 10 s in, mid-loss
+        let mut first = BeatStream::new(cfg).unwrap();
+        let mut out = Vec::new();
+        for (e, zc) in ecg[..split].chunks(125).zip(z[..split].chunks(125)) {
+            out.extend(first.push_qualified(e, zc).unwrap());
+        }
+        let bytes = first.snapshot().to_bytes();
+        let snap = crate::snapshot::BeatStreamSnapshot::from_bytes(&bytes).unwrap();
+        let mut resumed = BeatStream::restore(cfg, &snap).unwrap();
+        assert_eq!(resumed.position(), split);
+        assert_eq!(resumed.channel_states(), first.channel_states());
+        for (e, zc) in ecg[split..].chunks(125).zip(z[split..].chunks(125)) {
+            out.extend(resumed.push_qualified(e, zc).unwrap());
+        }
+        assert_eq!(out.len(), ref_out.len());
+        for (a, b) in out.iter().zip(&ref_out) {
+            assert_eq!(qkey(a), qkey(b));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_fs() {
+        let snap = BeatStream::new(PipelineConfig::paper_default(250.0))
+            .unwrap()
+            .snapshot();
+        assert!(BeatStream::restore(PipelineConfig::paper_default(500.0), &snap).is_err());
     }
 
     #[test]

@@ -30,9 +30,23 @@
 //! index depends only on the sample count seen, never on chunk
 //! boundaries — and converges to the batch `filtfilt` interior at a rate
 //! set by the settle delay.
+//!
+//! # State snapshots
+//!
+//! Every kernel exposes a `snapshot()`/`restore()` pair over a plain-data
+//! `*State` struct carrying exactly its mutable state — delay lines,
+//! ring positions, pending buffers — and **never** its coefficients,
+//! which are shared behind `Arc` and re-derived from
+//! [`crate::design_cache`] on the restoring side. Restoring a snapshot
+//! into a freshly designed kernel of the same shape resumes the stream
+//! bitwise-identically to one that never paused; a shape mismatch
+//! (different section count or tap count) is rejected with
+//! [`crate::DspError::LengthMismatch`]. This is the substrate for
+//! session migration and crash recovery in the serving layer.
 
 use std::sync::Arc;
 
+use crate::error::DspError;
 use crate::iir::{Biquad, Butterworth};
 
 /// One causal biquad section with persistent state (direct form II
@@ -70,6 +84,31 @@ impl StatefulBiquad {
         self.s1 = 0.0;
         self.s2 = 0.0;
     }
+
+    /// Captures the mutable filter state (coefficients excluded).
+    #[must_use]
+    pub fn snapshot(&self) -> BiquadState {
+        BiquadState {
+            s1: self.s1,
+            s2: self.s2,
+        }
+    }
+
+    /// Overwrites the filter state from a snapshot.
+    pub fn restore(&mut self, state: &BiquadState) {
+        self.s1 = state.s1;
+        self.s2 = state.s2;
+    }
+}
+
+/// Mutable state of a [`StatefulBiquad`]: the two direct-form-II-
+/// transposed delay registers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BiquadState {
+    /// First delay register.
+    pub s1: f64,
+    /// Second delay register.
+    pub s2: f64,
 }
 
 /// A causal Butterworth cascade with persistent per-section state — the
@@ -133,6 +172,38 @@ impl StreamingCascade {
             *s = (0.0, 0.0);
         }
     }
+
+    /// Captures the per-section delay registers (coefficients excluded).
+    #[must_use]
+    pub fn snapshot(&self) -> CascadeState {
+        CascadeState {
+            sections: self.state.clone(),
+        }
+    }
+
+    /// Overwrites the per-section state from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::LengthMismatch`] when the snapshot was taken from a
+    /// cascade with a different section count.
+    pub fn restore(&mut self, state: &CascadeState) -> Result<(), DspError> {
+        if state.sections.len() != self.state.len() {
+            return Err(DspError::LengthMismatch {
+                left: state.sections.len(),
+                right: self.state.len(),
+            });
+        }
+        self.state.copy_from_slice(&state.sections);
+        Ok(())
+    }
+}
+
+/// Mutable state of a [`StreamingCascade`]: `(s1, s2)` per section.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CascadeState {
+    /// Delay registers, one pair per biquad section.
+    pub sections: Vec<(f64, f64)>,
 }
 
 /// Causal streaming FIR: a ring-buffer delay line of the last `order`
@@ -197,6 +268,44 @@ impl StreamingFir {
         self.ring.fill(0.0);
         self.pos = 0;
     }
+
+    /// Captures the delay line and ring position (taps excluded).
+    #[must_use]
+    pub fn snapshot(&self) -> FirState {
+        FirState {
+            ring: self.ring.clone(),
+            pos: self.pos,
+        }
+    }
+
+    /// Overwrites the delay line from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::LengthMismatch`] when the snapshot was taken from a
+    /// FIR of a different order (ring length differs) or the stored
+    /// position exceeds the ring.
+    pub fn restore(&mut self, state: &FirState) -> Result<(), DspError> {
+        if state.ring.len() != self.ring.len() || state.pos >= self.ring.len() {
+            return Err(DspError::LengthMismatch {
+                left: state.ring.len(),
+                right: self.ring.len(),
+            });
+        }
+        self.ring.copy_from_slice(&state.ring);
+        self.pos = state.pos;
+        Ok(())
+    }
+}
+
+/// Mutable state of a [`StreamingFir`]: the input delay line and the
+/// slot the next sample will occupy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FirState {
+    /// Ring of the last `taps.len()` inputs.
+    pub ring: Vec<f64>,
+    /// Slot the next input sample will occupy.
+    pub pos: usize,
 }
 
 /// Streaming central-difference first derivative, matching
@@ -245,6 +354,34 @@ impl StreamingDerivative {
         self.prev2 = 0.0;
         self.seen = 0;
     }
+
+    /// Captures the two-sample history and stream position.
+    #[must_use]
+    pub fn snapshot(&self) -> DerivativeState {
+        DerivativeState {
+            prev: self.prev,
+            prev2: self.prev2,
+            seen: self.seen,
+        }
+    }
+
+    /// Overwrites the history from a snapshot (`fs` is kept).
+    pub fn restore(&mut self, state: &DerivativeState) {
+        self.prev = state.prev;
+        self.prev2 = state.prev2;
+        self.seen = state.seen;
+    }
+}
+
+/// Mutable state of a [`StreamingDerivative`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DerivativeState {
+    /// The most recent input sample.
+    pub prev: f64,
+    /// The input sample before `prev`.
+    pub prev2: f64,
+    /// Total samples pushed so far.
+    pub seen: usize,
 }
 
 /// Incremental zero-phase (forward–backward) IIR filtering with a bounded
@@ -396,6 +533,52 @@ impl StreamingZeroPhase {
         }
         self.tail.drain(..settled);
     }
+
+    /// Captures the mutable zero-phase state: forward-cascade registers,
+    /// buffered input, unsettled tail and the priming flag. The backward
+    /// cascade is reset before every block and the scratch buffer is
+    /// pure workspace, so neither is part of the state.
+    #[must_use]
+    pub fn snapshot(&self) -> ZeroPhaseState {
+        ZeroPhaseState {
+            forward: self.forward.snapshot(),
+            pending: self.pending.clone(),
+            tail: self.tail.clone(),
+            primed: self.primed,
+        }
+    }
+
+    /// Overwrites the mutable state from a snapshot. The stage must have
+    /// been constructed with the same design and `settle`/`ext`/`block`
+    /// parameters for the resumed stream to be bitwise identical.
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::LengthMismatch`] when the forward-cascade section
+    /// count differs.
+    pub fn restore(&mut self, state: &ZeroPhaseState) -> Result<(), DspError> {
+        self.forward.restore(&state.forward)?;
+        self.backward.reset();
+        self.pending.clear();
+        self.pending.extend_from_slice(&state.pending);
+        self.tail.clear();
+        self.tail.extend_from_slice(&state.tail);
+        self.primed = state.primed;
+        Ok(())
+    }
+}
+
+/// Mutable state of a [`StreamingZeroPhase`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ZeroPhaseState {
+    /// Forward-pass cascade registers.
+    pub forward: CascadeState,
+    /// Raw input awaiting a complete block.
+    pub pending: Vec<f64>,
+    /// Forward-pass outputs not yet settled.
+    pub tail: Vec<f64>,
+    /// Whether the stream-start forward priming has run.
+    pub primed: bool,
 }
 
 /// A sliding window of raw samples addressed in absolute stream
@@ -482,6 +665,34 @@ impl HistoryRing {
     pub fn as_slice(&self) -> &[f64] {
         &self.buf[self.head..]
     }
+
+    /// Captures the live window and its absolute base index. Dead prefix
+    /// capacity is not carried — a restored ring is freshly compacted.
+    #[must_use]
+    pub fn snapshot(&self) -> HistoryRingState {
+        HistoryRingState {
+            base: self.base,
+            samples: self.as_slice().to_vec(),
+        }
+    }
+
+    /// Rebuilds the ring from a snapshot, replacing any current content.
+    pub fn restore(&mut self, state: &HistoryRingState) {
+        self.buf.clear();
+        self.buf.extend_from_slice(&state.samples);
+        self.head = 0;
+        self.base = state.base;
+    }
+}
+
+/// Mutable state of a [`HistoryRing`]: the live window in absolute
+/// stream coordinates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistoryRingState {
+    /// Absolute stream index of the first retained sample.
+    pub base: usize,
+    /// The retained samples, oldest first.
+    pub samples: Vec<f64>,
 }
 
 #[cfg(test)]
@@ -655,6 +866,77 @@ mod tests {
         assert_eq!(r.len(), 10);
         assert_eq!(r.slice(95, 96), &[95.0]);
         assert_eq!(r.as_slice()[0], 90.0);
+    }
+
+    #[test]
+    fn kernel_snapshots_resume_bitwise_mid_stream() {
+        let lp = design_cache::butterworth_lowpass(4, 20.0, FS).unwrap();
+        let fir = design_cache::fir_bandpass(32, 0.05, 40.0, FS, Window::Hamming).unwrap();
+        let x = signal(1200);
+        let split = 457;
+
+        // Straight-through references.
+        let mut c_ref = StreamingCascade::new(Arc::clone(&lp));
+        let mut f_ref = StreamingFir::new(Arc::clone(&fir));
+        let mut d_ref = StreamingDerivative::new(FS);
+        let mut z_ref = StreamingZeroPhase::new(Arc::clone(&lp), (0.5 * FS) as usize, 90, 50);
+        let mut z_ref_out = Vec::new();
+        let mut refs = Vec::new();
+        for (i, &v) in x.iter().enumerate() {
+            refs.push((c_ref.push(v), f_ref.push(v), d_ref.push(v)));
+            z_ref.push_chunk(&x[i..=i], &mut z_ref_out);
+        }
+
+        // Run to `split`, snapshot, restore into fresh kernels, resume.
+        let mut c = StreamingCascade::new(Arc::clone(&lp));
+        let mut f = StreamingFir::new(Arc::clone(&fir));
+        let mut d = StreamingDerivative::new(FS);
+        let mut z = StreamingZeroPhase::new(Arc::clone(&lp), (0.5 * FS) as usize, 90, 50);
+        let mut z_out = Vec::new();
+        for (i, &v) in x[..split].iter().enumerate() {
+            let got = (c.push(v), f.push(v), d.push(v));
+            assert_eq!(got, refs[i]);
+            z.push_chunk(&x[i..=i], &mut z_out);
+        }
+        let (cs, fs_state, ds, zs) = (c.snapshot(), f.snapshot(), d.snapshot(), z.snapshot());
+        let mut c2 = StreamingCascade::new(Arc::clone(&lp));
+        let mut f2 = StreamingFir::new(Arc::clone(&fir));
+        let mut d2 = StreamingDerivative::new(FS);
+        let mut z2 = StreamingZeroPhase::new(Arc::clone(&lp), (0.5 * FS) as usize, 90, 50);
+        c2.restore(&cs).unwrap();
+        f2.restore(&fs_state).unwrap();
+        d2.restore(&ds);
+        z2.restore(&zs).unwrap();
+        for (i, &v) in x[split..].iter().enumerate() {
+            let got = (c2.push(v), f2.push(v), d2.push(v));
+            assert_eq!(got, refs[split + i], "sample {}", split + i);
+            z2.push_chunk(&x[split + i..=split + i], &mut z_out);
+        }
+        assert_eq!(z_out, z_ref_out);
+    }
+
+    #[test]
+    fn cascade_restore_rejects_shape_mismatch() {
+        let lp4 = design_cache::butterworth_lowpass(4, 20.0, FS).unwrap();
+        let lp2 = design_cache::butterworth_lowpass(2, 20.0, FS).unwrap();
+        let snap = StreamingCascade::new(lp4).snapshot();
+        let mut wrong = StreamingCascade::new(lp2);
+        assert!(wrong.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn history_ring_snapshot_round_trips() {
+        let mut r = HistoryRing::new();
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        r.extend(&x);
+        r.discard_before(37);
+        let snap = r.snapshot();
+        let mut r2 = HistoryRing::new();
+        r2.extend(&[9.0; 5]);
+        r2.restore(&snap);
+        assert_eq!(r2.base(), 37);
+        assert_eq!(r2.end(), 100);
+        assert_eq!(r2.as_slice(), r.as_slice());
     }
 
     #[test]

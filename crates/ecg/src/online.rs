@@ -12,7 +12,7 @@
 
 use crate::EcgError;
 use cardiotouch_dsp::design_cache;
-use cardiotouch_dsp::streaming::StatefulBiquad;
+use cardiotouch_dsp::streaming::{BiquadState, StatefulBiquad};
 
 /// The streaming QRS detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -188,6 +188,69 @@ impl OnlinePanTompkins {
         None
     }
 
+    /// Captures every mutable field of the detector — filter registers,
+    /// MWI ring, adaptive thresholds, absolute clock, pending candidate
+    /// and warm-up deadline. Derived constants (`refractory`, window
+    /// sizes) and the coefficient set are re-derived from `fs` on
+    /// restore.
+    #[must_use]
+    pub fn snapshot(&self) -> PanTompkinsState {
+        PanTompkinsState {
+            sections: self.sections.iter().map(StatefulBiquad::snapshot).collect(),
+            bp_hist: self.bp_hist,
+            mwi_buf: self.mwi_buf.clone(),
+            mwi_pos: self.mwi_pos,
+            mwi_sum: self.mwi_sum,
+            mwi_hist: self.mwi_hist,
+            raw_ring: self.raw_ring.clone(),
+            spki: self.spki,
+            npki: self.npki,
+            sample_idx: self.sample_idx,
+            last_r: self.last_r,
+            pending: self.pending,
+            warmup: self.warmup,
+        }
+    }
+
+    /// Overwrites the detector's mutable state from a snapshot. The
+    /// detector must have been constructed with the same `fs` so every
+    /// derived buffer length matches; resumption is then bitwise
+    /// identical to a stream that never paused.
+    ///
+    /// # Errors
+    ///
+    /// [`EcgError::InvalidParameter`] when a snapshot buffer length does
+    /// not match this detector's shape (different `fs`).
+    pub fn restore(&mut self, state: &PanTompkinsState) -> Result<(), EcgError> {
+        if state.sections.len() != self.sections.len()
+            || state.mwi_buf.len() != self.mwi_buf.len()
+            || state.raw_ring.len() != self.raw_ring.len()
+            || state.mwi_pos >= self.mwi_buf.len()
+        {
+            return Err(EcgError::InvalidParameter {
+                name: "snapshot",
+                value: state.mwi_buf.len() as f64,
+                constraint: "shape must match the detector's sampling rate",
+            });
+        }
+        for (s, st) in self.sections.iter_mut().zip(&state.sections) {
+            s.restore(st);
+        }
+        self.bp_hist = state.bp_hist;
+        self.mwi_buf.copy_from_slice(&state.mwi_buf);
+        self.mwi_pos = state.mwi_pos;
+        self.mwi_sum = state.mwi_sum;
+        self.mwi_hist = state.mwi_hist;
+        self.raw_ring.copy_from_slice(&state.raw_ring);
+        self.spki = state.spki;
+        self.npki = state.npki;
+        self.sample_idx = state.sample_idx;
+        self.last_r = state.last_r;
+        self.pending = state.pending;
+        self.warmup = state.warmup;
+        Ok(())
+    }
+
     /// Finds the raw-signal apex within the window preceding the MWI
     /// peak, compensating the causal chain delay.
     fn localize_apex(&self, mwi_peak_idx: usize) -> usize {
@@ -205,6 +268,39 @@ impl OnlinePanTompkins {
         }
         best.0
     }
+}
+
+/// Mutable state of an [`OnlinePanTompkins`], as captured by
+/// [`OnlinePanTompkins::snapshot`]. Plain data: safe to serialize and
+/// move across threads or processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PanTompkinsState {
+    /// Band-pass section delay registers.
+    pub sections: Vec<BiquadState>,
+    /// Last 5 band-passed samples for the derivative kernel.
+    pub bp_hist: [f64; 5],
+    /// Moving-window-integration ring of squared samples.
+    pub mwi_buf: Vec<f64>,
+    /// Next write slot in `mwi_buf`.
+    pub mwi_pos: usize,
+    /// Running sum of `mwi_buf`.
+    pub mwi_sum: f64,
+    /// Last 3 MWI values for local-max detection.
+    pub mwi_hist: [f64; 3],
+    /// Raw-signal ring for apex localisation.
+    pub raw_ring: Vec<f64>,
+    /// Adaptive signal-peak estimate.
+    pub spki: f64,
+    /// Adaptive noise-peak estimate.
+    pub npki: f64,
+    /// Absolute sample clock.
+    pub sample_idx: usize,
+    /// Absolute index of the last confirmed R apex.
+    pub last_r: Option<usize>,
+    /// Pending MWI-peak candidate awaiting confirmation.
+    pub pending: Option<usize>,
+    /// Absolute sample index at which threshold warm-up ends.
+    pub warmup: usize,
 }
 
 #[cfg(test)]
@@ -338,6 +434,36 @@ mod tests {
     #[test]
     fn rejects_bad_fs() {
         assert!(OnlinePanTompkins::new(20.0).is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bitwise() {
+        let (x, _) = synth(8, 80.0);
+        let split = x.len() / 2 + 173;
+        let mut reference = OnlinePanTompkins::new(FS).unwrap();
+        let ref_out: Vec<Option<usize>> = x.iter().map(|&v| reference.push(v)).collect();
+
+        let mut first = OnlinePanTompkins::new(FS).unwrap();
+        for (i, &v) in x[..split].iter().enumerate() {
+            assert_eq!(first.push(v), ref_out[i]);
+        }
+        let snap = first.snapshot();
+        let mut resumed = OnlinePanTompkins::new(FS).unwrap();
+        resumed.restore(&snap).unwrap();
+        for (i, &v) in x[split..].iter().enumerate() {
+            assert_eq!(resumed.push(v), ref_out[split + i], "sample {}", split + i);
+        }
+        assert_eq!(
+            resumed.threshold().to_bits(),
+            reference.threshold().to_bits()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_wrong_fs_shape() {
+        let snap = OnlinePanTompkins::new(250.0).unwrap().snapshot();
+        let mut wrong = OnlinePanTompkins::new(500.0).unwrap();
+        assert!(wrong.restore(&snap).is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 
-use cardiotouch_dsp::streaming::HistoryRing;
+use cardiotouch_dsp::streaming::{HistoryRing, HistoryRingState};
 
 use crate::beat::BeatWindow;
 use crate::points::{CharacteristicPoints, PointDetector, XSearch};
@@ -217,6 +217,45 @@ impl BeatDelineator {
         self.ring.discard_before(keep.min(self.ring.end()));
     }
 
+    /// Captures every mutable field — the conditioned-sample ring in
+    /// absolute coordinates, queued R peaks, and the ensemble template
+    /// with its warm-up count. `PointDetector` is pure configuration and
+    /// is rebuilt from constructor arguments on the restoring side.
+    #[must_use]
+    pub fn snapshot(&self) -> DelineatorState {
+        DelineatorState {
+            ring: self.ring.snapshot(),
+            rs: self.rs.iter().copied().collect(),
+            template: self.template.clone(),
+            template_beats: self.template_beats,
+        }
+    }
+
+    /// Overwrites the delineator's mutable state from a snapshot. The
+    /// delineator must have been constructed with the same `fs`,
+    /// `XSearch` and RR bounds for resumption to be bitwise identical.
+    ///
+    /// # Errors
+    ///
+    /// [`IcgError::InvalidParameter`] when the snapshot's template
+    /// exceeds this delineator's cap (different `fs`).
+    pub fn restore(&mut self, state: &DelineatorState) -> Result<(), IcgError> {
+        if state.template.len() > self.template_cap {
+            return Err(IcgError::InvalidParameter {
+                name: "snapshot",
+                value: state.template.len() as f64,
+                constraint: "template must fit the delineator's cap",
+            });
+        }
+        self.ring.restore(&state.ring);
+        self.rs.clear();
+        self.rs.extend(state.rs.iter().copied());
+        self.template.clear();
+        self.template.extend_from_slice(&state.template);
+        self.template_beats = state.template_beats;
+        Ok(())
+    }
+
     /// Scores `[r0, r1)` against the ensemble template (once warm), then
     /// folds the segment into the template with an EMA.
     fn score_and_learn(&mut self, r0: usize, r1: usize) -> Option<f64> {
@@ -241,6 +280,21 @@ impl BeatDelineator {
         }
         sqi
     }
+}
+
+/// Mutable state of a [`BeatDelineator`], as captured by
+/// [`BeatDelineator::snapshot`]. Plain data: safe to serialize and move
+/// across threads or processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelineatorState {
+    /// Buffered conditioned samples in absolute stream coordinates.
+    pub ring: HistoryRingState,
+    /// Confirmed R peaks not yet consumed as a beat start.
+    pub rs: Vec<usize>,
+    /// R-aligned ensemble template.
+    pub template: Vec<f64>,
+    /// Beats folded into the template so far.
+    pub template_beats: usize,
 }
 
 #[cfg(test)]
@@ -423,6 +477,65 @@ mod tests {
         // pad_to at or behind the current head is a no-op
         d.pad_to(100);
         assert_eq!(d.samples_end(), icg.len());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bitwise() {
+        let raw = synth(8000);
+        let icg = IcgConditioner::paper_default(FS)
+            .unwrap()
+            .condition(&raw)
+            .unwrap();
+        let peaks = r_peaks(8000);
+        let run_from = |d: &mut BeatDelineator, lo: usize| {
+            let mut out = Vec::new();
+            let mut next = peaks
+                .iter()
+                .position(|&r| r + 50 > lo)
+                .unwrap_or(peaks.len());
+            let mut fed = lo;
+            for chunk in icg[lo..].chunks(173) {
+                d.push_samples(chunk);
+                fed += chunk.len();
+                while next < peaks.len() && peaks[next] + 50 <= fed {
+                    d.push_r(peaks[next]).unwrap();
+                    next += 1;
+                }
+                d.poll_into(&mut out);
+            }
+            out
+        };
+        let mut reference = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        let ref_out = run_from(&mut reference, 0);
+        assert!(ref_out.len() > BeatDelineator::SQI_WARMUP_BEATS + 2);
+
+        // Replay the first half, snapshot, restore elsewhere, resume.
+        let split = (icg.len() / 2 / 173) * 173;
+        let mut first = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        let mut head = Vec::new();
+        let mut next = 0;
+        let mut fed = 0;
+        for chunk in icg[..split].chunks(173) {
+            first.push_samples(chunk);
+            fed += chunk.len();
+            while next < peaks.len() && peaks[next] + 50 <= fed {
+                first.push_r(peaks[next]).unwrap();
+                next += 1;
+            }
+            first.poll_into(&mut head);
+        }
+        let snap = first.snapshot();
+        let mut resumed = BeatDelineator::new(FS, XSearch::GlobalMinimum, 0.3, 2.0).unwrap();
+        resumed.restore(&snap).unwrap();
+        let tail = run_from(&mut resumed, split);
+        let all: Vec<OnlineBeat> = head.into_iter().chain(tail).collect();
+        assert_eq!(all.len(), ref_out.len());
+        for (a, b) in all.iter().zip(&ref_out) {
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.points, b.points);
+            assert_eq!(a.dzdt_max.to_bits(), b.dzdt_max.to_bits());
+            assert_eq!(a.sqi.map(f64::to_bits), b.sqi.map(f64::to_bits));
+        }
     }
 
     #[test]
