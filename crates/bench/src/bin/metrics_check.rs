@@ -12,7 +12,13 @@
 //! section; for those the `core.fleet.*` instrumentation must be live
 //! (admissions and migrations fired, per-shard hop histograms
 //! populated) and the declared scaling efficiency must clear its own
-//! floor.
+//! floor. Documents produced with `perf_bench --lanes` carry a `lanes`
+//! section; for those the `dsp.lanes.*` instrumentation must show lane
+//! groups actually formed (groups and grouped sessions fired, the
+//! scalar-fallback counter registered) and the declared lane-FIR
+//! throughput multiple must clear its own floor. Whenever the document
+//! declares an observability-overhead budget (schema v6+), the
+//! measured full-run overhead must sit inside it.
 
 use std::process::ExitCode;
 
@@ -63,6 +69,18 @@ const FLEET_REQUIRED_COUNTERS: &[&str] = &["core.fleet.enqueued", "core.fleet.mi
 /// Fleet counters that must be registered but may legitimately be zero
 /// (a run without admission pressure rejects nothing).
 const FLEET_PRESENT_COUNTERS: &[&str] = &["core.fleet.rejected"];
+
+/// Counters the lane engine must have incremented whenever the
+/// document carries a `lanes` section (the run was `perf_bench
+/// --lanes`): its scheduler leg co-schedules same-config sessions into
+/// lane groups, so zero groups means the grouping path silently
+/// stopped engaging.
+const LANE_REQUIRED_COUNTERS: &[&str] = &["dsp.lanes.groups", "dsp.lanes.sessions_grouped"];
+
+/// Lane counters that must be registered but may legitimately be zero
+/// (a session count that divides evenly by the lane width leaves no
+/// scalar remainder).
+const LANE_PRESENT_COUNTERS: &[&str] = &["dsp.lanes.scalar_fallbacks"];
 
 fn check(doc: &Value) -> Result<(), String> {
     let schema = doc
@@ -119,6 +137,21 @@ fn check(doc: &Value) -> Result<(), String> {
         .and_then(|o| o.get("overhead_pct"))
         .and_then(Value::as_f64)
         .ok_or("missing obs.overhead_pct")?;
+    // Schema v6+ documents declare the instrumentation-overhead budget;
+    // a committed full run must sit inside it (the smoke run's few
+    // measurement pairs are too noisy to discriminate at this level).
+    let is_smoke = matches!(doc.get("smoke"), Some(Value::Bool(true)));
+    if let Some(budget) = doc
+        .get("obs")
+        .and_then(|o| o.get("overhead_budget_pct"))
+        .and_then(Value::as_f64)
+    {
+        if !is_smoke && (!overhead.is_finite() || overhead >= budget) {
+            return Err(format!(
+                "observability overhead {overhead:.2} % violates the {budget:.0} % budget"
+            ));
+        }
+    }
     if let Some(faults) = doc.get("faults") {
         for name in FAULT_REQUIRED_COUNTERS {
             let v = counters
@@ -231,6 +264,45 @@ fn check(doc: &Value) -> Result<(), String> {
         eprintln!(
             "fleet run ok: {shards:.0} shards, scaling efficiency {efficiency:.3} (floor {floor})"
         );
+    }
+    if let Some(lanes) = doc.get("lanes") {
+        for name in LANE_REQUIRED_COUNTERS {
+            let v = counters
+                .get(*name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("counter `{name}` missing from a lanes run"))?;
+            if v <= 0.0 {
+                return Err(format!(
+                    "counter `{name}` is {v} in a lanes run, expected > 0"
+                ));
+            }
+        }
+        for name in LANE_PRESENT_COUNTERS {
+            if counters.get(*name).and_then(Value::as_f64).is_none() {
+                return Err(format!("counter `{name}` missing from a lanes run"));
+            }
+        }
+        let width = lanes
+            .get("width")
+            .and_then(Value::as_f64)
+            .ok_or("missing lanes.width")?;
+        if width < 1.0 {
+            return Err(format!("lanes.width is {width}"));
+        }
+        let multiple = lanes
+            .get("fir_multiple")
+            .and_then(Value::as_f64)
+            .ok_or("missing lanes.fir_multiple")?;
+        let floor = lanes
+            .get("fir_multiple_floor")
+            .and_then(Value::as_f64)
+            .ok_or("missing lanes.fir_multiple_floor")?;
+        if !multiple.is_finite() || multiple < floor {
+            return Err(format!(
+                "lane FIR multiple {multiple:.2}x is below the {floor}x floor"
+            ));
+        }
+        eprintln!("lanes run ok: width {width:.0}, FIR multiple {multiple:.2}x (floor {floor}x)");
     }
     eprintln!(
         "metrics snapshot ok: {} counters, {} histograms, obs overhead {overhead:.2} %",

@@ -18,9 +18,10 @@
 
 use cardiotouch::compare::match_by_r;
 use cardiotouch::config::PipelineConfig;
+use cardiotouch::lanes::{LaneBeatGroup, LaneMember};
 use cardiotouch::pipeline::{BeatReport, Pipeline};
 use cardiotouch::snapshot::BeatStreamSnapshot;
-use cardiotouch::stream::{BeatStream, ReanalysisBeatStream};
+use cardiotouch::stream::{BeatStream, QualifiedBeat, ReanalysisBeatStream};
 use cardiotouch_physio::faults::FaultScenario;
 
 use crate::corpus::{CorpusCase, RenderedCase};
@@ -101,6 +102,11 @@ pub struct CaseReport {
     /// moves the complete engine state, so unlike the batch↔stream
     /// comparison no guard band applies.
     pub migration_identical: bool,
+    /// Lane-grouped replay at widths 1, 4 and 8: every lane's emissions
+    /// bit-identical to the scalar stream. Checked on **every** case —
+    /// on fault cases the lanes evict mid-recording (warm restart) and
+    /// finish scalar, so the eviction path is proven too.
+    pub lane_identical: bool,
     /// The windowed-oracle leg, when requested.
     pub reanalysis: Option<ReanalysisLeg>,
 }
@@ -123,6 +129,11 @@ impl CaseReport {
         if !self.migration_identical {
             out.push(format!(
                 "{id}: snapshot→restore migration diverges from the unmigrated stream"
+            ));
+        }
+        if !self.lane_identical {
+            out.push(format!(
+                "{id}: lane-grouped replay diverges from the scalar stream"
             ));
         }
         let count_ratio = self.stream_beats as f64 / self.batch_beats.max(1) as f64;
@@ -249,6 +260,61 @@ fn run_stream_migrated(
     Ok(out)
 }
 
+/// Replays the case through a K-wide lane group: K identical sessions
+/// are adopted into one [`LaneBeatGroup`] and hopped together through
+/// the shared SoA kernels. A session evicted mid-recording (a fault's
+/// warm restart desynchronizes its conditioning chain) finishes on the
+/// scalar path, exactly as the lane-mode scheduler would run it.
+/// Returns each lane's emissions.
+fn run_stream_lane<const K: usize>(
+    rendered: &RenderedCase,
+    chunk: usize,
+) -> Result<Vec<Vec<BeatReport>>, ConformanceError> {
+    let config = PipelineConfig::paper_default(rendered.fs);
+    let mut group = LaneBeatGroup::<K>::new(config)?;
+    let mut sessions: Vec<(bool, BeatStream, Vec<QualifiedBeat>)> = Vec::with_capacity(K);
+    for _ in 0..K {
+        let stream = BeatStream::new(config)?;
+        group.adopt(&stream)?;
+        sessions.push((true, stream, Vec::new()));
+    }
+    for (e, z) in rendered.ecg.chunks(chunk).zip(rendered.z.chunks(chunk)) {
+        for (grouped, stream, out) in sessions.iter_mut() {
+            if *grouped {
+                stream.ingest_qualified(e, z)?;
+            } else {
+                out.extend(stream.push_qualified(e, z)?);
+            }
+        }
+        let mut members: Vec<LaneMember<'_>> = sessions
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, (grouped, _, _))| *grouped)
+            .map(|(lane, (_, stream, out))| LaneMember::new(lane, stream, out))
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        group.process_ready_hops(&mut members)?;
+        let evicted: Vec<usize> = members
+            .iter()
+            .filter(|m| m.evicted)
+            .map(|m| m.lane)
+            .collect();
+        drop(members);
+        for lane in evicted {
+            let (grouped, stream, out) = &mut sessions[lane];
+            *grouped = false;
+            // Drain the hops the group skipped, scalar.
+            out.extend(stream.push_qualified(&[], &[])?);
+        }
+    }
+    Ok(sessions
+        .into_iter()
+        .map(|(_, _, out)| out.into_iter().map(|q| q.report).collect())
+        .collect())
+}
+
 fn run_reanalysis(
     rendered: &RenderedCase,
     chunk: usize,
@@ -321,6 +387,17 @@ pub fn run_case(
     let migrated = run_stream_migrated(&rendered, 125)?;
     let migration_identical = bitwise_equal(&streamed, &migrated);
 
+    // Lane leg: the same replay through 1-, 4- and 8-wide lane groups.
+    // Every lane of every width must reproduce the scalar emissions
+    // bit for bit — the lane engine's standing correctness bar.
+    let lane_identical = [
+        run_stream_lane::<1>(&rendered, 125)?,
+        run_stream_lane::<4>(&rendered, 125)?,
+        run_stream_lane::<8>(&rendered, 125)?,
+    ]
+    .iter()
+    .all(|lanes| lanes.iter().all(|lane| bitwise_equal(&streamed, lane)));
+
     let stream_cmp: Vec<&BeatReport> = streamed
         .iter()
         .filter(|b| outside_faults(b.r, faults, fs))
@@ -360,6 +437,7 @@ pub fn run_case(
         chunk_invariant,
         qualified_identical,
         migration_identical,
+        lane_identical,
         reanalysis,
     })
 }
@@ -401,6 +479,7 @@ mod tests {
             chunk_invariant: true,
             qualified_identical: Some(true),
             migration_identical: true,
+            lane_identical: true,
             reanalysis: Some(ReanalysisLeg {
                 beats: 20,
                 matched: 19,
@@ -412,6 +491,7 @@ mod tests {
         bad.chunk_invariant = false;
         bad.qualified_identical = Some(false);
         bad.migration_identical = false;
+        bad.lane_identical = false;
         bad.stream_beats = 10;
         bad.matched = 5;
         bad.agreed = 2;
@@ -420,7 +500,7 @@ mod tests {
             matched: 3,
         });
         let v = bad.violations(&tol);
-        assert_eq!(v.len(), 7, "{v:?}");
+        assert_eq!(v.len(), 8, "{v:?}");
     }
 
     #[test]

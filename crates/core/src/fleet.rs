@@ -204,6 +204,7 @@ enum ShardEvent {
 fn shard_main(
     shard: usize,
     config: PipelineConfig,
+    lanes: bool,
     rx: &MailboxReceiver<ShardCmd>,
     events: &mpsc::Sender<ShardEvent>,
 ) {
@@ -214,6 +215,9 @@ fn shard_main(
         // reports `FleetWorkerLost` on first contact.
         Err(_) => return,
     };
+    if lanes {
+        sched = sched.with_lane_grouping();
+    }
     while let Some(cmd) = rx.recv() {
         match cmd {
             ShardCmd::Admit(feed) => {
@@ -356,6 +360,34 @@ impl Fleet {
         shards: usize,
         mailbox_capacity: usize,
     ) -> Result<Self, CoreError> {
+        Self::build(config, shards, mailbox_capacity, false)
+    }
+
+    /// Like [`Fleet::new`], but every shard runs its scheduler in
+    /// lane-grouped mode
+    /// ([`SessionScheduler::with_lane_grouping`]): same-key sessions
+    /// advance [`crate::scheduler::LANE_WIDTH`] at a time through
+    /// shared SoA kernels, with scalar fallback for the rest.
+    /// Emissions and migration bytes are bitwise identical to
+    /// [`Fleet::new`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Fleet::new`].
+    pub fn new_lane_grouped(
+        config: PipelineConfig,
+        shards: usize,
+        mailbox_capacity: usize,
+    ) -> Result<Self, CoreError> {
+        Self::build(config, shards, mailbox_capacity, true)
+    }
+
+    fn build(
+        config: PipelineConfig,
+        shards: usize,
+        mailbox_capacity: usize,
+        lanes: bool,
+    ) -> Result<Self, CoreError> {
         if shards == 0 {
             return Err(CoreError::InvalidParameter {
                 name: "shards",
@@ -375,7 +407,7 @@ impl Fleet {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("fleet-shard-{shard}"))
-                    .spawn(move || shard_main(shard, config, &rx, &ev))
+                    .spawn(move || shard_main(shard, config, lanes, &rx, &ev))
                     .expect("spawn fleet shard thread"),
             );
             senders.push(tx);
@@ -713,12 +745,17 @@ mod tests {
     #[test]
     fn admission_backpressure_rejects_when_full() {
         let config = PipelineConfig::paper_default(250.0);
-        // Capacity-1 mailbox and no ticks: the second admit must bounce.
         let mut fleet = Fleet::new(config, 1, 1).unwrap();
-        // The worker may drain the first admit before the burst below,
-        // so push until we see a rejection (bounded attempts).
+        fleet.admit(feed(0)).unwrap();
+        // Park the worker: a long Run keeps it inside the tick loop for
+        // many milliseconds (feeds wrap, so every tick does real DSP
+        // work), and until the worker pops it the command itself holds
+        // the capacity-1 mailbox's only slot. Either way the burst
+        // below cannot be drained, so a rejection is deterministic —
+        // the old racy version lost to the drain loop on idle machines.
+        fleet.senders[0].send(ShardCmd::Run { ticks: 3000 });
         let mut rejected = false;
-        for i in 0..64 {
+        for i in 0..4 {
             match fleet.admit(feed(i * 131)) {
                 Ok(_) => {}
                 Err(CoreError::FleetBackpressure { shard }) => {
@@ -730,6 +767,12 @@ mod tests {
             }
         }
         assert!(rejected, "capacity-1 mailbox never pushed back");
+        // Collect the solicited RunDone so the request/reply protocol
+        // stays balanced before shutdown.
+        match fleet.recv_event().unwrap() {
+            ShardEvent::RunDone => {}
+            _ => panic!("expected RunDone from the parked worker"),
+        }
         fleet.shutdown();
     }
 
@@ -757,6 +800,23 @@ mod tests {
         assert_eq!(reports[shard].sessions, 2);
         assert_eq!(reports[other].sessions, 2);
         fleet.shutdown();
+    }
+
+    #[test]
+    fn lane_grouped_fleet_matches_scalar_fleet() {
+        let config = PipelineConfig::paper_default(250.0);
+        let mut scalar = Fleet::new(config, 1, 32).unwrap();
+        let mut lane = Fleet::new_lane_grouped(config, 1, 32).unwrap();
+        for i in 0..8 {
+            scalar.admit(feed(i * 977)).unwrap();
+            lane.admit(feed(i * 977)).unwrap();
+        }
+        let a = scalar.run(6).unwrap();
+        let b = lane.run(6).unwrap();
+        assert_eq!(b.sessions(), 8);
+        assert_eq!(a.beats(), b.beats());
+        scalar.shutdown();
+        lane.shutdown();
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Lane-grouped beat streams: K same-config sessions hopped through
+//! shared structure-of-arrays DSP kernels at once.
+//!
+//! A [`LaneBeatGroup`] owns one set of K-wide ICG conditioning kernels
+//! ([`cardiotouch_dsp::streaming::lanes`]) — derivative, 20 Hz
+//! zero-phase low-pass, 0.4 Hz zero-phase high-pass — and drives up to
+//! K member [`BeatStream`]s through each 1 s hop together: every pushed
+//! sample tick advances all K sessions per kernel instruction instead
+//! of one. Everything outside the ICG conditioning chain (degradation
+//! ladder, ECG path, delineation, beat qualification) stays on each
+//! member's own scalar code, so per-session output is **bitwise
+//! identical** to never having been grouped.
+//!
+//! # Membership rules
+//!
+//! A session may join a group only when its conditioning-chain
+//! geometry matches the group's ([`BeatStream::lane_sync_key`] — a
+//! pure function of hops processed since stream start or the last warm
+//! restart, so same-age same-config sessions always qualify; the first
+//! member seeds an empty group's geometry). A member leaves when:
+//!
+//! * a deferred **warm restart** falls inside its next hop — the
+//!   restart resets its chain and would desynchronize the shared
+//!   buffers, so the group demuxes it first and the caller finishes
+//!   its hops scalar (an empty `push_qualified` drains them), which is
+//!   bitwise what a never-grouped stream would have done;
+//! * it **faults or quarantines** in the scheduler — the engine is
+//!   rebuilt fresh on retry anyway;
+//! * it is **extracted for migration** — demuxing restores the exact
+//!   scalar kernel states, so its snapshot bytes are identical to a
+//!   never-grouped session's and the `core::snapshot` codec is
+//!   untouched.
+//!
+//! Vacant lanes are fed zeros and their outputs ignored; sessions that
+//! do not fill a group (ragged remainders) run the ordinary scalar
+//! path.
+
+use cardiotouch_dsp::streaming::lanes::{LaneDerivative, LaneZeroPhase};
+
+use crate::config::PipelineConfig;
+use crate::stream::{BeatStream, IcgChainSpec, LaneSyncKey, QualifiedBeat};
+use crate::CoreError;
+
+/// One member of a lane group during [`LaneBeatGroup::process_ready_hops`]:
+/// the stream occupying a lane, its beat sink, and the eviction flag
+/// the group sets when it had to release the member mid-call.
+#[derive(Debug)]
+pub struct LaneMember<'a> {
+    /// The lane index this member occupies (from [`LaneBeatGroup::adopt`]).
+    pub lane: usize,
+    /// The member's stream.
+    pub stream: &'a mut BeatStream,
+    /// Sink for beats emitted during lane-driven hops.
+    pub out: &'a mut Vec<QualifiedBeat>,
+    /// Set by the group when a deferred warm restart forced this
+    /// member out mid-call. Its lane is already vacated and its scalar
+    /// kernel states restored; the caller must drain its remaining
+    /// hops through the scalar path (an empty `push_qualified` call)
+    /// and not offer it to the group again until its key realigns.
+    pub evicted: bool,
+}
+
+impl<'a> LaneMember<'a> {
+    /// Wraps a stream occupying `lane` with its beat sink.
+    pub fn new(lane: usize, stream: &'a mut BeatStream, out: &'a mut Vec<QualifiedBeat>) -> Self {
+        Self {
+            lane,
+            stream,
+            out,
+            evicted: false,
+        }
+    }
+}
+
+/// K-wide ICG conditioning engine plus lane occupancy for up to K
+/// co-scheduled [`BeatStream`]s. See the module docs for the
+/// membership rules and the bitwise-identity argument.
+#[derive(Debug, Clone)]
+pub struct LaneBeatGroup<const K: usize> {
+    deriv: LaneDerivative<K>,
+    lp: LaneZeroPhase<K>,
+    hp: LaneZeroPhase<K>,
+    occupied: [bool; K],
+    // SoA scratch, reused across hops.
+    z_cols: Vec<[f64; K]>,
+    neg: Vec<[f64; K]>,
+    lp_out: Vec<[f64; K]>,
+    hp_out: Vec<[f64; K]>,
+    hp_col: Vec<f64>,
+    /// `dsp.lanes.sessions_grouped` — sessions muxed into a lane.
+    sessions_grouped: cardiotouch_obs::Counter,
+}
+
+impl<const K: usize> LaneBeatGroup<K> {
+    /// Creates an empty group for `config`. The kernels derive from the
+    /// same [`IcgChainSpec`] as [`BeatStream::new`], so the two paths
+    /// cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and filter-design errors.
+    pub fn new(config: PipelineConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let chain = IcgChainSpec::for_rate(config.fs)?;
+        cardiotouch_obs::counter("dsp.lanes.groups").inc();
+        Ok(Self {
+            deriv: LaneDerivative::new(config.fs),
+            lp: LaneZeroPhase::new(chain.lp_filter, chain.lp_settle, chain.lp_ext, chain.block),
+            hp: LaneZeroPhase::new(chain.hp_filter, chain.hp_settle, chain.hp_ext, chain.block),
+            occupied: [false; K],
+            z_cols: Vec::new(),
+            neg: Vec::new(),
+            lp_out: Vec::new(),
+            hp_out: Vec::new(),
+            hp_col: Vec::new(),
+            sessions_grouped: cardiotouch_obs::counter("dsp.lanes.sessions_grouped"),
+        })
+    }
+
+    /// The lane width K.
+    #[must_use]
+    pub const fn width(&self) -> usize {
+        K
+    }
+
+    /// Occupied lanes.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.occupied.iter().filter(|&&o| o).count()
+    }
+
+    /// Vacant lanes.
+    #[must_use]
+    pub fn vacancy(&self) -> usize {
+        K - self.occupancy()
+    }
+
+    /// The group's synchronization key — the conditioning geometry
+    /// every member shares — or `None` while the group is empty (an
+    /// empty group adopts any session and takes on its geometry).
+    #[must_use]
+    pub fn sync_key(&self) -> Option<LaneSyncKey> {
+        let lane = self.occupied.iter().position(|&o| o)?;
+        Some(LaneSyncKey {
+            deriv_seen: self.deriv.seen_lane(lane),
+            lp: (
+                self.lp.pending_len(),
+                self.lp.tail_len(),
+                self.lp.is_primed(),
+            ),
+            hp: (
+                self.hp.pending_len(),
+                self.hp.tail_len(),
+                self.hp.is_primed(),
+            ),
+        })
+    }
+
+    /// Muxes `stream`'s ICG chain state into a vacant lane and returns
+    /// the lane index. The first member of an empty group seeds the
+    /// shared geometry; later members must carry the same
+    /// [`LaneSyncKey`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when the group is full or the
+    /// session's key does not match; kernel shape errors on a
+    /// mismatched design (different sampling rate).
+    pub fn adopt(&mut self, stream: &BeatStream) -> Result<usize, CoreError> {
+        let Some(lane) = self.occupied.iter().position(|&o| !o) else {
+            return Err(CoreError::InvalidParameter {
+                name: "lane_group",
+                value: K as f64,
+                constraint: "group is full",
+            });
+        };
+        let key = stream.lane_sync_key();
+        match self.sync_key() {
+            None => {
+                let (_, lp, hp) = stream.icg_lane_state();
+                self.lp
+                    .seed_geometry(lp.pending.len(), lp.tail.len(), lp.primed);
+                self.hp
+                    .seed_geometry(hp.pending.len(), hp.tail.len(), hp.primed);
+            }
+            Some(gkey) if gkey == key => {}
+            Some(_) => {
+                return Err(CoreError::InvalidParameter {
+                    name: "lane_sync_key",
+                    value: key.deriv_seen as f64,
+                    constraint: "must match the group's conditioning geometry",
+                });
+            }
+        }
+        let (d, lp, hp) = stream.icg_lane_state();
+        self.deriv.load_lane(lane, &d);
+        self.lp.load_lane(lane, &lp).map_err(CoreError::Dsp)?;
+        self.hp.load_lane(lane, &hp).map_err(CoreError::Dsp)?;
+        self.occupied[lane] = true;
+        self.sessions_grouped.inc();
+        Ok(lane)
+    }
+
+    /// Demuxes lane `lane` back into `stream`'s scalar kernels and
+    /// vacates the lane. The restored stream is byte-identical to one
+    /// that was never grouped.
+    ///
+    /// # Errors
+    ///
+    /// Kernel shape errors when `stream` was built for a different
+    /// design than the group (cannot happen through the scheduler,
+    /// which groups same-config sessions only).
+    pub fn release(&mut self, lane: usize, stream: &mut BeatStream) -> Result<(), CoreError> {
+        let d = self.deriv.store_lane(lane);
+        let lp = self.lp.store_lane(lane);
+        let hp = self.hp.store_lane(lane);
+        stream.icg_lane_restore(&d, &lp, &hp)?;
+        self.occupied[lane] = false;
+        Ok(())
+    }
+
+    /// Hops every member through the shared lane kernels for as long
+    /// as **all** non-evicted members have a complete hop buffered.
+    ///
+    /// `members` must cover exactly the occupied lanes. Members whose
+    /// next hop carries a deferred warm restart are released first and
+    /// flagged [`LaneMember::evicted`] — the caller drains their
+    /// remaining hops through the scalar path, which is bitwise what a
+    /// never-grouped stream would have done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors from eviction demuxing.
+    pub fn process_ready_hops(&mut self, members: &mut [LaneMember<'_>]) -> Result<(), CoreError> {
+        loop {
+            // Release members a warm restart would desynchronize.
+            for m in members.iter_mut() {
+                if !m.evicted && m.stream.restart_pending() {
+                    self.release(m.lane, m.stream)?;
+                    m.evicted = true;
+                }
+            }
+            let active: Vec<usize> = (0..members.len())
+                .filter(|&i| !members[i].evicted)
+                .collect();
+            let Some(&first) = active.first() else {
+                return Ok(());
+            };
+            let ready = active
+                .iter()
+                .map(|&i| members[i].stream.ready_hops())
+                .min()
+                .unwrap_or(0);
+            if ready == 0 {
+                return Ok(());
+            }
+
+            // One hop for the whole group. The front half (ECG, Z0 sum,
+            // cursor) is per-member scalar code shared with the scalar
+            // hop path.
+            for &i in &active {
+                members[i].stream.lane_hop_begin();
+            }
+
+            // Gather the hop's Z samples into SoA columns; vacant and
+            // evicted lanes ride along on zeros, outputs ignored.
+            let hop = members[first].stream.lane_z_hop().len();
+            self.z_cols.clear();
+            self.z_cols.resize(hop, [0.0; K]);
+            for &i in &active {
+                let lane = members[i].lane;
+                for (row, &zv) in self.z_cols.iter_mut().zip(members[i].stream.lane_z_hop()) {
+                    row[lane] = zv;
+                }
+            }
+
+            // Z → −dZ/dt, all lanes per tick. Emission presence is
+            // uniform across members (the sync key pins their ages), so
+            // any active lane decides whether the tick yields a row.
+            let probe = members[first].lane;
+            self.neg.clear();
+            for row in &self.z_cols {
+                let outs = self.deriv.push(row);
+                if outs[probe].is_some() {
+                    let mut neg_row = [0.0; K];
+                    for (dst, d) in neg_row.iter_mut().zip(&outs) {
+                        if let Some(d) = d {
+                            *dst = -d;
+                        }
+                    }
+                    self.neg.push(neg_row);
+                }
+            }
+
+            // The zero-phase chain, K sessions per instruction.
+            self.lp_out.clear();
+            self.lp.push_chunk(&self.neg, &mut self.lp_out);
+            self.hp_out.clear();
+            self.hp.push_chunk(&self.lp_out, &mut self.hp_out);
+
+            // Scatter each member's conditioned column back out and run
+            // its scalar back half (delineation, qualification).
+            for &i in &active {
+                let lane = members[i].lane;
+                self.hp_col.clear();
+                self.hp_col.extend(self.hp_out.iter().map(|row| row[lane]));
+                let m = &mut members[i];
+                m.stream.lane_hop_finish(&self.hp_col, m.out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_physio::path::Position;
+    use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+    use cardiotouch_physio::subject::Population;
+
+    const FS: f64 = 250.0;
+
+    fn recording(seed: u64) -> PairedRecording {
+        let population = Population::reference_five();
+        PairedRecording::generate(
+            &population.subjects()[seed as usize % 5],
+            Position::One,
+            50_000.0,
+            &Protocol::paper_default(),
+            seed,
+        )
+        .unwrap()
+    }
+
+    fn qkey(q: &QualifiedBeat) -> (usize, u64, u64, u64, u64) {
+        (
+            q.report.r,
+            q.report.pep_s.to_bits(),
+            q.report.lvet_s.to_bits(),
+            q.report.sv_kubicek_ml.to_bits(),
+            q.report.co_l_per_min.to_bits(),
+        )
+    }
+
+    /// Four different subjects through one 4-wide group, chunked
+    /// unevenly: every member's emissions and final snapshot bytes must
+    /// equal its never-grouped scalar reference.
+    #[test]
+    fn grouped_sessions_are_bitwise_identical_to_scalar() {
+        let cfg = PipelineConfig::paper_default(FS);
+        let recs: Vec<_> = (0..4).map(recording).collect();
+        let mut group = LaneBeatGroup::<4>::new(cfg).unwrap();
+        let mut streams: Vec<_> = (0..4).map(|_| BeatStream::new(cfg).unwrap()).collect();
+        for s in &streams {
+            group.adopt(s).unwrap();
+        }
+        let mut outs: Vec<Vec<QualifiedBeat>> = vec![Vec::new(); 4];
+
+        let mut refs: Vec<_> = (0..4).map(|_| BeatStream::new(cfg).unwrap()).collect();
+        let mut ref_outs: Vec<Vec<QualifiedBeat>> = vec![Vec::new(); 4];
+
+        let n = recs[0].device_ecg().len();
+        let chunk = 333;
+        let mut fed = 0;
+        while fed < n {
+            let hi = (fed + chunk).min(n);
+            for k in 0..4 {
+                let (e, z) = (&recs[k].device_ecg()[fed..hi], &recs[k].device_z()[fed..hi]);
+                streams[k].ingest_qualified(e, z).unwrap();
+                ref_outs[k].extend(refs[k].push_qualified(e, z).unwrap());
+            }
+            let mut s = streams.iter_mut();
+            let mut o = outs.iter_mut();
+            let mut members: Vec<LaneMember<'_>> = (0..4)
+                .map(|k| LaneMember::new(k, s.next().unwrap(), o.next().unwrap()))
+                .collect();
+            group.process_ready_hops(&mut members).unwrap();
+            assert!(members.iter().all(|m| !m.evicted), "clean input evicted");
+            fed = hi;
+        }
+        for k in 0..4 {
+            assert_eq!(outs[k].len(), ref_outs[k].len(), "lane {k} beat count");
+            for (a, b) in outs[k].iter().zip(&ref_outs[k]) {
+                assert_eq!(qkey(a), qkey(b), "lane {k}");
+            }
+            group.release(k, &mut streams[k]).unwrap();
+            assert_eq!(
+                streams[k].snapshot().to_bytes(),
+                refs[k].snapshot().to_bytes(),
+                "lane {k} snapshot bytes"
+            );
+        }
+    }
+
+    /// A contact loss on one member forces a warm restart: the group
+    /// must evict exactly that member and the caller's scalar drain
+    /// must keep it bitwise identical to a never-grouped stream.
+    #[test]
+    fn warm_restart_evicts_one_member_bitwise() {
+        let cfg = PipelineConfig::paper_default(FS);
+        let recs: Vec<_> = (0..2).map(recording).collect();
+        let mut ecg0 = recs[0].device_ecg().to_vec();
+        let mut z0 = recs[0].device_z().to_vec();
+        // 3 s dropout at 8 s on member 0 only.
+        let (lo, hi) = ((8.0 * FS) as usize, (11.0 * FS) as usize);
+        for i in lo..hi {
+            ecg0[i] = f64::NAN;
+            z0[i] = f64::NAN;
+        }
+        let channels: Vec<(&[f64], &[f64])> =
+            vec![(&ecg0, &z0), (recs[1].device_ecg(), recs[1].device_z())];
+
+        let mut group = LaneBeatGroup::<2>::new(cfg).unwrap();
+        let mut streams: Vec<_> = (0..2).map(|_| BeatStream::new(cfg).unwrap()).collect();
+        for s in &streams {
+            group.adopt(s).unwrap();
+        }
+        let mut outs: Vec<Vec<QualifiedBeat>> = vec![Vec::new(); 2];
+        let mut gone = [false; 2];
+
+        let mut refs: Vec<_> = (0..2).map(|_| BeatStream::new(cfg).unwrap()).collect();
+        let mut ref_outs: Vec<Vec<QualifiedBeat>> = vec![Vec::new(); 2];
+
+        let n = channels[0].0.len();
+        let mut fed = 0;
+        while fed < n {
+            let hi_i = (fed + 125).min(n);
+            for k in 0..2 {
+                let (e, z) = (&channels[k].0[fed..hi_i], &channels[k].1[fed..hi_i]);
+                if gone[k] {
+                    outs[k].extend(streams[k].push_qualified(e, z).unwrap());
+                } else {
+                    streams[k].ingest_qualified(e, z).unwrap();
+                }
+                ref_outs[k].extend(refs[k].push_qualified(e, z).unwrap());
+            }
+            let lanes: Vec<usize> = (0..2).filter(|&k| !gone[k]).collect();
+            if !lanes.is_empty() {
+                let mut members = Vec::new();
+                let mut rest: &mut [BeatStream] = &mut streams;
+                let mut outs_rest: &mut [Vec<QualifiedBeat>] = &mut outs;
+                let mut taken = 0;
+                for &k in &lanes {
+                    let (s_head, s_tail) = rest.split_at_mut(k + 1 - taken);
+                    let (o_head, o_tail) = outs_rest.split_at_mut(k + 1 - taken);
+                    members.push(LaneMember::new(
+                        k,
+                        s_head.last_mut().unwrap(),
+                        o_head.last_mut().unwrap(),
+                    ));
+                    rest = s_tail;
+                    outs_rest = o_tail;
+                    taken = k + 1;
+                }
+                group.process_ready_hops(&mut members).unwrap();
+                let evicted: Vec<usize> = members
+                    .iter()
+                    .filter(|m| m.evicted)
+                    .map(|m| m.lane)
+                    .collect();
+                drop(members);
+                for k in evicted {
+                    gone[k] = true;
+                    // Drain hops the group skipped, scalar.
+                    outs[k].extend(streams[k].push_qualified(&[], &[]).unwrap());
+                }
+            }
+            fed = hi_i;
+        }
+        assert!(gone[0], "the faulted member was never evicted");
+        assert!(!gone[1], "the clean member must stay grouped");
+        for k in 0..2 {
+            if !gone[k] {
+                group.release(k, &mut streams[k]).unwrap();
+            }
+            assert_eq!(outs[k].len(), ref_outs[k].len(), "lane {k} count");
+            for (a, b) in outs[k].iter().zip(&ref_outs[k]) {
+                assert_eq!(qkey(a), qkey(b), "lane {k}");
+            }
+            assert_eq!(
+                streams[k].snapshot().to_bytes(),
+                refs[k].snapshot().to_bytes(),
+                "lane {k} snapshot"
+            );
+        }
+    }
+
+    #[test]
+    fn adopt_rejects_desynchronized_sessions_and_full_groups() {
+        let cfg = PipelineConfig::paper_default(FS);
+        let mut group = LaneBeatGroup::<2>::new(cfg).unwrap();
+        let fresh = BeatStream::new(cfg).unwrap();
+        let mut aged = BeatStream::new(cfg).unwrap();
+        let rec = recording(0);
+        // Age one stream a full hop so its sync key differs.
+        aged.push_qualified(&rec.device_ecg()[..250], &rec.device_z()[..250])
+            .unwrap();
+        group.adopt(&fresh).unwrap();
+        assert!(group.adopt(&aged).is_err(), "key mismatch must reject");
+        let fresh2 = BeatStream::new(cfg).unwrap();
+        group.adopt(&fresh2).unwrap();
+        assert_eq!(group.vacancy(), 0);
+        let fresh3 = BeatStream::new(cfg).unwrap();
+        assert!(group.adopt(&fresh3).is_err(), "full group must reject");
+        // An emptied group re-seeds from any geometry.
+        let mut sink = BeatStream::new(cfg).unwrap();
+        group.release(0, &mut sink).unwrap();
+        group.release(1, &mut sink).unwrap();
+        assert_eq!(group.sync_key(), None);
+        assert!(group.adopt(&aged).is_ok());
+    }
+}

@@ -1,0 +1,244 @@
+//! Property: grouping sessions into a [`LaneBeatGroup`] mid-recording
+//! and ungrouping them later is invisible. For a random recording seed,
+//! random pipeline-config knobs, a ragged group size (1..=K members in
+//! a K-wide group), random join/leave hops, random push chunking and an
+//! optional soft-fault scenario on one member, every member must emit
+//! bitwise-identical [`QualifiedBeat`]s — and end in a byte-identical
+//! serialized state — to a stream that was never laned.
+//!
+//! This is the lane engine's contract stated over a much wider input
+//! space than the unit tests in [`cardiotouch::lanes`] or the 13-case
+//! conformance corpus: the scheduler may group and ungroup sessions at
+//! any tick without perturbing a single output bit.
+
+use std::sync::{Arc, OnceLock};
+
+use cardiotouch::config::PipelineConfig;
+use cardiotouch::lanes::{LaneBeatGroup, LaneMember};
+use cardiotouch::stream::{BeatStream, QualifiedBeat};
+use cardiotouch_physio::faults::FaultScenario;
+use cardiotouch_physio::path::Position;
+use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+use cardiotouch_physio::subject::Population;
+use proptest::prelude::*;
+
+const FS: f64 = 250.0;
+/// Scheduler-width groups; member counts below `K` exercise the ragged
+/// (partially occupied) path.
+const K: usize = 8;
+
+type Channels = (Arc<Vec<f64>>, Arc<Vec<f64>>);
+
+/// One clean 30 s paper-protocol recording per seed, cached (synthesis
+/// dominates the property's runtime; proptest revisits seeds).
+fn recording(seed: u64) -> Channels {
+    static CACHE: OnceLock<std::sync::Mutex<std::collections::HashMap<u64, Channels>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()));
+    let mut map = cache.lock().unwrap();
+    map.entry(seed)
+        .or_insert_with(|| {
+            let population = Population::reference_five();
+            let subject = &population.subjects()[seed as usize % population.subjects().len()];
+            let rec = PairedRecording::generate(
+                subject,
+                Position::One,
+                50_000.0,
+                &Protocol::paper_default(),
+                seed,
+            )
+            .unwrap();
+            (
+                Arc::new(rec.device_ecg().to_vec()),
+                Arc::new(rec.device_z().to_vec()),
+            )
+        })
+        .clone()
+}
+
+/// Bitwise equality for emissions (raw f64 bits — `==` would conflate
+/// -0.0 with 0.0 and reject NaN; the lane contract is byte identity).
+fn bitwise_eq(a: &QualifiedBeat, b: &QualifiedBeat) -> bool {
+    let (ra, rb) = (&a.report, &b.report);
+    ra.r == rb.r
+        && ra.b == rb.b
+        && ra.c == rb.c
+        && ra.x == rb.x
+        && ra.pep_s.to_bits() == rb.pep_s.to_bits()
+        && ra.lvet_s.to_bits() == rb.lvet_s.to_bits()
+        && ra.hr_bpm.to_bits() == rb.hr_bpm.to_bits()
+        && ra.dzdt_max.to_bits() == rb.dzdt_max.to_bits()
+        && ra.sv_kubicek_ml.to_bits() == rb.sv_kubicek_ml.to_bits()
+        && ra.sv_sramek_ml.to_bits() == rb.sv_sramek_ml.to_bits()
+        && ra.co_l_per_min.to_bits() == rb.co_l_per_min.to_bits()
+        && ra.physiological == rb.physiological
+        && a.state == b.state
+        && a.sqi.map(f64::to_bits) == b.sqi.map(f64::to_bits)
+}
+
+/// Pushes `[lo, hi)` of the channels into `stream` in `chunk`-sized
+/// pieces, collecting every emission.
+fn push_range(
+    stream: &mut BeatStream,
+    ecg: &[f64],
+    z: &[f64],
+    lo: usize,
+    hi: usize,
+    chunk: usize,
+) -> Vec<QualifiedBeat> {
+    let mut out = Vec::new();
+    for (e, zc) in ecg[lo..hi].chunks(chunk).zip(z[lo..hi].chunks(chunk)) {
+        out.extend(stream.push_qualified(e, zc).unwrap());
+    }
+    out
+}
+
+/// Per-member feed: the shared recording rotated by a member-unique
+/// offset (the same wrap-replay trick the scheduler tests use), with an
+/// optional soft-fault scenario burned into member 0's channels.
+fn member_channels(ecg: &[f64], z: &[f64], member: usize, fault_seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let len = ecg.len();
+    let off = member * 977 % len;
+    let rot = |src: &[f64]| {
+        let mut v = Vec::with_capacity(len);
+        v.extend_from_slice(&src[off..]);
+        v.extend_from_slice(&src[..off]);
+        v
+    };
+    let (mut e, mut zc) = (rot(ecg), rot(z));
+    // ~1/3 of cases soft-fault member 0 mid-recording; its warm restart
+    // must evict it from the group without touching its neighbours.
+    if member == 0 && fault_seed % 3 == 0 {
+        FaultScenario::random(fault_seed, len, FS)
+            .apply_chunk(0, &mut e, &mut zc)
+            .unwrap();
+    }
+    (e, zc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn lane_group_join_leave_is_bitwise_invisible(
+        rec_seed in 0u64..3,
+        fault_seed in any::<u64>(),
+        members in 1usize..=K,
+        join_hop in 0usize..25,
+        leave_frac in 0.0f64..=1.0,
+        chunk in 50usize..=500,
+        // Negative draws mean "no SQI gate" (the vendored proptest has
+        // no Option strategy).
+        sqi_gate in -1.0f64..0.9,
+        reject_outliers in any::<bool>(),
+    ) {
+        let (ecg, z) = recording(rec_seed);
+        let hop = FS as usize;
+        let total_hops = ecg.len() / hop;
+        let join = join_hop * hop;
+        let leave_hop = join_hop + ((leave_frac * (total_hops - join_hop) as f64) as usize);
+        let leave = (leave_hop * hop).min(ecg.len());
+
+        let mut config = PipelineConfig::paper_default(FS)
+            .with_outlier_rejection(reject_outliers);
+        if sqi_gate >= 0.0 {
+            config = config.with_sqi_gate(sqi_gate);
+        }
+
+        let feeds: Vec<(Vec<f64>, Vec<f64>)> = (0..members)
+            .map(|m| member_channels(&ecg, &z, m, fault_seed))
+            .collect();
+
+        // References: one never-grouped stream per member, pushed with
+        // the exact same segment-relative chunk boundaries the grouped
+        // run will use, so the only difference under test is laning.
+        let mut expected_beats = Vec::with_capacity(members);
+        let mut expected_bytes = Vec::with_capacity(members);
+        for (e, zc) in &feeds {
+            let mut reference = BeatStream::new(config).unwrap();
+            let mut beats = push_range(&mut reference, e, zc, 0, join, chunk);
+            beats.extend(push_range(&mut reference, e, zc, join, leave, chunk));
+            beats.extend(push_range(&mut reference, e, zc, leave, e.len(), chunk));
+            expected_beats.push(beats);
+            expected_bytes.push(reference.snapshot().to_bytes());
+        }
+
+        // Subjects: scalar to `join`, grouped to `leave` (or until a
+        // warm restart evicts them), scalar to the end.
+        let mut streams = Vec::with_capacity(members);
+        let mut outs: Vec<Vec<QualifiedBeat>> = Vec::with_capacity(members);
+        for (e, zc) in &feeds {
+            let mut stream = BeatStream::new(config).unwrap();
+            outs.push(push_range(&mut stream, e, zc, 0, join, chunk));
+            streams.push(stream);
+        }
+
+        let mut group = LaneBeatGroup::<K>::new(config).unwrap();
+        let mut lane_of = vec![usize::MAX; members];
+        for (i, stream) in streams.iter().enumerate() {
+            // Mirrors the scheduler: restart-pending or desynchronized
+            // sessions simply stay on the scalar path.
+            if stream.restart_pending() {
+                continue;
+            }
+            if let Ok(lane) = group.adopt(stream) {
+                lane_of[i] = lane;
+            }
+        }
+        for start in (join..leave).step_by(chunk) {
+            let end = (start + chunk).min(leave);
+            for (i, stream) in streams.iter_mut().enumerate() {
+                let (e, zc) = &feeds[i];
+                if lane_of[i] != usize::MAX {
+                    stream.ingest_qualified(&e[start..end], &zc[start..end]).unwrap();
+                } else {
+                    outs[i].extend(stream.push_qualified(&e[start..end], &zc[start..end]).unwrap());
+                }
+            }
+            let mut lane_members: Vec<LaneMember<'_>> = streams
+                .iter_mut()
+                .zip(outs.iter_mut())
+                .enumerate()
+                .filter(|(i, _)| lane_of[*i] != usize::MAX)
+                .map(|(i, (s, o))| LaneMember::new(lane_of[i], s, o))
+                .collect();
+            if lane_members.is_empty() {
+                continue;
+            }
+            group.process_ready_hops(&mut lane_members).unwrap();
+            let evicted: Vec<usize> = lane_members
+                .iter()
+                .filter(|m| m.evicted)
+                .map(|m| m.lane)
+                .collect();
+            drop(lane_members);
+            for lane in evicted {
+                let i = lane_of.iter().position(|&l| l == lane).unwrap();
+                lane_of[i] = usize::MAX;
+                // Drain hops buffered during eviction, then stay scalar.
+                outs[i].extend(streams[i].push_qualified(&[], &[]).unwrap());
+            }
+        }
+
+        for (i, stream) in streams.iter_mut().enumerate() {
+            if lane_of[i] != usize::MAX {
+                group.release(lane_of[i], stream).unwrap();
+                outs[i].extend(stream.push_qualified(&[], &[]).unwrap());
+            }
+            let (e, zc) = &feeds[i];
+            outs[i].extend(push_range(stream, e, zc, leave, e.len(), chunk));
+        }
+
+        for (i, stream) in streams.iter().enumerate() {
+            prop_assert_eq!(outs[i].len(), expected_beats[i].len());
+            for (j, (g, e)) in outs[i].iter().zip(&expected_beats[i]).enumerate() {
+                prop_assert!(
+                    bitwise_eq(g, e),
+                    "member {} beat {} diverges: {:?} vs {:?}",
+                    i, j, g, e
+                );
+            }
+            prop_assert_eq!(stream.snapshot().to_bytes(), expected_bytes[i].clone());
+        }
+    }
+}

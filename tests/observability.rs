@@ -57,8 +57,18 @@ fn scheduler_run_populates_hop_quantiles_and_beat_counters() {
 
     let snap = obs::snapshot();
     let hops = |s: &obs::Snapshot| s.histogram("core.scheduler.hop_us").map_or(0, |h| h.count);
-    // 4 sessions × 8 ticks = 32 new hop latency samples.
-    assert!(hops(&snap) >= hops(&before) + 32, "hop histogram not fed");
+    let first_hops = |s: &obs::Snapshot| {
+        s.histogram("core.scheduler.first_hop_us")
+            .map_or(0, |h| h.count)
+    };
+    // 4 sessions × 8 ticks = 32 hop latency samples, de-skewed: the
+    // warmup-skewed first tick (4 samples) lands in `first_hop_us`, the
+    // 7 steady-state ticks (28 samples) in `hop_us`.
+    assert!(hops(&snap) >= hops(&before) + 28, "hop histogram not fed");
+    assert!(
+        first_hops(&snap) >= first_hops(&before) + 4,
+        "first-tick hop histogram not fed"
+    );
     let hop = snap.histogram("core.scheduler.hop_us").unwrap();
     assert!(hop.p50 > 0.0 && hop.p99 >= hop.p50 && hop.p999 >= hop.p99);
 
