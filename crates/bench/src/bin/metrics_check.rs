@@ -16,9 +16,14 @@
 //! section; for those the `dsp.lanes.*` instrumentation must show lane
 //! groups actually formed (groups and grouped sessions fired, the
 //! scalar-fallback counter registered) and the declared lane-FIR
-//! throughput multiple must clear its own floor. Whenever the document
-//! declares an observability-overhead budget (schema v6+), the
-//! measured full-run overhead must sit inside it.
+//! throughput multiple must clear its own floor. Documents produced
+//! with `perf_bench --ingest` carry an `ingest` section; for those the
+//! wire front-door counters (`ingest.*`) and the BLE parameter-uplink
+//! counters (`device.uplink.*`) must be live, the declared decode
+//! throughput must clear its real-time floor, and the document must
+//! attest an alloc-free steady state. Whenever the document declares
+//! an observability-overhead budget (schema v6+), the measured
+//! full-run overhead must sit inside it.
 
 use std::process::ExitCode;
 
@@ -81,6 +86,30 @@ const LANE_REQUIRED_COUNTERS: &[&str] = &["dsp.lanes.groups", "dsp.lanes.session
 /// (a session count that divides evenly by the lane width leaves no
 /// scalar remainder).
 const LANE_PRESENT_COUNTERS: &[&str] = &["dsp.lanes.scalar_fallbacks"];
+
+/// Counters the wire front door and the BLE parameter uplink must have
+/// incremented whenever the document carries an `ingest` section (the
+/// run was `perf_bench --ingest`): its lossy pass corrupts and drops
+/// frames, so decoder resyncs and reorder parking must have fired, and
+/// the uplink pass loses notifications and corrupts the received byte
+/// stream, so the link and resync counters must all be live.
+const INGEST_REQUIRED_COUNTERS: &[&str] = &[
+    "ingest.frames",
+    "ingest.bytes",
+    "ingest.resyncs",
+    "ingest.reordered",
+    "ingest.log_appended",
+    "device.uplink.delivered",
+    "device.uplink.dropped",
+    "device.uplink.resyncs",
+    "device.uplink.records_decoded",
+    "device.uplink.bytes_skipped",
+];
+
+/// Ingest counters that must be registered but may legitimately be
+/// zero (a short lossy pass can end with every gap still parked in the
+/// reorder window, so no frame was declared lost yet).
+const INGEST_PRESENT_COUNTERS: &[&str] = &["ingest.dropped"];
 
 fn check(doc: &Value) -> Result<(), String> {
     let schema = doc
@@ -303,6 +332,47 @@ fn check(doc: &Value) -> Result<(), String> {
             ));
         }
         eprintln!("lanes run ok: width {width:.0}, FIR multiple {multiple:.2}x (floor {floor}x)");
+    }
+    if let Some(ingest) = doc.get("ingest") {
+        for name in INGEST_REQUIRED_COUNTERS {
+            let v = counters
+                .get(*name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("counter `{name}` missing from an ingest run"))?;
+            if v <= 0.0 {
+                return Err(format!(
+                    "counter `{name}` is {v} in an ingest run, expected > 0"
+                ));
+            }
+        }
+        for name in INGEST_PRESENT_COUNTERS {
+            if counters.get(*name).and_then(Value::as_f64).is_none() {
+                return Err(format!("counter `{name}` missing from an ingest run"));
+            }
+        }
+        let multiple = ingest
+            .get("realtime_multiple")
+            .and_then(Value::as_f64)
+            .ok_or("missing ingest.realtime_multiple")?;
+        let floor = ingest
+            .get("realtime_floor")
+            .and_then(Value::as_f64)
+            .ok_or("missing ingest.realtime_floor")?;
+        if !multiple.is_finite() || multiple < floor {
+            return Err(format!(
+                "ingest decode at {multiple:.1}x real time is below the {floor}x floor"
+            ));
+        }
+        if !matches!(
+            ingest.get("alloc_free_steady_state"),
+            Some(Value::Bool(true))
+        ) {
+            return Err("ingest.alloc_free_steady_state is not true".into());
+        }
+        eprintln!(
+            "ingest run ok: decode {multiple:.0}x real time (floor {floor}x), \
+             alloc-free steady state attested"
+        );
     }
     eprintln!(
         "metrics snapshot ok: {} counters, {} histograms, obs overhead {overhead:.2} %",

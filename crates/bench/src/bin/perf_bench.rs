@@ -45,6 +45,19 @@
 //! aborts if the lane FIR fails to reach [`LANE_FIR_MULTIPLE_FLOOR`]×
 //! scalar throughput: the shared tap loop with `LANE_WIDTH` independent
 //! accumulators is the whole point of the layout.
+//!
+//! `--ingest` adds the wire front-door leg (schema v7 `ingest`
+//! section): an [`INGEST_SESSIONS`]-session multiplexed wire stream
+//! decoded by `cardiotouch::wire::FrontDoor` (frames/sec, decode
+//! ns/frame, real-time multiple against the mux's aggregate sample
+//! rate, with an alloc-free steady-state assertion on the decoder
+//! carry + reassembly scratch capacity), a faulted pass through a
+//! seeded lossy link into the logging door (so the `ingest.*` registry
+//! counters — resyncs, drops, log appends — are all live) whose ingest
+//! log is read back and must replay every accepted frame, and a BLE
+//! parameter-uplink pass (`LossyLink` + `decode_stream_resync`) so the
+//! `device.uplink.*` counters fire. The run aborts below
+//! [`INGEST_REALTIME_FLOOR`]× real time.
 
 use std::hint::black_box;
 use std::sync::Arc;
@@ -56,6 +69,10 @@ use cardiotouch::fleet::Fleet;
 use cardiotouch::pipeline::Pipeline;
 use cardiotouch::scheduler::{SessionFeed, SessionScheduler, LANE_WIDTH};
 use cardiotouch::stream::{BeatStream, ReanalysisBeatStream};
+use cardiotouch::wire::FrontDoor;
+use cardiotouch_device::uplink::{
+    decode_stream_resync, missing_sequences, LossyLink, ParameterRecord,
+};
 use cardiotouch_dsp::design_cache;
 use cardiotouch_dsp::diff;
 use cardiotouch_dsp::streaming::lanes::{LaneBiquad, LaneCascade, LaneDerivative, LaneFir};
@@ -64,6 +81,7 @@ use cardiotouch_dsp::streaming::{
 };
 use cardiotouch_dsp::window::Window;
 use cardiotouch_dsp::zero_phase::{filtfilt_fir_into, filtfilt_iir_into, ZeroPhaseScratch};
+use cardiotouch_ingest::{LogReader, LossyWire, SessionEncoder, WireDecoder};
 use cardiotouch_physio::faults::FaultScenario;
 use cardiotouch_physio::path::Position;
 use cardiotouch_physio::scenario::{PairedRecording, Protocol};
@@ -78,6 +96,20 @@ const DEGRADED_OVERHEAD_BUDGET_PCT: f64 = 150.0;
 
 /// Shard count for the `--fleet` scaling leg.
 const FLEET_SHARDS: usize = 4;
+
+/// Concurrent wire sessions multiplexed into the `--ingest` leg's
+/// encoded byte stream.
+const INGEST_SESSIONS: usize = 64;
+
+/// Samples per wire frame on the `--ingest` leg (0.5 s at 250 Hz, the
+/// same framing the replay-equivalence conformance leg pins).
+const INGEST_FRAME_SAMPLES: usize = 125;
+
+/// Minimum decode throughput of the `--ingest` leg, expressed as a
+/// multiple of the mux's aggregate real-time sample rate
+/// (`INGEST_SESSIONS` × 250 Hz). The front door exists to stand in
+/// front of a fleet, so decoding barely at line rate is a failure.
+const INGEST_REALTIME_FLOOR: f64 = 10.0;
 
 /// Hard ceiling on the throughput cost of the observability wiring on
 /// the streaming hot path, enforced on full (non-smoke) runs. The
@@ -211,6 +243,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut with_faults = false;
     let mut with_fleet = false;
     let mut with_lanes = false;
+    let mut with_ingest = false;
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             smoke = true;
@@ -222,6 +255,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             with_fleet = true;
         } else if arg == "--lanes" {
             with_lanes = true;
+        } else if arg == "--ingest" {
+            with_ingest = true;
         } else {
             out_path = Some(arg);
         }
@@ -807,6 +842,211 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None
     };
 
+    // --- Wire ingest front door (gated behind --ingest) -------------------
+    // An INGEST_SESSIONS-wide multiplexed wire stream: per time slot,
+    // one sequence-numbered frame per session, round-robin, each session
+    // reading the shared template at its own phase offset. The timed
+    // kernel decodes the whole mux through a fresh front door per
+    // iteration; a persistent door then proves the steady state is
+    // alloc-free (carry + scratch capacity stable across a second,
+    // unevenly chunked pass); a lossy logged pass lights up the
+    // `ingest.*` counters and replays its own log; and a BLE
+    // parameter-uplink pass exercises `device.uplink.*`.
+    let ingest_json = if with_ingest {
+        let ingest_secs = if smoke { 5 } else { 30 };
+        let slots = ingest_secs * hop / INGEST_FRAME_SAMPLES;
+        let mut encoders: Vec<SessionEncoder> = (0..INGEST_SESSIONS)
+            .map(|s| SessionEncoder::new(u32::try_from(s).expect("session id fits u32")))
+            .collect();
+        let mux = |encoders: &mut [SessionEncoder],
+                   first_slot: usize|
+         -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+            let mut wire = Vec::new();
+            for slot in first_slot..first_slot + slots {
+                for (s, enc) in encoders.iter_mut().enumerate() {
+                    let off = (s * 977 + slot * INGEST_FRAME_SAMPLES) % (n - INGEST_FRAME_SAMPLES);
+                    enc.push_frame(
+                        &ecg[off..off + INGEST_FRAME_SAMPLES],
+                        &z[off..off + INGEST_FRAME_SAMPLES],
+                        &mut wire,
+                    )?;
+                }
+            }
+            Ok(wire)
+        };
+        let wire = mux(&mut encoders, 0)?;
+        let mux_frames = (INGEST_SESSIONS * slots) as u64;
+        let mux_samples = INGEST_SESSIONS * slots * INGEST_FRAME_SAMPLES;
+
+        let decode = time_kernel(
+            "ingest_frontdoor_decode_mux64",
+            mux_samples,
+            min_elapsed,
+            || {
+                let mut door = FrontDoor::new();
+                let mut acc = 0.0;
+                door.push(&wire, |_, e, zc| {
+                    acc += e[0] + zc[0];
+                });
+                black_box(acc);
+                assert_eq!(
+                    door.decode_stats().frames,
+                    mux_frames,
+                    "a clean mux must decode losslessly"
+                );
+            },
+        );
+        let samples_per_sec = decode.samples_per_sec();
+        let frames_per_sec = samples_per_sec / INGEST_FRAME_SAMPLES as f64;
+        let decode_ns_per_frame = 1e9 / frames_per_sec.max(1e-12);
+        let realtime_multiple = samples_per_sec / (INGEST_SESSIONS as f64 * fs);
+        assert!(
+            realtime_multiple >= INGEST_REALTIME_FLOOR,
+            "ingest decode at {realtime_multiple:.1}x real time is below the \
+             {INGEST_REALTIME_FLOOR:.0}x floor for a {INGEST_SESSIONS}-session mux"
+        );
+
+        // Alloc-free steady state: same door, two unevenly chunked
+        // passes (the encoders keep counting, so sequences stay
+        // continuous); any capacity growth on the second pass means a
+        // steady-state allocation crept in.
+        let mut sink = |_: u32, e: &[f64], zc: &[f64]| {
+            black_box(e[0] + zc[0]);
+        };
+        let mut steady = FrontDoor::new();
+        for chunk in wire.chunks(997) {
+            steady.push(chunk, &mut sink);
+        }
+        let warm_capacity = steady.buffer_capacity();
+        let wire_b = mux(&mut encoders, slots)?;
+        for chunk in wire_b.chunks(997) {
+            steady.push(chunk, &mut sink);
+        }
+        let steady_capacity = steady.buffer_capacity();
+        assert_eq!(
+            steady_capacity, warm_capacity,
+            "front-door steady state allocated: capacity {warm_capacity} -> {steady_capacity}"
+        );
+        let alloc_free = steady_capacity == warm_capacity;
+
+        // Lossy + logged pass: the clean mux re-framed through a seeded
+        // fault link into a logging door, then the log read back.
+        let mut link = LossyWire::new(0xC71C, 0.02, 0.02);
+        let mut lossy = Vec::new();
+        {
+            let mut splitter = WireDecoder::new();
+            splitter.push(&wire, |f| {
+                link.transmit(f.as_bytes(), &mut lossy);
+            });
+        }
+        let mut logged = FrontDoor::with_log();
+        for chunk in lossy.chunks(4096) {
+            logged.push(chunk, &mut sink);
+        }
+        let logged_dec = logged.decode_stats();
+        let logged_asm = logged.assembly_stats();
+        assert!(
+            logged_dec.resyncs > 0,
+            "the lossy pass corrupted nothing (seed drift?)"
+        );
+        let log = logged.log_bytes().expect("logging door").to_vec();
+        let mut reader = LogReader::new(&log)?;
+        let mut replayed = 0u64;
+        while reader.next_frame().is_some() {
+            replayed += 1;
+        }
+        assert!(reader.error().is_none(), "ingest log failed to read back");
+        assert_eq!(
+            replayed, logged_dec.frames,
+            "the ingest log must replay every accepted frame"
+        );
+        let log_bytes_per_frame = log.len() as f64 / logged_dec.frames.max(1) as f64;
+
+        // BLE parameter uplink: records through the lossy notification
+        // link, periodic byte corruption, resynchronising decode.
+        let records: Vec<ParameterRecord> = (0..2000u16)
+            .map(|i| ParameterRecord {
+                sequence: i,
+                z0_ohm: 431.0,
+                lvet_ms: 294.0,
+                pep_ms: 104.0,
+                hr_bpm: 68.0,
+                valid: true,
+            })
+            .collect();
+        let mut ble = LossyLink::new(11, 0.05)?;
+        let mut rx = ble.transmit(&records);
+        for i in (137..rx.len()).step_by(997) {
+            rx[i] ^= 0x5A;
+        }
+        let (decoded, rstats) = decode_stream_resync(&rx);
+        assert!(
+            rstats.resyncs > 0 && !decoded.is_empty(),
+            "the uplink pass must decode through corruption"
+        );
+        let missing = missing_sequences(&decoded);
+
+        eprintln!(
+            "ingest: {INGEST_SESSIONS}-session mux decoded at {realtime_multiple:.0}x real time \
+             ({decode_ns_per_frame:.0} ns/frame), steady capacity {steady_capacity} B; lossy \
+             pass {} frames ({} resyncs, {} dropped), log {:.1} B/frame; uplink {} records \
+             ({} resyncs, {} missing)",
+            logged_dec.frames,
+            logged_dec.resyncs,
+            logged_asm.dropped,
+            log_bytes_per_frame,
+            decoded.len(),
+            rstats.resyncs,
+            missing.len()
+        );
+
+        let mut s = String::from("  \"ingest\": {\n");
+        s.push_str(&format!("    \"sessions\": {INGEST_SESSIONS},\n"));
+        s.push_str(&format!("    \"frame_samples\": {INGEST_FRAME_SAMPLES},\n"));
+        s.push_str(&format!("    \"mux_frames\": {mux_frames},\n"));
+        s.push_str(&format!("    \"wire_bytes\": {},\n", wire.len()));
+        s.push_str(&format!("    \"frames_per_sec\": {frames_per_sec:.0},\n"));
+        s.push_str(&format!("    \"samples_per_sec\": {samples_per_sec:.0},\n"));
+        s.push_str(&format!(
+            "    \"decode_ns_per_frame\": {decode_ns_per_frame:.1},\n"
+        ));
+        s.push_str(&format!(
+            "    \"realtime_multiple\": {realtime_multiple:.1},\n"
+        ));
+        s.push_str(&format!(
+            "    \"realtime_floor\": {INGEST_REALTIME_FLOOR:.1},\n"
+        ));
+        s.push_str(&format!(
+            "    \"steady_buffer_capacity\": {steady_capacity},\n"
+        ));
+        s.push_str(&format!("    \"alloc_free_steady_state\": {alloc_free},\n"));
+        s.push_str(&format!(
+            "    \"log_bytes_per_frame\": {log_bytes_per_frame:.1},\n"
+        ));
+        s.push_str("    \"lossy\": {\n");
+        s.push_str(&format!(
+            "      \"frames_decoded\": {},\n",
+            logged_dec.frames
+        ));
+        s.push_str(&format!("      \"resyncs\": {},\n", logged_dec.resyncs));
+        s.push_str(&format!("      \"reordered\": {},\n", logged_asm.reordered));
+        s.push_str(&format!("      \"dropped\": {}\n", logged_asm.dropped));
+        s.push_str("    },\n");
+        s.push_str("    \"uplink\": {\n");
+        s.push_str(&format!("      \"records_sent\": {},\n", records.len()));
+        s.push_str(&format!("      \"delivered\": {},\n", ble.delivered()));
+        s.push_str(&format!("      \"dropped\": {},\n", ble.dropped()));
+        s.push_str(&format!("      \"records_decoded\": {},\n", decoded.len()));
+        s.push_str(&format!("      \"resyncs\": {},\n", rstats.resyncs));
+        s.push_str(&format!("      \"missing_reported\": {}\n", missing.len()));
+        s.push_str("    }\n");
+        s.push_str("  },\n");
+        kernels.push(decode);
+        Some(s)
+    } else {
+        None
+    };
+
     // --- End-to-end study (the parallelized grid) -----------------------
     let study_config = StudyConfig {
         protocol: Protocol {
@@ -846,7 +1086,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Emit ------------------------------------------------------------
     let date = today_iso();
     let mut json = String::from("{\n");
-    json.push_str("  \"schema_version\": 6,\n");
+    json.push_str("  \"schema_version\": 7,\n");
     json.push_str(&format!("  \"date\": \"{date}\",\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!(
@@ -958,6 +1198,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         json.push_str(f);
     }
     if let Some(f) = &faults_json {
+        json.push_str(f);
+    }
+    if let Some(f) = &ingest_json {
         json.push_str(f);
     }
     json.push_str(&format!(

@@ -67,6 +67,15 @@ pub enum Command {
         /// Fault-scenario spec injected into every session's feed
         /// (see `FAULTS` in [`USAGE`]).
         faults: Option<String>,
+        /// Serve through the encoded wire front door
+        /// (`cardiotouch::wire`): sessions are framed, multiplexed and
+        /// decoded instead of fed as in-memory vectors.
+        wire: bool,
+        /// Frame drop probability on the simulated lossy wire, 0..=1.
+        wire_loss: f64,
+        /// Per-frame bit-corruption probability on the simulated lossy
+        /// wire, 0..=1.
+        wire_corrupt: f64,
     },
     /// Run the conformance suite: differential batch/stream testing
     /// over the pinned corpus, golden-vector drift check and the
@@ -111,7 +120,8 @@ USAGE:
                        [--faults SPEC]
   cardiotouch serve-sim [--sessions N] [--threads N] [--shards N]
                        [--seconds S] [--seed N] [--metrics-out FILE]
-                       [--faults SPEC]
+                       [--faults SPEC] [--wire] [--wire-loss P]
+                       [--wire-corrupt P]
   cardiotouch conformance [--golden DIR] [--write-golden]
                        [--acc-out FILE]
   cardiotouch power
@@ -132,6 +142,15 @@ Sharding: serve-sim --shards N serves the fleet from N worker shards,
 each a dedicated thread owning its own scheduler slab with bounded
 ingest and per-shard metrics (core.fleet.shard<i>.*); without --shards
 one scheduler fans sessions over the rayon pool instead.
+
+Wire: serve-sim --wire drives the fleet through the encoded wire
+protocol instead of in-memory vectors — every session's samples are
+framed (session-tagged, sequence-numbered, CRC-trailed), multiplexed
+into one byte stream and decoded by the zero-copy ingest front door
+into shard mailboxes. --wire-loss / --wire-corrupt put a seeded lossy
+link on the wire (frame drops and bit flips; the decoder resyncs and
+the reassembler NaN-fills, counted under ingest.*). Implies shard
+serving (--shards, default 2).
 
 FAULTS: --faults injects a deterministic fault scenario into every
 device chain. SPEC is `none`, `rand:SEED`, or comma-separated events
@@ -254,6 +273,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut seed = 7u64;
             let mut metrics_out = None;
             let mut faults = None;
+            let mut wire = false;
+            let mut wire_loss = 0.0f64;
+            let mut wire_corrupt = 0.0f64;
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
@@ -263,6 +285,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         .ok_or_else(|| ParseArgsError(format!("{flag} requires a value")))
                 };
                 match flag {
+                    "--wire" => {
+                        wire = true;
+                        i += 1;
+                        continue;
+                    }
                     "--sessions" => sessions = parse_num(flag, value(i)?)?,
                     "--threads" => threads = Some(parse_num(flag, value(i)?)?),
                     "--shards" => shards = Some(parse_num(flag, value(i)?)?),
@@ -270,6 +297,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                     "--seed" => seed = parse_num(flag, value(i)?)?,
                     "--metrics-out" => metrics_out = Some(value(i)?.clone()),
                     "--faults" => faults = Some(value(i)?.clone()),
+                    "--wire-loss" => wire_loss = parse_num(flag, value(i)?)?,
+                    "--wire-corrupt" => wire_corrupt = parse_num(flag, value(i)?)?,
                     other => return Err(unknown_flag("serve-sim", other)),
                 }
                 i += 2;
@@ -286,6 +315,28 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             if shards == Some(0) {
                 return Err(ParseArgsError("--shards must be at least 1".into()));
             }
+            for (flag, p) in [("--wire-loss", wire_loss), ("--wire-corrupt", wire_corrupt)] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ParseArgsError(format!("{flag} must be within 0..=1")));
+                }
+                if p > 0.0 && !wire {
+                    return Err(ParseArgsError(format!("{flag} requires --wire")));
+                }
+            }
+            if wire && faults.is_some() {
+                return Err(ParseArgsError(
+                    "--faults does not apply to --wire serving; \
+                     use --wire-loss / --wire-corrupt for wire faults"
+                        .into(),
+                ));
+            }
+            if wire && threads.is_some() {
+                return Err(ParseArgsError(
+                    "--threads does not apply to --wire serving \
+                     (the wire always drives shard workers; use --shards)"
+                        .into(),
+                ));
+            }
             Ok(Command::ServeSim {
                 sessions,
                 threads,
@@ -294,6 +345,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 seed,
                 metrics_out,
                 faults,
+                wire,
+                wire_loss,
+                wire_corrupt,
             })
         }
         "simulate" => {
@@ -539,7 +593,10 @@ mod tests {
                 seconds: 10,
                 seed: 7,
                 metrics_out: None,
-                faults: None
+                faults: None,
+                wire: false,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0
             }
         );
         assert_eq!(
@@ -562,7 +619,10 @@ mod tests {
                 seconds: 30,
                 seed: 9,
                 metrics_out: None,
-                faults: None
+                faults: None,
+                wire: false,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0
             }
         );
         assert!(p(&["serve-sim", "--sessions", "0"]).is_err());
@@ -638,7 +698,10 @@ mod tests {
                 seconds: 10,
                 seed: 7,
                 metrics_out: Some("m.json".into()),
-                faults: None
+                faults: None,
+                wire: false,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0
             }
         );
         assert_eq!(
@@ -650,7 +713,10 @@ mod tests {
                 seconds: 10,
                 seed: 7,
                 metrics_out: Some("m.jsonl".into()),
-                faults: None
+                faults: None,
+                wire: false,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0
             }
         );
         assert_eq!(
@@ -677,7 +743,10 @@ mod tests {
                 seconds: 10,
                 seed: 7,
                 metrics_out: None,
-                faults: Some("drop@5s+200ms".into())
+                faults: Some("drop@5s+200ms".into()),
+                wire: false,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0
             }
         );
         assert_eq!(
@@ -694,5 +763,58 @@ mod tests {
         assert!(p(&["study", "--faults"]).is_err());
         assert!(p(&["simulate", "--faults", "x"]).is_err());
         assert!(p(&["analyze", "rec.csv", "--faults", "x"]).is_err());
+    }
+
+    #[test]
+    fn wire_flags() {
+        assert_eq!(
+            p(&["serve-sim", "--wire", "--sessions", "64"]).unwrap(),
+            Command::ServeSim {
+                sessions: 64,
+                threads: None,
+                shards: None,
+                seconds: 10,
+                seed: 7,
+                metrics_out: None,
+                faults: None,
+                wire: true,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0
+            }
+        );
+        assert_eq!(
+            p(&[
+                "serve-sim",
+                "--wire",
+                "--wire-loss",
+                "0.05",
+                "--wire-corrupt",
+                "0.02",
+                "--shards",
+                "4"
+            ])
+            .unwrap(),
+            Command::ServeSim {
+                sessions: 256,
+                threads: None,
+                shards: Some(4),
+                seconds: 10,
+                seed: 7,
+                metrics_out: None,
+                faults: None,
+                wire: true,
+                wire_loss: 0.05,
+                wire_corrupt: 0.02
+            }
+        );
+        // value validation and flag interplay
+        assert!(p(&["serve-sim", "--wire-loss", "0.1"]).is_err()); // needs --wire
+        assert!(p(&["serve-sim", "--wire", "--wire-loss", "1.5"]).is_err());
+        assert!(p(&["serve-sim", "--wire", "--wire-corrupt", "-0.1"]).is_err());
+        assert!(p(&["serve-sim", "--wire", "--wire-loss"]).is_err());
+        assert!(p(&["serve-sim", "--wire", "--faults", "rand:1"]).is_err());
+        assert!(p(&["serve-sim", "--wire", "--threads", "2"]).is_err());
+        // plain vector serving is unaffected by a zero-prob default
+        assert!(p(&["serve-sim", "--wire-loss", "0"]).is_ok());
     }
 }

@@ -20,6 +20,7 @@ use cardiotouch::respiration::estimate_respiration_rate;
 use cardiotouch::scheduler::{SessionFeed, SessionScheduler};
 use cardiotouch_device::mcu::CycleBudget;
 use cardiotouch_device::power::{DutyCycle, PowerBudget};
+use cardiotouch_ingest::{LossyWire, SessionEncoder};
 use cardiotouch_physio::faults::FaultScenario;
 use cardiotouch_physio::path::Position;
 use cardiotouch_physio::scenario::{PairedRecording, Protocol};
@@ -73,7 +74,7 @@ fn run_conformance(
     write_golden: bool,
     acc_out: Option<&str>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    use cardiotouch_conformance::{accuracy, corpus, differential, golden};
+    use cardiotouch_conformance::{accuracy, corpus, differential, golden, replay};
     use std::path::Path;
 
     let dir = golden_dir.unwrap_or("conformance/golden");
@@ -140,7 +141,33 @@ fn run_conformance(
         println!("golden: {} cases conformant with {dir}", corpus_cases.len());
     }
 
-    // 3. Accuracy snapshot over the clean cases.
+    // 3. Replay equivalence: the corpus multiplexed onto the encoded
+    //    wire — clean wire vs the in-memory path, and ingest-log replay
+    //    vs the live run (clean and lossy legs), all bitwise.
+    let rep = replay::run_corpus(&corpus_cases)?;
+    println!(
+        "replay: {} sessions muxed, {} frames; lossy leg dropped {} corrupted {} \
+         (resyncs {}, log {} B)",
+        rep.cases.len(),
+        rep.frames_sent,
+        rep.wire_dropped,
+        rep.wire_corrupted,
+        rep.lossy_resyncs,
+        rep.lossy_log_bytes
+    );
+    let replay_violations = rep.violations();
+    if !replay_violations.is_empty() {
+        for v in &replay_violations {
+            eprintln!("  VIOLATION {v}");
+        }
+        return Err(format!(
+            "{} replay-equivalence violation(s)",
+            replay_violations.len()
+        )
+        .into());
+    }
+
+    // 4. Accuracy snapshot over the clean cases.
     let acc = accuracy::compute(&corpus_cases, "local")?;
     println!(
         "accuracy: {} clean cases, detection {:.4} ({}/{} beats)",
@@ -249,6 +276,9 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             seed,
             metrics_out,
             faults,
+            wire,
+            wire_loss,
+            wire_corrupt,
         } => {
             // A handful of distinct template recordings (subject × seed)
             // shared across the fleet: generation is the expensive part,
@@ -299,6 +329,101 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 ))),
                 None => None,
             };
+
+            // --wire: serve the fleet through the encoded wire protocol.
+            // Each session's timeline is framed by its own sequence-
+            // numbered encoder, all sessions are multiplexed into one
+            // byte stream per simulated second (optionally through a
+            // seeded lossy link), and the fleet's ingest front door
+            // decodes, reassembles and dispatches into shard mailboxes.
+            if wire {
+                let shard_count = shards.unwrap_or(2);
+                // 0.5 s frames at the paper's 250 Hz — the same framing
+                // the replay-equivalence conformance leg pins.
+                let frame_len = 125usize;
+                let samples_per_s = 250usize; // = fs
+                let frames_per_s = samples_per_s / frame_len;
+                let mut fleet =
+                    Fleet::new(config, shard_count, sessions.max(DEFAULT_MAILBOX_CAPACITY))?;
+                for s in 0..sessions {
+                    fleet.wire_admit(u32::try_from(s)?)?;
+                }
+                let mut encoders: Vec<SessionEncoder> = (0..sessions)
+                    .map(|s| Ok(SessionEncoder::new(u32::try_from(s)?)))
+                    .collect::<Result<_, std::num::TryFromIntError>>()?;
+                let mut link = (wire_loss > 0.0 || wire_corrupt > 0.0)
+                    .then(|| LossyWire::new(seed ^ 0xC71C, wire_loss, wire_corrupt));
+                eprintln!(
+                    "serving {sessions} wire sessions across {shard_count} shard(s) \
+                     for {seconds} simulated seconds…"
+                );
+                let start = Instant::now();
+                let mut frame_scratch = Vec::new();
+                let mut wire_buf = Vec::new();
+                let mut frames_sent: u64 = 0;
+                for sec in 0..seconds {
+                    wire_buf.clear();
+                    for f in 0..frames_per_s {
+                        for (s, enc) in encoders.iter_mut().enumerate() {
+                            let (ecg, z) = &templates[s % templates.len()];
+                            // Per-session phase offset over the shared
+                            // template, wrapping on whole frames.
+                            let off = (s * 977 + sec * samples_per_s + f * frame_len)
+                                % (ecg.len() - frame_len);
+                            let (e, zc) = (&ecg[off..off + frame_len], &z[off..off + frame_len]);
+                            match &mut link {
+                                Some(l) => {
+                                    frame_scratch.clear();
+                                    enc.push_frame(e, zc, &mut frame_scratch)?;
+                                    l.transmit(&frame_scratch, &mut wire_buf);
+                                }
+                                None => {
+                                    enc.push_frame(e, zc, &mut wire_buf)?;
+                                }
+                            }
+                            frames_sent += 1;
+                        }
+                    }
+                    fleet.wire_push(&wire_buf);
+                    if let Some(ex) = &mut exporter {
+                        ex.export(&cardiotouch_obs::snapshot())?;
+                    }
+                }
+                let elapsed_s = start.elapsed().as_secs_f64();
+                let results = fleet.wire_collect()?;
+                let (dec, asm) = fleet.wire_stats();
+                fleet.shutdown();
+                if let Some(ex) = exporter {
+                    let path = metrics_out.as_deref().unwrap_or("-");
+                    eprintln!("streamed {} metric snapshots to {path}", ex.lines());
+                } else if let Some(path) = &metrics_out {
+                    write_metrics_snapshot(path)?;
+                }
+                let total_beats: usize = results.iter().map(|r| r.beats.len()).sum();
+                let session_seconds =
+                    (asm.delivered as f64 * frame_len as f64 + asm.filled_samples as f64) / fs;
+                println!("sessions            : {}", results.len());
+                println!("shards              : {shard_count}");
+                println!("frames sent         : {frames_sent}");
+                println!("frames decoded      : {}", dec.frames);
+                println!("wire bytes          : {}", dec.bytes);
+                println!("decoder resyncs     : {}", dec.resyncs);
+                println!("frames reordered    : {}", asm.reordered);
+                println!("frames dropped      : {}", asm.dropped);
+                if let Some(l) = &link {
+                    println!("link dropped        : {}", l.dropped());
+                    println!("link corrupted      : {}", l.corrupted());
+                    println!("gap samples filled  : {}", asm.filled_samples);
+                }
+                println!("signal processed    : {session_seconds:.0} session-seconds");
+                println!("wall clock          : {elapsed_s:.3} s");
+                println!("beats emitted       : {total_beats}");
+                println!(
+                    "sustained sessions  : {:.0} concurrent real-time streams",
+                    session_seconds / elapsed_s.max(1e-12)
+                );
+                return Ok(());
+            }
 
             // --shards: serve the fleet from dedicated shard threads
             // (each owning its own scheduler slab) instead of fanning

@@ -19,7 +19,11 @@
 //!   the streaming engine promises it);
 //! * [`accuracy`] — per-landmark error statistics and LVET/PEP/HR
 //!   Bland–Altman agreement against ground truth, emitted as committed
-//!   `ACC_<date>.json` and gated in CI by the `accuracy_check` binary.
+//!   `ACC_<date>.json` and gated in CI by the `accuracy_check` binary;
+//! * [`replay`] — the corpus multiplexed onto the encoded wire: the
+//!   clean wire must match the in-memory vector path bitwise, and
+//!   replaying the append-only ingest log (clean *and* lossy) must
+//!   reproduce the live frame-driven run bitwise.
 //!
 //! See DESIGN.md §6e for the contract between these layers.
 
@@ -33,6 +37,7 @@ pub mod accuracy;
 pub mod corpus;
 pub mod differential;
 pub mod golden;
+pub mod replay;
 
 /// Errors surfaced by the conformance layers.
 #[derive(Debug)]

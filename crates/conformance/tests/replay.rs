@@ -1,0 +1,37 @@
+//! Replay-equivalence conformance over the full pinned corpus: the
+//! clean wire reproduces the in-memory vector path bitwise, and
+//! replaying the append-only ingest log reproduces the live
+//! frame-driven run bitwise — fault cases and lossy-wire faults
+//! included. The CI gate behind `serve-sim --wire`.
+
+use cardiotouch_conformance::corpus::golden_corpus;
+use cardiotouch_conformance::replay::run_corpus;
+
+#[test]
+fn full_corpus_replay_equivalence() {
+    let corpus = golden_corpus();
+    let report = run_corpus(&corpus).expect("replay leg runs");
+    assert_eq!(report.cases.len(), 13);
+    assert_eq!(
+        report.cases.iter().filter(|c| c.faulted).count(),
+        2,
+        "the replay proof must cover both fault-scenario cases"
+    );
+    assert!(
+        report.wire_dropped > 0 && report.wire_corrupted > 0,
+        "the lossy leg must actually exercise drops and corruption \
+         (dropped={}, corrupted={})",
+        report.wire_dropped,
+        report.wire_corrupted
+    );
+    assert!(
+        report.lossy_resyncs > 0,
+        "corrupted frames must force decoder resyncs"
+    );
+    let violations = report.violations();
+    assert!(
+        violations.is_empty(),
+        "replay equivalence violated:\n{}",
+        violations.join("\n")
+    );
+}

@@ -40,9 +40,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use std::collections::BTreeMap;
+
 use crate::config::PipelineConfig;
 use crate::scheduler::{MigratedSession, ScheduleReport, SessionFeed, SessionScheduler};
 use crate::snapshot::BeatStreamSnapshot;
+use crate::stream::BeatStream;
+use crate::wire::{FrontDoor, WireSessionResult};
 use crate::CoreError;
 
 /// Default per-shard ingest mailbox capacity (commands, not samples).
@@ -182,6 +186,19 @@ enum ShardCmd {
     /// Answered with [`ShardEvent::Report`] carrying the given elapsed
     /// wall-clock for throughput math.
     Report { elapsed_s: f64 },
+    /// Open a frame-driven wire session: the shard owns a dedicated
+    /// [`BeatStream`] for it, outside the scheduler slab.
+    WireAdmit { session: u32 },
+    /// A reassembled sample run for a wire session, decoded by the
+    /// fleet control thread's [`FrontDoor`].
+    WireSamples {
+        session: u32,
+        ecg: Vec<f64>,
+        z: Vec<f64>,
+    },
+    /// Drain every wire session's accumulated beats and final state.
+    /// Answered with [`ShardEvent::WireCollected`].
+    WireCollect,
     /// Terminate the worker loop.
     Shutdown,
 }
@@ -196,6 +213,9 @@ enum ShardEvent {
     Report {
         shard: usize,
         report: Box<ScheduleReport>,
+    },
+    WireCollected {
+        results: Vec<WireSessionResult>,
     },
 }
 
@@ -218,6 +238,11 @@ fn shard_main(
     if lanes {
         sched = sched.with_lane_grouping();
     }
+    // Frame-driven wire sessions live beside the scheduler slab: each
+    // owns a plain BeatStream pushed with whatever sample runs the
+    // control thread's front door reassembles, no template feed.
+    let mut wire: BTreeMap<u32, (BeatStream, Vec<crate::stream::QualifiedBeat>)> = BTreeMap::new();
+    let wire_beats = cardiotouch_obs::counter(&format!("core.fleet.shard{shard}.wire_beats"));
     while let Some(cmd) = rx.recv() {
         match cmd {
             ShardCmd::Admit(feed) => {
@@ -263,6 +288,39 @@ fn shard_main(
             ShardCmd::Report { elapsed_s } => {
                 let report = Box::new(sched.report(elapsed_s));
                 if events.send(ShardEvent::Report { shard, report }).is_err() {
+                    return;
+                }
+            }
+            ShardCmd::WireAdmit { session } => {
+                // Config was probed fleet-side; duplicate admissions
+                // keep the existing session state.
+                if let Ok(stream) = BeatStream::new(config) {
+                    wire.entry(session).or_insert((stream, Vec::new()));
+                }
+            }
+            ShardCmd::WireSamples { session, ecg, z } => {
+                if let Some((stream, beats)) = wire.get_mut(&session) {
+                    // Channels come from the reassembler, equal-length
+                    // by construction.
+                    if let Ok(mut emitted) = stream.push_qualified(&ecg, &z) {
+                        if !emitted.is_empty() {
+                            wire_beats.add(emitted.len() as u64);
+                        }
+                        beats.append(&mut emitted);
+                    }
+                }
+            }
+            ShardCmd::WireCollect => {
+                let results = std::mem::take(&mut wire)
+                    .into_iter()
+                    .map(|(session, (stream, beats))| WireSessionResult {
+                        session,
+                        snapshot_bytes: stream.snapshot().to_bytes(),
+                        states: stream.channel_states(),
+                        beats,
+                    })
+                    .collect();
+                if events.send(ShardEvent::WireCollected { results }).is_err() {
                     return;
                 }
             }
@@ -335,6 +393,13 @@ pub struct Fleet {
     rejected: cardiotouch_obs::Counter,
     migrations: cardiotouch_obs::Counter,
     rebalance_us: cardiotouch_obs::Histogram,
+    /// Frame-ingest front door (decode + log + reassembly) for the
+    /// wire-serving path; runs on the control thread.
+    wire_door: FrontDoor,
+    /// Wire session → owning shard.
+    wire_routing: BTreeMap<u32, usize>,
+    /// Wire sessions per shard, for least-loaded placement.
+    wire_counts: Vec<usize>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -422,6 +487,9 @@ impl Fleet {
             rejected: cardiotouch_obs::counter("core.fleet.rejected"),
             migrations: cardiotouch_obs::counter("core.fleet.migrations"),
             rebalance_us: cardiotouch_obs::histogram("core.fleet.rebalance_us"),
+            wire_door: FrontDoor::new(),
+            wire_routing: BTreeMap::new(),
+            wire_counts: vec![0; shards],
         })
     }
 
@@ -595,6 +663,147 @@ impl Fleet {
         let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.rebalance_us.record(us.max(1));
         Ok(moved_total)
+    }
+
+    /// Switches the wire front door to logging mode: every accepted
+    /// frame is appended to an in-memory ingest log before dispatch.
+    /// Call before the first [`Fleet::wire_push`] — frames decoded
+    /// earlier are not retroactively logged.
+    pub fn wire_enable_log(&mut self) {
+        self.wire_door = FrontDoor::with_log();
+    }
+
+    /// The serialized ingest log, when [`Fleet::wire_enable_log`] was
+    /// called.
+    #[must_use]
+    pub fn wire_log_bytes(&self) -> Option<&[u8]> {
+        self.wire_door.log_bytes()
+    }
+
+    /// Opens a frame-driven wire session on the least-loaded shard,
+    /// non-blocking. Returns the shard it landed on. Sessions may also
+    /// auto-admit on their first decoded frame via
+    /// [`Fleet::wire_push`]; explicit admission exists so callers can
+    /// pre-place sessions and observe backpressure deterministically.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::FleetBackpressure`] when the target shard's
+    ///   mailbox is full.
+    pub fn wire_admit(&mut self, session: u32) -> Result<usize, CoreError> {
+        if let Some(&shard) = self.wire_routing.get(&session) {
+            return Ok(shard);
+        }
+        let shard = self
+            .wire_counts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| **n)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        match self.senders[shard].try_send(ShardCmd::WireAdmit { session }) {
+            Ok(()) => {
+                self.wire_routing.insert(session, shard);
+                self.wire_counts[shard] += 1;
+                self.enqueued.inc();
+                Ok(shard)
+            }
+            Err(_) => {
+                self.rejected.inc();
+                Err(CoreError::FleetBackpressure { shard })
+            }
+        }
+    }
+
+    /// Feeds a chunk of encoded wire bytes through the front door —
+    /// decode, optional ingest-log append, per-session reassembly —
+    /// and dispatches each reassembled sample run into its owning
+    /// shard's mailbox. Unknown sessions auto-admit; when admission is
+    /// refused by backpressure the run is shed and counted in
+    /// `ingest.dropped`. Sample dispatch to already-admitted sessions
+    /// uses the blocking send: a full mailbox delays, never reorders or
+    /// drops, so per-session delivery order (and therefore the beat
+    /// stream) stays deterministic.
+    pub fn wire_push(&mut self, chunk: &[u8]) {
+        let mut shed: u64 = 0;
+        let Self {
+            senders,
+            wire_door,
+            wire_routing,
+            wire_counts,
+            ..
+        } = self;
+        wire_door.push(chunk, |session, ecg, z| {
+            let shard = match wire_routing.get(&session) {
+                Some(&shard) => shard,
+                None => {
+                    let shard = wire_counts
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, n)| **n)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    match senders[shard].try_send(ShardCmd::WireAdmit { session }) {
+                        Ok(()) => {
+                            wire_routing.insert(session, shard);
+                            wire_counts[shard] += 1;
+                            shard
+                        }
+                        Err(_) => {
+                            shed += 1;
+                            return;
+                        }
+                    }
+                }
+            };
+            senders[shard].send(ShardCmd::WireSamples {
+                session,
+                ecg: ecg.to_vec(),
+                z: z.to_vec(),
+            });
+        });
+        if shed > 0 {
+            self.rejected.add(shed);
+            self.wire_door.count_shed(shed);
+        }
+    }
+
+    /// Decoder and reassembly totals of the wire front door.
+    #[must_use]
+    pub fn wire_stats(
+        &self,
+    ) -> (
+        cardiotouch_ingest::DecodeStats,
+        cardiotouch_ingest::AssemblyStats,
+    ) {
+        (
+            self.wire_door.decode_stats(),
+            self.wire_door.assembly_stats(),
+        )
+    }
+
+    /// Drains every wire session across all shards: accumulated beats,
+    /// final snapshot bytes and ladder states, ordered by session id.
+    /// Wire sessions are closed afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FleetWorkerLost`] if a shard thread died.
+    pub fn wire_collect(&mut self) -> Result<Vec<WireSessionResult>, CoreError> {
+        for tx in &self.senders {
+            tx.send(ShardCmd::WireCollect);
+        }
+        let mut all = Vec::new();
+        for _ in 0..self.senders.len() {
+            match self.recv_event()? {
+                ShardEvent::WireCollected { results, .. } => all.extend(results),
+                _ => return Err(CoreError::FleetWorkerLost { shard: 0 }),
+            }
+        }
+        all.sort_by_key(|r| r.session);
+        self.wire_routing.clear();
+        self.wire_counts.iter_mut().for_each(|n| *n = 0);
+        Ok(all)
     }
 
     /// Shuts every shard down and joins the worker threads.
@@ -817,6 +1026,69 @@ mod tests {
         assert_eq!(a.beats(), b.beats());
         scalar.shutdown();
         lane.shutdown();
+    }
+
+    #[test]
+    fn fleet_wire_path_matches_wire_hub_bitwise() {
+        use cardiotouch_ingest::SessionEncoder;
+
+        let config = PipelineConfig::paper_default(250.0);
+        let (ecg, z) = templates();
+        let frame_len = 125;
+        let sessions = 5u32;
+        let seconds = 8;
+
+        // One interleaved wire stream per simulated second, like
+        // serve-sim --wire produces.
+        let mut encoders: Vec<SessionEncoder> = (0..sessions).map(SessionEncoder::new).collect();
+        let mut per_second: Vec<Vec<u8>> = Vec::new();
+        for s in 0..seconds {
+            let mut buf = Vec::new();
+            for c in 0..(250 / frame_len) {
+                for (i, enc) in encoders.iter_mut().enumerate() {
+                    let off = (i * 977 + s * 250 + c * frame_len) % (ecg.len() - frame_len);
+                    enc.push_frame(
+                        &ecg[off..off + frame_len],
+                        &z[off..off + frame_len],
+                        &mut buf,
+                    )
+                    .unwrap();
+                }
+            }
+            per_second.push(buf);
+        }
+
+        // Reference: the single-threaded hub.
+        let mut hub = crate::wire::WireHub::new(config).unwrap();
+        for buf in &per_second {
+            hub.push(buf).unwrap();
+        }
+        let want = hub.finish();
+
+        // Fleet of 2 shards over the identical byte stream.
+        let mut fleet = Fleet::new(config, 2, 64).unwrap();
+        for s in 0..sessions {
+            fleet.wire_admit(s).unwrap();
+        }
+        for buf in &per_second {
+            fleet.wire_push(buf);
+        }
+        let (dec, asm) = fleet.wire_stats();
+        assert_eq!(dec.frames, u64::from(sessions) * (seconds as u64) * 2);
+        assert_eq!(asm.dropped, 0);
+        let got = fleet.wire_collect().unwrap();
+        fleet.shutdown();
+
+        assert_eq!(got.len(), want.len());
+        let total: usize = got.iter().map(|r| r.beats.len()).sum();
+        assert!(total > 0, "wire sessions should emit beats");
+        for (a, b) in got.iter().zip(&want) {
+            assert!(
+                a.bitwise_eq(b),
+                "session {} diverged between fleet and hub",
+                a.session
+            );
+        }
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod scheduler;
 pub mod snapshot;
 pub mod spectroscopy;
 pub mod stream;
+pub mod wire;
 
 mod error;
 

@@ -1,0 +1,483 @@
+//! Wire-serving front door: decoded device frames in, per-session
+//! qualified beats out.
+//!
+//! [`FrontDoor`] composes the `cardiotouch_ingest` stack — streaming
+//! frame decoder, optional append-only ingest log, per-session
+//! reassembler — and publishes the `ingest.*` counters. Frames are
+//! logged at the **acceptance point** (after the decoder validates the
+//! CRC, before reassembly), so replaying the log pushes the identical
+//! frame sequence through the identical reassembly policy and the run
+//! reproduces bitwise.
+//!
+//! [`WireHub`] adds the session layer: one [`BeatStream`] per wire
+//! session, fed through [`BeatStream::push_qualified`]. Because the
+//! stream engine is chunk-invariant, a lossless wire delivers exactly
+//! the sample stream the in-memory vector path would have pushed — the
+//! emitted beats are bit-identical. Wire loss surfaces as NaN runs
+//! (courtesy of the reassembler's gap fill) and is handled by the same
+//! signal-degradation ladder that covers electrode contact loss.
+//!
+//! The sharded serving path lives in [`crate::fleet`]: the fleet control
+//! thread runs a [`FrontDoor`] and forwards reassembled sample runs into
+//! shard mailboxes ([`crate::fleet::Fleet::wire_push`]).
+//!
+//! # Counters
+//!
+//! `ingest.frames`, `ingest.bytes` — CRC-valid frames/bytes accepted;
+//! `ingest.resyncs` — corruption episodes the decoder skipped past;
+//! `ingest.reordered` — frames parked by the out-of-order window;
+//! `ingest.dropped` — frames lost (gap members, stale duplicates, and —
+//! on the fleet path — admission-backpressure sheds);
+//! `ingest.log_appended` — frames persisted to the ingest log.
+
+use std::collections::BTreeMap;
+
+use cardiotouch_ingest::{Assembler, AssemblyStats, DecodeStats, IngestLog, WireDecoder};
+
+use crate::config::PipelineConfig;
+use crate::stream::{BeatStream, QualifiedBeat, SignalState};
+use crate::CoreError;
+
+/// Obs handles for the `ingest.*` counter family, shared by every
+/// front-door instance (the registry deduplicates by name).
+#[derive(Debug)]
+struct IngestCounters {
+    frames: cardiotouch_obs::Counter,
+    bytes: cardiotouch_obs::Counter,
+    resyncs: cardiotouch_obs::Counter,
+    reordered: cardiotouch_obs::Counter,
+    dropped: cardiotouch_obs::Counter,
+    log_appended: cardiotouch_obs::Counter,
+}
+
+impl IngestCounters {
+    fn new() -> Self {
+        Self {
+            frames: cardiotouch_obs::counter("ingest.frames"),
+            bytes: cardiotouch_obs::counter("ingest.bytes"),
+            resyncs: cardiotouch_obs::counter("ingest.resyncs"),
+            reordered: cardiotouch_obs::counter("ingest.reordered"),
+            dropped: cardiotouch_obs::counter("ingest.dropped"),
+            log_appended: cardiotouch_obs::counter("ingest.log_appended"),
+        }
+    }
+}
+
+/// Running totals already flushed to the registry, so each flush only
+/// adds the delta.
+#[derive(Debug, Default, Clone, Copy)]
+struct FlushedTotals {
+    frames: u64,
+    bytes: u64,
+    resyncs: u64,
+    reordered: u64,
+    dropped: u64,
+    appended: u64,
+}
+
+/// Decoder + optional ingest log + reassembler, with `ingest.*`
+/// counter publication. The transport-facing half of wire serving —
+/// everything below the session layer.
+#[derive(Debug)]
+pub struct FrontDoor {
+    decoder: WireDecoder,
+    assembler: Assembler,
+    log: Option<IngestLog>,
+    counters: IngestCounters,
+    flushed: FlushedTotals,
+}
+
+impl Default for FrontDoor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrontDoor {
+    /// Creates a front door without an ingest log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            decoder: WireDecoder::new(),
+            assembler: Assembler::new(),
+            log: None,
+            counters: IngestCounters::new(),
+            flushed: FlushedTotals::default(),
+        }
+    }
+
+    /// Creates a front door that appends every accepted frame to an
+    /// in-memory ingest log before dispatch.
+    #[must_use]
+    pub fn with_log() -> Self {
+        let mut door = Self::new();
+        door.log = Some(IngestLog::new());
+        door
+    }
+
+    /// Pushes a chunk of wire bytes. `sink(session, ecg, z)` fires once
+    /// per reassembled sample run, in deterministic arrival order.
+    pub fn push<F>(&mut self, chunk: &[u8], mut sink: F)
+    where
+        F: FnMut(u32, &[f64], &[f64]),
+    {
+        let Self {
+            decoder,
+            assembler,
+            log,
+            ..
+        } = self;
+        decoder.push(chunk, |frame| {
+            if let Some(log) = log.as_mut() {
+                log.append(frame.as_bytes());
+            }
+            assembler.accept(&frame, &mut sink);
+        });
+        self.flush_counters();
+    }
+
+    /// Adds everything accumulated since the last flush to the
+    /// `ingest.*` registry counters.
+    fn flush_counters(&mut self) {
+        let d = self.decoder.stats();
+        let a = self.assembler.stats();
+        let appended = self.log.as_ref().map_or(0, IngestLog::frames);
+        self.counters.frames.add(d.frames - self.flushed.frames);
+        self.counters.bytes.add(d.bytes - self.flushed.bytes);
+        self.counters.resyncs.add(d.resyncs - self.flushed.resyncs);
+        self.counters
+            .reordered
+            .add(a.reordered - self.flushed.reordered);
+        self.counters.dropped.add(a.dropped - self.flushed.dropped);
+        self.counters
+            .log_appended
+            .add(appended - self.flushed.appended);
+        self.flushed = FlushedTotals {
+            frames: d.frames,
+            bytes: d.bytes,
+            resyncs: d.resyncs,
+            reordered: a.reordered,
+            dropped: a.dropped,
+            appended,
+        };
+    }
+
+    /// Counts `n` frames shed above the reassembler (fleet admission
+    /// backpressure) into `ingest.dropped`.
+    pub(crate) fn count_shed(&mut self, n: u64) {
+        self.counters.dropped.add(n);
+    }
+
+    /// Decoder totals.
+    #[must_use]
+    pub fn decode_stats(&self) -> DecodeStats {
+        self.decoder.stats()
+    }
+
+    /// Reassembly totals.
+    #[must_use]
+    pub fn assembly_stats(&self) -> AssemblyStats {
+        self.assembler.stats()
+    }
+
+    /// The serialized ingest log, when logging is enabled.
+    #[must_use]
+    pub fn log_bytes(&self) -> Option<&[u8]> {
+        self.log.as_ref().map(IngestLog::as_bytes)
+    }
+
+    /// Combined capacity of the decoder carry buffer and reassembler
+    /// scratch — stable across pushes in steady state (the bench's
+    /// alloc-free assertion).
+    #[must_use]
+    pub fn buffer_capacity(&self) -> usize {
+        self.decoder.buffer_capacity() + self.assembler.scratch_capacity()
+    }
+}
+
+/// Everything one wire session produced: the replay-equivalence unit of
+/// comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSessionResult {
+    /// Wire session identifier.
+    pub session: u32,
+    /// Every qualified beat the session emitted, in order.
+    pub beats: Vec<QualifiedBeat>,
+    /// Final engine state through the serialized snapshot codec.
+    pub snapshot_bytes: Vec<u8>,
+    /// Final degradation-ladder states `(ecg, z)`.
+    pub states: (SignalState, SignalState),
+}
+
+impl WireSessionResult {
+    /// `true` when `other` is bitwise-identical: same beats (every
+    /// float compared by bit pattern), same final snapshot bytes, same
+    /// ladder states.
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        fn beat_bits(q: &QualifiedBeat) -> [u64; 8] {
+            [
+                q.report.pep_s.to_bits(),
+                q.report.lvet_s.to_bits(),
+                q.report.hr_bpm.to_bits(),
+                q.report.dzdt_max.to_bits(),
+                q.report.sv_kubicek_ml.to_bits(),
+                q.report.sv_sramek_ml.to_bits(),
+                q.report.co_l_per_min.to_bits(),
+                q.sqi.map_or(u64::MAX, f64::to_bits),
+            ]
+        }
+        self.session == other.session
+            && self.states == other.states
+            && self.snapshot_bytes == other.snapshot_bytes
+            && self.beats.len() == other.beats.len()
+            && self.beats.iter().zip(&other.beats).all(|(a, b)| {
+                (a.report.r, a.report.b, a.report.c, a.report.x)
+                    == (b.report.r, b.report.b, b.report.c, b.report.x)
+                    && a.report.physiological == b.report.physiological
+                    && a.state == b.state
+                    && a.sqi.is_some() == b.sqi.is_some()
+                    && beat_bits(a) == beat_bits(b)
+            })
+    }
+}
+
+struct WireSession {
+    stream: BeatStream,
+    beats: Vec<QualifiedBeat>,
+}
+
+/// Single-threaded wire serving: a [`FrontDoor`] feeding one
+/// [`BeatStream`] per session. Used by the conformance replay leg and
+/// as the reference for the fleet wire path; sessions auto-admit on
+/// their first frame.
+pub struct WireHub {
+    door: FrontDoor,
+    config: PipelineConfig,
+    sessions: BTreeMap<u32, WireSession>,
+    deferred: Option<CoreError>,
+}
+
+impl std::fmt::Debug for WireHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireHub")
+            .field("sessions", &self.sessions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WireHub {
+    /// Creates a hub without an ingest log.
+    ///
+    /// # Errors
+    ///
+    /// Engine-construction errors for an invalid `config` (probed up
+    /// front so session auto-admission is infallible).
+    pub fn new(config: PipelineConfig) -> Result<Self, CoreError> {
+        Self::build(config, FrontDoor::new())
+    }
+
+    /// Creates a hub that logs every accepted frame for replay.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`WireHub::new`].
+    pub fn with_log(config: PipelineConfig) -> Result<Self, CoreError> {
+        Self::build(config, FrontDoor::with_log())
+    }
+
+    fn build(config: PipelineConfig, door: FrontDoor) -> Result<Self, CoreError> {
+        drop(BeatStream::new(config)?);
+        Ok(Self {
+            door,
+            config,
+            sessions: BTreeMap::new(),
+            deferred: None,
+        })
+    }
+
+    /// Pushes a chunk of wire bytes through decode, log, reassembly and
+    /// every touched session's stream engine.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors from [`BeatStream::push_qualified`] — none occur
+    /// on reassembler output (equal-length channels by construction),
+    /// but a failure would be reported here rather than swallowed.
+    pub fn push(&mut self, chunk: &[u8]) -> Result<(), CoreError> {
+        let config = self.config;
+        let sessions = &mut self.sessions;
+        let deferred = &mut self.deferred;
+        self.door.push(chunk, |session, ecg, z| {
+            if deferred.is_some() {
+                return;
+            }
+            let slot = sessions.entry(session).or_insert_with(|| WireSession {
+                stream: BeatStream::new(config).expect("config probed at construction"),
+                beats: Vec::new(),
+            });
+            match slot.stream.push_qualified(ecg, z) {
+                Ok(mut beats) => slot.beats.append(&mut beats),
+                Err(e) => *deferred = Some(e),
+            }
+        });
+        match self.deferred.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Sessions seen so far.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The transport-level front door (stats, log bytes).
+    #[must_use]
+    pub fn door(&self) -> &FrontDoor {
+        &self.door
+    }
+
+    /// Consumes the hub, returning every session's beats, final
+    /// snapshot and ladder states, ordered by session id.
+    #[must_use]
+    pub fn finish(self) -> Vec<WireSessionResult> {
+        self.sessions
+            .into_iter()
+            .map(|(session, slot)| WireSessionResult {
+                session,
+                snapshot_bytes: slot.stream.snapshot().to_bytes(),
+                states: slot.stream.channel_states(),
+                beats: slot.beats,
+            })
+            .collect()
+    }
+
+    /// The serialized ingest log, when logging is enabled.
+    #[must_use]
+    pub fn log_bytes(&self) -> Option<&[u8]> {
+        self.door.log_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardiotouch_ingest::{LogReader, LossyWire, SessionEncoder};
+    use cardiotouch_physio::path::Position;
+    use cardiotouch_physio::scenario::{PairedRecording, Protocol};
+    use cardiotouch_physio::subject::Population;
+
+    fn recording() -> (Vec<f64>, Vec<f64>) {
+        static CACHE: std::sync::OnceLock<(Vec<f64>, Vec<f64>)> = std::sync::OnceLock::new();
+        CACHE
+            .get_or_init(|| {
+                let population = Population::reference_five();
+                let rec = PairedRecording::generate(
+                    &population.subjects()[0],
+                    Position::One,
+                    50_000.0,
+                    &Protocol::paper_default(),
+                    23,
+                )
+                .unwrap();
+                (rec.device_ecg().to_vec(), rec.device_z().to_vec())
+            })
+            .clone()
+    }
+
+    /// Encodes `sessions` offset copies of the recording, round-robin
+    /// interleaved, `frame_len` samples per frame.
+    fn mux_wire(sessions: u32, frame_len: usize) -> Vec<u8> {
+        let (ecg, z) = recording();
+        let mut encoders: Vec<SessionEncoder> = (0..sessions).map(SessionEncoder::new).collect();
+        let mut wire = Vec::new();
+        let chunks = ecg.len() / frame_len;
+        for c in 0..chunks {
+            for enc in &mut encoders {
+                let off = c * frame_len;
+                enc.push_frame(
+                    &ecg[off..off + frame_len],
+                    &z[off..off + frame_len],
+                    &mut wire,
+                )
+                .unwrap();
+            }
+        }
+        wire
+    }
+
+    #[test]
+    fn clean_wire_matches_in_memory_vector_path_bitwise() {
+        let config = PipelineConfig::paper_default(250.0);
+        let (ecg, z) = recording();
+        let frame_len = 125;
+
+        // In-memory vector path: push the same chunks directly.
+        let mut direct = BeatStream::new(config).unwrap();
+        let mut want = Vec::new();
+        for c in 0..ecg.len() / frame_len {
+            let off = c * frame_len;
+            want.extend(
+                direct
+                    .push_qualified(&ecg[off..off + frame_len], &z[off..off + frame_len])
+                    .unwrap(),
+            );
+        }
+
+        let mut hub = WireHub::new(config).unwrap();
+        hub.push(&mux_wire(1, frame_len)).unwrap();
+        let results = hub.finish();
+        assert_eq!(results.len(), 1);
+        let got = &results[0];
+        assert!(!got.beats.is_empty());
+        let reference = WireSessionResult {
+            session: 0,
+            beats: want,
+            snapshot_bytes: direct.snapshot().to_bytes(),
+            states: direct.channel_states(),
+        };
+        assert!(got.bitwise_eq(&reference));
+    }
+
+    #[test]
+    fn lossy_replay_reproduces_live_run_bitwise() {
+        let config = PipelineConfig::paper_default(250.0);
+        let clean = mux_wire(3, 125);
+
+        // Re-frame the clean wire through a lossy link.
+        let mut lossy = Vec::new();
+        let mut link = LossyWire::new(7, 0.05, 0.05);
+        let mut dec = cardiotouch_ingest::WireDecoder::new();
+        dec.push(&clean, |f| {
+            link.transmit(f.as_bytes(), &mut lossy);
+        });
+        assert!(link.dropped() > 0);
+
+        let mut live = WireHub::with_log(config).unwrap();
+        // Push in uneven slivers to exercise the carry path too.
+        for chunk in lossy.chunks(977) {
+            live.push(chunk).unwrap();
+        }
+        let log = live.log_bytes().unwrap().to_vec();
+        let stats = live.door().decode_stats();
+        assert!(stats.resyncs > 0, "corruption should trigger resyncs");
+        let live_results = live.finish();
+        assert_eq!(live_results.len(), 3);
+
+        // Replay: every logged frame through a fresh hub.
+        let mut replay = WireHub::new(config).unwrap();
+        let mut reader = LogReader::new(&log).unwrap();
+        while let Some(frame) = reader.next_frame() {
+            replay.push(frame).unwrap();
+        }
+        assert_eq!(reader.error(), None);
+        assert_eq!(reader.frames_read(), stats.frames);
+        let replay_results = replay.finish();
+        assert_eq!(replay_results.len(), live_results.len());
+        for (a, b) in live_results.iter().zip(&replay_results) {
+            assert!(a.bitwise_eq(b), "session {} diverged on replay", a.session);
+        }
+    }
+}

@@ -15,6 +15,12 @@
 //! 18      1     flags (bit 0: beat passed the physiological gate)
 //! 19      1     CRC-8 (poly 0x07) over bytes 0..19
 //! ```
+//!
+//! The host-side decode and the simulated link publish their health to
+//! the process-wide metrics registry under `device.uplink.*`:
+//! `records_decoded`, `resyncs` and `bytes_skipped` from
+//! [`decode_stream_resync`], `delivered` and `dropped` from
+//! [`LossyLink`].
 
 use crate::DeviceError;
 
@@ -218,6 +224,11 @@ pub fn decode_stream_resync(bytes: &[u8]) -> (Vec<ParameterRecord>, ResyncStats)
         }
     }
     stats.trailing_bytes = bytes.len() - offset;
+    // Registered unconditionally (a zero is still a data point for the
+    // metrics gate); one registry lookup per stream, never per record.
+    cardiotouch_obs::counter("device.uplink.records_decoded").add(out.len() as u64);
+    cardiotouch_obs::counter("device.uplink.resyncs").add(stats.resyncs as u64);
+    cardiotouch_obs::counter("device.uplink.bytes_skipped").add(stats.bytes_skipped as u64);
     (out, stats)
 }
 
@@ -226,14 +237,15 @@ pub fn decode_stream_resync(bytes: &[u8]) -> (Vec<ParameterRecord>, ResyncStats)
 /// receiver-side view the host uses to request retransmission after
 /// [`LossyLink`] drops or CRC-failed notifications.
 ///
-/// Gaps wider than half the sequence space are treated as a stream
-/// restart, not a loss, and skipped.
+/// Gaps of half the sequence space (0x8000) or more are treated as a
+/// stream restart, not a loss, and skipped; anything shorter is a
+/// forward gap whose members are reported.
 #[must_use]
 pub fn missing_sequences(records: &[ParameterRecord]) -> Vec<u16> {
     let mut missing = Vec::new();
     for pair in records.windows(2) {
         let gap = pair[1].sequence.wrapping_sub(pair[0].sequence);
-        if gap > 1 && gap < u16::MAX / 2 {
+        if gap > 1 && gap < 0x8000 {
             for d in 1..gap {
                 missing.push(pair[0].sequence.wrapping_add(d));
             }
@@ -259,6 +271,8 @@ pub struct LossyLink {
     drop_prob: f64,
     delivered: usize,
     dropped: usize,
+    delivered_ctr: cardiotouch_obs::Counter,
+    dropped_ctr: cardiotouch_obs::Counter,
 }
 
 impl LossyLink {
@@ -282,6 +296,10 @@ impl LossyLink {
             drop_prob,
             delivered: 0,
             dropped: 0,
+            // Pre-resolved handles: `send` runs per notification, so
+            // the registry lookup must not.
+            delivered_ctr: cardiotouch_obs::counter("device.uplink.delivered"),
+            dropped_ctr: cardiotouch_obs::counter("device.uplink.dropped"),
         })
     }
 
@@ -301,10 +319,12 @@ impl LossyLink {
         use rand::Rng;
         if self.rng.gen_bool(self.drop_prob) {
             self.dropped += 1;
+            self.dropped_ctr.inc();
             false
         } else {
             out.extend_from_slice(&record.encode());
             self.delivered += 1;
+            self.delivered_ctr.inc();
             true
         }
     }
@@ -469,6 +489,27 @@ mod tests {
         // sequence jumping backwards = device restarted, not a loss
         let restart: Vec<ParameterRecord> = [500u16, 0].iter().map(|&s| sample(s)).collect();
         assert!(missing_sequences(&restart).is_empty());
+    }
+
+    #[test]
+    fn missing_sequences_wraparound_fixtures() {
+        // Hand-computed: 65534 -> 2 is a forward gap of 4 crossing
+        // u16::MAX, so exactly 65535, 0 and 1 went missing.
+        let wrap: Vec<ParameterRecord> = [65534u16, 2].iter().map(|&s| sample(s)).collect();
+        assert_eq!(missing_sequences(&wrap), vec![65535, 0, 1]);
+        // Half-space boundary: a forward gap of 0x7FFF (one short of
+        // half the space) is still a loss — 1..=32766 all missing.
+        // The old `gap < u16::MAX / 2` cut this off by one.
+        let near_half: Vec<ParameterRecord> = [0u16, 32767].iter().map(|&s| sample(s)).collect();
+        let want: Vec<u16> = (1..32767).collect();
+        assert_eq!(missing_sequences(&near_half), want);
+        // Exactly half the space (0x8000) is ambiguous and must read as
+        // a restart, not a 32767-beat loss.
+        let restart: Vec<ParameterRecord> = [0u16, 32768].iter().map(|&s| sample(s)).collect();
+        assert!(missing_sequences(&restart).is_empty());
+        // Wrap-crossing restart: far backwards over the seam.
+        let back: Vec<ParameterRecord> = [10u16, 65000].iter().map(|&s| sample(s)).collect();
+        assert!(missing_sequences(&back).is_empty());
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Per-session frame reassembly: bounded out-of-order windows, duplicate
+//! suppression, and NaN gap fill for declared-lost frames.
+//!
+//! Frames arrive from the decoder in wire order, tagged `(session, seq)`.
+//! Each session tracks the next expected sequence number. In-order frames
+//! deliver immediately through a reused scratch buffer (alloc-free once
+//! warm); frames up to [`REORDER_WINDOW`] ahead are parked and delivered
+//! when the gap closes. A jump beyond the window declares the missing
+//! frames lost: each is delivered as a run of NaN samples (sized like the
+//! last good frame), so downstream the signal-degradation ladder treats
+//! wire loss exactly like electrode contact loss. Frames from the past
+//! half of the sequence space are stale duplicates and are dropped.
+//!
+//! Delivery order is a pure function of frame arrival order, which is
+//! what makes ingest-log replay bitwise-identical to the live run.
+
+use std::collections::BTreeMap;
+
+use crate::frame::{copy_payload, FrameView};
+
+/// How many frames ahead of the next expected sequence number a session
+/// will park before declaring the gap a loss.
+pub const REORDER_WINDOW: u16 = 8;
+
+/// Running totals of an [`Assembler`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AssemblyStats {
+    /// Frames delivered to the sink (in-order + reordered + NaN fills).
+    pub delivered: u64,
+    /// Frames that arrived ahead of sequence and were parked.
+    pub reordered: u64,
+    /// Frames lost: declared-lost gap members, stale arrivals from the
+    /// past, and duplicates of parked frames.
+    pub dropped: u64,
+    /// NaN samples synthesized to fill declared-lost frames.
+    pub filled_samples: u64,
+}
+
+#[derive(Debug)]
+struct SessionAsm {
+    started: bool,
+    next: u16,
+    /// Samples in the most recent delivered frame — sizes NaN fills.
+    last_n: usize,
+    /// Parked payloads: slot `d` holds sequence `next + 1 + d`.
+    window: Vec<Option<Vec<u8>>>,
+}
+
+impl SessionAsm {
+    fn new() -> Self {
+        Self {
+            started: false,
+            next: 0,
+            last_n: 0,
+            window: (0..REORDER_WINDOW).map(|_| None).collect(),
+        }
+    }
+
+    /// Shifts the window down one sequence number.
+    fn rotate(&mut self) {
+        self.window.rotate_left(1);
+        let last = self.window.len() - 1;
+        self.window[last] = None;
+    }
+}
+
+/// Multi-session reassembler. See the module docs for the policy.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    sessions: BTreeMap<u32, SessionAsm>,
+    scratch_ecg: Vec<f64>,
+    scratch_z: Vec<f64>,
+    stats: AssemblyStats,
+}
+
+impl Assembler {
+    /// Creates an empty reassembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts one decoded frame, invoking `sink(session, ecg, z)` zero
+    /// or more times: once per frame that becomes deliverable (the
+    /// frame itself, parked successors it releases, or NaN fills for
+    /// frames it declares lost).
+    pub fn accept<F>(&mut self, frame: &FrameView<'_>, mut sink: F)
+    where
+        F: FnMut(u32, &[f64], &[f64]),
+    {
+        let session = frame.session();
+        let seq = frame.seq();
+        let s = self.sessions.entry(session).or_insert_with(SessionAsm::new);
+        if !s.started {
+            s.started = true;
+            s.next = seq;
+        }
+        let dist = seq.wrapping_sub(s.next);
+        if dist == 0 {
+            deliver(
+                &mut self.stats,
+                s,
+                session,
+                frame.payload(),
+                &mut self.scratch_ecg,
+                &mut self.scratch_z,
+                &mut sink,
+            );
+            s.next = s.next.wrapping_add(1);
+            drain_window(
+                &mut self.stats,
+                s,
+                session,
+                &mut self.scratch_ecg,
+                &mut self.scratch_z,
+                &mut sink,
+            );
+        } else if dist <= REORDER_WINDOW {
+            let slot = usize::from(dist - 1);
+            if s.window[slot].is_some() {
+                self.stats.dropped += 1; // duplicate of a parked frame
+            } else {
+                s.window[slot] = Some(frame.payload().to_vec());
+                self.stats.reordered += 1;
+            }
+        } else if dist < 0x8000 {
+            // Forward jump beyond the window: everything between `next`
+            // and `seq` that is not parked is lost.
+            while s.next != seq {
+                if let Some(payload) = s.window[0].take() {
+                    deliver(
+                        &mut self.stats,
+                        s,
+                        session,
+                        &payload,
+                        &mut self.scratch_ecg,
+                        &mut self.scratch_z,
+                        &mut sink,
+                    );
+                } else {
+                    self.stats.dropped += 1;
+                    nan_fill(
+                        &mut self.stats,
+                        s,
+                        session,
+                        &mut self.scratch_ecg,
+                        &mut self.scratch_z,
+                        &mut sink,
+                    );
+                }
+                s.rotate();
+                s.next = s.next.wrapping_add(1);
+            }
+            deliver(
+                &mut self.stats,
+                s,
+                session,
+                frame.payload(),
+                &mut self.scratch_ecg,
+                &mut self.scratch_z,
+                &mut sink,
+            );
+            s.next = s.next.wrapping_add(1);
+            drain_window(
+                &mut self.stats,
+                s,
+                session,
+                &mut self.scratch_ecg,
+                &mut self.scratch_z,
+                &mut sink,
+            );
+        } else {
+            // Behind `next`: a stale retransmit or duplicate.
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Reassembly totals so far.
+    #[must_use]
+    pub fn stats(&self) -> AssemblyStats {
+        self.stats
+    }
+
+    /// Sessions seen so far.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Combined capacity of the sample scratch buffers — stable in
+    /// steady state, checked by the bench's alloc-free assertion.
+    #[must_use]
+    pub fn scratch_capacity(&self) -> usize {
+        self.scratch_ecg.capacity() + self.scratch_z.capacity()
+    }
+}
+
+fn deliver<F>(
+    stats: &mut AssemblyStats,
+    s: &mut SessionAsm,
+    session: u32,
+    payload: &[u8],
+    ecg: &mut Vec<f64>,
+    z: &mut Vec<f64>,
+    sink: &mut F,
+) where
+    F: FnMut(u32, &[f64], &[f64]),
+{
+    ecg.clear();
+    z.clear();
+    copy_payload(payload, ecg, z);
+    s.last_n = ecg.len();
+    stats.delivered += 1;
+    sink(session, ecg, z);
+}
+
+/// Delivers one lost frame as NaN samples sized like the last good one.
+/// Before any frame has been delivered the width is unknown and the
+/// loss surfaces only in the `dropped` counter.
+fn nan_fill<F>(
+    stats: &mut AssemblyStats,
+    s: &SessionAsm,
+    session: u32,
+    ecg: &mut Vec<f64>,
+    z: &mut Vec<f64>,
+    sink: &mut F,
+) where
+    F: FnMut(u32, &[f64], &[f64]),
+{
+    if s.last_n == 0 {
+        return;
+    }
+    ecg.clear();
+    z.clear();
+    ecg.resize(s.last_n, f64::NAN);
+    z.resize(s.last_n, f64::NAN);
+    stats.filled_samples += s.last_n as u64;
+    sink(session, ecg, z);
+}
+
+/// Releases consecutively parked frames now that `next` advanced.
+fn drain_window<F>(
+    stats: &mut AssemblyStats,
+    s: &mut SessionAsm,
+    session: u32,
+    ecg: &mut Vec<f64>,
+    z: &mut Vec<f64>,
+    sink: &mut F,
+) where
+    F: FnMut(u32, &[f64], &[f64]),
+{
+    while let Some(payload) = s.window[0].take() {
+        s.rotate();
+        deliver(stats, s, session, &payload, ecg, z, sink);
+        s.next = s.next.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_frame, FrameView};
+
+    /// Encodes a one-frame wire with a recognisable payload and parses
+    /// it back into an owned buffer the test keeps alive.
+    fn frame_bytes(session: u32, seq: u16, n: usize) -> Vec<u8> {
+        let ecg: Vec<f64> = (0..n).map(|i| f64::from(seq) * 1000.0 + i as f64).collect();
+        let z: Vec<f64> = (0..n)
+            .map(|i| 400.0 + f64::from(seq) + i as f64 * 0.25)
+            .collect();
+        let mut out = Vec::new();
+        encode_frame(session, seq, &ecg, &z, &mut out).unwrap();
+        out
+    }
+
+    fn accept(asm: &mut Assembler, bytes: &[u8], out: &mut Vec<(u32, Vec<f64>)>) {
+        let (frame, _) = FrameView::parse(bytes).unwrap();
+        asm.accept(&frame, |sess, ecg, _z| out.push((sess, ecg.to_vec())));
+    }
+
+    #[test]
+    fn in_order_frames_flow_straight_through() {
+        let mut asm = Assembler::new();
+        let mut got = Vec::new();
+        for seq in 0..5u16 {
+            accept(&mut asm, &frame_bytes(1, seq, 4), &mut got);
+        }
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[3].1[0], 3000.0);
+        let st = asm.stats();
+        assert_eq!((st.delivered, st.reordered, st.dropped), (5, 0, 0));
+    }
+
+    #[test]
+    fn swap_within_window_is_reordered_back() {
+        let mut asm = Assembler::new();
+        let mut got = Vec::new();
+        accept(&mut asm, &frame_bytes(1, 0, 4), &mut got);
+        accept(&mut asm, &frame_bytes(1, 2, 4), &mut got); // ahead: parked
+        assert_eq!(got.len(), 1);
+        accept(&mut asm, &frame_bytes(1, 1, 4), &mut got); // closes the gap
+        assert_eq!(got.len(), 3);
+        let delivered: Vec<f64> = got.iter().map(|(_, e)| e[0]).collect();
+        assert_eq!(delivered, vec![0.0, 1000.0, 2000.0]);
+        let st = asm.stats();
+        assert_eq!((st.delivered, st.reordered, st.dropped), (3, 1, 0));
+    }
+
+    #[test]
+    fn gap_beyond_window_nan_fills_and_fast_forwards() {
+        let mut asm = Assembler::new();
+        let mut got = Vec::new();
+        accept(&mut asm, &frame_bytes(1, 0, 4), &mut got);
+        let jump = 1 + REORDER_WINDOW + 3; // beyond the window
+        accept(&mut asm, &frame_bytes(1, jump, 4), &mut got);
+        // 1 good + (jump-1) NaN fills + the jumped-to frame
+        assert_eq!(got.len(), 1 + usize::from(jump - 1) + 1);
+        assert!(got[1].1[0].is_nan());
+        let st = asm.stats();
+        assert_eq!(st.dropped, u64::from(jump) - 1);
+        assert_eq!(st.filled_samples, (u64::from(jump) - 1) * 4);
+    }
+
+    #[test]
+    fn stale_and_duplicate_frames_drop() {
+        let mut asm = Assembler::new();
+        let mut got = Vec::new();
+        accept(&mut asm, &frame_bytes(1, 10, 4), &mut got);
+        accept(&mut asm, &frame_bytes(1, 10, 4), &mut got); // stale (next is 11)
+        accept(&mut asm, &frame_bytes(1, 13, 4), &mut got); // parked
+        accept(&mut asm, &frame_bytes(1, 13, 4), &mut got); // duplicate of parked
+        assert_eq!(got.len(), 1);
+        assert_eq!(asm.stats().dropped, 2);
+    }
+
+    #[test]
+    fn sequence_wrap_is_seamless() {
+        let mut asm = Assembler::new();
+        let mut got = Vec::new();
+        for seq in [u16::MAX - 1, u16::MAX, 0, 1] {
+            accept(&mut asm, &frame_bytes(1, seq, 2), &mut got);
+        }
+        assert_eq!(got.len(), 4);
+        let st = asm.stats();
+        assert_eq!((st.delivered, st.reordered, st.dropped), (4, 0, 0));
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let mut asm = Assembler::new();
+        let mut got = Vec::new();
+        accept(&mut asm, &frame_bytes(1, 0, 2), &mut got);
+        accept(&mut asm, &frame_bytes(2, 7, 2), &mut got); // independent start seq
+        accept(&mut asm, &frame_bytes(1, 1, 2), &mut got);
+        accept(&mut asm, &frame_bytes(2, 8, 2), &mut got);
+        assert_eq!(got.len(), 4);
+        assert_eq!(asm.session_count(), 2);
+        assert_eq!(asm.stats().dropped, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Ingestion edge between encoded device frames and the serving fleet.
+//!
+//! The [`crate::frame`] module defines the multiplexed many-session wire
+//! format: session-tagged, sequence-numbered **sample frames** layered on
+//! the same CRC-framing discipline as `cardiotouch_device::uplink`, but
+//! carrying raw paired `(ecg, z)` samples rather than per-beat
+//! `ParameterRecord`s. The decoder is zero-copy in steady state: a
+//! [`frame::FrameView`] borrows straight from the caller's byte buffer and
+//! no allocation happens once internal scratch capacities have warmed up.
+//!
+//! [`crate::assembler`] reorders frames per session inside a bounded
+//! window and fills declared-lost frames with NaN samples, so wire loss
+//! surfaces to the pipeline as contact loss and is handled by the existing
+//! signal-degradation ladder.
+//!
+//! [`crate::log`] is the append-only replayable ingest log: every frame
+//! accepted by the decoder is appended (length-prefixed, CRC-chained)
+//! *before* dispatch, so a crash recovers the valid prefix and a replay of
+//! the log reproduces the live run bitwise.
+//!
+//! [`crate::link`] models the lossy transport with deterministic seeded
+//! frame drops and bit corruption, mirroring `uplink::LossyLink` at frame
+//! granularity.
+
+pub mod assembler;
+pub mod frame;
+pub mod link;
+pub mod log;
+
+pub use assembler::{Assembler, AssemblyStats, REORDER_WINDOW};
+pub use frame::{
+    crc16, encode_frame, DecodeStats, FrameError, FrameView, SessionEncoder, WireDecoder,
+    HEADER_LEN, MAX_SAMPLES_PER_FRAME, WIRE_VERSION,
+};
+pub use link::LossyWire;
+pub use log::{IngestLog, LogError, LogReader};

@@ -1,0 +1,146 @@
+//! Deterministic lossy transport model at frame granularity — the
+//! frame-level sibling of `cardiotouch_device::uplink::LossyLink`, which
+//! operates on per-beat `ParameterRecord`s.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded frame-dropping, bit-corrupting wire. Whole frames are dropped
+/// with `drop_prob`; delivered frames have a single random bit flipped
+/// with `corrupt_prob` (the decoder's CRC catches it and resyncs).
+/// Identical seeds give identical fault sequences, which keeps wire
+/// simulations and the conformance corpus reproducible.
+#[derive(Debug)]
+pub struct LossyWire {
+    rng: StdRng,
+    drop_prob: f64,
+    corrupt_prob: f64,
+    delivered: u64,
+    dropped: u64,
+    corrupted: u64,
+}
+
+impl LossyWire {
+    /// Creates a wire with the given fault probabilities (clamped to
+    /// `[0, 1]`).
+    #[must_use]
+    pub fn new(seed: u64, drop_prob: f64, corrupt_prob: f64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            drop_prob: drop_prob.clamp(0.0, 1.0),
+            corrupt_prob: corrupt_prob.clamp(0.0, 1.0),
+            delivered: 0,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    /// Transmits one encoded frame, appending the (possibly corrupted)
+    /// bytes to `out`. Returns `false` when the frame was dropped.
+    pub fn transmit(&mut self, frame: &[u8], out: &mut Vec<u8>) -> bool {
+        if self.rng.gen_bool(self.drop_prob) {
+            self.dropped += 1;
+            return false;
+        }
+        let start = out.len();
+        out.extend_from_slice(frame);
+        if !frame.is_empty() && self.rng.gen_bool(self.corrupt_prob) {
+            let idx = start + (self.rng.gen::<u64>() as usize) % frame.len();
+            let bit = (self.rng.gen::<u32>() % 8) as u8;
+            out[idx] ^= 1 << bit;
+            self.corrupted += 1;
+        }
+        self.delivered += 1;
+        true
+    }
+
+    /// Frames that made it across (corrupted ones included).
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Frames dropped outright.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Delivered frames that took a bit flip.
+    #[must_use]
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{encode_frame, FrameView, WireDecoder};
+
+    fn frames(n: u16) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|seq| {
+                let ecg = [f64::from(seq); 8];
+                let z = [410.0; 8];
+                let mut out = Vec::new();
+                encode_frame(1, seq, &ecg, &z, &mut out).unwrap();
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lossless_wire_is_transparent() {
+        let mut wire = LossyWire::new(7, 0.0, 0.0);
+        let mut out = Vec::new();
+        for fr in frames(10) {
+            assert!(wire.transmit(&fr, &mut out));
+        }
+        assert_eq!(wire.delivered(), 10);
+        assert_eq!(wire.dropped() + wire.corrupted(), 0);
+        let mut n = 0;
+        let mut dec = WireDecoder::new();
+        dec.push(&out, |_| n += 1);
+        assert_eq!(n, 10);
+        assert_eq!(dec.stats().resyncs, 0);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let fs = frames(200);
+        let run = |seed| {
+            let mut wire = LossyWire::new(seed, 0.2, 0.1);
+            let mut out = Vec::new();
+            for fr in &fs {
+                wire.transmit(fr, &mut out);
+            }
+            (out, wire.dropped(), wire.corrupted())
+        };
+        assert_eq!(run(42), run(42));
+        let (_, d1, c1) = run(42);
+        assert!(
+            d1 > 0 && c1 > 0,
+            "faults should actually fire at these rates"
+        );
+    }
+
+    #[test]
+    fn corrupted_frames_fail_crc_but_decoder_recovers() {
+        let fs = frames(100);
+        let mut wire = LossyWire::new(3, 0.0, 0.3);
+        let mut out = Vec::new();
+        for fr in &fs {
+            wire.transmit(fr, &mut out);
+        }
+        assert!(wire.corrupted() > 0);
+        let mut seqs: Vec<u16> = Vec::new();
+        let mut dec = WireDecoder::new();
+        dec.push(&out, |f: FrameView<'_>| seqs.push(f.seq()));
+        let s = dec.stats();
+        assert!(s.resyncs >= 1);
+        // Every surviving frame is genuine and in order.
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(s.frames + wire.corrupted(), 100);
+    }
+}
