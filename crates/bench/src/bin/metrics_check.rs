@@ -21,9 +21,16 @@
 //! wire front-door counters (`ingest.*`) and the BLE parameter-uplink
 //! counters (`device.uplink.*`) must be live, the declared decode
 //! throughput must clear its real-time floor, and the document must
-//! attest an alloc-free steady state. Whenever the document declares
-//! an observability-overhead budget (schema v6+), the measured
-//! full-run overhead must sit inside it.
+//! attest an alloc-free steady state. Documents produced with
+//! `perf_bench --durability` carry a `durability` section; for those
+//! the durable-serving counters (`core.fleet.restarts`, `.checkpoints`,
+//! `.compactions`, the `checkpoint_us` histogram and the
+//! `log_segments` gauge) must be live, the declared checkpoint
+//! overhead must sit inside its budget, cold-start recovery must clear
+//! its latency budget, and the document must attest a bounded on-disk
+//! log (segments retired, retained bytes < appended bytes). Whenever
+//! the document declares an observability-overhead budget (schema
+//! v6+), the measured full-run overhead must sit inside it.
 
 use std::process::ExitCode;
 
@@ -110,6 +117,18 @@ const INGEST_REQUIRED_COUNTERS: &[&str] = &[
 /// zero (a short lossy pass can end with every gap still parked in the
 /// reorder window, so no frame was declared lost yet).
 const INGEST_PRESENT_COUNTERS: &[&str] = &["ingest.dropped"];
+
+/// Counters durable serving must have incremented whenever the
+/// document carries a `durability` section (the run was `perf_bench
+/// --durability`): its fleet leg injects a shard panic and restarts
+/// the shard, seals checkpoints on a cadence and rotates a tiny
+/// segment policy, so supervised restarts, sealed checkpoints and
+/// log compactions must all have fired.
+const DURABILITY_REQUIRED_COUNTERS: &[&str] = &[
+    "core.fleet.restarts",
+    "core.fleet.checkpoints",
+    "core.fleet.compactions",
+];
 
 fn check(doc: &Value) -> Result<(), String> {
     let schema = doc
@@ -372,6 +391,76 @@ fn check(doc: &Value) -> Result<(), String> {
         eprintln!(
             "ingest run ok: decode {multiple:.0}x real time (floor {floor}x), \
              alloc-free steady state attested"
+        );
+    }
+    if let Some(durability) = doc.get("durability") {
+        for name in DURABILITY_REQUIRED_COUNTERS {
+            let v = counters
+                .get(*name)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("counter `{name}` missing from a durability run"))?;
+            if v <= 0.0 {
+                return Err(format!(
+                    "counter `{name}` is {v} in a durability run, expected > 0"
+                ));
+            }
+        }
+        if !histograms
+            .get("core.fleet.checkpoint_us")
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_f64)
+            .is_some_and(|c| c > 0.0)
+        {
+            return Err("histogram `core.fleet.checkpoint_us` missing or empty".into());
+        }
+        let segments = metrics
+            .get("gauges")
+            .and_then(Value::as_obj)
+            .and_then(|g| g.get("core.fleet.log_segments"))
+            .and_then(Value::as_f64)
+            .ok_or("gauge `core.fleet.log_segments` missing from a durability run")?;
+        if segments < 1.0 {
+            return Err(format!("gauge `core.fleet.log_segments` is {segments}"));
+        }
+        let tax = durability
+            .get("durability_overhead_pct")
+            .and_then(Value::as_f64)
+            .ok_or("missing durability.durability_overhead_pct")?;
+        let budget = durability
+            .get("durability_overhead_budget_pct")
+            .and_then(Value::as_f64)
+            .ok_or("missing durability.durability_overhead_budget_pct")?;
+        if !is_smoke && (!tax.is_finite() || tax >= budget) {
+            return Err(format!(
+                "durable-serving overhead {tax:.2} % violates the {budget:.0} % budget"
+            ));
+        }
+        let recovery = durability
+            .get("recovery_ms")
+            .and_then(Value::as_f64)
+            .ok_or("missing durability.recovery_ms")?;
+        let recovery_budget = durability
+            .get("recovery_budget_ms")
+            .and_then(Value::as_f64)
+            .ok_or("missing durability.recovery_budget_ms")?;
+        if !recovery.is_finite() || recovery > recovery_budget {
+            return Err(format!(
+                "cold-start recovery {recovery:.0} ms violates the {recovery_budget:.0} ms budget"
+            ));
+        }
+        if !matches!(durability.get("bounded_log"), Some(Value::Bool(true))) {
+            return Err("durability.bounded_log is not true".into());
+        }
+        if !durability
+            .get("segments_retired")
+            .and_then(Value::as_f64)
+            .is_some_and(|r| r > 0.0)
+        {
+            return Err("durability.segments_retired is missing or zero".into());
+        }
+        eprintln!(
+            "durability run ok: overhead {tax:.2} % (budget {budget:.0} %), recovery \
+             {recovery:.1} ms (budget {recovery_budget:.0} ms), bounded log attested"
         );
     }
     eprintln!(

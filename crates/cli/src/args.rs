@@ -76,6 +76,17 @@ pub enum Command {
         /// Per-frame bit-corruption probability on the simulated lossy
         /// wire, 0..=1.
         wire_corrupt: f64,
+        /// Durable serving: directory receiving the checkpoint store
+        /// and segmented ingest-log files (requires `--wire`).
+        checkpoint_dir: Option<String>,
+        /// Checkpoint cadence in simulated seconds (requires
+        /// `--checkpoint-dir` or `--recover`; `None` → the 60 s
+        /// default).
+        checkpoint_every_s: Option<usize>,
+        /// Cold-start recovery: restore the fleet from a checkpoint
+        /// directory written by an earlier `--checkpoint-dir` run and
+        /// continue serving (requires `--wire`).
+        recover: Option<String>,
     },
     /// Run the conformance suite: differential batch/stream testing
     /// over the pinned corpus, golden-vector drift check and the
@@ -121,7 +132,8 @@ USAGE:
   cardiotouch serve-sim [--sessions N] [--threads N] [--shards N]
                        [--seconds S] [--seed N] [--metrics-out FILE]
                        [--faults SPEC] [--wire] [--wire-loss P]
-                       [--wire-corrupt P]
+                       [--wire-corrupt P] [--checkpoint-dir DIR]
+                       [--checkpoint-every-s S] [--recover DIR]
   cardiotouch conformance [--golden DIR] [--write-golden]
                        [--acc-out FILE]
   cardiotouch power
@@ -151,6 +163,15 @@ into shard mailboxes. --wire-loss / --wire-corrupt put a seeded lossy
 link on the wire (frame drops and bit flips; the decoder resyncs and
 the reassembler NaN-fills, counted under ingest.*). Implies shard
 serving (--shards, default 2).
+
+Durability: serve-sim --wire --checkpoint-dir DIR journals every
+accepted frame into a rotating, compacting segmented log and seals a
+CRC-chained checkpoint of all stream states every --checkpoint-every-s
+simulated seconds (default 60; the log keeps data durable between
+checkpoints, so the cadence only bounds recovery replay). A later
+serve-sim --wire --recover DIR cold-starts from the newest intact
+checkpoint, replays the log suffix, and continues serving with
+bitwise-identical beat emissions; it keeps checkpointing into DIR.
 
 FAULTS: --faults injects a deterministic fault scenario into every
 device chain. SPEC is `none`, `rand:SEED`, or comma-separated events
@@ -276,6 +297,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut wire = false;
             let mut wire_loss = 0.0f64;
             let mut wire_corrupt = 0.0f64;
+            let mut checkpoint_dir = None;
+            let mut checkpoint_every_s = None;
+            let mut recover = None;
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
@@ -299,6 +323,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                     "--faults" => faults = Some(value(i)?.clone()),
                     "--wire-loss" => wire_loss = parse_num(flag, value(i)?)?,
                     "--wire-corrupt" => wire_corrupt = parse_num(flag, value(i)?)?,
+                    "--checkpoint-dir" => checkpoint_dir = Some(value(i)?.clone()),
+                    "--checkpoint-every-s" => {
+                        checkpoint_every_s = Some(parse_num(flag, value(i)?)?);
+                    }
+                    "--recover" => recover = Some(value(i)?.clone()),
                     other => return Err(unknown_flag("serve-sim", other)),
                 }
                 i += 2;
@@ -337,6 +366,30 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         .into(),
                 ));
             }
+            if checkpoint_every_s == Some(0) {
+                return Err(ParseArgsError(
+                    "--checkpoint-every-s must be at least 1".into(),
+                ));
+            }
+            if checkpoint_every_s.is_some() && checkpoint_dir.is_none() && recover.is_none() {
+                return Err(ParseArgsError(
+                    "--checkpoint-every-s requires --checkpoint-dir or --recover".into(),
+                ));
+            }
+            if checkpoint_dir.is_some() && recover.is_some() {
+                return Err(ParseArgsError(
+                    "--checkpoint-dir and --recover are mutually exclusive; \
+                     recovered runs keep checkpointing into the recovered directory"
+                        .into(),
+                ));
+            }
+            if (checkpoint_dir.is_some() || recover.is_some()) && !wire {
+                return Err(ParseArgsError(
+                    "durable serving (--checkpoint-dir / --recover) requires --wire: \
+                     the checkpoint store and ingest log sit behind the wire front door"
+                        .into(),
+                ));
+            }
             Ok(Command::ServeSim {
                 sessions,
                 threads,
@@ -348,6 +401,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 wire,
                 wire_loss,
                 wire_corrupt,
+                checkpoint_dir,
+                checkpoint_every_s,
+                recover,
             })
         }
         "simulate" => {
@@ -596,7 +652,10 @@ mod tests {
                 faults: None,
                 wire: false,
                 wire_loss: 0.0,
-                wire_corrupt: 0.0
+                wire_corrupt: 0.0,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: None
             }
         );
         assert_eq!(
@@ -622,7 +681,10 @@ mod tests {
                 faults: None,
                 wire: false,
                 wire_loss: 0.0,
-                wire_corrupt: 0.0
+                wire_corrupt: 0.0,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: None
             }
         );
         assert!(p(&["serve-sim", "--sessions", "0"]).is_err());
@@ -701,7 +763,10 @@ mod tests {
                 faults: None,
                 wire: false,
                 wire_loss: 0.0,
-                wire_corrupt: 0.0
+                wire_corrupt: 0.0,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: None
             }
         );
         assert_eq!(
@@ -716,7 +781,10 @@ mod tests {
                 faults: None,
                 wire: false,
                 wire_loss: 0.0,
-                wire_corrupt: 0.0
+                wire_corrupt: 0.0,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: None
             }
         );
         assert_eq!(
@@ -746,7 +814,10 @@ mod tests {
                 faults: Some("drop@5s+200ms".into()),
                 wire: false,
                 wire_loss: 0.0,
-                wire_corrupt: 0.0
+                wire_corrupt: 0.0,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: None
             }
         );
         assert_eq!(
@@ -779,7 +850,10 @@ mod tests {
                 faults: None,
                 wire: true,
                 wire_loss: 0.0,
-                wire_corrupt: 0.0
+                wire_corrupt: 0.0,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: None
             }
         );
         assert_eq!(
@@ -804,7 +878,10 @@ mod tests {
                 faults: None,
                 wire: true,
                 wire_loss: 0.05,
-                wire_corrupt: 0.02
+                wire_corrupt: 0.02,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: None
             }
         );
         // value validation and flag interplay
@@ -816,5 +893,77 @@ mod tests {
         assert!(p(&["serve-sim", "--wire", "--threads", "2"]).is_err());
         // plain vector serving is unaffected by a zero-prob default
         assert!(p(&["serve-sim", "--wire-loss", "0"]).is_ok());
+    }
+
+    #[test]
+    fn durability_flags() {
+        assert_eq!(
+            p(&[
+                "serve-sim",
+                "--wire",
+                "--checkpoint-dir",
+                "ckpt",
+                "--checkpoint-every-s",
+                "30"
+            ])
+            .unwrap(),
+            Command::ServeSim {
+                sessions: 256,
+                threads: None,
+                shards: None,
+                seconds: 10,
+                seed: 7,
+                metrics_out: None,
+                faults: None,
+                wire: true,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0,
+                checkpoint_dir: Some("ckpt".into()),
+                checkpoint_every_s: Some(30),
+                recover: None
+            }
+        );
+        assert_eq!(
+            p(&["serve-sim", "--wire", "--recover", "ckpt"]).unwrap(),
+            Command::ServeSim {
+                sessions: 256,
+                threads: None,
+                shards: None,
+                seconds: 10,
+                seed: 7,
+                metrics_out: None,
+                faults: None,
+                wire: true,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: Some("ckpt".into())
+            }
+        );
+        // flag interplay: durable serving rides the wire front door
+        assert!(p(&["serve-sim", "--checkpoint-dir", "ckpt"]).is_err());
+        assert!(p(&["serve-sim", "--recover", "ckpt"]).is_err());
+        assert!(p(&["serve-sim", "--wire", "--checkpoint-every-s", "5"]).is_err());
+        assert!(p(&[
+            "serve-sim",
+            "--wire",
+            "--checkpoint-dir",
+            "a",
+            "--checkpoint-every-s",
+            "0"
+        ])
+        .is_err());
+        assert!(p(&[
+            "serve-sim",
+            "--wire",
+            "--checkpoint-dir",
+            "a",
+            "--recover",
+            "b"
+        ])
+        .is_err());
+        assert!(p(&["serve-sim", "--wire", "--checkpoint-dir"]).is_err());
+        assert!(p(&["serve-sim", "--wire", "--recover"]).is_err());
     }
 }

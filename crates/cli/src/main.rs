@@ -20,7 +20,7 @@ use cardiotouch::respiration::estimate_respiration_rate;
 use cardiotouch::scheduler::{SessionFeed, SessionScheduler};
 use cardiotouch_device::mcu::CycleBudget;
 use cardiotouch_device::power::{DutyCycle, PowerBudget};
-use cardiotouch_ingest::{LossyWire, SessionEncoder};
+use cardiotouch_ingest::{CheckpointStore, LossyWire, SegmentPolicy, SegmentedLog, SessionEncoder};
 use cardiotouch_physio::faults::FaultScenario;
 use cardiotouch_physio::path::Position;
 use cardiotouch_physio::scenario::{PairedRecording, Protocol};
@@ -63,6 +63,100 @@ fn write_metrics_snapshot(path: &str) -> Result<(), Box<dyn std::error::Error>> 
         eprintln!("wrote metrics snapshot to {path}");
     }
     Ok(())
+}
+
+/// Persists a durable fleet's state into `dir`: every live log segment
+/// as `segment-<id>.ctlog`, then the checkpoint store as
+/// `checkpoint.ctckpt` (via temp file + rename). Segments are written
+/// before the store so a crash mid-persist leaves the store at or
+/// behind the log — recovery then just replays a longer suffix.
+/// Sealed segments never change, so a file whose length already
+/// matches is skipped; files of retired (compacted-away) segments are
+/// pruned, keeping the directory's footprint bounded like the
+/// in-memory log.
+fn persist_checkpoint(
+    fleet: &cardiotouch::fleet::Fleet,
+    dir: &std::path::Path,
+) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    let log = fleet
+        .wire_segmented_log()
+        .ok_or("durable mode is off (no segmented log)")?;
+    let mut live = std::collections::BTreeSet::new();
+    for seg in log.segments() {
+        live.insert(seg.id());
+        let path = dir.join(format!("segment-{:08}.ctlog", seg.id()));
+        if std::fs::metadata(&path).is_ok_and(|m| m.len() as usize == seg.bytes().len()) {
+            continue;
+        }
+        std::fs::write(&path, seg.bytes())?;
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_string_lossy()
+            .strip_prefix("segment-")
+            .and_then(|r| r.strip_suffix(".ctlog"))
+            .and_then(|r| r.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if !live.contains(&id) {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    let store = fleet
+        .checkpoint_store_bytes()
+        .ok_or("durable mode is off (no checkpoint store)")?;
+    let tmp = dir.join("checkpoint.ctckpt.tmp");
+    std::fs::write(&tmp, store)?;
+    std::fs::rename(&tmp, dir.join("checkpoint.ctckpt"))?;
+    Ok(())
+}
+
+/// Cold-starts a fleet from a directory written by
+/// [`persist_checkpoint`]: reopens the store's longest valid prefix,
+/// rebuilds the segmented log from the segment files (only the newest
+/// may carry a crash cut), restores every checkpointed session and
+/// replays the log suffix past the watermark. Returns the fleet plus
+/// the checkpoint index used and the suffix frame count, for the
+/// startup banner.
+fn recover_fleet(
+    config: PipelineConfig,
+    shards: usize,
+    mailbox: usize,
+    policy: SegmentPolicy,
+    dir: &std::path::Path,
+) -> Result<(cardiotouch::fleet::Fleet, u64, u64), Box<dyn std::error::Error>> {
+    let store_path = dir.join("checkpoint.ctckpt");
+    let store_bytes = std::fs::read(&store_path)
+        .map_err(|e| format!("cannot read {}: {e}", store_path.display()))?;
+    let (store, newest) = CheckpointStore::from_valid_prefix(&store_bytes)?;
+    let newest = newest.ok_or_else(|| format!("{}: no intact checkpoint", store_path.display()))?;
+    let mut parts: Vec<(u64, Vec<u8>)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_string_lossy()
+            .strip_prefix("segment-")
+            .and_then(|r| r.strip_suffix(".ctlog"))
+            .and_then(|r| r.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        parts.push((id, std::fs::read(entry.path())?));
+    }
+    parts.sort_by_key(|(id, _)| *id);
+    if parts.is_empty() {
+        return Err(format!("{}: no segment-*.ctlog files", dir.display()).into());
+    }
+    let log = SegmentedLog::from_segments(policy, &parts)?;
+    let mut suffix_frames = 0u64;
+    log.replay_from(&newest.checkpoint.watermark, |_| suffix_frames += 1)?;
+    let fleet = Fleet::recover(config, shards, mailbox, store, &newest.checkpoint, log)?;
+    Ok((fleet, newest.index, suffix_frames))
 }
 
 /// The conformance suite as a CLI verb: differential engines over the
@@ -279,6 +373,9 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             wire,
             wire_loss,
             wire_corrupt,
+            checkpoint_dir,
+            checkpoint_every_s,
+            recover,
         } => {
             // A handful of distinct template recordings (subject × seed)
             // shared across the fleet: generation is the expensive part,
@@ -343,14 +440,65 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 let frame_len = 125usize;
                 let samples_per_s = 250usize; // = fs
                 let frames_per_s = samples_per_s / frame_len;
-                let mut fleet =
-                    Fleet::new(config, shard_count, sessions.max(DEFAULT_MAILBOX_CAPACITY))?;
-                for s in 0..sessions {
-                    fleet.wire_admit(u32::try_from(s)?)?;
+                let mailbox = sessions.max(DEFAULT_MAILBOX_CAPACITY);
+                let policy = SegmentPolicy::DEFAULT;
+                // Durable serving persists into --checkpoint-dir; a
+                // recovered run keeps checkpointing into the directory
+                // it recovered from.
+                let durable_dir = checkpoint_dir
+                    .as_deref()
+                    .or(recover.as_deref())
+                    .map(std::path::Path::new);
+                let ckpt_every = checkpoint_every_s.unwrap_or(60);
+                // Per-session frame index the templates resume from: a
+                // recovered encoder picks up its timeline where the
+                // dead process stopped (`next_seq` frames in), so the
+                // continued run feeds the exact bytes the uninterrupted
+                // run would have.
+                let mut frame_base = vec![0usize; sessions];
+                let mut fleet;
+                let mut encoders: Vec<SessionEncoder>;
+                if let Some(dir) = recover.as_deref().map(std::path::Path::new) {
+                    let (f, ckpt_index, suffix_frames) =
+                        recover_fleet(config, shard_count, mailbox, policy, dir)?;
+                    let resumes = f.wire_session_resumes();
+                    if resumes.len() != sessions {
+                        return Err(format!(
+                            "{} holds {} checkpointed session(s); rerun with --sessions {} \
+                             (and the original --seed) to continue it",
+                            dir.display(),
+                            resumes.len(),
+                            resumes.len()
+                        )
+                        .into());
+                    }
+                    encoders = Vec::with_capacity(sessions);
+                    for (s, base) in frame_base.iter_mut().enumerate() {
+                        let (id, resume) = resumes
+                            .iter()
+                            .find(|(id, _)| *id as usize == s)
+                            .ok_or_else(|| format!("session {s} missing from checkpoint"))?;
+                        encoders.push(SessionEncoder::with_start_seq(*id, resume.next_seq));
+                        *base = usize::from(resume.next_seq);
+                    }
+                    eprintln!(
+                        "recovered {sessions} session(s) from {} \
+                         (checkpoint #{ckpt_index}, {suffix_frames} suffix frames replayed)",
+                        dir.display()
+                    );
+                    fleet = f;
+                } else {
+                    fleet = Fleet::new(config, shard_count, mailbox)?;
+                    if durable_dir.is_some() {
+                        fleet.wire_enable_durable(policy);
+                    }
+                    for s in 0..sessions {
+                        fleet.wire_admit(u32::try_from(s)?)?;
+                    }
+                    encoders = (0..sessions)
+                        .map(|s| Ok(SessionEncoder::new(u32::try_from(s)?)))
+                        .collect::<Result<_, std::num::TryFromIntError>>()?;
                 }
-                let mut encoders: Vec<SessionEncoder> = (0..sessions)
-                    .map(|s| Ok(SessionEncoder::new(u32::try_from(s)?)))
-                    .collect::<Result<_, std::num::TryFromIntError>>()?;
                 let mut link = (wire_loss > 0.0 || wire_corrupt > 0.0)
                     .then(|| LossyWire::new(seed ^ 0xC71C, wire_loss, wire_corrupt));
                 eprintln!(
@@ -361,6 +509,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 let mut frame_scratch = Vec::new();
                 let mut wire_buf = Vec::new();
                 let mut frames_sent: u64 = 0;
+                let mut checkpoints_sealed: u64 = 0;
                 for sec in 0..seconds {
                     wire_buf.clear();
                     for f in 0..frames_per_s {
@@ -368,7 +517,8 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                             let (ecg, z) = &templates[s % templates.len()];
                             // Per-session phase offset over the shared
                             // template, wrapping on whole frames.
-                            let off = (s * 977 + sec * samples_per_s + f * frame_len)
+                            let off = (s * 977
+                                + (frame_base[s] + sec * frames_per_s + f) * frame_len)
                                 % (ecg.len() - frame_len);
                             let (e, zc) = (&ecg[off..off + frame_len], &z[off..off + frame_len]);
                             match &mut link {
@@ -385,13 +535,39 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                         }
                     }
                     fleet.wire_push(&wire_buf);
+                    if let Some(dir) = durable_dir {
+                        if (sec + 1) % ckpt_every == 0 && sec + 1 < seconds {
+                            fleet.checkpoint()?;
+                            persist_checkpoint(&fleet, dir)?;
+                            checkpoints_sealed += 1;
+                        }
+                    }
                     if let Some(ex) = &mut exporter {
                         ex.export(&cardiotouch_obs::snapshot())?;
                     }
                 }
+                // Graceful shutdown of a durable run seals one final
+                // checkpoint so a later --recover continues from the
+                // very end instead of replaying the whole tail.
+                if let Some(dir) = durable_dir {
+                    fleet.checkpoint()?;
+                    persist_checkpoint(&fleet, dir)?;
+                    checkpoints_sealed += 1;
+                }
                 let elapsed_s = start.elapsed().as_secs_f64();
                 let results = fleet.wire_collect()?;
                 let (dec, asm) = fleet.wire_stats();
+                let durable_summary = durable_dir.map(|dir| {
+                    let log = fleet
+                        .wire_segmented_log()
+                        .expect("durable serving keeps its segmented log");
+                    (
+                        dir.display().to_string(),
+                        log.total_bytes(),
+                        log.segment_count(),
+                        log.retired(),
+                    )
+                });
                 fleet.shutdown();
                 if let Some(ex) = exporter {
                     let path = metrics_out.as_deref().unwrap_or("-");
@@ -418,6 +594,14 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 println!("signal processed    : {session_seconds:.0} session-seconds");
                 println!("wall clock          : {elapsed_s:.3} s");
                 println!("beats emitted       : {total_beats}");
+                if let Some((dir, log_bytes, segments, retired)) = durable_summary {
+                    println!("checkpoints sealed  : {checkpoints_sealed}");
+                    println!(
+                        "log retained        : {log_bytes} B in {segments} segment(s), \
+                         {retired} retired"
+                    );
+                    println!("checkpoint dir      : {dir}");
+                }
                 println!(
                     "sustained sessions  : {:.0} concurrent real-time streams",
                     session_seconds / elapsed_s.max(1e-12)

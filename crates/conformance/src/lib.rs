@@ -23,7 +23,11 @@
 //! * [`replay`] — the corpus multiplexed onto the encoded wire: the
 //!   clean wire must match the in-memory vector path bitwise, and
 //!   replaying the append-only ingest log (clean *and* lossy) must
-//!   reproduce the live frame-driven run bitwise.
+//!   reproduce the live frame-driven run bitwise;
+//! * [`recovery`] — chaos gates for the durable serving path: a
+//!   panicked-and-restarted fleet shard and a crash-cut
+//!   checkpoint-store/segmented-log pair must both reproduce the
+//!   uninterrupted golden run bitwise.
 //!
 //! See DESIGN.md §6e for the contract between these layers.
 
@@ -37,6 +41,7 @@ pub mod accuracy;
 pub mod corpus;
 pub mod differential;
 pub mod golden;
+pub mod recovery;
 pub mod replay;
 
 /// Errors surfaced by the conformance layers.

@@ -1,0 +1,44 @@
+//! Crash-recovery conformance over the full pinned corpus: a durable
+//! fleet survives a shard panic + restart, and crash-cut checkpoint
+//! store / log segments recover to output bitwise identical to the
+//! uninterrupted golden run. The CI chaos gate behind durable serving.
+
+use cardiotouch_conformance::corpus::golden_corpus;
+use cardiotouch_conformance::recovery::{run_corpus, CUT_TRIALS};
+
+#[test]
+fn full_corpus_crash_recovery_equivalence() {
+    let corpus = golden_corpus();
+    let report = run_corpus(&corpus).expect("recovery gates run");
+    assert_eq!(report.cases.len(), 13);
+    assert_eq!(
+        report.cases.iter().filter(|c| c.faulted).count(),
+        2,
+        "the recovery proof must cover both fault-scenario cases"
+    );
+    assert!(
+        report.checkpoints_sealed >= 2,
+        "lag-by-one compaction needs at least two checkpoints \
+         (sealed={})",
+        report.checkpoints_sealed
+    );
+    assert!(
+        report.segments_retired > 0,
+        "the durable run must actually rotate and compact the log"
+    );
+    assert_eq!(report.cut_trials.len(), CUT_TRIALS);
+    assert!(
+        report
+            .cut_trials
+            .iter()
+            .skip(1)
+            .any(|t| t.suffix_frames > 0),
+        "at least one cut trial should replay a non-empty log suffix"
+    );
+    let violations = report.violations();
+    assert!(
+        violations.is_empty(),
+        "crash-recovery equivalence violated:\n{}",
+        violations.join("\n")
+    );
+}

@@ -56,6 +56,20 @@ pub enum CoreError {
         /// The shard whose worker disappeared.
         shard: usize,
     },
+    /// A fleet shard is down (its worker panicked or stalled past the
+    /// watchdog deadline) and has not been restarted yet; the operation
+    /// was refused rather than hung.
+    ShardDown {
+        /// The shard that is down.
+        shard: usize,
+    },
+    /// Checkpoint or recovery state was unusable: a corrupt store, a
+    /// watermark below the oldest retained log segment, or a snapshot
+    /// the engine refused to restore.
+    RecoveryFailed {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -89,6 +103,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::FleetWorkerLost { shard } => {
                 write!(f, "fleet shard {shard} worker thread is gone")
+            }
+            CoreError::ShardDown { shard } => {
+                write!(f, "fleet shard {shard} is down awaiting restart")
+            }
+            CoreError::RecoveryFailed { reason } => {
+                write!(f, "crash recovery failed: {reason}")
             }
         }
     }

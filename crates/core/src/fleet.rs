@@ -25,32 +25,67 @@
 //! (the sample data itself is `Arc`-shared and never queued), so
 //! per-message lock cost is irrelevant next to the 1 s hop cadence.
 //!
+//! # Supervision
+//!
+//! Worker loops run under `catch_unwind`: a panicking session cannot
+//! take the process down. A panicked worker posts [`ShardEvent::Down`]
+//! and exits; its mailbox closes so nothing ever blocks against a dead
+//! shard, and the control thread surfaces [`CoreError::ShardDown`]
+//! instead of hanging. Idle workers bump a per-shard heartbeat on a
+//! short mailbox-poll cadence, so a worker wedged inside a command is
+//! distinguishable from an idle one — the control thread's event waits
+//! double as a watchdog and declare a shard down once its heartbeat
+//! freezes past the stall deadline. [`Fleet::restart_shard`] spawns a
+//! replacement worker and restores its wire sessions from the last
+//! sealed checkpoint plus an ingest-log suffix replay, bitwise-equal to
+//! a shard that never died.
+//!
 //! # Observability
 //!
-//! Fleet-level: `core.fleet.shards` (gauge), `core.fleet.enqueued`,
-//! `core.fleet.rejected`, `core.fleet.migrations` (counters),
-//! `core.fleet.rebalance_us` (histogram). Per shard `i`, the embedded
-//! scheduler publishes `core.fleet.shard<i>.hop_us` and
-//! `core.fleet.shard<i>.quarantined` via
-//! [`SessionScheduler::with_metric_prefix`].
+//! Fleet-level: `core.fleet.shards`, `core.fleet.log_segments` (gauges),
+//! `core.fleet.enqueued`, `core.fleet.rejected`,
+//! `core.fleet.migrations`, `core.fleet.restarts`,
+//! `core.fleet.checkpoints`, `core.fleet.compactions` (counters),
+//! `core.fleet.rebalance_us`, `core.fleet.checkpoint_us` (histograms).
+//! Per shard `i`, the embedded scheduler publishes
+//! `core.fleet.shard<i>.hop_us` and `core.fleet.shard<i>.quarantined`
+//! via [`SessionScheduler::with_metric_prefix`].
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use std::collections::BTreeMap;
+
+use cardiotouch_ingest::{
+    Assembler, Checkpoint, CheckpointStore, FrameView, LogPosition, SegmentPolicy, SegmentedLog,
+    SessionCheckpoint, SessionResume,
+};
 
 use crate::config::PipelineConfig;
 use crate::scheduler::{MigratedSession, ScheduleReport, SessionFeed, SessionScheduler};
 use crate::snapshot::BeatStreamSnapshot;
-use crate::stream::BeatStream;
+use crate::stream::{BeatStream, QualifiedBeat};
 use crate::wire::{FrontDoor, WireSessionResult};
 use crate::CoreError;
 
 /// Default per-shard ingest mailbox capacity (commands, not samples).
 pub const DEFAULT_MAILBOX_CAPACITY: usize = 256;
+
+/// Default watchdog stall deadline: a shard whose heartbeat freezes
+/// this long is declared down ([`CoreError::ShardDown`]).
+pub const DEFAULT_STALL_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Control-thread event-wait poll cadence (watchdog resolution).
+const WATCHDOG_TICK: Duration = Duration::from_millis(25);
+
+/// Idle worker mailbox-poll cadence — each timeout bumps the heartbeat,
+/// so an idle shard is provably alive.
+const WORKER_IDLE_TICK: Duration = Duration::from_millis(100);
 
 // ---------------------------------------------------------------------------
 // Bounded SPSC mailbox
@@ -92,11 +127,27 @@ fn mailbox<T>(capacity: usize) -> (MailboxSender<T>, MailboxReceiver<T>) {
     (MailboxSender(Arc::clone(&inner)), MailboxReceiver(inner))
 }
 
+/// Outcome of a timed dequeue.
+enum MailboxRecv<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The wait elapsed with an empty queue (heartbeat opportunity).
+    Timeout,
+    /// The sender is gone and the queue is drained.
+    Closed,
+}
+
+// Every mailbox lock below recovers from poisoning with
+// `PoisonError::into_inner`: the queue's invariants are a plain
+// VecDeque's (always valid), and a shard that panicked while holding
+// the lock must not cascade-poison the control thread or its peers —
+// panic isolation is the supervisor's job, not the mutex's.
+
 impl<T> MailboxSender<T> {
     /// Non-blocking enqueue: `Err(item)` when the mailbox is full (or
     /// the receiver is gone).
     fn try_send(&self, item: T) -> Result<(), T> {
-        let mut q = self.0.queue.lock().unwrap();
+        let mut q = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
         if q.closed || q.items.len() >= self.0.capacity {
             return Err(item);
         }
@@ -111,7 +162,7 @@ impl<T> MailboxSender<T> {
     /// receiver is gone — the fleet detects a dead shard via its
     /// events channel, never by hanging here.
     fn send(&self, item: T) {
-        let mut q = self.0.queue.lock().unwrap();
+        let mut q = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if q.closed {
                 return;
@@ -119,7 +170,11 @@ impl<T> MailboxSender<T> {
             if q.items.len() < self.0.capacity {
                 break;
             }
-            q = self.0.not_full.wait(q).unwrap();
+            q = self
+                .0
+                .not_full
+                .wait(q)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         q.items.push_back(item);
         drop(q);
@@ -129,14 +184,22 @@ impl<T> MailboxSender<T> {
 
 impl<T> Drop for MailboxSender<T> {
     fn drop(&mut self) {
-        self.0.queue.lock().unwrap().closed = true;
+        self.0
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.0.not_empty.notify_one();
     }
 }
 
 impl<T> Drop for MailboxReceiver<T> {
     fn drop(&mut self) {
-        self.0.queue.lock().unwrap().closed = true;
+        self.0
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.0.not_full.notify_one();
     }
 }
@@ -144,18 +207,41 @@ impl<T> Drop for MailboxReceiver<T> {
 impl<T> MailboxReceiver<T> {
     /// Blocking dequeue; `None` once the sender is gone and the queue
     /// is drained (so a dropped fleet always unparks its workers).
+    #[cfg(test)]
     fn recv(&self) -> Option<T> {
-        let mut q = self.0.queue.lock().unwrap();
+        loop {
+            match self.recv_timeout(Duration::from_secs(3600)) {
+                MailboxRecv::Item(item) => return Some(item),
+                MailboxRecv::Timeout => {}
+                MailboxRecv::Closed => return None,
+            }
+        }
+    }
+
+    /// Dequeue with a bounded wait, so an idle worker wakes to bump its
+    /// heartbeat instead of parking forever.
+    fn recv_timeout(&self, timeout: Duration) -> MailboxRecv<T> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = q.items.pop_front() {
                 drop(q);
                 self.0.not_full.notify_one();
-                return Some(item);
+                return MailboxRecv::Item(item);
             }
             if q.closed {
-                return None;
+                return MailboxRecv::Closed;
             }
-            q = self.0.not_empty.wait(q).unwrap();
+            let now = Instant::now();
+            if now >= deadline {
+                return MailboxRecv::Timeout;
+            }
+            let (guard, _) = self
+                .0
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
         }
     }
 }
@@ -199,8 +285,34 @@ enum ShardCmd {
     /// Drain every wire session's accumulated beats and final state.
     /// Answered with [`ShardEvent::WireCollected`].
     WireCollect,
+    /// Snapshot every wire session in place (sessions stay live) and
+    /// drain their accumulated beats — the shard half of a fleet
+    /// checkpoint. Answered with [`ShardEvent::WireSnapshotted`].
+    WireSnapshot,
+    /// Reopen a wire session from serialized snapshot bytes (restart
+    /// recovery); empty bytes open a fresh stream.
+    WireRestore {
+        session: u32,
+        snapshot_bytes: Vec<u8>,
+    },
+    /// Panic inside the worker loop — the chaos harness's shard-crash
+    /// switch. Exercises the same unwind path a session bug would.
+    InjectPanic,
+    /// Protocol barrier: answered with [`ShardEvent::Synced`] echoing
+    /// the token. Per-shard FIFO means every reply to an older command
+    /// has drained once the echo arrives — how the supervisor
+    /// re-synchronizes the solicited protocol after an aborted
+    /// exchange.
+    Sync { token: u64 },
     /// Terminate the worker loop.
     Shutdown,
+}
+
+/// One wire session's contribution to a fleet checkpoint.
+struct WireSessionSnapshot {
+    session: u32,
+    snapshot_bytes: Vec<u8>,
+    drained: Vec<QualifiedBeat>,
 }
 
 /// Replies from shard workers, tagged with the shard index.
@@ -217,6 +329,44 @@ enum ShardEvent {
     WireCollected {
         results: Vec<WireSessionResult>,
     },
+    WireSnapshotted {
+        sessions: Vec<WireSessionSnapshot>,
+    },
+    Synced {
+        shard: usize,
+        token: u64,
+    },
+    /// Posted by the spawn wrapper when the worker panicked; the
+    /// supervisor marks the shard down and refuses further traffic to
+    /// it until [`Fleet::restart_shard`]. The epoch identifies the
+    /// worker incarnation — a Down from a replaced incarnation is
+    /// stale and ignored.
+    Down {
+        shard: usize,
+        epoch: u64,
+    },
+}
+
+/// Liveness state shared between one worker thread and the supervisor.
+struct ShardHealth {
+    /// Bumped by the worker on every command and idle poll; a frozen
+    /// value past the stall deadline means a wedged thread.
+    heartbeat: AtomicU64,
+    /// Set when the worker panicked or was declared stalled.
+    down: AtomicBool,
+}
+
+impl ShardHealth {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            heartbeat: AtomicU64::new(0),
+            down: AtomicBool::new(false),
+        })
+    }
+
+    fn beat(&self) {
+        self.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Shard worker main loop: owns one scheduler slab, drains its mailbox
@@ -227,6 +377,7 @@ fn shard_main(
     lanes: bool,
     rx: &MailboxReceiver<ShardCmd>,
     events: &mpsc::Sender<ShardEvent>,
+    health: &ShardHealth,
 ) {
     let mut sched = match SessionScheduler::new(config, Vec::new()) {
         Ok(s) => s.with_metric_prefix(&format!("core.fleet.shard{shard}")),
@@ -243,7 +394,17 @@ fn shard_main(
     // control thread's front door reassembles, no template feed.
     let mut wire: BTreeMap<u32, (BeatStream, Vec<crate::stream::QualifiedBeat>)> = BTreeMap::new();
     let wire_beats = cardiotouch_obs::counter(&format!("core.fleet.shard{shard}.wire_beats"));
-    while let Some(cmd) = rx.recv() {
+    loop {
+        let cmd = match rx.recv_timeout(WORKER_IDLE_TICK) {
+            MailboxRecv::Item(cmd) => cmd,
+            MailboxRecv::Timeout => {
+                // Idle is not stalled: prove liveness to the watchdog.
+                health.beat();
+                continue;
+            }
+            MailboxRecv::Closed => return,
+        };
+        health.beat();
         match cmd {
             ShardCmd::Admit(feed) => {
                 // Feeds are validated fleet-side; an engine construction
@@ -265,6 +426,8 @@ fn shard_main(
             ShardCmd::Run { ticks } => {
                 for _ in 0..ticks {
                     let _ = sched.tick_inline();
+                    // A long run is live work, not a stall.
+                    health.beat();
                 }
                 if events.send(ShardEvent::RunDone).is_err() {
                     return;
@@ -324,9 +487,129 @@ fn shard_main(
                     return;
                 }
             }
+            ShardCmd::WireSnapshot => {
+                let sessions = wire
+                    .iter_mut()
+                    .map(|(&session, (stream, beats))| WireSessionSnapshot {
+                        session,
+                        snapshot_bytes: stream.snapshot().to_bytes(),
+                        drained: std::mem::take(beats),
+                    })
+                    .collect();
+                if events
+                    .send(ShardEvent::WireSnapshotted { sessions })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ShardCmd::WireRestore {
+                session,
+                snapshot_bytes,
+            } => {
+                let stream = if snapshot_bytes.is_empty() {
+                    BeatStream::new(config).ok()
+                } else {
+                    BeatStreamSnapshot::from_bytes(&snapshot_bytes)
+                        .and_then(|snap| BeatStream::restore(config, &snap))
+                        .ok()
+                };
+                if let Some(stream) = stream {
+                    wire.insert(session, (stream, Vec::new()));
+                }
+            }
+            ShardCmd::InjectPanic => panic!("injected shard fault (chaos harness)"),
+            ShardCmd::Sync { token } => {
+                if events.send(ShardEvent::Synced { shard, token }).is_err() {
+                    return;
+                }
+            }
             ShardCmd::Shutdown => return,
         }
     }
+}
+
+/// Spawns one supervised shard worker: the loop runs under
+/// `catch_unwind`, so a panicking session tears down one shard, not the
+/// process. On panic the wrapper marks the shard down and posts
+/// [`ShardEvent::Down`]; either way the mailbox receiver drops on exit,
+/// closing the mailbox so senders never block against a dead shard.
+fn spawn_shard(
+    shard: usize,
+    epoch: u64,
+    config: PipelineConfig,
+    lanes: bool,
+    rx: MailboxReceiver<ShardCmd>,
+    events: mpsc::Sender<ShardEvent>,
+    health: Arc<ShardHealth>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("fleet-shard-{shard}"))
+        .spawn(move || {
+            // AssertUnwindSafe: on unwind the scheduler slab and wire
+            // map are dropped wholesale, never observed again — there
+            // is no broken invariant to leak.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                shard_main(shard, config, lanes, &rx, &events, &health);
+            }));
+            if result.is_err() {
+                health.down.store(true, Ordering::SeqCst);
+                let _ = events.send(ShardEvent::Down { shard, epoch });
+            }
+        })
+        .expect("spawn fleet shard thread")
+}
+
+/// Routes one reassembled sample run to its owning shard. Unknown
+/// sessions auto-admit onto the least-loaded *live* shard; runs bound
+/// for a down shard are shed — losslessly, because the frame is already
+/// in the ingest log and the shard's restart replays the suffix.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_wire_run(
+    senders: &[MailboxSender<ShardCmd>],
+    health: &[Arc<ShardHealth>],
+    wire_routing: &mut BTreeMap<u32, usize>,
+    wire_counts: &mut [usize],
+    shed: &mut u64,
+    session: u32,
+    ecg: &[f64],
+    z: &[f64],
+) {
+    let shard = match wire_routing.get(&session) {
+        Some(&shard) => shard,
+        None => {
+            let placed = wire_counts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !health[*i].down.load(Ordering::SeqCst))
+                .min_by_key(|(_, n)| **n)
+                .map(|(i, _)| i);
+            let Some(shard) = placed else {
+                *shed += 1;
+                return;
+            };
+            match senders[shard].try_send(ShardCmd::WireAdmit { session }) {
+                Ok(()) => {
+                    wire_routing.insert(session, shard);
+                    wire_counts[shard] += 1;
+                    shard
+                }
+                Err(_) => {
+                    *shed += 1;
+                    return;
+                }
+            }
+        }
+    };
+    if health[shard].down.load(Ordering::SeqCst) {
+        *shed += 1;
+        return;
+    }
+    senders[shard].send(ShardCmd::WireSamples {
+        session,
+        ecg: ecg.to_vec(),
+        z: z.to_vec(),
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -380,11 +663,25 @@ impl FleetReport {
 }
 
 /// N scheduler shards on N dedicated threads, with bounded ingest,
-/// live migration and occupancy-based rebalancing.
+/// live migration, occupancy-based rebalancing, and supervised crash
+/// recovery on the wire path.
 pub struct Fleet {
     senders: Vec<MailboxSender<ShardCmd>>,
     events: mpsc::Receiver<ShardEvent>,
+    event_tx: mpsc::Sender<ShardEvent>,
     handles: Vec<JoinHandle<()>>,
+    health: Vec<Arc<ShardHealth>>,
+    /// Worker incarnation per shard; bumped by restart so stale Down
+    /// events from a replaced worker are ignored.
+    epochs: Vec<u64>,
+    /// Last heartbeat value seen per shard, with when it changed —
+    /// the watchdog's stall detector.
+    hb_seen: Vec<(u64, Instant)>,
+    stall_deadline: Duration,
+    sync_token: u64,
+    config: PipelineConfig,
+    lanes: bool,
+    mailbox_capacity: usize,
     /// Control-thread view of per-shard occupancy (admissions minus
     /// migrations out plus migrations in). Used for least-loaded
     /// placement; authoritative counts come from shard reports.
@@ -392,7 +689,12 @@ pub struct Fleet {
     enqueued: cardiotouch_obs::Counter,
     rejected: cardiotouch_obs::Counter,
     migrations: cardiotouch_obs::Counter,
+    restarts: cardiotouch_obs::Counter,
+    checkpoints: cardiotouch_obs::Counter,
+    compactions: cardiotouch_obs::Counter,
     rebalance_us: cardiotouch_obs::Histogram,
+    checkpoint_us: cardiotouch_obs::Histogram,
+    log_segments: cardiotouch_obs::Gauge,
     /// Frame-ingest front door (decode + log + reassembly) for the
     /// wire-serving path; runs on the control thread.
     wire_door: FrontDoor,
@@ -400,6 +702,13 @@ pub struct Fleet {
     wire_routing: BTreeMap<u32, usize>,
     /// Wire sessions per shard, for least-loaded placement.
     wire_counts: Vec<usize>,
+    /// Checkpoint store, present once durable mode is enabled.
+    ckpt_store: Option<CheckpointStore>,
+    /// The last sealed checkpoint — what a shard restart restores from.
+    last_ckpt: Option<Checkpoint>,
+    /// Beats drained from shards at checkpoints: durably covered, owned
+    /// by the control thread until [`Fleet::wire_collect`] merges them.
+    collected: BTreeMap<u32, Vec<QualifiedBeat>>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -466,30 +775,53 @@ impl Fleet {
         let (event_tx, events) = mpsc::channel();
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
+        let mut health = Vec::with_capacity(shards);
+        let now = Instant::now();
         for shard in 0..shards {
             let (tx, rx) = mailbox(mailbox_capacity);
-            let ev = event_tx.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("fleet-shard-{shard}"))
-                    .spawn(move || shard_main(shard, config, lanes, &rx, &ev))
-                    .expect("spawn fleet shard thread"),
-            );
+            let hp = ShardHealth::new();
+            handles.push(spawn_shard(
+                shard,
+                0,
+                config,
+                lanes,
+                rx,
+                event_tx.clone(),
+                Arc::clone(&hp),
+            ));
             senders.push(tx);
+            health.push(hp);
         }
         cardiotouch_obs::gauge("core.fleet.shards").set(shards as i64);
         Ok(Self {
             senders,
             events,
+            event_tx,
             handles,
+            health,
+            epochs: vec![0; shards],
+            hb_seen: vec![(0, now); shards],
+            stall_deadline: DEFAULT_STALL_DEADLINE,
+            sync_token: 0,
+            config,
+            lanes,
+            mailbox_capacity,
             occupancy: vec![0; shards],
             enqueued: cardiotouch_obs::counter("core.fleet.enqueued"),
             rejected: cardiotouch_obs::counter("core.fleet.rejected"),
             migrations: cardiotouch_obs::counter("core.fleet.migrations"),
+            restarts: cardiotouch_obs::counter("core.fleet.restarts"),
+            checkpoints: cardiotouch_obs::counter("core.fleet.checkpoints"),
+            compactions: cardiotouch_obs::counter("core.fleet.compactions"),
             rebalance_us: cardiotouch_obs::histogram("core.fleet.rebalance_us"),
+            checkpoint_us: cardiotouch_obs::histogram("core.fleet.checkpoint_us"),
+            log_segments: cardiotouch_obs::gauge("core.fleet.log_segments"),
             wire_door: FrontDoor::new(),
             wire_routing: BTreeMap::new(),
             wire_counts: vec![0; shards],
+            ckpt_store: None,
+            last_ckpt: None,
+            collected: BTreeMap::new(),
         })
     }
 
@@ -546,8 +878,12 @@ impl Fleet {
     ///
     /// # Errors
     ///
-    /// [`CoreError::FleetWorkerLost`] if a shard thread died.
+    /// * [`CoreError::ShardDown`] when a shard panicked or stalled —
+    ///   call [`Fleet::restart_shard`] and retry;
+    /// * [`CoreError::FleetWorkerLost`] if a shard thread died without
+    ///   the supervisor noticing (events channel gone).
     pub fn run(&mut self, ticks: usize) -> Result<FleetReport, CoreError> {
+        self.check_down()?;
         let start = Instant::now();
         for tx in &self.senders {
             tx.send(ShardCmd::Run { ticks });
@@ -596,6 +932,7 @@ impl Fleet {
                 constraint: "migration needs two distinct in-range shards",
             });
         }
+        self.check_down()?;
         self.senders[from].send(ShardCmd::Extract { max: count });
         let sessions = match self.recv_event()? {
             ShardEvent::Extracted { shard, sessions } if shard == from => sessions,
@@ -698,6 +1035,7 @@ impl Fleet {
             .wire_counts
             .iter()
             .enumerate()
+            .filter(|(i, _)| !self.health[*i].down.load(Ordering::SeqCst))
             .min_by_key(|(_, n)| **n)
             .map(|(i, _)| i)
             .unwrap_or(0);
@@ -723,44 +1061,62 @@ impl Fleet {
     /// `ingest.dropped`. Sample dispatch to already-admitted sessions
     /// uses the blocking send: a full mailbox delays, never reorders or
     /// drops, so per-session delivery order (and therefore the beat
-    /// stream) stays deterministic.
+    /// stream) stays deterministic. Runs bound for a *down* shard are
+    /// shed too — losslessly when a durable log is on, because the
+    /// frame is already logged and [`Fleet::restart_shard`] replays the
+    /// suffix.
     pub fn wire_push(&mut self, chunk: &[u8]) {
         let mut shed: u64 = 0;
         let Self {
             senders,
+            health,
             wire_door,
             wire_routing,
             wire_counts,
             ..
         } = self;
         wire_door.push(chunk, |session, ecg, z| {
-            let shard = match wire_routing.get(&session) {
-                Some(&shard) => shard,
-                None => {
-                    let shard = wire_counts
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, n)| **n)
-                        .map(|(i, _)| i)
-                        .unwrap_or(0);
-                    match senders[shard].try_send(ShardCmd::WireAdmit { session }) {
-                        Ok(()) => {
-                            wire_routing.insert(session, shard);
-                            wire_counts[shard] += 1;
-                            shard
-                        }
-                        Err(_) => {
-                            shed += 1;
-                            return;
-                        }
-                    }
-                }
-            };
-            senders[shard].send(ShardCmd::WireSamples {
+            dispatch_wire_run(
+                senders,
+                health,
+                wire_routing,
+                wire_counts,
+                &mut shed,
                 session,
-                ecg: ecg.to_vec(),
-                z: z.to_vec(),
-            });
+                ecg,
+                z,
+            );
+        });
+        if shed > 0 {
+            self.rejected.add(shed);
+            self.wire_door.count_shed(shed);
+        }
+    }
+
+    /// Feeds one already-logged frame through decode + reassembly and
+    /// shard dispatch *without* re-appending it to the log — the
+    /// suffix-replay half of fleet crash recovery.
+    fn wire_replay_frame(&mut self, frame: &[u8]) {
+        let mut shed: u64 = 0;
+        let Self {
+            senders,
+            health,
+            wire_door,
+            wire_routing,
+            wire_counts,
+            ..
+        } = self;
+        wire_door.replay_frame(frame, |session, ecg, z| {
+            dispatch_wire_run(
+                senders,
+                health,
+                wire_routing,
+                wire_counts,
+                &mut shed,
+                session,
+                ecg,
+                z,
+            );
         });
         if shed > 0 {
             self.rejected.add(shed);
@@ -782,14 +1138,218 @@ impl Fleet {
         )
     }
 
-    /// Drains every wire session across all shards: accumulated beats,
+    /// Switches the wire front door to **durable** mode: a segmented
+    /// (rotating, compactable) ingest log plus an in-memory checkpoint
+    /// store, the preconditions for [`Fleet::checkpoint`] and
+    /// [`Fleet::restart_shard`] recovery. Call before the first
+    /// [`Fleet::wire_push`].
+    pub fn wire_enable_durable(&mut self, policy: SegmentPolicy) {
+        self.wire_door = FrontDoor::with_segmented_log(policy);
+        self.ckpt_store = Some(CheckpointStore::new());
+        self.last_ckpt = None;
+        self.collected.clear();
+    }
+
+    /// Seals one fleet-wide checkpoint: snapshots every wire session in
+    /// place (a `WireSnapshot` barrier per shard — mailbox FIFO
+    /// guarantees each snapshot covers exactly the runs dispatched
+    /// before the current log watermark), appends the checkpoint to the
+    /// store, compacts the log to the *previous* checkpoint's watermark
+    /// (lag-by-one: a crash mid-append falls back one checkpoint, whose
+    /// suffix must still be replayable), and takes ownership of the
+    /// beats drained from the shards — they are durably covered now and
+    /// will be merged back by [`Fleet::wire_collect`]. Counted in
+    /// `core.fleet.checkpoints`; wall-clock in
+    /// `core.fleet.checkpoint_us`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::RecoveryFailed`] when durable mode is off;
+    /// * [`CoreError::ShardDown`] when a shard is down (restart first);
+    /// * [`CoreError::FleetWorkerLost`] on a protocol violation.
+    pub fn checkpoint(&mut self) -> Result<LogPosition, CoreError> {
+        self.check_down()?;
+        let start = Instant::now();
+        let watermark = self
+            .wire_door
+            .log_position()
+            .ok_or_else(|| CoreError::RecoveryFailed {
+                reason: "checkpointing requires durable mode (wire_enable_durable)".into(),
+            })?;
+        for tx in &self.senders {
+            tx.send(ShardCmd::WireSnapshot);
+        }
+        let mut snaps: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+        for _ in 0..self.senders.len() {
+            match self.recv_event()? {
+                ShardEvent::WireSnapshotted { sessions, .. } => {
+                    for s in sessions {
+                        if !s.drained.is_empty() {
+                            self.collected
+                                .entry(s.session)
+                                .or_default()
+                                .extend(s.drained);
+                        }
+                        snaps.insert(s.session, s.snapshot_bytes);
+                    }
+                }
+                _ => return Err(CoreError::FleetWorkerLost { shard: 0 }),
+            }
+        }
+        let sessions = self
+            .wire_door
+            .export_sessions()
+            .into_iter()
+            .map(|(session, resume)| SessionCheckpoint {
+                session,
+                resume,
+                // A session the reassembler knows but no shard owns
+                // (admission was shed) restores as a fresh stream.
+                snapshot: snaps.remove(&session).unwrap_or_default(),
+            })
+            .collect();
+        let ckpt = Checkpoint {
+            watermark,
+            sessions,
+        };
+        self.ckpt_store
+            .get_or_insert_with(CheckpointStore::new)
+            .append(&ckpt);
+        if let Some(prev) = self.last_ckpt.as_ref().map(|c| c.watermark) {
+            if let Some(log) = self.wire_door.segmented_log_mut() {
+                let retired = log.compact(&prev);
+                if retired > 0 {
+                    self.compactions.add(retired as u64);
+                }
+            }
+        }
+        self.last_ckpt = Some(ckpt);
+        if let Some(log) = self.wire_door.segmented_log() {
+            self.log_segments.set(log.segment_count() as i64);
+        }
+        self.checkpoints.inc();
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.checkpoint_us.record(us.max(1));
+        Ok(watermark)
+    }
+
+    /// Rebuilds a fleet from a recovered checkpoint and the (possibly
+    /// crash-cut) segmented log it watermarks: every checkpointed wire
+    /// session is restored onto a least-loaded shard from its snapshot
+    /// bytes, the reassembler resumes at the watermark, the fleet takes
+    /// ownership of the log and the store, and the log suffix past the
+    /// watermark is replayed through the normal dispatch path. Combined
+    /// with the checkpoint-drained beats the caller persisted, the
+    /// collected output is bitwise-equal to the uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// * [`Fleet::new`]'s construction surface;
+    /// * [`CoreError::RecoveryFailed`] for an unusable snapshot or a
+    ///   watermark below the oldest retained segment.
+    pub fn recover(
+        config: PipelineConfig,
+        shards: usize,
+        mailbox_capacity: usize,
+        store: CheckpointStore,
+        checkpoint: &Checkpoint,
+        log: SegmentedLog,
+    ) -> Result<Self, CoreError> {
+        // Collect the suffix before the front door takes the log.
+        let mut suffix: Vec<Vec<u8>> = Vec::new();
+        log.replay_from(&checkpoint.watermark, |f| suffix.push(f.to_vec()))
+            .map_err(|e| CoreError::RecoveryFailed {
+                reason: format!("suffix replay: {e}"),
+            })?;
+        let mut fleet = Self::build(config, shards, mailbox_capacity, false)?;
+        fleet.wire_door.install_segmented_log(log);
+        fleet.ckpt_store = Some(store);
+        for sc in &checkpoint.sessions {
+            fleet.wire_door.resume_session(sc.session, &sc.resume);
+            let shard = fleet
+                .wire_counts
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| **n)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            fleet.senders[shard].send(ShardCmd::WireRestore {
+                session: sc.session,
+                snapshot_bytes: sc.snapshot.clone(),
+            });
+            fleet.wire_routing.insert(sc.session, shard);
+            fleet.wire_counts[shard] += 1;
+        }
+        fleet.last_ckpt = Some(checkpoint.clone());
+        for frame in &suffix {
+            fleet.wire_replay_frame(frame);
+        }
+        Ok(fleet)
+    }
+
+    /// The serialized checkpoint store, when durable mode is on — what
+    /// a serving binary persists after each [`Fleet::checkpoint`].
+    #[must_use]
+    pub fn checkpoint_store_bytes(&self) -> Option<&[u8]> {
+        self.ckpt_store.as_ref().map(CheckpointStore::as_bytes)
+    }
+
+    /// The segmented ingest log, when durable mode is on.
+    #[must_use]
+    pub fn wire_segmented_log(&self) -> Option<&SegmentedLog> {
+        self.wire_door.segmented_log()
+    }
+
+    /// The last checkpoint sealed (or recovered from), when any.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_ckpt.as_ref()
+    }
+
+    /// Per-session reassembly resume states as the front door holds
+    /// them *now* (after [`Fleet::recover`] they already include the
+    /// replayed log suffix). A serving binary uses `next_seq` to resume
+    /// its device-side encoders at the right sequence after a restart.
+    #[must_use]
+    pub fn wire_session_resumes(&self) -> Vec<(u32, SessionResume)> {
+        self.wire_door.export_sessions()
+    }
+
+    /// Overrides the watchdog stall deadline (tests and chaos runs use
+    /// short deadlines; production keeps [`DEFAULT_STALL_DEADLINE`]).
+    pub fn set_stall_deadline(&mut self, deadline: Duration) {
+        self.stall_deadline = deadline;
+    }
+
+    /// `true` when the shard has been declared down and not restarted.
+    #[must_use]
+    pub fn shard_is_down(&self, shard: usize) -> bool {
+        self.health
+            .get(shard)
+            .is_some_and(|h| h.down.load(Ordering::SeqCst))
+    }
+
+    /// Chaos switch: makes the shard's worker panic inside its command
+    /// loop, exercising the exact unwind path a session bug would. The
+    /// panic is asynchronous — it surfaces as [`CoreError::ShardDown`]
+    /// from the next collective call.
+    pub fn inject_shard_panic(&mut self, shard: usize) {
+        if let Some(tx) = self.senders.get(shard) {
+            tx.send(ShardCmd::InjectPanic);
+        }
+    }
+
+    /// Drains every wire session across all shards: accumulated beats
+    /// (checkpoint-drained beats merged back in, in emission order),
     /// final snapshot bytes and ladder states, ordered by session id.
     /// Wire sessions are closed afterwards.
     ///
     /// # Errors
     ///
-    /// [`CoreError::FleetWorkerLost`] if a shard thread died.
+    /// * [`CoreError::ShardDown`] when a shard is down (restart first);
+    /// * [`CoreError::FleetWorkerLost`] if a shard thread died.
     pub fn wire_collect(&mut self) -> Result<Vec<WireSessionResult>, CoreError> {
+        self.check_down()?;
         for tx in &self.senders {
             tx.send(ShardCmd::WireCollect);
         }
@@ -799,6 +1359,40 @@ impl Fleet {
                 ShardEvent::WireCollected { results, .. } => all.extend(results),
                 _ => return Err(CoreError::FleetWorkerLost { shard: 0 }),
             }
+        }
+        // Beats drained at checkpoints precede everything the shard
+        // accumulated since — prepend them.
+        let mut collected = std::mem::take(&mut self.collected);
+        for r in &mut all {
+            if let Some(mut pre) = collected.remove(&r.session) {
+                pre.append(&mut r.beats);
+                r.beats = pre;
+            }
+        }
+        // Leftovers: sessions with durably collected beats but no live
+        // shard slot (salvaged from an exchange a crash aborted).
+        // Synthesize their result from the last checkpoint's snapshot.
+        for (session, beats) in collected {
+            let snap = self
+                .last_ckpt
+                .as_ref()
+                .and_then(|c| c.sessions.iter().find(|s| s.session == session))
+                .map(|s| s.snapshot.clone())
+                .unwrap_or_default();
+            let stream = if snap.is_empty() {
+                BeatStream::new(self.config).ok()
+            } else {
+                BeatStreamSnapshot::from_bytes(&snap)
+                    .and_then(|s| BeatStream::restore(self.config, &s))
+                    .ok()
+            };
+            let Some(stream) = stream else { continue };
+            all.push(WireSessionResult {
+                session,
+                beats,
+                snapshot_bytes: stream.snapshot().to_bytes(),
+                states: stream.channel_states(),
+            });
         }
         all.sort_by_key(|r| r.session);
         self.wire_routing.clear();
@@ -811,6 +1405,25 @@ impl Fleet {
         self.shutdown_inner();
     }
 
+    /// Graceful drain: seals a final checkpoint (when durable mode is
+    /// on — every beat emitted so far becomes durably covered), drains
+    /// every wire session, then shuts the workers down. The returned
+    /// results are what [`Fleet::wire_collect`] would have returned.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Fleet::checkpoint`] and
+    /// [`Fleet::wire_collect`]; on error the fleet is still torn down
+    /// (by drop), but the drain is lost.
+    pub fn shutdown_graceful(mut self) -> Result<Vec<WireSessionResult>, CoreError> {
+        if self.ckpt_store.is_some() {
+            self.checkpoint()?;
+        }
+        let results = self.wire_collect()?;
+        self.shutdown_inner();
+        Ok(results)
+    }
+
     fn shutdown_inner(&mut self) {
         for tx in self.senders.drain(..) {
             // Non-blocking: if the mailbox is full the drop below
@@ -818,18 +1431,253 @@ impl Fleet {
             // backlog — either way it terminates.
             let _ = tx.try_send(ShardCmd::Shutdown);
         }
-        for handle in self.handles.drain(..) {
+        for (shard, handle) in self.handles.drain(..).enumerate() {
+            // A wedged worker (declared down but never unwound) would
+            // hang this join forever; its mailbox is closed, so it
+            // exits on its own if it ever wakes. Detach it instead.
+            let down = self
+                .health
+                .get(shard)
+                .is_some_and(|h| h.down.load(Ordering::SeqCst));
+            if down && !handle.is_finished() {
+                continue;
+            }
             let _ = handle.join();
         }
     }
 
-    fn recv_event(&self) -> Result<ShardEvent, CoreError> {
-        self.events
-            .recv()
-            .map_err(|_| CoreError::FleetWorkerLost { shard: 0 })
+    /// Waits for one shard event, doubling as the watchdog: while
+    /// waiting it folds in panic notifications ([`ShardEvent::Down`])
+    /// and declares a shard down when its heartbeat freezes past the
+    /// stall deadline — so a wedged worker surfaces as
+    /// [`CoreError::ShardDown`] instead of hanging the control thread.
+    fn recv_event(&mut self) -> Result<ShardEvent, CoreError> {
+        loop {
+            match self.events.recv_timeout(WATCHDOG_TICK) {
+                Ok(ShardEvent::Down { shard, epoch }) => {
+                    if epoch == self.epochs[shard] {
+                        self.health[shard].down.store(true, Ordering::SeqCst);
+                        return Err(CoreError::ShardDown { shard });
+                    }
+                    // Stale: a replaced incarnation's death notice.
+                }
+                Ok(ev) => return Ok(ev),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some(shard) = self.watchdog_sweep() {
+                        return Err(CoreError::ShardDown { shard });
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(CoreError::FleetWorkerLost { shard: 0 });
+                }
+            }
+        }
+    }
+
+    /// One watchdog pass over per-shard heartbeats; returns a shard
+    /// newly declared down — stalled past the deadline, or exited
+    /// without posting a Down event.
+    fn watchdog_sweep(&mut self) -> Option<usize> {
+        let now = Instant::now();
+        for shard in 0..self.health.len() {
+            if self.health[shard].down.load(Ordering::SeqCst) {
+                continue;
+            }
+            let hb = self.health[shard].heartbeat.load(Ordering::Relaxed);
+            if hb != self.hb_seen[shard].0 {
+                self.hb_seen[shard] = (hb, now);
+                continue;
+            }
+            let stalled = now.duration_since(self.hb_seen[shard].1) > self.stall_deadline;
+            if stalled || self.handles[shard].is_finished() {
+                self.health[shard].down.store(true, Ordering::SeqCst);
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// Refuses a collective exchange while any shard is down: it would
+    /// hang on the missing reply. The caller restarts the shard first.
+    fn check_down(&self) -> Result<(), CoreError> {
+        match self
+            .health
+            .iter()
+            .position(|h| h.down.load(Ordering::SeqCst))
+        {
+            Some(shard) => Err(CoreError::ShardDown { shard }),
+            None => Ok(()),
+        }
+    }
+
+    /// Re-synchronizes the solicited protocol after an aborted
+    /// exchange: a `Sync` barrier to every live shard, discarding
+    /// everything queued ahead of each echo (replies to requests the
+    /// crash abandoned).
+    fn quiesce(&mut self) -> Result<(), CoreError> {
+        self.sync_token += 1;
+        let token = self.sync_token;
+        let live: Vec<usize> = (0..self.shards())
+            .filter(|&i| !self.health[i].down.load(Ordering::SeqCst))
+            .collect();
+        for &i in &live {
+            self.senders[i].send(ShardCmd::Sync { token });
+        }
+        let mut pending = vec![false; self.shards()];
+        for &i in &live {
+            pending[i] = true;
+        }
+        let mut remaining = live.len();
+        while remaining > 0 {
+            match self.recv_event()? {
+                ShardEvent::Synced { shard, token: t } if t == token && pending[shard] => {
+                    pending[shard] = false;
+                    remaining -= 1;
+                }
+                // Stale replies to an exchange the crash abandoned.
+                // Beats inside them are real emissions — salvage them
+                // into `collected` instead of dropping them.
+                ShardEvent::WireSnapshotted { sessions, .. } => {
+                    for s in sessions {
+                        if !s.drained.is_empty() {
+                            self.collected
+                                .entry(s.session)
+                                .or_default()
+                                .extend(s.drained);
+                        }
+                    }
+                }
+                ShardEvent::WireCollected { results } => {
+                    for r in results {
+                        if !r.beats.is_empty() {
+                            self.collected.entry(r.session).or_default().extend(r.beats);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces a down shard's worker with a fresh incarnation and
+    /// restores its wire sessions from the last sealed checkpoint plus
+    /// an ingest-log suffix replay — bitwise-equal to a shard that
+    /// never died. Scheduler-slab sessions are not durable and do not
+    /// survive the restart (their feeds live on the caller's side).
+    /// Counted in `core.fleet.restarts`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for an out-of-range shard;
+    /// * [`CoreError::ShardDown`] if *another* shard went down while
+    ///   re-synchronizing (restart that one too, then retry);
+    /// * [`CoreError::RecoveryFailed`] when the log suffix below the
+    ///   checkpoint watermark is gone (over-compacted).
+    pub fn restart_shard(&mut self, shard: usize) -> Result<(), CoreError> {
+        if shard >= self.shards() {
+            return Err(CoreError::InvalidParameter {
+                name: "shard",
+                value: shard as f64,
+                constraint: "restart needs an in-range shard",
+            });
+        }
+        let (tx, rx) = mailbox(self.mailbox_capacity);
+        let hp = ShardHealth::new();
+        self.epochs[shard] += 1;
+        let handle = spawn_shard(
+            shard,
+            self.epochs[shard],
+            self.config,
+            self.lanes,
+            rx,
+            self.event_tx.clone(),
+            Arc::clone(&hp),
+        );
+        // Replacing the sender drops the old one, closing the old
+        // mailbox: a merely-wedged (not unwound) old worker exits on
+        // its own if it ever wakes up.
+        self.senders[shard] = tx;
+        let old = std::mem::replace(&mut self.handles[shard], handle);
+        if old.is_finished() {
+            let _ = old.join();
+        }
+        // else: detach the wedged thread — joining it would hang the
+        // control thread on exactly the stall we are recovering from.
+        self.health[shard] = hp;
+        self.hb_seen[shard] = (0, Instant::now());
+        self.occupancy[shard] = 0;
+        self.restarts.inc();
+        self.quiesce()?;
+        self.restore_wire_sessions(shard)
+    }
+
+    /// Re-creates the restarted shard's wire sessions: engine snapshots
+    /// from the last checkpoint (fresh streams for sessions younger than
+    /// it), then the sample runs the shard saw after the watermark,
+    /// re-derived by replaying the log suffix through a scratch
+    /// reassembler resumed at the checkpoint — filtered to the shard's
+    /// own sessions so its peers see nothing.
+    fn restore_wire_sessions(&mut self, shard: usize) -> Result<(), CoreError> {
+        let owned: Vec<u32> = self
+            .wire_routing
+            .iter()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(&id, _)| id)
+            .collect();
+        self.wire_counts[shard] = owned.len();
+        if owned.is_empty() {
+            return Ok(());
+        }
+        for &session in &owned {
+            let snapshot_bytes = self
+                .last_ckpt
+                .as_ref()
+                .and_then(|c| c.sessions.iter().find(|s| s.session == session))
+                .map(|s| s.snapshot.clone())
+                .unwrap_or_default();
+            self.senders[shard].send(ShardCmd::WireRestore {
+                session,
+                snapshot_bytes,
+            });
+        }
+        let Some(log) = self.wire_door.segmented_log() else {
+            return Ok(());
+        };
+        let from = self
+            .last_ckpt
+            .as_ref()
+            .map_or_else(|| log.start_position(), |c| c.watermark);
+        let owned_set: std::collections::BTreeSet<u32> = owned.into_iter().collect();
+        let mut asm = Assembler::new();
+        if let Some(ckpt) = self.last_ckpt.as_ref() {
+            for sc in &ckpt.sessions {
+                if owned_set.contains(&sc.session) {
+                    asm.resume_session(sc.session, &sc.resume);
+                }
+            }
+        }
+        let mut runs: Vec<(u32, Vec<f64>, Vec<f64>)> = Vec::new();
+        log.replay_from(&from, |frame| {
+            if let Ok((view, _)) = FrameView::parse(frame) {
+                if owned_set.contains(&view.session()) {
+                    asm.accept(&view, |session, ecg, z| {
+                        runs.push((session, ecg.to_vec(), z.to_vec()));
+                    });
+                }
+            }
+        })
+        .map_err(|e| CoreError::RecoveryFailed {
+            reason: format!("suffix replay: {e}"),
+        })?;
+        for (session, ecg, z) in runs {
+            self.senders[shard].send(ShardCmd::WireSamples { session, ecg, z });
+        }
+        Ok(())
     }
 
     fn collect_reports(&mut self, elapsed_s: f64) -> Result<Vec<ScheduleReport>, CoreError> {
+        self.check_down()?;
         for tx in &self.senders {
             tx.send(ShardCmd::Report { elapsed_s });
         }
@@ -1087,6 +1935,205 @@ mod tests {
                 a.bitwise_eq(b),
                 "session {} diverged between fleet and hub",
                 a.session
+            );
+        }
+    }
+
+    #[test]
+    fn panicked_shard_surfaces_shard_down_not_a_hang() {
+        let config = PipelineConfig::paper_default(250.0);
+        let mut fleet = Fleet::new(config, 2, 8).unwrap();
+        fleet.admit(feed(0)).unwrap();
+        fleet.inject_shard_panic(0);
+        // The panic is asynchronous, but FIFO puts it ahead of the Run
+        // below: shard 0 never replies, so the collective call must
+        // fail with ShardDown — never hang, never unwind into us.
+        let err = fleet.run(1).unwrap_err();
+        assert!(
+            matches!(err, CoreError::ShardDown { shard: 0 }),
+            "got {err}"
+        );
+        assert!(fleet.shard_is_down(0));
+        assert!(!fleet.shard_is_down(1));
+        // Collective calls keep refusing (not hanging) until restart.
+        assert!(matches!(
+            fleet.reports(1.0),
+            Err(CoreError::ShardDown { shard: 0 })
+        ));
+        // A restarted shard rejoins the protocol cleanly even though
+        // the aborted exchange left stale replies queued.
+        fleet.restart_shard(0).unwrap();
+        assert!(!fleet.shard_is_down(0));
+        let report = fleet.run(1).unwrap();
+        assert_eq!(report.shards.len(), 2);
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn durable_fleet_survives_shard_crash_bitwise() {
+        use cardiotouch_ingest::SessionEncoder;
+
+        let config = PipelineConfig::paper_default(250.0);
+        let (ecg, z) = templates();
+        let frame_len = 125;
+        let sessions = 4u32;
+        let seconds = 8;
+
+        let mut encoders: Vec<SessionEncoder> = (0..sessions).map(SessionEncoder::new).collect();
+        let mut per_second: Vec<Vec<u8>> = Vec::new();
+        for s in 0..seconds {
+            let mut buf = Vec::new();
+            for c in 0..(250 / frame_len) {
+                for (i, enc) in encoders.iter_mut().enumerate() {
+                    let off = (i * 977 + s * 250 + c * frame_len) % (ecg.len() - frame_len);
+                    enc.push_frame(
+                        &ecg[off..off + frame_len],
+                        &z[off..off + frame_len],
+                        &mut buf,
+                    )
+                    .unwrap();
+                }
+            }
+            per_second.push(buf);
+        }
+
+        // Reference: the single-threaded hub over the same bytes.
+        let mut hub = crate::wire::WireHub::new(config).unwrap();
+        for buf in &per_second {
+            hub.push(buf).unwrap();
+        }
+        let want = hub.finish();
+
+        // Durable fleet: checkpoint, crash a shard mid-run, restart it
+        // from checkpoint + suffix replay, keep serving.
+        let mut fleet = Fleet::new(config, 2, 64).unwrap();
+        fleet.wire_enable_durable(SegmentPolicy {
+            max_bytes: 16 * 1024,
+            max_frames: 32,
+        });
+        for s in 0..sessions {
+            fleet.wire_admit(s).unwrap();
+        }
+        for (i, buf) in per_second.iter().enumerate() {
+            fleet.wire_push(buf);
+            if i == 2 {
+                fleet.checkpoint().unwrap();
+            }
+            if i == 4 {
+                fleet.inject_shard_panic(0);
+                // FIFO puts the panic ahead of the snapshot request, so
+                // this checkpoint aborts with ShardDown (no partial
+                // append — the store only grows on a complete exchange).
+                let err = fleet.checkpoint().unwrap_err();
+                assert!(
+                    matches!(err, CoreError::ShardDown { shard: 0 }),
+                    "got {err}"
+                );
+                fleet.restart_shard(0).unwrap();
+                fleet.checkpoint().unwrap();
+            }
+        }
+        assert!(
+            fleet.wire_segmented_log().unwrap().retired() > 0,
+            "checkpoints should have compacted the log"
+        );
+        let got = fleet.shutdown_graceful().unwrap();
+
+        assert_eq!(got.len(), want.len());
+        for (a, b) in got.iter().zip(&want) {
+            assert!(
+                a.bitwise_eq(b),
+                "session {} diverged after crash recovery",
+                a.session
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_recover_from_store_and_log_matches_reference() {
+        use cardiotouch_ingest::SessionEncoder;
+
+        let config = PipelineConfig::paper_default(250.0);
+        let (ecg, z) = templates();
+        let frame_len = 125;
+        let sessions = 3u32;
+        let seconds = 8;
+
+        let mut encoders: Vec<SessionEncoder> = (0..sessions).map(SessionEncoder::new).collect();
+        let mut per_second: Vec<Vec<u8>> = Vec::new();
+        for s in 0..seconds {
+            let mut buf = Vec::new();
+            for c in 0..(250 / frame_len) {
+                for (i, enc) in encoders.iter_mut().enumerate() {
+                    let off = (i * 977 + s * 250 + c * frame_len) % (ecg.len() - frame_len);
+                    enc.push_frame(
+                        &ecg[off..off + frame_len],
+                        &z[off..off + frame_len],
+                        &mut buf,
+                    )
+                    .unwrap();
+                }
+            }
+            per_second.push(buf);
+        }
+
+        let mut hub = crate::wire::WireHub::new(config).unwrap();
+        for buf in &per_second {
+            hub.push(buf).unwrap();
+        }
+        let want = hub.finish();
+
+        // First incarnation: durable run, checkpoint midway, then the
+        // whole process "dies" — all that survives is the store bytes,
+        // the log, and the beats drained at the checkpoint.
+        let mut first = Fleet::new(config, 2, 64).unwrap();
+        first.wire_enable_durable(SegmentPolicy {
+            max_bytes: 16 * 1024,
+            max_frames: 32,
+        });
+        let split = 5;
+        for buf in &per_second[..split] {
+            first.wire_push(buf);
+        }
+        first.checkpoint().unwrap();
+        let store_bytes = first.checkpoint_store_bytes().unwrap().to_vec();
+        let log = first.wire_segmented_log().unwrap().clone();
+        let checkpoint_results = first.wire_collect().unwrap();
+        drop(first);
+
+        // Cold start from the persisted state; replay re-emits nothing
+        // (the checkpoint watermark is the log end), then serving
+        // continues where the dead process stopped.
+        let recovered = cardiotouch_ingest::recover_latest(&store_bytes)
+            .unwrap()
+            .expect("sealed checkpoint must recover");
+        let (store, _) = CheckpointStore::from_valid_prefix(&store_bytes).unwrap();
+        let mut second = Fleet::recover(config, 2, 64, store, &recovered.checkpoint, log).unwrap();
+        for buf in &per_second[split..] {
+            second.wire_push(buf);
+        }
+        let tail_results = second.shutdown_graceful().unwrap();
+
+        // Checkpoint-covered beats + recovered-run beats must equal the
+        // uninterrupted reference bitwise.
+        assert_eq!(tail_results.len(), want.len());
+        for (tail, w) in tail_results.iter().zip(&want) {
+            let mut beats = checkpoint_results
+                .iter()
+                .find(|r| r.session == tail.session)
+                .map(|r| r.beats.clone())
+                .unwrap_or_default();
+            beats.extend(tail.beats.iter().cloned());
+            let merged = WireSessionResult {
+                session: tail.session,
+                beats,
+                snapshot_bytes: tail.snapshot_bytes.clone(),
+                states: tail.states,
+            };
+            assert!(
+                merged.bitwise_eq(w),
+                "session {} diverged across process restart",
+                tail.session
             );
         }
     }

@@ -32,9 +32,13 @@
 
 use std::collections::BTreeMap;
 
-use cardiotouch_ingest::{Assembler, AssemblyStats, DecodeStats, IngestLog, WireDecoder};
+use cardiotouch_ingest::{
+    Assembler, AssemblyStats, Checkpoint, CheckpointStore, DecodeStats, IngestLog, LogPosition,
+    SegmentPolicy, SegmentedLog, SessionCheckpoint, SessionResume, WireDecoder,
+};
 
 use crate::config::PipelineConfig;
+use crate::snapshot::BeatStreamSnapshot;
 use crate::stream::{BeatStream, QualifiedBeat, SignalState};
 use crate::CoreError;
 
@@ -75,6 +79,31 @@ struct FlushedTotals {
     appended: u64,
 }
 
+/// Where a front door persists accepted frames.
+#[derive(Debug)]
+enum LogSink {
+    /// One unbounded CRC-chained log — replay legs and tests.
+    Flat(IngestLog),
+    /// Rotating, compactable segments — durable serving.
+    Segmented(SegmentedLog),
+}
+
+impl LogSink {
+    fn append(&mut self, frame: &[u8]) {
+        match self {
+            LogSink::Flat(log) => log.append(frame),
+            LogSink::Segmented(log) => log.append(frame),
+        }
+    }
+
+    fn frames(&self) -> u64 {
+        match self {
+            LogSink::Flat(log) => log.frames(),
+            LogSink::Segmented(log) => log.frames(),
+        }
+    }
+}
+
 /// Decoder + optional ingest log + reassembler, with `ingest.*`
 /// counter publication. The transport-facing half of wire serving —
 /// everything below the session layer.
@@ -82,7 +111,7 @@ struct FlushedTotals {
 pub struct FrontDoor {
     decoder: WireDecoder,
     assembler: Assembler,
-    log: Option<IngestLog>,
+    log: Option<LogSink>,
     counters: IngestCounters,
     flushed: FlushedTotals,
 }
@@ -111,8 +140,24 @@ impl FrontDoor {
     #[must_use]
     pub fn with_log() -> Self {
         let mut door = Self::new();
-        door.log = Some(IngestLog::new());
+        door.log = Some(LogSink::Flat(IngestLog::new()));
         door
+    }
+
+    /// Creates a front door that logs into size/entry-bounded segments,
+    /// the precondition for checkpointing and compaction.
+    #[must_use]
+    pub fn with_segmented_log(policy: SegmentPolicy) -> Self {
+        let mut door = Self::new();
+        door.log = Some(LogSink::Segmented(SegmentedLog::new(policy)));
+        door
+    }
+
+    /// Installs an existing segmented log (recovery continues the log
+    /// it crashed with), replacing any current sink.
+    pub fn install_segmented_log(&mut self, log: SegmentedLog) {
+        self.flushed.appended = log.frames();
+        self.log = Some(LogSink::Segmented(log));
     }
 
     /// Pushes a chunk of wire bytes. `sink(session, ecg, z)` fires once
@@ -136,12 +181,26 @@ impl FrontDoor {
         self.flush_counters();
     }
 
+    /// Feeds one already-logged frame through decode + reassembly
+    /// *without* re-appending it to the log — the suffix-replay half of
+    /// crash recovery, where the frame is in the log by definition.
+    pub fn replay_frame<F>(&mut self, frame: &[u8], mut sink: F)
+    where
+        F: FnMut(u32, &[f64], &[f64]),
+    {
+        let Self {
+            decoder, assembler, ..
+        } = self;
+        decoder.push(frame, |f| assembler.accept(&f, &mut sink));
+        self.flush_counters();
+    }
+
     /// Adds everything accumulated since the last flush to the
     /// `ingest.*` registry counters.
     fn flush_counters(&mut self) {
         let d = self.decoder.stats();
         let a = self.assembler.stats();
-        let appended = self.log.as_ref().map_or(0, IngestLog::frames);
+        let appended = self.log.as_ref().map_or(0, LogSink::frames);
         self.counters.frames.add(d.frames - self.flushed.frames);
         self.counters.bytes.add(d.bytes - self.flushed.bytes);
         self.counters.resyncs.add(d.resyncs - self.flushed.resyncs);
@@ -180,10 +239,50 @@ impl FrontDoor {
         self.assembler.stats()
     }
 
-    /// The serialized ingest log, when logging is enabled.
+    /// The serialized flat ingest log, when flat logging is enabled
+    /// (`None` for segmented sinks — use [`FrontDoor::segmented_log`]).
     #[must_use]
     pub fn log_bytes(&self) -> Option<&[u8]> {
-        self.log.as_ref().map(IngestLog::as_bytes)
+        match &self.log {
+            Some(LogSink::Flat(log)) => Some(log.as_bytes()),
+            _ => None,
+        }
+    }
+
+    /// The segmented log, when segmented logging is enabled.
+    #[must_use]
+    pub fn segmented_log(&self) -> Option<&SegmentedLog> {
+        match &self.log {
+            Some(LogSink::Segmented(log)) => Some(log),
+            _ => None,
+        }
+    }
+
+    /// Mutable segmented-log access (compaction).
+    pub fn segmented_log_mut(&mut self) -> Option<&mut SegmentedLog> {
+        match &mut self.log {
+            Some(LogSink::Segmented(log)) => Some(log),
+            _ => None,
+        }
+    }
+
+    /// The segmented log's current end — what a checkpoint records as
+    /// its watermark. `None` without a segmented sink.
+    #[must_use]
+    pub fn log_position(&self) -> Option<LogPosition> {
+        self.segmented_log().map(SegmentedLog::position)
+    }
+
+    /// Every reassembly session's resume state, ordered by session id —
+    /// the transport half of a checkpoint.
+    #[must_use]
+    pub fn export_sessions(&self) -> Vec<(u32, SessionResume)> {
+        self.assembler.export_sessions()
+    }
+
+    /// Restores one session's reassembly state (recovery).
+    pub fn resume_session(&mut self, session: u32, state: &SessionResume) {
+        self.assembler.resume_session(session, state);
     }
 
     /// Combined capacity of the decoder carry buffer and reassembler
@@ -247,6 +346,10 @@ struct WireSession {
     beats: Vec<QualifiedBeat>,
 }
 
+/// Per-session beats drained at a checkpoint — durably covered, so the
+/// caller owns them from that point on.
+pub type DrainedBeats = Vec<(u32, Vec<QualifiedBeat>)>;
+
 /// Single-threaded wire serving: a [`FrontDoor`] feeding one
 /// [`BeatStream`] per session. Used by the conformance replay leg and
 /// as the reference for the fleet wire path; sessions auto-admit on
@@ -256,6 +359,10 @@ pub struct WireHub {
     config: PipelineConfig,
     sessions: BTreeMap<u32, WireSession>,
     deferred: Option<CoreError>,
+    /// Watermark of the last sealed checkpoint: the compaction target
+    /// when the *next* one is sealed (lag-by-one, see
+    /// `cardiotouch_ingest::segment`).
+    last_watermark: Option<LogPosition>,
 }
 
 impl std::fmt::Debug for WireHub {
@@ -286,6 +393,19 @@ impl WireHub {
         Self::build(config, FrontDoor::with_log())
     }
 
+    /// Creates a hub with a segmented (rotating, compactable) ingest
+    /// log — the precondition for [`WireHub::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`WireHub::new`].
+    pub fn with_durable_log(
+        config: PipelineConfig,
+        policy: SegmentPolicy,
+    ) -> Result<Self, CoreError> {
+        Self::build(config, FrontDoor::with_segmented_log(policy))
+    }
+
     fn build(config: PipelineConfig, door: FrontDoor) -> Result<Self, CoreError> {
         drop(BeatStream::new(config)?);
         Ok(Self {
@@ -293,6 +413,7 @@ impl WireHub {
             config,
             sessions: BTreeMap::new(),
             deferred: None,
+            last_watermark: None,
         })
     }
 
@@ -358,6 +479,135 @@ impl WireHub {
     #[must_use]
     pub fn log_bytes(&self) -> Option<&[u8]> {
         self.door.log_bytes()
+    }
+
+    /// Seals one checkpoint: appends every session's reassembly state
+    /// and engine snapshot at the current log watermark to `store`,
+    /// compacts the log to the *previous* checkpoint's watermark
+    /// (lag-by-one: a crash mid-append falls back one checkpoint, whose
+    /// suffix must still be on disk), and drains the beats emitted
+    /// since the last checkpoint — they are durably covered now, so the
+    /// caller owns them.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RecoveryFailed`] when the hub has no segmented log.
+    pub fn checkpoint(
+        &mut self,
+        store: &mut CheckpointStore,
+    ) -> Result<(LogPosition, DrainedBeats), CoreError> {
+        let watermark = self
+            .door
+            .log_position()
+            .ok_or_else(|| CoreError::RecoveryFailed {
+                reason: "checkpointing requires a segmented ingest log".into(),
+            })?;
+        let sessions = self
+            .door
+            .export_sessions()
+            .into_iter()
+            .map(|(session, resume)| SessionCheckpoint {
+                session,
+                resume,
+                snapshot: self
+                    .sessions
+                    .get(&session)
+                    .map_or_else(Vec::new, |s| s.stream.snapshot().to_bytes()),
+            })
+            .collect();
+        store.append(&Checkpoint {
+            watermark,
+            sessions,
+        });
+        if let Some(prev) = self.last_watermark {
+            if let Some(log) = self.door.segmented_log_mut() {
+                log.compact(&prev);
+            }
+        }
+        self.last_watermark = Some(watermark);
+        let drained = self
+            .sessions
+            .iter_mut()
+            .map(|(&session, slot)| (session, std::mem::take(&mut slot.beats)))
+            .filter(|(_, beats)| !beats.is_empty())
+            .collect();
+        Ok((watermark, drained))
+    }
+
+    /// Rebuilds a hub from a recovered checkpoint and the (possibly
+    /// crash-cut) segmented log it watermarks: restores every session's
+    /// engine snapshot and reassembly window, takes ownership of the
+    /// log, then replays the suffix past the watermark. Beats the
+    /// replay re-emits accumulate in the sessions exactly as the
+    /// uninterrupted run would have emitted them after the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RecoveryFailed`] for an unusable snapshot or a
+    /// watermark below the oldest retained segment.
+    pub fn recover(
+        config: PipelineConfig,
+        checkpoint: &Checkpoint,
+        log: SegmentedLog,
+    ) -> Result<Self, CoreError> {
+        let mut suffix: Vec<Vec<u8>> = Vec::new();
+        log.replay_from(&checkpoint.watermark, |f| suffix.push(f.to_vec()))
+            .map_err(|e| CoreError::RecoveryFailed {
+                reason: format!("suffix replay: {e}"),
+            })?;
+        let mut hub = Self::build(config, FrontDoor::new())?;
+        hub.door.install_segmented_log(log);
+        for sc in &checkpoint.sessions {
+            hub.door.resume_session(sc.session, &sc.resume);
+            let stream = if sc.snapshot.is_empty() {
+                BeatStream::new(config).expect("config probed at construction")
+            } else {
+                let snap = BeatStreamSnapshot::from_bytes(&sc.snapshot).map_err(|e| {
+                    CoreError::RecoveryFailed {
+                        reason: format!("session {} snapshot: {e}", sc.session),
+                    }
+                })?;
+                BeatStream::restore(config, &snap).map_err(|e| CoreError::RecoveryFailed {
+                    reason: format!("session {} restore: {e}", sc.session),
+                })?
+            };
+            hub.sessions.insert(
+                sc.session,
+                WireSession {
+                    stream,
+                    beats: Vec::new(),
+                },
+            );
+        }
+        let config = hub.config;
+        let sessions = &mut hub.sessions;
+        let deferred = &mut hub.deferred;
+        for frame in &suffix {
+            hub.door.replay_frame(frame, |session, ecg, z| {
+                if deferred.is_some() {
+                    return;
+                }
+                let slot = sessions.entry(session).or_insert_with(|| WireSession {
+                    stream: BeatStream::new(config).expect("config probed at construction"),
+                    beats: Vec::new(),
+                });
+                match slot.stream.push_qualified(ecg, z) {
+                    Ok(mut beats) => slot.beats.append(&mut beats),
+                    Err(e) => *deferred = Some(e),
+                }
+            });
+        }
+        if let Some(e) = hub.deferred.take() {
+            return Err(e);
+        }
+        hub.last_watermark = Some(checkpoint.watermark);
+        Ok(hub)
+    }
+
+    /// The segmented log, when durable logging is enabled.
+    #[must_use]
+    pub fn segmented_log(&self) -> Option<&SegmentedLog> {
+        self.door.segmented_log()
     }
 }
 
@@ -478,6 +728,81 @@ mod tests {
         assert_eq!(replay_results.len(), live_results.len());
         for (a, b) in live_results.iter().zip(&replay_results) {
             assert!(a.bitwise_eq(b), "session {} diverged on replay", a.session);
+        }
+    }
+
+    #[test]
+    fn checkpoint_then_recover_is_bitwise_equal_to_uninterrupted_run() {
+        let config = PipelineConfig::paper_default(250.0);
+        let wire = mux_wire(2, 125);
+
+        // Uninterrupted reference run.
+        let mut reference = WireHub::new(config).unwrap();
+        for chunk in wire.chunks(977) {
+            reference.push(chunk).unwrap();
+        }
+        let want = reference.finish();
+
+        // Durable run: checkpoint midway, keep pushing, then "crash".
+        let policy = cardiotouch_ingest::SegmentPolicy {
+            max_bytes: 8 * 1024,
+            max_frames: 16,
+        };
+        let mut store = CheckpointStore::new();
+        let mut live = WireHub::with_durable_log(config, policy).unwrap();
+        let chunks: Vec<&[u8]> = wire.chunks(977).collect();
+        let split = chunks.len() / 2;
+        for chunk in &chunks[..split] {
+            live.push(chunk).unwrap();
+        }
+        let (_, drained) = live.checkpoint(&mut store).unwrap();
+        assert!(!drained.is_empty(), "midway checkpoint should cover beats");
+        for chunk in &chunks[split..] {
+            live.push(chunk).unwrap();
+        }
+        // Second checkpoint proves lag-by-one compaction retires
+        // segments without touching the replayable suffix. Its drain
+        // is discarded: the cut below makes this checkpoint
+        // non-durable, so recovery re-emits those beats via replay.
+        live.checkpoint(&mut store).unwrap();
+        let segments_before = live.segmented_log().unwrap().segment_count();
+        let log = live.segmented_log().unwrap().clone();
+        assert!(log.retired() > 0, "compaction should have retired segments");
+
+        // Crash-cut the store inside the final append: recovery falls
+        // back to the first checkpoint, whose suffix is retained.
+        let store_bytes = store.as_bytes();
+        let cut = store_bytes.len() - 7;
+        let recovered = cardiotouch_ingest::recover_latest(&store_bytes[..cut])
+            .unwrap()
+            .expect("first checkpoint survives the cut");
+        assert_eq!(recovered.index, 0);
+        let hub = WireHub::recover(config, &recovered.checkpoint, log).unwrap();
+        assert_eq!(
+            hub.segmented_log().unwrap().segment_count(),
+            segments_before
+        );
+        let got = hub.finish();
+
+        // drained-at-checkpoint-1 beats + recovered re-emissions must
+        // equal the uninterrupted run bitwise (checkpoint 2's drain is
+        // not durable — its beats are re-emitted by the replay).
+        assert_eq!(got.len(), want.len());
+        let drained: BTreeMap<u32, Vec<QualifiedBeat>> = drained.into_iter().collect();
+        for (g, w) in got.iter().zip(&want) {
+            let mut beats = drained.get(&g.session).cloned().unwrap_or_default();
+            beats.extend(g.beats.iter().cloned());
+            let merged = WireSessionResult {
+                session: g.session,
+                beats,
+                snapshot_bytes: g.snapshot_bytes.clone(),
+                states: g.states,
+            };
+            assert!(
+                merged.bitwise_eq(w),
+                "session {} diverged after recovery",
+                g.session
+            );
         }
     }
 }

@@ -64,6 +64,24 @@ impl SessionAsm {
     }
 }
 
+/// Serializable per-session reassembly state: what a checkpoint needs
+/// to resume a session's window exactly where the live run left it.
+/// Restoring this alongside the engine snapshot makes at-least-once
+/// re-feed safe — any re-sent pre-watermark frame lands behind `next`
+/// (or duplicates a parked slot) and is dropped, so replay + re-feed
+/// applies every frame exactly once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionResume {
+    /// Whether the session has locked its first sequence number.
+    pub started: bool,
+    /// Next expected sequence number.
+    pub next_seq: u16,
+    /// Samples in the last delivered frame (sizes NaN fills).
+    pub last_n: usize,
+    /// Parked payloads, slot `d` holding sequence `next + 1 + d`.
+    pub parked: Vec<Option<Vec<u8>>>,
+}
+
 /// Multi-session reassembler. See the module docs for the policy.
 #[derive(Debug, Default)]
 pub struct Assembler {
@@ -192,6 +210,43 @@ impl Assembler {
     #[must_use]
     pub fn scratch_capacity(&self) -> usize {
         self.scratch_ecg.capacity() + self.scratch_z.capacity()
+    }
+
+    /// Exports every session's resume state, ordered by session id —
+    /// the reassembly half of a checkpoint.
+    #[must_use]
+    pub fn export_sessions(&self) -> Vec<(u32, SessionResume)> {
+        self.sessions
+            .iter()
+            .map(|(&id, s)| {
+                (
+                    id,
+                    SessionResume {
+                        started: s.started,
+                        next_seq: s.next,
+                        last_n: s.last_n,
+                        parked: s.window.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Installs (or overwrites) one session's resume state. The parked
+    /// window is normalized to [`REORDER_WINDOW`] slots.
+    pub fn resume_session(&mut self, session: u32, state: &SessionResume) {
+        let mut window: Vec<Option<Vec<u8>>> = state.parked.clone();
+        window.resize_with(usize::from(REORDER_WINDOW), || None);
+        window.truncate(usize::from(REORDER_WINDOW));
+        self.sessions.insert(
+            session,
+            SessionAsm {
+                started: state.started,
+                next: state.next_seq,
+                last_n: state.last_n,
+                window,
+            },
+        );
     }
 }
 
@@ -343,6 +398,45 @@ mod tests {
         assert_eq!(got.len(), 4);
         let st = asm.stats();
         assert_eq!((st.delivered, st.reordered, st.dropped), (4, 0, 0));
+    }
+
+    #[test]
+    fn resumed_session_dedups_refed_prefix_exactly() {
+        // Live run: frames 0..6 with 4 parked out of order.
+        let frames: Vec<Vec<u8>> = vec![
+            frame_bytes(1, 0, 4),
+            frame_bytes(1, 1, 4),
+            frame_bytes(1, 2, 4),
+            frame_bytes(1, 4, 4), // parked
+            frame_bytes(1, 3, 4), // closes the gap, releases 4
+            frame_bytes(1, 6, 4), // parked at the cut point
+        ];
+        let mut live = Assembler::new();
+        let mut live_out = Vec::new();
+        for fr in &frames {
+            accept(&mut live, fr, &mut live_out);
+        }
+        let exported = live.export_sessions();
+        assert_eq!(exported.len(), 1);
+
+        // Resume a fresh assembler from the exported state, then
+        // re-feed the ENTIRE original frame sequence plus the true
+        // continuation — at-least-once delivery.
+        let mut resumed = Assembler::new();
+        resumed.resume_session(exported[0].0, &exported[0].1);
+        let mut resumed_out = Vec::new();
+        for fr in &frames {
+            accept(&mut resumed, fr, &mut resumed_out);
+        }
+        assert!(
+            resumed_out.is_empty(),
+            "every re-fed pre-watermark frame must drop as stale/duplicate"
+        );
+        // Continuation delivers 5, releases parked 6, then 7 flows.
+        accept(&mut resumed, &frame_bytes(1, 5, 4), &mut resumed_out);
+        accept(&mut resumed, &frame_bytes(1, 7, 4), &mut resumed_out);
+        let delivered: Vec<f64> = resumed_out.iter().map(|(_, e)| e[0]).collect();
+        assert_eq!(delivered, vec![5000.0, 6000.0, 7000.0]);
     }
 
     #[test]

@@ -53,19 +53,76 @@ pub fn crc16(data: &[u8]) -> u16 {
     crc16_update(0xFFFF, data)
 }
 
-/// Continues a CRC-16/CCITT-FALSE computation from a running value.
-/// `crc16(x)` is `crc16_update(0xFFFF, x)`.
-#[must_use]
-pub fn crc16_update(mut crc: u16, data: &[u8]) -> u16 {
-    for &b in data {
-        crc ^= u16::from(b) << 8;
-        for _ in 0..8 {
+/// Slicing-by-16 lookup tables for CRC-16/CCITT-FALSE, built at
+/// compile time. `TABLES[0]` is the classic byte-at-a-time table
+/// (each entry the CRC of one byte); `TABLES[k]` is `TABLES[0]`
+/// advanced by `k` zero bytes, so sixteen bytes fold into the running
+/// CRC with sixteen independent table reads and no inter-byte
+/// dependency chain. This sits on the hot path of wire decode,
+/// durable log append, and checkpoint sealing, where the bitwise
+/// form (eight shift/xor iterations per byte) dominated serving cost.
+const CRC16_TABLES: [[u16; 256]; 16] = {
+    let mut t = [[0u16; 256]; 16];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = (i as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
             crc = if crc & 0x8000 != 0 {
                 (crc << 1) ^ 0x1021
             } else {
                 crc << 1
             };
+            bit += 1;
         }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1usize;
+    while k < 16 {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev << 8) ^ t[0][(prev >> 8) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+};
+
+/// Continues a CRC-16/CCITT-FALSE computation from a running value.
+/// `crc16(x)` is `crc16_update(0xFFFF, x)`.
+///
+/// Sixteen-byte chunks are folded via slicing-by-16 (~an order of
+/// magnitude faster than the definitional bit loop); the tail falls
+/// back to the byte-at-a-time table. Bitwise-identical to the
+/// definitional form for every input — the unit tests pin the check
+/// value and cross-check random lengths against the bit-loop
+/// reference.
+#[must_use]
+pub fn crc16_update(mut crc: u16, data: &[u8]) -> u16 {
+    let mut chunks = data.chunks_exact(16);
+    for c in &mut chunks {
+        crc = CRC16_TABLES[15][usize::from(c[0] ^ (crc >> 8) as u8)]
+            ^ CRC16_TABLES[14][usize::from(c[1] ^ (crc & 0xFF) as u8)]
+            ^ CRC16_TABLES[13][usize::from(c[2])]
+            ^ CRC16_TABLES[12][usize::from(c[3])]
+            ^ CRC16_TABLES[11][usize::from(c[4])]
+            ^ CRC16_TABLES[10][usize::from(c[5])]
+            ^ CRC16_TABLES[9][usize::from(c[6])]
+            ^ CRC16_TABLES[8][usize::from(c[7])]
+            ^ CRC16_TABLES[7][usize::from(c[8])]
+            ^ CRC16_TABLES[6][usize::from(c[9])]
+            ^ CRC16_TABLES[5][usize::from(c[10])]
+            ^ CRC16_TABLES[4][usize::from(c[11])]
+            ^ CRC16_TABLES[3][usize::from(c[12])]
+            ^ CRC16_TABLES[2][usize::from(c[13])]
+            ^ CRC16_TABLES[1][usize::from(c[14])]
+            ^ CRC16_TABLES[0][usize::from(c[15])];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc << 8) ^ CRC16_TABLES[0][usize::from((crc >> 8) as u8 ^ b)];
     }
     crc
 }
@@ -480,6 +537,38 @@ mod tests {
     #[test]
     fn crc16_check_value() {
         assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    /// The slicing-by-8 fold must be bitwise-identical to the
+    /// definitional bit loop for every length (covering the chunked
+    /// body, the tail path, and their seam) and every running value.
+    #[test]
+    fn crc16_sliced_matches_bitwise_reference() {
+        fn reference(mut crc: u16, data: &[u8]) -> u16 {
+            for &b in data {
+                crc ^= u16::from(b) << 8;
+                for _ in 0..8 {
+                    crc = if crc & 0x8000 != 0 {
+                        (crc << 1) ^ 0x1021
+                    } else {
+                        crc << 1
+                    };
+                }
+            }
+            crc
+        }
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(167).wrapping_add(i >> 3) & 0xFF) as u8)
+            .collect();
+        for len in 0..data.len() {
+            for init in [0x0000, 0xFFFF, 0x29B1, 0x8408] {
+                assert_eq!(
+                    crc16_update(init, &data[..len]),
+                    reference(init, &data[..len]),
+                    "mismatch at len={len} init={init:#06x}"
+                );
+            }
+        }
     }
 
     #[test]

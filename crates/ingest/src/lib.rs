@@ -21,16 +21,30 @@
 //! [`crate::link`] models the lossy transport with deterministic seeded
 //! frame drops and bit corruption, mirroring `uplink::LossyLink` at frame
 //! granularity.
+//!
+//! [`crate::segment`] rotates the log into size/entry-bounded segments
+//! and compacts segments fully covered by a durable checkpoint, and
+//! [`crate::checkpoint`] is the CRC-chained checkpoint store pairing
+//! per-session engine snapshots with an ingest-log watermark — together
+//! they make recovery = newest checkpoint + suffix replay, bitwise
+//! equal to the uninterrupted run.
 
 pub mod assembler;
+pub mod checkpoint;
 pub mod frame;
 pub mod link;
 pub mod log;
+pub mod segment;
 
-pub use assembler::{Assembler, AssemblyStats, REORDER_WINDOW};
+pub use assembler::{Assembler, AssemblyStats, SessionResume, REORDER_WINDOW};
+pub use checkpoint::{
+    recover_latest, Checkpoint, CheckpointStore, RecoveredCheckpoint, SessionCheckpoint,
+    CHECKPOINT_MAGIC,
+};
 pub use frame::{
     crc16, encode_frame, DecodeStats, FrameError, FrameView, SessionEncoder, WireDecoder,
     HEADER_LEN, MAX_SAMPLES_PER_FRAME, WIRE_VERSION,
 };
 pub use link::LossyWire;
 pub use log::{IngestLog, LogError, LogReader};
+pub use segment::{LogPosition, Segment, SegmentPolicy, SegmentedLog, SuffixReplay};

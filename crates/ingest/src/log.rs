@@ -56,6 +56,13 @@ pub enum LogError {
         /// Declared length.
         len: u32,
     },
+    /// A replay watermark points into a segment the log no longer
+    /// holds — compaction retired something a checkpoint still needs,
+    /// which violates the watermark/compaction invariant.
+    MissingSegment {
+        /// Identifier of the absent segment.
+        segment: u64,
+    },
 }
 
 impl std::fmt::Display for LogError {
@@ -76,6 +83,9 @@ impl std::fmt::Display for LogError {
                     f,
                     "ingest log entry at byte {offset} declares oversize length {len}"
                 )
+            }
+            Self::MissingSegment { segment } => {
+                write!(f, "ingest log segment {segment} was compacted away")
             }
         }
     }
@@ -101,8 +111,19 @@ impl IngestLog {
     /// Creates an empty log (header written).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty log whose buffer is sized for `cap` bytes up
+    /// front. Segmented sinks know their rotation bound, so sizing the
+    /// buffer once avoids the doubling-realloc copies a fresh segment
+    /// would otherwise pay on the per-frame append path.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut buf = Vec::with_capacity(cap.max(LOG_MAGIC.len()));
+        buf.extend_from_slice(&LOG_MAGIC);
         Self {
-            buf: LOG_MAGIC.to_vec(),
+            buf,
             chain: crc16(&LOG_MAGIC),
             frames: 0,
         }
@@ -126,6 +147,42 @@ impl IngestLog {
     #[must_use]
     pub fn frames(&self) -> u64 {
         self.frames
+    }
+
+    /// Serialized size so far, header included.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Current chain CRC — together with [`IngestLog::byte_len`] this
+    /// is the resume point a checkpoint watermark records.
+    #[must_use]
+    pub fn chain(&self) -> u16 {
+        self.chain
+    }
+
+    /// Rebuilds a writer from serialized bytes, keeping only the
+    /// longest valid prefix (so a crash-cut segment can keep accepting
+    /// appends after recovery). Returns the writer plus the violation
+    /// that trimmed the tail, if any.
+    ///
+    /// # Errors
+    ///
+    /// * [`LogError::BadHeader`] when the magic is absent.
+    pub fn from_valid_prefix(data: &[u8]) -> Result<(Self, Option<LogError>), LogError> {
+        let mut reader = LogReader::new(data)?;
+        while reader.next_frame().is_some() {}
+        let trimmed = reader.error();
+        let prefix = reader.valid_prefix_len();
+        Ok((
+            Self {
+                buf: data[..prefix].to_vec(),
+                chain: reader.chain,
+                frames: reader.frames,
+            },
+            trimmed,
+        ))
     }
 
     /// The serialized log, header included.
@@ -167,6 +224,36 @@ impl<'a> LogReader<'a> {
             pos: LOG_MAGIC.len(),
             chain: crc16(&LOG_MAGIC),
             frames: 0,
+            error: None,
+        })
+    }
+
+    /// Opens a serialized log at a previously validated position —
+    /// `(offset, chain, frames)` as recorded by a checkpoint watermark
+    /// — so a recovery replays only the suffix past the watermark. The
+    /// chain CRC discipline still validates every suffix entry.
+    ///
+    /// # Errors
+    ///
+    /// * [`LogError::BadHeader`] when the magic is absent or `offset`
+    ///   lies before the header or past the end of `data`.
+    pub fn resume(
+        data: &'a [u8],
+        offset: usize,
+        chain: u16,
+        frames: u64,
+    ) -> Result<Self, LogError> {
+        if data.len() < LOG_MAGIC.len() || data[..LOG_MAGIC.len()] != LOG_MAGIC {
+            return Err(LogError::BadHeader);
+        }
+        if offset < LOG_MAGIC.len() || offset > data.len() {
+            return Err(LogError::BadHeader);
+        }
+        Ok(Self {
+            data,
+            pos: offset,
+            chain,
+            frames,
             error: None,
         })
     }
@@ -323,6 +410,44 @@ mod tests {
             reader.error(),
             Some(LogError::ChainMismatch { index: 1, .. })
         ));
+    }
+
+    #[test]
+    fn resume_reads_exactly_the_suffix() {
+        let mut log = IngestLog::new();
+        for seq in 0..3 {
+            log.append(&sample_frame(seq));
+        }
+        // Watermark taken mid-log.
+        let (offset, chain, frames) = (log.byte_len(), log.chain(), log.frames());
+        for seq in 3..7 {
+            log.append(&sample_frame(seq));
+        }
+        let bytes = log.as_bytes();
+        let mut reader = LogReader::resume(bytes, offset, chain, frames).unwrap();
+        let got: Vec<Vec<u8>> = reader.by_ref().map(<[u8]>::to_vec).collect();
+        assert_eq!(got, (3..7).map(sample_frame).collect::<Vec<_>>());
+        assert_eq!(reader.error(), None);
+        assert_eq!(reader.frames_read(), 7);
+    }
+
+    #[test]
+    fn from_valid_prefix_resumes_appends_after_a_cut() {
+        let mut log = IngestLog::new();
+        for seq in 0..4 {
+            log.append(&sample_frame(seq));
+        }
+        let cut = &log.as_bytes()[..log.byte_len() - 7];
+        let (mut rebuilt, trimmed) = IngestLog::from_valid_prefix(cut).unwrap();
+        assert!(matches!(trimmed, Some(LogError::Truncated { .. })));
+        assert_eq!(rebuilt.frames(), 3);
+        // The rebuilt writer keeps the chain alive: further appends
+        // read back as one continuous valid log.
+        rebuilt.append(&sample_frame(99));
+        let bytes = rebuilt.into_bytes();
+        let mut reader = LogReader::new(&bytes).unwrap();
+        assert_eq!(reader.by_ref().count(), 4);
+        assert_eq!(reader.error(), None);
     }
 
     #[test]
