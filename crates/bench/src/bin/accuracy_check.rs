@@ -6,6 +6,7 @@
 //! accuracy_check                 # newest ACC_*.json in CWD vs fresh compute (CI gate)
 //! accuracy_check BASELINE.json   # explicit baseline file
 //! accuracy_check --write [PATH]  # write a fresh ACC_<today>.json baseline
+//! accuracy_check --strategy S …  # compute under a non-default strategy
 //! ```
 //!
 //! Exit status: 0 when no statistic regresses past the documented
@@ -15,9 +16,19 @@
 //! window) moves the landmark statistics by far more than the margins,
 //! so the gate trips on real detector drift while formatting
 //! round-trips and benign noise pass.
+//!
+//! `--strategy` selects the [`DelineationStrategy`] the fresh snapshot
+//! is computed with (default: the pipeline default). The committed
+//! repo baseline pins the default strategy; non-default runs are for
+//! CI's informational matrix legs and per-strategy artifacts, and they
+//! drop the absolute floor/ceiling gates ([`Thresholds::relative_only`])
+//! because those are calibrated for the default strategy. A baseline
+//! recorded under a different strategy always fails the gate (the
+//! report's `strategy` field is compared first).
 
 use std::process::ExitCode;
 
+use cardiotouch::config::DelineationStrategy;
 use cardiotouch_conformance::accuracy::{self, AccuracyReport, Thresholds};
 use cardiotouch_conformance::corpus::golden_corpus;
 
@@ -59,57 +70,87 @@ fn newest_baseline() -> Result<String, String> {
         .ok_or_else(|| "no ACC_*.json baseline found (run `accuracy_check --write` first)".into())
 }
 
-fn compute_fresh() -> Result<AccuracyReport, String> {
-    accuracy::compute(&golden_corpus(), &today_iso()).map_err(|e| format!("compute: {e}"))
+fn compute_fresh(strategy: DelineationStrategy) -> Result<AccuracyReport, String> {
+    accuracy::compute_with(&golden_corpus(), &today_iso(), strategy)
+        .map_err(|e| format!("compute: {e}"))
 }
 
-fn write_baseline(path: Option<&str>) -> Result<(), String> {
-    let report = compute_fresh()?;
+fn write_baseline(path: Option<&str>, strategy: DelineationStrategy) -> Result<(), String> {
+    let report = compute_fresh(strategy)?;
     let path = path.map_or_else(|| format!("ACC_{}.json", report.date), str::to_owned);
     std::fs::write(&path, report.to_json()).map_err(|e| format!("write {path}: {e}"))?;
     println!(
-        "wrote {path}: {} cases, {}/{} beats matched (rate {:.4})",
-        report.cases, report.matched_beats, report.truth_beats, report.detection_rate
+        "wrote {path} ({}): {} cases, {}/{} beats matched (rate {:.4})",
+        report.strategy.name(),
+        report.cases,
+        report.matched_beats,
+        report.truth_beats,
+        report.detection_rate
     );
     Ok(())
 }
 
-fn check(baseline: Option<&str>) -> Result<Vec<String>, String> {
+fn check(baseline: Option<&str>, strategy: DelineationStrategy) -> Result<Vec<String>, String> {
     let name = match baseline {
         Some(p) => p.to_owned(),
         None => newest_baseline()?,
     };
     let text = std::fs::read_to_string(&name).map_err(|e| format!("read {name}: {e}"))?;
     let committed = AccuracyReport::from_json(&text).map_err(|e| format!("{name}: {e}"))?;
-    let fresh = compute_fresh()?;
+    let fresh = compute_fresh(strategy)?;
     println!(
-        "baseline {name} ({}): detection {:.4}, B p95 {:.3} ms | fresh: detection {:.4}, B p95 {:.3} ms",
+        "baseline {name} ({}, {}): detection {:.4}, B p95 {:.3} ms | \
+         fresh ({}): detection {:.4}, B p95 {:.3} ms",
         committed.date,
+        committed.strategy.name(),
         committed.detection_rate,
         committed.b.p95_abs_ms,
+        fresh.strategy.name(),
         fresh.detection_rate,
         fresh.b.p95_abs_ms
     );
-    Ok(accuracy::regressions(
-        &committed,
-        &fresh,
-        &Thresholds::default(),
-    ))
+    // The absolute floors/ceilings are calibrated for the default
+    // strategy; relative drift is all a non-default leg can gate on.
+    let thr = if strategy == DelineationStrategy::default() {
+        Thresholds::default()
+    } else {
+        Thresholds::default().relative_only()
+    };
+    Ok(accuracy::regressions(&committed, &fresh, &thr))
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut strategy = DelineationStrategy::default();
+    if let Some(pos) = args.iter().position(|a| a == "--strategy") {
+        if pos + 1 >= args.len() {
+            eprintln!("accuracy_check: --strategy requires a value");
+            return ExitCode::FAILURE;
+        }
+        let Some(s) = DelineationStrategy::parse(&args[pos + 1]) else {
+            eprintln!(
+                "accuracy_check: unknown strategy `{}` \
+                 (expected classic | rebeat | weighted-b | hybrid)",
+                args[pos + 1]
+            );
+            return ExitCode::FAILURE;
+        };
+        strategy = s;
+        args.drain(pos..pos + 2);
+    }
     let result = match args
         .iter()
         .map(String::as_str)
         .collect::<Vec<_>>()
         .as_slice()
     {
-        ["--write"] => write_baseline(None).map(|()| Vec::new()),
-        ["--write", path] => write_baseline(Some(path)).map(|()| Vec::new()),
-        [] => check(None),
-        [path] => check(Some(path)),
-        _ => Err("usage: accuracy_check [BASELINE.json] | accuracy_check --write [PATH]".into()),
+        ["--write"] => write_baseline(None, strategy).map(|()| Vec::new()),
+        ["--write", path] => write_baseline(Some(path), strategy).map(|()| Vec::new()),
+        [] => check(None, strategy),
+        [path] => check(Some(path), strategy),
+        _ => Err("usage: accuracy_check [--strategy S] [BASELINE.json] | \
+                  accuracy_check [--strategy S] --write [PATH]"
+            .into()),
     };
     match result {
         Ok(regs) if regs.is_empty() => {

@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use cardiotouch::config::DelineationStrategy;
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -44,6 +46,8 @@ pub enum Command {
         /// Fault-scenario spec injected into every device chain
         /// (see `FAULTS` in [`USAGE`]).
         faults: Option<String>,
+        /// Delineation strategy override (`None` → pipeline default).
+        delineation: Option<DelineationStrategy>,
     },
     /// Drive many concurrent streaming sessions through the incremental
     /// engine and report sustained throughput and per-hop latency.
@@ -87,6 +91,8 @@ pub enum Command {
         /// directory written by an earlier `--checkpoint-dir` run and
         /// continue serving (requires `--wire`).
         recover: Option<String>,
+        /// Delineation strategy override (`None` → pipeline default).
+        delineation: Option<DelineationStrategy>,
     },
     /// Run the conformance suite: differential batch/stream testing
     /// over the pinned corpus, golden-vector drift check and the
@@ -99,6 +105,10 @@ pub enum Command {
         /// Write the accuracy snapshot (`ACC_*.json` format) here
         /// (`-` for stdout).
         acc_out: Option<String>,
+        /// Delineation strategy override (`None` → pipeline default).
+        /// Golden vectors pin the default strategy, so the drift check
+        /// and `--write-golden` are skipped under an override.
+        delineation: Option<DelineationStrategy>,
     },
     /// Print the Table-I power model and battery-life figures.
     Power,
@@ -128,14 +138,15 @@ USAGE:
   cardiotouch analyze <recording.csv> [--beats-out FILE] [--sqi]
                        [--hemo-z0 OHM]
   cardiotouch study [--quick] [--threads N] [--metrics-out FILE]
-                       [--faults SPEC]
+                       [--faults SPEC] [--delineation STRAT]
   cardiotouch serve-sim [--sessions N] [--threads N] [--shards N]
                        [--seconds S] [--seed N] [--metrics-out FILE]
                        [--faults SPEC] [--wire] [--wire-loss P]
                        [--wire-corrupt P] [--checkpoint-dir DIR]
                        [--checkpoint-every-s S] [--recover DIR]
+                       [--delineation STRAT]
   cardiotouch conformance [--golden DIR] [--write-golden]
-                       [--acc-out FILE]
+                       [--acc-out FILE] [--delineation STRAT]
   cardiotouch power
   cardiotouch help
 
@@ -173,6 +184,13 @@ serve-sim --wire --recover DIR cold-starts from the newest intact
 checkpoint, replays the log suffix, and continues serving with
 bitwise-identical beat emissions; it keeps checkpointing into DIR.
 
+Delineation: --delineation selects the ICG delineation strategy used
+for beat landmark detection. STRAT is classic | rebeat | weighted-b |
+hybrid (default hybrid). Golden vectors pin the default strategy, so
+`conformance --delineation` with a non-default strategy skips the
+golden drift check and refuses --write-golden; the differential and
+accuracy legs still run.
+
 FAULTS: --faults injects a deterministic fault scenario into every
 device chain. SPEC is `none`, `rand:SEED`, or comma-separated events
 `kind@start+duration[:channel]` where kind is drop | loss[=level] |
@@ -204,6 +222,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut golden = None;
             let mut write_golden = false;
             let mut acc_out = None;
+            let mut delineation = None;
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
@@ -212,15 +231,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         write_golden = true;
                         i += 1;
                     }
-                    "--golden" | "--acc-out" => {
+                    "--golden" | "--acc-out" | "--delineation" => {
                         let v = rest
                             .get(i + 1)
                             .ok_or_else(|| ParseArgsError(format!("{flag} requires a value")))?
                             .to_string();
-                        if flag == "--golden" {
-                            golden = Some(v);
-                        } else {
-                            acc_out = Some(v);
+                        match flag {
+                            "--golden" => golden = Some(v),
+                            "--acc-out" => acc_out = Some(v),
+                            _ => delineation = Some(parse_delineation(&v)?),
                         }
                         i += 2;
                     }
@@ -231,6 +250,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 golden,
                 write_golden,
                 acc_out,
+                delineation,
             })
         }
         "study" => {
@@ -238,6 +258,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut threads = None;
             let mut metrics_out = None;
             let mut faults = None;
+            let mut delineation = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
@@ -276,6 +297,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         );
                         i += 2;
                     }
+                    "--delineation" => {
+                        let v = rest.get(i + 1).ok_or_else(|| {
+                            ParseArgsError("--delineation requires a value".into())
+                        })?;
+                        delineation = Some(parse_delineation(v)?);
+                        i += 2;
+                    }
                     other => return Err(unknown_flag("study", other)),
                 }
             }
@@ -284,6 +312,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 threads,
                 metrics_out,
                 faults,
+                delineation,
             })
         }
         "serve-sim" => {
@@ -300,6 +329,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let mut checkpoint_dir = None;
             let mut checkpoint_every_s = None;
             let mut recover = None;
+            let mut delineation = None;
             let mut i = 0;
             while i < rest.len() {
                 let flag = rest[i].as_str();
@@ -328,6 +358,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                         checkpoint_every_s = Some(parse_num(flag, value(i)?)?);
                     }
                     "--recover" => recover = Some(value(i)?.clone()),
+                    "--delineation" => delineation = Some(parse_delineation(value(i)?)?),
                     other => return Err(unknown_flag("serve-sim", other)),
                 }
                 i += 2;
@@ -404,6 +435,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 checkpoint_dir,
                 checkpoint_every_s,
                 recover,
+                delineation,
             })
         }
         "simulate" => {
@@ -511,6 +543,15 @@ fn unknown_flag(sub: &str, flag: &str) -> ParseArgsError {
 fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ParseArgsError> {
     v.parse()
         .map_err(|_| ParseArgsError(format!("{flag}: cannot parse `{v}`")))
+}
+
+fn parse_delineation(v: &str) -> Result<DelineationStrategy, ParseArgsError> {
+    DelineationStrategy::parse(v).ok_or_else(|| {
+        ParseArgsError(format!(
+            "--delineation: unknown strategy `{v}` \
+             (expected classic | rebeat | weighted-b | hybrid)"
+        ))
+    })
 }
 
 #[cfg(test)]
@@ -621,7 +662,8 @@ mod tests {
                 quick: false,
                 threads: None,
                 metrics_out: None,
-                faults: None
+                faults: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -630,7 +672,8 @@ mod tests {
                 quick: true,
                 threads: None,
                 metrics_out: None,
-                faults: None
+                faults: None,
+                delineation: None
             }
         );
         assert_eq!(p(&["power"]).unwrap(), Command::Power);
@@ -655,7 +698,8 @@ mod tests {
                 wire_corrupt: 0.0,
                 checkpoint_dir: None,
                 checkpoint_every_s: None,
-                recover: None
+                recover: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -684,7 +728,8 @@ mod tests {
                 wire_corrupt: 0.0,
                 checkpoint_dir: None,
                 checkpoint_every_s: None,
-                recover: None
+                recover: None,
+                delineation: None
             }
         );
         assert!(p(&["serve-sim", "--sessions", "0"]).is_err());
@@ -700,7 +745,8 @@ mod tests {
             Command::Conformance {
                 golden: None,
                 write_golden: false,
-                acc_out: None
+                acc_out: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -716,7 +762,8 @@ mod tests {
             Command::Conformance {
                 golden: Some("golden/dir".into()),
                 write_golden: true,
-                acc_out: Some("ACC_test.json".into())
+                acc_out: Some("ACC_test.json".into()),
+                delineation: None
             }
         );
         assert!(p(&["conformance", "--golden"]).is_err());
@@ -732,7 +779,8 @@ mod tests {
                 quick: false,
                 threads: Some(4),
                 metrics_out: None,
-                faults: None
+                faults: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -741,7 +789,8 @@ mod tests {
                 quick: true,
                 threads: Some(2),
                 metrics_out: None,
-                faults: None
+                faults: None,
+                delineation: None
             }
         );
         assert!(p(&["study", "--threads"]).is_err());
@@ -766,7 +815,8 @@ mod tests {
                 wire_corrupt: 0.0,
                 checkpoint_dir: None,
                 checkpoint_every_s: None,
-                recover: None
+                recover: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -784,7 +834,8 @@ mod tests {
                 wire_corrupt: 0.0,
                 checkpoint_dir: None,
                 checkpoint_every_s: None,
-                recover: None
+                recover: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -793,7 +844,8 @@ mod tests {
                 quick: true,
                 threads: None,
                 metrics_out: Some("-".into()),
-                faults: None
+                faults: None,
+                delineation: None
             }
         );
         assert!(p(&["serve-sim", "--metrics-out"]).is_err());
@@ -817,7 +869,8 @@ mod tests {
                 wire_corrupt: 0.0,
                 checkpoint_dir: None,
                 checkpoint_every_s: None,
-                recover: None
+                recover: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -826,7 +879,8 @@ mod tests {
                 quick: true,
                 threads: None,
                 metrics_out: None,
-                faults: Some("rand:42".into())
+                faults: Some("rand:42".into()),
+                delineation: None
             }
         );
         // the spec itself is validated downstream, not by the parser
@@ -834,6 +888,63 @@ mod tests {
         assert!(p(&["study", "--faults"]).is_err());
         assert!(p(&["simulate", "--faults", "x"]).is_err());
         assert!(p(&["analyze", "rec.csv", "--faults", "x"]).is_err());
+    }
+
+    #[test]
+    fn delineation_flag() {
+        for (name, strat) in [
+            ("classic", DelineationStrategy::Classic),
+            ("rebeat", DelineationStrategy::ReBeatIcg),
+            ("weighted-b", DelineationStrategy::WeightedWindowB),
+            ("hybrid", DelineationStrategy::Hybrid),
+        ] {
+            assert_eq!(
+                p(&["study", "--delineation", name]).unwrap(),
+                Command::Study {
+                    quick: false,
+                    threads: None,
+                    metrics_out: None,
+                    faults: None,
+                    delineation: Some(strat)
+                }
+            );
+        }
+        assert_eq!(
+            p(&["serve-sim", "--delineation", "classic"]).unwrap(),
+            Command::ServeSim {
+                sessions: 256,
+                threads: None,
+                shards: None,
+                seconds: 10,
+                seed: 7,
+                metrics_out: None,
+                faults: None,
+                wire: false,
+                wire_loss: 0.0,
+                wire_corrupt: 0.0,
+                checkpoint_dir: None,
+                checkpoint_every_s: None,
+                recover: None,
+                delineation: Some(DelineationStrategy::Classic)
+            }
+        );
+        assert_eq!(
+            p(&["conformance", "--delineation", "rebeat"]).unwrap(),
+            Command::Conformance {
+                golden: None,
+                write_golden: false,
+                acc_out: None,
+                delineation: Some(DelineationStrategy::ReBeatIcg)
+            }
+        );
+        // value validation: the four stable names only
+        let err = p(&["study", "--delineation", "fancy"]).unwrap_err();
+        assert!(err.0.contains("unknown strategy"), "{}", err.0);
+        assert!(err.0.contains("weighted-b"), "{}", err.0);
+        assert!(p(&["study", "--delineation"]).is_err());
+        assert!(p(&["serve-sim", "--delineation", "x"]).is_err());
+        assert!(p(&["conformance", "--delineation"]).is_err());
+        assert!(p(&["simulate", "--delineation", "classic"]).is_err());
     }
 
     #[test]
@@ -853,7 +964,8 @@ mod tests {
                 wire_corrupt: 0.0,
                 checkpoint_dir: None,
                 checkpoint_every_s: None,
-                recover: None
+                recover: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -881,7 +993,8 @@ mod tests {
                 wire_corrupt: 0.02,
                 checkpoint_dir: None,
                 checkpoint_every_s: None,
-                recover: None
+                recover: None,
+                delineation: None
             }
         );
         // value validation and flag interplay
@@ -920,7 +1033,8 @@ mod tests {
                 wire_corrupt: 0.0,
                 checkpoint_dir: Some("ckpt".into()),
                 checkpoint_every_s: Some(30),
-                recover: None
+                recover: None,
+                delineation: None
             }
         );
         assert_eq!(
@@ -938,7 +1052,8 @@ mod tests {
                 wire_corrupt: 0.0,
                 checkpoint_dir: None,
                 checkpoint_every_s: None,
-                recover: Some("ckpt".into())
+                recover: Some("ckpt".into()),
+                delineation: None
             }
         );
         // flag interplay: durable serving rides the wire front door

@@ -10,7 +10,7 @@
 mod args;
 
 use args::{parse, Command, USAGE};
-use cardiotouch::config::PipelineConfig;
+use cardiotouch::config::{DelineationStrategy, PipelineConfig};
 use cardiotouch::experiment::{run_position_study, StudyConfig};
 use cardiotouch::fleet::{Fleet, DEFAULT_MAILBOX_CAPACITY};
 use cardiotouch::io::{read_recording_csv, write_beats_csv, write_recording_csv};
@@ -167,10 +167,24 @@ fn run_conformance(
     golden_dir: Option<&str>,
     write_golden: bool,
     acc_out: Option<&str>,
+    delineation: Option<DelineationStrategy>,
 ) -> Result<(), Box<dyn std::error::Error>> {
     use cardiotouch_conformance::{accuracy, corpus, differential, golden, replay};
     use std::path::Path;
 
+    let strategy = delineation.unwrap_or_default();
+    // The committed golden vectors pin the *default* strategy; under a
+    // non-default override the drift check would flag every case, so
+    // those legs are skipped (and regeneration refused) instead.
+    let default_strategy = strategy == DelineationStrategy::default();
+    if write_golden && !default_strategy {
+        return Err(format!(
+            "--write-golden pins the default strategy ({}); drop --delineation {}",
+            DelineationStrategy::default().name(),
+            strategy.name()
+        )
+        .into());
+    }
     let dir = golden_dir.unwrap_or("conformance/golden");
     let corpus_cases = corpus::golden_corpus();
 
@@ -211,7 +225,13 @@ fn run_conformance(
     }
 
     // 2. Golden vectors: regenerate or drift-check.
-    if write_golden {
+    if !default_strategy {
+        println!(
+            "golden: skipped (vectors pin the {} strategy, running {})",
+            DelineationStrategy::default().name(),
+            strategy.name()
+        );
+    } else if write_golden {
         std::fs::create_dir_all(dir)?;
         for case in &corpus_cases {
             let g = golden::compute(case)?;
@@ -261,11 +281,16 @@ fn run_conformance(
         .into());
     }
 
-    // 4. Accuracy snapshot over the clean cases.
-    let acc = accuracy::compute(&corpus_cases, "local")?;
+    // 4. Accuracy snapshot over the full corpus (fault cases included;
+    //    their guarded landmarks are excluded from the denominator).
+    let acc = accuracy::compute_with(&corpus_cases, "local", strategy)?;
     println!(
-        "accuracy: {} clean cases, detection {:.4} ({}/{} beats)",
-        acc.cases, acc.detection_rate, acc.matched_beats, acc.truth_beats
+        "accuracy ({}): {} cases, detection {:.4} ({}/{} beats)",
+        acc.strategy.name(),
+        acc.cases,
+        acc.detection_rate,
+        acc.matched_beats,
+        acc.truth_beats
     );
     println!(
         "  landmark p95 |offset|: B {:.1} ms, C {:.1} ms, X {:.1} ms",
@@ -322,12 +347,19 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             golden,
             write_golden,
             acc_out,
-        } => run_conformance(golden.as_deref(), write_golden, acc_out.as_deref()),
+            delineation,
+        } => run_conformance(
+            golden.as_deref(),
+            write_golden,
+            acc_out.as_deref(),
+            delineation,
+        ),
         Command::Study {
             quick,
             threads,
             metrics_out,
             faults,
+            delineation,
         } => {
             let mut config = StudyConfig::paper_default();
             if quick {
@@ -338,6 +370,9 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             if let Some(spec) = faults {
                 config.faults = Some(FaultScenario::parse(&spec, config.protocol.fs)?);
+            }
+            if let Some(d) = delineation {
+                config.delineation = d;
             }
             // The study is bit-identical at any thread count (each session
             // derives its own RNG streams), so --threads only trades wall
@@ -376,6 +411,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             checkpoint_dir,
             checkpoint_every_s,
             recover,
+            delineation,
         } => {
             // A handful of distinct template recordings (subject × seed)
             // shared across the fleet: generation is the expensive part,
@@ -416,7 +452,10 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     }
                 })
                 .collect();
-            let config = PipelineConfig::paper_default(fs);
+            let mut config = PipelineConfig::paper_default(fs);
+            if let Some(d) = delineation {
+                config = config.with_delineation(d);
+            }
             // A `.jsonl` metrics path streams one registry snapshot per
             // scheduler tick (a metrics time series); any other path gets
             // one pretty snapshot after the run.

@@ -4,29 +4,40 @@
 //!
 //! The golden vectors pin *what the pipeline outputs*; this module
 //! pins *how close that output is to the truth* the synthesizer
-//! annotated. Every clean corpus case is analysed by the batch
-//! pipeline, detected beats are matched to truth landmarks by R
-//! proximity, and the per-landmark offsets plus LVET/PEP/HR
-//! Bland–Altman agreement are aggregated into one `ACC_<date>.json`
-//! document (schema below). The `accuracy_check` binary recomputes the
-//! report and fails CI when any statistic regresses past the
-//! [`Thresholds`] margins — absolute, documented tolerances, never
-//! exact-float comparison.
+//! annotated. Every corpus case — fault scenarios included — is
+//! analysed by the batch pipeline, detected beats are matched to truth
+//! landmarks by R proximity, and the per-landmark offsets plus
+//! LVET/PEP/HR Bland–Altman agreement are aggregated into one
+//! `ACC_<date>.json` document (schema below). The `accuracy_check`
+//! binary recomputes the report and fails CI when any statistic
+//! regresses past the [`Thresholds`] margins — absolute, documented
+//! tolerances, never exact-float comparison.
 //!
-//! Fault cases are excluded on purpose: under a fault the annotated
-//! truth no longer describes the corrupted signal, so "error vs truth"
-//! stops being a detector property.
+//! On fault cases only the landmarks *inside* the guarded fault
+//! windows are excluded ([`crate::differential::FAULT_GUARD_S`] on
+//! each side, the same predicate the differential layer applies):
+//! there the annotated truth no longer describes the corrupted
+//! signal. The clean stretches of a fault recording stay in the
+//! denominator — a detector that never re-acquires after a dropout is
+//! a real detection-rate loss, and schema v1's silent skip of the two
+//! fault cases (`"cases": 11`) hid exactly that. Schema v2 counts all
+//! 13 cases and records which [`DelineationStrategy`] produced the
+//! snapshot, so per-strategy reports are never compared across rule
+//! sets by accident.
 
 use cardiotouch::agreement::BlandAltman;
-use cardiotouch::config::PipelineConfig;
+use cardiotouch::config::{DelineationStrategy, PipelineConfig};
 use cardiotouch::pipeline::Pipeline;
 use cardiotouch_obs::json::{self, Value};
 
 use crate::corpus::CorpusCase;
+use crate::differential::outside_faults;
 use crate::ConformanceError;
 
 /// Accuracy-snapshot schema version; bump on incompatible changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: `strategy` field, fault cases counted (guarded landmarks
+/// excluded) instead of dropped wholesale.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Detected beats match a truth landmark when their R peaks are within
 /// this many samples (the idiom the detector-accuracy bench
@@ -79,9 +90,15 @@ pub struct AccuracyReport {
     /// ISO date the snapshot was taken (from the caller; scripts use
     /// the build date so reruns are reproducible).
     pub date: String,
-    /// Number of clean corpus cases analysed.
+    /// The delineation strategy that produced the snapshot. Baselines
+    /// only gate same-strategy reruns ([`regressions`] flags a
+    /// mismatch).
+    pub strategy: DelineationStrategy,
+    /// Number of corpus cases analysed (all of them, fault scenarios
+    /// included).
     pub cases: usize,
-    /// Truth landmarks across the corpus (the detection denominator).
+    /// Truth landmarks across the corpus outside the guarded fault
+    /// windows (the detection denominator).
     pub truth_beats: usize,
     /// Detected beats matched to a truth landmark.
     pub matched_beats: usize,
@@ -103,10 +120,17 @@ pub struct AccuracyReport {
     pub hr: ParamAgreement,
 }
 
-/// Regression margins for [`regressions`]. All are *absolute* slack on
-/// top of the committed snapshot — wide enough to absorb formatting
-/// round-trips and benign noise, tight enough that a real detector
-/// change (e.g. shrinking the B-point search window) trips the gate.
+/// Regression margins for [`regressions`]. The relative margins are
+/// *absolute* slack on top of the committed snapshot — wide enough to
+/// absorb formatting round-trips and benign noise, tight enough that a
+/// real detector change (e.g. shrinking the B-point search window)
+/// trips the gate. The `floor_`/`ceiling_` fields are one-sided
+/// *absolute* gates on the fresh snapshot alone, so quality cannot be
+/// ratcheted down by repeatedly re-committing slightly worse
+/// baselines; they are calibrated just outside the measured default
+/// strategy (hybrid: detection 0.8237, B p95 60 ms, X p95 84 ms on
+/// the 13-case corpus) and deliberately tighter than the pre-strategy
+/// classic figures (0.7633 / 72 / 92).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Thresholds {
     /// Allowed growth of any landmark's |mean| offset, milliseconds.
@@ -119,6 +143,12 @@ pub struct Thresholds {
     pub hr_bias_margin_bpm: f64,
     /// Allowed drop in detection rate (fraction, e.g. 0.02 = 2 pp).
     pub detection_rate_drop: f64,
+    /// One-sided absolute floor on the fresh detection rate.
+    pub floor_detection_rate: f64,
+    /// One-sided absolute ceiling on the fresh B p95 |offset|, ms.
+    pub ceiling_b_p95_ms: f64,
+    /// One-sided absolute ceiling on the fresh X p95 |offset|, ms.
+    pub ceiling_x_p95_ms: f64,
 }
 
 impl Default for Thresholds {
@@ -129,6 +159,25 @@ impl Default for Thresholds {
             interval_bias_margin_s: 0.002,
             hr_bias_margin_bpm: 0.5,
             detection_rate_drop: 0.02,
+            floor_detection_rate: 0.80,
+            ceiling_b_p95_ms: 68.0,
+            ceiling_x_p95_ms: 90.0,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Margins without the absolute floor/ceiling gates, for
+    /// informational runs of non-default strategies whose statistics
+    /// are pinned relative to their own baseline only (classic, for
+    /// one, sits below the default-strategy floors by design).
+    #[must_use]
+    pub fn relative_only(self) -> Self {
+        Self {
+            floor_detection_rate: 0.0,
+            ceiling_b_p95_ms: f64::INFINITY,
+            ceiling_x_p95_ms: f64::INFINITY,
+            ..self
         }
     }
 }
@@ -162,13 +211,30 @@ fn stats_ms(offsets: &[f64]) -> LandmarkErrorStats {
     }
 }
 
-/// Computes an accuracy snapshot over the clean cases of `corpus`
-/// (fault cases are skipped — see the module docs).
+/// Computes an accuracy snapshot over `corpus` with the pipeline's
+/// default [`DelineationStrategy`]. See [`compute_with`].
 ///
 /// # Errors
 ///
 /// Propagates rendering, pipeline and agreement errors.
 pub fn compute(corpus: &[CorpusCase], date: &str) -> Result<AccuracyReport, ConformanceError> {
+    compute_with(corpus, date, DelineationStrategy::default())
+}
+
+/// Computes an accuracy snapshot over every case of `corpus` under
+/// `strategy`. Fault cases contribute their clean stretches only:
+/// truth landmarks whose R falls inside a guarded fault window are
+/// dropped from both the denominator and the error statistics (the
+/// module docs explain why).
+///
+/// # Errors
+///
+/// Propagates rendering, pipeline and agreement errors.
+pub fn compute_with(
+    corpus: &[CorpusCase],
+    date: &str,
+    strategy: DelineationStrategy,
+) -> Result<AccuracyReport, ConformanceError> {
     let mut truth_beats = 0usize;
     let mut cases = 0usize;
     let (mut b_off, mut c_off, mut x_off) = (Vec::new(), Vec::new(), Vec::new());
@@ -176,17 +242,22 @@ pub fn compute(corpus: &[CorpusCase], date: &str) -> Result<AccuracyReport, Conf
     let (mut pep_t, mut pep_m) = (Vec::new(), Vec::new());
     let (mut hr_t, mut hr_m) = (Vec::new(), Vec::new());
 
-    for case in corpus.iter().filter(|c| c.faults.is_none()) {
+    for case in corpus {
         cases += 1;
         let rendered = case.render()?;
         let fs = rendered.fs;
-        let pipeline = Pipeline::new(PipelineConfig::paper_default(fs))?;
+        let faults = rendered.faults.as_ref();
+        let config = PipelineConfig::paper_default(fs).with_delineation(strategy);
+        let pipeline = Pipeline::new(config)?;
         let analysis = pipeline.analyze(&rendered.ecg, &rendered.z)?;
         let truth = &rendered.truth;
-        truth_beats += truth.landmarks.len();
         let valid = analysis.valid_beats();
 
         for (li, lm) in truth.landmarks.iter().enumerate() {
+            if !outside_faults(lm.r, faults, fs) {
+                continue;
+            }
+            truth_beats += 1;
             let Some(beat) = valid
                 .iter()
                 .find(|b| lm.r.abs_diff(b.r) <= R_MATCH_TOL_SAMPLES)
@@ -217,6 +288,7 @@ pub fn compute(corpus: &[CorpusCase], date: &str) -> Result<AccuracyReport, Conf
     };
     Ok(AccuracyReport {
         date: date.to_owned(),
+        strategy,
         cases,
         truth_beats,
         matched_beats,
@@ -265,11 +337,13 @@ impl AccuracyReport {
         };
         format!(
             "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"date\": \"{}\",\n  \
+             \"strategy\": \"{}\",\n  \
              \"cases\": {},\n  \"truth_beats\": {},\n  \"matched_beats\": {},\n  \
              \"detection_rate\": {},\n  \"landmarks\": {{\n    \"b\": {},\n    \
              \"c\": {},\n    \"x\": {}\n  }},\n  \"agreement\": {{\n    \
              \"lvet_s\": {},\n    \"pep_s\": {},\n    \"hr_bpm\": {}\n  }}\n}}\n",
             json::escape(&self.date),
+            self.strategy.name(),
             self.cases,
             self.truth_beats,
             self.matched_beats,
@@ -324,12 +398,20 @@ impl AccuracyReport {
         };
         let landmarks = doc.get("landmarks").ok_or_else(|| missing("landmarks"))?;
         let agreement = doc.get("agreement").ok_or_else(|| missing("agreement"))?;
+        let strategy_name = doc
+            .get("strategy")
+            .and_then(Value::as_str)
+            .ok_or_else(|| missing("strategy"))?;
+        let strategy = DelineationStrategy::parse(strategy_name).ok_or_else(|| {
+            ConformanceError::Format(format!("ACC unknown strategy `{strategy_name}`"))
+        })?;
         Ok(Self {
             date: doc
                 .get("date")
                 .and_then(Value::as_str)
                 .ok_or_else(|| missing("date"))?
                 .to_owned(),
+            strategy,
             cases: num(&doc, "cases")? as usize,
             truth_beats: num(&doc, "truth_beats")? as usize,
             matched_beats: num(&doc, "matched_beats")? as usize,
@@ -354,6 +436,13 @@ pub fn regressions(
     thr: &Thresholds,
 ) -> Vec<String> {
     let mut out = Vec::new();
+    if current.strategy != committed.strategy {
+        out.push(format!(
+            "strategy mismatch: baseline is `{}`, current is `{}` — \
+             cross-strategy comparisons are meaningless",
+            committed.strategy, current.strategy
+        ));
+    }
     if current.detection_rate < committed.detection_rate - thr.detection_rate_drop {
         out.push(format!(
             "detection_rate {:.4} -> {:.4} (allowed drop {})",
@@ -400,13 +489,33 @@ pub fn regressions(
             ));
         }
     }
+    // One-sided absolute gates on the fresh snapshot — independent of
+    // the committed baseline, so the bar cannot drift downward.
+    if current.detection_rate < thr.floor_detection_rate {
+        out.push(format!(
+            "detection_rate {:.4} below the absolute floor {:.4}",
+            current.detection_rate, thr.floor_detection_rate
+        ));
+    }
+    if current.b.p95_abs_ms > thr.ceiling_b_p95_ms {
+        out.push(format!(
+            "landmark b p95 {:.3} ms above the absolute ceiling {:.1} ms",
+            current.b.p95_abs_ms, thr.ceiling_b_p95_ms
+        ));
+    }
+    if current.x.p95_abs_ms > thr.ceiling_x_p95_ms {
+        out.push(format!(
+            "landmark x p95 {:.3} ms above the absolute ceiling {:.1} ms",
+            current.x.p95_abs_ms, thr.ceiling_x_p95_ms
+        ));
+    }
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::clean_corpus;
+    use crate::corpus::{clean_corpus, golden_corpus};
 
     #[test]
     fn stats_handle_empty_single_and_small_sets() {
@@ -430,7 +539,9 @@ mod tests {
         let base = compute(&corpus, "2026-01-01").unwrap();
         assert!(base.matched_beats > 0);
         assert!(base.detection_rate > 0.5, "rate {}", base.detection_rate);
-        let thr = Thresholds::default();
+        // the relative margins alone: a 2-case fixture need not clear
+        // the full-corpus absolute floors
+        let thr = Thresholds::default().relative_only();
         // identical snapshot: no regressions
         assert!(regressions(&base, &base, &thr).is_empty());
         // degrade past every margin
@@ -445,6 +556,50 @@ mod tests {
         better.detection_rate = 1.0;
         better.b.p95_abs_ms = 0.0;
         assert!(regressions(&base, &better, &thr).is_empty());
+        // cross-strategy comparison is flagged regardless of numbers
+        let mut other = base.clone();
+        other.strategy = DelineationStrategy::Classic;
+        let regs = regressions(&base, &other, &thr);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("strategy mismatch"), "{regs:?}");
+    }
+
+    #[test]
+    fn absolute_gates_are_one_sided_and_baseline_independent() {
+        let thr = Thresholds::default();
+        let corpus: Vec<_> = clean_corpus().into_iter().take(2).collect();
+        let base = compute(&corpus, "2026-01-01").unwrap();
+        // force a snapshot that satisfies every absolute gate
+        let mut good = base.clone();
+        good.detection_rate = thr.floor_detection_rate + 0.05;
+        good.b.p95_abs_ms = thr.ceiling_b_p95_ms - 1.0;
+        good.x.p95_abs_ms = thr.ceiling_x_p95_ms - 1.0;
+        assert!(regressions(&good, &good, &thr).is_empty());
+        // each gate trips alone, even with a baseline that is *worse*
+        // (the baseline cannot ratchet the bar down)
+        let mut bad_det = good.clone();
+        bad_det.detection_rate = thr.floor_detection_rate - 0.01;
+        let regs = regressions(&bad_det, &bad_det, &thr);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("absolute floor"), "{regs:?}");
+        let mut bad_b = good.clone();
+        bad_b.b.p95_abs_ms = thr.ceiling_b_p95_ms + 0.5;
+        let regs = regressions(&bad_b, &bad_b, &thr);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("b p95"), "{regs:?}");
+        let mut bad_x = good.clone();
+        bad_x.x.p95_abs_ms = thr.ceiling_x_p95_ms + 0.5;
+        let regs = regressions(&bad_x, &bad_x, &thr);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("x p95"), "{regs:?}");
+        // relative_only() disables exactly the absolute gates
+        assert!(regressions(&bad_det, &bad_det, &thr.relative_only()).is_empty());
+        assert!(regressions(&bad_b, &bad_b, &thr.relative_only()).is_empty());
+        // the measured default strategy clears the gates with margin:
+        // the floors are calibrated against ACC_2026-08-09.json
+        assert!(thr.floor_detection_rate < 0.8237);
+        assert!(thr.ceiling_b_p95_ms > 60.0);
+        assert!(thr.ceiling_x_p95_ms > 84.0);
     }
 
     #[test]
@@ -453,10 +608,108 @@ mod tests {
         let report = compute(&corpus, "2026-08-06").unwrap();
         let parsed = AccuracyReport::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed.date, report.date);
+        assert_eq!(parsed.strategy, DelineationStrategy::default());
         assert_eq!(parsed.matched_beats, report.matched_beats);
         // six written decimals: round-trip error below 1e-6 everywhere
         assert!((parsed.lvet.bias - report.lvet.bias).abs() < 1e-6);
         assert!((parsed.b.p95_abs_ms - report.b.p95_abs_ms).abs() < 1e-6);
         assert!(AccuracyReport::from_json("{}").is_err());
+        // v1 documents (no strategy field, old schema number) must not
+        // parse as v2: both the version gate and the field are checked.
+        let v1 = report
+            .to_json()
+            .replace("\"schema_version\": 2", "\"schema_version\": 1");
+        assert!(AccuracyReport::from_json(&v1).is_err());
+    }
+
+    /// Hand-computed audit of the fault-guard denominator (the schema
+    /// v1 bug dropped the two fault cases wholesale, silently reporting
+    /// `cases: 11` and a denominator blind to dropout recovery).
+    ///
+    /// The corpus `loss` case injects `loss=0@10s+1200ms` at 250 Hz:
+    /// event samples [2500, 2800), padded by FAULT_GUARD_S = 4 s
+    /// (1000 samples) to the exclusion window [1500, 3800). Truth
+    /// landmarks with R inside that window — and only those — leave the
+    /// denominator.
+    #[test]
+    fn fault_case_denominator_counts_only_guarded_landmarks_out() {
+        let corpus = golden_corpus();
+        let loss = corpus
+            .iter()
+            .find(|c| c.id() == "s1-p1-f50k-loss")
+            .unwrap()
+            .clone();
+        let rendered = loss.render().unwrap();
+        assert!((rendered.fs - 250.0).abs() < 1e-9);
+        let expected: usize = rendered
+            .truth
+            .landmarks
+            .iter()
+            .filter(|lm| lm.r < 1500 || lm.r >= 3800)
+            .count();
+        let inside = rendered.truth.landmarks.len() - expected;
+        assert!(inside > 0, "the loss window must cover some truth beats");
+        let report = compute(std::slice::from_ref(&loss), "2026-08-09").unwrap();
+        assert_eq!(report.cases, 1, "fault cases are analysed, not skipped");
+        assert_eq!(report.truth_beats, expected);
+        assert!(report.matched_beats <= report.truth_beats);
+        // the detector re-acquires after the dropout: the clean
+        // stretches must still be substantially detected
+        assert!(
+            report.detection_rate > 0.5,
+            "rate {} over the clean stretches",
+            report.detection_rate
+        );
+    }
+
+    /// The full per-strategy matrix over the pinned 13-case corpus:
+    /// every strategy must produce a sane report, and the default must
+    /// dominate `classic` on detection rate and B-point p95 (the claim
+    /// the committed `ACC_*.json` baseline encodes).
+    #[test]
+    fn strategy_matrix_default_dominates_classic() {
+        let corpus = golden_corpus();
+        let mut reports = Vec::new();
+        for strategy in DelineationStrategy::ALL {
+            let r = compute_with(&corpus, "2026-08-09", strategy).unwrap();
+            assert_eq!(r.cases, 13, "{strategy}: all cases analysed");
+            assert!(r.truth_beats > 0 && r.matched_beats > 0, "{strategy}");
+            assert_eq!(r.strategy, strategy);
+            println!(
+                "{strategy:>10}: det {:.4} ({}/{}) | B mean {:+.1} p95 {:.0} | \
+                 C p95 {:.0} | X mean {:+.1} p95 {:.0} | lvet bias {:+.4} sd {:.4}",
+                r.detection_rate,
+                r.matched_beats,
+                r.truth_beats,
+                r.b.mean_ms,
+                r.b.p95_abs_ms,
+                r.c.p95_abs_ms,
+                r.x.mean_ms,
+                r.x.p95_abs_ms,
+                r.lvet.bias,
+                r.lvet.sd,
+            );
+            reports.push(r);
+        }
+        let by = |s: DelineationStrategy| {
+            reports
+                .iter()
+                .find(|r| r.strategy == s)
+                .expect("matrix covers ALL")
+        };
+        let classic = by(DelineationStrategy::Classic);
+        let default = by(DelineationStrategy::default());
+        assert!(
+            default.detection_rate >= classic.detection_rate,
+            "default {} must not detect fewer beats than classic {}",
+            default.detection_rate,
+            classic.detection_rate
+        );
+        assert!(
+            default.b.p95_abs_ms <= classic.b.p95_abs_ms,
+            "default B p95 {} must not exceed classic {}",
+            default.b.p95_abs_ms,
+            classic.b.p95_abs_ms
+        );
     }
 }

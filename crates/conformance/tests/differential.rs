@@ -110,20 +110,21 @@ fn accuracy_snapshot_is_sane_and_gate_is_reflexive() {
     let corpus = clean_corpus();
     let report = accuracy::compute(&corpus, "test").expect("accuracy computes");
     assert_eq!(report.cases, 11);
-    // The batch baseline on this corpus sits near 0.75: the
-    // physiological gate legitimately rejects beats in the noisier
-    // free-hanging positions. The committed ACC snapshot pins the
-    // exact value; this bound only guards against collapse.
+    // The batch baseline on the clean corpus sits near 0.82 under the
+    // default hybrid strategy (the plausibility gate legitimately
+    // rejects beats in the noisier free-hanging positions). The
+    // committed ACC snapshot pins the exact value; this bound only
+    // guards against collapse.
     assert!(
         report.detection_rate > 0.70,
         "detection rate {:.3} implausibly low",
         report.detection_rate
     );
-    // Landmark errors are bounded sanely: the baseline sits near
-    // 76/52/92 ms p95 for B/C/X (B and X have heavy outlier tails on
-    // noisy touch signals); the committed ACC snapshot pins the exact
-    // values and the gate tracks drift — these bounds only catch a
-    // detector measuring something else entirely.
+    // Landmark errors are bounded sanely: the hybrid baseline sits
+    // near 60/80/84 ms p95 for B/C/X (B and X have heavy outlier
+    // tails on noisy touch signals); the committed ACC snapshot pins
+    // the exact values and the gate tracks drift — these bounds only
+    // catch a detector measuring something else entirely.
     for (name, s) in [("b", &report.b), ("c", &report.c), ("x", &report.x)] {
         assert!(s.n > 100, "landmark {name}: only {} matched beats", s.n);
         assert!(

@@ -2,6 +2,7 @@
 
 use cardiotouch_icg::hemo::HemoConstants;
 use cardiotouch_icg::points::XSearch;
+pub use cardiotouch_icg::strategy::DelineationStrategy;
 
 use crate::CoreError;
 
@@ -27,6 +28,10 @@ pub struct PipelineConfig {
     pub fs: f64,
     /// X-point search strategy.
     pub x_search: XSearch,
+    /// B/C/X delineation rule set (see [`DelineationStrategy`]). The
+    /// default is the measured-best strategy on the conformance corpus;
+    /// `classic` reproduces the source paper's rules exactly.
+    pub delineation: DelineationStrategy,
     /// Beats with RR outside `[min_rr_s, max_rr_s]` are discarded.
     pub min_rr_s: f64,
     /// Upper RR bound, seconds.
@@ -68,6 +73,7 @@ impl PipelineConfig {
         Self {
             fs,
             x_search: XSearch::GlobalMinimum,
+            delineation: DelineationStrategy::default(),
             min_rr_s: min_rr,
             max_rr_s: max_rr,
             min_beats: 3,
@@ -107,6 +113,13 @@ impl PipelineConfig {
     #[must_use]
     pub fn with_x_search(mut self, x_search: XSearch) -> Self {
         self.x_search = x_search;
+        self
+    }
+
+    /// Replaces the delineation strategy.
+    #[must_use]
+    pub fn with_delineation(mut self, strategy: DelineationStrategy) -> Self {
+        self.delineation = strategy;
         self
     }
 
@@ -194,11 +207,13 @@ mod tests {
             .with_min_beats(7)
             .with_outlier_rejection(false)
             .with_hemo_z0(28.0)
-            .with_x_search(XSearch::RtWindow { rt_s: 0.3 });
+            .with_x_search(XSearch::RtWindow { rt_s: 0.3 })
+            .with_delineation(DelineationStrategy::Classic);
         assert_eq!(cfg.min_beats, 7);
         assert!(!cfg.reject_outliers);
         assert_eq!(cfg.hemo_z0_ohm, Some(28.0));
         assert!(matches!(cfg.x_search, XSearch::RtWindow { .. }));
+        assert_eq!(cfg.delineation, DelineationStrategy::Classic);
     }
 
     #[test]

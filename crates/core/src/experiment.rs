@@ -26,7 +26,7 @@ use cardiotouch_physio::scenario::{PairedRecording, Protocol};
 use cardiotouch_physio::subject::{Population, Subject};
 use rayon::prelude::*;
 
-use crate::config::PipelineConfig;
+use crate::config::{DelineationStrategy, PipelineConfig};
 use crate::pipeline::Pipeline;
 use crate::CoreError;
 
@@ -47,6 +47,9 @@ pub struct StudyConfig {
     /// what-if knob for rerunning the paper's tables under contact
     /// loss, saturation or motion. `None` reproduces the paper.
     pub faults: Option<FaultScenario>,
+    /// Delineation strategy for the hemodynamics tables (Table V);
+    /// the correlation/Z0 tables never delineate beats and ignore it.
+    pub delineation: DelineationStrategy,
 }
 
 impl StudyConfig {
@@ -59,6 +62,7 @@ impl StudyConfig {
             front_end: ImpedanceFrontEnd::reference_design(),
             seed: 20_160_314, // DATE 2016 conference date
             faults: None,
+            delineation: DelineationStrategy::default(),
         }
     }
 }
@@ -431,7 +435,9 @@ fn hemodynamics_rows(
     position: Position,
     config: &StudyConfig,
 ) -> Result<Vec<HemodynamicsRow>, CoreError> {
-    let pipeline = Pipeline::new(PipelineConfig::paper_default(config.protocol.fs))?;
+    let pipeline = Pipeline::new(
+        PipelineConfig::paper_default(config.protocol.fs).with_delineation(config.delineation),
+    )?;
     subjects
         .par_iter()
         .map(|subject| -> Result<HemodynamicsRow, CoreError> {

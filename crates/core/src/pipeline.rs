@@ -29,6 +29,7 @@ use cardiotouch_icg::hemo::{
 };
 use cardiotouch_icg::intervals::{IntervalStatistics, SystolicIntervals};
 use cardiotouch_icg::points::{CharacteristicPoints, PointDetector};
+use cardiotouch_icg::strategy::StrategyState;
 
 use crate::config::PipelineConfig;
 use crate::CoreError;
@@ -258,7 +259,7 @@ impl Pipeline {
             ecg_conditioner: EcgConditioner::paper_default(config.fs)?,
             icg_conditioner: IcgConditioner::paper_default(config.fs)?,
             qrs: PanTompkins::new(config.fs)?,
-            detector: PointDetector::new(config.fs, config.x_search)?,
+            detector: PointDetector::with_strategy(config.fs, config.x_search, config.delineation)?,
         })
     }
 
@@ -353,10 +354,16 @@ impl Pipeline {
             None => windows,
         };
 
-        // 6: per-beat points, intervals and hemodynamics.
+        // 6: per-beat points, intervals and hemodynamics. The strategy
+        // state starts fresh per recording and advances only on
+        // successful detections, in beat order — the same trajectory the
+        // streaming delineator walks, which keeps batch==stream bitwise.
         let mut beats = Vec::with_capacity(windows.len());
+        let mut strategy_state = StrategyState::default();
         for w in &windows {
-            if let Some(report) = self.analyze_beat(&conditioned_icg, w, z0_ohm) {
+            if let Some(report) =
+                self.analyze_beat(&conditioned_icg, w, z0_ohm, &mut strategy_state)
+            {
                 beats.push(report);
             }
         }
@@ -439,9 +446,15 @@ impl Pipeline {
     /// Runs point detection and parameter estimation on one beat window;
     /// `None` when detection fails (the beat is skipped, matching how the
     /// firmware drops unusable beats).
-    fn analyze_beat(&self, icg: &[f64], w: &BeatWindow, z0_ohm: f64) -> Option<BeatReport> {
+    fn analyze_beat(
+        &self,
+        icg: &[f64],
+        w: &BeatWindow,
+        z0_ohm: f64,
+        strategy_state: &mut StrategyState,
+    ) -> Option<BeatReport> {
         let seg = w.slice(icg);
-        let pts: CharacteristicPoints = self.detector.detect(seg).ok()?;
+        let pts: CharacteristicPoints = self.detector.detect_with(seg, strategy_state).ok()?;
         report_from_points(&self.config, w, &pts, seg[pts.c], z0_ohm)
     }
 }

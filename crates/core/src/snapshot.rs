@@ -28,13 +28,16 @@
 use cardiotouch_dsp::streaming::{CascadeState, DerivativeState, HistoryRingState, ZeroPhaseState};
 use cardiotouch_ecg::online::PanTompkinsState;
 use cardiotouch_icg::online::DelineatorState;
+use cardiotouch_icg::strategy::StrategyState;
 
 use crate::CoreError;
 
 /// Wire-format magic: `b"CTSS"` (CardioTouch Stream Snapshot).
 const MAGIC: u32 = 0x4354_5353;
-/// Wire-format version; bump on any layout change.
-const VERSION: u16 = 1;
+/// Wire-format version; bump on any layout change. v2 added the
+/// delineation [`StrategyState`] (adaptive R→B prior) to the
+/// delineator block.
+const VERSION: u16 = 2;
 
 /// Mutable state of the per-channel degradation-ladder monitor (see
 /// `DESIGN.md §6d`). Derived thresholds are re-computed from the
@@ -175,6 +178,8 @@ impl BeatStreamSnapshot {
         w.vec_usize(&self.delineator.rs);
         w.vec_f64(&self.delineator.template);
         w.usize(self.delineator.template_beats);
+        w.f64(self.delineator.strategy.rb_ema_s);
+        w.u64(self.delineator.strategy.rb_beats);
         // --- ladder ---
         w.bool(self.ecg_in_holdover);
         w.bool(self.z_in_holdover);
@@ -271,6 +276,10 @@ impl BeatStreamSnapshot {
             rs: r.vec_usize()?,
             template: r.vec_f64()?,
             template_beats: r.usize()?,
+            strategy: StrategyState {
+                rb_ema_s: r.f64()?,
+                rb_beats: r.u64()?,
+            },
         };
         let ecg_in_holdover = r.bool()?;
         let z_in_holdover = r.bool()?;

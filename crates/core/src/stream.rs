@@ -496,7 +496,13 @@ impl BeatStream {
             neg_buf: Vec::new(),
             lp_buf: Vec::new(),
             hp_buf: Vec::new(),
-            delineator: BeatDelineator::new(fs, config.x_search, config.min_rr_s, config.max_rr_s)?,
+            delineator: BeatDelineator::with_strategy(
+                fs,
+                config.x_search,
+                config.delineation,
+                config.min_rr_s,
+                config.max_rr_s,
+            )?,
             beats_scratch: Vec::new(),
             beats_emitted: cardiotouch_obs::counter("core.stream.beats_emitted"),
             samples_sanitized: cardiotouch_obs::counter("core.stream.samples_sanitized"),

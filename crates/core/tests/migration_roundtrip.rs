@@ -1,10 +1,14 @@
 //! Property: migrating a [`BeatStream`] through the serialized snapshot
 //! codec at any hop boundary is invisible. For a random recording seed,
-//! random split hop, random push chunking and a random soft-fault
-//! scenario, `snapshot → to_bytes → from_bytes → restore` must resume
-//! bitwise identical to the stream that never moved — every emitted
-//! [`QualifiedBeat`] (f64 fields compared as raw bits), the cursor, the
-//! ladder states and the final serialized state itself.
+//! random split hop, random push chunking, a random soft-fault
+//! scenario and a random [`DelineationStrategy`], `snapshot → to_bytes
+//! → from_bytes → restore` must resume bitwise identical to the stream
+//! that never moved — every emitted [`QualifiedBeat`] (f64 fields
+//! compared as raw bits), the cursor, the ladder states and the final
+//! serialized state itself. Ranging over strategies proves the
+//! per-strategy delineator state (the weighted-window B prior's EMA)
+//! survives the codec at any split point, not just the hop the 13-case
+//! corpus happens to exercise.
 //!
 //! This is the crash-recovery/live-migration guarantee the fleet layer
 //! ([`cardiotouch::fleet`]) relies on, checked over a much wider input
@@ -12,7 +16,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use cardiotouch::config::PipelineConfig;
+use cardiotouch::config::{DelineationStrategy, PipelineConfig};
 use cardiotouch::snapshot::BeatStreamSnapshot;
 use cardiotouch::stream::{BeatStream, QualifiedBeat};
 use cardiotouch_dsp::fir::Fir;
@@ -96,7 +100,10 @@ fn push_range(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    // 16 cases: enough draws that all four strategies are sampled with
+    // overwhelming probability while the property stays fast (the
+    // recording cache absorbs the synthesis cost).
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
     fn snapshot_restore_at_any_hop_is_bitwise_invisible(
@@ -104,6 +111,7 @@ proptest! {
         fault_seed in any::<u64>(),
         split_hop in 1usize..29,
         chunk in 16usize..=500,
+        strategy_idx in 0usize..DelineationStrategy::ALL.len(),
     ) {
         let (ecg, z) = recording(rec_seed);
         let (mut ecg, mut z) = (ecg.to_vec(), z.to_vec());
@@ -117,7 +125,8 @@ proptest! {
         let hop = FS as usize;
         let split = split_hop * hop;
         prop_assume!(split < ecg.len());
-        let config = PipelineConfig::paper_default(FS);
+        let config = PipelineConfig::paper_default(FS)
+            .with_delineation(DelineationStrategy::ALL[strategy_idx]);
 
         // Reference: one stream, never interrupted.
         let mut reference = BeatStream::new(config).unwrap();

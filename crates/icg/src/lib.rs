@@ -54,6 +54,7 @@ pub mod intervals;
 pub mod online;
 pub mod points;
 pub mod quality;
+pub mod strategy;
 pub mod trending;
 
 mod error;

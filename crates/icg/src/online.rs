@@ -22,6 +22,7 @@ use cardiotouch_dsp::streaming::{HistoryRing, HistoryRingState};
 
 use crate::beat::BeatWindow;
 use crate::points::{CharacteristicPoints, PointDetector, XSearch};
+use crate::strategy::{DelineationStrategy, StrategyState};
 use crate::IcgError;
 
 /// One finalized beat from the incremental delineator.
@@ -59,6 +60,9 @@ pub struct BeatDelineator {
     min_rr_s: f64,
     max_rr_s: f64,
     detector: PointDetector,
+    /// Cross-beat state of the configured delineation strategy (the
+    /// weighted-window B prior); inert for the stateless strategies.
+    strategy_state: StrategyState,
     ring: HistoryRing,
     /// Confirmed R peaks not yet consumed as a beat start.
     rs: VecDeque<usize>,
@@ -94,6 +98,27 @@ impl BeatDelineator {
     /// * [`IcgError::InvalidParameter`] for an invalid `fs` or RR range
     ///   (propagated from [`PointDetector::new`] or checked here).
     pub fn new(fs: f64, x_search: XSearch, min_rr_s: f64, max_rr_s: f64) -> Result<Self, IcgError> {
+        Self::with_strategy(
+            fs,
+            x_search,
+            DelineationStrategy::Classic,
+            min_rr_s,
+            max_rr_s,
+        )
+    }
+
+    /// Creates a delineator applying `strategy`'s rule set per beat.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn with_strategy(
+        fs: f64,
+        x_search: XSearch,
+        strategy: DelineationStrategy,
+        min_rr_s: f64,
+        max_rr_s: f64,
+    ) -> Result<Self, IcgError> {
         if !(min_rr_s > 0.0 && max_rr_s > min_rr_s) {
             return Err(IcgError::InvalidParameter {
                 name: "min_rr_s/max_rr_s",
@@ -105,7 +130,8 @@ impl BeatDelineator {
             fs,
             min_rr_s,
             max_rr_s,
-            detector: PointDetector::new(fs, x_search)?,
+            detector: PointDetector::with_strategy(fs, x_search, strategy)?,
+            strategy_state: StrategyState::default(),
             ring: HistoryRing::new(),
             rs: VecDeque::new(),
             template: Vec::new(),
@@ -187,7 +213,7 @@ impl BeatDelineator {
             let rr = window.rr_s(self.fs);
             if rr >= self.min_rr_s && rr <= self.max_rr_s && r0 >= self.ring.base() {
                 let segment = self.ring.slice(r0, r1);
-                if let Ok(points) = self.detector.detect(segment) {
+                if let Ok(points) = self.detector.detect_with(segment, &mut self.strategy_state) {
                     self.beats_delineated.inc();
                     let sqi = self.score_and_learn(r0, r1);
                     let segment = self.ring.slice(r0, r1);
@@ -228,6 +254,7 @@ impl BeatDelineator {
             rs: self.rs.iter().copied().collect(),
             template: self.template.clone(),
             template_beats: self.template_beats,
+            strategy: self.strategy_state,
         }
     }
 
@@ -253,6 +280,7 @@ impl BeatDelineator {
         self.template.clear();
         self.template.extend_from_slice(&state.template);
         self.template_beats = state.template_beats;
+        self.strategy_state = state.strategy;
         Ok(())
     }
 
@@ -295,6 +323,9 @@ pub struct DelineatorState {
     pub template: Vec<f64>,
     /// Beats folded into the template so far.
     pub template_beats: usize,
+    /// Cross-beat state of the delineation strategy (weighted-window B
+    /// prior). Default for the stateless strategies.
+    pub strategy: StrategyState,
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@
 //! without the bound, the smooth flanks of low-noise beats would let the
 //! search run far from the landmark.
 
+use crate::strategy::{DelineationStrategy, StrategyState};
 use crate::IcgError;
 use cardiotouch_dsp::diff;
 use cardiotouch_dsp::peaks;
@@ -55,7 +56,32 @@ pub enum BRule {
     FirstDerivativeZeroCrossing,
     /// Neither refinement found a candidate in its window: B0 itself.
     LineFitIntercept,
+    /// ReBeatICG: B is the last local minimum of the smoothed ICG (the
+    /// valve-opening notch) before C.
+    SignalNotchMinimum,
+    /// ReBeatICG fallback: no notch survived smoothing — B is the last
+    /// zero crossing of the smoothed ICG before C.
+    SignalZeroCrossing,
+    /// ReBeatICG final fallback: the maximum-curvature point (second
+    /// derivative maximum) on the rising edge.
+    CurvatureMaximum,
+    /// Weighted time-window estimator: the best-scoring candidate
+    /// inside the physiologically expected window (or its centre when
+    /// the window holds no candidate — the implied-interval gate still
+    /// vets that fallback).
+    WeightedWindow,
 }
+
+/// Plausibility band (seconds) on the implied PEP under the
+/// weighted-window strategies: a delineation whose R→B interval leaves
+/// it is rejected outright. Deliberately tighter than the downstream
+/// `is_physiological` outlier bounds (0.05–0.25 s), which flag but
+/// keep the beat.
+pub const WEIGHTED_PEP_BAND_S: (f64, f64) = (0.06, 0.20);
+
+/// Plausibility band (seconds) on the implied LVET under the
+/// weighted-window strategies (`is_physiological` allows 0.12–0.50 s).
+pub const WEIGHTED_LVET_BAND_S: (f64, f64) = (0.15, 0.45);
 
 /// Detected characteristic points of one beat, as sample indices relative
 /// to the segment start (the R peak).
@@ -80,10 +106,17 @@ pub struct CharacteristicPoints {
 pub struct PointDetector {
     fs: f64,
     x_search: XSearch,
+    strategy: DelineationStrategy,
     /// Extent of the leftward B refinement searches, seconds.
     b_refine_window_s: f64,
     /// Extent of the leftward X refinement search, seconds.
     x_refine_window_s: f64,
+    /// Extent of the ReBeatICG notch search left of C, seconds — wide
+    /// enough for the longest physiological B→C run (~0.4·LVET), short
+    /// enough to exclude the A wave.
+    b_notch_window_s: f64,
+    /// Half-width of the weighted B window, seconds.
+    b_weight_halfwidth_s: f64,
 }
 
 impl PointDetector {
@@ -95,6 +128,19 @@ impl PointDetector {
     /// Returns [`IcgError::InvalidParameter`] for a non-positive `fs` or a
     /// non-positive `rt_s` in [`XSearch::RtWindow`].
     pub fn new(fs: f64, x_search: XSearch) -> Result<Self, IcgError> {
+        Self::with_strategy(fs, x_search, DelineationStrategy::Classic)
+    }
+
+    /// Creates a detector applying `strategy`'s rule set.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn with_strategy(
+        fs: f64,
+        x_search: XSearch,
+        strategy: DelineationStrategy,
+    ) -> Result<Self, IcgError> {
         if !(fs > 0.0 && fs.is_finite()) {
             return Err(IcgError::InvalidParameter {
                 name: "fs",
@@ -114,8 +160,11 @@ impl PointDetector {
         Ok(Self {
             fs,
             x_search,
+            strategy,
             b_refine_window_s: 0.060,
             x_refine_window_s: 0.080,
+            b_notch_window_s: 0.180,
+            b_weight_halfwidth_s: 0.050,
         })
     }
 
@@ -125,14 +174,52 @@ impl PointDetector {
         self.x_search
     }
 
-    /// Detects B, C and X in one beat segment (`icg[0]` at the R peak).
+    /// The configured delineation strategy.
+    #[must_use]
+    pub fn strategy(&self) -> DelineationStrategy {
+        self.strategy
+    }
+
+    /// Detects B, C and X in one beat segment (`icg[0]` at the R peak),
+    /// using a throwaway [`StrategyState`] — the stateless entry point.
+    /// For the weighted-window strategies, prefer [`Self::detect_with`]
+    /// so the expected-B prior adapts beat over beat.
     ///
     /// # Errors
     ///
     /// * [`IcgError::BeatTooShort`] for segments under 0.3 s;
     /// * [`IcgError::PointNotFound`] when the beat has no positive C wave
-    ///   or no negative minimum after it.
+    ///   or (Classic rules) no negative minimum after it.
     pub fn detect(&self, icg: &[f64]) -> Result<CharacteristicPoints, IcgError> {
+        self.detect_with(icg, &mut StrategyState::default())
+    }
+
+    /// Detects B, C and X in one beat segment, advancing `state` on
+    /// success. Both engines — batch ([`detect`](Self::detect) loops in
+    /// the core pipeline) and the O(hop) streaming delineator — call
+    /// this on the identical settled segment with the identical state
+    /// trajectory, which is what keeps batch==stream bitwise identical
+    /// per strategy.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::detect`]. `state` is untouched when an error is
+    /// returned.
+    pub fn detect_with(
+        &self,
+        icg: &[f64],
+        state: &mut StrategyState,
+    ) -> Result<CharacteristicPoints, IcgError> {
+        match self.strategy {
+            DelineationStrategy::Classic => self.detect_classic(icg),
+            DelineationStrategy::ReBeatIcg => self.detect_rebeat(icg),
+            DelineationStrategy::WeightedWindowB => self.detect_weighted(icg, state, false),
+            DelineationStrategy::Hybrid => self.detect_weighted(icg, state, true),
+        }
+    }
+
+    /// The source paper's rule set (strategy [`DelineationStrategy::Classic`]).
+    fn detect_classic(&self, icg: &[f64]) -> Result<CharacteristicPoints, IcgError> {
         let min_len = (0.3 * self.fs) as usize;
         if icg.len() < min_len {
             return Err(IcgError::BeatTooShort {
@@ -278,6 +365,348 @@ impl PointDetector {
             b_rule,
         })
     }
+
+    /// Shared beat-length gate.
+    fn check_len(&self, icg: &[f64]) -> Result<(), IcgError> {
+        let min_len = (0.3 * self.fs) as usize;
+        if icg.len() < min_len {
+            return Err(IcgError::BeatTooShort {
+                len: icg.len(),
+                min_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared C-apex search (identical window to the Classic rules so
+    /// every strategy names the same apex).
+    fn find_c(&self, icg: &[f64]) -> Result<usize, IcgError> {
+        let c_lo = (0.04 * self.fs) as usize;
+        let c_hi = (icg.len() * 3) / 4;
+        let c = c_lo
+            + peaks::argmax(&icg[c_lo..c_hi]).ok_or(IcgError::PointNotFound {
+                point: "C",
+                reason: "empty search window",
+            })?;
+        if icg[c] <= 0.0 {
+            return Err(IcgError::PointNotFound {
+                point: "C",
+                reason: "no positive deflection in the beat",
+            });
+        }
+        Ok(c)
+    }
+
+    /// ReBeatICG X rule: the bounded post-C trough (sign-free, so a
+    /// degraded beat still yields a point) refined to the notch onset
+    /// via the third derivative.
+    fn x_rebeat(&self, icg: &[f64], c: usize, d3: &[f64]) -> Result<usize, IcgError> {
+        let x_bound = c + 1 + (0.30 * self.fs) as usize;
+        let (x_lo, x_hi) = match self.x_search {
+            XSearch::GlobalMinimum => (c + 1, icg.len().min(x_bound)),
+            XSearch::RtWindow { rt_s } => {
+                let lo = ((rt_s * self.fs) as usize).max(c + 1);
+                let hi = ((1.75 * rt_s * self.fs) as usize).min(icg.len());
+                if lo >= hi {
+                    (c + 1, icg.len())
+                } else {
+                    (lo, hi)
+                }
+            }
+        };
+        if x_lo >= x_hi {
+            return Err(IcgError::PointNotFound {
+                point: "X",
+                reason: "no samples after the C point",
+            });
+        }
+        let x0 = x_lo
+            + peaks::argmin(&icg[x_lo..x_hi]).ok_or(IcgError::PointNotFound {
+                point: "X",
+                reason: "empty search window",
+            })?;
+        let x_window = (self.x_refine_window_s * self.fs) as usize;
+        Ok(first_local_min_left_within(d3, x0, x_window)
+            .filter(|&idx| idx > c)
+            .unwrap_or(x0))
+    }
+
+    /// ReBeatICG (arXiv:2105.01525): C apex → notch-minimum B (with
+    /// zero-crossing and max-curvature fallbacks) → bounded-trough X.
+    /// Once a positive C wave exists, B and X always resolve — the
+    /// layered fallbacks are the point of the algorithm.
+    fn detect_rebeat(&self, icg: &[f64]) -> Result<CharacteristicPoints, IcgError> {
+        self.check_len(icg)?;
+        let c = self.find_c(icg)?;
+        let smoothed = binomial_smooth(icg);
+        let notch_window = (self.b_notch_window_s * self.fs) as usize;
+        let (b, b_rule) = if let Some(idx) = first_local_min_left_within(&smoothed, c, notch_window)
+        {
+            (idx, BRule::SignalNotchMinimum)
+        } else if let Some(idx) = first_zero_crossing_left_within(&smoothed, c, notch_window) {
+            (idx, BRule::SignalZeroCrossing)
+        } else {
+            // Maximum curvature on the rising edge: always defined.
+            let d2 = diff::second_derivative(&smoothed, self.fs)?;
+            let lo = c.saturating_sub(notch_window).max(1);
+            let idx = lo + peaks::argmax(&d2[lo..c.max(lo + 1)]).unwrap_or(0);
+            (idx, BRule::CurvatureMaximum)
+        };
+        let b = b.min(c.saturating_sub(1));
+        let d3 = diff::third_derivative(&smoothed, self.fs)?;
+        let x = self.x_rebeat(icg, c, &d3)?;
+        Ok(CharacteristicPoints {
+            b,
+            c,
+            x,
+            b0: b as f64,
+            b_rule,
+        })
+    }
+
+    /// Weighted time-window B (arXiv:2207.04490): candidates inside the
+    /// expected-B window, scored by a triangular weight centred on the
+    /// prior — an EMA of the per-beat *anchor* (the Classic-style
+    /// leftward refinement of the line-fit foot), blended 3:1 with the
+    /// current beat's anchor; the first beat uses its anchor directly.
+    /// The implied PEP/LVET must land inside the expected bands
+    /// ([`WEIGHTED_PEP_BAND_S`], [`WEIGHTED_LVET_BAND_S`]) or the beat
+    /// is rejected. `rebeat_cx` pairs the estimator with the ReBeatICG
+    /// C/X rules ([`DelineationStrategy::Hybrid`]) instead of the
+    /// Classic ones.
+    fn detect_weighted(
+        &self,
+        icg: &[f64],
+        state: &mut StrategyState,
+        rebeat_cx: bool,
+    ) -> Result<CharacteristicPoints, IcgError> {
+        self.check_len(icg)?;
+        let c = self.find_c(icg)?;
+        let amp_c = icg[c];
+        let smoothed = binomial_smooth(icg);
+        let d1 = diff::derivative(&smoothed, self.fs)?;
+        let d3 = diff::third_derivative(&smoothed, self.fs)?;
+
+        // Line-fit B0 (same construction as Classic): the first-beat
+        // seed of the weighted window.
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        let mut i = c;
+        while i > 0 {
+            let v = icg[i];
+            if v < 0.4 * amp_c {
+                break;
+            }
+            if v <= 0.8 * amp_c {
+                xs.push(i as f64);
+                ys.push(v);
+            }
+            i -= 1;
+        }
+        let edge_floor = i;
+        let b0 = if xs.len() >= 2 {
+            LineFit::fit(&xs, &ys)
+                .ok()
+                .and_then(|f| f.x_intercept())
+                .filter(|&v| v.is_finite() && v >= 0.0 && v < c as f64)
+                .unwrap_or(edge_floor as f64)
+        } else {
+            edge_floor as f64
+        };
+
+        // Per-beat anchor for the expected-B prior: the Classic-style
+        // leftward refinement from the line-fit foot. The raw intercept
+        // lies on the rising edge — up to the full refinement window
+        // *right* of the true knee — so it cannot centre the window
+        // itself; the refined knee can. The anchor enters every beat
+        // (averaged with the EMA below), not just the first: a prior
+        // poisoned by a few bad early beats would otherwise
+        // self-confirm forever, because the window only ever offers
+        // candidates near wherever the prior already is.
+        let seed = {
+            let b_window = (self.b_refine_window_s * self.fs) as usize;
+            let b0_idx = (b0.round() as usize).min(c.saturating_sub(1));
+            let b_start = (b0_idx + 2).min(c.saturating_sub(1));
+            first_local_min_left_within(&d3, b_start, b_window)
+                .or_else(|| first_zero_crossing_left_within(&d1, b_start, b_window))
+                .map_or(b0, |idx| idx as f64)
+        };
+        // 3:1 EMA:anchor — enough anchor that a biased prior mean-
+        // reverts within a few beats, little enough that one outlier
+        // anchor cannot drag B off the knee.
+        let pred = if state.rb_beats > 0 {
+            0.75 * (state.rb_ema_s * self.fs) + 0.25 * seed
+        } else {
+            seed
+        };
+        let (b, b_rule) = self.weighted_b(c, &d1, &d3, b0, pred);
+
+        let x = if rebeat_cx {
+            self.x_rebeat(icg, c, &d3)?
+        } else {
+            // Classic X: global negative trough + third-derivative onset.
+            let x_bound = c + 1 + (0.30 * self.fs) as usize;
+            let (x_lo, x_hi) = match self.x_search {
+                XSearch::GlobalMinimum => (c + 1, icg.len().min(x_bound)),
+                XSearch::RtWindow { rt_s } => {
+                    let lo = ((rt_s * self.fs) as usize).max(c + 1);
+                    let hi = ((1.75 * rt_s * self.fs) as usize).min(icg.len());
+                    if lo >= hi {
+                        (c + 1, icg.len())
+                    } else {
+                        (lo, hi)
+                    }
+                }
+            };
+            if x_lo >= x_hi {
+                return Err(IcgError::PointNotFound {
+                    point: "X",
+                    reason: "no samples after the C point",
+                });
+            }
+            let x0 = x_lo
+                + peaks::argmin(&icg[x_lo..x_hi]).ok_or(IcgError::PointNotFound {
+                    point: "X",
+                    reason: "empty search window",
+                })?;
+            if icg[x0] >= 0.0 {
+                return Err(IcgError::PointNotFound {
+                    point: "X",
+                    reason: "no negative minimum after the C point",
+                });
+            }
+            let x_window = (self.x_refine_window_s * self.fs) as usize;
+            first_local_min_left_within(&d3, x0, x_window)
+                .filter(|&idx| idx > c)
+                .unwrap_or(x0)
+        };
+
+        // The same physiologically-expected-window principle the B
+        // search runs on, applied to the implied intervals: a beat
+        // whose PEP or LVET leaves the expected band is a delineation
+        // failure (motion artifacts on degraded touch signals produce
+        // deep spurious dZ/dt troughs that a plausible B would
+        // otherwise legitimise), so the beat is rejected rather than
+        // reported. The bands are deliberately tighter than the
+        // downstream `is_physiological` outlier gate — that gate keeps
+        // the beat but flags it; this one refuses to emit coordinates
+        // at all, which is what keeps junk X points out of the
+        // detection set. Classic deliberately has no such gate: its
+        // output is pinned bitwise to the source paper's rules.
+        let pep_s = b as f64 / self.fs;
+        let lvet_s = (x as f64 - b as f64) / self.fs;
+        if !(WEIGHTED_PEP_BAND_S.0..=WEIGHTED_PEP_BAND_S.1).contains(&pep_s)
+            || !(WEIGHTED_LVET_BAND_S.0..=WEIGHTED_LVET_BAND_S.1).contains(&lvet_s)
+        {
+            return Err(IcgError::PointNotFound {
+                point: "B",
+                reason: "implied systolic intervals outside the expected band",
+            });
+        }
+
+        // The prior tracks the EMA of the per-beat *anchor* — never of
+        // the chosen B. Feeding the choice back would self-confirm: a
+        // window centred on a wrong track only offers candidates from
+        // that track, so the prior could never see contrary evidence.
+        // The anchor is unbiased (it ignores the prior entirely), so
+        // the EMA mean-reverts within a few beats of any cold-start or
+        // warm-up discrepancy — which is also what re-synchronises a
+        // freshly started stream with a long-running batch. Advancing
+        // only on full success keeps both engines on one trajectory.
+        state.accept_rb(seed / self.fs);
+        Ok(CharacteristicPoints {
+            b,
+            c,
+            x,
+            b0,
+            b_rule,
+        })
+    }
+
+    /// Scores weighted-window B candidates; returns the winner, or the
+    /// window centre (the prior itself) when no candidate survives.
+    /// The fallback is safe because the caller's interval-plausibility
+    /// gate still vets the implied PEP/LVET — a prior-fabricated B
+    /// paired with a junk X is rejected there, not reported.
+    fn weighted_b(&self, c: usize, d1: &[f64], d3: &[f64], b0: f64, pred: f64) -> (usize, BRule) {
+        let half = (self.b_weight_halfwidth_s * self.fs).max(1.0);
+        let c_cap = c.saturating_sub(1).max(1);
+        // The knee never sits on the C rising flank, whose own
+        // third-derivative troughs dwarf the notch and would drag the
+        // prior late beat over beat: the window's right edge stops at
+        // the line-fit foot (B0 + rounding slack) — the same exclusion
+        // the Classic leftward scan gets for free. Only the edge is
+        // capped: when a degenerate line fit puts B0 left of the whole
+        // window, the beat falls back to the prior rather than letting
+        // the bad fit drag the search into the A wave.
+        let flank_cap = c_cap.min((b0.round() as usize).saturating_add(2)).max(1);
+        let pred = pred.clamp(1.0, c_cap as f64);
+        let fallback = ((pred.round() as usize).max(1)).min(c_cap);
+        let lo = ((pred - half).floor().max(1.0)) as usize;
+        let hi = ((pred + half).ceil() as usize).min(flank_cap);
+        if lo > hi {
+            return (fallback, BRule::WeightedWindow);
+        }
+        // The triangle decays to only ½ at the window edge: distance
+        // breaks ties between comparable candidates, but a deep knee
+        // trough still beats a shallow noise feature sitting right on
+        // the prior — a full-decay triangle makes whichever track the
+        // prior starts on self-sustaining (two engines with different
+        // warm-up histories would lock onto different tracks and never
+        // reconverge).
+        let weight =
+            |i: usize, bonus: f64| bonus * (1.0 - (i as f64 - pred).abs() / (2.0 * (half + 1.0)));
+        // Deepest third-derivative trough in the window: candidate
+        // prominence is measured against it, so shallow noise minima
+        // right at the prior cannot out-score the genuine (deep) knee
+        // a few samples away — without this the EMA self-confirms
+        // whatever offset it starts with.
+        let mut d3_floor = 0.0_f64;
+        for &v in d3.iter().take(hi + 1).skip(lo) {
+            if v < d3_floor {
+                d3_floor = v;
+            }
+        }
+        let mut best: Option<(f64, usize)> = None;
+        let consider = |w: f64, i: usize, best: &mut Option<(f64, usize)>| {
+            if best.map_or(true, |(bw, _)| w > bw) {
+                *best = Some((w, i));
+            }
+        };
+        for i in lo..=hi {
+            // Third-derivative local minima — the Classic primary
+            // rule's candidate family, weighted by trough depth. The
+            // knee sits where the upstroke begins, so the slope one
+            // sample on must be non-descending: the A wave's right
+            // flank produces equally deep troughs mid-descent, and
+            // without the gate a cold-started prior locks onto them.
+            if i >= 1
+                && i + 1 < d3.len()
+                && d3[i] < d3[i - 1]
+                && d3[i] <= d3[i + 1]
+                && (d1[i] > 0.0 || d1.get(i + 1).is_some_and(|&v| v >= 0.0))
+            {
+                let depth = if d3_floor < 0.0 {
+                    (d3[i] / d3_floor).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                };
+                consider(weight(i, depth), i, &mut best);
+            }
+            // Falling-to-rising first-derivative crossings (valley
+            // onsets) — the secondary family, at fixed middling
+            // quality: real on a clean notch, but indistinguishable
+            // from noise wiggles. Rising-to-falling crossings are
+            // local peaks and never B.
+            if i + 1 < d1.len() && d1[i] < 0.0 && d1[i + 1] > 0.0 {
+                consider(weight(i, 0.5), i, &mut best);
+            }
+        }
+        match best {
+            Some((_, i)) => (i, BRule::WeightedWindow),
+            None => (fallback, BRule::WeightedWindow),
+        }
+    }
 }
 
 /// One pass of 5-point binomial smoothing `[1, 4, 6, 4, 1] / 16` with
@@ -324,6 +753,7 @@ fn first_zero_crossing_left_within(x: &[f64], start: usize, window: usize) -> Op
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::{DelineationStrategy, StrategyState};
     use cardiotouch_physio::heart::HeartModel;
     use cardiotouch_physio::icg::IcgMorphology;
     use rand::rngs::StdRng;
@@ -490,6 +920,97 @@ mod tests {
     fn invalid_configuration_rejected() {
         assert!(PointDetector::new(0.0, XSearch::GlobalMinimum).is_err());
         assert!(PointDetector::new(FS, XSearch::RtWindow { rt_s: 0.0 }).is_err());
+    }
+
+    #[test]
+    fn all_strategies_detect_near_ground_truth() {
+        let (icg, lms) = synth(7);
+        for strategy in DelineationStrategy::ALL {
+            let det = PointDetector::with_strategy(FS, XSearch::GlobalMinimum, strategy).unwrap();
+            let mut state = StrategyState::default();
+            let mut b_err = Vec::new();
+            let mut x_err = Vec::new();
+            for w in lms.windows(2) {
+                let seg = &icg[w[0].r..w[1].r];
+                let pts = det.detect_with(seg, &mut state).unwrap();
+                assert!(pts.b < pts.c && pts.c < pts.x, "{strategy}: {pts:?}");
+                b_err.push(((pts.b + w[0].r) as f64 - w[0].b as f64).abs());
+                x_err.push(((pts.x + w[0].r) as f64 - w[0].x as f64).abs());
+            }
+            let mae = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            // 6 samples = 24 ms at 250 Hz: every rule set must stay in
+            // the neighbourhood of the synthesis truth on clean beats.
+            assert!(mae(&b_err) <= 6.0, "{strategy}: B MAE {}", mae(&b_err));
+            assert!(mae(&x_err) <= 8.0, "{strategy}: X MAE {}", mae(&x_err));
+        }
+    }
+
+    #[test]
+    fn classic_strategy_is_bitwise_the_legacy_detector() {
+        let (icg, lms) = synth(8);
+        let legacy = detector();
+        let via_strategy =
+            PointDetector::with_strategy(FS, XSearch::GlobalMinimum, DelineationStrategy::Classic)
+                .unwrap();
+        let mut state = StrategyState::default();
+        for w in lms.windows(2) {
+            let seg = &icg[w[0].r..w[1].r];
+            let a = legacy.detect(seg).unwrap();
+            let b = via_strategy.detect_with(seg, &mut state).unwrap();
+            assert_eq!(a, b);
+        }
+        // Classic never touches the cross-beat state.
+        assert_eq!(state, StrategyState::default());
+    }
+
+    #[test]
+    fn rebeat_never_rejects_a_beat_with_a_positive_c_wave() {
+        // A beat whose trough never goes negative: Classic rejects it
+        // (no negative X minimum), ReBeatICG still delineates.
+        let seg: Vec<f64> = (0..250)
+            .map(|i| {
+                let t = i as f64 / FS;
+                1.4 * (-(t - 0.25) * (t - 0.25) / (2.0 * 0.05 * 0.05)).exp() + 0.05
+            })
+            .collect();
+        let classic = detector();
+        assert!(classic.detect(&seg).is_err());
+        let rebeat = PointDetector::with_strategy(
+            FS,
+            XSearch::GlobalMinimum,
+            DelineationStrategy::ReBeatIcg,
+        )
+        .unwrap();
+        let pts = rebeat.detect(&seg).unwrap();
+        assert!(pts.b < pts.c && pts.c < pts.x);
+    }
+
+    #[test]
+    fn weighted_b_prior_adapts_across_beats() {
+        let (icg, lms) = synth(9);
+        let det = PointDetector::with_strategy(
+            FS,
+            XSearch::GlobalMinimum,
+            DelineationStrategy::WeightedWindowB,
+        )
+        .unwrap();
+        let mut state = StrategyState::default();
+        for w in lms.windows(2) {
+            det.detect_with(&icg[w[0].r..w[1].r], &mut state).unwrap();
+        }
+        assert_eq!(state.rb_beats as usize, lms.len() - 1);
+        // The EMA must have settled near the true PEP of these beats.
+        let true_rb: f64 = lms
+            .windows(2)
+            .map(|w| (w[0].b - w[0].r) as f64 / FS)
+            .sum::<f64>()
+            / (lms.len() - 1) as f64;
+        assert!(
+            (state.rb_ema_s - true_rb).abs() < 0.025,
+            "prior {} vs truth {}",
+            state.rb_ema_s,
+            true_rb
+        );
     }
 
     #[test]

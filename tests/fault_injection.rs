@@ -18,7 +18,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use cardiotouch::config::PipelineConfig;
+use cardiotouch::config::{DelineationStrategy, PipelineConfig};
 use cardiotouch::scheduler::{SessionFeed, SessionScheduler};
 use cardiotouch::stream::{BeatStream, QualifiedBeat, SignalState};
 use cardiotouch_physio::faults::FaultScenario;
@@ -80,6 +80,7 @@ proptest! {
     fn random_scenarios_never_panic_or_emit_non_finite(
         seed in any::<u16>(),
         chunk in 16usize..400,
+        strategy_idx in 0usize..DelineationStrategy::ALL.len(),
     ) {
         let (ecg, z) = template();
         let scenario = FaultScenario::random(u64::from(seed), ecg.len(), FS);
@@ -88,7 +89,13 @@ proptest! {
         scenario
             .apply_chunk(0, &mut e, &mut zz)
             .expect("random scenarios contain no hard faults");
-        let mut stream = BeatStream::new(PipelineConfig::paper_default(FS)).unwrap();
+        // Every delineation strategy must hold the no-panic/finite
+        // contract under chaos — the weighted-window prior in
+        // particular carries cross-beat state that corruption must
+        // never poison.
+        let config = PipelineConfig::paper_default(FS)
+            .with_delineation(DelineationStrategy::ALL[strategy_idx]);
+        let mut stream = BeatStream::new(config).unwrap();
         let mut beats = Vec::new();
         for (ce, cz) in e.chunks(chunk).zip(zz.chunks(chunk)) {
             beats.extend(stream.push_qualified(ce, cz).expect("soft faults never error"));
@@ -181,6 +188,7 @@ const SEED_CORPUS: &str = include_str!("../conformance/fault_seed_corpus.txt");
 #[test]
 fn pinned_seed_corpus_replays_clean() {
     let mut replayed = 0usize;
+    let mut strategies_seen = [false; DelineationStrategy::ALL.len()];
     for line in SEED_CORPUS.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -196,6 +204,13 @@ fn pinned_seed_corpus_replays_clean() {
                 .unwrap_or_else(|_| panic!("malformed chunk in `{line}`"))
         });
         assert!(chunk > 0, "chunk must be positive in `{line}`");
+        let strategy = parts.next().map_or_else(DelineationStrategy::default, |s| {
+            DelineationStrategy::parse(s).unwrap_or_else(|| panic!("unknown strategy in `{line}`"))
+        });
+        strategies_seen[DelineationStrategy::ALL
+            .iter()
+            .position(|v| *v == strategy)
+            .expect("strategy is one of ALL")] = true;
 
         // Same body as `random_scenarios_never_panic_or_emit_non_finite`,
         // pinned to the corpus seed instead of a generated one.
@@ -206,7 +221,8 @@ fn pinned_seed_corpus_replays_clean() {
         scenario
             .apply_chunk(0, &mut e, &mut zz)
             .expect("random scenarios contain no hard faults");
-        let mut stream = BeatStream::new(PipelineConfig::paper_default(FS)).unwrap();
+        let config = PipelineConfig::paper_default(FS).with_delineation(strategy);
+        let mut stream = BeatStream::new(config).unwrap();
         let mut beats = Vec::new();
         for (ce, cz) in e.chunks(chunk).zip(zz.chunks(chunk)) {
             beats.extend(
@@ -215,12 +231,18 @@ fn pinned_seed_corpus_replays_clean() {
                     .expect("soft faults never error"),
             );
         }
-        assert_finite(&beats).unwrap_or_else(|err| panic!("seed {seed} chunk {chunk}: {err:?}"));
+        assert_finite(&beats)
+            .unwrap_or_else(|err| panic!("seed {seed} chunk {chunk} strategy {strategy}: {err:?}"));
         replayed += 1;
     }
     assert!(
         replayed >= 10,
         "seed corpus lost entries ({replayed} replayed)"
+    );
+    assert!(
+        strategies_seen.iter().all(|s| *s),
+        "the pinned corpus must replay every delineation strategy \
+         (covered: {strategies_seen:?})"
     );
 }
 
